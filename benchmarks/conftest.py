@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one artefact of the paper's evaluation (§5);
+the rendered tables are written to ``benchmarks/results/`` so a bench run
+leaves inspectable output, and printed (visible with ``pytest -s``).
+
+Scale knob: ``REPRO_BENCH_ELEMS`` (default 10_000; the paper used 10^6 —
+the shape is stable from ~10^4, see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_report(name: str, text: str) -> None:
+    """Persist a rendered table and echo it."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def bench_elements(default_scale: float = 1.0) -> int:
+    base = int(os.environ.get("REPRO_BENCH_ELEMS", "10000"))
+    return max(500, int(base * default_scale))

@@ -1,0 +1,50 @@
+"""ABL-SEGSIZE: the paper's segment-size choice (§5).
+
+"In both our algorithm and the one by Koval et al., we have chosen the
+segment size of 32, based on minimal tuning."
+
+The ablation sweeps the segment size and reports throughput and
+allocation events; the expected shape is a shallow optimum: tiny segments
+pay allocation and pointer-chasing on every few cells, huge segments only
+waste memory (throughput flattens).
+"""
+
+import pytest
+
+from repro.bench import format_series, run_producer_consumer
+from repro.core import RendezvousChannel
+
+from conftest import bench_elements, save_report
+
+SIZES = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def test_segment_size_sweep(benchmark):
+    elements = bench_elements(0.3)
+
+    def run():
+        out = []
+        for size in SIZES:
+            ch = RendezvousChannel(seg_size=size)
+            res = run_producer_consumer(
+                "faa-channel", threads=16, capacity=0, elements=elements, channel=ch
+            )
+            res.impl = f"seg={size}"
+            out.append((size, res, ch._list.segments_allocated))
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = "Segment-size ablation (rendezvous, t=16)\n" + "\n".join(
+        f"  K={size:<4d} thr={res.throughput:10.1f} elems/Mcycle  segments={segs}"
+        for size, res, segs in rows
+    )
+    save_report("ablation_segment_size", text)
+
+    thr = {size: res.throughput for size, res, _ in rows}
+    # The paper's choice must not be badly dominated by tiny segments.
+    assert thr[32] >= thr[1] * 0.8, thr
+    # Throughput flattens for large sizes: 128 gains little over 32.
+    assert thr[128] <= thr[32] * 1.6, thr
+    # Segment allocations drop monotonically with size.
+    segs = [s for _, _, s in rows]
+    assert segs == sorted(segs, reverse=True)

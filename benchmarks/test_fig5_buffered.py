@@ -1,0 +1,97 @@
+"""FIG5-BUF-NT / FIG5-BUF-1000: Figure 5's buffered panels (capacity 64).
+
+Only the buffering-capable implementations participate (the Java
+synchronous queue and Koval-2019 are rendezvous-only, as in the paper).
+The Appendix A production variant is included as an extra series.
+
+Expected shape: the FAA buffered channel beats the coarse-lock designs
+and — the paper's secondary observation — trails its own rendezvous
+variant at the highest thread counts (buffering keeps more coroutines
+awake and contending).
+"""
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_THREAD_COUNTS,
+    format_panel,
+    run_producer_consumer,
+    speedup_at,
+    sweep,
+)
+
+from conftest import bench_elements, save_report
+
+PANEL_IMPLS = ["faa-channel", "faa-channel-eb", "go-channel", "kotlin-legacy"]
+CAPACITY = 64  # "we chose 64 as a standard size constant"
+
+
+@pytest.mark.parametrize("impl", PANEL_IMPLS)
+def test_fig5_buf_point_t16(benchmark, impl):
+    elements = bench_elements(0.3)
+    result = benchmark.pedantic(
+        lambda: run_producer_consumer(impl, threads=16, capacity=CAPACITY, elements=elements),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["throughput_elems_per_Mcycle"] = result.throughput
+
+
+def test_fig5_buf_threads_panel(benchmark):
+    """FIG5-BUF-NT: full sweep, #coroutines = #threads."""
+
+    elements = bench_elements(0.3)
+
+    def run():
+        return sweep(PANEL_IMPLS, DEFAULT_THREAD_COUNTS, capacity=CAPACITY, elements=elements)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "fig5_buffered_threads",
+        format_panel(results, f"Figure 5 — buffered({CAPACITY}), #coroutines = #threads ({elements} elems)"),
+    )
+    hi = max(DEFAULT_THREAD_COUNTS)
+    for lockbased in ("go-channel", "kotlin-legacy"):
+        ratio = speedup_at(results, "faa-channel", lockbased, hi)
+        assert ratio > 1.5, f"faa-channel only {ratio:.2f}x over {lockbased} at t={hi}"
+
+
+def test_fig5_buf_1000_coroutines_panel(benchmark):
+    """FIG5-BUF-1000: full sweep with 1000 coroutines multiplexed."""
+
+    elements = bench_elements(0.3)
+
+    def run():
+        return sweep(
+            PANEL_IMPLS,
+            DEFAULT_THREAD_COUNTS,
+            capacity=CAPACITY,
+            coroutines=1000,
+            elements=elements,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "fig5_buffered_1000cor",
+        format_panel(results, f"Figure 5 — buffered({CAPACITY}), 1000 coroutines ({elements} elems)"),
+    )
+
+
+def test_buffered_trails_rendezvous_at_high_contention(benchmark):
+    """§5: 'our buffered channel algorithm shows lower throughput than the
+    rendezvous-only version, at higher thread counts.'"""
+
+    elements = bench_elements(0.3)
+
+    def run():
+        rz = run_producer_consumer("faa-channel", threads=128, capacity=0, elements=elements)
+        buf = run_producer_consumer("faa-channel", threads=128, capacity=CAPACITY, elements=elements)
+        return rz, buf
+
+    rz, buf = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "fig5_rz_vs_buf_highcontention",
+        f"t=128: rendezvous {rz.throughput:.1f} vs buffered({CAPACITY}) {buf.throughput:.1f} elems/Mcycle",
+    )
+    # Generous: the buffered variant must not dominate by much.
+    assert buf.throughput < rz.throughput * 1.5

@@ -1,0 +1,85 @@
+"""FIG5-RZ-NT / FIG5-RZ-1000: Figure 5's rendezvous panels.
+
+Producer-consumer over a rendezvous channel; all five algorithm families;
+thread counts 1..128; coroutines = threads, and coroutines = 1000.
+
+Expected shape (paper): the FAA channel keeps scaling while the Java
+synchronous queue and Koval-2019 degrade under contention and the
+lock-based Go/legacy-Kotlin channels plateau, with the FAA channel ahead
+by a multiple at high thread counts (paper: up to 9.8x).
+"""
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_THREAD_COUNTS,
+    format_panel,
+    run_producer_consumer,
+    speedup_at,
+    sweep,
+)
+
+from conftest import bench_elements, save_report
+
+PANEL_IMPLS = ["faa-channel", "java-sync-queue", "koval-2019", "go-channel", "kotlin-legacy"]
+
+
+@pytest.mark.parametrize("impl", PANEL_IMPLS)
+def test_fig5_rz_point_t16(benchmark, impl):
+    """Representative single point (t=16) for pytest-benchmark timing."""
+
+    elements = bench_elements(0.3)
+    result = benchmark.pedantic(
+        lambda: run_producer_consumer(impl, threads=16, capacity=0, elements=elements),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["throughput_elems_per_Mcycle"] = result.throughput
+
+
+def test_fig5_rz_threads_panel(benchmark):
+    """FIG5-RZ-NT: full sweep, #coroutines = #threads."""
+
+    elements = bench_elements(0.3)
+
+    def run():
+        return sweep(PANEL_IMPLS, DEFAULT_THREAD_COUNTS, capacity=0, elements=elements)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "fig5_rendezvous_threads",
+        format_panel(results, f"Figure 5 — rendezvous, #coroutines = #threads ({elements} elems)"),
+    )
+    # Shape assertions (generous: shapes, not absolute numbers).
+    hi = max(DEFAULT_THREAD_COUNTS)
+    for lockbased in ("go-channel", "kotlin-legacy", "java-sync-queue", "koval-2019"):
+        ratio = speedup_at(results, "faa-channel", lockbased, hi)
+        assert ratio > 1.5, f"faa-channel only {ratio:.2f}x over {lockbased} at t={hi}"
+    # The FAA channel's peak is at least 3x its single-thread throughput.
+    faa = {r.threads: r.throughput for r in results if r.impl == "faa-channel"}
+    assert max(faa.values()) > 3 * faa[1], faa
+
+
+def test_fig5_rz_1000_coroutines_panel(benchmark):
+    """FIG5-RZ-1000: full sweep with 1000 coroutines multiplexed."""
+
+    elements = bench_elements(0.3)
+
+    def run():
+        return sweep(
+            PANEL_IMPLS,
+            DEFAULT_THREAD_COUNTS,
+            capacity=0,
+            coroutines=1000,
+            elements=elements,
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "fig5_rendezvous_1000cor",
+        format_panel(results, f"Figure 5 — rendezvous, 1000 coroutines ({elements} elems)"),
+    )
+    hi = max(DEFAULT_THREAD_COUNTS)
+    for other in ("go-channel", "kotlin-legacy"):
+        ratio = speedup_at(results, "faa-channel", other, hi)
+        assert ratio > 1.2, f"faa-channel only {ratio:.2f}x over {other} at t={hi}"

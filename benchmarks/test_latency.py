@@ -1,0 +1,48 @@
+"""Extension experiment: per-operation latency distributions.
+
+Not a paper artefact — the natural companion to Figure 5.  Expected
+shape: at high thread counts the lock-based channels develop much heavier
+tails (queueing for the critical section) than the FAA channel.
+"""
+
+import pytest
+
+from repro.bench.latency import measure_latency
+
+from conftest import bench_elements, save_report
+
+IMPLS = ["faa-channel", "go-channel", "kotlin-legacy"]
+
+
+def test_latency_percentiles(benchmark):
+    elements = bench_elements(0.15)
+
+    def run():
+        return {
+            (impl, threads): measure_latency(impl, threads=threads, elements=elements)
+            for impl in IMPLS
+            for threads in (4, 64)
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Per-operation latency (simulated cycles)"]
+    for (impl, threads), rep in reports.items():
+        lines.append(rep.row("send"))
+        lines.append(rep.row("rcv"))
+    save_report("latency", "\n".join(lines))
+
+    # Tail behaviour at t=64: the FAA channel's p99 send latency beats
+    # the lock-based channels' by a clear factor.
+    faa = reports[("faa-channel", 64)].percentiles("send")["p99"]
+    go = reports[("go-channel", 64)].percentiles("send")["p99"]
+    kt = reports[("kotlin-legacy", 64)].percentiles("send")["p99"]
+    assert faa < go and faa < kt, (faa, go, kt)
+
+
+def test_latency_sane_at_low_contention(benchmark):
+    def run():
+        return measure_latency("faa-channel", threads=2, elements=bench_elements(0.1))
+
+    rep = benchmark.pedantic(run, rounds=1, iterations=1)
+    p = rep.percentiles("send")
+    assert 0 < p["p50"] <= p["p90"] <= p["p99"] <= p["max"]

@@ -1,0 +1,92 @@
+"""Cost-model sensitivity: Figure 5's ordering must survive recalibration.
+
+DESIGN.md claims the simulated multicore's conclusions rest on
+synchronization *structure*, not on the cost constants.  This bench
+perturbs the coherence costs (RMW + miss latencies) by 0.5× and 2× and
+asserts the Figure 5 winner ordering at high thread counts is unchanged —
+the reproduction's analogue of running on a different machine.
+"""
+
+import pytest
+
+from repro.bench import run_producer_consumer
+from repro.sim.costmodel import CostParams
+
+from conftest import bench_elements, save_report
+
+IMPLS = ["faa-channel", "java-sync-queue", "go-channel", "kotlin-legacy"]
+
+
+def _panel(scale: float, elements: int) -> dict[str, float]:
+    params = CostParams().scaled(scale)
+    return {
+        impl: run_producer_consumer(
+            impl, threads=64, capacity=0, elements=elements, cost_params=params
+        ).throughput
+        for impl in IMPLS
+    }
+
+
+def test_ordering_stable_under_cost_scaling(benchmark):
+    elements = bench_elements(0.2)
+
+    def run():
+        return {scale: _panel(scale, elements) for scale in (0.5, 1.0, 2.0)}
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Cost-model sensitivity (t=64, rendezvous)"]
+    for scale, panel in panels.items():
+        row = "  ".join(f"{impl}={thr:8.1f}" for impl, thr in panel.items())
+        lines.append(f"  scale={scale:<4}: {row}")
+    save_report("sensitivity", "\n".join(lines))
+
+    for scale, panel in panels.items():
+        best = max(panel, key=panel.get)
+        assert best == "faa-channel", (scale, panel)
+        # And by a margin, not a hair.
+        others = [thr for impl, thr in panel.items() if impl != "faa-channel"]
+        assert panel["faa-channel"] > 1.5 * max(others), (scale, panel)
+
+
+def test_workload_asymmetry(benchmark):
+    """Extension ablation: unbalanced producers vs consumers.
+
+    With more consumers than producers the channel runs receiver-ahead
+    (suspension-dominated); with more producers, buffered channels run
+    full.  Throughput is bounded by the scarcer side; the run must stay
+    live and conservation holds by construction.
+    """
+
+    from repro.bench.workload import GeometricWork, consumer_task, producer_task, split_evenly
+    from repro.bench.harness import make_impl
+    from repro.sim import CostModel, Scheduler
+    from repro.sim.scheduler import DesPolicy
+
+    elements = bench_elements(0.15)
+
+    def run_asym(n_prod, n_cons, capacity):
+        chan = make_impl("faa-channel", capacity)
+        sched = Scheduler(policy=DesPolicy(), cost_model=CostModel(), processors=n_prod + n_cons)
+        for p, n in enumerate(split_evenly(elements, n_prod)):
+            sched.spawn(producer_task(chan, p, n, GeometricWork(100, p)))
+        for c, n in enumerate(split_evenly(elements, n_cons)):
+            sched.spawn(consumer_task(chan, n, GeometricWork(100, 777 + c)))
+        sched.run()
+        return elements / sched.makespan * 1e6
+
+    def run():
+        return {
+            (1, 8): run_asym(1, 8, 0),
+            (8, 1): run_asym(8, 1, 0),
+            (4, 4): run_asym(4, 4, 0),
+            (8, 1, 64): run_asym(8, 1, 64),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "workload_asymmetry",
+        "Asymmetric producer/consumer counts (rendezvous unless noted)\n"
+        + "\n".join(f"  {k}: {v:10.1f} elems/Mcycle" for k, v in out.items()),
+    )
+    # The balanced configuration beats both starved ones.
+    assert out[(4, 4)] >= max(out[(1, 8)], out[(8, 1)]) * 0.8

@@ -1,0 +1,47 @@
+"""EXP-UNCONT: uncontended per-operation cost of every implementation.
+
+A single producer/consumer pair (two threads).  Not a paper figure per
+se, but the sanity anchor for every other benchmark: at one pair, all
+implementations should land within a small factor of one another — the
+paper's Figure 5 panels all start from nearly the same point at 1-2
+threads.
+"""
+
+import pytest
+
+from repro.bench import IMPLEMENTATIONS, run_producer_consumer
+
+from conftest import bench_elements, save_report
+
+RENDEZVOUS_IMPLS = ["faa-channel", "faa-channel-eb", "java-sync-queue", "koval-2019", "go-channel", "kotlin-legacy"]
+
+
+@pytest.mark.parametrize("impl", RENDEZVOUS_IMPLS)
+def test_uncontended_pair(benchmark, impl):
+    elements = bench_elements(0.3)
+    result = benchmark.pedantic(
+        lambda: run_producer_consumer(impl, threads=2, capacity=0, elements=elements),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["throughput_elems_per_Mcycle"] = result.throughput
+
+
+def test_uncontended_spread(benchmark):
+    """All implementations within ~4x of each other at two threads."""
+
+    elements = bench_elements(0.3)
+
+    def run():
+        return {
+            impl: run_producer_consumer(impl, threads=2, capacity=0, elements=elements).throughput
+            for impl in RENDEZVOUS_IMPLS
+        }
+
+    thr = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "uncontended",
+        "Uncontended pair (t=2, rendezvous)\n"
+        + "\n".join(f"  {impl:18s} {v:10.1f} elems/Mcycle" for impl, v in thr.items()),
+    )
+    assert max(thr.values()) <= min(thr.values()) * 4.0, thr

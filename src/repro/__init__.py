@@ -1,0 +1,60 @@
+"""repro — Fast and Scalable Channels (PPoPP 2023) reproduced in Python.
+
+Public API re-exports live here; see README.md for a guided tour and
+DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"
+
+from .core import (
+    BufferedChannel,
+    BufferedChannelEB,
+    ConflatedChannel,
+    DropOldestChannel,
+    RendezvousChannel,
+    SimplifiedBufferedChannel,
+    make_channel,
+    receive_clause,
+    select,
+    send_clause,
+)
+from .errors import (
+    ChannelClosed,
+    ChannelClosedForReceive,
+    ChannelClosedForSend,
+    DeadlockError,
+    Interrupted,
+    InvariantViolation,
+    LinearizabilityError,
+    ReproError,
+    SchedulerError,
+    StepLimitExceeded,
+)
+from .sim import Scheduler
+
+__all__ = [
+    "__version__",
+    # channels
+    "make_channel",
+    "RendezvousChannel",
+    "BufferedChannel",
+    "BufferedChannelEB",
+    "SimplifiedBufferedChannel",
+    "ConflatedChannel",
+    "DropOldestChannel",
+    "select",
+    "send_clause",
+    "receive_clause",
+    "Scheduler",
+    # errors
+    "ReproError",
+    "Interrupted",
+    "ChannelClosed",
+    "ChannelClosedForSend",
+    "ChannelClosedForReceive",
+    "DeadlockError",
+    "SchedulerError",
+    "StepLimitExceeded",
+    "LinearizabilityError",
+    "InvariantViolation",
+]

@@ -1,0 +1,300 @@
+"""asyncio adapter: the paper's channel as a real, usable async library.
+
+The same generator-encoded algorithm that the simulator model-checks and
+benchmarks is driven here on the asyncio event loop:
+
+* memory ops apply inline — the loop is single-threaded and the driver
+  never awaits between two ops of one operation except at ``ParkTask``,
+  so each operation's steps are atomic exactly where the algorithm allows
+  suspension;
+* ``ParkTask`` awaits a per-suspension :class:`asyncio.Future`;
+  ``UnparkTask`` resolves the target's future (or sets the permit flag if
+  the target has not reached its ``park`` yet — same lost-wakeup contract
+  as the simulator);
+* **task cancellation maps to the paper's ``interrupt()``**: when the
+  ``await`` is cancelled, the driver runs the waiter's interrupt protocol
+  inline — the ``onInterrupt`` cleanup moves the channel cell to
+  ``INTERRUPTED_*`` before ``CancelledError`` propagates, and if a
+  resumption beat the cancellation the operation completes normally
+  (the element is never lost).
+
+Example::
+
+    ch = AsyncChannel(capacity=64)
+
+    async def producer():
+        for item in items:
+            await ch.send(item)
+        ch.close()
+
+    async def consumer():
+        async for item in ch:
+            handle(item)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, AsyncIterator, Generator, Optional
+
+from ..concurrent.ops import (
+    CurrentTask,
+    Op,
+    ParkTask,
+    UnparkTask,
+    apply_memory_op,
+    is_memory_op,
+)
+from ..core.channel import make_channel
+from ..core.segments import DEFAULT_SEGMENT_SIZE
+from ..errors import ChannelClosedForReceive, Interrupted, RetryWakeup, SchedulerError
+
+__all__ = ["AsyncChannel", "drive_async", "drive_sync"]
+
+
+class _AioTaskHandle:
+    """The driver's task object (what ``curCor()`` binds waiters to)."""
+
+    __slots__ = (
+        "future",
+        "unpark_pending",
+        "interrupt_pending",
+        "retry_pending",
+        "current_waiter",
+        "done",
+        "name",
+    )
+
+    def __init__(self, name: str = "aio-op"):
+        self.future: Optional[asyncio.Future] = None
+        self.unpark_pending = False
+        self.interrupt_pending = False
+        self.retry_pending = False
+        self.current_waiter: Any = None
+        self.done = False
+        self.name = name
+
+
+def _apply_simple(op: Op, handle: _AioTaskHandle) -> Any:
+    """Apply one non-park op; returns the value to send into the generator."""
+
+    if is_memory_op(op):
+        return apply_memory_op(op)
+    t = type(op)
+    if t is CurrentTask:
+        return handle
+    if t is UnparkTask:
+        target: _AioTaskHandle = op.task  # type: ignore[attr-defined]
+        fut = target.future
+        if fut is not None and not fut.done():
+            if op.interrupt:  # type: ignore[attr-defined]
+                fut.set_exception(Interrupted())
+            elif op.retry:  # type: ignore[attr-defined]
+                fut.set_exception(RetryWakeup())
+            else:
+                fut.set_result(None)
+        elif op.interrupt:  # type: ignore[attr-defined]
+            target.interrupt_pending = True
+        elif op.retry:  # type: ignore[attr-defined]
+            target.retry_pending = True
+        else:
+            target.unpark_pending = True
+        return None
+    # Yield / Spin / Work / Label / Alloc: no-ops on the event loop.
+    return None
+
+
+def drive_sync(gen: Generator[Any, Any, Any], handle: Optional[_AioTaskHandle] = None) -> Any:
+    """Drive an operation that must not suspend (try-ops, close, interrupt)."""
+
+    handle = handle or _AioTaskHandle("sync-op")
+    to_send: Any = None
+    while True:
+        try:
+            op = gen.send(to_send)
+        except StopIteration as stop:
+            return stop.value
+        if type(op) is ParkTask:
+            raise SchedulerError("drive_sync used on a suspending operation")
+        to_send = _apply_simple(op, handle)
+
+
+def _unwind_with(gen: Generator[Any, Any, Any], exc: BaseException, handle: "_AioTaskHandle") -> None:
+    """Throw ``exc`` into ``gen`` and drive its cleanup ops to completion.
+
+    The unwinding path of a channel operation performs memory ops (cell
+    neutralization) but never parks; any exception it settles on is
+    swallowed — the caller propagates its own.
+    """
+
+    to_send: Any = None
+    try:
+        op = gen.throw(exc)
+        while True:
+            if type(op) is ParkTask:
+                raise SchedulerError("operation parked while unwinding")
+            to_send = _apply_simple(op, handle)
+            op = gen.send(to_send)
+    except StopIteration:
+        pass
+    except BaseException:  # noqa: BLE001 - the caller raises its own
+        pass
+
+
+async def drive_async(gen: Generator[Any, Any, Any], name: str = "aio-op") -> Any:
+    """Drive a (possibly suspending) channel operation on the event loop."""
+
+    handle = _AioTaskHandle(name)
+    to_send: Any = None
+    to_throw: Optional[BaseException] = None
+    while True:
+        try:
+            if to_throw is not None:
+                exc, to_throw = to_throw, None
+                op = gen.throw(exc)
+            else:
+                op = gen.send(to_send)
+                to_send = None
+        except StopIteration as stop:
+            handle.done = True
+            return stop.value
+        if type(op) is not ParkTask:
+            to_send = _apply_simple(op, handle)
+            continue
+        # Park: honour permits, then await the suspension future.
+        if handle.interrupt_pending:
+            handle.interrupt_pending = False
+            to_throw = Interrupted()
+            continue
+        if handle.retry_pending:
+            handle.retry_pending = False
+            to_throw = RetryWakeup()
+            continue
+        if handle.unpark_pending:
+            handle.unpark_pending = False
+            continue
+        waiter = op.waiter  # type: ignore[attr-defined]
+        handle.future = asyncio.get_running_loop().create_future()
+        try:
+            await handle.future
+            handle.future = None
+            continue  # resumed normally
+        except (Interrupted, RetryWakeup) as exc:
+            handle.future = None
+            to_throw = exc  # delivered via the waiter protocol
+            continue
+        except asyncio.CancelledError:
+            fut = handle.future
+            handle.future = None
+            # Map asyncio cancellation onto the paper's interrupt().  The
+            # interrupt generator contains no parks; drive it inline so
+            # the onInterrupt cleanup runs before we propagate.
+            won = drive_sync(waiter.interrupt(), handle)
+            if won:
+                # Unwind the operation by delivering Interrupted at the
+                # park point and driving its cleanup ops to completion
+                # (select uses this to neutralize losing registrations);
+                # a plain gen.close() would forbid those yields.
+                _unwind_with(gen, Interrupted(), handle)
+                raise
+            # A resumption beat the cancellation: the operation logically
+            # completed — finish it rather than lose the element.
+            if fut is not None and fut.done() and fut.exception() is None:
+                continue
+            if handle.unpark_pending:
+                handle.unpark_pending = False
+                continue
+            _unwind_with(gen, Interrupted(), handle)
+            raise
+
+
+class AsyncChannel:
+    """Kotlin-style channel for asyncio, backed by the paper's algorithm.
+
+    ``capacity == 0`` gives rendezvous semantics; suspensions integrate
+    with asyncio cancellation, ``close()`` wakes waiting receivers, and
+    the channel is an async iterator that terminates on close.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 0,
+        seg_size: int = DEFAULT_SEGMENT_SIZE,
+        name: str = "async-chan",
+        overflow: str = "suspend",
+    ):
+        """``overflow`` selects the kotlinx buffer-overflow policy:
+        ``"suspend"`` (default), ``"drop_oldest"``, or ``"conflate"``
+        (which forces capacity 1)."""
+
+        if overflow == "suspend":
+            self._ch = make_channel(capacity, seg_size=seg_size, name=name)
+        elif overflow == "drop_oldest":
+            from ..core.conflated import DropOldestChannel
+
+            self._ch = DropOldestChannel(max(1, capacity), seg_size=seg_size, name=name)
+        elif overflow == "conflate":
+            from ..core.conflated import ConflatedChannel
+
+            self._ch = ConflatedChannel(seg_size=seg_size, name=name)
+        else:
+            raise ValueError(f"unknown overflow policy: {overflow!r}")
+        self.name = name
+
+    @property
+    def capacity(self) -> int:
+        return self._ch.capacity
+
+    @property
+    def stats(self):
+        """The underlying channel's operation counters."""
+
+        return self._ch.stats
+
+    # ------------------------------------------------------------------
+
+    async def send(self, element: Any) -> None:
+        """Send, suspending while the channel is full (or unpaired)."""
+
+        await drive_async(self._ch.send(element), f"{self.name}.send")
+
+    async def receive(self) -> Any:
+        """Receive, suspending while the channel is empty."""
+
+        return await drive_async(self._ch.receive(), f"{self.name}.receive")
+
+    async def receive_catching(self) -> tuple[bool, Any]:
+        """Like :meth:`receive`, but ``(False, None)`` once closed."""
+
+        return await drive_async(self._ch.receive_catching(), f"{self.name}.receive")
+
+    def try_send(self, element: Any) -> bool:
+        """Non-blocking send (synchronous: it never suspends)."""
+
+        return drive_sync(self._ch.try_send(element))
+
+    def try_receive(self) -> tuple[bool, Any]:
+        """Non-blocking receive (synchronous: it never suspends)."""
+
+        return drive_sync(self._ch.try_receive())
+
+    def close(self) -> bool:
+        """Close for sending; wakes waiting receivers.  Synchronous."""
+
+        return drive_sync(self._ch.close())
+
+    def cancel(self) -> bool:
+        """Close and discard everything.  Synchronous."""
+
+        return drive_sync(self._ch.cancel())
+
+    # ------------------------------------------------------------------
+
+    def __aiter__(self) -> AsyncIterator[Any]:
+        return self
+
+    async def __anext__(self) -> Any:
+        try:
+            return await self.receive()
+        except ChannelClosedForReceive:
+            raise StopAsyncIteration from None

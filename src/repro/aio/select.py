@@ -1,0 +1,41 @@
+"""``select`` for asyncio channels.
+
+Drives the core select machinery on the event loop::
+
+    idx, value = await select_async(
+        on_receive(updates),
+        on_receive(shutdown),
+        on_send(downstream, item),
+    )
+
+Cancelling the awaiting task cleans up every registration (losing cells
+are neutralized, peer waiters retried) before ``CancelledError``
+propagates.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.select import SelectClause, receive_clause, select, send_clause
+from .channel import AsyncChannel, drive_async
+
+__all__ = ["select_async", "on_send", "on_receive"]
+
+
+def on_send(channel: AsyncChannel, element: Any) -> SelectClause:
+    """A select clause sending ``element`` into an :class:`AsyncChannel`."""
+
+    return send_clause(channel._ch, element)
+
+
+def on_receive(channel: AsyncChannel) -> SelectClause:
+    """A select clause receiving from an :class:`AsyncChannel`."""
+
+    return receive_clause(channel._ch)
+
+
+async def select_async(*clauses: SelectClause) -> tuple[int, Any]:
+    """Await the first completing clause; returns ``(index, value)``."""
+
+    return await drive_async(select(*clauses), "select")

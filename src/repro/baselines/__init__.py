@@ -1,0 +1,20 @@
+"""Baselines the paper evaluates against, plus their queue substrates."""
+
+from .faa_queue import FAAQueue
+from .go_channel import GoChannel
+from .java_sync_queue import ScherersSyncQueue
+from .kotlin_legacy import KotlinLegacyChannel
+from .koval_2019 import KovalChannel2019
+from .mpdq import MPDQSyncQueue
+from .ms_queue import MSNode, MSQueue
+
+__all__ = [
+    "MSQueue",
+    "MSNode",
+    "FAAQueue",
+    "ScherersSyncQueue",
+    "KovalChannel2019",
+    "GoChannel",
+    "KotlinLegacyChannel",
+    "MPDQSyncQueue",
+]

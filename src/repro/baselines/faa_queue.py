@@ -1,0 +1,100 @@
+"""A segment-based Fetch-And-Add queue (LCRQ-flavoured [19, 25]).
+
+The plain-queue ancestor of the paper's channel: enqueuers and dequeuers
+reserve cells of an infinite array with unconditional FAA on ``enqIdx`` /
+``deqIdx`` and synchronize within the cell.  A dequeuer that arrives
+before its enqueuer *poisons* the cell (the LCRQ trick the channel's
+BROKEN state descends from).  Used as a micro-benchmark reference and by
+tests as a simpler exemplar of the infinite-array pattern.
+
+Unlike the channel, this queue never blocks: ``dequeue`` on an empty queue
+returns ``None`` immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..concurrent.cells import IntCell, RefCell
+from ..concurrent.ops import Alloc, Cas, Faa, GetAndSet, Read
+
+__all__ = ["FAAQueue"]
+
+#: Cell poisoned by a too-early dequeuer.
+_BROKEN = object()
+#: Segment size for the queue's infinite array.
+_SEG = 16
+
+
+class _QSegment:
+    __slots__ = ("id", "cells", "next")
+
+    def __init__(self, seg_id: int):
+        self.id = seg_id
+        self.cells = [RefCell(None, name=f"faaq.seg{seg_id}[{i}]") for i in range(_SEG)]
+        self.next = RefCell(None, name=f"faaq.seg{seg_id}.next")
+
+
+class FAAQueue:
+    """MPMC FIFO queue: FAA-reserved cells in linked segments."""
+
+    def __init__(self, name: str = "faaq"):
+        self.name = name
+        first = _QSegment(0)
+        self._first = first  # segments are never removed; walks can restart here
+        self._head = RefCell(first, name=f"{name}.head")  # dequeuers' segment
+        self._tail = RefCell(first, name=f"{name}.tail")  # enqueuers' segment
+        self.enq_idx = IntCell(0, name=f"{name}.enqIdx")
+        self.deq_idx = IntCell(0, name=f"{name}.deqIdx")
+        self.segments_allocated = 1
+
+    def _find_segment(self, anchor: RefCell, seg_id: int) -> Generator[Any, Any, _QSegment]:
+        cur: _QSegment = yield Read(anchor)
+        if cur.id > seg_id:
+            # A faster peer advanced the anchor past our segment; restart
+            # from the permanent first segment (never removed here).
+            cur = self._first
+        while cur.id < seg_id:
+            nxt = yield Read(cur.next)
+            if nxt is None:
+                new = _QSegment(cur.id + 1)
+                yield Alloc("segment", _SEG)
+                ok = yield Cas(cur.next, None, new)
+                if ok:
+                    self.segments_allocated += 1
+                continue
+            cur = nxt
+        seen = yield Read(anchor)
+        if seen.id < cur.id:
+            yield Cas(anchor, seen, cur)  # best-effort advance, never backward
+        return cur
+
+    def enqueue(self, value: Any) -> Generator[Any, Any, None]:
+        """Append ``value``; retries only past poisoned cells."""
+
+        if value is None:
+            raise ValueError("FAAQueue cannot carry None")
+        while True:
+            i = yield Faa(self.enq_idx, 1)
+            seg = yield from self._find_segment(self._tail, i // _SEG)
+            cell = seg.cells[i % _SEG]
+            ok = yield Cas(cell, None, value)
+            if ok:
+                return
+            # The cell was poisoned by a hasty dequeuer; take the next one.
+
+    def dequeue(self) -> Generator[Any, Any, Optional[Any]]:
+        """Pop the oldest element, or ``None`` when empty."""
+
+        while True:
+            deq = yield Read(self.deq_idx)
+            enq = yield Read(self.enq_idx)
+            if deq >= enq:
+                return None  # observed empty
+            i = yield Faa(self.deq_idx, 1)
+            seg = yield from self._find_segment(self._head, i // _SEG)
+            cell = seg.cells[i % _SEG]
+            value = yield GetAndSet(cell, _BROKEN)
+            if value is not None:
+                return value
+            # Poisoned an empty cell; its enqueuer will skip it.

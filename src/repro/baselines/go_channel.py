@@ -1,0 +1,281 @@
+"""A Go-style channel: coarse-grained lock + ring buffer + waiter queues [5].
+
+Go's ``hchan`` guards *all* channel state — the circular element buffer and
+the ``sendq``/``recvq`` waiting-goroutine lists — with one runtime mutex.
+Every operation takes the lock, so the channel's critical section is the
+serialization bottleneck the paper's lock-free design removes; under the
+simulator's cost model this is what makes the Go baseline plateau in the
+Figure 5 sweeps.
+
+Faithful structural details reproduced here:
+
+* a receiver waiting in ``recvq`` is handed its element *directly* (the
+  sender writes into the receiver's stack slot — our per-waiter box);
+* when the buffer is full and a receiver frees a slot, it also moves the
+  oldest waiting sender's element into the buffer before unlocking;
+* waiters cancelled while queued are lazily skipped (Go unlinks the
+  ``sudog``; we drop it at pop time when its ``tryUnpark`` fails).
+
+State under the mutex uses plain Python structures — every access happens
+inside the critical section, exactly as in ``runtime/chan.go``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from ..concurrent.cells import RefCell
+from ..concurrent.ops import Read, Write
+from ..errors import ChannelClosedForReceive, ChannelClosedForSend, Interrupted
+from ..runtime.waiter import INTERRUPTED as _W_INTERRUPTED
+from ..runtime.waiter import Waiter
+from ..sim.sync import SimMutex
+
+__all__ = ["GoChannel"]
+
+
+class _Sudog:
+    """Go's ``sudog``: one waiting goroutine plus its element slot."""
+
+    __slots__ = ("waiter", "box")
+
+    def __init__(self, waiter: Waiter, element: Any):
+        self.waiter = waiter
+        #: The element being sent, or the slot a sender will fill for a
+        #: waiting receiver.  A per-waiter cell, like a goroutine's stack
+        #: slot — written only by the resuming party before the unpark.
+        self.box = RefCell(element, name="go.sudog.box")
+
+
+class GoChannel:
+    """``make(chan T, capacity)`` with close semantics."""
+
+    def __init__(self, capacity: int = 0, name: str = "go-chan"):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self.name = name
+        self._lock = SimMutex(f"{name}.lock")
+        # All fields below are protected by _lock.
+        self._buf: Deque[Any] = deque()
+        self._sendq: Deque[_Sudog] = deque()
+        self._recvq: Deque[_Sudog] = deque()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    def send(self, element: Any) -> Generator[Any, Any, None]:
+        if element is None:
+            raise ValueError("channel cannot carry None")
+        while True:
+            yield from self._lock.acquire()
+            if self._closed:
+                yield from self._lock.release()
+                raise ChannelClosedForSend()
+            # 1. A receiver is waiting: hand the element over directly.
+            handed = False
+            while True:
+                sg = yield from self._pop_live(self._recvq)
+                if sg is None:
+                    break
+                yield Write(sg.box, element)
+                resumed = yield from sg.waiter.try_unpark()
+                if resumed:
+                    handed = True
+                    break
+                # Lost to a concurrent cancellation; try the next waiter.
+            if handed:
+                yield from self._lock.release()
+                return
+            # 2. Buffer space available: deposit and go.
+            if len(self._buf) < self.capacity:
+                self._buf.append(element)
+                yield from self._lock.release()
+                return
+            # 3. Full (or rendezvous): enqueue ourselves and park.
+            w = yield from Waiter.make()
+            sg = _Sudog(w, element)
+            self._sendq.append(sg)
+            yield from self._lock.release()
+            if (yield from self._park(sg, self._sendq)):
+                return
+            # Woken by close(): fail like Go's "send on closed channel".
+            raise ChannelClosedForSend()
+
+    def receive(self) -> Generator[Any, Any, Any]:
+        while True:
+            yield from self._lock.acquire()
+            # 1. Buffered element available (drains even when closed).
+            if self._buf:
+                value = self._buf.popleft()
+                # Refill from the oldest waiting sender, if any.
+                while True:
+                    sg = yield from self._pop_live(self._sendq)
+                    if sg is None:
+                        break
+                    moved = yield Read(sg.box)
+                    resumed = yield from sg.waiter.try_unpark()
+                    if resumed:
+                        self._buf.append(moved)
+                        break
+                yield from self._lock.release()
+                return value
+            # 2. Rendezvous with a waiting sender.
+            while True:
+                sg = yield from self._pop_live(self._sendq)
+                if sg is None:
+                    break
+                value = yield Read(sg.box)
+                resumed = yield from sg.waiter.try_unpark()
+                if resumed:
+                    yield from self._lock.release()
+                    return value
+            if self._closed:
+                yield from self._lock.release()
+                raise ChannelClosedForReceive()
+            # 3. Nothing available: enqueue ourselves and park.
+            w = yield from Waiter.make()
+            sg = _Sudog(w, None)
+            self._recvq.append(sg)
+            yield from self._lock.release()
+            if (yield from self._park(sg, self._recvq)):
+                value = yield Read(sg.box)
+                if value is None:
+                    raise ChannelClosedForReceive()  # woken by close()
+                return value
+            raise ChannelClosedForReceive()
+
+    def try_send(self, element: Any) -> Generator[Any, Any, bool]:
+        """Non-blocking send (Go's ``select { case ch <- v: default: }``)."""
+
+        if element is None:
+            raise ValueError("channel cannot carry None")
+        yield from self._lock.acquire()
+        if self._closed:
+            yield from self._lock.release()
+            raise ChannelClosedForSend()
+        while True:
+            sg = yield from self._pop_live(self._recvq)
+            if sg is None:
+                break
+            yield Write(sg.box, element)
+            resumed = yield from sg.waiter.try_unpark()
+            if resumed:
+                yield from self._lock.release()
+                return True
+        if len(self._buf) < self.capacity:
+            self._buf.append(element)
+            yield from self._lock.release()
+            return True
+        yield from self._lock.release()
+        return False
+
+    def try_receive(self) -> Generator[Any, Any, tuple[bool, Any]]:
+        """Non-blocking receive (Go's ``select { case v := <-ch: default: }``)."""
+
+        yield from self._lock.acquire()
+        if self._buf:
+            value = self._buf.popleft()
+            while True:
+                sg = yield from self._pop_live(self._sendq)
+                if sg is None:
+                    break
+                moved = yield Read(sg.box)
+                resumed = yield from sg.waiter.try_unpark()
+                if resumed:
+                    self._buf.append(moved)
+                    break
+            yield from self._lock.release()
+            return (True, value)
+        while True:
+            sg = yield from self._pop_live(self._sendq)
+            if sg is None:
+                break
+            value = yield Read(sg.box)
+            resumed = yield from sg.waiter.try_unpark()
+            if resumed:
+                yield from self._lock.release()
+                return (True, value)
+        if self._closed:
+            yield from self._lock.release()
+            raise ChannelClosedForReceive()
+        yield from self._lock.release()
+        return (False, None)
+
+    def receive_catching(self) -> Generator[Any, Any, tuple[bool, Any]]:
+        """Like :meth:`receive`, but ``(False, None)`` once closed."""
+
+        try:
+            value = yield from self.receive()
+        except ChannelClosedForReceive:
+            return (False, None)
+        return (True, value)
+
+    def close(self) -> Generator[Any, Any, bool]:
+        """Close the channel, waking every queued waiter (as Go does)."""
+
+        yield from self._lock.acquire()
+        if self._closed:
+            yield from self._lock.release()
+            return False
+        self._closed = True
+        senders = list(self._sendq)
+        receivers = list(self._recvq)
+        self._sendq.clear()
+        self._recvq.clear()
+        yield from self._lock.release()
+        for sg in senders:
+            yield from sg.waiter.interrupt(cause=ChannelClosedForSend())
+        for sg in receivers:
+            yield from sg.waiter.interrupt(cause=ChannelClosedForReceive())
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _pop_live(self, queue: Deque[_Sudog]) -> Generator[Any, Any, Optional[_Sudog]]:
+        """Pop the oldest waiter that can still be resumed.
+
+        Must run under the lock.  Rather than popping and unparking here
+        (which would lose the waiter if the unpark then failed), this
+        peeks, drops cancelled entries, and returns a sudog whose waiter
+        the caller resumes — the caller's unpark can still lose to a
+        concurrent cancel, but only for *parked* entries whose interrupt
+        handler removes them, so the assert in the callers holds.
+        """
+
+        while queue:
+            sg = queue[0]
+            # A waiter is resumable unless already interrupted; peeking
+            # its state is a simulated read on the waiter's cell.
+            state = yield Read(sg.waiter._state)
+            if state is _W_INTERRUPTED:
+                queue.popleft()  # lazily drop the cancelled sudog
+                continue
+            queue.popleft()
+            return sg
+        return None
+
+    def _park(self, sg: _Sudog, queue: Deque[_Sudog]) -> Generator[Any, Any, bool]:
+        """Park on the sudog; ``False`` when woken by close()."""
+
+        def on_interrupt() -> Generator[Any, Any, None]:
+            # Unlink ourselves (Go removes the sudog from the wait list);
+            # requires the lock since the deque is shared state.
+            yield from self._lock.acquire()
+            try:
+                queue.remove(sg)
+            except ValueError:
+                pass  # already popped by a resuming peer or close()
+            yield from self._lock.release()
+
+        try:
+            yield from sg.waiter.park(on_interrupt)
+            return True
+        except Interrupted:
+            cause = sg.waiter.interrupt_cause
+            if isinstance(cause, (ChannelClosedForSend, ChannelClosedForReceive)):
+                return False
+            if cause is not None:
+                raise cause from None
+            raise

@@ -1,0 +1,141 @@
+"""The fair synchronous queue of Scherer, Lea & Scott [21] (Java 6+).
+
+``java.util.concurrent.SynchronousQueue`` in fair mode: a *dual*
+Michael–Scott queue whose nodes are either **data** (waiting senders) or
+**requests** (waiting receivers).  An arriving operation either enqueues
+itself at the tail — when the queue is empty or holds its own mode — or
+*fulfills* the node at the head, resuming its waiter and advancing ``head``.
+
+This is the paper's "Java" baseline: every element costs one node
+allocation, and both enqueuing and fulfilling revolve around CAS retry
+loops on the two hot ``head``/``tail`` pointers, which is exactly why it
+degrades under contention in Figure 5.
+
+One deliberate deviation from the Java original, documented for fidelity:
+Java linearizes fulfilment/cancellation on a CAS of the node's ``item``
+field; we linearize on the waiter's own resume/interrupt CAS (the
+:class:`~repro.runtime.waiter.Waiter` state machine), which is the same
+one-CAS decision point and keeps cancellation identical across all
+implementations in this repository.  The operation and allocation counts
+per transfer are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..concurrent.cells import RefCell
+from ..concurrent.ops import Alloc, Cas, Read, Write
+from ..errors import Interrupted
+from ..runtime.waiter import Waiter
+
+__all__ = ["ScherersSyncQueue"]
+
+
+class _DualNode:
+    """One dual-queue node: a waiting sender (data) or receiver (request)."""
+
+    __slots__ = ("is_data", "item", "waiter", "next")
+
+    def __init__(self, is_data: bool, item: Any):
+        self.is_data = is_data
+        #: The element being transferred: the sender's value for data
+        #: nodes; filled in by the fulfilling sender for request nodes.
+        self.item = RefCell(item, name="slsq.item")
+        self.waiter: Optional[Waiter] = None
+        self.next = RefCell(None, name="slsq.next")
+
+
+class ScherersSyncQueue:
+    """Fair synchronous queue (rendezvous semantics only, as published)."""
+
+    def __init__(self, name: str = "java-sq"):
+        self.name = name
+        dummy = _DualNode(True, None)
+        self.head = RefCell(dummy, name=f"{name}.head")
+        self.tail = RefCell(dummy, name=f"{name}.tail")
+        self.nodes_allocated = 0
+
+    # The public API matches the channels' so benchmarks are uniform.
+
+    def send(self, element: Any) -> Generator[Any, Any, None]:
+        if element is None:
+            raise ValueError("SynchronousQueue cannot carry None")
+        yield from self._transfer(True, element)
+
+    def receive(self) -> Generator[Any, Any, Any]:
+        return (yield from self._transfer(False, None))
+
+    # ------------------------------------------------------------------
+
+    def _transfer(self, is_data: bool, element: Any) -> Generator[Any, Any, Any]:
+        node: Optional[_DualNode] = None
+        while True:
+            head: _DualNode = yield Read(self.head)
+            tail: _DualNode = yield Read(self.tail)
+            if head is tail or tail.is_data == is_data:
+                # Empty, or the queue holds our own mode: enqueue and wait.
+                nxt = yield Read(tail.next)
+                if nxt is not None:
+                    yield Cas(self.tail, tail, nxt)  # help lagging tail
+                    continue
+                if node is None:
+                    node = _DualNode(is_data, element)
+                    yield Alloc("dual-node")
+                    self.nodes_allocated += 1
+                    w = yield from Waiter.make()
+                    node.waiter = w
+                ok = yield Cas(tail.next, None, node)
+                if not ok:
+                    continue
+                yield Cas(self.tail, tail, node)
+                yield from self._await_fulfilment(node, tail)
+                if is_data:
+                    return None
+                return (yield Read(node.item))
+            # Opposite mode at the head: fulfill the oldest waiter.
+            nxt = yield Read(head.next)
+            if nxt is None or head is not (yield Read(self.head)):
+                continue  # inconsistent snapshot
+            assert nxt.waiter is not None
+            if is_data:
+                # Sender fulfilling a request node: publish the element
+                # with a CAS so racing fulfillers cannot clobber each
+                # other, *then* resume the receiver.
+                ok = yield Cas(nxt.item, None, element)
+                if not ok:
+                    yield Cas(self.head, head, nxt)  # node already taken
+                    continue
+                resumed = yield from nxt.waiter.try_unpark()
+                if resumed:
+                    yield Cas(self.head, head, nxt)  # nxt becomes the dummy
+                    return None
+                yield Write(nxt.item, None)  # cancelled: take it back
+                yield Cas(self.head, head, nxt)
+                continue
+            # Receiver fulfilling a data node: the element is only read,
+            # so the waiter CAS alone arbitrates racing receivers.
+            value_back = yield Read(nxt.item)
+            resumed = yield from nxt.waiter.try_unpark()
+            if resumed:
+                yield Write(nxt.item, None)  # avoid retention
+                yield Cas(self.head, head, nxt)
+                return value_back
+            yield Cas(self.head, head, nxt)  # cancelled: skip the node
+
+    def _await_fulfilment(self, node: _DualNode, pred: _DualNode) -> Generator[Any, Any, None]:
+        """Park on the node's waiter; on cancellation the node stays in the
+        list and is lazily skipped by fulfillers (as in Java)."""
+
+        def on_interrupt() -> Generator[Any, Any, None]:
+            # Java CASes item -> this-node; the waiter CAS already decided
+            # for us, so only the element reference needs clearing.
+            yield Write(node.item, None)
+
+        assert node.waiter is not None
+        try:
+            yield from node.waiter.park(on_interrupt)
+        except Interrupted:
+            if node.waiter.interrupt_cause is not None:
+                raise node.waiter.interrupt_cause from None
+            raise

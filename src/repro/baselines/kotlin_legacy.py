@@ -1,0 +1,432 @@
+"""Behavioural model of the legacy Kotlin Coroutines channel [3].
+
+The channel implementation the paper *replaced* in ``kotlinx.coroutines``
+(≤ 1.6): the waiting queue is a lock-free doubly-linked list in the style
+of Sundell & Tsigas [24], made atomic with operation *descriptors* [10] —
+"exceptionally complex and shows significant overheads" (§6) — while the
+buffered variant additionally protects its pre-allocated ring buffer with
+a **coarse-grained lock**.
+
+We model the performance-relevant structure rather than the full
+descriptor machinery (documented substitution; see EXPERIMENTS.md):
+
+* every waiting-queue operation allocates a node *and* a descriptor and
+  performs extra CAS work (the ``AddLastDesc``/``RemoveFirstDesc`` helping
+  protocol costs ~3 CASes per queue update against the MS queue's 2);
+* the buffered fast path takes a global lock around the ring buffer, with
+  the waiter queue manipulated under that same lock (as the legacy
+  ``ArrayChannel`` did);
+* the rendezvous fast path is lock-free, like the original
+  ``RendezvousChannel`` built on the doubly-linked list.
+
+The allocation counts reproduce the paper's memory-usage observation: the
+legacy Kotlin *rendezvous* channel allocates the most per operation
+(node + descriptor), while the legacy *buffered* channel allocates the
+least (the ring buffer is pre-allocated; waiters appear only when the
+buffer is empty/full).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from ..concurrent.cells import RefCell
+from ..concurrent.ops import Alloc, Cas, Read, Write
+from ..errors import ChannelClosedForReceive, ChannelClosedForSend, Interrupted
+from ..runtime.waiter import INTERRUPTED as _W_INTERRUPTED
+from ..runtime.waiter import Waiter
+from ..sim.sync import SimMutex
+
+__all__ = ["KotlinLegacyChannel"]
+
+
+class _LLNode:
+    """Doubly-linked-list node holding one waiter (prev kept lazily)."""
+
+    __slots__ = ("waiter", "box", "is_sender", "next", "prev")
+
+    def __init__(self, waiter: Waiter, element: Any, is_sender: bool):
+        self.waiter = waiter
+        self.box = RefCell(element, name="klc.box")
+        self.is_sender = is_sender
+        self.next = RefCell(None, name="klc.next")
+        self.prev = RefCell(None, name="klc.prev")
+
+
+class _SundellTsigasModel:
+    """Cost model of the descriptor-based doubly-linked waiter deque.
+
+    Structurally an MS queue (correctness is carried by the simple
+    head/tail CAS protocol); each mutation additionally allocates a
+    descriptor and performs one extra helping CAS on the ``prev``
+    pointer, reproducing the legacy implementation's overhead profile.
+    """
+
+    def __init__(self, name: str):
+        dummy = _LLNode(None, None, True)  # type: ignore[arg-type]
+        self.head = RefCell(dummy, name=f"{name}.head")
+        self.tail = RefCell(dummy, name=f"{name}.tail")
+        self.nodes_allocated = 0
+
+    def add_last(self, node: _LLNode) -> Generator[Any, Any, None]:
+        yield Alloc("ll-node")
+        yield Alloc("descriptor")
+        self.nodes_allocated += 1
+        while True:
+            tail: _LLNode = yield Read(self.tail)
+            nxt = yield Read(tail.next)
+            if nxt is not None:
+                yield Cas(self.tail, tail, nxt)
+                continue
+            ok = yield Cas(tail.next, None, node)
+            if ok:
+                yield Cas(self.tail, tail, node)
+                # The lazy prev maintenance of Sundell–Tsigas.
+                yield Cas(node.prev, None, tail)
+                return
+
+    def remove_first(self) -> Generator[Any, Any, Optional[_LLNode]]:
+        yield Alloc("descriptor")
+        while True:
+            head: _LLNode = yield Read(self.head)
+            tail: _LLNode = yield Read(self.tail)
+            nxt: Optional[_LLNode] = yield Read(head.next)
+            if nxt is None:
+                return None
+            if head is tail:
+                yield Cas(self.tail, tail, nxt)
+                continue
+            ok = yield Cas(self.head, head, nxt)
+            if ok:
+                yield Cas(nxt.prev, head, None)  # helping CAS on prev
+                return nxt
+
+    def first_is_sender(self) -> Generator[Any, Any, Optional[bool]]:
+        head: _LLNode = yield Read(self.head)
+        nxt: Optional[_LLNode] = yield Read(head.next)
+        if nxt is None:
+            return None
+        return nxt.is_sender
+
+
+class KotlinLegacyChannel:
+    """Legacy ``kotlinx.coroutines`` channel model (rendezvous or buffered)."""
+
+    def __init__(self, capacity: int = 0, name: str = "kotlin-legacy"):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self.name = name
+        self._queue = _SundellTsigasModel(f"{name}.q")
+        self._closed = RefCell(False, name=f"{name}.closed")
+        if capacity > 0:
+            # The pre-allocated ring buffer and its coarse lock.
+            self._lock: Optional[SimMutex] = SimMutex(f"{name}.lock")
+            self._buf: Deque[Any] = deque()
+        else:
+            self._lock = None
+            self._buf = deque()
+
+    # ------------------------------------------------------------------
+    # Rendezvous fast path (lock-free waiter deque)
+    # ------------------------------------------------------------------
+
+    def send(self, element: Any) -> Generator[Any, Any, None]:
+        if element is None:
+            raise ValueError("channel cannot carry None")
+        if self._lock is not None:
+            yield from self._send_buffered(element)
+            return
+        yield from self._transfer_rendezvous(True, element)
+
+    def receive(self) -> Generator[Any, Any, Any]:
+        if self._lock is not None:
+            return (yield from self._receive_buffered())
+        return (yield from self._transfer_rendezvous(False, None))
+
+    def _transfer_rendezvous(self, is_sender: bool, element: Any) -> Generator[Any, Any, Any]:
+        """Dual-queue transfer over the waiter deque.
+
+        The "enqueue myself" vs. "fulfill the oldest opposite waiter"
+        decision is validated by the tail-append CAS (a dual queue never
+        mixes modes), as in the legacy implementation's descriptor-based
+        ``sendOrEnqueue``.  Each queue mutation pays the descriptor
+        allocation and the lazy ``prev`` helping CAS on top of the base
+        MS-queue work.
+        """
+
+        q = self._queue
+        node: Optional[_LLNode] = None
+        while True:
+            closed = yield Read(self._closed)
+            if closed:
+                if is_sender:
+                    raise ChannelClosedForSend()
+                first = yield from q.first_is_sender()
+                if first is not True:
+                    raise ChannelClosedForReceive()
+                # fall through: drain the remaining suspended senders
+            head: _LLNode = yield Read(q.head)
+            tail: _LLNode = yield Read(q.tail)
+            if head is tail or tail.is_sender == is_sender:
+                # Empty, or our own mode queued: append ourselves.  The
+                # CAS on tail.next re-validates the decision.
+                nxt = yield Read(tail.next)
+                if nxt is not None:
+                    yield Cas(q.tail, tail, nxt)
+                    continue
+                if node is None:
+                    w = yield from Waiter.make()
+                    node = _LLNode(w, element, is_sender=is_sender)
+                    yield Alloc("ll-node")
+                    yield Alloc("descriptor")
+                    q.nodes_allocated += 1
+                ok = yield Cas(tail.next, None, node)
+                if not ok:
+                    continue
+                yield Cas(q.tail, tail, node)
+                yield Cas(node.prev, None, tail)  # lazy prev maintenance
+                yield from self._park(node)
+                if is_sender:
+                    return None
+                return (yield Read(node.box))
+            # Opposite mode at the head: fulfill the oldest waiter.
+            nxt = yield Read(head.next)
+            if nxt is None or head is not (yield Read(q.head)):
+                continue
+            yield Alloc("descriptor")  # RemoveFirstDesc
+            if is_sender:
+                ok = yield Cas(nxt.box, None, element)
+                if not ok:
+                    yield Cas(q.head, head, nxt)
+                    continue
+                resumed = yield from nxt.waiter.try_unpark()
+                if resumed:
+                    yield Cas(q.head, head, nxt)
+                    yield Cas(nxt.prev, head, None)
+                    return None
+                yield Write(nxt.box, None)
+                yield Cas(q.head, head, nxt)
+                continue
+            value = yield Read(nxt.box)
+            resumed = yield from nxt.waiter.try_unpark()
+            if resumed:
+                yield Write(nxt.box, None)
+                yield Cas(q.head, head, nxt)
+                yield Cas(nxt.prev, head, None)
+                return value
+            yield Cas(q.head, head, nxt)
+
+    # ------------------------------------------------------------------
+    # Buffered path (coarse lock, as in the legacy ArrayChannel)
+    # ------------------------------------------------------------------
+
+    def _send_buffered(self, element: Any) -> Generator[Any, Any, None]:
+        assert self._lock is not None
+        while True:
+            yield from self._lock.acquire()
+            closed = yield Read(self._closed)
+            if closed:
+                yield from self._lock.release()
+                raise ChannelClosedForSend()
+            # Resume a waiting receiver directly, if any.
+            first = yield from self._queue.first_is_sender()
+            if first is False:
+                node = yield from self._queue.remove_first()
+                if node is not None and not node.is_sender:
+                    yield Write(node.box, element)
+                    resumed = yield from node.waiter.try_unpark()
+                    if resumed:
+                        yield from self._lock.release()
+                        return
+                yield from self._lock.release()
+                continue
+            if len(self._buf) < self.capacity:
+                self._buf.append(element)
+                yield from self._lock.release()
+                return
+            w = yield from Waiter.make()
+            node = _LLNode(w, element, is_sender=True)
+            yield from self._queue.add_last(node)
+            yield from self._lock.release()
+            yield from self._park(node)
+            return
+
+    def _receive_buffered(self) -> Generator[Any, Any, Any]:
+        assert self._lock is not None
+        while True:
+            yield from self._lock.acquire()
+            if self._buf:
+                value = self._buf.popleft()
+                # Refill from the oldest waiting sender.
+                while True:
+                    first = yield from self._queue.first_is_sender()
+                    if first is not True:
+                        break
+                    node = yield from self._queue.remove_first()
+                    if node is None or not node.is_sender:
+                        continue
+                    moved = yield Read(node.box)
+                    resumed = yield from node.waiter.try_unpark()
+                    if resumed:
+                        self._buf.append(moved)
+                        break
+                yield from self._lock.release()
+                return value
+            first = yield from self._queue.first_is_sender()
+            if first is True:
+                node = yield from self._queue.remove_first()
+                if node is not None and node.is_sender:
+                    value = yield Read(node.box)
+                    resumed = yield from node.waiter.try_unpark()
+                    if resumed:
+                        yield from self._lock.release()
+                        return value
+                yield from self._lock.release()
+                continue
+            closed = yield Read(self._closed)
+            if closed:
+                yield from self._lock.release()
+                raise ChannelClosedForReceive()
+            w = yield from Waiter.make()
+            node = _LLNode(w, None, is_sender=False)
+            yield from self._queue.add_last(node)
+            yield from self._lock.release()
+            yield from self._park(node)
+            return (yield Read(node.box))
+
+    # ------------------------------------------------------------------
+
+    def try_send(self, element: Any) -> Generator[Any, Any, bool]:
+        """Non-blocking send (the legacy ``offer``)."""
+
+        if element is None:
+            raise ValueError("channel cannot carry None")
+        closed = yield Read(self._closed)
+        if closed:
+            raise ChannelClosedForSend()
+        if self._lock is not None:
+            yield from self._lock.acquire()
+            closed = yield Read(self._closed)
+            if closed:
+                yield from self._lock.release()
+                raise ChannelClosedForSend()
+            ok = False
+            first = yield from self._queue.first_is_sender()
+            if first is False:
+                node = yield from self._queue.remove_first()
+                if node is not None and not node.is_sender:
+                    yield Write(node.box, element)
+                    ok = yield from node.waiter.try_unpark()
+            elif len(self._buf) < self.capacity:
+                self._buf.append(element)
+                ok = True
+            yield from self._lock.release()
+            return ok
+        # Rendezvous: succeeds only against a waiting receiver.
+        q = self._queue
+        while True:
+            head: _LLNode = yield Read(q.head)
+            tail: _LLNode = yield Read(q.tail)
+            if head is tail or tail.is_sender:
+                return False
+            nxt = yield Read(head.next)
+            if nxt is None:
+                continue
+            ok = yield Cas(nxt.box, None, element)
+            if not ok:
+                yield Cas(q.head, head, nxt)
+                continue
+            resumed = yield from nxt.waiter.try_unpark()
+            if resumed:
+                yield Cas(q.head, head, nxt)
+                return True
+            yield Write(nxt.box, None)
+            yield Cas(q.head, head, nxt)
+
+    def try_receive(self) -> Generator[Any, Any, tuple[bool, Any]]:
+        """Non-blocking receive (the legacy ``poll``)."""
+
+        if self._lock is not None:
+            yield from self._lock.acquire()
+            if self._buf:
+                value = self._buf.popleft()
+                while True:
+                    first = yield from self._queue.first_is_sender()
+                    if first is not True:
+                        break
+                    node = yield from self._queue.remove_first()
+                    if node is None or not node.is_sender:
+                        continue
+                    moved = yield Read(node.box)
+                    resumed = yield from node.waiter.try_unpark()
+                    if resumed:
+                        self._buf.append(moved)
+                        break
+                yield from self._lock.release()
+                return (True, value)
+            closed = yield Read(self._closed)
+            yield from self._lock.release()
+            if closed:
+                raise ChannelClosedForReceive()
+            return (False, None)
+        q = self._queue
+        while True:
+            head: _LLNode = yield Read(q.head)
+            tail: _LLNode = yield Read(q.tail)
+            if head is tail or not tail.is_sender:
+                closed = yield Read(self._closed)
+                if closed:
+                    raise ChannelClosedForReceive()
+                return (False, None)
+            nxt = yield Read(head.next)
+            if nxt is None:
+                continue
+            value = yield Read(nxt.box)
+            resumed = yield from nxt.waiter.try_unpark()
+            if resumed:
+                yield Write(nxt.box, None)
+                yield Cas(q.head, head, nxt)
+                return (True, value)
+            yield Cas(q.head, head, nxt)
+
+    def receive_catching(self) -> Generator[Any, Any, tuple[bool, Any]]:
+        """Like :meth:`receive`, but ``(False, None)`` once closed."""
+
+        try:
+            value = yield from self.receive()
+        except ChannelClosedForReceive:
+            return (False, None)
+        return (True, value)
+
+    def close(self) -> Generator[Any, Any, bool]:
+        """Close the channel, failing queued waiters of both kinds.
+
+        (The legacy implementation enqueued a ``Closed`` token; waking
+        everyone is observationally equivalent for our workloads.)
+        """
+
+        ok = yield Cas(self._closed, False, True)
+        if not ok:
+            return False
+        while True:
+            node = yield from self._queue.remove_first()
+            if node is None:
+                return True
+            cause: Exception
+            cause = ChannelClosedForSend() if node.is_sender else ChannelClosedForReceive()
+            yield from node.waiter.interrupt(cause=cause)
+
+    def _park(self, node: _LLNode) -> Generator[Any, Any, None]:
+        def on_interrupt() -> Generator[Any, Any, None]:
+            # The legacy impl unlinks the node in O(1) via prev; we let
+            # the poppers skip it lazily but still clear the box.
+            yield Write(node.box, None)
+
+        try:
+            yield from node.waiter.park(on_interrupt)
+        except Interrupted:
+            if node.waiter.interrupt_cause is not None:
+                raise node.waiter.interrupt_cause from None
+            raise

@@ -1,0 +1,162 @@
+"""The rendezvous channel of Koval, Alistarh & Elizarov (EuroPar 2019) [16].
+
+The predecessor design the paper improves upon: a single waiting queue that,
+at any time, holds suspended operations of one kind (all senders or all
+receivers), stored in linked segments to amortize allocation.  The crucial
+structural difference from the 2023 algorithm is the *decision point*: an
+arriving operation must atomically decide "enqueue myself" vs. "resume the
+oldest opposite waiter", which requires a **CAS retry loop on one hot
+balance word** rather than an unconditional FAA — under contention, failed
+CASes burn cache-line transfers and the design degrades, which is exactly
+the separation Figure 5 shows.
+
+We model the design as a signed *balance* counter (+k ⇒ k waiting senders,
+−k ⇒ k waiting receivers) updated by CAS, with two segment-based FAA queues
+holding the actual waiters.  The balance CAS is the linearization point;
+the waiter queues are only ever popped by operations that won a matching
+balance update, so each waiter is resumed exactly once.
+
+Cancellation of suspended operations is *not* supported (the published
+algorithm's cancellation story differs substantially; the paper's
+benchmarks do not exercise cancellation on baselines).  ``send``/``receive``
+here never observe interrupts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..concurrent.cells import IntCell, RefCell
+from ..concurrent.ops import Alloc, Cas, Faa, Read, Spin, Write
+from ..runtime.waiter import Waiter
+
+__all__ = ["KovalChannel2019"]
+
+_SEG = 32
+
+
+class _WSegment:
+    __slots__ = ("id", "cells", "next")
+
+    def __init__(self, seg_id: int):
+        self.id = seg_id
+        self.cells = [RefCell(None, name=f"k19.seg{seg_id}[{i}]") for i in range(_SEG)]
+        self.next = RefCell(None, name=f"k19.seg{seg_id}.next")
+
+
+class _WaiterQueue:
+    """FIFO of (waiter, elem-box) pairs in linked segments.
+
+    Enqueue/dequeue slots are reserved by FAA; the *right* to dequeue is
+    granted externally by the channel's balance CAS, so ``pop`` always has
+    a corresponding ``push`` (it spins briefly if the pusher has reserved
+    its slot but not yet installed the waiter).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        first = _WSegment(0)
+        self._first = first  # segments are never removed; walks can restart here
+        self._head = RefCell(first, name=f"{name}.head")
+        self._tail = RefCell(first, name=f"{name}.tail")
+        self.enq = IntCell(0, name=f"{name}.enq")
+        self.deq = IntCell(0, name=f"{name}.deq")
+        self.segments_allocated = 1
+
+    def _find(self, anchor: RefCell, seg_id: int) -> Generator[Any, Any, _WSegment]:
+        cur: _WSegment = yield Read(anchor)
+        if cur.id > seg_id:
+            # A faster peer advanced the anchor past our segment; restart
+            # from the permanent first segment (never removed here).
+            cur = self._first
+        while cur.id < seg_id:
+            nxt = yield Read(cur.next)
+            if nxt is None:
+                new = _WSegment(cur.id + 1)
+                yield Alloc("segment", _SEG)
+                ok = yield Cas(cur.next, None, new)
+                if ok:
+                    self.segments_allocated += 1
+                continue
+            cur = nxt
+        cur2 = yield Read(anchor)
+        if cur2.id < cur.id:
+            yield Cas(anchor, cur2, cur)  # best-effort advance
+        return cur
+
+    def push(self, entry: Any) -> Generator[Any, Any, None]:
+        i = yield Faa(self.enq, 1)
+        seg = yield from self._find(self._tail, i // _SEG)
+        yield Write(seg.cells[i % _SEG], entry)
+
+    def pop(self) -> Generator[Any, Any, Any]:
+        i = yield Faa(self.deq, 1)
+        seg = yield from self._find(self._head, i // _SEG)
+        cell = seg.cells[i % _SEG]
+        while True:
+            entry = yield Read(cell)
+            if entry is not None:
+                yield Write(cell, None)  # release for GC
+                return entry
+            yield Spin("k19-pop-wait")  # pusher reserved but not installed
+
+
+class KovalChannel2019:
+    """Rendezvous channel with a CAS-balanced dual waiter queue."""
+
+    def __init__(self, name: str = "koval-2019"):
+        self.name = name
+        #: +k ⇒ k waiting senders; −k ⇒ k waiting receivers.
+        self.balance = IntCell(0, name=f"{name}.balance")
+        self._senders = _WaiterQueue(f"{name}.sq")
+        self._receivers = _WaiterQueue(f"{name}.rq")
+
+    @property
+    def capacity(self) -> int:
+        return 0
+
+    def send(self, element: Any) -> Generator[Any, Any, None]:
+        if element is None:
+            raise ValueError("channel cannot carry None")
+        while True:
+            b = yield Read(self.balance)
+            if b >= 0:
+                # No waiting receiver: suspend.
+                ok = yield Cas(self.balance, b, b + 1)
+                if not ok:
+                    continue
+                w = yield from Waiter.make()
+                box = RefCell(element, name="k19.box")
+                yield from self._senders.push((w, box))
+                yield from w.park()
+                return
+            # Waiting receivers exist: claim one.
+            ok = yield Cas(self.balance, b, b + 1)
+            if not ok:
+                continue
+            w, box = yield from self._receivers.pop()
+            yield Write(box, element)
+            resumed = yield from w.try_unpark()
+            assert resumed, "cancellation is unsupported in this baseline"
+            return
+
+    def receive(self) -> Generator[Any, Any, Any]:
+        while True:
+            b = yield Read(self.balance)
+            if b <= 0:
+                ok = yield Cas(self.balance, b, b - 1)
+                if not ok:
+                    continue
+                w = yield from Waiter.make()
+                box = RefCell(None, name="k19.box")
+                yield from self._receivers.push((w, box))
+                yield from w.park()
+                return (yield Read(box))
+            ok = yield Cas(self.balance, b, b - 1)
+            if not ok:
+                continue
+            w, box = yield from self._senders.pop()
+            value = yield Read(box)
+            resumed = yield from w.try_unpark()
+            assert resumed, "cancellation is unsupported in this baseline"
+            return value

@@ -1,0 +1,112 @@
+"""The MPDQ synchronous queue of Izraelevitz & Scott [14] (modelled).
+
+MPDQ reserves cells with per-mode FAA counters like the paper's channel,
+but — and this is the behaviour Appendix D isolates — an operation that
+finds its reserved cell EMPTY **always suspends**, without comparing the
+``S``/``R`` counters.  There is no cell poisoning: the party that arrives
+second performs the rendezvous, whichever mode it has.
+
+This is a *behavioural model* focused on the suspension policy: the real
+MPDQ is a circular-buffer LCRQ derivative needing double-width CAS
+(unavailable in most managed languages, §6); we keep the paper's infinite
+array so the two designs differ in exactly the property under test.
+
+The consequence (Appendix D): an operation can suspend even though a
+matching operation of the opposite kind has already *completed its
+registration* and is parked in a later cell — the forbidden execution that
+motivates the channel's BROKEN state.  ``tests/test_appendix_d.py`` drives
+the paper's three-thread interleaving against both implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..concurrent.cells import IntCell
+from ..concurrent.ops import Cas, Faa, Read, Write
+from ..core.plain_array import PlainInfiniteArray
+from ..core.states import DONE, ReceiverWaiter, SenderWaiter
+from ..errors import Interrupted
+
+__all__ = ["MPDQSyncQueue"]
+
+
+class MPDQSyncQueue:
+    """Rendezvous queue that always suspends on an EMPTY cell."""
+
+    def __init__(self, name: str = "mpdq"):
+        self.name = name
+        self.S = IntCell(0, name=f"{name}.S")
+        self.R = IntCell(0, name=f"{name}.R")
+        self.A = PlainInfiniteArray(f"{name}.A")
+
+    @property
+    def capacity(self) -> int:
+        return 0
+
+    def send(self, element: Any) -> Generator[Any, Any, None]:
+        if element is None:
+            raise ValueError("queue cannot carry None")
+        while True:
+            s = yield Faa(self.S, 1)
+            state_cell = self.A.state_cell(s)
+            elem_cell = self.A.elem_cell(s)
+            yield Write(elem_cell, element)
+            while True:
+                state = yield Read(state_cell)
+                if state is None:
+                    # MPDQ policy: suspend unconditionally — no check of
+                    # the R counter, no elimination, no poisoning.
+                    w = yield from SenderWaiter.make()
+                    ok = yield Cas(state_cell, None, w)
+                    if ok:
+                        yield from self._park(w, state_cell, elem_cell)
+                        return
+                    continue
+                if isinstance(state, ReceiverWaiter):
+                    ok = yield from state.try_unpark()
+                    if ok:
+                        yield Write(state_cell, DONE)
+                        return
+                    yield Write(elem_cell, None)
+                    break  # cancelled receiver; take a fresh cell
+                yield Write(elem_cell, None)
+                break  # INTERRUPTED-like leftover; take a fresh cell
+
+    def receive(self) -> Generator[Any, Any, Any]:
+        while True:
+            r = yield Faa(self.R, 1)
+            state_cell = self.A.state_cell(r)
+            elem_cell = self.A.elem_cell(r)
+            while True:
+                state = yield Read(state_cell)
+                if state is None:
+                    w = yield from ReceiverWaiter.make()
+                    ok = yield Cas(state_cell, None, w)
+                    if ok:
+                        yield from self._park(w, state_cell, elem_cell)
+                        value = yield Read(elem_cell)
+                        yield Write(elem_cell, None)
+                        return value
+                    continue
+                if isinstance(state, SenderWaiter):
+                    ok = yield from state.try_unpark()
+                    if ok:
+                        yield Write(state_cell, DONE)
+                        value = yield Read(elem_cell)
+                        yield Write(elem_cell, None)
+                        return value
+                    break  # cancelled sender; take a fresh cell
+                break
+
+    def _park(self, w: Any, state_cell: Any, elem_cell: Any) -> Generator[Any, Any, None]:
+        def on_interrupt() -> Generator[Any, Any, None]:
+            yield Write(elem_cell, None)
+            yield Cas(state_cell, w, None)  # leave the cell reusable-ish
+
+        try:
+            yield from w.park(on_interrupt)
+        except Interrupted:
+            if w.interrupt_cause is not None:
+                raise w.interrupt_cause from None
+            raise

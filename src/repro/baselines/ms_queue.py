@@ -1,0 +1,97 @@
+"""Michael–Scott non-blocking queue [18] (building block for baselines).
+
+The classic two-lock-free queue: a singly linked list with ``head``/``tail``
+pointers advanced by CAS, one node allocated per element, helping on the
+lagging tail.  The Java synchronous queue of Scherer–Lea–Scott builds
+directly on this structure, and the paper positions its own infinite-array
+design as the modern replacement for it — so the cost profile here (a CAS
+*retry loop* on a single hot tail pointer plus one allocation per element)
+is the contrast class for the FAA channel's unconditional counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..concurrent.cells import RefCell
+from ..concurrent.ops import Alloc, Cas, Read, Write
+
+__all__ = ["MSQueue", "MSNode"]
+
+
+class MSNode:
+    """One linked-list node; ``value is None`` marks the dummy."""
+
+    __slots__ = ("value", "next")
+
+    def __init__(self, value: Any):
+        self.value: RefCell = RefCell(value, name="ms.value")
+        self.next: RefCell = RefCell(None, name="ms.next")
+
+
+class MSQueue:
+    """Michael–Scott queue over the op protocol.
+
+    ``dequeue`` returns ``None`` on an empty queue (elements must not be
+    ``None``, as everywhere in this library).
+    """
+
+    def __init__(self, name: str = "msq"):
+        self.name = name
+        dummy = MSNode(None)
+        self.head = RefCell(dummy, name=f"{name}.head")
+        self.tail = RefCell(dummy, name=f"{name}.tail")
+        #: Allocation statistic (nodes ever created, dummy excluded).
+        self.nodes_allocated = 0
+
+    def enqueue(self, value: Any) -> Generator[Any, Any, None]:
+        """Append ``value``; lock-free."""
+
+        if value is None:
+            raise ValueError("MSQueue cannot carry None")
+        node = MSNode(value)
+        yield Alloc("ms-node")
+        self.nodes_allocated += 1
+        while True:
+            tail: MSNode = yield Read(self.tail)
+            nxt = yield Read(tail.next)
+            if nxt is not None:
+                # Help the lagging tail forward and retry.
+                yield Cas(self.tail, tail, nxt)
+                continue
+            ok = yield Cas(tail.next, None, node)
+            if ok:
+                yield Cas(self.tail, tail, node)
+                return
+
+    def dequeue(self) -> Generator[Any, Any, Optional[Any]]:
+        """Pop the oldest element, or ``None`` when empty; lock-free."""
+
+        while True:
+            head: MSNode = yield Read(self.head)
+            tail: MSNode = yield Read(self.tail)
+            nxt: Optional[MSNode] = yield Read(head.next)
+            if nxt is None:
+                return None  # empty
+            if head is tail:
+                yield Cas(self.tail, tail, nxt)  # help
+                continue
+            value = yield Read(nxt.value)
+            ok = yield Cas(self.head, head, nxt)
+            if ok:
+                # The old dummy is garbage; the new head keeps its value
+                # slot only until overwritten (mirror the Java idiom of
+                # nulling it to avoid retention).
+                yield Write(nxt.value, value)
+                return value
+
+    def is_empty(self) -> Generator[Any, Any, bool]:
+        head: MSNode = yield Read(self.head)
+        nxt = yield Read(head.next)
+        return nxt is None
+
+    def peek_py(self) -> Optional[Any]:
+        """Non-simulated snapshot of the front element (tests only)."""
+
+        nxt = self.head.value.next.value
+        return None if nxt is None else nxt.value.value

@@ -1,0 +1,37 @@
+"""Benchmark harness reproducing the paper's evaluation (§5)."""
+
+from .harness import (
+    DEFAULT_THREAD_COUNTS,
+    IMPLEMENTATIONS,
+    BenchResult,
+    default_elements,
+    make_impl,
+    run_producer_consumer,
+    sweep,
+)
+from .memstats import AllocReport, AllocStats, measure_alloc_rate
+from .report import format_panel, format_series, speedup_at
+from .stats import PoisonReport, measure_poisoning
+from .workload import GeometricWork, consumer_task, producer_task, split_evenly
+
+__all__ = [
+    "BenchResult",
+    "IMPLEMENTATIONS",
+    "DEFAULT_THREAD_COUNTS",
+    "make_impl",
+    "run_producer_consumer",
+    "sweep",
+    "default_elements",
+    "GeometricWork",
+    "producer_task",
+    "consumer_task",
+    "split_evenly",
+    "format_panel",
+    "format_series",
+    "speedup_at",
+    "AllocStats",
+    "AllocReport",
+    "measure_alloc_rate",
+    "PoisonReport",
+    "measure_poisoning",
+]

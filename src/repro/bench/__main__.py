@@ -1,0 +1,126 @@
+"""Command-line evaluation runner: ``python -m repro.bench``.
+
+Regenerates the paper's evaluation artefacts without pytest::
+
+    python -m repro.bench fig5 --capacity 0 --elements 10000
+    python -m repro.bench fig5 --capacity 64 --coroutines 1000
+    python -m repro.bench poisoning
+    python -m repro.bench memory
+    python -m repro.bench ablate-segsize
+    python -m repro.bench ablate-capacity
+    python -m repro.bench all
+
+Tables print to stdout; `--elements` trades time for fidelity (the paper
+transferred 10^6 elements; the shape is stable from ~10^4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .harness import DEFAULT_THREAD_COUNTS, run_producer_consumer, sweep
+from .memstats import measure_alloc_rate
+from .report import format_panel, speedup_at
+from .stats import measure_poisoning
+
+RENDEZVOUS_IMPLS = ["faa-channel", "java-sync-queue", "koval-2019", "go-channel", "kotlin-legacy"]
+BUFFERED_IMPLS = ["faa-channel", "faa-channel-eb", "go-channel", "kotlin-legacy"]
+
+
+def cmd_fig5(args: argparse.Namespace) -> None:
+    impls = RENDEZVOUS_IMPLS if args.capacity == 0 else BUFFERED_IMPLS
+    results = sweep(
+        impls,
+        tuple(args.threads),
+        capacity=args.capacity,
+        coroutines=args.coroutines,
+        elements=args.elements,
+        work_mean=args.work,
+        seed=args.seed,
+    )
+    coroutines = f"{args.coroutines} coroutines" if args.coroutines else "#coroutines = #threads"
+    print(format_panel(results, f"Figure 5 — capacity {args.capacity}, {coroutines}, {args.elements} elems"))
+    hi = max(args.threads)
+    base = "faa-channel"
+    for other in impls:
+        if other != base:
+            print(f"  speedup over {other} at t={hi}: {speedup_at(results, base, other, hi):.2f}x")
+
+
+def cmd_poisoning(args: argparse.Namespace) -> None:
+    print("Cell poisoning (BROKEN cells / reserved cells)")
+    for threads in args.threads:
+        for work in (0, args.work):
+            report = measure_poisoning(threads=threads, elements=args.elements, work_mean=work)
+            print(report.row())
+
+
+def cmd_memory(args: argparse.Namespace) -> None:
+    print("Allocation pressure (cells allocated per element)")
+    for threads, label in ((2, "low contention"), (64, "high contention")):
+        for impl in ("faa-channel", "koval-2019", "java-sync-queue", "kotlin-legacy"):
+            print(f"[{label:16s}]", measure_alloc_rate(impl, 0, threads, args.elements).row())
+    for impl in ("faa-channel", "go-channel", "kotlin-legacy"):
+        print(f"[{'buffered(64)':16s}]", measure_alloc_rate(impl, 64, 8, args.elements).row())
+
+
+def cmd_ablate_segsize(args: argparse.Namespace) -> None:
+    from repro.core import RendezvousChannel
+
+    print("Segment-size ablation (rendezvous, t=16)")
+    for size in (1, 2, 4, 8, 16, 32, 64, 128):
+        ch = RendezvousChannel(seg_size=size)
+        res = run_producer_consumer(
+            "faa-channel", threads=16, capacity=0, elements=args.elements, channel=ch
+        )
+        print(f"  K={size:<4d} thr={res.throughput:10.1f} elems/Mcycle  "
+              f"segments={ch._list.segments_allocated}")
+
+
+def cmd_ablate_capacity(args: argparse.Namespace) -> None:
+    print("Buffer-capacity ablation (t=16)")
+    for cap in (1, 4, 16, 64, 256):
+        res = run_producer_consumer("faa-channel", threads=16, capacity=cap, elements=args.elements)
+        print(f"  C={cap:<4d} thr={res.throughput:10.1f} elems/Mcycle")
+
+
+COMMANDS = {
+    "fig5": cmd_fig5,
+    "poisoning": cmd_poisoning,
+    "memory": cmd_memory,
+    "ablate-segsize": cmd_ablate_segsize,
+    "ablate-capacity": cmd_ablate_capacity,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation artefacts (§5).",
+    )
+    parser.add_argument("command", choices=[*COMMANDS, "all"])
+    parser.add_argument("--capacity", type=int, default=0, help="buffer capacity (0 = rendezvous)")
+    parser.add_argument("--coroutines", type=int, default=None, help="fixed coroutine count (default: = threads)")
+    parser.add_argument("--elements", type=int, default=10_000)
+    parser.add_argument("--work", type=int, default=100, help="mean between-op work cycles")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--threads",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_THREAD_COUNTS),
+        help="thread counts to sweep",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "all":
+        for name, fn in COMMANDS.items():
+            print(f"\n=== {name} ===")
+            fn(args)
+    else:
+        COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

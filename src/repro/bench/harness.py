@@ -1,0 +1,189 @@
+"""Benchmark harness: runs the §5 workload on the simulated multicore.
+
+One :func:`run_producer_consumer` call reproduces one point of Figure 5:
+a channel implementation, a thread count, a coroutine count (equal to the
+thread count, or fixed at 1000), a buffer capacity, and the number of
+elements to transfer.  Throughput is reported in **elements per million
+simulated cycles** — not comparable to the paper's absolute numbers (their
+x-axis is a 128-way Xeon wall clock), but directly comparable *between
+implementations*, which is what the figure's shape claims are about.
+
+The implementation registry maps the paper's Figure 5 series to our
+modules; rendezvous-only algorithms reject ``capacity > 0`` exactly like
+their originals.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..baselines import (
+    GoChannel,
+    KotlinLegacyChannel,
+    KovalChannel2019,
+    ScherersSyncQueue,
+)
+from ..core import BufferedChannel, BufferedChannelEB, RendezvousChannel
+from ..sim.costmodel import CostModel, CostParams
+from ..sim.scheduler import DesPolicy, Scheduler
+from .workload import GeometricWork, consumer_task, producer_task, split_evenly
+
+__all__ = [
+    "BenchResult",
+    "IMPLEMENTATIONS",
+    "make_impl",
+    "run_producer_consumer",
+    "sweep",
+    "default_elements",
+    "DEFAULT_THREAD_COUNTS",
+]
+
+#: The paper sweeps up to 128 hardware threads (4 × 16 cores × 2 SMT).
+DEFAULT_THREAD_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+#: Figure 5 series -> (factory(capacity), supports_buffering).
+IMPLEMENTATIONS: dict[str, tuple[Callable[[int], Any], bool]] = {
+    # The paper's contribution (this work).
+    "faa-channel": (lambda c: RendezvousChannel() if c == 0 else BufferedChannel(c), True),
+    # Appendix A production variant (what kotlinx actually ships).
+    "faa-channel-eb": (lambda c: BufferedChannelEB(c), True),
+    # "Java" series: SynchronousQueue of Scherer-Lea-Scott (rendezvous only).
+    "java-sync-queue": (lambda c: ScherersSyncQueue(), False),
+    # "Koval et al. 2019" series (rendezvous only).
+    "koval-2019": (lambda c: KovalChannel2019(), False),
+    # Go's coarse-lock channel.
+    "go-channel": (lambda c: GoChannel(c), True),
+    # The Kotlin channel the paper replaced.
+    "kotlin-legacy": (lambda c: KotlinLegacyChannel(c), True),
+}
+
+
+def make_impl(name: str, capacity: int) -> Any:
+    """Instantiate a registered implementation at the given capacity."""
+
+    factory, supports_buffering = IMPLEMENTATIONS[name]
+    if capacity > 0 and not supports_buffering:
+        raise ValueError(f"{name} is a rendezvous-only algorithm (capacity 0)")
+    return factory(capacity)
+
+
+def default_elements() -> int:
+    """Elements per run: 10^4 by default; the paper used 10^6.
+
+    Override with ``REPRO_BENCH_ELEMS`` to trade time for fidelity (the
+    shape is stable from ~10^4 up; see EXPERIMENTS.md).
+    """
+
+    return int(os.environ.get("REPRO_BENCH_ELEMS", "10000"))
+
+
+@dataclass
+class BenchResult:
+    """One Figure 5 data point."""
+
+    impl: str
+    threads: int
+    coroutines: int
+    capacity: int
+    elements: int
+    makespan: int
+    steps: int
+    #: Elements transferred per million simulated cycles (higher = better).
+    throughput: float
+    channel_stats: dict[str, Any] = field(default_factory=dict)
+
+    def row(self) -> str:
+        return (
+            f"{self.impl:18s} t={self.threads:<4d} cor={self.coroutines:<5d} "
+            f"C={self.capacity:<3d} elems={self.elements:<8d} "
+            f"thr={self.throughput:10.2f} elems/Mcycle"
+        )
+
+
+def run_producer_consumer(
+    impl: str,
+    threads: int,
+    capacity: int = 0,
+    coroutines: Optional[int] = None,
+    elements: Optional[int] = None,
+    work_mean: int = 100,
+    seed: int = 0,
+    cost_params: Optional[CostParams] = None,
+    channel: Any = None,
+) -> BenchResult:
+    """Run one benchmark configuration and return its data point.
+
+    ``coroutines`` defaults to ``threads`` (the "#coroutines = #threads"
+    panels); pass 1000 for the fixed-coroutines panels.  Producer and
+    consumer counts are equal (``coroutines`` is rounded up to even).
+    """
+
+    elements = elements if elements is not None else default_elements()
+    coroutines = coroutines if coroutines is not None else threads
+    coroutines = max(2, coroutines)
+    if coroutines % 2:
+        coroutines += 1
+    pairs = coroutines // 2
+    chan = channel if channel is not None else make_impl(impl, capacity)
+
+    sched = Scheduler(
+        policy=DesPolicy(),
+        cost_model=CostModel(cost_params),
+        processors=threads,
+    )
+    per_producer = split_evenly(elements, pairs)
+    per_consumer = split_evenly(elements, pairs)
+    for p in range(pairs):
+        work = GeometricWork(work_mean, seed=seed * 7919 + p * 2 + 1)
+        sched.spawn(producer_task(chan, p, per_producer[p], work), f"prod-{p}")
+    for c in range(pairs):
+        work = GeometricWork(work_mean, seed=seed * 7919 + c * 2 + 2)
+        sched.spawn(consumer_task(chan, per_consumer[c], work), f"cons-{c}")
+    sched.run()
+
+    makespan = sched.makespan
+    throughput = elements / makespan * 1_000_000 if makespan else float("inf")
+    stats = chan.stats.snapshot() if hasattr(chan, "stats") else {}
+    return BenchResult(
+        impl=impl,
+        threads=threads,
+        coroutines=coroutines,
+        capacity=capacity,
+        elements=elements,
+        makespan=makespan,
+        steps=sched.total_steps,
+        throughput=throughput,
+        channel_stats=stats,
+    )
+
+
+def sweep(
+    impls: list[str],
+    thread_counts: tuple[int, ...] = DEFAULT_THREAD_COUNTS,
+    capacity: int = 0,
+    coroutines: Optional[int] = None,
+    elements: Optional[int] = None,
+    work_mean: int = 100,
+    seed: int = 0,
+    cost_params: Optional[CostParams] = None,
+) -> list[BenchResult]:
+    """One Figure 5 panel: every implementation at every thread count."""
+
+    results = []
+    for impl in impls:
+        for threads in thread_counts:
+            results.append(
+                run_producer_consumer(
+                    impl,
+                    threads,
+                    capacity=capacity,
+                    coroutines=coroutines,
+                    elements=elements,
+                    work_mean=work_mean,
+                    seed=seed,
+                    cost_params=cost_params,
+                )
+            )
+    return results

@@ -1,0 +1,112 @@
+"""Per-operation latency distributions (extension experiment).
+
+The paper reports throughput only; operation *latency* is the natural
+companion metric for a synchronization primitive (how long does one
+``send``/``receive`` take, including suspension time?).  The collector
+wraps the workload tasks, timestamps each operation in simulated cycles,
+and reports percentiles — the shape to expect: FAA channels keep a tight
+distribution dominated by parking costs; lock-based channels develop a
+heavy tail at high thread counts (queueing for the critical section).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..concurrent.ops import Work
+from ..sim.costmodel import CostModel, CostParams
+from ..sim.scheduler import DesPolicy, Scheduler
+from .harness import make_impl
+from .workload import GeometricWork, split_evenly
+
+__all__ = ["LatencyReport", "measure_latency"]
+
+
+def _percentile(sorted_values: list[int], q: float) -> int:
+    if not sorted_values:
+        return 0
+    idx = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[idx]
+
+
+@dataclass
+class LatencyReport:
+    """Latency distribution of one run, in simulated cycles."""
+
+    impl: str
+    threads: int
+    capacity: int
+    send_latencies: list[int] = field(default_factory=list)
+    rcv_latencies: list[int] = field(default_factory=list)
+
+    def percentiles(self, kind: str = "send") -> dict[str, int]:
+        values = sorted(self.send_latencies if kind == "send" else self.rcv_latencies)
+        return {
+            "p50": _percentile(values, 0.50),
+            "p90": _percentile(values, 0.90),
+            "p99": _percentile(values, 0.99),
+            "max": values[-1] if values else 0,
+        }
+
+    def row(self, kind: str = "send") -> str:
+        p = self.percentiles(kind)
+        return (
+            f"{self.impl:18s} t={self.threads:<4d} C={self.capacity:<3d} {kind:4s} "
+            f"p50={p['p50']:<8d} p90={p['p90']:<8d} p99={p['p99']:<8d} max={p['max']}"
+        )
+
+
+def measure_latency(
+    impl: str,
+    threads: int,
+    capacity: int = 0,
+    elements: int = 2000,
+    work_mean: int = 100,
+    seed: int = 0,
+    cost_params: Optional[CostParams] = None,
+) -> LatencyReport:
+    """Run the producer-consumer workload recording per-op latencies."""
+
+    chan = make_impl(impl, capacity)
+    report = LatencyReport(impl=impl, threads=threads, capacity=capacity)
+    coroutines = max(2, threads)
+    if coroutines % 2:
+        coroutines += 1
+    pairs = coroutines // 2
+    sched = Scheduler(policy=DesPolicy(), cost_model=CostModel(cost_params), processors=threads)
+
+    def producer(pid: int, count: int, work: GeometricWork) -> Generator[Any, Any, None]:
+        task = None
+        for i in range(count):
+            cycles = work.sample()
+            if cycles:
+                yield Work(cycles)
+            if task is None:
+                from ..concurrent.ops import CurrentTask
+
+                task = yield CurrentTask()
+            start = task.clock
+            yield from chan.send(pid * 1_000_000 + i + 1)
+            report.send_latencies.append(task.clock - start)
+
+    def consumer(count: int, work: GeometricWork) -> Generator[Any, Any, None]:
+        task = None
+        for _ in range(count):
+            cycles = work.sample()
+            if cycles:
+                yield Work(cycles)
+            if task is None:
+                from ..concurrent.ops import CurrentTask
+
+                task = yield CurrentTask()
+            start = task.clock
+            yield from chan.receive()
+            report.rcv_latencies.append(task.clock - start)
+
+    for p, n in enumerate(split_evenly(elements, pairs)):
+        sched.spawn(producer(p, n, GeometricWork(work_mean, seed * 17 + p)))
+    for c, n in enumerate(split_evenly(elements, pairs)):
+        sched.spawn(consumer(n, GeometricWork(work_mean, seed * 17 + 400 + c)))
+    sched.run()
+    return report

@@ -1,0 +1,62 @@
+"""Rendering of benchmark results as the paper's figures/tables (ASCII).
+
+``format_panel`` prints one Figure 5 panel: implementations as rows,
+thread counts as columns, throughput in elements per million simulated
+cycles, plus each row's speedup over the slowest implementation at the
+highest thread count (the paper's headline "up to 9.8×" is this kind of
+ratio).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from .harness import BenchResult
+
+__all__ = ["format_panel", "format_series", "speedup_at"]
+
+
+def format_panel(results: Iterable[BenchResult], title: str) -> str:
+    """Implementations × thread-counts throughput matrix."""
+
+    by_impl: dict[str, dict[int, BenchResult]] = defaultdict(dict)
+    threads: set[int] = set()
+    for r in results:
+        by_impl[r.impl][r.threads] = r
+        threads.add(r.threads)
+    cols = sorted(threads)
+    lines = [title, "-" * len(title)]
+    header = f"{'impl':20s}" + "".join(f"{t:>10d}" for t in cols) + "   (threads)"
+    lines.append(header)
+    for impl, row in by_impl.items():
+        cells = "".join(
+            f"{row[t].throughput:10.1f}" if t in row else f"{'-':>10s}" for t in cols
+        )
+        lines.append(f"{impl:20s}{cells}")
+    lines.append("(throughput: elements per million simulated cycles; higher is better)")
+    return "\n".join(lines)
+
+
+def format_series(results: Iterable[BenchResult], key: str, title: str) -> str:
+    """One-dimensional series table (ablations)."""
+
+    lines = [title, "-" * len(title)]
+    for r in results:
+        lines.append(f"{getattr(r, key)!s:>12}  {r.throughput:10.1f} elems/Mcycle")
+    return "\n".join(lines)
+
+
+def speedup_at(results: Iterable[BenchResult], impl_a: str, impl_b: str, threads: int) -> float:
+    """Throughput ratio A/B at a given thread count (paper's ×-factors)."""
+
+    a = b = None
+    for r in results:
+        if r.threads == threads:
+            if r.impl == impl_a:
+                a = r.throughput
+            elif r.impl == impl_b:
+                b = r.throughput
+    if a is None or b is None:
+        raise ValueError(f"missing results for {impl_a!r}/{impl_b!r} at t={threads}")
+    return a / b

@@ -1,0 +1,92 @@
+"""The paper's producer-consumer workload (§5 "Benchmark").
+
+"Multiple coroutines share the same channel and apply a series of send(e)
+and receive() operations to it.  We use the same number of producer and
+consumer coroutines ... we measure the time it takes to transfer N
+elements ... we simulate some work between operations by consuming 100
+non-contended loop cycles on average (following a geometric distribution)."
+
+The geometric sampler is deterministic (seeded) so every run of a
+configuration is reproducible; work is charged to the simulated clock via
+:class:`~repro.concurrent.ops.Work`, i.e. it is *non-contended* by
+construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Generator, Optional
+
+from ..concurrent.ops import Work
+from ..errors import ChannelClosedForReceive
+
+__all__ = ["GeometricWork", "producer_task", "consumer_task", "split_evenly"]
+
+
+class GeometricWork:
+    """Deterministic geometric(mean) work-cycle sampler.
+
+    ``sample()`` returns k >= 0 with P(k) = p (1-p)^k and E[k] = mean
+    (p = 1 / (mean + 1)).  ``mean == 0`` disables the between-op work
+    entirely (the maximum-contention configuration).
+    """
+
+    def __init__(self, mean: int, seed: int = 0):
+        if mean < 0:
+            raise ValueError("work mean must be >= 0")
+        self.mean = mean
+        self._rng = random.Random(seed)
+
+    def sample(self) -> int:
+        if self.mean == 0:
+            return 0
+        # Inverse-CDF geometric on a uniform variate.
+        p = 1.0 / (self.mean + 1.0)
+        u = self._rng.random()
+        import math
+
+        return int(math.log(max(u, 1e-12)) / math.log(1.0 - p))
+
+
+def producer_task(
+    channel: Any,
+    pid: int,
+    count: int,
+    work: Optional[GeometricWork] = None,
+) -> Generator[Any, Any, int]:
+    """Send ``count`` distinct elements, doing sampled work between sends."""
+
+    sent = 0
+    for i in range(count):
+        if work is not None:
+            cycles = work.sample()
+            if cycles:
+                yield Work(cycles)
+        yield from channel.send(pid * 1_000_000 + i + 1)
+        sent += 1
+    return sent
+
+
+def consumer_task(
+    channel: Any,
+    count: int,
+    work: Optional[GeometricWork] = None,
+) -> Generator[Any, Any, int]:
+    """Receive ``count`` elements, doing sampled work between receives."""
+
+    received = 0
+    for _ in range(count):
+        if work is not None:
+            cycles = work.sample()
+            if cycles:
+                yield Work(cycles)
+        yield from channel.receive()
+        received += 1
+    return received
+
+
+def split_evenly(total: int, parts: int) -> list[int]:
+    """Split ``total`` into ``parts`` near-equal non-negative chunks."""
+
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]

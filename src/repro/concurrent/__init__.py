@@ -1,0 +1,43 @@
+"""Shared-memory primitives: atomic cells and the op-descriptor protocol."""
+
+from .cells import Cell, IntCell, RefCell
+from .ops import (
+    Alloc,
+    Cas,
+    CurrentTask,
+    Faa,
+    GetAndSet,
+    Label,
+    Op,
+    ParkTask,
+    Read,
+    Spin,
+    UnparkTask,
+    Work,
+    Write,
+    Yield,
+    apply_memory_op,
+    is_memory_op,
+)
+
+__all__ = [
+    "Cell",
+    "IntCell",
+    "RefCell",
+    "Op",
+    "Read",
+    "Write",
+    "Cas",
+    "Faa",
+    "GetAndSet",
+    "Yield",
+    "Spin",
+    "Work",
+    "Alloc",
+    "ParkTask",
+    "UnparkTask",
+    "CurrentTask",
+    "Label",
+    "apply_memory_op",
+    "is_memory_op",
+]

@@ -1,0 +1,303 @@
+"""Operation descriptors: the atomic-step protocol between algorithms and drivers.
+
+Every algorithm in this repository (the paper's channel and all baselines) is
+written as a Python *generator function*.  Each access to shared memory is an
+explicit, atomic step: the generator ``yield``\\ s an :class:`Op` descriptor,
+the *driver* (a simulated scheduler, an interleaving explorer, the asyncio
+adapter, or the OS-thread adapter) applies its effect atomically and resumes
+the generator with the result::
+
+    s = yield Faa(self._senders, +1)         # reserve a cell  (Listing 3, line 2)
+    state = yield Read(cell.state)
+    ok = yield Cas(cell.state, EMPTY, waiter)
+
+This is the granularity the paper reasons at (sequentially consistent single
+reads/writes plus CAS and FAA, Section 2), so an exploration driver that
+interleaves tasks *between* yields exercises exactly the races the paper's
+cell life-cycle diagrams (Figures 1, 2, 6) are designed to resolve.
+
+Descriptors are plain immutable records; they carry no behaviour.  The single
+authoritative implementation of each memory effect lives in
+:func:`apply_memory_op`, shared by every driver so that a channel tested under
+the model checker is bit-for-bit the channel benchmarked under the
+discrete-event simulator and shipped in the asyncio adapter.
+
+Scheduling-related descriptors (:class:`ParkTask`, :class:`UnparkTask`,
+:class:`CurrentTask`, …) cannot be applied by :func:`apply_memory_op`; each
+driver implements them against its own notion of a task.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import SchedulerError
+from .cells import Cell, IntCell, RefCell
+
+__all__ = [
+    "Op",
+    "Read",
+    "Write",
+    "Cas",
+    "Faa",
+    "GetAndSet",
+    "Yield",
+    "Spin",
+    "Work",
+    "Alloc",
+    "ParkTask",
+    "UnparkTask",
+    "CurrentTask",
+    "Label",
+    "apply_memory_op",
+    "is_memory_op",
+]
+
+
+class Op:
+    """Base class for one atomic step of an algorithm."""
+
+    __slots__ = ()
+
+    #: Cost-model category; overridden by subclasses.
+    kind: str = "nop"
+
+
+class Read(Op):
+    """Atomically read ``cell`` and resume the generator with its value."""
+
+    __slots__ = ("cell",)
+    kind = "read"
+
+    def __init__(self, cell: Cell):
+        self.cell = cell
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Read({self.cell!r})"
+
+
+class Write(Op):
+    """Atomically store ``value`` into ``cell``.  Resumes with ``None``."""
+
+    __slots__ = ("cell", "value")
+    kind = "write"
+
+    def __init__(self, cell: Cell, value: Any):
+        self.cell = cell
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Write({self.cell!r}, {self.value!r})"
+
+
+class Cas(Op):
+    """Atomic compare-and-swap.  Resumes with ``True`` on success.
+
+    Comparison semantics are delegated to the cell (identity for
+    :class:`~repro.concurrent.cells.RefCell`, equality for
+    :class:`~repro.concurrent.cells.IntCell`), matching how CAS compares
+    references vs. integers on a real machine.
+    """
+
+    __slots__ = ("cell", "expected", "update")
+    kind = "rmw"
+
+    def __init__(self, cell: Cell, expected: Any, update: Any):
+        self.cell = cell
+        self.expected = expected
+        self.update = update
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Cas({self.cell!r}, {self.expected!r} -> {self.update!r})"
+
+
+class Faa(Op):
+    """Atomic fetch-and-add on an :class:`IntCell`.
+
+    Resumes with the value *before* the increment — the paper's
+    ``FAA(&S, +1)`` idiom used to reserve cells unconditionally.
+    """
+
+    __slots__ = ("cell", "delta")
+    kind = "rmw"
+
+    def __init__(self, cell: IntCell, delta: int):
+        self.cell = cell
+        self.delta = delta
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Faa({self.cell!r}, {self.delta:+d})"
+
+
+class GetAndSet(Op):
+    """Atomic swap; resumes with the previous value."""
+
+    __slots__ = ("cell", "value")
+    kind = "rmw"
+
+    def __init__(self, cell: Cell, value: Any):
+        self.cell = cell
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"GetAndSet({self.cell!r}, {self.value!r})"
+
+
+class Yield(Op):
+    """A pure preemption point with no memory effect.
+
+    Used by cooperative code (e.g. benchmark workers between channel
+    operations) to give the scheduler a chance to switch tasks.
+    """
+
+    __slots__ = ()
+    kind = "yield"
+
+
+class Spin(Op):
+    """One iteration of a bounded spin-wait loop.
+
+    Semantically identical to :class:`Yield` but tagged so progress
+    accounting can distinguish *blocking* spin-waits (the buffered
+    channel's ``S_RESUMING`` waits, Section 4.2) from ordinary
+    scheduling points, and so the cost model can charge a spin penalty.
+    """
+
+    __slots__ = ("reason",)
+    kind = "spin"
+
+    def __init__(self, reason: str = ""):
+        self.reason = reason
+
+
+class Work(Op):
+    """Local (non-contended) computation consuming ``cycles`` simulated cycles.
+
+    Reproduces the paper's benchmark idiom of "consuming 100 non-contended
+    loop cycles on average" between channel operations.  No memory effect.
+    """
+
+    __slots__ = ("cycles",)
+    kind = "work"
+
+    def __init__(self, cycles: int):
+        if cycles < 0:
+            raise ValueError("work cycles must be non-negative")
+        self.cycles = cycles
+
+
+class Alloc(Op):
+    """Allocation-pressure accounting event (Section 5, "Memory usage").
+
+    ``tag`` names the allocated structure (``"segment"``, ``"ms-node"``,
+    ``"descriptor"``, …) and ``units`` its relative size in cells.  Drivers
+    forward these to the active :class:`~repro.bench.memstats.AllocStats`
+    collector, if any; there is no memory effect.
+    """
+
+    __slots__ = ("tag", "units")
+    kind = "alloc"
+
+    def __init__(self, tag: str, units: int = 1):
+        self.tag = tag
+        self.units = units
+
+
+class ParkTask(Op):
+    """Suspend the current task until it is unparked or interrupted.
+
+    Emitted only by :mod:`repro.runtime.waiter`; algorithm code goes
+    through the higher-level ``park()`` API from Listing 1.  The driver
+    resumes the generator normally after an unpark, or throws
+    :class:`~repro.errors.Interrupted` into it after an interruption.
+    """
+
+    __slots__ = ("waiter",)
+    kind = "park"
+
+    def __init__(self, waiter: Any):
+        self.waiter = waiter
+
+
+class UnparkTask(Op):
+    """Make a parked task runnable again (successful ``tryUnpark()``).
+
+    ``interrupt`` makes the target resume with
+    :class:`~repro.errors.Interrupted` thrown into its generator;
+    ``retry`` resumes it with :class:`~repro.errors.RetryWakeup` (the
+    select machinery's "try a fresh cell" signal).  At most one of the
+    two may be set.
+    """
+
+    __slots__ = ("task", "interrupt", "retry")
+    kind = "unpark"
+
+    def __init__(self, task: Any, interrupt: bool = False, retry: bool = False):
+        assert not (interrupt and retry)
+        self.task = task
+        self.interrupt = interrupt
+        self.retry = retry
+
+
+class CurrentTask(Op):
+    """Resume with the driver's handle for the running task (``curCor()``)."""
+
+    __slots__ = ()
+    kind = "current"
+
+
+class Label(Op):
+    """A named, zero-cost trace marker for tests and debugging.
+
+    Exploration tests use labels as synchronization landmarks ("sender
+    reserved cell 0") without depending on internal step counts.
+    """
+
+    __slots__ = ("name", "payload")
+    kind = "label"
+
+    def __init__(self, name: str, payload: Any = None):
+        self.name = name
+        self.payload = payload
+
+
+_MEMORY_OPS = (Read, Write, Cas, Faa, GetAndSet)
+
+
+def is_memory_op(op: Op) -> bool:
+    """Return ``True`` if *op* has a shared-memory effect."""
+
+    return isinstance(op, _MEMORY_OPS)
+
+
+def apply_memory_op(op: Op) -> Any:
+    """Apply a memory op's effect and return the value the generator expects.
+
+    This is the single authoritative semantics of the simulated shared
+    memory; every driver calls it (each under its own atomicity regime:
+    the simulator applies ops one task at a time, the thread adapter
+    holds a lock, the asyncio adapter relies on the event loop).
+    """
+
+    if type(op) is Read:
+        return op.cell.value
+    if type(op) is Write:
+        op.cell.value = op.value
+        return None
+    if type(op) is Cas:
+        cell = op.cell
+        if cell.compare(cell.value, op.expected):
+            cell.value = op.update
+            return True
+        return False
+    if type(op) is Faa:
+        cell = op.cell
+        old = cell.value
+        cell.value = old + op.delta
+        return old
+    if type(op) is GetAndSet:
+        cell = op.cell
+        old = cell.value
+        cell.value = op.value
+        return old
+    raise SchedulerError(f"not a memory op: {op!r}")

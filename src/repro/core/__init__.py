@@ -1,0 +1,70 @@
+"""The paper's contribution: FAA-based rendezvous and buffered channels."""
+
+from .base import ChannelBase
+from .buffered import BufferedChannel
+from .buffered_eb import BufferedChannelEB
+from .channel import RENDEZVOUS, UNLIMITED, Channel, make_channel
+from .conflated import ConflatedChannel, DropOldestChannel
+from .plain_array import PlainInfiniteArray
+from .rendezvous import RendezvousChannel
+from .segments import DEFAULT_SEGMENT_SIZE, Segment, SegmentList
+from .select import SelectClause, receive_clause, select, send_clause
+from .simplified import SimplifiedBufferedChannel
+from .states import (
+    BROKEN,
+    BUFFERED,
+    CANCELLED,
+    DONE,
+    DONE_RCV,
+    IN_BUFFER,
+    INTERRUPTED,
+    INTERRUPTED_EB,
+    INTERRUPTED_RCV,
+    INTERRUPTED_SEND,
+    S_RESUMING_EB,
+    S_RESUMING_RCV,
+    CellState,
+    EBWaiter,
+    ReceiverWaiter,
+    SenderWaiter,
+)
+from .stats import ChannelStats
+
+__all__ = [
+    "make_channel",
+    "Channel",
+    "UNLIMITED",
+    "RENDEZVOUS",
+    "RendezvousChannel",
+    "BufferedChannel",
+    "BufferedChannelEB",
+    "ConflatedChannel",
+    "DropOldestChannel",
+    "SimplifiedBufferedChannel",
+    "PlainInfiniteArray",
+    "ChannelBase",
+    "ChannelStats",
+    "select",
+    "send_clause",
+    "receive_clause",
+    "SelectClause",
+    "Segment",
+    "SegmentList",
+    "DEFAULT_SEGMENT_SIZE",
+    "CellState",
+    "SenderWaiter",
+    "ReceiverWaiter",
+    "EBWaiter",
+    "BUFFERED",
+    "IN_BUFFER",
+    "DONE",
+    "DONE_RCV",
+    "BROKEN",
+    "CANCELLED",
+    "INTERRUPTED",
+    "INTERRUPTED_EB",
+    "INTERRUPTED_SEND",
+    "INTERRUPTED_RCV",
+    "S_RESUMING_RCV",
+    "S_RESUMING_EB",
+]

@@ -1,0 +1,691 @@
+"""Shared machinery of the rendezvous and buffered channel algorithms.
+
+Both channels share the outer operation structure of Listing 5 —
+
+1. read the operation's segment anchor, then ``FAA`` the counter to reserve
+   a cell (the linearization point when the following cell update succeeds);
+2. fail fast if the counter's close/cancel flag is set (after marking the
+   reserved cell so its life-cycle stays sound);
+3. locate the cell's segment with ``findAndMoveForward``; if the segment was
+   physically removed, skip the whole interrupted range by CASing the
+   counter forward and restart;
+4. run the algorithm-specific cell update (``updCellSend``/``updCellRcv``,
+   supplied by the subclass per Listings 3 and 4), restarting the operation
+   when the cell turned out to be unusable —
+
+plus the full-semantics extension the paper's production version adds
+(§5): ``close()``, ``cancel()``, ``trySend``/``tryReceive``.  Non-blocking
+attempts that *would* suspend instead mark their reserved cell
+``INTERRUPTED_SEND``/``INTERRUPTED_RCV`` — exactly as if they had suspended
+and been cancelled instantly — which is how the Kotlin implementation keeps
+try-operations linearizable without a counter rollback.
+
+Elements must not be ``None``: the cancellation protocol uses an atomic
+``GetAndSet(elem, None)`` to resolve the receive-vs-cancel race, so ``None``
+is reserved as "already taken" (mirrors Kotlin channels boxing ``null``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..concurrent.cells import IntCell, RefCell
+from ..concurrent.ops import Cas, Faa, GetAndSet, Read, Write
+from ..errors import ChannelClosedForReceive, ChannelClosedForSend, Interrupted, RetryWakeup
+from ..runtime.waiter import Waiter
+from .closing import CLOSE_BIT, counter_of, is_flagged
+from .segments import DEFAULT_SEGMENT_SIZE, Segment, SegmentList
+from .states import (
+    BROKEN,
+    BUFFERED,
+    CANCELLED,
+    CellState,
+    INTERRUPTED_RCV,
+    INTERRUPTED_SEND,
+    ReceiverWaiter,
+    SenderWaiter,
+)
+from .stats import ChannelStats
+
+__all__ = ["ChannelBase", "SUCCESS", "RESTART", "WOULD_BLOCK", "CLOSED"]
+
+
+class _Outcome:
+    """Named outcome of one cell update (internal protocol)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+#: The operation finished in this cell.
+SUCCESS = _Outcome("SUCCESS")
+#: The cell is unusable; reserve a fresh one and retry.
+RESTART = _Outcome("RESTART")
+#: A non-blocking attempt would have to suspend (cell already marked).
+WOULD_BLOCK = _Outcome("WOULD_BLOCK")
+#: The channel is closed and drained (receive side).
+CLOSED = _Outcome("CLOSED")
+#: A select registration lost: another clause of the same select won.
+SELECT_LOST = _Outcome("SELECT_LOST")
+
+
+class _Mode:
+    """Suspension mode of one attempt (internal protocol)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+#: Normal blocking operation: install a fresh waiter and park.
+PARK = _Mode("PARK")
+#: Non-blocking try-op: mark the cell INTERRUPTED instead of suspending.
+MARK = _Mode("MARK")
+
+
+class Registered:
+    """Outcome of a select-mode attempt that installed a clause waiter."""
+
+    __slots__ = ("segm", "index", "waiter")
+
+    def __init__(self, segm: Segment, index: int, waiter: Waiter):
+        self.segm = segm
+        self.index = index
+        self.waiter = waiter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registered({self.segm.id}:{self.index})"
+
+
+class SelectRegistrar:
+    """Shared decision state of one ``select`` (§5 family extension).
+
+    All clause waiters are *linked*: they share the primary waiter's
+    state cell, so the first resumption/interruption anywhere decides the
+    whole select atomically (the ``tryUnpark`` CAS is the commit point).
+
+    ``claim()`` is the kotlinx ``trySelect`` analogue: an attempt that can
+    complete a clause *immediately* must first claim the shared state
+    (INIT → PERMIT); losing the claim means another clause already won.
+    Once claimed, the select is committed to the current clause — if that
+    clause subsequently has to retry into a suspension, it degrades into
+    a plain blocking operation on that clause (``claimed`` switches the
+    attempt to PARK behaviour), which is a legal linearization of select.
+    """
+
+    __slots__ = ("primary", "claimed")
+
+    def __init__(self, primary: Waiter):
+        self.primary = primary
+        self.claimed = False
+
+    def linked(self, kind_cls: type) -> Waiter:
+        """A clause waiter of the given kind sharing the primary's state."""
+
+        waiter = kind_cls.__new__(kind_cls)
+        waiter.task = self.primary.task
+        waiter._state = self.primary._state  # the shared decision cell
+        waiter.handler = None
+        waiter.wid = self.primary.wid
+        waiter.interrupt_cause = None
+        return waiter
+
+    def claim(self) -> Generator[Any, Any, bool]:
+        """Commit the select to the calling clause; False if already lost."""
+
+        from ..runtime.waiter import INIT, PERMIT
+
+        if self.claimed:
+            return True
+        ok = yield Cas(self.primary._state, INIT, PERMIT)
+        if ok:
+            self.claimed = True
+        return ok
+
+
+class ChannelBase:
+    """Common state and operation drivers; subclasses define cell updates."""
+
+    #: Number of segment anchors (2 = S,R for rendezvous; 3 adds B).
+    ANCHORS = 2
+    #: Whether an interrupted *sender* cell counts toward segment removal
+    #: immediately (rendezvous) or is delegated to ``expandBuffer()``
+    #: (buffered; the Appendix B rule — EB must still be able to read the
+    #: cell's interrupted state, so its segment must stay alive until EB
+    #: passes).
+    COUNT_SEND_INTERRUPT_IMMEDIATELY = True
+
+    def __init__(self, seg_size: int = DEFAULT_SEGMENT_SIZE, name: str = "chan"):
+        self.name = name
+        self._list = SegmentList(seg_size, anchors=self.ANCHORS, name=name)
+        self.seg_size = seg_size
+        self._segm_s = self._list.make_anchor("S")
+        self._segm_r = self._list.make_anchor("R")
+        #: Total send / receive reservations ever made (packed counters).
+        self.S = IntCell(0, name=f"{name}.S")
+        self.R = IntCell(0, name=f"{name}.R")
+        self.stats = ChannelStats()
+        self._cancelled = False
+        #: Optional verification observer with ``send_done(cell, elem)`` /
+        #: ``receive_done(cell, value)`` callbacks.  Plain Python calls in
+        #: the completing task's atomic window — no simulated ops, so
+        #: attaching an observer cannot perturb the algorithm.
+        self.observer: Any = None
+        #: Optional hook receiving elements a losing select clause had to
+        #: consume (kotlinx's ``onUndeliveredElement``); see
+        #: :meth:`_select_dispose_element`.
+        self.on_undelivered: Any = None
+
+    # ------------------------------------------------------------------
+    # Subclass protocol
+    # ------------------------------------------------------------------
+
+    def _upd_cell_send(
+        self, segm: Segment, i: int, s: int, mode: Any
+    ) -> Generator[Any, Any, Any]:
+        raise NotImplementedError
+
+    def _upd_cell_rcv(
+        self, segm: Segment, i: int, r: int, mode: Any
+    ) -> Generator[Any, Any, Any]:
+        raise NotImplementedError
+
+    def _try_send_would_block(self) -> Generator[Any, Any, bool]:
+        """Cheap snapshot check used to avoid burning cells in trySend."""
+        raise NotImplementedError
+
+    def _try_receive_would_block(self) -> Generator[Any, Any, bool]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Public operations (generator API; drive with a scheduler/adapter)
+    # ------------------------------------------------------------------
+
+    def send(self, element: Any) -> Generator[Any, Any, None]:
+        """Send ``element``, suspending until buffered or received.
+
+        Raises :class:`ChannelClosedForSend` once the channel is closed,
+        and :class:`Interrupted` if the suspension is cancelled.
+        """
+
+        if element is None:
+            raise ValueError("channels cannot carry None (reserved sentinel)")
+        while True:
+            outcome = yield from self._send_attempt(element, PARK)
+            if outcome is SUCCESS:
+                self.stats.sends += 1
+                return
+            self.stats.send_restarts += 1
+
+    def try_send(self, element: Any) -> Generator[Any, Any, bool]:
+        """Non-blocking send; ``False`` when it would have to suspend.
+
+        Raises :class:`ChannelClosedForSend` on a closed channel.
+        """
+
+        if element is None:
+            raise ValueError("channels cannot carry None (reserved sentinel)")
+        while True:
+            if (yield from self._try_send_would_block()):
+                self.stats.try_send_failures += 1
+                return False
+            outcome = yield from self._send_attempt(element, MARK)
+            if outcome is SUCCESS:
+                self.stats.sends += 1
+                return True
+            if outcome is WOULD_BLOCK:
+                self.stats.try_send_failures += 1
+                return False
+            self.stats.send_restarts += 1
+
+    def receive(self) -> Generator[Any, Any, Any]:
+        """Receive the next element, suspending while the channel is empty.
+
+        Raises :class:`ChannelClosedForReceive` once the channel is both
+        closed and drained (or cancelled), and :class:`Interrupted` if the
+        suspension is cancelled.
+        """
+
+        while True:
+            outcome, value = yield from self._receive_attempt(PARK)
+            if outcome is SUCCESS:
+                self.stats.receives += 1
+                return value
+            if outcome is CLOSED:
+                raise ChannelClosedForReceive()
+            self.stats.rcv_restarts += 1
+
+    def try_receive(self) -> Generator[Any, Any, tuple[bool, Any]]:
+        """Non-blocking receive; returns ``(ok, element_or_None)``.
+
+        Raises :class:`ChannelClosedForReceive` when closed and drained.
+        """
+
+        while True:
+            if (yield from self._try_receive_would_block()):
+                self.stats.try_receive_failures += 1
+                return (False, None)
+            outcome, value = yield from self._receive_attempt(MARK)
+            if outcome is SUCCESS:
+                self.stats.receives += 1
+                return (True, value)
+            if outcome is WOULD_BLOCK:
+                self.stats.try_receive_failures += 1
+                return (False, None)
+            if outcome is CLOSED:
+                raise ChannelClosedForReceive()
+            self.stats.rcv_restarts += 1
+
+    def receive_catching(self) -> Generator[Any, Any, tuple[bool, Any]]:
+        """Like :meth:`receive` but returns ``(False, None)`` when closed."""
+
+        try:
+            value = yield from self.receive()
+        except ChannelClosedForReceive:
+            return (False, None)
+        return (True, value)
+
+    # ------------------------------------------------------------------
+    # Select support (driven by repro.core.select)
+    # ------------------------------------------------------------------
+
+    def select_send(self, registrar: "SelectRegistrar", element: Any) -> Generator[Any, Any, tuple[str, Any]]:
+        """One send clause of a select: complete, register, or report loss.
+
+        Returns ``("done", None)`` (immediate win — the registrar is
+        claimed), ``("registered", Registered)``, or ``("lost", None)``.
+        Raises :class:`ChannelClosedForSend` like :meth:`send`.
+        """
+
+        if element is None:
+            raise ValueError("channels cannot carry None (reserved sentinel)")
+        while True:
+            outcome = yield from self._send_attempt(element, registrar)
+            if outcome is SUCCESS:
+                self.stats.sends += 1
+                return ("done", None)
+            if isinstance(outcome, Registered):
+                return ("registered", outcome)
+            if outcome is SELECT_LOST:
+                return ("lost", None)
+            self.stats.send_restarts += 1
+
+    def select_receive(self, registrar: "SelectRegistrar") -> Generator[Any, Any, tuple[str, Any]]:
+        """One receive clause of a select (see :meth:`select_send`).
+
+        Additionally returns ``("closed", None)`` when the channel is
+        closed and drained.
+        """
+
+        while True:
+            outcome, value = yield from self._receive_attempt(registrar)
+            if outcome is SUCCESS:
+                self.stats.receives += 1
+                return ("done", value)
+            if isinstance(outcome, Registered):
+                return ("registered", outcome)
+            if outcome is SELECT_LOST:
+                return ("lost", None)
+            if outcome is CLOSED:
+                return ("closed", None)
+            self.stats.rcv_restarts += 1
+
+    def select_cleanup(self, reg: Registered, is_sender: bool) -> Generator[Any, Any, None]:
+        """Neutralize a losing registration's cell (INTERRUPTED_*).
+
+        Idempotent: if a racing resumer already transitioned the cell
+        (its failed ``tryUnpark`` wrote ``INTERRUPTED_SEND``), only the
+        element cleanup remains.
+        """
+
+        state_cell = reg.segm.state_cell(reg.index)
+        yield GetAndSet(reg.segm.elem_cell(reg.index), None)
+        target = INTERRUPTED_SEND if is_sender else INTERRUPTED_RCV
+        ok = yield Cas(state_cell, reg.waiter, target)
+        if ok:
+            if is_sender:
+                if self.COUNT_SEND_INTERRUPT_IMMEDIATELY:
+                    yield from reg.segm.on_interrupted_cell()
+            else:
+                yield from reg.segm.on_interrupted_cell()
+
+    def _select_dispose_element(self, element: Any) -> None:
+        """Route an element a losing receive clause had to consume.
+
+        Mirrors kotlinx's ``onUndeliveredElement``: set ``on_undelivered``
+        on the channel to reclaim such elements; otherwise they are
+        counted and dropped.
+        """
+
+        hook = self.on_undelivered
+        if hook is not None:
+            hook(element)
+        else:
+            self.stats.select_undelivered += 1
+
+    # ------------------------------------------------------------------
+    # One reservation attempt (the Listing 5 skeleton)
+    # ------------------------------------------------------------------
+
+    def _send_attempt(self, element: Any, mode: Any) -> Generator[Any, Any, Any]:
+        K = self.seg_size
+        segm = yield Read(self._segm_s)
+        s_raw = yield Faa(self.S, 1)
+        self.stats.cells_processed += 1
+        s = counter_of(s_raw)
+        sid, i = divmod(s, K)
+        if is_flagged(s_raw):
+            yield from self._mark_closed_send_cell(segm, sid, i)
+            raise ChannelClosedForSend()
+        segm = yield from self._list.find_and_move_forward(self._segm_s, segm, sid)
+        if segm.id != sid:
+            # The whole range up to segm.id*K was interrupted and removed;
+            # help the counter skip it (Listing 5, line 6).
+            yield Cas(self.S, s_raw + 1, (s_raw - s) + segm.id * K)
+            return RESTART
+        yield Write(segm.elem_cell(i), element)
+        outcome = yield from self._upd_cell_send(segm, i, s, mode)
+        if outcome is SUCCESS:
+            if self.observer is not None:
+                self.observer.send_done(s, element)
+            yield from segm.clean_prev()
+        return outcome
+
+    def _receive_attempt(self, mode: Any) -> Generator[Any, Any, tuple[Any, Any]]:
+        K = self.seg_size
+        segm = yield Read(self._segm_r)
+        r_raw = yield Faa(self.R, 1)
+        self.stats.cells_processed += 1
+        r = counter_of(r_raw)
+        rid, i = divmod(r, K)
+        if is_flagged(r_raw):  # the channel was cancelled
+            yield from self._mark_cancelled_rcv_cell(segm, rid, i)
+            return (CLOSED, None)
+        segm = yield from self._list.find_and_move_forward(self._segm_r, segm, rid)
+        if segm.id != rid:
+            yield Cas(self.R, r_raw + 1, (r_raw - r) + segm.id * K)
+            return (RESTART, None)
+        outcome = yield from self._upd_cell_rcv(segm, i, r, mode)
+        if outcome is not SUCCESS:
+            return (outcome, None)
+        # Claim the element atomically: a concurrent cancel() discards
+        # buffered elements, and the GetAndSet decides who got this one.
+        value = yield GetAndSet(segm.elem_cell(i), None)
+        yield from segm.clean_prev()
+        if value is None:
+            return (CLOSED, None)  # lost the race against cancel()
+        if self.observer is not None:
+            self.observer.receive_done(r, value)
+        return (SUCCESS, value)
+
+    # ------------------------------------------------------------------
+    # Suspension helpers
+    # ------------------------------------------------------------------
+
+    def _park_sender(self, w: SenderWaiter, segm: Segment, i: int) -> Generator[Any, Any, bool]:
+        """Park a sender installed in ``segm[i]``; clean the cell on cancel.
+
+        Returns ``True`` on a normal resumption; ``False`` when woken with
+        the retry signal (a losing select clause neutralized our cell —
+        the caller restarts at a fresh one).
+        """
+
+        state_cell = segm.state_cell(i)
+        elem_cell = segm.elem_cell(i)
+        count_now = self.COUNT_SEND_INTERRUPT_IMMEDIATELY
+
+        def on_interrupt() -> Generator[Any, Any, None]:
+            # Clean the element first (Listing 4, lines 90-92), then move
+            # the cell to INTERRUPTED_SEND -- with a CAS, because a
+            # concurrent resumer may have locked the cell in S_RESUMING_*;
+            # in that case the resumer's failed tryUnpark performs the
+            # transition (and, in the buffered channel, the accounting).
+            yield Write(elem_cell, None)
+            ok = yield Cas(state_cell, w, INTERRUPTED_SEND)
+            if ok and count_now:
+                yield from segm.on_interrupted_cell()
+
+        self.stats.send_suspends += 1
+        try:
+            yield from w.park(on_interrupt)
+            return True
+        except RetryWakeup:
+            return False
+        except Interrupted:
+            self.stats.send_interrupts += 1
+            if w.interrupt_cause is not None:
+                raise w.interrupt_cause from None
+            raise
+
+    def _park_receiver(self, w: ReceiverWaiter, segm: Segment, i: int) -> Generator[Any, Any, bool]:
+        """Park a receiver installed in ``segm[i]``; clean the cell on cancel.
+
+        Return protocol as for :meth:`_park_sender`.
+        """
+
+        state_cell = segm.state_cell(i)
+        elem_cell = segm.elem_cell(i)
+
+        def on_interrupt() -> Generator[Any, Any, None]:
+            yield Write(elem_cell, None)
+            ok = yield Cas(state_cell, w, INTERRUPTED_RCV)
+            if ok:
+                # Interrupted receivers always count immediately: every
+                # phase that may later read this cell treats a removed
+                # segment as "all cancelled receivers" correctly.
+                yield from segm.on_interrupted_cell()
+
+        self.stats.rcv_suspends += 1
+        try:
+            yield from w.park(on_interrupt)
+            return True
+        except RetryWakeup:
+            return False
+        except Interrupted:
+            self.stats.rcv_interrupts += 1
+            if w.interrupt_cause is not None:
+                raise w.interrupt_cause from None
+            raise
+
+    def _close_recheck_receiver(self, w: ReceiverWaiter, r: int) -> Generator[Any, Any, None]:
+        """Post-install close re-check (the receiver side of the handshake).
+
+        ``close()`` first publishes the flag on ``S`` and then cancels the
+        receivers it can see; a receiver that installed concurrently might
+        be missed by that walk, so after installing it re-reads ``S`` and
+        cancels itself if the channel can no longer deliver to its cell.
+        Self-interruption loses gracefully to a concurrent resumption.
+        """
+
+        s_raw = yield Read(self.S)
+        if is_flagged(s_raw) and r >= counter_of(s_raw):
+            yield from w.interrupt(cause=ChannelClosedForReceive())
+
+    # ------------------------------------------------------------------
+    # Failed-reservation cell marking
+    # ------------------------------------------------------------------
+
+    def _mark_closed_send_cell(self, start: Segment, sid: int, i: int) -> Generator[Any, Any, None]:
+        """A send observed the close flag: neutralize its reserved cell.
+
+        The cell is moved to ``INTERRUPTED_SEND`` (as an instantly
+        cancelled sender) so receivers and ``expandBuffer()`` skip it.
+
+        If a *receiver* already waits there, it can only ever be matched
+        by this very send (one sender per cell) — and this send is
+        aborting, its FAA having inflated the counter past the receiver's
+        index so neither the closer's walk nor the receiver's own
+        re-check can see it anymore.  The failing send must therefore
+        cancel it with the close cause itself (kotlinx does the same).
+        """
+
+        segm = yield from self._list.find_segment(start, sid)
+        if segm.id != sid:
+            return  # the whole segment is gone already
+        state_cell = segm.state_cell(i)
+        while True:
+            state = yield Read(state_cell)
+            if state is None:
+                ok = yield Cas(state_cell, None, INTERRUPTED_SEND)
+                if ok:
+                    if self.COUNT_SEND_INTERRUPT_IMMEDIATELY:
+                        yield from segm.on_interrupted_cell()
+                    return
+                continue
+            waiter = self._extract_receiver_waiter(state)
+            if waiter is not None:
+                yield from waiter.interrupt(cause=ChannelClosedForReceive())
+            return  # its handler (or a racing resumer) owns the cell now
+
+    def _mark_cancelled_rcv_cell(self, start: Segment, rid: int, i: int) -> Generator[Any, Any, None]:
+        """A receive observed the cancel flag: neutralize its reserved cell."""
+
+        segm = yield from self._list.find_segment(start, rid)
+        if segm.id != rid:
+            return
+        state_cell = segm.state_cell(i)
+        while True:
+            state = yield Read(state_cell)
+            if state is None:
+                ok = yield Cas(state_cell, None, INTERRUPTED_RCV)
+                if ok:
+                    yield from segm.on_interrupted_cell()
+                    return
+                continue
+            return
+
+    # ------------------------------------------------------------------
+    # Close / cancel (§5 "full channel semantics")
+    # ------------------------------------------------------------------
+
+    def close(self) -> Generator[Any, Any, bool]:
+        """Close the channel for sending; ``True`` iff this call closed it.
+
+        Buffered elements (and already-suspended senders) remain
+        receivable; waiting receivers beyond the frozen send counter are
+        cancelled with :class:`ChannelClosedForReceive`.
+        """
+
+        while True:
+            s_raw = yield Read(self.S)
+            if is_flagged(s_raw):
+                return False
+            ok = yield Cas(self.S, s_raw, s_raw | CLOSE_BIT)
+            if ok:
+                yield from self._cancel_suspended_receivers(counter_of(s_raw))
+                return True
+
+    def cancel(self) -> Generator[Any, Any, bool]:
+        """Close *and* discard: buffered elements are dropped, all waiters
+        (both directions) are cancelled, receivers fail immediately."""
+
+        newly = yield from self.close()
+        self._cancelled = True
+        while True:
+            r_raw = yield Read(self.R)
+            if is_flagged(r_raw):
+                break
+            ok = yield Cas(self.R, r_raw, r_raw | CLOSE_BIT)
+            if ok:
+                break
+        yield from self._discard_everything()
+        return newly
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def is_closed_for_send(self) -> Generator[Any, Any, bool]:
+        raw = yield Read(self.S)
+        return is_flagged(raw)
+
+    def _cancel_suspended_receivers(self, s_close: int) -> Generator[Any, Any, None]:
+        """Cancel receivers waiting in cells the frozen S will never cover.
+
+        Walks the segment list; receivers that install concurrently with
+        the walk observe the close flag in their own post-install
+        re-check, so no waiter is missed (a Dekker-style handshake).
+        """
+
+        K = self.seg_size
+        cause_factory = ChannelClosedForReceive
+        segm: Optional[Segment] = self._list.first
+        while segm is not None:
+            if (segm.id + 1) * K > s_close:
+                first_i = max(0, s_close - segm.id * K)
+                for i in range(first_i, K):
+                    state = yield Read(segm.state_cell(i))
+                    waiter = self._extract_receiver_waiter(state)
+                    if waiter is not None:
+                        yield from waiter.interrupt(cause=cause_factory())
+            segm = yield Read(segm._next)
+
+    def _extract_receiver_waiter(self, state: Any) -> Optional[Waiter]:
+        """The receiver waiter inside a cell state, if any (hookable)."""
+
+        if isinstance(state, ReceiverWaiter):
+            return state
+        return None
+
+    def _discard_everything(self) -> Generator[Any, Any, None]:
+        """Cancel all waiters and drop all buffered elements (cancel())."""
+
+        segm: Optional[Segment] = self._list.first
+        while segm is not None:
+            for i in range(self.seg_size):
+                state_cell = segm.state_cell(i)
+                while True:
+                    state = yield Read(state_cell)
+                    if isinstance(state, SenderWaiter):
+                        yield from state.interrupt(cause=ChannelClosedForSend())
+                        break
+                    if isinstance(state, ReceiverWaiter):
+                        yield from state.interrupt(cause=ChannelClosedForReceive())
+                        break
+                    if state is BUFFERED:
+                        ok = yield Cas(state_cell, BUFFERED, CANCELLED)
+                        if ok:
+                            yield GetAndSet(segm.elem_cell(i), None)
+                            break
+                        continue
+                    other = yield from self._discard_other_state(segm, i, state)
+                    if other:
+                        break
+            segm = yield Read(segm._next)
+
+    def _discard_other_state(self, segm: Segment, i: int, state: Any) -> Generator[Any, Any, bool]:
+        """Cancel-walk hook for subclass-specific states; True = done."""
+
+        return True
+        yield  # pragma: no cover - makes this a generator
+
+    # ------------------------------------------------------------------
+    # Introspection (non-simulated; for tests between scheduler steps)
+    # ------------------------------------------------------------------
+
+    @property
+    def sender_counter(self) -> int:
+        return counter_of(self.S.value)
+
+    @property
+    def receiver_counter(self) -> int:
+        return counter_of(self.R.value)
+
+    @property
+    def closed_now(self) -> bool:
+        return is_flagged(self.S.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name!r} S={self.sender_counter} "
+            f"R={self.receiver_counter} closed={self.closed_now}>"
+        )

@@ -1,0 +1,378 @@
+"""The buffered channel (§3.2, Listing 4, Figure 2).
+
+A buffered channel of capacity ``C`` lets senders deposit up to ``C``
+elements without suspending.  On top of the rendezvous machinery it adds a
+third counter ``B`` marking the end of the *logical buffer* in the infinite
+array: ``send(e)`` buffers its element whenever ``s < B`` (or a receiver is
+already incoming), and every completed ``receive()`` synchronization —
+element retrieval, suspension, or cell poisoning — restores the capacity by
+calling :meth:`BufferedChannel.expand_buffer`, which advances ``B`` and
+wakes the sender suspended in the newly covered cell, if any.
+
+``B`` cannot be replaced by ``R + C`` because of cancellation: an
+interrupted sender occupies a cell that must *not* count as buffer space
+(§3.2's capacity-1 example).  ``expandBuffer()`` therefore *restarts* —
+advancing ``B`` once more — whenever the covered cell turns out to hold an
+interrupted sender.
+
+Three-party races on one cell (sender, receiver, expandBuffer) are resolved
+with the transient ``S_RESUMING_RCV`` / ``S_RESUMING_EB`` lock states: the
+party resuming a suspended sender first claims the cell, and the other
+party spin-waits for the outcome (``BUFFERED`` or ``INTERRUPTED_SEND``).
+This is the algorithm's single *blocking* interaction (§4.2); the spin
+iterations are tagged so tests can assert it never occurs elsewhere.
+
+Segment-removal accounting (Appendix B): an ``INTERRUPTED_SEND`` cell is
+counted toward its segment's removal **only by expandBuffer** — whichever
+of (its own failed resumption, observing the state on its visit) happens —
+because ``expandBuffer`` must still be able to *read* the interrupted state
+to know the expansion needs a restart.  Cells that ``expandBuffer`` never
+visits keep their segment alive, exactly like an uncancelled waiter would.
+``INTERRUPTED_RCV`` cells count immediately: every phase that can later
+reach a fully-removed segment treats the skip correctly (``send``/
+``receive`` restart; ``expandBuffer`` completes, because a removed
+segment can only contain cancelled receivers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..concurrent.cells import IntCell
+from ..concurrent.ops import Cas, Faa, GetAndSet, Read, Spin, Write
+from ..errors import ChannelClosedForReceive
+from ..runtime.waiter import Waiter
+from .base import (
+    CLOSED,
+    MARK,
+    RESTART,
+    SELECT_LOST,
+    SUCCESS,
+    WOULD_BLOCK,
+    ChannelBase,
+    Registered,
+    SelectRegistrar,
+    _Outcome,
+)
+from .closing import counter_of, is_flagged
+from .segments import DEFAULT_SEGMENT_SIZE, Segment
+from .states import (
+    BROKEN,
+    BUFFERED,
+    CANCELLED,
+    DONE_RCV,
+    IN_BUFFER,
+    INTERRUPTED_RCV,
+    INTERRUPTED_SEND,
+    S_RESUMING_EB,
+    S_RESUMING_RCV,
+    ReceiverWaiter,
+    SenderWaiter,
+)
+
+__all__ = ["BufferedChannel"]
+
+
+class BufferedChannel(ChannelBase):
+    """FAA-based buffered channel with ``expandBuffer()`` (Listing 4)."""
+
+    ANCHORS = 3
+    COUNT_SEND_INTERRUPT_IMMEDIATELY = False  # delegated to expandBuffer
+
+    def __init__(
+        self,
+        capacity: int,
+        seg_size: int = DEFAULT_SEGMENT_SIZE,
+        name: str = "buffered",
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        super().__init__(seg_size=seg_size, name=name)
+        self.capacity = capacity
+        #: End of the logical buffer; initialized to the capacity.
+        self.B = IntCell(capacity, name=f"{name}.B")
+        self._segm_b = self._list.make_anchor("B")
+
+    # ------------------------------------------------------------------
+    # updCellSend (Listing 4, lines 1-25)
+    # ------------------------------------------------------------------
+
+    def _upd_cell_send(
+        self, segm: Segment, i: int, s: int, mode: Any
+    ) -> Generator[Any, Any, Any]:
+        state_cell = segm.state_cell(i)
+        elem_cell = segm.elem_cell(i)
+        registrar = mode if isinstance(mode, SelectRegistrar) else None
+        while True:
+            state = yield Read(state_cell)
+            r_raw = yield Read(self.R)
+            r = counter_of(r_raw)
+            b = yield Read(self.B)
+            if (state is None and (s < r or s < b)) or state is IN_BUFFER:
+                if registrar is not None and not registrar.claimed:
+                    if not (yield from registrar.claim()):
+                        # Another clause won.  Leaving the cell EMPTY or
+                        # IN_BUFFER is safe: the covering receive poisons
+                        # it and retries, like any abandoned send cell.
+                        yield Write(elem_cell, None)
+                        return SELECT_LOST
+                # The cell is in the buffer, or a receiver is incoming:
+                # deposit the element without suspending.
+                ok = yield Cas(state_cell, state, BUFFERED)
+                if ok:
+                    return SUCCESS
+                continue
+            if state is None and s >= b and s >= r:
+                # EMPTY, outside the buffer, no receiver => suspend.
+                if mode is MARK:
+                    ok = yield Cas(state_cell, None, INTERRUPTED_SEND)
+                    if ok:
+                        yield Write(elem_cell, None)
+                        # Accounting delegated to expandBuffer (see module
+                        # docstring); nothing more to do here.
+                        return WOULD_BLOCK
+                    continue
+                if registrar is not None and not registrar.claimed:
+                    w = registrar.linked(SenderWaiter)
+                    ok = yield Cas(state_cell, None, w)
+                    if ok:
+                        return Registered(segm, i, w)
+                    continue
+                w = yield from SenderWaiter.make()
+                ok = yield Cas(state_cell, None, w)
+                if ok:
+                    resumed = yield from self._park_sender(w, segm, i)
+                    return SUCCESS if resumed else RESTART
+                continue
+            if isinstance(state, ReceiverWaiter):
+                if registrar is not None and not registrar.claimed:
+                    if not (yield from registrar.claim()):
+                        # Free the waiting receiver to retry elsewhere.
+                        if (yield from state.try_unpark_retry()):
+                            yield Write(state_cell, BROKEN)
+                        yield Write(elem_cell, None)
+                        return SELECT_LOST
+                # Waiting receiver => rendezvous.
+                ok = yield from state.try_unpark()
+                if ok:
+                    yield Write(state_cell, DONE_RCV)
+                    return SUCCESS
+                yield Write(elem_cell, None)
+                return RESTART
+            if state is INTERRUPTED_RCV or state is BROKEN or state is CANCELLED:
+                yield Write(elem_cell, None)
+                return RESTART
+            raise AssertionError(f"send found impossible cell state {state!r} at {segm.id}:{i}")
+
+    # ------------------------------------------------------------------
+    # updCellRcv (Listing 4, lines 26-53)
+    # ------------------------------------------------------------------
+
+    def _upd_cell_rcv(
+        self, segm: Segment, i: int, r: int, mode: Any
+    ) -> Generator[Any, Any, Any]:
+        state_cell = segm.state_cell(i)
+        registrar = mode if isinstance(mode, SelectRegistrar) else None
+        while True:
+            state = yield Read(state_cell)
+            s_raw = yield Read(self.S)
+            s = counter_of(s_raw)
+            if (state is None or state is IN_BUFFER) and r >= s:
+                # EMPTY (or pre-marked buffer cell) and no sender coming.
+                if is_flagged(s_raw):
+                    # Closed and drained.
+                    ok = yield Cas(state_cell, state, INTERRUPTED_RCV)
+                    if ok:
+                        yield from segm.on_interrupted_cell()
+                        yield from self.expand_buffer()
+                        return CLOSED
+                    continue
+                if mode is MARK:
+                    ok = yield Cas(state_cell, state, INTERRUPTED_RCV)
+                    if ok:
+                        yield from segm.on_interrupted_cell()
+                        yield from self.expand_buffer()
+                        return WOULD_BLOCK
+                    continue
+                if registrar is not None and not registrar.claimed:
+                    w = registrar.linked(ReceiverWaiter)
+                    ok = yield Cas(state_cell, state, w)
+                    if ok:
+                        yield from self.expand_buffer()
+                        yield from self._close_recheck_receiver(w, r)
+                        return Registered(segm, i, w)
+                    continue
+                w = yield from ReceiverWaiter.make()
+                ok = yield Cas(state_cell, state, w)
+                if ok:
+                    # Restore the buffer capacity this reservation consumed
+                    # *before* suspending (Listing 4, line 33).
+                    yield from self.expand_buffer()
+                    yield from self._close_recheck_receiver(w, r)
+                    resumed = yield from self._park_receiver(w, segm, i)
+                    return SUCCESS if resumed else RESTART
+                continue
+            if (state is None or state is IN_BUFFER) and r < s:
+                # A sender is incoming => poison the cell and retry; the
+                # poisoned buffer cell must be replaced (line 38).
+                ok = yield Cas(state_cell, state, BROKEN)
+                if ok:
+                    self.stats.poisoned += 1
+                    yield from self.expand_buffer()
+                    return RESTART
+                continue
+            if state is BUFFERED:
+                if registrar is not None and not registrar.claimed:
+                    if not (yield from registrar.claim()):
+                        # Another clause won, but only this reservation may
+                        # consume the buffered element: hand it to the
+                        # on_undelivered hook and restore the capacity.
+                        value = yield GetAndSet(segm.elem_cell(i), None)
+                        if value is not None:
+                            self._select_dispose_element(value)
+                        yield from self.expand_buffer()
+                        return SELECT_LOST
+                yield from self.expand_buffer()
+                return SUCCESS
+            if state is INTERRUPTED_SEND:
+                return RESTART  # expandBuffer owns the accounting
+            if state is CANCELLED:
+                return RESTART
+            if isinstance(state, SenderWaiter):
+                if registrar is not None and not registrar.claimed:
+                    if not (yield from registrar.claim()):
+                        # Free the waiting sender to retry elsewhere; the
+                        # poisoned buffer cell must be compensated, like a
+                        # normal BROKEN cell (Listing 4, line 38).
+                        if (yield from state.try_unpark_retry()):
+                            yield Write(state_cell, BROKEN)
+                            yield GetAndSet(segm.elem_cell(i), None)
+                            yield from self.expand_buffer()
+                        return SELECT_LOST
+                # Suspended sender: help the (late) expandBuffer by
+                # resuming it ourselves, via the S_RESUMING_RCV lock.
+                ok = yield Cas(state_cell, state, S_RESUMING_RCV)
+                if ok:
+                    resumed = yield from state.try_unpark()
+                    if resumed:
+                        yield Write(state_cell, BUFFERED)
+                    else:
+                        yield Write(state_cell, INTERRUPTED_SEND)
+                    # Loop: the next iteration dispatches on the new state.
+                continue
+            if state is S_RESUMING_EB:
+                # expandBuffer is resuming the sender => wait (line 52).
+                yield Spin("rcv-wait-eb")
+                continue
+            raise AssertionError(f"receive found impossible cell state {state!r} at {segm.id}:{i}")
+
+    # ------------------------------------------------------------------
+    # expandBuffer (Listing 4, lines 54-88)
+    # ------------------------------------------------------------------
+
+    def expand_buffer(self) -> Generator[Any, Any, None]:
+        """Advance the logical end of the buffer by one effective cell."""
+
+        while True:
+            self.stats.expansions += 1
+            segm = yield Read(self._segm_b)
+            b = yield Faa(self.B, 1)
+            s_raw = yield Read(self.S)
+            if b >= counter_of(s_raw):
+                return  # not covered by any send => nothing to resume
+            bid, i = divmod(b, self.seg_size)
+            segm = yield from self._list.find_and_move_forward(self._segm_b, segm, bid)
+            if segm.id != bid:
+                # The covered cell's segment was fully interrupted and
+                # removed.  Such a segment can only contain cancelled
+                # receivers (module docstring), for which an expansion
+                # completes; help B skip the removed range wholesale.
+                yield Cas(self.B, b + 1, segm.id * self.seg_size)
+                return
+            done = yield from self._upd_cell_eb(segm, i, b)
+            if done:
+                return
+            self.stats.expansion_restarts += 1
+
+    def _upd_cell_eb(self, segm: Segment, i: int, b: int) -> Generator[Any, Any, bool]:
+        """updCellEB (Listing 4, lines 61-88): True = expansion finished."""
+
+        state_cell = segm.state_cell(i)
+        while True:
+            state = yield Read(state_cell)
+            if isinstance(state, SenderWaiter):
+                # A suspended sender: move its element into the buffer by
+                # resuming it, via the S_RESUMING_EB lock.
+                ok = yield Cas(state_cell, state, S_RESUMING_EB)
+                if ok:
+                    resumed = yield from state.try_unpark()
+                    if resumed:
+                        yield Write(state_cell, BUFFERED)
+                        return True
+                    yield Write(state_cell, INTERRUPTED_SEND)
+                    yield from segm.on_interrupted_cell()  # EB owns this
+                    return False
+                continue
+            if state is BUFFERED:
+                return True  # the element is already in the buffer
+            if state is INTERRUPTED_SEND:
+                # The sender was cancelled: account the cell (delegated to
+                # us) and restart the expansion.
+                yield from segm.on_interrupted_cell()
+                return False
+            if state is None:
+                # The sender is still coming: pre-mark the cell so it
+                # will buffer without suspending.
+                ok = yield Cas(state_cell, None, IN_BUFFER)
+                if ok:
+                    return True
+                continue
+            if (
+                isinstance(state, ReceiverWaiter)
+                or state is INTERRUPTED_RCV
+                or state is DONE_RCV
+            ):
+                return True  # a receiver processed the cell; nothing to add
+            if state is BROKEN:
+                return True  # the poisoning receiver already re-expanded
+            if state is CANCELLED:
+                return True  # channel cancelled; expansion is moot
+            if state is S_RESUMING_RCV:
+                # A receiver is resuming the sender => wait (line 86).
+                yield Spin("eb-wait-rcv")
+                continue
+            raise AssertionError(f"expandBuffer found impossible cell state {state!r} at {segm.id}:{i}")
+
+    # ------------------------------------------------------------------
+    # trySend / tryReceive fast paths
+    # ------------------------------------------------------------------
+
+    def _try_send_would_block(self) -> Generator[Any, Any, bool]:
+        s_raw = yield Read(self.S)
+        if is_flagged(s_raw):
+            return False  # let the slow path raise ChannelClosedForSend
+        r_raw = yield Read(self.R)
+        b = yield Read(self.B)
+        s = counter_of(s_raw)
+        return s >= b and s >= counter_of(r_raw)
+
+    def _try_receive_would_block(self) -> Generator[Any, Any, bool]:
+        r_raw = yield Read(self.R)
+        s_raw = yield Read(self.S)
+        if is_flagged(s_raw) or is_flagged(r_raw):
+            return False  # let the slow path report the closed state
+        return counter_of(r_raw) >= counter_of(s_raw)
+
+    # ------------------------------------------------------------------
+    # Introspection (non-simulated)
+    # ------------------------------------------------------------------
+
+    @property
+    def buffer_end_counter(self) -> int:
+        return self.B.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BufferedChannel {self.name!r} C={self.capacity} S={self.sender_counter} "
+            f"R={self.receiver_counter} B={self.B.value} closed={self.closed_now}>"
+        )

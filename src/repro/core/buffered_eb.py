@@ -1,0 +1,368 @@
+"""The buffered channel for indistinguishable coroutines (Appendix A, Fig. 6).
+
+Kotlin and Java cannot tell whether a suspended continuation stored in a
+cell belongs to a sender or a receiver (Go can, via its typed ``sudog``).
+This variant — the one actually shipped in ``kotlinx.coroutines`` — stores
+both kinds as a plain :class:`~repro.runtime.waiter.Waiter` and recovers
+the missing information from the counters, with two delegation markers:
+
+* ``expandBuffer()`` finding a waiter in a cell **already covered by
+  receive()** (``b < R``) cannot classify it, so it wraps it as
+  :class:`~repro.core.states.EBWaiter` (Coroutine+EB) and finishes; the
+  operation that processes the cell next completes the expansion's work —
+  a ``send`` ignores the marker (the waiter must be a receiver), while a
+  ``receive`` resumes the sender and, on failure, compensates by invoking
+  ``expandBuffer()`` itself;
+* interruption handlers can likewise only write the generic
+  ``INTERRUPTED`` (or ``INTERRUPTED_EB`` when the EB marker was present);
+  the reader reconstructs the kind: in a *send*'s cell the interrupted
+  party was a receiver, in a *receive*'s cell a sender, and
+  ``expandBuffer`` classifies by ``b >= R`` (not covered by receive ⇒ it
+  was a sender ⇒ restart) or delegates via ``INTERRUPTED_EB``.
+
+Memory-reclamation substitution (documented in DESIGN.md/EXPERIMENTS.md):
+this variant keeps the segment list but does **not** remove segments on
+interruption — exactly-once interrupted-cell accounting would need the
+full ``kotlinx`` delegation bookkeeping, which is orthogonal to the
+synchronization protocol Appendix A presents.  The distinguishable variant
+(:class:`~repro.core.buffered.BufferedChannel`) demonstrates removal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..concurrent.cells import IntCell
+from ..concurrent.ops import Cas, Faa, Read, Spin, Write
+from ..errors import Interrupted, RetryWakeup
+from ..runtime.waiter import Waiter
+from .base import (
+    CLOSED,
+    MARK,
+    RESTART,
+    SUCCESS,
+    WOULD_BLOCK,
+    ChannelBase,
+    SelectRegistrar,
+    _Outcome,
+)
+from .closing import counter_of, is_flagged
+from .segments import DEFAULT_SEGMENT_SIZE, Segment
+from .states import (
+    BROKEN,
+    BUFFERED,
+    CANCELLED,
+    DONE_RCV,
+    EBWaiter,
+    IN_BUFFER,
+    INTERRUPTED,
+    INTERRUPTED_EB,
+    INTERRUPTED_RCV,
+    INTERRUPTED_SEND,
+    S_RESUMING_EB,
+    S_RESUMING_RCV,
+)
+
+__all__ = ["BufferedChannelEB"]
+
+
+class BufferedChannelEB(ChannelBase):
+    """Appendix A algorithm: one ``Waiter`` type, «EB» delegation markers."""
+
+    ANCHORS = 3
+    COUNT_SEND_INTERRUPT_IMMEDIATELY = False  # no interruption-driven removal
+
+    def __init__(
+        self,
+        capacity: int,
+        seg_size: int = DEFAULT_SEGMENT_SIZE,
+        name: str = "buffered-eb",
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        super().__init__(seg_size=seg_size, name=name)
+        self.capacity = capacity
+        self.B = IntCell(capacity, name=f"{name}.B")
+        self._segm_b = self._list.make_anchor("B")
+
+    # ------------------------------------------------------------------
+    # Suspension with the *generic* interrupt handler
+    # ------------------------------------------------------------------
+
+    def _park_generic(self, w: Waiter, segm: Segment, i: int, is_sender: bool) -> Generator[Any, Any, bool]:
+        state_cell = segm.state_cell(i)
+        elem_cell = segm.elem_cell(i)
+
+        def on_interrupt() -> Generator[Any, Any, None]:
+            yield Write(elem_cell, None)
+            # The handler cannot know the waiter kind: write the generic
+            # INTERRUPTED, preserving an EB marker if one was attached.
+            ok = yield Cas(state_cell, w, INTERRUPTED)
+            if not ok:
+                state = yield Read(state_cell)
+                if isinstance(state, EBWaiter) and state.waiter is w:
+                    yield Cas(state_cell, state, INTERRUPTED_EB)
+                # Otherwise a resumer locked the cell; it owns the transition.
+
+        if is_sender:
+            self.stats.send_suspends += 1
+        else:
+            self.stats.rcv_suspends += 1
+        try:
+            yield from w.park(on_interrupt)
+            return True
+        except RetryWakeup:
+            return False
+        except Interrupted:
+            if is_sender:
+                self.stats.send_interrupts += 1
+            else:
+                self.stats.rcv_interrupts += 1
+            if w.interrupt_cause is not None:
+                raise w.interrupt_cause from None
+            raise
+
+    def _extract_receiver_waiter(self, state: Any):  # close() support
+        # In this variant any bare waiter *might* be a receiver; close()
+        # only walks cells with index >= the frozen S, where suspended
+        # waiters are necessarily receivers.  EB markers wrap receivers
+        # in receive-covered cells, which those always are here.
+        if isinstance(state, Waiter):
+            return state
+        if isinstance(state, EBWaiter):
+            return state.waiter
+        return None
+
+    # ------------------------------------------------------------------
+    # updCellSend (Figure 6: send-side)
+    # ------------------------------------------------------------------
+
+    def _upd_cell_send(
+        self, segm: Segment, i: int, s: int, mode: Any
+    ) -> Generator[Any, Any, Any]:
+        if isinstance(mode, SelectRegistrar):
+            raise NotImplementedError(
+                "select is not supported on the Appendix A variant; use BufferedChannel"
+            )
+        state_cell = segm.state_cell(i)
+        elem_cell = segm.elem_cell(i)
+        while True:
+            state = yield Read(state_cell)
+            r_raw = yield Read(self.R)
+            r = counter_of(r_raw)
+            b = yield Read(self.B)
+            if (state is None and (s < r or s < b)) or state is IN_BUFFER:
+                ok = yield Cas(state_cell, state, BUFFERED)
+                if ok:
+                    return SUCCESS
+                continue
+            if state is None and s >= b and s >= r:
+                if mode is MARK:
+                    ok = yield Cas(state_cell, None, INTERRUPTED)
+                    if ok:
+                        yield Write(elem_cell, None)
+                        return WOULD_BLOCK
+                    continue
+                w = yield from Waiter.make()
+                ok = yield Cas(state_cell, None, w)
+                if ok:
+                    resumed = yield from self._park_generic(w, segm, i, is_sender=True)
+                    return SUCCESS if resumed else RESTART
+                continue
+            if isinstance(state, (Waiter, EBWaiter)):
+                # In a send's cell a stored waiter is a *receiver*;
+                # ignore any «EB» marker (Appendix A).
+                waiter = state.waiter if isinstance(state, EBWaiter) else state
+                ok = yield from waiter.try_unpark()
+                if ok:
+                    yield Write(state_cell, DONE_RCV)
+                    return SUCCESS
+                yield Write(elem_cell, None)
+                return RESTART
+            if state in (INTERRUPTED, INTERRUPTED_EB) or state is BROKEN or state is CANCELLED:
+                # An interrupted party in our cell was a receiver.
+                yield Write(elem_cell, None)
+                return RESTART
+            raise AssertionError(f"EB-send found impossible state {state!r} at {segm.id}:{i}")
+
+    # ------------------------------------------------------------------
+    # updCellRcv (Figure 6: receive-side)
+    # ------------------------------------------------------------------
+
+    def _upd_cell_rcv(
+        self, segm: Segment, i: int, r: int, mode: Any
+    ) -> Generator[Any, Any, Any]:
+        if isinstance(mode, SelectRegistrar):
+            raise NotImplementedError(
+                "select is not supported on the Appendix A variant; use BufferedChannel"
+            )
+        state_cell = segm.state_cell(i)
+        while True:
+            state = yield Read(state_cell)
+            s_raw = yield Read(self.S)
+            s = counter_of(s_raw)
+            if (state is None or state is IN_BUFFER) and r >= s:
+                if is_flagged(s_raw):
+                    ok = yield Cas(state_cell, state, INTERRUPTED)
+                    if ok:
+                        yield from self.expand_buffer()
+                        return CLOSED
+                    continue
+                if mode is MARK:
+                    ok = yield Cas(state_cell, state, INTERRUPTED)
+                    if ok:
+                        yield from self.expand_buffer()
+                        return WOULD_BLOCK
+                    continue
+                w = yield from Waiter.make()
+                ok = yield Cas(state_cell, state, w)
+                if ok:
+                    yield from self.expand_buffer()
+                    yield from self._close_recheck_receiver(w, r)
+                    resumed = yield from self._park_generic(w, segm, i, is_sender=False)
+                    return SUCCESS if resumed else RESTART
+                continue
+            if (state is None or state is IN_BUFFER) and r < s:
+                ok = yield Cas(state_cell, state, BROKEN)
+                if ok:
+                    self.stats.poisoned += 1
+                    yield from self.expand_buffer()
+                    return RESTART
+                continue
+            if state is BUFFERED:
+                yield from self.expand_buffer()
+                return SUCCESS
+            if state is INTERRUPTED:
+                # In a receive's cell the interrupted party was a sender;
+                # expandBuffer will classify it itself when it arrives.
+                return RESTART
+            if state is INTERRUPTED_EB:
+                # A delegated expansion met a cancelled sender: compensate
+                # for the delegating expandBuffer and retry elsewhere.
+                ok = yield Cas(state_cell, INTERRUPTED_EB, INTERRUPTED_SEND)
+                if ok:
+                    yield from self.expand_buffer()
+                return RESTART
+            if state is INTERRUPTED_SEND:
+                return RESTART  # already classified and compensated
+            if state is CANCELLED:
+                return RESTART
+            if isinstance(state, (Waiter, EBWaiter)):
+                # In a receive's cell a stored waiter is a *sender*.
+                has_eb = isinstance(state, EBWaiter)
+                waiter = state.waiter if has_eb else state
+                ok = yield Cas(state_cell, state, S_RESUMING_RCV)
+                if ok:
+                    resumed = yield from waiter.try_unpark()
+                    if resumed:
+                        yield Write(state_cell, BUFFERED)
+                    else:
+                        yield Write(state_cell, INTERRUPTED_SEND)
+                        if has_eb:
+                            # Complete the delegated expansion's restart.
+                            yield from self.expand_buffer()
+                continue
+            if state is S_RESUMING_EB:
+                yield Spin("rcv-wait-eb")
+                continue
+            raise AssertionError(f"EB-receive found impossible state {state!r} at {segm.id}:{i}")
+
+    # ------------------------------------------------------------------
+    # expandBuffer (Figure 6: EB-side)
+    # ------------------------------------------------------------------
+
+    def expand_buffer(self) -> Generator[Any, Any, None]:
+        while True:
+            self.stats.expansions += 1
+            segm = yield Read(self._segm_b)
+            b = yield Faa(self.B, 1)
+            s_raw = yield Read(self.S)
+            if b >= counter_of(s_raw):
+                return
+            bid, i = divmod(b, self.seg_size)
+            segm = yield from self._list.find_and_move_forward(self._segm_b, segm, bid)
+            if segm.id != bid:
+                yield Cas(self.B, b + 1, segm.id * self.seg_size)
+                return
+            done = yield from self._upd_cell_eb(segm, i, b)
+            if done:
+                return
+            self.stats.expansion_restarts += 1
+
+    def _upd_cell_eb(self, segm: Segment, i: int, b: int) -> Generator[Any, Any, bool]:
+        state_cell = segm.state_cell(i)
+        while True:
+            state = yield Read(state_cell)
+            if isinstance(state, Waiter):
+                r_raw = yield Read(self.R)
+                if b >= counter_of(r_raw):
+                    # Not covered by receive: the waiter must be a sender.
+                    ok = yield Cas(state_cell, state, S_RESUMING_EB)
+                    if ok:
+                        resumed = yield from state.try_unpark()
+                        if resumed:
+                            yield Write(state_cell, BUFFERED)
+                            return True
+                        yield Write(state_cell, INTERRUPTED_SEND)
+                        return False
+                    continue
+                # Covered by receive: could be either kind — attach the
+                # «EB» marker and delegate our completion (Appendix A).
+                ok = yield Cas(state_cell, state, EBWaiter(state))
+                if ok:
+                    return True
+                continue
+            if state is BUFFERED or isinstance(state, EBWaiter):
+                return True
+            if state is INTERRUPTED:
+                r_raw = yield Read(self.R)
+                if b >= counter_of(r_raw):
+                    # Not covered by receive ⇒ it was a sender ⇒ the
+                    # expansion gained nothing: classify and restart.
+                    ok = yield Cas(state_cell, INTERRUPTED, INTERRUPTED_SEND)
+                    if ok:
+                        return False
+                    continue
+                # Ambiguous: delegate via INTERRUPTED_EB; the receive
+                # that processes the cell compensates if it was a sender.
+                ok = yield Cas(state_cell, INTERRUPTED, INTERRUPTED_EB)
+                if ok:
+                    return True
+                continue
+            if state is INTERRUPTED_SEND:
+                return False
+            if state in (INTERRUPTED_EB, INTERRUPTED_RCV, DONE_RCV):
+                return True
+            if state is BROKEN or state is CANCELLED:
+                return True
+            if state is None:
+                ok = yield Cas(state_cell, None, IN_BUFFER)
+                if ok:
+                    return True
+                continue
+            if state is IN_BUFFER:
+                return True  # already marked (idempotent visit)
+            if state is S_RESUMING_RCV:
+                yield Spin("eb-wait-rcv")
+                continue
+            raise AssertionError(f"EB-expandBuffer found impossible state {state!r} at {segm.id}:{i}")
+
+    # ------------------------------------------------------------------
+    # trySend / tryReceive fast paths
+    # ------------------------------------------------------------------
+
+    def _try_send_would_block(self) -> Generator[Any, Any, bool]:
+        s_raw = yield Read(self.S)
+        if is_flagged(s_raw):
+            return False
+        r_raw = yield Read(self.R)
+        b = yield Read(self.B)
+        s = counter_of(s_raw)
+        return s >= b and s >= counter_of(r_raw)
+
+    def _try_receive_would_block(self) -> Generator[Any, Any, bool]:
+        r_raw = yield Read(self.R)
+        s_raw = yield Read(self.S)
+        if is_flagged(s_raw) or is_flagged(r_raw):
+            return False
+        return counter_of(r_raw) >= counter_of(s_raw)

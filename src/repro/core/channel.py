@@ -1,0 +1,65 @@
+"""Public channel constructors (the library's front door).
+
+:func:`make_channel` mirrors the ``Channel(capacity)`` factory of Kotlin
+Coroutines: capacity ``0`` gives a rendezvous channel, a positive capacity
+gives a buffered channel, and :data:`UNLIMITED` gives an effectively
+unbounded buffer.
+
+All channel operations are *generators* over the op protocol; drive them
+with a simulated scheduler (:mod:`repro.sim`), the asyncio adapter
+(:mod:`repro.aio`), or the OS-thread adapter (:mod:`repro.threads`)::
+
+    ch = make_channel(capacity=4)
+
+    def producer():
+        for i in range(10):
+            yield from ch.send(i)
+        yield from ch.close()
+
+    def consumer(out):
+        while True:
+            ok, v = yield from ch.receive_catching()
+            if not ok:
+                return
+            out.append(v)
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .buffered import BufferedChannel
+from .rendezvous import RendezvousChannel
+from .segments import DEFAULT_SEGMENT_SIZE
+
+__all__ = ["make_channel", "UNLIMITED", "RENDEZVOUS", "Channel"]
+
+#: Capacity constant: an effectively unlimited buffer (sends never suspend).
+UNLIMITED = 1 << 50
+
+#: Capacity constant: a rendezvous channel (capacity zero).
+RENDEZVOUS = 0
+
+#: Union type of the channels this factory can build.
+Channel = Union[RendezvousChannel, BufferedChannel]
+
+
+def make_channel(
+    capacity: int = RENDEZVOUS,
+    seg_size: int = DEFAULT_SEGMENT_SIZE,
+    name: str | None = None,
+) -> Channel:
+    """Create a channel with the requested buffering.
+
+    ``capacity == 0`` returns the dedicated rendezvous algorithm (§3.1);
+    ``capacity > 0`` returns the buffered algorithm (§3.2).  (Capacity 0 on
+    :class:`BufferedChannel` is also legal and behaves as a rendezvous
+    channel — the benchmarks compare both code paths — but the standalone
+    rendezvous algorithm avoids the ``B`` counter entirely.)
+    """
+
+    if capacity < 0:
+        raise ValueError("capacity must be >= 0")
+    if capacity == 0:
+        return RendezvousChannel(seg_size=seg_size, name=name or "rendezvous")
+    return BufferedChannel(capacity, seg_size=seg_size, name=name or f"buffered({capacity})")

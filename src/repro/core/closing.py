@@ -1,0 +1,46 @@
+"""Counter packing for the close/cancel protocol (§5 "full channel semantics").
+
+The paper's production version packs the channel's close status into the
+``S`` counter so that closing and sending order themselves with a single
+atomic instruction.  We reproduce that:
+
+* bit 60 of ``S`` is the **close** flag: set by ``close()``/``cancel()``
+  with a CAS; every ``send`` observes it atomically in the value returned
+  by its ``FAA(&S, +1)`` — a send whose FAA returns a flagged value
+  linearizes *after* the close and must fail (after marking its reserved
+  cell ``INTERRUPTED_SEND`` so the cell life-cycle stays sound);
+* bit 60 of ``R`` is the **cancel** flag: ``cancel()`` additionally stops
+  receivers from draining; a receive whose FAA returns a flagged value
+  fails immediately.
+
+Counters are conceptually 60-bit; Python integers never overflow, so no
+wrap-around handling is required.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CLOSE_BIT", "COUNTER_MASK", "counter_of", "is_flagged", "with_flag"]
+
+#: Status flag bit (close on S, cancel on R).
+CLOSE_BIT = 1 << 60
+
+#: Mask selecting the pure counter value.
+COUNTER_MASK = CLOSE_BIT - 1
+
+
+def counter_of(raw: int) -> int:
+    """The counter part of a packed S/R value."""
+
+    return raw & COUNTER_MASK
+
+
+def is_flagged(raw: int) -> bool:
+    """Is the close/cancel flag set in this packed value?"""
+
+    return bool(raw & CLOSE_BIT)
+
+
+def with_flag(raw: int) -> int:
+    """The packed value with the status flag set."""
+
+    return raw | CLOSE_BIT

@@ -1,0 +1,79 @@
+"""Buffer-overflow policies: DROP_OLDEST and the conflated channel.
+
+Kotlin's ``Channel(capacity, onBufferOverflow = DROP_OLDEST)`` and
+``Channel(CONFLATED)`` are thin behaviours over the buffered algorithm:
+a send that would suspend instead evicts the oldest buffered element and
+retries.  We compose them from the §5 non-blocking primitives — exactly
+how ``kotlinx.coroutines`` implements ``ConflatedBufferedChannel`` — so
+sends never suspend and receivers see only the freshest elements.
+
+Evicted elements go to the channel's ``on_undelivered`` hook when set
+(mirroring kotlinx's ``onUndeliveredElement``), else they are dropped and
+counted in ``stats.conflated_drops``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from .buffered import BufferedChannel
+from .segments import DEFAULT_SEGMENT_SIZE
+
+__all__ = ["DropOldestChannel", "ConflatedChannel"]
+
+
+class DropOldestChannel(BufferedChannel):
+    """Buffered channel whose sends never suspend: overflow evicts.
+
+    ``send``/``try_send`` keep the *newest* ``capacity`` elements.  All
+    other operations (receive, close, cancel, select receive clauses)
+    behave exactly like :class:`BufferedChannel`.
+    """
+
+    def __init__(self, capacity: int, seg_size: int = DEFAULT_SEGMENT_SIZE, name: str = "drop-oldest"):
+        if capacity < 1:
+            raise ValueError("DROP_OLDEST requires capacity >= 1")
+        super().__init__(capacity, seg_size=seg_size, name=name)
+        #: Elements evicted by overflowing sends (when no hook is set).
+        self.conflated_drops = 0
+
+    def send(self, element: Any) -> Generator[Any, Any, None]:
+        """Deposit ``element``, evicting the oldest element if full.
+
+        Never suspends; raises
+        :class:`~repro.errors.ChannelClosedForSend` once closed.
+        """
+
+        if element is None:
+            raise ValueError("channels cannot carry None (reserved sentinel)")
+        while True:
+            ok = yield from super().try_send(element)
+            if ok:
+                return
+            # Full: evict the oldest buffered element and retry.  A
+            # concurrent receiver may beat us to it — the loop re-tries
+            # either way, and the channel can only have gained room.
+            dropped, old = yield from super().try_receive()
+            if dropped:
+                hook = self.on_undelivered
+                if hook is not None:
+                    hook(old)
+                else:
+                    self.conflated_drops += 1
+
+    def try_send(self, element: Any) -> Generator[Any, Any, bool]:
+        """Like :meth:`send`; always ``True`` (an eviction never fails)."""
+
+        yield from self.send(element)
+        return True
+
+
+class ConflatedChannel(DropOldestChannel):
+    """``Channel(CONFLATED)``: capacity one, sends overwrite.
+
+    Receivers always observe the most recently sent element; a receive on
+    an empty conflated channel suspends as usual.
+    """
+
+    def __init__(self, seg_size: int = DEFAULT_SEGMENT_SIZE, name: str = "conflated"):
+        super().__init__(1, seg_size=seg_size, name=name)

@@ -1,0 +1,84 @@
+"""Channel introspection: render the live segment/cell state.
+
+For failing tests and curious users: :func:`dump_channel` prints the
+counters and every reachable segment's cell states in a compact, stable
+format, safe to call between simulator steps (plain value reads only).
+
+::
+
+    >>> print(dump_channel(ch))
+    BufferedChannel 'jobs'  S=7 R=5 B=9  closed=False
+      seg#0 ptrs=3 int=0/2  [0]=BUFFERED elem=41  [1]=DONE_RCV
+      seg#1 ptrs=0 int=1/2  [2]=INT_SEND          [3]=<SenderWaiter PARKED>
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..runtime.waiter import Waiter
+from .base import ChannelBase
+from .states import CellState, EBWaiter
+
+__all__ = ["dump_channel", "channel_summary"]
+
+
+def _fmt_state(value: Any) -> str:
+    if value is None:
+        return "EMPTY"
+    if isinstance(value, EBWaiter):
+        return f"<{type(value.waiter).__name__}+EB {value.waiter.state!r}>"
+    if isinstance(value, Waiter):
+        return f"<{type(value).__name__} {value.state!r}>"
+    if isinstance(value, CellState):
+        return value.name
+    return repr(value)
+
+
+def dump_channel(channel: ChannelBase) -> str:
+    """Human-readable snapshot of a channel's segments and counters."""
+
+    lines = [
+        f"{type(channel).__name__} {channel.name!r}  "
+        f"S={channel.sender_counter} R={channel.receiver_counter}"
+        + (f" B={channel.B.value}" if hasattr(channel, "B") else "")
+        + f"  closed={channel.closed_now}"
+    ]
+    K = channel.seg_size
+    for seg in channel._list.iter_segments():
+        pointers, interrupted = seg._decode(seg._cnt.value)
+        removed = " REMOVED" if seg.removed_now else ""
+        cells = []
+        for i in range(K):
+            state = seg.state_cell(i).value
+            elem = seg.elem_cell(i).value
+            entry = f"[{seg.id * K + i}]={_fmt_state(state)}"
+            if elem is not None:
+                entry += f" elem={elem!r}"
+            cells.append(entry)
+        lines.append(
+            f"  seg#{seg.id} ptrs={pointers} int={interrupted}/{K}{removed}  " + "  ".join(cells)
+        )
+    return "\n".join(lines)
+
+
+def channel_summary(channel: ChannelBase) -> dict[str, Any]:
+    """Machine-readable channel summary (counters, cell-state histogram)."""
+
+    histogram: dict[str, int] = {}
+    for seg in channel._list.iter_segments():
+        for cell in seg.states:
+            key = _fmt_state(cell.value).split(" ")[0].strip("<>")
+            histogram[key] = histogram.get(key, 0) + 1
+    return {
+        "type": type(channel).__name__,
+        "name": channel.name,
+        "senders": channel.sender_counter,
+        "receivers": channel.receiver_counter,
+        "buffer_end": channel.B.value if hasattr(channel, "B") else None,
+        "closed": channel.closed_now,
+        "segments": len(channel._list.iter_segments()),
+        "segments_alive": channel._list.alive_count(),
+        "cell_states": histogram,
+        "stats": channel.stats.snapshot(),
+    }

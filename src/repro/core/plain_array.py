@@ -1,0 +1,44 @@
+"""A plain (non-segmented) infinite array of channel cells.
+
+Used by the simplified Appendix C algorithm and the MPDQ baseline, where
+the focus is the cell protocol rather than memory reclamation.  Cells are
+created lazily on first touch; creation happens inline within the touching
+task's atomic step, which is sound because the simulator executes one step
+at a time (and the other drivers serialize op application the same way).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..concurrent.cells import RefCell
+
+__all__ = ["PlainInfiniteArray"]
+
+
+class PlainInfiniteArray:
+    """Lazily grown array of ``(state, elem)`` cell pairs."""
+
+    __slots__ = ("name", "_states", "_elems")
+
+    def __init__(self, name: str = "arr"):
+        self.name = name
+        self._states: dict[int, RefCell] = {}
+        self._elems: dict[int, RefCell] = {}
+
+    def state_cell(self, i: int) -> RefCell:
+        cell = self._states.get(i)
+        if cell is None:
+            cell = self._states[i] = RefCell(None, name=f"{self.name}.state[{i}]")
+        return cell
+
+    def elem_cell(self, i: int) -> RefCell:
+        cell = self._elems.get(i)
+        if cell is None:
+            cell = self._elems[i] = RefCell(None, name=f"{self.name}.elem[{i}]")
+        return cell
+
+    def touched_indices(self) -> list[int]:
+        """Indices of cells ever created (tests and invariant checks)."""
+
+        return sorted(self._states.keys() | self._elems.keys())

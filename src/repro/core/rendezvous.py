@@ -1,0 +1,239 @@
+"""The rendezvous channel (§3.1, Listing 3, Figure 1).
+
+A rendezvous channel is a blocking queue of capacity zero: ``send(e)`` and
+``receive()`` wait for each other and transfer the element directly.  The
+algorithm reserves cells of the infinite array by FAA on the ``S``/``R``
+counters; each cell is processed by exactly one sender and one receiver,
+which synchronize on the cell's ``state`` field:
+
+* the slower party installs its waiter and parks;
+* the faster party resumes it (``DONE``) — or, in the two races where the
+  counters already prove the partner is incoming but the cell is still
+  EMPTY, a **sender** eliminates (``EMPTY -> BUFFERED``: the element is
+  published for the incoming receiver) while a **receiver** poisons
+  (``EMPTY -> BROKEN``: both parties abandon the cell and retry), the LCRQ
+  trick that keeps receivers from suspending when an element is due.
+
+Cancellation moves the cell to ``INTERRUPTED_SEND``/``INTERRUPTED_RCV`` and
+counts it toward its segment's removal immediately: no later phase of a
+rendezvous channel needs to re-read an interrupted cell, so a fully
+interrupted segment can be physically unlinked at once (Appendix B).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..concurrent.ops import Cas, GetAndSet, Read, Write
+from ..errors import ChannelClosedForReceive
+from .base import (
+    CLOSED,
+    MARK,
+    RESTART,
+    SELECT_LOST,
+    SUCCESS,
+    WOULD_BLOCK,
+    ChannelBase,
+    Registered,
+    SelectRegistrar,
+    _Outcome,
+)
+from .closing import counter_of, is_flagged
+from .segments import DEFAULT_SEGMENT_SIZE, Segment
+from .states import (
+    BROKEN,
+    BUFFERED,
+    CANCELLED,
+    DONE,
+    INTERRUPTED_RCV,
+    INTERRUPTED_SEND,
+    ReceiverWaiter,
+    SenderWaiter,
+)
+
+__all__ = ["RendezvousChannel"]
+
+
+class RendezvousChannel(ChannelBase):
+    """FAA-based rendezvous channel with cancellation and closing."""
+
+    ANCHORS = 2
+    COUNT_SEND_INTERRUPT_IMMEDIATELY = True
+
+    def __init__(self, seg_size: int = DEFAULT_SEGMENT_SIZE, name: str = "rendezvous"):
+        super().__init__(seg_size=seg_size, name=name)
+
+    @property
+    def capacity(self) -> int:
+        return 0
+
+    # ------------------------------------------------------------------
+    # updCellSend (Listing 3, lines 7-32)
+    # ------------------------------------------------------------------
+
+    def _upd_cell_send(
+        self, segm: Segment, i: int, s: int, mode: Any
+    ) -> Generator[Any, Any, Any]:
+        state_cell = segm.state_cell(i)
+        elem_cell = segm.elem_cell(i)
+        registrar = mode if isinstance(mode, SelectRegistrar) else None
+        while True:
+            state = yield Read(state_cell)
+            r_raw = yield Read(self.R)
+            r = counter_of(r_raw)
+            if state is None and s >= r:
+                # EMPTY and no receiver is coming => suspend.
+                if mode is MARK:
+                    ok = yield Cas(state_cell, None, INTERRUPTED_SEND)
+                    if ok:
+                        yield Write(elem_cell, None)
+                        yield from segm.on_interrupted_cell()
+                        return WOULD_BLOCK
+                    continue
+                if registrar is not None and not registrar.claimed:
+                    w = registrar.linked(SenderWaiter)
+                    ok = yield Cas(state_cell, None, w)
+                    if ok:
+                        return Registered(segm, i, w)
+                    continue
+                w = yield from SenderWaiter.make()
+                ok = yield Cas(state_cell, None, w)
+                if ok:
+                    resumed = yield from self._park_sender(w, segm, i)
+                    return SUCCESS if resumed else RESTART
+                continue
+            if isinstance(state, ReceiverWaiter):
+                if registrar is not None and not registrar.claimed:
+                    if not (yield from registrar.claim()):
+                        # The select already chose another clause: free
+                        # the waiting receiver to retry at a fresh cell
+                        # rather than orphaning it in ours.
+                        if (yield from state.try_unpark_retry()):
+                            yield Write(state_cell, BROKEN)
+                        yield Write(elem_cell, None)
+                        return SELECT_LOST
+                # Waiting receiver => try to resume it (rendezvous).
+                ok = yield from state.try_unpark()
+                if ok:
+                    yield Write(state_cell, DONE)
+                    return SUCCESS
+                # Interrupted receiver: clean our element and retry
+                # elsewhere (its handler owns the cell transition).
+                yield Write(elem_cell, None)
+                return RESTART
+            if state is None and s < r:
+                if registrar is not None and not registrar.claimed:
+                    if not (yield from registrar.claim()):
+                        # The incoming receiver will poison and retry.
+                        yield Write(elem_cell, None)
+                        return SELECT_LOST
+                # EMPTY but a receiver is already incoming => eliminate:
+                # publish the element for it (yellow path of Figure 1).
+                ok = yield Cas(state_cell, None, BUFFERED)
+                if ok:
+                    self.stats.eliminations += 1
+                    return SUCCESS
+                continue
+            if state is INTERRUPTED_RCV or state is BROKEN or state is CANCELLED:
+                yield Write(elem_cell, None)
+                return RESTART
+            raise AssertionError(f"send found impossible cell state {state!r} at {segm.id}:{i}")
+
+    # ------------------------------------------------------------------
+    # updCellRcv (Listing 3, lines 39-64)
+    # ------------------------------------------------------------------
+
+    def _upd_cell_rcv(
+        self, segm: Segment, i: int, r: int, mode: Any
+    ) -> Generator[Any, Any, Any]:
+        state_cell = segm.state_cell(i)
+        registrar = mode if isinstance(mode, SelectRegistrar) else None
+        while True:
+            state = yield Read(state_cell)
+            s_raw = yield Read(self.S)
+            s = counter_of(s_raw)
+            if state is None and r >= s:
+                # EMPTY and no sender is coming => suspend (or give up).
+                if is_flagged(s_raw):
+                    # Closed and drained: the frozen S can never cover r.
+                    ok = yield Cas(state_cell, None, INTERRUPTED_RCV)
+                    if ok:
+                        yield from segm.on_interrupted_cell()
+                        return CLOSED
+                    continue
+                if mode is MARK:
+                    ok = yield Cas(state_cell, None, INTERRUPTED_RCV)
+                    if ok:
+                        yield from segm.on_interrupted_cell()
+                        return WOULD_BLOCK
+                    continue
+                if registrar is not None and not registrar.claimed:
+                    w = registrar.linked(ReceiverWaiter)
+                    ok = yield Cas(state_cell, None, w)
+                    if ok:
+                        yield from self._close_recheck_receiver(w, r)
+                        return Registered(segm, i, w)
+                    continue
+                w = yield from ReceiverWaiter.make()
+                ok = yield Cas(state_cell, None, w)
+                if ok:
+                    yield from self._close_recheck_receiver(w, r)
+                    resumed = yield from self._park_receiver(w, segm, i)
+                    return SUCCESS if resumed else RESTART
+                continue
+            if isinstance(state, SenderWaiter):
+                if registrar is not None and not registrar.claimed:
+                    if not (yield from registrar.claim()):
+                        # Another clause won: free the waiting sender to
+                        # retry (its element travels with it).
+                        if (yield from state.try_unpark_retry()):
+                            yield Write(state_cell, BROKEN)
+                            yield GetAndSet(segm.elem_cell(i), None)
+                        return SELECT_LOST
+                # Waiting sender => try to resume it (rendezvous).
+                ok = yield from state.try_unpark()
+                if ok:
+                    yield Write(state_cell, DONE)
+                    return SUCCESS
+                return RESTART  # its handler cleans the cell and element
+            if state is None and r < s:
+                # EMPTY but a sender is incoming => poison the cell so
+                # both parties retry (red path of Figure 1).
+                ok = yield Cas(state_cell, None, BROKEN)
+                if ok:
+                    self.stats.poisoned += 1
+                    return RESTART
+                continue
+            if state is BUFFERED:
+                if registrar is not None and not registrar.claimed:
+                    if not (yield from registrar.claim()):
+                        # Another clause won, but only this reservation
+                        # may consume the eliminated element: route it to
+                        # the on_undelivered hook (kotlinx semantics).
+                        value = yield GetAndSet(segm.elem_cell(i), None)
+                        if value is not None:
+                            self._select_dispose_element(value)
+                        return SELECT_LOST
+                return SUCCESS  # the sender eliminated; take the element
+            if state is INTERRUPTED_SEND or state is CANCELLED:
+                return RESTART
+            raise AssertionError(f"receive found impossible cell state {state!r} at {segm.id}:{i}")
+
+    # ------------------------------------------------------------------
+    # trySend / tryReceive fast paths
+    # ------------------------------------------------------------------
+
+    def _try_send_would_block(self) -> Generator[Any, Any, bool]:
+        s_raw = yield Read(self.S)
+        r_raw = yield Read(self.R)
+        if is_flagged(s_raw):
+            return False  # let the slow path raise ChannelClosedForSend
+        # A rendezvous trySend can only succeed against a waiting receiver.
+        return counter_of(s_raw) >= counter_of(r_raw)
+
+    def _try_receive_would_block(self) -> Generator[Any, Any, bool]:
+        r_raw = yield Read(self.R)
+        s_raw = yield Read(self.S)
+        if is_flagged(s_raw) or is_flagged(r_raw):
+            return False  # let the slow path report the closed state
+        return counter_of(r_raw) >= counter_of(s_raw)

@@ -1,0 +1,204 @@
+"""``select`` over channel clauses (the kotlinx companion feature).
+
+``select`` waits on several send/receive clauses at once and completes
+exactly one — the backbone of multiplexing patterns (fan-in with
+priorities, timeouts via a timer channel, graceful shutdown channels)::
+
+    idx, value = yield from select(
+        receive_clause(updates),
+        receive_clause(shutdown),
+        send_clause(downstream, item),
+    )
+    if idx == 0: handle(value)
+    elif idx == 1: return
+    else: ...  # item was sent
+
+Design (see DESIGN.md §select):
+
+* all clauses share one *decision* — the primary waiter's state cell; a
+  resumption/interruption anywhere commits the whole select atomically;
+* a clause that can complete immediately first **claims** the decision
+  (kotlinx's ``trySelect``); losing the claim aborts the completion;
+* registered-but-losing clauses are neutralized: their cells move to
+  ``INTERRUPTED_*`` (with the channel's segment accounting), and any peer
+  waiter found in a reserved cell is woken with the **retry** signal so
+  it re-reserves a fresh cell instead of being orphaned;
+* the one unrecoverable race — a losing receive clause that already
+  consumed a buffered element — routes the element to the channel's
+  ``on_undelivered`` hook, exactly like kotlinx's ``onUndeliveredElement``.
+
+Limitations (documented): clauses must target distinct channels (one
+select cannot both send and receive on the same channel), and the
+Appendix A variant (:class:`~repro.core.buffered_eb.BufferedChannelEB`)
+does not support select.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..concurrent.ops import Read, Spin
+from ..errors import Interrupted, ReproError
+from ..runtime.waiter import Waiter
+from .base import ChannelBase, Registered, SelectRegistrar
+from .states import BROKEN, BUFFERED, DONE, DONE_RCV, INTERRUPTED_RCV, INTERRUPTED_SEND
+
+__all__ = ["select", "send_clause", "receive_clause", "SelectClause"]
+
+
+class SelectClause:
+    """One alternative of a select: a pending send or receive."""
+
+    __slots__ = ("kind", "channel", "element")
+
+    def __init__(self, kind: str, channel: ChannelBase, element: Any = None):
+        self.kind = kind  # "send" | "recv"
+        self.channel = channel
+        self.element = element
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == "send":
+            return f"send_clause({self.channel.name}, {self.element!r})"
+        return f"receive_clause({self.channel.name})"
+
+
+def send_clause(channel: ChannelBase, element: Any) -> SelectClause:
+    """A clause that completes by sending ``element`` into ``channel``."""
+
+    return SelectClause("send", channel, element)
+
+
+def receive_clause(channel: ChannelBase) -> SelectClause:
+    """A clause that completes by receiving from ``channel``."""
+
+    return SelectClause("recv", channel)
+
+
+def select(*clauses: SelectClause) -> Generator[Any, Any, tuple[int, Any]]:
+    """Wait until one clause completes; returns ``(clause_index, value)``.
+
+    ``value`` is the received element for a receive clause, ``None`` for
+    a send clause.  Raises the respective closed-channel exception if the
+    winning/only-viable clause's channel is closed, and
+    :class:`~repro.errors.Interrupted` if the suspension is cancelled.
+    """
+
+    if not clauses:
+        raise ValueError("select requires at least one clause")
+    seen_channels = set()
+    for clause in clauses:
+        if id(clause.channel) in seen_channels:
+            raise ValueError("select clauses must target distinct channels")
+        seen_channels.add(id(clause.channel))
+
+    primary = yield from Waiter.make()
+    registrar = SelectRegistrar(primary)
+    registrations: list[tuple[int, SelectClause, Registered]] = []
+
+    def cleanup(winner_reg: Optional[Registered] = None) -> Generator[Any, Any, None]:
+        """Neutralize losing registrations (idempotent)."""
+
+        for _, clause, reg in registrations:
+            if reg is winner_reg:
+                continue
+            yield from clause.channel.select_cleanup(reg, clause.kind == "send")
+
+    try:
+        # Phase 1: visit clauses in order; complete immediately or register.
+        for index, clause in enumerate(clauses):
+            if clause.kind == "send":
+                status, value = yield from clause.channel.select_send(
+                    registrar, clause.element
+                )
+            else:
+                status, value = yield from clause.channel.select_receive(registrar)
+            if status == "done":
+                yield from cleanup()
+                return (index, value)
+            if status == "registered":
+                registrations.append((index, clause, value))
+                continue
+            if status == "lost":
+                # Another clause's registration was resumed concurrently.
+                return (yield from _resolve_by_scan(registrations, registrar, cleanup))
+            if status == "closed":
+                # A closed receive clause fails the whole select, like
+                # kotlinx's onReceive on a closed channel.
+                from ..errors import ChannelClosedForReceive
+
+                raise ChannelClosedForReceive()
+        # Phase 2: nothing immediate — park on the shared decision.
+        try:
+            yield from primary.park(None)
+        except Interrupted:
+            yield from cleanup()
+            cause = _interrupt_cause(primary, registrations)
+            if cause is not None:
+                raise cause from None
+            raise
+        return (yield from _resolve_by_scan(registrations, registrar, cleanup))
+    except GeneratorExit:
+        # The whole operation is being dropped (e.g. garbage-collected
+        # after a deadlock report): unwinding must not yield.
+        raise
+    except BaseException:
+        yield from cleanup()
+        raise
+
+
+def _resolve_by_scan(
+    registrations: list[tuple[int, SelectClause, Registered]],
+    registrar: SelectRegistrar,
+    cleanup: Any,
+) -> Generator[Any, Any, tuple[int, Any]]:
+    """Find which registered clause the resumer completed, clean the rest.
+
+    The resumer's post-``tryUnpark`` cell transition (``DONE``,
+    ``DONE_RCV``, or ``BUFFERED``) may still be in flight when we wake;
+    it is performed by a running task mid-operation, so a bounded
+    spin-wait (tagged, like the algorithm's S_RESUMING waits) suffices.
+    An interruption (e.g. a closing channel cancelling a registered
+    receive clause) is also detected here.
+    """
+
+    from ..concurrent.ops import GetAndSet
+    from ..runtime.waiter import INTERRUPTED as W_INTERRUPTED
+
+    while True:
+        for index, clause, reg in registrations:
+            state = yield Read(reg.segm.state_cell(reg.index))
+            if state is reg.waiter:
+                continue  # untouched registration: a loser
+            if clause.kind == "recv" and (state is DONE or state is DONE_RCV):
+                value = yield GetAndSet(reg.segm.elem_cell(reg.index), None)
+                yield from cleanup(reg)
+                return (index, value)
+            if clause.kind == "send" and (state is DONE or state is DONE_RCV or state is BUFFERED):
+                yield from cleanup(reg)
+                return (index, None)
+            # INTERRUPTED_* / BROKEN: a racing resumer lost against our
+            # decision and neutralized the cell itself — not the winner.
+        pstate = yield Read(registrar.primary._state)
+        if pstate is W_INTERRUPTED:
+            yield from cleanup()
+            cause = _interrupt_cause(registrar.primary, registrations)
+            if cause is not None:
+                raise cause
+            raise Interrupted()
+        yield Spin("select-await-winner")
+
+
+def _interrupt_cause(primary: Waiter, registrations: list) -> Optional[BaseException]:
+    """The richest interruption cause across the linked clause waiters.
+
+    Linked waiters share the primary's *state* cell but each carries its
+    own ``interrupt_cause`` slot (an interruptor — e.g. a closing
+    channel's cancellation walk — writes the cause on the clause waiter
+    it found in the cell)."""
+
+    if primary.interrupt_cause is not None:
+        return primary.interrupt_cause
+    for _, _, reg in registrations:
+        if reg.waiter.interrupt_cause is not None:
+            return reg.waiter.interrupt_cause
+    return None

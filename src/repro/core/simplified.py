@@ -1,0 +1,236 @@
+"""The simplified buffered channel of Appendix C (Listing 7, Figure 4).
+
+This is the algorithm the paper's Theorem 1 ("the buffer size is constant
+over time") is proved about; the production algorithm of §3.2 is argued to
+be an optimized refinement of it.  The simplifications:
+
+* plain infinite array (no segments, no memory reclamation);
+* no elimination and no poisoning — races are resolved by **spin-waiting**
+  (senders wait for ``IN_BUFFER``, receivers wait for the cell to resolve);
+* ``expandBuffer()`` always marks EMPTY cells ``IN_BUFFER`` (no ``b >= S``
+  shortcut), and the first ``C`` cells are pre-marked at construction;
+* capacity must be positive and **receivers never interrupt** (senders may).
+
+Theorem 1 instrumentation: the proof's ghost variables are maintained as
+plain attributes, updated immediately after the cell transition that
+changes them (between two yields, hence atomically w.r.t. other tasks):
+
+* ``bc`` — empty buffer cells (``IN_BUFFER``),
+* ``el`` — unconsumed buffered elements (``BUFFERED``),
+* ``eb`` — obligated-but-not-yet-effective ``expandBuffer()`` calls.
+
+``check_invariant()`` asserts ``bc + el + eb == C``; the test suite runs it
+after *every simulator step* under exhaustive and random schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..concurrent.cells import IntCell
+from ..concurrent.ops import Cas, Faa, Read, Spin, Write
+from ..errors import Interrupted, InvariantViolation
+from .plain_array import PlainInfiniteArray
+from .states import BUFFERED, IN_BUFFER, INTERRUPTED_SEND, ReceiverWaiter, SenderWaiter
+
+__all__ = ["SimplifiedBufferedChannel"]
+
+
+class SimplifiedBufferedChannel:
+    """Appendix C algorithm with built-in Theorem 1 ghost accounting."""
+
+    def __init__(self, capacity: int, name: str = "simplified"):
+        if capacity < 1:
+            raise ValueError("the simplified algorithm requires capacity >= 1")
+        self.capacity = capacity
+        self.name = name
+        self.S = IntCell(0, name=f"{name}.S")
+        self.R = IntCell(0, name=f"{name}.R")
+        self.B = IntCell(capacity, name=f"{name}.B")
+        self.A = PlainInfiniteArray(f"{name}.A")
+        # "Initially ... the first C cells are in the IN_BUFFER state."
+        for i in range(capacity):
+            self.A.state_cell(i).value = IN_BUFFER
+        # Theorem 1 ghost variables.
+        self.bc = capacity
+        self.el = 0
+        self.eb = 0
+
+    # ------------------------------------------------------------------
+    # Ghost accounting
+    # ------------------------------------------------------------------
+
+    def check_invariant(self) -> None:
+        """Assert Theorem 1: ``bc + el + eb == C`` at every step."""
+
+        total = self.bc + self.el + self.eb
+        if total != self.capacity:
+            raise InvariantViolation(
+                f"Theorem 1 violated: bc={self.bc} el={self.el} eb={self.eb} "
+                f"sum={total} != C={self.capacity}"
+            )
+
+    # ------------------------------------------------------------------
+    # send (Listing 7, lines 4-46)
+    # ------------------------------------------------------------------
+
+    def send(self, element: Any) -> Generator[Any, Any, None]:
+        if element is None:
+            raise ValueError("channel cannot carry None")
+        while True:
+            s = yield Faa(self.S, 1)
+            yield Write(self.A.elem_cell(s), element)
+            if (yield from self._upd_cell_send(s)):
+                return
+
+    def _upd_cell_send(self, s: int) -> Generator[Any, Any, bool]:
+        state_cell = self.A.state_cell(s)
+        elem_cell = self.A.elem_cell(s)
+        while True:
+            state = yield Read(state_cell)
+            b = yield Read(self.B)
+            if state is IN_BUFFER:
+                # The cell is part of the buffer => deposit and finish.
+                ok = yield Cas(state_cell, IN_BUFFER, BUFFERED)
+                if ok:
+                    self.bc -= 1
+                    self.el += 1
+                    self.check_invariant()
+                    return True
+                continue
+            if state is None and s >= b:
+                # Outside the buffer => suspend.
+                w = yield from SenderWaiter.make()
+                ok = yield Cas(state_cell, None, w)
+                if ok:
+                    yield from self._park_sender(w, s)
+                    return True
+                continue
+            if isinstance(state, ReceiverWaiter):
+                # Waiting receiver => resume it and finish (receivers
+                # never interrupt in the simplified algorithm).
+                resumed = yield from state.try_unpark()
+                assert resumed, "simplified algorithm: receivers never interrupt"
+                return True
+            if state is None and s < b:
+                # Will become a buffer cell => wait for IN_BUFFER.
+                yield Spin("simplified-send-wait-inbuffer")
+                continue
+            raise AssertionError(f"simplified send: impossible state {state!r} at cell {s}")
+
+    def _park_sender(self, w: SenderWaiter, s: int) -> Generator[Any, Any, None]:
+        state_cell = self.A.state_cell(s)
+        elem_cell = self.A.elem_cell(s)
+
+        def on_interrupt() -> Generator[Any, Any, None]:
+            yield Write(elem_cell, None)
+            ok = yield Cas(state_cell, w, INTERRUPTED_SEND)
+            # If the CAS failed, a resumer locked the cell; its failed
+            # tryUnpark writes INTERRUPTED_SEND itself.  (The simplified
+            # algorithm has no S_RESUMING lock states, so resumers use
+            # the waiter CAS alone — nothing further to do either way.)
+            _ = ok
+
+        try:
+            yield from w.park(on_interrupt)
+        except Interrupted:
+            if w.interrupt_cause is not None:
+                raise w.interrupt_cause from None
+            raise
+
+    # ------------------------------------------------------------------
+    # receive (Listing 7, lines 11-72)
+    # ------------------------------------------------------------------
+
+    def receive(self) -> Generator[Any, Any, Any]:
+        while True:
+            r = yield Faa(self.R, 1)
+            if (yield from self._upd_cell_rcv(r)):
+                elem_cell = self.A.elem_cell(r)
+                value = yield Read(elem_cell)
+                yield Write(elem_cell, None)
+                return value
+
+    def _upd_cell_rcv(self, r: int) -> Generator[Any, Any, bool]:
+        state_cell = self.A.state_cell(r)
+        while True:
+            state = yield Read(state_cell)
+            s = yield Read(self.S)
+            if state is IN_BUFFER and r >= s:
+                # Buffer cell, no sender coming => suspend.
+                w = yield from ReceiverWaiter.make()
+                ok = yield Cas(state_cell, IN_BUFFER, w)
+                if ok:
+                    self.bc -= 1
+                    self.eb += 1  # this receive owes one expansion
+                    self.check_invariant()
+                    yield from self.expand_buffer()
+                    yield from w.park()  # receivers never interrupt
+                    return True
+                continue
+            if state is IN_BUFFER and r < s:
+                # A sender is incoming => wait for it to deposit.
+                yield Spin("simplified-rcv-wait-sender")
+                continue
+            if state is BUFFERED:
+                self.el -= 1
+                self.eb += 1
+                self.check_invariant()
+                yield from self.expand_buffer()
+                return True
+            if state is INTERRUPTED_SEND:
+                return False  # restart with a fresh cell
+            if isinstance(state, SenderWaiter):
+                # The sender suspended before the cell joined the buffer;
+                # wait for expandBuffer to resume it.
+                yield Spin("simplified-rcv-wait-eb")
+                continue
+            if state is None:
+                yield Spin("simplified-rcv-wait-empty")
+                continue
+            raise AssertionError(f"simplified receive: impossible state {state!r} at cell {r}")
+
+    # ------------------------------------------------------------------
+    # expandBuffer (Listing 7, lines 18-92)
+    # ------------------------------------------------------------------
+
+    def expand_buffer(self) -> Generator[Any, Any, None]:
+        while True:
+            b = yield Faa(self.B, 1)
+            if (yield from self._upd_cell_eb(b)):
+                return
+
+    def _upd_cell_eb(self, b: int) -> Generator[Any, Any, bool]:
+        state_cell = self.A.state_cell(b)
+        while True:
+            state = yield Read(state_cell)
+            if state is None:
+                ok = yield Cas(state_cell, None, IN_BUFFER)
+                if ok:
+                    self.bc += 1
+                    self.eb -= 1
+                    self.check_invariant()
+                    return True
+                continue
+            if isinstance(state, SenderWaiter):
+                resumed = yield from state.try_unpark()
+                if resumed:
+                    yield Write(state_cell, BUFFERED)
+                    self.el += 1
+                    self.eb -= 1
+                    self.check_invariant()
+                    return True
+                yield Write(state_cell, INTERRUPTED_SEND)
+                return False  # restart: the cell cannot expand the buffer
+            if state is INTERRUPTED_SEND:
+                return False
+            raise AssertionError(f"simplified expandBuffer: impossible state {state!r} at cell {b}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def ghost_counters(self) -> tuple[int, int, int]:
+        """Current ``(bc, el, eb)`` ghost values."""
+
+        return (self.bc, self.el, self.eb)

@@ -1,0 +1,134 @@
+"""Cell states and waiter kinds for the channel algorithms.
+
+The cell life-cycle diagrams (Figure 1 for rendezvous, Figure 2 for
+buffered, Figure 6 for the indistinguishable-coroutine variant) are encoded
+as identity-compared sentinels plus waiter objects:
+
+=====================  =======================================================
+state                  meaning
+=====================  =======================================================
+``None``               EMPTY — nobody processed the cell yet
+``SenderWaiter``       Coroutine\\ :sub:`SEND` — a suspended ``send(e)``
+``ReceiverWaiter``     Coroutine\\ :sub:`RCV` — a suspended ``receive()``
+``BUFFERED``           the element sits in the cell (elimination or buffer)
+``IN_BUFFER``          ``expandBuffer()`` pre-marked the still-empty cell
+``DONE_RCV``           a suspended receiver was resumed (rendezvous done)
+``BROKEN``             the cell was poisoned by a racing ``receive()``
+``INTERRUPTED_SEND``   the suspended sender was cancelled
+``INTERRUPTED_RCV``    the suspended receiver was cancelled
+``S_RESUMING_RCV``     ``receive()`` is resuming the sender (transient)
+``S_RESUMING_EB``      ``expandBuffer()`` is resuming the sender (transient)
+``EBWaiter(w)``        Coroutine+EB — Appendix A delegation marker
+``INTERRUPTED``        generic interruption (Appendix A variant)
+``INTERRUPTED_EB``     generic interruption + EB delegation (Appendix A)
+=====================  =======================================================
+
+All sentinels are singletons compared with ``is`` (cells are
+:class:`~repro.concurrent.cells.RefCell`\\ s, whose CAS is identity-based).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..runtime.waiter import Waiter
+
+__all__ = [
+    "CellState",
+    "BUFFERED",
+    "IN_BUFFER",
+    "DONE_RCV",
+    "DONE",
+    "CANCELLED",
+    "BROKEN",
+    "INTERRUPTED_SEND",
+    "INTERRUPTED_RCV",
+    "INTERRUPTED",
+    "INTERRUPTED_EB",
+    "S_RESUMING_RCV",
+    "S_RESUMING_EB",
+    "SenderWaiter",
+    "ReceiverWaiter",
+    "EBWaiter",
+    "is_sender_waiter",
+    "is_receiver_waiter",
+    "TERMINAL_STATES",
+]
+
+
+class CellState:
+    """Named singleton sentinel for one cell state."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+BUFFERED = CellState("BUFFERED")
+IN_BUFFER = CellState("IN_BUFFER")
+DONE_RCV = CellState("DONE_RCV")
+#: Rendezvous-channel completion marker (Figure 1 uses a single DONE).
+DONE = CellState("DONE")
+#: The whole channel was cancelled and this buffered element discarded.
+CANCELLED = CellState("CANCELLED")
+BROKEN = CellState("BROKEN")
+INTERRUPTED_SEND = CellState("INTERRUPTED_SEND")
+INTERRUPTED_RCV = CellState("INTERRUPTED_RCV")
+#: Generic interruption for the Appendix A variant, where the cancellation
+#: handler cannot know whether the waiter was a sender or a receiver.
+INTERRUPTED = CellState("INTERRUPTED")
+#: Generic interruption with a pending ``expandBuffer()`` delegation.
+INTERRUPTED_EB = CellState("INTERRUPTED_EB")
+S_RESUMING_RCV = CellState("S_RESUMING_RCV")
+S_RESUMING_EB = CellState("S_RESUMING_EB")
+
+#: States that can never change again (used by invariant checks).
+TERMINAL_STATES = frozenset(
+    s.name for s in (DONE_RCV, BROKEN, INTERRUPTED_SEND, INTERRUPTED_RCV, INTERRUPTED_EB)
+)
+
+
+class SenderWaiter(Waiter):
+    """A suspended ``send(e)`` — Coroutine\\ :sub:`SEND` in Figure 2."""
+
+    __slots__ = ()
+
+
+class ReceiverWaiter(Waiter):
+    """A suspended ``receive()`` — Coroutine\\ :sub:`RCV` in Figure 2."""
+
+    __slots__ = ()
+
+
+class EBWaiter:
+    """Coroutine+EB (Appendix A): a waiter carrying the «EB» marker.
+
+    ``expandBuffer()`` installs this wrapper when it finds a suspended
+    coroutine it cannot classify (the cell is already covered by
+    ``receive()``), delegating its own completion to whichever operation
+    processes the cell next.
+    """
+
+    __slots__ = ("waiter",)
+
+    def __init__(self, waiter: Waiter):
+        self.waiter = waiter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EB({self.waiter!r})"
+
+
+def is_sender_waiter(state: Any) -> bool:
+    """Is this cell state a suspended sender (distinguishable variant)?"""
+
+    return isinstance(state, SenderWaiter)
+
+
+def is_receiver_waiter(state: Any) -> bool:
+    """Is this cell state a suspended receiver (distinguishable variant)?"""
+
+    return isinstance(state, ReceiverWaiter)

@@ -1,0 +1,72 @@
+"""Per-channel statistics counters.
+
+These are *observer* counters, not simulated memory: the algorithms bump
+plain Python attributes between their atomic steps, which is race-free in
+every driver (the simulator runs one op at a time; the asyncio adapter is
+single-threaded; the thread adapter holds the op lock).
+
+They feed two of the paper's evaluation artefacts directly:
+
+* **Cell poisoning** (§5): ``poisoned`` vs. ``cells_processed`` reproduces
+  the "never exceeds 10% of cells" measurement;
+* **Memory usage** (§5): segment/node allocation counts are gathered by
+  :mod:`repro.bench.memstats` via :class:`~repro.concurrent.ops.Alloc`
+  events, with ``ChannelStats`` supplying the per-operation denominators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ChannelStats"]
+
+
+@dataclass
+class ChannelStats:
+    """Operation counters for one channel instance."""
+
+    #: Completed ``send(e)`` operations.
+    sends: int = 0
+    #: Completed ``receive()`` operations.
+    receives: int = 0
+    #: ``send(e)`` calls that actually suspended.
+    send_suspends: int = 0
+    #: ``receive()`` calls that actually suspended.
+    rcv_suspends: int = 0
+    #: Sender-side eliminations (EMPTY -> BUFFERED while a receiver is
+    #: incoming; the yellow path of Figure 1).
+    eliminations: int = 0
+    #: Cells poisoned by ``receive()`` (EMPTY -> BROKEN; the red path).
+    poisoned: int = 0
+    #: Total cell-reservation attempts (FAA on S plus FAA on R); the
+    #: denominator of the poisoning statistic.
+    cells_processed: int = 0
+    #: ``expandBuffer()`` invocations (buffered channel only).
+    expansions: int = 0
+    #: ``expandBuffer()`` restarts due to interrupted senders.
+    expansion_restarts: int = 0
+    #: Operation restarts (a FAA-reserved cell had to be abandoned).
+    send_restarts: int = 0
+    rcv_restarts: int = 0
+    #: Suspensions cancelled before resumption.
+    send_interrupts: int = 0
+    rcv_interrupts: int = 0
+    #: Failed non-blocking attempts.
+    try_send_failures: int = 0
+    try_receive_failures: int = 0
+    #: Elements consumed by a losing select clause with no
+    #: ``on_undelivered`` hook installed (dropped).
+    select_undelivered: int = 0
+
+    @property
+    def poisoned_fraction(self) -> float:
+        """Poisoned cells over processed cells (the §5 statistic)."""
+
+        return self.poisoned / self.cells_processed if self.cells_processed else 0.0
+
+    def snapshot(self) -> dict[str, int | float]:
+        """Plain-dict copy for reports."""
+
+        data = {k: getattr(self, k) for k in self.__dataclass_fields__}
+        data["poisoned_fraction"] = self.poisoned_fraction
+        return data

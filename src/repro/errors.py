@@ -1,0 +1,110 @@
+"""Exception hierarchy for the ``repro`` channel library.
+
+The hierarchy mirrors the failure modes described in the paper:
+
+* coroutine interruption (Section 2, Listing 1) surfaces as
+  :class:`Interrupted` out of a suspended ``send``/``receive``;
+* closing a channel (Section 5, "full channel semantics") surfaces as
+  :class:`ChannelClosed`;
+* the deterministic simulator reports stuck executions as
+  :class:`DeadlockError` so tests fail loudly instead of hanging.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "Interrupted",
+    "RetryWakeup",
+    "ChannelClosed",
+    "ChannelClosedForSend",
+    "ChannelClosedForReceive",
+    "DeadlockError",
+    "SchedulerError",
+    "StepLimitExceeded",
+    "LinearizabilityError",
+    "InvariantViolation",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class RetryWakeup(ReproError):
+    """Internal: a parked operation was woken to retry at a fresh cell.
+
+    Used by the select machinery: a clause that loses its select after
+    reserving a cell occupied by a peer waiter resumes that peer with a
+    *retry* signal instead of orphaning it (the runtime analogue of
+    Kotlin's resumption-with-retry).  Channel code catches this inside
+    its park helpers; it never escapes to users.
+    """
+
+
+class Interrupted(ReproError):
+    """A suspended operation's coroutine was interrupted (cancelled).
+
+    Mirrors the paper's ``interrupt()`` call on a parked coroutine
+    (Listing 1): the waiting ``send(e)``/``receive()`` is aborted, its
+    cell is moved to an ``INTERRUPTED`` state by the ``onInterrupt``
+    handler, and the caller observes this exception.
+    """
+
+
+class ChannelClosed(ReproError):
+    """Base class for operations attempted on a closed channel."""
+
+    def __init__(self, message: str = "channel is closed", cause: BaseException | None = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class ChannelClosedForSend(ChannelClosed):
+    """``send``/``trySend`` attempted after ``close()``.
+
+    Once a channel is closed, sends are forbidden (Section 5); elements
+    already in the buffer can still be received.
+    """
+
+    def __init__(self, cause: BaseException | None = None):
+        super().__init__("channel is closed for send", cause)
+
+
+class ChannelClosedForReceive(ChannelClosed):
+    """``receive`` attempted on a closed *and drained* channel."""
+
+    def __init__(self, cause: BaseException | None = None):
+        super().__init__("channel is closed for receive", cause)
+
+
+class DeadlockError(ReproError):
+    """The simulator found no runnable task but parked tasks remain.
+
+    Carries the human-readable list of stuck tasks so a failing test
+    shows *who* is parked and where.
+    """
+
+    def __init__(self, parked: list[str]):
+        super().__init__(f"deadlock: all runnable tasks finished, parked tasks remain: {parked}")
+        self.parked = parked
+
+
+class SchedulerError(ReproError):
+    """Misuse of the simulated scheduler (e.g. op yielded outside a task)."""
+
+
+class StepLimitExceeded(ReproError):
+    """A bounded simulation exceeded its step budget (likely a livelock)."""
+
+    def __init__(self, limit: int):
+        super().__init__(f"simulation exceeded the step limit of {limit}")
+        self.limit = limit
+
+
+class LinearizabilityError(ReproError):
+    """An explored execution has no matching sequential explanation."""
+
+
+class InvariantViolation(ReproError):
+    """An instrumented algorithm invariant (Lemma 1 / Theorem 1) failed."""

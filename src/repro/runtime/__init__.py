@@ -1,0 +1,28 @@
+"""Coroutine management (Listing 1): waiters, park/tryUnpark/interrupt."""
+
+from .api import busy_work, cooperative_yield, interrupt_task, park_current
+from .waiter import (
+    INIT,
+    INTERRUPTED,
+    PARKED,
+    PERMIT,
+    RESUMED,
+    Waiter,
+    WaiterState,
+    make_waiter,
+)
+
+__all__ = [
+    "Waiter",
+    "WaiterState",
+    "make_waiter",
+    "INIT",
+    "PARKED",
+    "PERMIT",
+    "RESUMED",
+    "INTERRUPTED",
+    "park_current",
+    "interrupt_task",
+    "cooperative_yield",
+    "busy_work",
+]

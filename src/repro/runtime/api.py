@@ -1,0 +1,61 @@
+"""Convenience runtime helpers layered on the Waiter primitive.
+
+These helpers are what user-facing code (examples, the bench harness,
+tests) uses; the channel algorithms themselves work with
+:class:`~repro.runtime.waiter.Waiter` directly because they must CAS the
+waiter into a cell *before* parking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..concurrent.ops import Spin, Work, Yield
+from .waiter import InterruptHandler, Waiter, make_waiter
+
+__all__ = ["park_current", "interrupt_task", "cooperative_yield", "busy_work"]
+
+
+def park_current(on_interrupt: Optional[InterruptHandler] = None) -> Generator[Any, Any, Waiter]:
+    """Create a fresh waiter for the running task and park on it.
+
+    Returns the waiter (already resumed) so callers can inspect it.
+    Mostly useful in tests and small examples; channel code inlines the
+    two steps around its cell CAS.
+    """
+
+    waiter = yield from make_waiter()
+    yield from waiter.park(on_interrupt)
+    return waiter
+
+
+def interrupt_task(task: Any) -> Generator[Any, Any, bool]:
+    """Cancel *task*'s in-flight suspension (external cancellation).
+
+    Spins until the target publishes a waiter (``curCor()``) or finishes.
+    Returns ``True`` if an interruption took effect.  Intended for DES and
+    random-schedule runs; exhaustive exploration scenarios should
+    interrupt a concrete waiter instead, to keep the schedule space
+    finite.
+    """
+
+    while True:
+        waiter = getattr(task, "current_waiter", None)
+        if waiter is not None:
+            ok = yield from waiter.interrupt()
+            return ok
+        if task.done:
+            return False
+        yield Spin("interrupt-task-wait")
+
+
+def cooperative_yield() -> Generator[Any, Any, None]:
+    """Yield the virtual processor once."""
+
+    yield Yield()
+
+
+def busy_work(cycles: int) -> Generator[Any, Any, None]:
+    """Consume ``cycles`` of non-contended local work (benchmark idiom)."""
+
+    yield Work(cycles)

@@ -1,0 +1,42 @@
+"""The simulated multicore: scheduler, cost model, exploration, tracing."""
+
+from .costmodel import DEFAULT_PARAMS, CostModel, CostParams, NullCostModel
+from .explore import ExplorationFailure, ExplorationResult, explore, explore_random, replay
+from .scheduler import (
+    ControlledPolicy,
+    DesPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+    SchedulingPolicy,
+    run_all,
+)
+from .sync import SimMutex
+from .tasks import Task, TaskState
+from .trace import LabelCollector, OpCounter, SpinCounter, Tracer
+
+__all__ = [
+    "CostModel",
+    "CostParams",
+    "NullCostModel",
+    "DEFAULT_PARAMS",
+    "Scheduler",
+    "SchedulingPolicy",
+    "DesPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "ControlledPolicy",
+    "run_all",
+    "Task",
+    "TaskState",
+    "SimMutex",
+    "explore",
+    "explore_random",
+    "replay",
+    "ExplorationResult",
+    "ExplorationFailure",
+    "Tracer",
+    "OpCounter",
+    "SpinCounter",
+    "LabelCollector",
+]

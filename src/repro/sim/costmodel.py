@@ -1,0 +1,239 @@
+"""Cache-coherence cost model for the simulated multicore.
+
+This module is the heart of the DESIGN.md substitution: it replaces the
+paper's 4-socket Xeon with an analytical model that preserves the three
+synchronization regimes the evaluation distinguishes:
+
+1. **FAA-based designs** pay a bounded number of RMWs per element.  RMWs on
+   the *same* cell serialize (a cache line is owned by one core at a time),
+   but each op completes in one attempt, so throughput degrades gently.
+2. **CAS-retry designs** (Michael-Scott, Scherer-Lea-Scott) additionally pay
+   for *failed* CAS attempts — a failed CAS still acquires the line
+   exclusively — so wasted line transfers grow with contention.
+3. **Coarse-lock designs** (Go, legacy Kotlin buffered) serialize entire
+   critical sections: a waiter cannot start its section before the holder's
+   release *time*, so added threads add queueing delay, not throughput.
+
+Mechanics
+---------
+Each task has a local clock.  Each cell records its ``last_writer``, the
+simulated time of its last write, and ``avail_time`` — the earliest time the
+next conflicting RMW/write on that line may begin.
+
+* A **read** costs ``read_hit``; if another task wrote the line since this
+  task last observed it, a ``remote_miss`` is added (the line must be
+  fetched) and the task's cache map is refreshed.
+* A **write/RMW** starts at ``max(task.clock, cell.avail_time)`` — conflicting
+  exclusive owners serialize — costs its base plus a ``remote_miss`` if the
+  task was not the last writer, and then advances ``cell.avail_time``.
+* **park/unpark** charge fixed scheduling costs; the wake latency is added to
+  the woken task by the scheduler.
+* ``Work(n)`` advances the clock by exactly ``n`` — the paper's
+  "non-contended loop cycles" between operations.
+
+Absolute constants are order-of-magnitude estimates of x86 costs in cycles
+(L1 hit ≈ 1–4, cross-socket coherence miss ≈ tens-to-hundreds); EXPERIMENTS.md
+records a sensitivity note.  The *shape* conclusions are stable under ±2×
+perturbation of the constants (see ``tests/test_costmodel.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..concurrent.cells import Cell
+from ..concurrent.ops import (
+    Alloc,
+    Cas,
+    CurrentTask,
+    Faa,
+    GetAndSet,
+    Label,
+    Op,
+    ParkTask,
+    Read,
+    Spin,
+    UnparkTask,
+    Work,
+    Write,
+    Yield,
+)
+from .tasks import Task
+
+__all__ = ["CostParams", "CostModel", "NullCostModel", "DEFAULT_PARAMS"]
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Cycle costs of the simulated machine (see module docstring)."""
+
+    read_hit: int = 1
+    write: int = 3
+    rmw: int = 10
+    #: Exclusive-ownership (RFO) transfer for a write/RMW on a line another
+    #: core owns (cross-socket average).
+    remote_miss: int = 40
+    #: Read miss served cache-to-cache into the Shared state.  Much cheaper
+    #: than an RFO: no exclusivity needed, and concurrent readers amortize
+    #: the transfer.  Distinguishing the two is what keeps the sender's
+    #: FAA-to-deposit window (which contains a *read* of the opposite
+    #: counter) below the counter's FAA service interval, as on real
+    #: hardware — otherwise receivers systematically poison (§4.2).
+    read_miss: int = 12
+    #: Suspending a coroutine: capture the continuation and return to the
+    #: dispatcher loop (user-space, but still hundreds of cycles).
+    park: int = 300
+    #: Resuming a coroutine from the waker's side: enqueue it on the
+    #: dispatcher.
+    unpark: int = 150
+    #: Latency between the unpark and the woken coroutine's first step
+    #: (dispatcher queue round-trip).  Keeping this realistic is what
+    #: makes the suspension-rich steady state of §5 sticky.
+    wake_latency: int = 600
+    spin: int = 4
+    yield_: int = 2
+    #: Object allocation (bump pointer + eventual GC amortization).
+    alloc: int = 15
+    #: Maximum extra cycles of deterministic timing jitter per memory op.
+    #: Real machines have timing variance; a perfectly periodic simulator
+    #: can drive the obstruction-free rendezvous algorithm into the §4.2
+    #: mutual-poisoning orbit (a send/receive pair re-poisoning forever).
+    #: A few cycles of seeded pseudo-random skew break such orbits while
+    #: keeping every run bit-reproducible.  Set to 0 for exact costs.
+    jitter: int = 3
+
+    def scaled(self, factor: float) -> "CostParams":
+        """Return params with every *coherence* cost scaled by ``factor``.
+
+        Used by the sensitivity tests: scaling ``remote_miss``/``rmw``
+        together must not change who wins in Figure 5.
+        """
+
+        return CostParams(
+            read_hit=self.read_hit,
+            write=self.write,
+            rmw=max(1, int(self.rmw * factor)),
+            remote_miss=max(1, int(self.remote_miss * factor)),
+            read_miss=max(1, int(self.read_miss * factor)),
+            park=self.park,
+            unpark=self.unpark,
+            wake_latency=self.wake_latency,
+            spin=self.spin,
+            yield_=self.yield_,
+            alloc=self.alloc,
+            jitter=self.jitter,
+        )
+
+
+DEFAULT_PARAMS = CostParams()
+
+
+class CostModel:
+    """Charges simulated cycles per op and serializes conflicting RMWs."""
+
+    __slots__ = ("p", "_lcg")
+
+    def __init__(self, params: CostParams | None = None, seed: int = 0):
+        self.p = params or DEFAULT_PARAMS
+        self._lcg = (seed * 2862933555777941757 + 3037000493) & 0xFFFFFFFFFFFFFFFF
+
+    def _jitter(self, bound: int | None = None) -> int:
+        """Next deterministic timing-skew sample (cheap 64-bit LCG).
+
+        ``bound`` overrides the default small skew: ops that pay a
+        coherence miss draw from ``[0, remote_miss]`` instead, modelling
+        the large arbitration variance of contended lines.  Without this,
+        the two channel counters phase-lock (both tick at the uniform
+        line-serialization rate) and the obstruction-free algorithm is
+        driven into systematic poisoning that real hardware's timing
+        chaos prevents (§4.2; see EXPERIMENTS.md).
+        """
+
+        j = self.p.jitter if bound is None else bound
+        if not j:
+            return 0
+        self._lcg = (self._lcg * 6364136223846793005 + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+        return (self._lcg >> 33) % (j + 1)
+
+    # The scheduler calls exactly one of the three entry points below per op.
+
+    def charge(self, task: Task, op: Op) -> None:
+        """Advance ``task.clock`` (and cell bookkeeping) for *op*."""
+
+        p = self.p
+        t = type(op)
+        if t is Read:
+            line = op.cell.line  # type: ignore[attr-defined]
+            cost = p.read_hit + self._jitter()
+            if line.last_writer is not None and line.last_writer != task.tid:
+                seen = task.cache.get(line.loc_id, -1)
+                if line.write_time > seen:
+                    cost += p.read_miss
+                    if p.jitter:
+                        cost += self._jitter(p.read_miss)
+                    task.cache[line.loc_id] = line.write_time
+                    # A read cannot complete before the owning writer's
+                    # store retires: serve it at the line's release time.
+                    if line.avail_time > task.clock:
+                        task.clock = line.avail_time
+            task.clock += cost
+        elif t is Cas or t is Faa or t is GetAndSet:
+            self._charge_exclusive(task, op.cell, p.rmw)  # type: ignore[attr-defined]
+        elif t is Write:
+            self._charge_exclusive(task, op.cell, p.write)  # type: ignore[attr-defined]
+        elif t is Work:
+            task.clock += op.cycles  # type: ignore[attr-defined]
+        elif t is Yield:
+            task.clock += p.yield_
+        elif t is Spin:
+            task.clock += p.spin
+        elif t is Alloc:
+            task.clock += p.alloc
+        elif t is ParkTask:
+            task.clock += p.park
+        elif t is UnparkTask:
+            task.clock += p.unpark
+        elif t is Label or t is CurrentTask:
+            pass
+        else:  # pragma: no cover - defensive
+            task.clock += 1
+
+    def _charge_exclusive(self, task: Task, cell: Cell, base: int) -> None:
+        """A write or RMW: acquire the line exclusively, serializing."""
+
+        line = cell.line
+        start = task.clock
+        if line.avail_time > start:
+            start = line.avail_time
+        cost = base + self._jitter()
+        if line.last_writer is not None and line.last_writer != task.tid:
+            cost += self.p.remote_miss
+            if self.p.jitter:
+                cost += self._jitter(self.p.remote_miss)
+        end = start + cost
+        task.clock = end
+        line.avail_time = end
+        line.last_writer = task.tid
+        line.write_time = end
+        task.cache[line.loc_id] = end
+
+    def wake(self, target: Task, waker_clock: int) -> None:
+        """Propagate simulated time to a task being unparked."""
+
+        base = target.clock
+        if waker_clock > base:
+            base = waker_clock
+        target.clock = base + self.p.wake_latency
+
+
+class NullCostModel:
+    """No-op cost model for interleaving exploration (clock-free)."""
+
+    __slots__ = ()
+
+    def charge(self, task: Task, op: Op) -> None:
+        task.clock += 1  # monotone step counter keeps DES policies usable
+
+    def wake(self, target: Task, waker_clock: int) -> None:
+        if waker_clock > target.clock:
+            target.clock = waker_clock

@@ -1,0 +1,148 @@
+"""Interleaving exploration: a miniature Lincheck for the op protocol.
+
+The channel algorithms expose one shared-memory access per ``yield``, so a
+schedule is fully determined by the sequence of "which task runs next"
+choices.  This module enumerates such schedules:
+
+* :func:`explore` — exhaustive, stateless DFS over scheduling choices,
+  optionally with a CHESS-style *preemption bound* (most concurrency bugs
+  manifest with very few preemptions, which keeps small scenarios tractable);
+* :func:`explore_random` — seeded random schedules, for larger scenarios
+  where exhaustive enumeration explodes.
+
+A *scenario* is a builder ``build(sched) -> ctx`` that spawns fresh tasks on
+the given scheduler (state must be rebuilt per schedule — exploration replays
+from scratch).  An optional ``check(ctx, sched)`` validates each completed
+execution (invariants, linearizability); any exception it raises is wrapped
+in :class:`ExplorationFailure` together with the reproducing choice sequence,
+so a failing race is replayable with :func:`replay`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..errors import ReproError
+from .costmodel import NullCostModel
+from .scheduler import ControlledPolicy, RandomPolicy, Scheduler
+
+__all__ = ["explore", "explore_random", "replay", "ExplorationResult", "ExplorationFailure"]
+
+Builder = Callable[[Scheduler], Any]
+Checker = Callable[[Any, Scheduler], None]
+
+
+class ExplorationFailure(ReproError):
+    """A schedule produced a failure; carries the reproducing choices."""
+
+    def __init__(self, choices: list[int], schedule_index: int, cause: BaseException):
+        super().__init__(
+            f"schedule #{schedule_index} failed with {type(cause).__name__}: {cause}\n"
+            f"  reproduce with replay(build, choices={choices!r})"
+        )
+        self.choices = choices
+        self.schedule_index = schedule_index
+        self.cause = cause
+
+
+@dataclass
+class ExplorationResult:
+    """Summary of an exploration run."""
+
+    schedules: int = 0
+    exhausted: bool = False
+    #: Deepest decision stack seen (diagnostic).
+    max_depth: int = 0
+    #: Branching factors of the last schedule (diagnostic).
+    last_branching: list[int] = field(default_factory=list)
+
+
+def _run_one(
+    build: Builder,
+    check: Optional[Checker],
+    policy: ControlledPolicy | RandomPolicy,
+    max_steps: int,
+    schedule_index: int,
+    choices_for_report: list[int],
+) -> None:
+    sched = Scheduler(policy=policy, cost_model=NullCostModel(), max_steps=max_steps)
+    try:
+        ctx = build(sched)
+        sched.run(raise_errors=True)
+        if check is not None:
+            check(ctx, sched)
+    except BaseException as exc:  # noqa: BLE001 - rewrapped with repro info
+        raise ExplorationFailure(choices_for_report, schedule_index, exc) from exc
+
+
+def explore(
+    build: Builder,
+    check: Optional[Checker] = None,
+    max_schedules: int = 20_000,
+    max_steps: int = 100_000,
+    preemption_bound: Optional[int] = None,
+) -> ExplorationResult:
+    """Exhaustively enumerate schedules of a scenario (stateless DFS).
+
+    Returns an :class:`ExplorationResult`; ``exhausted`` is ``True`` when
+    every schedule (within the preemption bound, if any) was covered before
+    hitting ``max_schedules``.
+    """
+
+    result = ExplorationResult()
+    choices: list[int] = []
+    while True:
+        policy = ControlledPolicy(choices=list(choices), preemption_bound=preemption_bound)
+        _run_one(build, check, policy, max_steps, result.schedules, list(choices))
+        result.schedules += 1
+        branching = policy.branching
+        result.max_depth = max(result.max_depth, len(branching))
+        result.last_branching = branching
+        if result.schedules >= max_schedules:
+            return result  # budget exhausted, not fully explored
+        # Advance to the lexicographically-next untried choice sequence.
+        depth = len(branching)
+        padded = list(choices[:depth]) + [0] * (depth - len(choices[:depth]))
+        i = depth - 1
+        while i >= 0 and padded[i] + 1 >= branching[i]:
+            i -= 1
+        if i < 0:
+            result.exhausted = True
+            return result
+        choices = padded[:i] + [padded[i] + 1]
+
+
+def explore_random(
+    build: Builder,
+    check: Optional[Checker] = None,
+    schedules: int = 200,
+    seed: int = 0,
+    max_steps: int = 1_000_000,
+) -> ExplorationResult:
+    """Run ``schedules`` random interleavings with distinct derived seeds."""
+
+    result = ExplorationResult()
+    for i in range(schedules):
+        policy = RandomPolicy(seed=seed * 1_000_003 + i)
+        _run_one(build, check, policy, max_steps, i, [seed * 1_000_003 + i])
+        result.schedules += 1
+    result.exhausted = True
+    return result
+
+
+def replay(
+    build: Builder,
+    choices: list[int],
+    check: Optional[Checker] = None,
+    max_steps: int = 1_000_000,
+) -> Scheduler:
+    """Re-run a single schedule from a recorded choice sequence (debugging)."""
+
+    policy = ControlledPolicy(choices=list(choices))
+    sched = Scheduler(policy=policy, cost_model=NullCostModel(), max_steps=max_steps)
+    ctx = build(sched)
+    sched.run(raise_errors=True)
+    if check is not None:
+        check(ctx, sched)
+    return sched

@@ -1,0 +1,574 @@
+"""The deterministic simulated-multicore scheduler.
+
+The scheduler owns a set of :class:`~repro.sim.tasks.Task` virtual threads
+and repeatedly: picks a runnable task (per the pluggable
+:class:`SchedulingPolicy`), resumes its generator for exactly one op, applies
+the op's effect atomically, charges its cost, and delivers the result.
+Because only one op executes at a time, every execution is a legal
+sequentially-consistent interleaving — which is precisely the memory model
+the paper assumes (Section 2).
+
+Three policies cover the three uses of the simulator:
+
+* :class:`DesPolicy` — discrete-event order (lowest task clock first).  With
+  the cache-coherence cost model this produces the simulated-cycles makespan
+  used by the Figure 5 benchmarks.
+* :class:`RandomPolicy` — seeded uniform choice, for randomized race testing.
+* :class:`ControlledPolicy` — replays an explicit choice sequence; the
+  exhaustive interleaving explorer (:mod:`repro.sim.explore`) drives it.
+
+Park/unpark protocol
+--------------------
+``ParkTask`` suspends the current task; ``UnparkTask`` resumes a target.
+The classic lost-wakeup race (unpark arriving after the waiter committed to
+parking but before it actually suspended) is resolved with a LockSupport-style
+permit: an early unpark sets ``task.unpark_pending`` and the subsequent
+``ParkTask`` consumes it without suspending — mirroring the paper's
+"``tryUnpark()`` can be called before ``park(..)``" contract (Section 2).
+Interruptions are delivered by *throwing* :class:`~repro.errors.Interrupted`
+into the parked generator, so a cancelled ``send``/``receive`` unwinds exactly
+like a Kotlin coroutine resumed with a ``CancellationException``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..concurrent.ops import (
+    Alloc,
+    Cas,
+    CurrentTask,
+    Faa,
+    GetAndSet,
+    Label,
+    Op,
+    ParkTask,
+    Read,
+    Spin,
+    UnparkTask,
+    Write,
+    Yield,
+    apply_memory_op,
+)
+from ..errors import DeadlockError, Interrupted, RetryWakeup, SchedulerError, StepLimitExceeded
+from .costmodel import CostModel, NullCostModel
+from .tasks import Task, TaskState
+
+__all__ = [
+    "Scheduler",
+    "SchedulingPolicy",
+    "DesPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "ControlledPolicy",
+    "run_all",
+]
+
+_MEMORY_OP_TYPES = (Read, Write, Cas, Faa, GetAndSet)
+
+
+class SchedulingPolicy:
+    """Chooses which runnable task executes the next op."""
+
+    def reset(self) -> None:
+        """Forget internal state (scheduler re-registers runnable tasks)."""
+
+    def on_runnable(self, task: Task) -> None:
+        """A task became runnable (spawned or woken)."""
+
+    def requeue(self, task: Task) -> None:
+        """The running task executed an op and is still runnable."""
+
+    def next(self) -> Optional[Task]:
+        """Return the next task to run, or ``None`` if none are runnable."""
+        raise NotImplementedError
+
+    def keep_running(self, task: Task) -> bool:
+        """May the scheduler run one more op of *task* without re-picking?
+
+        Pure scheduling optimization; returning ``False`` is always
+        correct.  :class:`DesPolicy` returns ``True`` while the task's
+        clock has not passed the next-earliest runnable task, which cuts
+        bookkeeping several-fold without changing DES semantics.
+        """
+        return False
+
+    def on_voluntary_yield(self, task: Task) -> None:
+        """The task executed a ``Spin``/``Yield`` (no memory effect).
+
+        Policies may treat the next switch away from it as free — a sound
+        stutter reduction, since re-running the task immediately would
+        only re-read unchanged state.
+        """
+
+
+class DesPolicy(SchedulingPolicy):
+    """Discrete-event order: run the runnable task with the smallest clock.
+
+    Ties break by task id, so runs are fully deterministic.  Implemented
+    as a lazy min-heap of ``(clock, tid)`` entries.
+    """
+
+    __slots__ = ("_heap", "_tasks")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int]] = []
+        self._tasks: dict[int, Task] = {}
+
+    def reset(self) -> None:
+        self._heap.clear()
+        self._tasks.clear()
+
+    def on_runnable(self, task: Task) -> None:
+        self._tasks[task.tid] = task
+        heapq.heappush(self._heap, (task.clock, task.tid))
+
+    def requeue(self, task: Task) -> None:
+        heapq.heappush(self._heap, (task.clock, task.tid))
+
+    def next(self) -> Optional[Task]:
+        heap = self._heap
+        tasks = self._tasks
+        while heap:
+            clock, tid = heapq.heappop(heap)
+            task = tasks.get(tid)
+            if task is None or task.state is not TaskState.RUNNABLE:
+                continue
+            if task.clock != clock:
+                continue  # stale entry; a fresher one exists
+            return task
+        return None
+
+    def keep_running(self, task: Task) -> bool:
+        heap = self._heap
+        tasks = self._tasks
+        while heap:
+            clock, tid = heap[0]
+            other = tasks.get(tid)
+            if (
+                other is None
+                or other.state is not TaskState.RUNNABLE
+                or other.clock != clock
+                or other is task
+            ):
+                heapq.heappop(heap)
+                continue
+            return task.clock <= clock
+        return True  # nothing else runnable
+
+    def forget(self, task: Task) -> None:
+        self._tasks.pop(task.tid, None)
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Seeded uniform random choice among runnable tasks."""
+
+    __slots__ = ("rng", "_tasks")
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+        self._tasks: dict[int, Task] = {}
+
+    def reset(self) -> None:
+        self._tasks.clear()
+
+    def on_runnable(self, task: Task) -> None:
+        self._tasks[task.tid] = task
+
+    def requeue(self, task: Task) -> None:
+        self._tasks[task.tid] = task
+
+    def next(self) -> Optional[Task]:
+        alive = [t for t in self._tasks.values() if t.state is TaskState.RUNNABLE]
+        if not alive:
+            return None
+        task = self.rng.choice(alive)
+        return task
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Cooperative round-robin with a per-pick quantum of one op."""
+
+    __slots__ = ("_queue",)
+
+    def __init__(self) -> None:
+        self._queue: list[Task] = []
+
+    def reset(self) -> None:
+        self._queue.clear()
+
+    def on_runnable(self, task: Task) -> None:
+        self._queue.append(task)
+
+    def requeue(self, task: Task) -> None:
+        self._queue.append(task)
+
+    def next(self) -> Optional[Task]:
+        queue = self._queue
+        while queue:
+            task = queue.pop(0)
+            if task.state is TaskState.RUNNABLE:
+                return task
+        return None
+
+
+class ControlledPolicy(SchedulingPolicy):
+    """Replays an explicit choice sequence; records branching factors.
+
+    At each decision point with more than one runnable task, consumes the
+    next index from ``choices`` (defaulting to 0 past the end) and appends
+    the number of alternatives to ``branching``.  The DFS explorer uses the
+    recorded branching to enumerate the next untried schedule.
+    """
+
+    __slots__ = (
+        "choices",
+        "branching",
+        "_pos",
+        "_tasks",
+        "preemption_bound",
+        "_last",
+        "preemptions",
+        "_last_yielded",
+    )
+
+    def __init__(self, choices: list[int] | None = None, preemption_bound: int | None = None):
+        self.choices = choices or []
+        self.branching: list[int] = []
+        self._pos = 0
+        self._tasks: dict[int, Task] = {}
+        #: If set, schedules that would preempt a runnable task more than
+        #: this many times are pruned (CHESS-style context bounding).
+        self.preemption_bound = preemption_bound
+        self._last: Optional[Task] = None
+        self.preemptions = 0
+        self._last_yielded = False
+
+    def reset(self) -> None:
+        self._tasks.clear()
+        self.branching = []
+        self._pos = 0
+        self._last = None
+        self.preemptions = 0
+        self._last_yielded = False
+
+    def on_runnable(self, task: Task) -> None:
+        self._tasks[task.tid] = task
+
+    def requeue(self, task: Task) -> None:
+        self._tasks[task.tid] = task
+
+    def on_voluntary_yield(self, task: Task) -> None:
+        if task is self._last:
+            self._last_yielded = True
+
+    def next(self) -> Optional[Task]:
+        alive = sorted(
+            (t for t in self._tasks.values() if t.state is TaskState.RUNNABLE),
+            key=lambda t: t.tid,
+        )
+        if not alive:
+            return None
+        last = self._last
+        if self._last_yielded and last is not None and len(alive) > 1:
+            # The previous op was a Spin/Yield (no memory effect): force a
+            # deterministic round-robin hand-off.  Sound stutter reduction
+            # — re-running the spinner would only re-read unchanged state —
+            # and the hand-off is free (no branch, no preemption charge),
+            # which both keeps schedule spaces finite for spin-based
+            # algorithms and prevents a budget-pinned spinner livelock.
+            self._last_yielded = False
+            later = [t for t in alive if t.tid > last.tid]
+            picked = later[0] if later else alive[0]
+            self._last = picked
+            return picked
+        self._last_yielded = False
+        if (
+            self.preemption_bound is not None
+            and self.preemptions >= self.preemption_bound
+            and last is not None
+            and last.state is TaskState.RUNNABLE
+        ):
+            # Out of preemption budget: stay on the current task.
+            self._last = last
+            return last
+        if len(alive) == 1:
+            choice = 0
+        else:
+            idx = self._pos
+            choice = self.choices[idx] if idx < len(self.choices) else 0
+            self.branching.append(len(alive))
+            self._pos += 1
+            if choice >= len(alive):
+                raise SchedulerError(
+                    f"controlled choice {choice} out of range for {len(alive)} runnable tasks"
+                )
+        picked = alive[choice]
+        if last is not None and picked is not last and last.state is TaskState.RUNNABLE:
+            self.preemptions += 1
+        self._last = picked
+        return picked
+
+
+class Scheduler:
+    """Runs virtual threads one atomic op at a time.
+
+    Parameters
+    ----------
+    policy:
+        Scheduling policy; defaults to deterministic :class:`DesPolicy`.
+    cost_model:
+        Cycle accounting; defaults to the cache-coherence
+        :class:`~repro.sim.costmodel.CostModel`.  Pass
+        :class:`~repro.sim.costmodel.NullCostModel` for exploration runs.
+    max_steps:
+        Global op budget; exceeding it raises
+        :class:`~repro.errors.StepLimitExceeded` (livelock guard).
+    """
+
+    def __init__(
+        self,
+        policy: SchedulingPolicy | None = None,
+        cost_model: CostModel | NullCostModel | None = None,
+        max_steps: int = 50_000_000,
+        processors: int | None = None,
+    ):
+        self.policy = policy or DesPolicy()
+        self.cost = cost_model if cost_model is not None else CostModel()
+        self.max_steps = max_steps
+        #: Hardware-parallelism limit: with ``processors=N`` at most N
+        #: tasks make progress per unit of simulated time (the paper's
+        #: "1000 coroutines on N threads" configurations).  ``None``
+        #: means one processor per task.
+        #:
+        #: Multiplexing is *cooperative*, as for real coroutines (§2): a
+        #: task bound to a processor runs until it parks or finishes;
+        #: only then does the processor pick up another runnable task.
+        #: Tasks never interleave mid-operation on one processor — the
+        #: property that makes a single-threaded producer/consumer pair
+        #: rendezvous without ever poisoning a cell, exactly like the
+        #: real runtime.
+        self.processors = processors
+        self._proc_free: list[int] = [0] * processors if processors else []
+        #: Runnable tasks waiting for a processor (cooperative mode).
+        self._unbound: deque[Task] = deque()
+        #: Tasks currently bound to a processor (cooperative mode).
+        self._bound: set[int] = set()
+        self.tasks: list[Task] = []
+        self.total_steps = 0
+        self._next_tid = 0
+        self._hooks: list[Callable[["Scheduler", Task, Op], None]] = []
+        self.alloc_stats: Any = None  # duck-typed .record(tag, units)
+        self._live = 0  # tasks not yet DONE/FAILED
+
+    # ------------------------------------------------------------------
+    # Task management
+    # ------------------------------------------------------------------
+
+    def spawn(self, gen: Generator[Any, Any, Any], name: str | None = None) -> Task:
+        """Register a generator as a new runnable virtual thread."""
+
+        task = Task(self._next_tid, gen, name)
+        self._next_tid += 1
+        self.tasks.append(task)
+        self._live += 1
+        self._make_runnable(task)
+        return task
+
+    def _make_runnable(self, task: Task) -> None:
+        """Route a runnable task to a processor or the wait queue."""
+
+        if self.processors is None:
+            self.policy.on_runnable(task)
+            return
+        if len(self._bound) < self.processors:
+            self._bind(task)
+        else:
+            self._unbound.append(task)
+
+    def _bind(self, task: Task) -> None:
+        free_at = heapq.heappop(self._proc_free)
+        if free_at > task.clock:
+            task.clock = free_at
+        self._bound.add(task.tid)
+        self.policy.on_runnable(task)
+
+    def _unbind(self, task: Task) -> None:
+        self._bound.discard(task.tid)
+        heapq.heappush(self._proc_free, task.clock)
+        if self._unbound:
+            self._bind(self._unbound.popleft())
+
+    def add_hook(self, hook: Callable[["Scheduler", Task, Op], None]) -> None:
+        """Register a per-op observer (invariant checkers, tracers)."""
+
+        self._hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, raise_errors: bool = True) -> None:
+        """Run until every task finished; raise on deadlock or livelock.
+
+        With ``raise_errors`` (default) the first task failure that is not
+        an :class:`~repro.errors.Interrupted` (an *expected* cancellation
+        outcome) is re-raised.
+        """
+
+        policy = self.policy
+        limit = self.max_steps
+        while self._live:
+            task = policy.next()
+            if task is None:
+                if self._unbound:  # defensive: bind and keep going
+                    self._bind(self._unbound.popleft())
+                    continue
+                parked = [t.name for t in self.tasks if t.state is TaskState.PARKED]
+                if parked:
+                    raise DeadlockError(parked)
+                break  # spawned nothing / all finished
+            # Run this task while the policy allows, then requeue it.
+            while True:
+                self._step_task(task)
+                if self.total_steps > limit:
+                    raise StepLimitExceeded(limit)
+                if task.state is not TaskState.RUNNABLE:
+                    break
+                if not policy.keep_running(task):
+                    policy.requeue(task)
+                    break
+        if raise_errors:
+            for task in self.tasks:
+                if task.state is TaskState.FAILED and not isinstance(task.error, Interrupted):
+                    raise task.error  # type: ignore[misc]
+
+    def step(self) -> bool:
+        """Execute exactly one op of one task; ``False`` when nothing ran."""
+
+        task = self.policy.next()
+        if task is None:
+            return False
+        self._step_task(task)
+        if task.state is TaskState.RUNNABLE:
+            self.policy.requeue(task)
+        return True
+
+    @property
+    def makespan(self) -> int:
+        """Simulated completion time: the maximum task clock."""
+
+        return max((t.clock for t in self.tasks), default=0)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _step_task(self, task: Task) -> None:
+        self.total_steps += 1
+        try:
+            if task.pending_exc is not None:
+                exc = task.pending_exc
+                task.pending_exc = None
+                op = task.gen.throw(exc)
+            else:
+                value = task.pending_value
+                task.pending_value = None
+                op = task.gen.send(value)
+        except StopIteration as stop:
+            task.state = TaskState.DONE
+            task.value = stop.value
+            self._live -= 1
+            if self.processors is not None:
+                self._unbind(task)
+            return
+        except BaseException as exc:  # noqa: BLE001 - task failure captured
+            task.state = TaskState.FAILED
+            task.error = exc
+            self._live -= 1
+            if self.processors is not None:
+                self._unbind(task)
+            return
+        task.steps += 1
+        self.cost.charge(task, op)
+        op_type = type(op)
+        if op_type is Spin:
+            # Spin is a contract: the task will only re-read unchanged
+            # state until someone else writes, so forcing a hand-off is a
+            # sound stutter reduction.  Plain Yield carries no such
+            # contract and must stay a normal scheduling point.
+            self.policy.on_voluntary_yield(task)
+        self._dispatch(task, op)
+        if self.processors is not None and task.state is not TaskState.RUNNABLE:
+            self._unbind(task)
+        if self._hooks:
+            for hook in self._hooks:
+                hook(self, task, op)
+
+    def _dispatch(self, task: Task, op: Op) -> None:
+        if isinstance(op, _MEMORY_OP_TYPES):
+            task.pending_value = apply_memory_op(op)
+            return
+        t = type(op)
+        if t is ParkTask:
+            if task.interrupt_pending:
+                task.interrupt_pending = False
+                task.pending_exc = Interrupted()
+            elif task.retry_pending:
+                task.retry_pending = False
+                task.pending_exc = RetryWakeup()
+            elif task.unpark_pending:
+                task.unpark_pending = False  # permit consumed; no suspension
+            else:
+                task.state = TaskState.PARKED
+                task.park_count += 1
+            return
+        if t is UnparkTask:
+            target: Task = op.task  # type: ignore[attr-defined]
+            if target.state is TaskState.PARKED:
+                if op.interrupt:  # type: ignore[attr-defined]
+                    target.pending_exc = Interrupted()
+                elif op.retry:  # type: ignore[attr-defined]
+                    target.pending_exc = RetryWakeup()
+                target.state = TaskState.RUNNABLE
+                self.cost.wake(target, task.clock)
+                self._make_runnable(target)
+            elif op.interrupt:  # type: ignore[attr-defined]
+                target.interrupt_pending = True
+            elif op.retry:  # type: ignore[attr-defined]
+                target.retry_pending = True
+            else:
+                target.unpark_pending = True
+            return
+        if t is CurrentTask:
+            task.pending_value = task
+            return
+        if t is Alloc:
+            stats = self.alloc_stats
+            if stats is not None:
+                stats.record(op.tag, op.units)  # type: ignore[attr-defined]
+            return
+        # Yield / Spin / Work / Label: no effect beyond the charged cost.
+
+
+def run_all(
+    gens: Iterable[Generator[Any, Any, Any]],
+    policy: SchedulingPolicy | None = None,
+    cost_model: CostModel | NullCostModel | None = None,
+    max_steps: int = 50_000_000,
+    names: Iterable[str] | None = None,
+) -> Scheduler:
+    """Convenience: spawn all generators, run to completion, return scheduler."""
+
+    sched = Scheduler(policy=policy, cost_model=cost_model, max_steps=max_steps)
+    if names is None:
+        for gen in gens:
+            sched.spawn(gen)
+    else:
+        for gen, name in zip(gens, names):
+            sched.spawn(gen, name)
+    sched.run()
+    return sched

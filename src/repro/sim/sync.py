@@ -1,0 +1,80 @@
+"""Simulated synchronization for the lock-based baseline channels.
+
+The paper compares against coarse-grained-locking designs (Go's channel, the
+legacy Kotlin buffered channel).  Those baselines need a mutex that behaves
+like a real one under the cost model: *the critical section serializes
+simulated time*, so adding threads adds queueing delay instead of throughput.
+
+:class:`SimMutex` is a test-and-test-and-set spin lock with capped exponential
+backoff — the spin-then-yield regime of Go's ``runtime.mutex`` fast path.  The
+serialization falls out of the cost model automatically: the release write
+publishes the holder's clock on the lock cell, and a waiter's acquiring CAS
+cannot start before the line's ``avail_time``.
+
+State *protected by* the mutex may be plain Python data (lists, deques):
+because every access happens between ``acquire``/``release`` of the same
+mutex, no other task can interleave a conflicting access, exactly as in real
+lock-based code.  This keeps the baselines faithful to their originals, which
+do not decompose their critical sections into atomic steps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..concurrent.cells import IntCell
+from ..concurrent.ops import Cas, Read, Spin, Work, Write
+from ..errors import SchedulerError
+
+__all__ = ["SimMutex"]
+
+_UNLOCKED = 0
+_LOCKED = 1
+
+
+class SimMutex:
+    """A TTAS spin lock with capped exponential backoff (generator API)."""
+
+    __slots__ = ("_state", "name", "acquisitions", "contended_acquisitions")
+
+    def __init__(self, name: str = "mutex"):
+        self._state = IntCell(_UNLOCKED, name=f"{name}.state")
+        self.name = name
+        #: Total successful acquisitions (stats for the bench harness).
+        self.acquisitions = 0
+        #: Acquisitions that needed at least one retry.
+        self.contended_acquisitions = 0
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        """Acquire the lock; spins (with backoff) while it is held."""
+
+        backoff = 8
+        contended = False
+        while True:
+            state = yield Read(self._state)
+            if state == _UNLOCKED:
+                ok = yield Cas(self._state, _UNLOCKED, _LOCKED)
+                if ok:
+                    self.acquisitions += 1
+                    if contended:
+                        self.contended_acquisitions += 1
+                    return
+            contended = True
+            yield Spin(f"{self.name}-contended")
+            yield Work(backoff)
+            if backoff < 512:
+                backoff *= 2
+
+    def release(self) -> Generator[Any, Any, None]:
+        """Release the lock.  Raises if it was not held."""
+
+        state = yield Read(self._state)
+        if state != _LOCKED:
+            raise SchedulerError(f"{self.name}: release of an unheld mutex")
+        yield Write(self._state, _UNLOCKED)
+
+    @property
+    def locked(self) -> bool:
+        """Non-simulated peek, for tests run between scheduler steps."""
+
+        return self._state.value == _LOCKED

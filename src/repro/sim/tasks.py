@@ -1,0 +1,114 @@
+"""Virtual threads (tasks) executed by the simulated scheduler.
+
+A :class:`Task` wraps one algorithm generator plus the bookkeeping the
+scheduler and the cost model need: a run state, a per-task simulated clock
+(discrete-event semantics: the makespan of a run is the maximum task clock),
+the value or exception to deliver at the next resume, and the lost-wakeup
+guard used by the park/unpark protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Optional
+
+from ..errors import Interrupted
+
+__all__ = ["Task", "TaskState"]
+
+
+class TaskState(enum.Enum):
+    """Life-cycle of a virtual thread."""
+
+    RUNNABLE = "runnable"
+    PARKED = "parked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Task:
+    """One virtual thread: a generator plus scheduling state.
+
+    Tasks are created via :meth:`repro.sim.scheduler.Scheduler.spawn`,
+    never directly.
+    """
+
+    __slots__ = (
+        "tid",
+        "name",
+        "gen",
+        "state",
+        "clock",
+        "steps",
+        "pending_value",
+        "pending_exc",
+        "unpark_pending",
+        "interrupt_pending",
+        "retry_pending",
+        "value",
+        "error",
+        "cache",
+        "park_count",
+        "current_waiter",
+    )
+
+    def __init__(self, tid: int, gen: Generator[Any, Any, Any], name: str | None = None):
+        self.tid = tid
+        self.name = name or f"task-{tid}"
+        self.gen = gen
+        self.state = TaskState.RUNNABLE
+        #: Per-task simulated clock, in cycles.  Frozen while parked.
+        self.clock: int = 0
+        #: Number of ops this task has executed (all drivers).
+        self.steps: int = 0
+        #: Value delivered to ``gen.send`` at the next resume.
+        self.pending_value: Any = None
+        #: Exception thrown into the generator at the next resume, if any.
+        self.pending_exc: Optional[BaseException] = None
+        #: Set when ``UnparkTask`` arrives before the target actually parked
+        #: (the LockSupport-style permit preventing lost wakeups).
+        self.unpark_pending: bool = False
+        #: Like :attr:`unpark_pending`, but the wakeup is an interruption.
+        self.interrupt_pending: bool = False
+        #: Like :attr:`unpark_pending`, but the wakeup is a retry signal.
+        self.retry_pending: bool = False
+        #: Return value of the generator once :attr:`state` is ``DONE``.
+        self.value: Any = None
+        #: Exception that terminated the generator once ``FAILED``.
+        self.error: Optional[BaseException] = None
+        #: Cost-model cache map: cell ``loc_id`` -> last observed write time.
+        self.cache: dict[int, int] = {}
+        #: Number of times this task actually suspended (parked).
+        self.park_count: int = 0
+        #: The most recent Waiter created by this task (``curCor()``), used
+        #: by the external-cancellation helper in :mod:`repro.runtime.api`.
+        self.current_waiter: Any = None
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by tests and the bench harness.
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """``True`` once the generator finished, successfully or not."""
+
+        return self.state in (TaskState.DONE, TaskState.FAILED)
+
+    @property
+    def interrupted(self) -> bool:
+        """``True`` if the task terminated with :class:`Interrupted`."""
+
+        return self.state is TaskState.FAILED and isinstance(self.error, Interrupted)
+
+    def result(self) -> Any:
+        """Return the generator's return value, re-raising its failure."""
+
+        if self.state is TaskState.DONE:
+            return self.value
+        if self.state is TaskState.FAILED:
+            assert self.error is not None
+            raise self.error
+        raise RuntimeError(f"{self.name} has not finished (state={self.state.value})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Task {self.name} state={self.state.value} clock={self.clock}>"

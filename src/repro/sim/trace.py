@@ -1,0 +1,97 @@
+"""Tracing and per-op statistics hooks for the simulated scheduler.
+
+Hooks observe every executed op (after its effect was applied) and are used
+for three purposes in this repository:
+
+* debugging failing explorations (:class:`Tracer` ring buffer);
+* progress-guarantee accounting (:class:`SpinCounter` verifies that the
+  rendezvous channel never blocks in a spin-wait, Section 4.2);
+* benchmark statistics (:class:`OpCounter` — op mix, CAS failure rate).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Any, Deque
+
+from ..concurrent.ops import Cas, Label, Op, Spin
+from .scheduler import Scheduler
+from .tasks import Task
+
+__all__ = ["Tracer", "OpCounter", "SpinCounter", "LabelCollector"]
+
+
+class Tracer:
+    """Ring buffer of the last ``capacity`` executed ops.
+
+    Attach with ``sched.add_hook(tracer)``; render with :meth:`format`.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.events: Deque[tuple[int, str, str]] = deque(maxlen=capacity)
+        self._step = 0
+
+    def __call__(self, sched: Scheduler, task: Task, op: Op) -> None:
+        self._step += 1
+        self.events.append((self._step, task.name, repr(op)))
+
+    def format(self) -> str:
+        """Human-readable rendering of the buffered tail of the execution."""
+
+        return "\n".join(f"{step:6d} {name:16s} {op}" for step, name, op in self.events)
+
+
+class OpCounter:
+    """Counts ops by kind and CAS successes/failures."""
+
+    def __init__(self) -> None:
+        self.by_kind: Counter[str] = Counter()
+        self.cas_success = 0
+        self.cas_failure = 0
+
+    def __call__(self, sched: Scheduler, task: Task, op: Op) -> None:
+        self.by_kind[op.kind] += 1
+        if type(op) is Cas:
+            # The CAS result was just stored as the task's pending value.
+            if task.pending_value:
+                self.cas_success += 1
+            else:
+                self.cas_failure += 1
+
+    @property
+    def cas_failure_rate(self) -> float:
+        total = self.cas_success + self.cas_failure
+        return self.cas_failure / total if total else 0.0
+
+
+class SpinCounter:
+    """Counts :class:`~repro.concurrent.ops.Spin` iterations per reason.
+
+    The rendezvous channel must never spin-wait (obstruction freedom,
+    Section 4.2); the buffered channel may spin only in the documented
+    ``receive()`` / ``expandBuffer()`` race.  Tests assert both from the
+    per-reason counts collected here.
+    """
+
+    def __init__(self) -> None:
+        self.by_reason: Counter[str] = Counter()
+        self.total = 0
+
+    def __call__(self, sched: Scheduler, task: Task, op: Op) -> None:
+        if type(op) is Spin:
+            self.total += 1
+            self.by_reason[op.reason] += 1
+
+
+class LabelCollector:
+    """Collects :class:`~repro.concurrent.ops.Label` markers in order."""
+
+    def __init__(self) -> None:
+        self.labels: list[tuple[str, str, Any]] = []
+
+    def __call__(self, sched: Scheduler, task: Task, op: Op) -> None:
+        if type(op) is Label:
+            self.labels.append((task.name, op.name, op.payload))
+
+    def names(self) -> list[str]:
+        return [name for _, name, _ in self.labels]

@@ -1,0 +1,5 @@
+"""OS-thread adapter for the channel algorithms."""
+
+from .channel import BlockingChannel, select_blocking
+
+__all__ = ["BlockingChannel", "select_blocking"]

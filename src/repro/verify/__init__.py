@@ -1,0 +1,37 @@
+"""Verification: sequential spec, invariant hooks, linearizability checks."""
+
+from .checker import Event, HistoryRecorder, check_linearizable
+from .fuzz import FuzzReport, fuzz_channel, random_program, run_fuzz_case
+from .invariants import FifoObserver, Lemma1Checker, NoRendezvousBlockingChecker
+from .lifecycle import (
+    BUFFERED_EDGES,
+    EB_EDGES,
+    RENDEZVOUS_EDGES,
+    CellLifecycleChecker,
+    abstract_state,
+)
+from .scenarios import ProducerConsumerScenario, drain_consumer, producer_consumer
+from .spec import SequentialChannelSpec, check_fifo_matching
+
+__all__ = [
+    "SequentialChannelSpec",
+    "check_fifo_matching",
+    "Lemma1Checker",
+    "FifoObserver",
+    "NoRendezvousBlockingChecker",
+    "ProducerConsumerScenario",
+    "producer_consumer",
+    "drain_consumer",
+    "HistoryRecorder",
+    "Event",
+    "check_linearizable",
+    "fuzz_channel",
+    "run_fuzz_case",
+    "random_program",
+    "FuzzReport",
+    "CellLifecycleChecker",
+    "abstract_state",
+    "RENDEZVOUS_EDGES",
+    "BUFFERED_EDGES",
+    "EB_EDGES",
+]

@@ -1,0 +1,137 @@
+"""History-based linearizability checking for channels without known
+linearization points (baselines).
+
+For the FAA channels, §4.1 pins the linearization points and
+:class:`~repro.verify.invariants.FifoObserver` checks them directly.  The
+baselines expose no cell indices, so this module records *histories* —
+(invocation, response) step intervals per completed operation — and
+searches for a valid sequential witness (Wing & Gong style DFS; practical
+for the small scenarios the exploration suites use).
+
+Operations are treated at *registration* granularity (dual data
+structures [22]): a blocked operation's linearization point may fall
+anywhere in its interval, and a receive that had to wait is served, in
+FIFO order, by a send linearized later.  The sequential witness therefore
+tracks two FIFO lines:
+
+* ``pending_elements`` — elements sent but not yet claimed;
+* ``pending_receivers`` — values that already-linearized waiting receives
+  are known (from the history) to eventually return; a subsequent send
+  must serve the oldest one with exactly that value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import LinearizabilityError
+from .spec import SequentialChannelSpec  # re-exported for API completeness
+
+__all__ = ["HistoryRecorder", "Event", "check_linearizable", "SequentialChannelSpec"]
+
+
+@dataclass
+class Event:
+    """One completed operation in a recorded history."""
+
+    kind: str  # "send" | "receive"
+    value: Any  # element sent / value received
+    invoked: int  # global step index at invocation
+    responded: int  # global step index at response
+    op_id: int = 0
+
+
+class HistoryRecorder:
+    """Wraps channel operations to record a real-time history.
+
+    Usage (inside task generators)::
+
+        rec = HistoryRecorder(sched)
+        ...
+        yield from rec.send(channel, element)
+        value = yield from rec.receive(channel)
+    """
+
+    def __init__(self, sched: Any):
+        self.sched = sched
+        self.events: list[Event] = []
+        self._ids = itertools.count()
+
+    def _now(self) -> int:
+        return self.sched.total_steps
+
+    def send(self, channel: Any, element: Any):
+        start = self._now()
+        yield from channel.send(element)
+        self.events.append(Event("send", element, start, self._now(), next(self._ids)))
+
+    def receive(self, channel: Any):
+        start = self._now()
+        value = yield from channel.receive()
+        self.events.append(Event("receive", value, start, self._now(), next(self._ids)))
+        return value
+
+
+def check_linearizable(events: list[Event], capacity: int = 0) -> None:
+    """Search for a sequential witness of the history; raise if none.
+
+    Value consistency and FIFO order are checked exactly; ``capacity``
+    is accepted for symmetry but does not constrain the witness (blocked
+    operations linearize at registration, so buffer occupancy never
+    invalidates a value-consistent witness).
+    """
+
+    events = sorted(events, key=lambda e: (e.invoked, e.responded))
+    n = len(events)
+    if n > 14:
+        raise ValueError("exhaustive witness search is only for small histories (<= 14 ops)")
+
+    seen_states: set = set()
+
+    def dfs(done: frozenset, pending_elements: tuple, pending_receivers: tuple) -> bool:
+        if len(done) == n:
+            return True
+        key = (done, pending_elements, pending_receivers)
+        if key in seen_states:
+            return False
+        seen_states.add(key)
+        # Real-time constraint: the next linearized op must have been
+        # invoked no later than the earliest response among the rest.
+        min_resp = min(events[i].responded for i in range(n) if i not in done)
+        for i in range(n):
+            if i in done:
+                continue
+            ev = events[i]
+            if ev.invoked > min_resp:
+                break  # events sorted by invocation
+            if ev.kind == "send":
+                if pending_receivers:
+                    # Must serve the oldest waiting receive, whose value
+                    # the history already fixed.
+                    if pending_receivers[0] != ev.value:
+                        continue
+                    if dfs(done | {i}, pending_elements, pending_receivers[1:]):
+                        return True
+                else:
+                    if dfs(done | {i}, pending_elements + (ev.value,), pending_receivers):
+                        return True
+            else:  # receive
+                if pending_elements:
+                    if pending_elements[0] != ev.value:
+                        continue
+                    if dfs(done | {i}, pending_elements[1:], pending_receivers):
+                        return True
+                else:
+                    if dfs(done | {i}, pending_elements, pending_receivers + (ev.value,)):
+                        return True
+        return False
+
+    if not dfs(frozenset(), (), ()):
+        raise LinearizabilityError(
+            "no sequential witness found for history:\n  "
+            + "\n  ".join(
+                f"[{e.invoked},{e.responded}] {e.kind}({e.value!r})" for e in events
+            )
+        )

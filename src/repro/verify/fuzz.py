@@ -1,0 +1,164 @@
+"""Lincheck-style fuzzing: random concurrent programs vs. the spec.
+
+Generates random per-task operation sequences (send / receive / try-ops /
+close), executes them under seeded-random scheduling, and validates:
+
+* small programs — full linearizability of the completed send/receive
+  history (:func:`repro.verify.checker.check_linearizable`);
+* all programs — conservation: every received value was sent exactly
+  once, and values neither duplicate nor materialize.
+
+Programs may legitimately deadlock (e.g. a send with no matching
+receive); the run then validates whatever completed — exactly how dual
+data structures are specified (pending registrations are unconstrained).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..errors import (
+    ChannelClosedForReceive,
+    ChannelClosedForSend,
+    DeadlockError,
+    StepLimitExceeded,
+)
+from ..sim.costmodel import NullCostModel
+from ..sim.scheduler import RandomPolicy, Scheduler
+from .checker import Event, check_linearizable
+
+__all__ = ["FuzzReport", "random_program", "run_fuzz_case", "fuzz_channel"]
+
+_OP_KINDS = ("send", "receive", "try_send", "try_receive")
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz case."""
+
+    seed: int
+    program: list[list[tuple[str, Any]]]
+    events: list[Event] = field(default_factory=list)
+    deadlocked: bool = False
+    sent: list[Any] = field(default_factory=list)
+    received: list[Any] = field(default_factory=list)
+    checked_linearizability: bool = False
+
+
+def random_program(
+    rng: random.Random,
+    n_tasks: int,
+    ops_per_task: int,
+    allow_close: bool = True,
+) -> list[list[tuple[str, Any]]]:
+    """A random program: per task, a list of ``(op_kind, value)``."""
+
+    value = iter(range(1, 10_000))
+    program = []
+    for _ in range(n_tasks):
+        ops = []
+        for _ in range(ops_per_task):
+            kind = rng.choice(_OP_KINDS + (("close",) if allow_close and rng.random() < 0.08 else ()))
+            ops.append((kind, next(value) if "send" in kind else None))
+        program.append(ops)
+    return program
+
+
+def run_fuzz_case(
+    channel_factory: Callable[[], Any],
+    program: list[list[tuple[str, Any]]],
+    seed: int,
+    capacity: int,
+    check_lin: bool = False,
+    max_steps: int = 500_000,
+) -> FuzzReport:
+    """Execute one random program and validate its outcome."""
+
+    channel = channel_factory()
+    sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel(), max_steps=max_steps)
+    report = FuzzReport(seed=seed, program=program)
+    now = lambda: sched.total_steps  # noqa: E731
+
+    def task_body(ops):
+        for kind, value in ops:
+            try:
+                if kind == "send":
+                    start = now()
+                    yield from channel.send(value)
+                    report.events.append(Event("send", value, start, now()))
+                    report.sent.append(value)
+                elif kind == "receive":
+                    start = now()
+                    got = yield from channel.receive()
+                    report.events.append(Event("receive", got, start, now()))
+                    report.received.append(got)
+                elif kind == "try_send":
+                    start = now()
+                    ok = yield from channel.try_send(value)
+                    if ok:
+                        report.events.append(Event("send", value, start, now()))
+                        report.sent.append(value)
+                elif kind == "try_receive":
+                    start = now()
+                    ok, got = yield from channel.try_receive()
+                    if ok:
+                        report.events.append(Event("receive", got, start, now()))
+                        report.received.append(got)
+                else:  # close
+                    yield from channel.close()
+            except (ChannelClosedForSend, ChannelClosedForReceive):
+                continue  # closed mid-program: later ops may still be legal
+
+    for ops in program:
+        sched.spawn(task_body(ops))
+    try:
+        sched.run()
+    except DeadlockError:
+        report.deadlocked = True
+    except StepLimitExceeded:
+        report.deadlocked = True  # treat budget exhaustion like a stall
+
+    _validate(report, capacity, check_lin)
+    return report
+
+
+def _validate(report: FuzzReport, capacity: int, check_lin: bool) -> None:
+    # Conservation: receives are a sub-multiset of sends, no duplicates.
+    sent = sorted(report.sent)
+    received = sorted(report.received)
+    assert len(set(sent)) == len(sent), f"duplicate send recorded: {sent}"
+    assert len(set(received)) == len(received), f"value received twice: {received}"
+    missing = set(received) - set(sent)
+    assert not missing, f"values received but never sent: {missing}"
+    if check_lin and len(report.events) <= 12:
+        check_linearizable(report.events, capacity)
+        report.checked_linearizability = True
+
+
+def fuzz_channel(
+    channel_factory: Callable[[], Any],
+    capacity: int,
+    cases: int = 50,
+    seed: int = 0,
+    n_tasks: int = 3,
+    ops_per_task: int = 4,
+    check_lin: bool = True,
+) -> list[FuzzReport]:
+    """Run many fuzz cases; returns their reports (raises on violation)."""
+
+    rng = random.Random(seed)
+    reports = []
+    for case in range(cases):
+        program = random_program(rng, n_tasks, ops_per_task)
+        reports.append(
+            run_fuzz_case(
+                channel_factory,
+                program,
+                seed=seed * 99991 + case,
+                capacity=capacity,
+                check_lin=check_lin,
+            )
+        )
+    return reports

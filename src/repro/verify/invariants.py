@@ -1,0 +1,149 @@
+"""Per-step invariant checkers (scheduler hooks).
+
+Attach these to a :class:`~repro.sim.scheduler.Scheduler` with
+``sched.add_hook(checker)``; they observe every executed op and raise
+:class:`~repro.errors.InvariantViolation` the moment a paper property
+breaks, under any scheduling policy.
+
+* :class:`Lemma1Checker` — suspension correctness (§4.1): an operation
+  may suspend only if its counter was not behind the opposite counter at
+  its FAA linearization point.
+* :class:`FifoObserver` — collects successful sends/receives in
+  linearization (counter) order and validates the FIFO matching of §4.1.
+* :class:`NoRendezvousBlockingChecker` — progress (§4.2): rendezvous
+  channel operations never execute a *blocking* spin-wait (the only
+  tagged spins belong to the buffered algorithm's documented
+  receive/expandBuffer race).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..concurrent.ops import Faa, Op, ParkTask, Spin
+from ..core.base import ChannelBase
+from ..core.closing import counter_of
+from ..core.states import ReceiverWaiter, SenderWaiter
+from ..errors import InvariantViolation
+from ..sim.scheduler import Scheduler
+from ..sim.tasks import Task
+from .spec import check_fifo_matching
+
+__all__ = ["Lemma1Checker", "FifoObserver", "NoRendezvousBlockingChecker"]
+
+
+class Lemma1Checker:
+    """Checks Lemma 1 at every actual suspension.
+
+    The hook runs in the same atomic window as the op it observes, so
+    reading the opposite counter's plain ``value`` right after a FAA
+    yields exactly its value at the linearization point.
+    """
+
+    def __init__(self, channel: ChannelBase):
+        self.channel = channel
+        self._send_res: dict[int, tuple[int, int]] = {}  # tid -> (s, r_at_faa)
+        self._rcv_res: dict[int, tuple[int, int]] = {}  # tid -> (r, s_at_faa)
+        self.checked_suspensions = 0
+
+    def __call__(self, sched: Scheduler, task: Task, op: Op) -> None:
+        ch = self.channel
+        t = type(op)
+        if t is Faa:
+            cell = op.cell  # type: ignore[attr-defined]
+            if cell is ch.S:
+                s = counter_of(task.pending_value)
+                self._send_res[task.tid] = (s, counter_of(ch.R.value))
+            elif cell is ch.R:
+                r = counter_of(task.pending_value)
+                self._rcv_res[task.tid] = (r, counter_of(ch.S.value))
+            return
+        if t is ParkTask:
+            waiter = op.waiter  # type: ignore[attr-defined]
+            if isinstance(waiter, SenderWaiter):
+                res = self._send_res.get(task.tid)
+                if res is not None:
+                    s, r_at = res
+                    self.checked_suspensions += 1
+                    if s < r_at:
+                        raise InvariantViolation(
+                            f"Lemma 1 violated: sender suspended at cell {s} "
+                            f"although R was already {r_at} at its FAA"
+                        )
+            elif isinstance(waiter, ReceiverWaiter):
+                res = self._rcv_res.get(task.tid)
+                if res is not None:
+                    r, s_at = res
+                    self.checked_suspensions += 1
+                    # For buffered channels the receive suspends only when
+                    # r >= s; the rendezvous case is identical.
+                    if r < s_at:
+                        raise InvariantViolation(
+                            f"Lemma 1 violated: receiver suspended at cell {r} "
+                            f"although S was already {s_at} at its FAA"
+                        )
+
+
+class FifoObserver:
+    """Channel observer collecting the §4.1 linearization orders.
+
+    Install with ``channel.observer = obs``; call :meth:`verify` after
+    the run.  Works for every :class:`~repro.core.base.ChannelBase`
+    subclass (the observer callbacks carry the success cell index, which
+    *is* the linearization order per direction).
+    """
+
+    def __init__(self) -> None:
+        self.sends: list[tuple[int, Any]] = []
+        self.receives: list[tuple[int, Any]] = []
+
+    def send_done(self, cell: int, element: Any) -> None:
+        self.sends.append((cell, element))
+
+    def receive_done(self, cell: int, value: Any) -> None:
+        self.receives.append((cell, value))
+
+    def verify(self) -> None:
+        sent = [e for _, e in sorted(self.sends)]
+        received = [v for _, v in sorted(self.receives)]
+        # Sanity: one success per cell and per direction.
+        send_cells = [c for c, _ in self.sends]
+        rcv_cells = [c for c, _ in self.receives]
+        if len(set(send_cells)) != len(send_cells):
+            raise InvariantViolation(f"two sends succeeded in one cell: {sorted(send_cells)}")
+        if len(set(rcv_cells)) != len(rcv_cells):
+            raise InvariantViolation(f"two receives succeeded in one cell: {sorted(rcv_cells)}")
+        check_fifo_matching(sent, received)
+
+    # Convenience for tests.
+    @property
+    def sent_in_order(self) -> list[Any]:
+        return [e for _, e in sorted(self.sends)]
+
+    @property
+    def received_in_order(self) -> list[Any]:
+        return [v for _, v in sorted(self.receives)]
+
+
+class NoRendezvousBlockingChecker:
+    """Asserts the rendezvous algorithm never blocks in a spin-wait.
+
+    The buffered algorithm's only blocking interactions are the tagged
+    ``rcv-wait-eb`` / ``eb-wait-rcv`` spins; a rendezvous channel must
+    produce none (§4.2: obstruction-free, spin-free).
+    """
+
+    BLOCKING_REASONS = ("rcv-wait-eb", "eb-wait-rcv")
+
+    def __init__(self, allow: tuple[str, ...] = ()):  # allow-list for other spins
+        self.allow = allow
+        self.seen: list[str] = []
+
+    def __call__(self, sched: Scheduler, task: Task, op: Op) -> None:
+        if type(op) is Spin:
+            reason = op.reason  # type: ignore[attr-defined]
+            if reason in self.BLOCKING_REASONS and reason not in self.allow:
+                raise InvariantViolation(
+                    f"rendezvous operation executed blocking spin {reason!r}"
+                )
+            self.seen.append(reason)

@@ -1,0 +1,225 @@
+"""Cell life-cycle conformance: every transition must be a diagram edge.
+
+The paper specifies the channels as cell state machines (Figure 1 for the
+rendezvous channel, Figure 2 for the buffered one, Figure 6 for the
+Appendix A variant).  This checker watches every successful write/CAS on a
+cell-state location and asserts the (old → new) pair is an edge of the
+applicable diagram — under any scheduling policy, including exhaustive
+exploration.
+
+States are abstracted to the diagram's vocabulary:
+
+``EMPTY, SEND_WAITER, RCV_WAITER, ANY_WAITER, EB_WAITER, BUFFERED,
+IN_BUFFER, DONE, DONE_RCV, BROKEN, INT_SEND, INT_RCV, INT, INT_EB,
+S_RESUMING_RCV, S_RESUMING_EB, CANCELLED``
+
+The edge sets include the paper's production extensions, each annotated:
+closing (EMPTY → INT_* by failed sends/receives), ``cancel()``
+(BUFFERED → CANCELLED), and select (waiter → BROKEN via the retry
+neutralization; waiter → INT_* via losing-registration cleanup — the same
+edges as interruption).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..concurrent.ops import Cas, GetAndSet, Op, Write
+from ..core.states import (
+    BROKEN,
+    BUFFERED,
+    CANCELLED,
+    DONE,
+    DONE_RCV,
+    EBWaiter,
+    IN_BUFFER,
+    INTERRUPTED,
+    INTERRUPTED_EB,
+    INTERRUPTED_RCV,
+    INTERRUPTED_SEND,
+    S_RESUMING_EB,
+    S_RESUMING_RCV,
+    ReceiverWaiter,
+    SenderWaiter,
+)
+from ..errors import InvariantViolation
+from ..runtime.waiter import Waiter
+from ..sim.scheduler import Scheduler
+from ..sim.tasks import Task
+
+__all__ = ["CellLifecycleChecker", "abstract_state", "RENDEZVOUS_EDGES", "BUFFERED_EDGES", "EB_EDGES"]
+
+
+def abstract_state(value: Any) -> str:
+    """Map a concrete cell value to the diagram vocabulary."""
+
+    if value is None:
+        return "EMPTY"
+    if isinstance(value, SenderWaiter):
+        return "SEND_WAITER"
+    if isinstance(value, ReceiverWaiter):
+        return "RCV_WAITER"
+    if isinstance(value, EBWaiter):
+        return "EB_WAITER"
+    if isinstance(value, Waiter):
+        return "ANY_WAITER"
+    mapping = {
+        BUFFERED: "BUFFERED",
+        IN_BUFFER: "IN_BUFFER",
+        DONE: "DONE",
+        DONE_RCV: "DONE_RCV",
+        BROKEN: "BROKEN",
+        INTERRUPTED_SEND: "INT_SEND",
+        INTERRUPTED_RCV: "INT_RCV",
+        INTERRUPTED: "INT",
+        INTERRUPTED_EB: "INT_EB",
+        S_RESUMING_RCV: "S_RESUMING_RCV",
+        S_RESUMING_EB: "S_RESUMING_EB",
+        CANCELLED: "CANCELLED",
+    }
+    name = mapping.get(value)
+    if name is None:
+        raise InvariantViolation(f"unknown cell state value: {value!r}")
+    return name
+
+
+#: Figure 1 (+ production extensions, annotated).
+RENDEZVOUS_EDGES = frozenset(
+    {
+        ("EMPTY", "SEND_WAITER"),  # sender suspends
+        ("EMPTY", "RCV_WAITER"),  # receiver suspends
+        ("EMPTY", "BUFFERED"),  # elimination
+        ("EMPTY", "BROKEN"),  # poisoning
+        ("SEND_WAITER", "DONE"),  # receiver resumes sender
+        ("RCV_WAITER", "DONE"),  # sender resumes receiver
+        ("SEND_WAITER", "INT_SEND"),  # sender interrupted / select cleanup
+        ("RCV_WAITER", "INT_RCV"),  # receiver interrupted / select cleanup
+        ("EMPTY", "INT_SEND"),  # closed/try send marks its cell
+        ("EMPTY", "INT_RCV"),  # closed/try receive marks its cell
+        ("SEND_WAITER", "BROKEN"),  # select retry-neutralization (ext.)
+        ("RCV_WAITER", "BROKEN"),  # select retry-neutralization (ext.)
+        ("BUFFERED", "CANCELLED"),  # cancel() discards the element (ext.)
+    }
+)
+
+#: Figure 2 (+ production extensions).
+BUFFERED_EDGES = frozenset(
+    {
+        ("EMPTY", "SEND_WAITER"),
+        ("EMPTY", "RCV_WAITER"),
+        ("IN_BUFFER", "RCV_WAITER"),
+        ("EMPTY", "BUFFERED"),  # buffer deposit / elimination
+        ("IN_BUFFER", "BUFFERED"),
+        ("EMPTY", "IN_BUFFER"),  # expandBuffer pre-marks
+        ("EMPTY", "BROKEN"),
+        ("IN_BUFFER", "BROKEN"),
+        ("RCV_WAITER", "DONE_RCV"),
+        ("SEND_WAITER", "S_RESUMING_RCV"),  # receive helps
+        ("SEND_WAITER", "S_RESUMING_EB"),  # expandBuffer resumes
+        ("S_RESUMING_RCV", "BUFFERED"),
+        ("S_RESUMING_RCV", "INT_SEND"),
+        ("S_RESUMING_EB", "BUFFERED"),
+        ("S_RESUMING_EB", "INT_SEND"),
+        ("SEND_WAITER", "INT_SEND"),
+        ("RCV_WAITER", "INT_RCV"),
+        ("EMPTY", "INT_SEND"),  # closed/try send (ext.)
+        ("EMPTY", "INT_RCV"),  # closed/try receive (ext.)
+        ("IN_BUFFER", "INT_RCV"),  # closed/try receive on a buffer cell (ext.)
+        ("SEND_WAITER", "BROKEN"),  # select retry (ext.)
+        ("RCV_WAITER", "BROKEN"),  # select retry (ext.)
+        ("BUFFERED", "CANCELLED"),  # cancel() (ext.)
+    }
+)
+
+#: Figure 6 (generic waiters, EB markers) + extensions.
+EB_EDGES = frozenset(
+    {
+        ("EMPTY", "ANY_WAITER"),
+        ("IN_BUFFER", "ANY_WAITER"),
+        ("EMPTY", "BUFFERED"),
+        ("IN_BUFFER", "BUFFERED"),
+        ("EMPTY", "IN_BUFFER"),
+        ("EMPTY", "BROKEN"),
+        ("IN_BUFFER", "BROKEN"),
+        ("ANY_WAITER", "DONE_RCV"),
+        ("ANY_WAITER", "EB_WAITER"),  # Coroutine -> Coroutine+EB
+        ("EB_WAITER", "DONE_RCV"),  # send ignores the marker
+        ("ANY_WAITER", "S_RESUMING_RCV"),
+        ("EB_WAITER", "S_RESUMING_RCV"),
+        ("ANY_WAITER", "S_RESUMING_EB"),
+        ("S_RESUMING_RCV", "BUFFERED"),
+        ("S_RESUMING_RCV", "INT_SEND"),
+        ("S_RESUMING_EB", "BUFFERED"),
+        ("S_RESUMING_EB", "INT_SEND"),
+        ("ANY_WAITER", "INT"),  # generic interruption
+        ("EB_WAITER", "INT_EB"),
+        ("INT", "INT_EB"),  # expandBuffer delegates
+        ("INT", "INT_SEND"),  # expandBuffer classifies (b >= R)
+        ("INT_EB", "INT_SEND"),  # receive classifies + compensates
+        ("EMPTY", "INT"),  # closed/try ops (ext.)
+        ("IN_BUFFER", "INT"),  # closed/try receive (ext.)
+        ("BUFFERED", "CANCELLED"),  # cancel() (ext.)
+    }
+)
+
+
+class CellLifecycleChecker:
+    """Scheduler hook asserting all cell transitions are diagram edges.
+
+    ``edges`` defaults by channel type name; pass explicitly to check a
+    custom variant.  State cells are recognized by their debug names
+    (``seg<N>.state[<i>]``), which every segment assigns.
+    """
+
+    def __init__(self, edges: frozenset[tuple[str, str]], tag: Optional[str] = None):
+        self.edges = edges
+        #: Cell-name prefix scoping the checker to one channel's segment
+        #: list (``None`` = watch every state cell in the simulation).
+        self.tag = tag
+        self._shadow: dict[int, Any] = {}
+        self.transitions = 0
+
+    @classmethod
+    def for_channel(cls, channel: Any) -> "CellLifecycleChecker":
+        from ..core.buffered import BufferedChannel
+        from ..core.buffered_eb import BufferedChannelEB
+        from ..core.rendezvous import RendezvousChannel
+
+        tag = channel._list.tag
+        if isinstance(channel, BufferedChannelEB):
+            return cls(EB_EDGES, tag)
+        if isinstance(channel, BufferedChannel):
+            return cls(BUFFERED_EDGES, tag)
+        if isinstance(channel, RendezvousChannel):
+            return cls(RENDEZVOUS_EDGES, tag)
+        raise TypeError(f"no life-cycle diagram known for {type(channel).__name__}")
+
+    def __call__(self, sched: Scheduler, task: Task, op: Op) -> None:
+        t = type(op)
+        if t is Cas:
+            if not task.pending_value:
+                return  # failed CAS: no transition
+            cell = op.cell
+            new = op.update
+        elif t is Write or t is GetAndSet:
+            cell = op.cell
+            new = op.value
+        else:
+            return
+        name = cell.name
+        if ".state[" not in name:
+            return
+        if self.tag is not None and not name.startswith(self.tag + "."):
+            return
+        old = self._shadow.get(cell.loc_id)
+        self._shadow[cell.loc_id] = new
+        old_abs = abstract_state(old)
+        new_abs = abstract_state(new)
+        if old_abs == new_abs:
+            return  # e.g. waiter replaced by same-kind waiter: not possible, but benign
+        self.transitions += 1
+        if (old_abs, new_abs) not in self.edges:
+            raise InvariantViolation(
+                f"illegal cell transition {old_abs} -> {new_abs} on {name} "
+                f"(task {task.name})"
+            )

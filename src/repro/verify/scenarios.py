@@ -1,0 +1,103 @@
+"""Reusable concurrent scenarios for exploration and stress testing.
+
+A scenario builder spawns producer/consumer (and optionally canceller /
+closer) tasks on a scheduler and returns a context the paired checker
+validates after the run.  They are shared between the unit tests, the
+hypothesis properties, and the exploration suites so that one definition
+covers all scheduling regimes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..concurrent.ops import Yield
+from ..errors import Interrupted
+from ..sim.scheduler import Scheduler
+from .invariants import FifoObserver
+
+__all__ = ["ProducerConsumerScenario", "producer_consumer", "drain_consumer"]
+
+ChannelFactory = Callable[[], Any]
+
+
+class ProducerConsumerScenario:
+    """N producers / M consumers over one channel, with optional close.
+
+    The per-run context records every successfully sent and received
+    element; :meth:`check` validates conservation (multiset equality)
+    and, when the channel supports an observer, FIFO matching.
+    """
+
+    def __init__(
+        self,
+        factory: ChannelFactory,
+        producers: int = 2,
+        consumers: int = 2,
+        per_producer: int = 5,
+        use_observer: bool = True,
+    ):
+        self.factory = factory
+        self.producers = producers
+        self.consumers = consumers
+        self.per_producer = per_producer
+        self.use_observer = use_observer
+        total = producers * per_producer
+        if total % consumers:
+            raise ValueError("total elements must divide evenly among consumers")
+        self.per_consumer = total // consumers
+
+    def build(self, sched: Scheduler) -> dict[str, Any]:
+        channel = self.factory()
+        ctx: dict[str, Any] = {"channel": channel, "received": [], "observer": None}
+        if self.use_observer and hasattr(channel, "observer"):
+            obs = FifoObserver()
+            channel.observer = obs
+            ctx["observer"] = obs
+
+        def producer(pid: int):
+            for i in range(self.per_producer):
+                yield from channel.send(pid * 1000 + i)
+
+        def consumer():
+            for _ in range(self.per_consumer):
+                value = yield from channel.receive()
+                ctx["received"].append(value)
+
+        for p in range(self.producers):
+            sched.spawn(producer(p), f"producer-{p}")
+        for c in range(self.consumers):
+            sched.spawn(consumer(), f"consumer-{c}")
+        return ctx
+
+    def check(self, ctx: dict[str, Any], sched: Scheduler) -> None:
+        expected = sorted(
+            pid * 1000 + i for pid in range(self.producers) for i in range(self.per_producer)
+        )
+        got = sorted(ctx["received"])
+        assert got == expected, f"conservation violated: {got} != {expected}"
+        obs: Optional[FifoObserver] = ctx["observer"]
+        if obs is not None:
+            obs.verify()
+
+
+def producer_consumer(channel: Any, pid: int, count: int, sent_log: Optional[list] = None):
+    """A producer task body; records successful sends in ``sent_log``."""
+
+    try:
+        for i in range(count):
+            yield from channel.send(pid * 1000 + i)
+            if sent_log is not None:
+                sent_log.append(pid * 1000 + i)
+    except Interrupted:
+        pass
+
+
+def drain_consumer(channel: Any, out: list):
+    """Consume until the channel closes, appending to ``out``."""
+
+    while True:
+        ok, value = yield from channel.receive_catching()
+        if not ok:
+            return
+        out.append(value)

@@ -1,0 +1,97 @@
+"""Sequential specification of channel behaviour (dual data structures [22]).
+
+The spec models what a channel *is*, independent of the algorithm: a FIFO
+element order, a buffer of bounded capacity, and registration-phase
+semantics for blocked operations.  The checker replays an execution's
+linearization sequence through this state machine.
+
+For the FAA channels the linearization points are known (§4.1): an
+operation linearizes at its counter FAA when the subsequent cell update
+succeeds.  That makes checking direct (no permutation search): successful
+sends in S-order form the channel's element sequence, successful receives
+in R-order must read exactly that sequence — the k-th successful receive
+returns the k-th successfully sent element.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from ..errors import LinearizabilityError
+
+__all__ = ["SequentialChannelSpec", "check_fifo_matching"]
+
+
+class SequentialChannelSpec:
+    """Executable sequential channel: replay ops, validate results.
+
+    ``send``/``receive`` here are *registration-phase* transitions: a
+    ``send`` that must block records a pending sender (its element is
+    already logically in the channel's element order — dual-structure
+    semantics); a blocked ``receive`` records a pending reservation that
+    the next ``send`` must serve in order.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        #: Elements sent but not yet claimed by a receive, in order
+        #: (includes those held by still-suspended senders).
+        self.pending_elements: Deque[Any] = deque()
+        #: Number of receives registered while no element was available.
+        self.pending_receives = 0
+        self.closed = False
+
+    def send(self, element: Any) -> str:
+        """Register a send; returns ``"done"`` or ``"suspend"``."""
+
+        if self.closed:
+            return "closed"
+        self.pending_elements.append(element)
+        if self.pending_receives > 0:
+            self.pending_receives -= 1
+            return "done"
+        # A send completes without suspending iff it fits the buffer.
+        if len(self.pending_elements) <= self.capacity:
+            return "done"
+        return "suspend"
+
+    def receive(self) -> tuple[str, Optional[Any]]:
+        """Register a receive; returns ``(status, element_or_None)``."""
+
+        if self.pending_elements:
+            return ("done", self.pending_elements.popleft())
+        if self.closed:
+            return ("closed", None)
+        self.pending_receives += 1
+        return ("suspend", None)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def check_fifo_matching(sent: list[Any], received: list[Any], closed_clean: bool = True) -> None:
+    """Validate the §4.1 linearization: receives read sends in order.
+
+    ``sent`` — elements of successful sends in S-counter order;
+    ``received`` — elements of successful receives in R-counter order.
+    Raises :class:`LinearizabilityError` on any mismatch.  With
+    ``closed_clean`` (no ``cancel()``), undelivered elements must be
+    exactly the tail of the send order.
+    """
+
+    if len(received) > len(sent):
+        raise LinearizabilityError(
+            f"{len(received)} receives completed but only {len(sent)} sends"
+        )
+    for k, (s, r) in enumerate(zip(sent, received)):
+        if s != r:
+            raise LinearizabilityError(
+                f"FIFO violation at position {k}: sent {s!r}, received {r!r}\n"
+                f"  sent:     {sent[:k + 3]!r}...\n"
+                f"  received: {received[:k + 3]!r}..."
+            )
+    if closed_clean:
+        # Nothing to check beyond the prefix property: the remaining
+        # elements sent[len(received):] are still buffered/suspended.
+        pass

@@ -1,0 +1,203 @@
+"""Hypothesis property-based tests: channels vs. the sequential spec.
+
+Strategy: generate a random *program* (producer/consumer structure,
+element counts, capacity, schedule seed), run it on a channel under a
+random schedule, and check the outcome against properties that must hold
+for every channel implementation:
+
+* conservation — received multiset == successfully-sent multiset;
+* FIFO matching (§4.1) — the k-th successful receive returns the k-th
+  successfully sent element (via the linearization-point observer);
+* Theorem 1 for the simplified algorithm — ``bc + el + eb == C`` after
+  every step;
+* spec equivalence for single-threaded programs — a sequential op
+  sequence behaves exactly like :class:`SequentialChannelSpec`.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BufferedChannel,
+    BufferedChannelEB,
+    RendezvousChannel,
+    SimplifiedBufferedChannel,
+)
+from repro.errors import ChannelClosedForReceive, ChannelClosedForSend
+from repro.sim import NullCostModel, RandomPolicy, Scheduler
+from repro.verify import FifoObserver, Lemma1Checker, SequentialChannelSpec
+
+channel_kinds = st.sampled_from(["rendezvous", "buffered", "buffered-eb"])
+
+
+def make_channel(kind, capacity, seg_size):
+    if kind == "rendezvous":
+        return RendezvousChannel(seg_size=seg_size)
+    if kind == "buffered":
+        return BufferedChannel(capacity, seg_size=seg_size)
+    return BufferedChannelEB(capacity, seg_size=seg_size)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    kind=channel_kinds,
+    capacity=st.integers(0, 4),
+    seg_size=st.integers(1, 4),
+    pairs=st.integers(1, 3),
+    per_producer=st.integers(1, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_conservation_and_fifo(kind, capacity, seg_size, pairs, per_producer, seed):
+    ch = make_channel(kind, capacity, seg_size)
+    obs = FifoObserver()
+    ch.observer = obs
+    sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+    checker = Lemma1Checker(ch)
+    sched.add_hook(checker)
+    got = []
+
+    def p(pid):
+        for i in range(per_producer):
+            yield from ch.send(pid * 1000 + i)
+
+    def c():
+        for _ in range(per_producer):
+            got.append((yield from ch.receive()))
+
+    for pid in range(pairs):
+        sched.spawn(p(pid))
+    for _ in range(pairs):
+        sched.spawn(c())
+    sched.run()
+    expected = sorted(pid * 1000 + i for pid in range(pairs) for i in range(per_producer))
+    assert sorted(got) == expected
+    obs.verify()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(1, 4),
+    pairs=st.integers(1, 3),
+    per_producer=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_theorem1_simplified(capacity, pairs, per_producer, seed):
+    ch = SimplifiedBufferedChannel(capacity)
+    sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+    sched.add_hook(lambda s, t, op: ch.check_invariant())
+
+    def p(pid):
+        for i in range(per_producer):
+            yield from ch.send(pid * 1000 + i)
+
+    def c():
+        for _ in range(per_producer):
+            yield from ch.receive()
+
+    for pid in range(pairs):
+        sched.spawn(p(pid))
+    for _ in range(pairs):
+        sched.spawn(c())
+    sched.run()
+    assert ch.bc + ch.el + ch.eb == capacity
+
+
+# A sequential program over one channel: a list of ops executed by one
+# task.  try-ops make every program executable without deadlock.
+op_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("try_send"), st.integers(1, 100)),
+        st.tuples(st.just("try_receive"), st.none()),
+        st.tuples(st.just("close"), st.none()),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(kind=channel_kinds, capacity=st.integers(0, 3), ops=op_strategy)
+def test_sequential_program_matches_spec(kind, capacity, ops):
+    """Single-task try-op programs agree with the sequential spec."""
+
+    effective_capacity = 0 if kind == "rendezvous" else capacity
+    ch = make_channel(kind, capacity, seg_size=2)
+    spec = SequentialChannelSpec(effective_capacity)
+    results = []
+
+    def program():
+        for op, arg in ops:
+            if op == "try_send":
+                try:
+                    ok = yield from ch.try_send(arg)
+                    results.append(("try_send", ok))
+                except ChannelClosedForSend:
+                    results.append(("try_send", "closed"))
+            elif op == "try_receive":
+                try:
+                    ok, v = yield from ch.try_receive()
+                    results.append(("try_receive", (ok, v)))
+                except ChannelClosedForReceive:
+                    results.append(("try_receive", "closed"))
+            else:
+                yield from ch.close()
+                results.append(("close", None))
+
+    sched = Scheduler(cost_model=NullCostModel())
+    sched.spawn(program())
+    sched.run()
+
+    # Replay against the spec.
+    expected = []
+    for op, arg in ops:
+        if op == "try_send":
+            status = spec.send(arg)
+            if status == "closed":
+                expected.append(("try_send", "closed"))
+            elif status == "done":
+                expected.append(("try_send", True))
+            else:  # would suspend
+                spec.pending_elements.pop()  # the try-op aborts it
+                expected.append(("try_send", False))
+        elif op == "try_receive":
+            status, v = spec.receive()
+            if status == "closed":
+                expected.append(("try_receive", "closed"))
+            elif status == "done":
+                expected.append(("try_receive", (True, v)))
+            else:
+                spec.pending_receives -= 1  # the try-op aborts it
+                expected.append(("try_receive", (False, None)))
+        else:
+            spec.close()
+            expected.append(("close", None))
+    assert results == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    kind=channel_kinds,
+    capacity=st.integers(0, 3),
+    seed=st.integers(0, 10_000),
+    n_elements=st.integers(1, 10),
+)
+def test_close_drains_exactly_the_sent_elements(kind, capacity, seed, n_elements):
+    ch = make_channel(kind, capacity, seg_size=2)
+    got = []
+
+    def producer():
+        for i in range(n_elements):
+            yield from ch.send(i)
+        yield from ch.close()
+
+    def consumer():
+        while True:
+            ok, v = yield from ch.receive_catching()
+            if not ok:
+                return
+            got.append(v)
+
+    sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+    sched.spawn(producer())
+    sched.spawn(consumer())
+    sched.run()
+    assert got == list(range(n_elements))

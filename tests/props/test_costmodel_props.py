@@ -1,0 +1,120 @@
+"""Hypothesis properties of the cost model and scheduler clocks."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.concurrent import Cas, Faa, IntCell, Read, Work, Write
+from repro.sim import CostModel, CostParams, Scheduler, run_all
+from repro.sim.tasks import Task
+
+
+def _task(tid):
+    def empty():
+        yield Work(0)
+
+    return Task(tid, empty())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(st.sampled_from(["read", "write", "rmw", "work"]), min_size=1, max_size=30),
+    jitter=st.integers(0, 8),
+)
+def test_clock_is_monotone_nondecreasing(ops, jitter):
+    model = CostModel(CostParams(jitter=jitter))
+    task = _task(0)
+    cell = IntCell(0)
+    last = 0
+    for name in ops:
+        op = {
+            "read": Read(cell),
+            "write": Write(cell, 1),
+            "rmw": Faa(cell, 1),
+            "work": Work(7),
+        }[name]
+        model.charge(task, op)
+        assert task.clock >= last
+        last = task.clock
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_tasks=st.integers(1, 6),
+    rmws_each=st.integers(1, 20),
+)
+def test_contended_rmws_serialize(n_tasks, rmws_each):
+    """Total time on one line >= sum of base RMW costs (no overlap)."""
+
+    params = CostParams(jitter=0)
+    model = CostModel(params)
+    cell = IntCell(0)
+    tasks = [_task(i) for i in range(n_tasks)]
+    for _ in range(rmws_each):
+        for t in tasks:
+            model.charge(t, Faa(cell, 1))
+    total_ops = n_tasks * rmws_each
+    assert cell.line.avail_time >= total_ops * params.rmw
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_tasks=st.integers(1, 5),
+    work=st.integers(0, 500),
+    seed=st.integers(0, 1000),
+)
+def test_makespan_at_least_critical_path(n_tasks, work, seed):
+    """Makespan >= any single task's local work (parallelism can't cheat)."""
+
+    def worker():
+        yield Work(work)
+        yield Work(work)
+
+    sched = run_all([worker() for _ in range(n_tasks)], cost_model=CostModel(CostParams(jitter=0)))
+    assert sched.makespan >= 2 * work
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    processors=st.integers(1, 4),
+    n_tasks=st.integers(1, 8),
+    work=st.integers(1, 200),
+)
+def test_processor_limit_lower_bound(processors, n_tasks, work):
+    """With P processors, makespan >= total_work / P."""
+
+    def worker():
+        yield Work(work)
+
+    sched = Scheduler(cost_model=CostModel(CostParams(jitter=0)), processors=processors)
+    for _ in range(n_tasks):
+        sched.spawn(worker())
+    sched.run()
+    total = n_tasks * work
+    assert sched.makespan >= total // processors
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_jitter_is_deterministic_per_seed(seed):
+    def run_once():
+        model = CostModel(seed=seed)
+        task = _task(0)
+        cell = IntCell(0)
+        for _ in range(20):
+            model.charge(task, Faa(cell, 1))
+        return task.clock
+
+    # Fresh cells each call: identical sequences must match exactly.
+    def run_twice():
+        a_model = CostModel(seed=seed)
+        a_task = _task(0)
+        a_cell = IntCell(0)
+        b_model = CostModel(seed=seed)
+        b_task = _task(0)
+        b_cell = IntCell(0)
+        for _ in range(20):
+            a_model.charge(a_task, Faa(a_cell, 1))
+            b_model.charge(b_task, Faa(b_cell, 1))
+        return a_task.clock, b_task.clock
+
+    a, b = run_twice()
+    assert a == b

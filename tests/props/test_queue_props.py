@@ -1,0 +1,114 @@
+"""Hypothesis properties for the queue substrates and the segment list."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import FAAQueue, MSQueue
+from repro.concurrent import Yield
+from repro.core.segments import SegmentList
+from repro.sim import NullCostModel, RandomPolicy, Scheduler
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    queue_kind=st.sampled_from(["ms", "faa"]),
+    producers=st.integers(1, 3),
+    per_producer=st.integers(1, 12),
+    seed=st.integers(0, 10_000),
+)
+def test_queue_conservation_and_per_producer_fifo(queue_kind, producers, per_producer, seed):
+    q = MSQueue() if queue_kind == "ms" else FAAQueue()
+    total = producers * per_producer
+    out = []
+
+    def enq(pid):
+        for i in range(per_producer):
+            yield from q.enqueue((pid, i))
+
+    def deq():
+        got = 0
+        while got < total:
+            v = yield from q.dequeue()
+            if v is None:
+                yield Yield()
+                continue
+            out.append(v)
+            got += 1
+
+    sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+    for pid in range(producers):
+        sched.spawn(enq(pid))
+    sched.spawn(deq())
+    sched.run()
+    assert sorted(out) == sorted((p, i) for p in range(producers) for i in range(per_producer))
+    for pid in range(producers):
+        seq = [i for (p, i) in out if p == pid]
+        assert seq == sorted(seq)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seg_size=st.integers(1, 5),
+    targets=st.lists(st.integers(0, 12), min_size=1, max_size=6),
+    seed=st.integers(0, 10_000),
+)
+def test_segment_list_growth_is_consistent(seg_size, targets, seed):
+    """Concurrent findSegment calls always yield unique, ordered ids and
+    reach at least the requested segment."""
+
+    sl = SegmentList(seg_size=seg_size, anchors=1)
+    results = []
+
+    def finder(seg_id):
+        seg = yield from sl.find_segment(sl.first, seg_id)
+        results.append((seg_id, seg.id))
+
+    sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+    for t in targets:
+        sched.spawn(finder(t))
+    sched.run()
+    for want, got in results:
+        assert got >= want
+    ids = [s.id for s in sl.iter_segments()]
+    assert ids == sorted(set(ids))
+    assert ids[0] == 0 and ids[-1] >= max(targets)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seg_size=st.integers(1, 4),
+    n_segments=st.integers(2, 6),
+    kill=st.data(),
+)
+def test_segment_removal_preserves_reachability(seg_size, n_segments, kill):
+    """Interrupting all cells of arbitrary middle segments never breaks
+    the next-chain from the first to the last segment."""
+
+    sl = SegmentList(seg_size=seg_size, anchors=1)
+    sched = Scheduler(cost_model=NullCostModel())
+
+    def grow():
+        yield from sl.find_segment(sl.first, n_segments)
+
+    sched.spawn(grow())
+    sched.run()
+    segments = sl.iter_segments()
+    victims = kill.draw(
+        st.lists(st.integers(1, n_segments - 1), unique=True, max_size=n_segments - 1)
+    )
+
+    def interrupt_all(seg):
+        for _ in range(seg.K):
+            yield from seg.on_interrupted_cell()
+
+    sched2 = Scheduler(cost_model=NullCostModel())
+    for v in victims:
+        sched2.spawn(interrupt_all(segments[v]))
+    sched2.run()
+    # Every non-removed segment is still reachable, in id order, and the
+    # removed ones are fully interrupted.
+    alive = [s.id for s in sl.iter_segments() if not s.removed_now]
+    assert alive == sorted(alive)
+    assert 0 in alive  # the head held an anchor pointer
+    assert n_segments in [s.id for s in sl.iter_segments()]  # tail intact
+    for v in victims:
+        assert segments[v].removed_now

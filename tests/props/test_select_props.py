@@ -1,0 +1,170 @@
+"""Hypothesis properties for the select expression.
+
+Random channel sets, capacities, pre-seeded elements, and schedules;
+the invariants:
+
+* a select completes exactly one clause;
+* element conservation across the whole system — everything sent is
+  received, still buffered, or surfaced via ``on_undelivered``; nothing
+  duplicates;
+* a ready clause always wins immediately when selected sequentially.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BufferedChannel,
+    RendezvousChannel,
+    make_channel,
+    receive_clause,
+    select,
+    send_clause,
+)
+from repro.sim import NullCostModel, RandomPolicy, Scheduler
+
+from conftest import run_tasks
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    capacities=st.lists(st.integers(0, 3), min_size=2, max_size=4),
+    ready_index=st.integers(0, 3),
+    seed=st.integers(0, 10_000),
+)
+def test_single_ready_recv_clause_wins(capacities, ready_index, seed):
+    """With exactly one channel holding data, select must return it."""
+
+    ready_index %= len(capacities)
+    channels = [
+        BufferedChannel(max(1, c), seg_size=2, name=f"ch{i}")
+        for i, c in enumerate(capacities)
+    ]
+    res = {}
+
+    def setup_and_select():
+        yield from channels[ready_index].send("payload")
+        res["out"] = yield from select(*(receive_clause(ch) for ch in channels))
+
+    run_tasks(setup_and_select())
+    assert res["out"] == (ready_index, "payload")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_channels=st.integers(2, 4),
+    n_senders=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_concurrent_selects_conserve_elements(n_channels, n_senders, seed):
+    """Senders race receive-selects; count every element exactly once.
+
+    A select that loses a claim may *dispose* an element into
+    ``on_undelivered`` (kotlinx semantics), so with as many selects as
+    senders a late select can legitimately starve — deadlock is an
+    allowed outcome; what must hold is conservation: every sent element
+    is received, recovered, still buffered, or held by a still-suspended
+    sender — exactly once.
+    """
+
+    from repro.core.states import SenderWaiter
+    from repro.errors import DeadlockError
+
+    channels = [RendezvousChannel(seg_size=2, name=f"c{i}") for i in range(n_channels)]
+    recovered = []
+    for ch in channels:
+        ch.on_undelivered = recovered.append
+    received = []
+    sent = [f"v{i}" for i in range(n_senders)]
+
+    sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+
+    for i, value in enumerate(sent):
+        target = channels[i % n_channels]
+
+        def sender(ch=target, v=value):
+            yield from ch.send(v)
+
+        sched.spawn(sender(), f"s{i}")
+
+    for i in range(n_senders):
+
+        def selector():
+            idx, v = yield from select(*(receive_clause(ch) for ch in channels))
+            received.append(v)
+
+        sched.spawn(selector(), f"sel{i}")
+
+    deadlocked = False
+    try:
+        sched.run()
+    except DeadlockError:
+        deadlocked = True  # a starved select/sender pair: legal
+
+    # Account for every element: drain buffered leftovers and scan cells
+    # for elements still held by suspended senders.
+    leftovers = []
+
+    def drain():
+        for ch in channels:
+            while True:
+                ok, v = yield from ch.try_receive()
+                if not ok:
+                    break
+                leftovers.append(v)
+
+    if not deadlocked:
+        run_tasks(drain())
+    in_flight = []
+    for ch in channels:
+        for seg in ch._list.iter_segments():
+            for i in range(ch.seg_size):
+                if isinstance(seg.state_cell(i).value, SenderWaiter):
+                    elem = seg.elem_cell(i).value
+                    if elem is not None:
+                        in_flight.append(elem)
+
+    everything = sorted(received + recovered + leftovers + in_flight)
+    assert everything == sorted(sent), (received, recovered, leftovers, in_flight)
+    # Every completed select got exactly one element.
+    assert len(received) <= n_senders
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(1, 3),
+    n_items=st.integers(1, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_select_send_clauses_deliver_everything(capacity, n_items, seed):
+    """Send-selects over two buffered channels: every element lands in
+    exactly one channel and is receivable."""
+
+    a = BufferedChannel(capacity, seg_size=2, name="a")
+    b = BufferedChannel(capacity, seg_size=2, name="b")
+    placed = []
+
+    sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+    for i in range(n_items):
+
+        def selector(v=i):
+            idx, _ = yield from select(send_clause(a, f"x{v}"), send_clause(b, f"x{v}"))
+            placed.append(idx)
+
+        sched.spawn(selector(), f"sel{i}")
+
+    def consumer():
+        got = []
+        while len(got) < n_items:
+            for ch in (a, b):
+                ok, v = yield from ch.try_receive()
+                if ok:
+                    got.append(v)
+            from repro.concurrent import Spin
+
+            yield Spin("drain")
+        return got
+
+    tc = sched.spawn(consumer(), "consumer")
+    sched.run()
+    assert sorted(tc.value) == sorted(f"x{i}" for i in range(n_items))
+    assert len(placed) == n_items

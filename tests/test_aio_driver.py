@@ -1,0 +1,148 @@
+"""Unit tests for the asyncio driver internals."""
+
+import asyncio
+
+import pytest
+
+from repro.aio.channel import _AioTaskHandle, drive_async, drive_sync
+from repro.concurrent import Cas, Faa, IntCell, ParkTask, Read, Work, Write, Yield
+from repro.errors import SchedulerError
+from repro.runtime import make_waiter
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestDriveSync:
+    def test_memory_ops_apply(self):
+        cell = IntCell(0)
+
+        def gen():
+            old = yield Faa(cell, 5)
+            v = yield Read(cell)
+            return (old, v)
+
+        assert drive_sync(gen()) == (0, 5)
+        assert cell.value == 5
+
+    def test_non_memory_ops_are_noops(self):
+        def gen():
+            yield Yield()
+            yield Work(100)
+            return "ok"
+
+        assert drive_sync(gen()) == "ok"
+
+    def test_park_rejected(self):
+        def gen():
+            w = yield from make_waiter()
+            yield ParkTask(w)
+
+        with pytest.raises(SchedulerError):
+            drive_sync(gen())
+
+    def test_current_task_returns_handle(self):
+        def gen():
+            from repro.concurrent import CurrentTask
+
+            handle = yield CurrentTask()
+            return handle
+
+        handle = _AioTaskHandle("probe")
+        assert drive_sync(gen(), handle) is handle
+
+
+class TestDriveAsync:
+    def test_runs_to_completion_without_parks(self):
+        async def main():
+            cell = IntCell(3)
+
+            def gen():
+                return (yield Read(cell))
+
+            return await drive_async(gen())
+
+        assert run(main()) == 3
+
+    def test_park_then_unpark_across_tasks(self):
+        async def main():
+            from repro.concurrent import RefCell, UnparkTask
+
+            slot = RefCell(None)
+
+            def sleeper():
+                w = yield from make_waiter()
+                yield Write(slot, w)
+                yield from w.park()
+                return "woken"
+
+            def waker():
+                w = yield Read(slot)
+                assert w is not None
+                return (yield from w.try_unpark())
+
+            sleeper_task = asyncio.create_task(drive_async(sleeper()))
+            await asyncio.sleep(0.01)
+            ok = await drive_async(waker())
+            result = await sleeper_task
+            return ok, result
+
+        assert run(main()) == (True, "woken")
+
+    def test_unpark_before_park_permit(self):
+        async def main():
+            from repro.concurrent import RefCell
+
+            slot = RefCell(None)
+            order = []
+
+            def sleeper():
+                w = yield from make_waiter()
+                yield Write(slot, w)
+                order.append("installed")
+                # Spin until the unpark landed, then park: must not block.
+                yield from w.park()
+                return "never-suspended"
+
+            def waker():
+                w = yield Read(slot)
+                return (yield from w.try_unpark())
+
+            # Run sequentially on one loop: install+park without awaiting
+            # in between means the unpark must come first via the slot.
+            async def run_sleeper():
+                return await drive_async(sleeper())
+
+            t = asyncio.create_task(run_sleeper())
+            await asyncio.sleep(0.01)  # sleeper parked (no permit yet)
+            ok = await drive_async(waker())
+            got = await t
+            return ok, got
+
+        ok, got = run(main())
+        assert ok is True and got == "never-suspended"
+
+    def test_cancellation_of_unparked_generator(self):
+        """Cancelling a driver that has not parked yet just propagates."""
+
+        async def main():
+            started = asyncio.Event()
+
+            def gen():
+                w = yield from make_waiter()
+                yield from w.park()
+
+            async def run_op():
+                started.set()
+                await drive_async(gen())
+
+            task = asyncio.create_task(run_op())
+            await started.wait()
+            await asyncio.sleep(0.01)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            return "ok"
+
+        assert run(main()) == "ok"

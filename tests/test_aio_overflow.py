@@ -1,0 +1,74 @@
+"""Tests for the asyncio adapter's buffer-overflow policies."""
+
+import asyncio
+
+import pytest
+
+from repro.aio import AsyncChannel
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestOverflowPolicies:
+    def test_default_is_suspending(self):
+        async def main():
+            ch = AsyncChannel(capacity=1)
+            await ch.send(1)
+            send2 = asyncio.create_task(ch.send(2))
+            await asyncio.sleep(0.01)
+            assert not send2.done()  # suspended: buffer full
+            assert await ch.receive() == 1
+            await send2
+            return await ch.receive()
+
+        assert run(main()) == 2
+
+    def test_drop_oldest_never_suspends(self):
+        async def main():
+            ch = AsyncChannel(capacity=2, overflow="drop_oldest")
+            for i in range(10):
+                await ch.send(i)
+            return [await ch.receive(), await ch.receive()]
+
+        assert run(main()) == [8, 9]
+
+    def test_conflate_keeps_latest(self):
+        async def main():
+            ch = AsyncChannel(overflow="conflate")
+            for i in range(5):
+                await ch.send(i)
+            return await ch.receive()
+
+        assert run(main()) == 4
+
+    def test_conflated_receiver_waits_when_empty(self):
+        async def main():
+            ch = AsyncChannel(overflow="conflate")
+
+            async def late():
+                await asyncio.sleep(0.01)
+                await ch.send("x")
+
+            task = asyncio.create_task(late())
+            value = await ch.receive()
+            await task
+            return value
+
+        assert run(main()) == "x"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            AsyncChannel(capacity=1, overflow="bogus")
+
+    def test_undelivered_hook_via_core(self):
+        async def main():
+            ch = AsyncChannel(capacity=1, overflow="drop_oldest")
+            dropped = []
+            ch._ch.on_undelivered = dropped.append
+            for i in range(4):
+                await ch.send(i)
+            return dropped
+
+        assert run(main()) == [0, 1, 2]

@@ -1,0 +1,114 @@
+"""Tests for select on the asyncio adapter."""
+
+import asyncio
+
+import pytest
+
+from repro.aio import AsyncChannel, on_receive, on_send, select_async
+from repro.errors import ChannelClosedForReceive
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAioSelect:
+    def test_ready_clause_wins_immediately(self):
+        async def main():
+            a, b = AsyncChannel(1), AsyncChannel(1)
+            await b.send("hello")
+            return await select_async(on_receive(a), on_receive(b))
+
+        assert run(main()) == (1, "hello")
+
+    def test_parked_select_woken(self):
+        async def main():
+            a, b = AsyncChannel(0), AsyncChannel(0)
+
+            async def sender():
+                await asyncio.sleep(0.01)
+                await a.send(5)
+
+            task = asyncio.create_task(sender())
+            result = await select_async(on_receive(a), on_receive(b))
+            await task
+            return result
+
+        assert run(main()) == (0, 5)
+
+    def test_send_clause(self):
+        async def main():
+            a, b = AsyncChannel(0), AsyncChannel(1)
+            idx, _ = await select_async(on_send(a, "x"), on_send(b, "y"))
+            assert idx == 1  # b has buffer space
+            return await b.receive()
+
+        assert run(main()) == "y"
+
+    def test_fan_in_loop(self):
+        async def main():
+            chans = [AsyncChannel(2) for _ in range(3)]
+            for i, ch in enumerate(chans):
+                await ch.send(f"m{i}")
+            got = []
+            for _ in range(3):
+                idx, v = await select_async(*(on_receive(c) for c in chans))
+                got.append((idx, v))
+            return sorted(got)
+
+        assert run(main()) == [(0, "m0"), (1, "m1"), (2, "m2")]
+
+    def test_cancellation_cleans_registrations(self):
+        async def main():
+            a, b = AsyncChannel(0), AsyncChannel(0)
+            task = asyncio.create_task(select_async(on_receive(a), on_receive(b)))
+            await asyncio.sleep(0.01)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            # Channels stay usable.
+            results = await asyncio.gather(a.send(1), a.receive())
+            return results[1]
+
+        assert run(main()) == 1
+
+    def test_close_wakes_select(self):
+        async def main():
+            a, b = AsyncChannel(0), AsyncChannel(0)
+
+            async def closer():
+                await asyncio.sleep(0.01)
+                b.close()
+
+            task = asyncio.create_task(closer())
+            with pytest.raises(ChannelClosedForReceive):
+                await select_async(on_receive(a), on_receive(b))
+            await task
+            return "ok"
+
+        assert run(main()) == "ok"
+
+    def test_shutdown_channel_pattern(self):
+        async def main():
+            data = AsyncChannel(4)
+            shutdown = AsyncChannel(0)
+            handled = []
+
+            async def worker():
+                while True:
+                    idx, v = await select_async(on_receive(data), on_receive(shutdown))
+                    if idx == 1:
+                        return "stopped"
+                    handled.append(v)
+
+            w = asyncio.create_task(worker())
+            for i in range(5):
+                await data.send(i)
+            await asyncio.sleep(0.01)
+            await shutdown.send("stop")
+            result = await w
+            return result, handled
+
+        result, handled = run(main())
+        assert result == "stopped"
+        assert handled == [0, 1, 2, 3, 4]

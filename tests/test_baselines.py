@@ -1,0 +1,427 @@
+"""Tests for the baseline channel/queue implementations."""
+
+import pytest
+
+from repro.baselines import (
+    FAAQueue,
+    GoChannel,
+    KotlinLegacyChannel,
+    KovalChannel2019,
+    MPDQSyncQueue,
+    MSQueue,
+    ScherersSyncQueue,
+)
+from repro.concurrent import Work, Yield
+from repro.errors import ChannelClosedForReceive, ChannelClosedForSend, DeadlockError
+from repro.sim import NullCostModel, RandomPolicy, Scheduler
+
+from conftest import RENDEZVOUS_FACTORIES, run_tasks
+
+
+class TestMSQueue:
+    def test_fifo_single_threaded(self):
+        q = MSQueue()
+        out = []
+
+        def t():
+            for i in range(10):
+                yield from q.enqueue(i)
+            while True:
+                v = yield from q.dequeue()
+                if v is None:
+                    return
+                out.append(v)
+
+        run_tasks(t())
+        assert out == list(range(10))
+
+    def test_dequeue_empty_returns_none(self):
+        q = MSQueue()
+
+        def t():
+            return (yield from q.dequeue())
+
+        _, (task,) = run_tasks(t())
+        assert task.value is None
+
+    def test_rejects_none(self):
+        q = MSQueue()
+        with pytest.raises(ValueError):
+            next(q.enqueue(None))
+
+    def test_is_empty_transitions(self):
+        q = MSQueue()
+
+        def t():
+            e1 = yield from q.is_empty()
+            yield from q.enqueue(1)
+            e2 = yield from q.is_empty()
+            yield from q.dequeue()
+            e3 = yield from q.is_empty()
+            return (e1, e2, e3)
+
+        _, (task,) = run_tasks(t())
+        assert task.value == (True, False, True)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mpmc_conservation(self, seed):
+        q = MSQueue()
+        out = []
+
+        def enq(pid):
+            for i in range(20):
+                yield from q.enqueue(pid * 100 + i)
+
+        def deq(count):
+            got = 0
+            while got < count:
+                v = yield from q.dequeue()
+                if v is None:
+                    yield Yield()
+                    continue
+                out.append(v)
+                got += 1
+
+        run_tasks(enq(0), enq(1), deq(20), deq(20), seed=seed)
+        assert sorted(out) == sorted(p * 100 + i for p in range(2) for i in range(20))
+
+    def test_nodes_allocated_per_element(self):
+        q = MSQueue()
+
+        def t():
+            for i in range(7):
+                yield from q.enqueue(i)
+
+        run_tasks(t())
+        assert q.nodes_allocated == 7
+
+
+class TestFAAQueue:
+    def test_fifo_single_threaded(self):
+        q = FAAQueue()
+        out = []
+
+        def t():
+            for i in range(40):  # crosses segments
+                yield from q.enqueue(i)
+            while True:
+                v = yield from q.dequeue()
+                if v is None:
+                    return
+                out.append(v)
+
+        run_tasks(t())
+        assert out == list(range(40))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_mpmc_conservation(self, seed):
+        q = FAAQueue()
+        out = []
+
+        def enq(pid):
+            for i in range(25):
+                yield from q.enqueue(pid * 100 + i)
+
+        def deq(count):
+            got = 0
+            while got < count:
+                v = yield from q.dequeue()
+                if v is None:
+                    yield Yield()
+                    continue
+                out.append(v)
+                got += 1
+
+        run_tasks(enq(0), enq(1), enq(2), deq(38), deq(37), seed=seed)
+        assert sorted(out) == sorted(p * 100 + i for p in range(3) for i in range(25))
+
+    def test_poisoned_cells_are_skipped(self):
+        """A dequeue racing ahead poisons; enqueue retries elsewhere."""
+
+        for seed in range(20):
+            q = FAAQueue()
+            out = []
+
+            def enq():
+                yield from q.enqueue(1)
+
+            def deq():
+                while True:
+                    v = yield from q.dequeue()
+                    if v is not None:
+                        out.append(v)
+                        return
+                    yield Yield()
+
+            run_tasks(enq(), deq(), seed=seed)
+            assert out == [1]
+
+
+@pytest.fixture(params=sorted(RENDEZVOUS_FACTORIES))
+def any_rendezvous(request):
+    return RENDEZVOUS_FACTORIES[request.param]()
+
+
+class TestRendezvousContract:
+    """Every rendezvous implementation satisfies the same contract."""
+
+    def test_transfer(self, any_rendezvous):
+        ch = any_rendezvous
+        got = []
+
+        def p():
+            yield from ch.send(5)
+
+        def c():
+            got.append((yield from ch.receive()))
+
+        run_tasks(p(), c())
+        assert got == [5]
+
+    def test_sender_blocks_alone(self, any_rendezvous):
+        ch = any_rendezvous
+        sched = Scheduler()
+
+        def p():
+            yield from ch.send(1)
+
+        sched.spawn(p())
+        with pytest.raises(DeadlockError):
+            sched.run()
+
+    def test_receiver_blocks_alone(self, any_rendezvous):
+        ch = any_rendezvous
+        sched = Scheduler()
+
+        def c():
+            yield from ch.receive()
+
+        sched.spawn(c())
+        with pytest.raises(DeadlockError):
+            sched.run()
+
+    def test_fifo_single_pair(self, any_rendezvous):
+        ch = any_rendezvous
+        got = []
+
+        def p():
+            for i in range(10):
+                yield from ch.send(i)
+
+        def c():
+            for _ in range(10):
+                got.append((yield from ch.receive()))
+
+        run_tasks(p(), c(), seed=4)
+        assert got == list(range(10))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mpmc_conservation(self, any_rendezvous, seed):
+        ch = any_rendezvous
+        got = []
+
+        def p(pid):
+            for i in range(8):
+                yield from ch.send(pid * 100 + i)
+
+        def c():
+            for _ in range(8):
+                got.append((yield from ch.receive()))
+
+        run_tasks(*(p(i) for i in range(3)), *(c() for _ in range(3)), seed=seed)
+        assert sorted(got) == sorted(p * 100 + i for p in range(3) for i in range(8))
+
+    def test_rejects_none(self, any_rendezvous):
+        with pytest.raises(ValueError):
+            next(any_rendezvous.send(None))
+
+
+class TestGoChannel:
+    def test_buffered_fifo(self):
+        ch = GoChannel(3)
+        got = []
+
+        def t():
+            for i in range(3):
+                yield from ch.send(i)
+            for _ in range(3):
+                got.append((yield from ch.receive()))
+
+        run_tasks(t())
+        assert got == [0, 1, 2]
+
+    def test_buffer_refill_from_waiting_sender(self):
+        ch = GoChannel(1)
+        got = []
+
+        def p():
+            yield from ch.send(1)
+            yield from ch.send(2)  # blocks
+
+        def c():
+            yield Work(100_000)
+            got.append((yield from ch.receive()))
+            got.append((yield from ch.receive()))
+
+        run_tasks(p(), c())
+        assert got == [1, 2]
+
+    def test_close_semantics(self):
+        ch = GoChannel(2)
+        log = []
+
+        def t():
+            yield from ch.send(1)
+            yield from ch.close()
+            second = yield from ch.close()
+            log.append(("second-close", second))
+            try:
+                yield from ch.send(2)
+            except ChannelClosedForSend:
+                log.append("send-fails")
+            log.append(("drain", (yield from ch.receive())))
+            try:
+                yield from ch.receive()
+            except ChannelClosedForReceive:
+                log.append("recv-fails")
+
+        run_tasks(t())
+        assert log == [("second-close", False), "send-fails", ("drain", 1), "recv-fails"]
+
+    def test_close_wakes_waiters(self):
+        ch = GoChannel(0)
+        outcomes = []
+
+        def sender():
+            try:
+                yield from ch.send(1)
+                outcomes.append("sent")
+            except ChannelClosedForSend:
+                outcomes.append("send-closed")
+
+        def receiver():
+            try:
+                outcomes.append((yield from ch.receive()))
+            except ChannelClosedForReceive:
+                outcomes.append("recv-closed")
+
+        def closer():
+            yield Work(100_000)
+            yield from ch.close()
+
+        # A sender and receiver would normally pair; park only one kind.
+        run_tasks(receiver(), receiver(), closer())
+        assert outcomes == ["recv-closed", "recv-closed"]
+
+    def test_lock_contention_counted(self):
+        ch = GoChannel(4)
+
+        def p(pid):
+            for i in range(10):
+                yield from ch.send(pid * 10 + i)
+
+        def c():
+            for _ in range(10):
+                yield from ch.receive()
+
+        run_tasks(p(0), p(1), c(), c(), seed=7)
+        assert ch._lock.acquisitions >= 40
+
+
+class TestKotlinLegacy:
+    def test_buffered_mode_uses_lock(self):
+        ch = KotlinLegacyChannel(2)
+        assert ch._lock is not None
+
+    def test_rendezvous_mode_is_lock_free(self):
+        ch = KotlinLegacyChannel(0)
+        assert ch._lock is None
+
+    def test_buffered_fifo(self):
+        ch = KotlinLegacyChannel(2)
+        got = []
+
+        def p():
+            for i in range(10):
+                yield from ch.send(i)
+
+        def c():
+            for _ in range(10):
+                got.append((yield from ch.receive()))
+
+        run_tasks(p(), c(), seed=5)
+        assert got == list(range(10))
+
+    def test_close_fails_waiters_both_kinds(self):
+        ch = KotlinLegacyChannel(0)
+        outcomes = []
+
+        def sender():
+            try:
+                yield from ch.send(1)
+                outcomes.append("sent")
+            except ChannelClosedForSend:
+                outcomes.append("send-closed")
+
+        def closer():
+            yield Work(100_000)
+            yield from ch.close()
+
+        run_tasks(sender(), closer())
+        assert outcomes == ["send-closed"]
+
+    def test_allocations_node_plus_descriptor(self):
+        """The legacy design's allocation signature: suspensions cost a
+        node AND a descriptor (the paper's 115% overhead source)."""
+
+        from repro.bench.memstats import AllocStats
+
+        ch = KotlinLegacyChannel(0)
+        sched = Scheduler()
+        stats = AllocStats()
+        sched.alloc_stats = stats
+
+        def p():
+            for i in range(5):
+                yield from ch.send(i)
+
+        def c():
+            for _ in range(5):
+                yield from ch.receive()
+
+        sched.spawn(p())
+        sched.spawn(c())
+        sched.run()
+        assert stats.by_tag.get("ll-node", 0) >= 1
+        assert stats.by_tag.get("descriptor", 0) >= stats.by_tag.get("ll-node", 0)
+
+
+class TestKoval2019:
+    def test_balance_counter_returns_to_zero(self):
+        ch = KovalChannel2019()
+
+        def p():
+            for i in range(10):
+                yield from ch.send(i)
+
+        def c():
+            for _ in range(10):
+                yield from ch.receive()
+
+        run_tasks(p(), c(), seed=3)
+        assert ch.balance.value == 0
+
+    def test_waiter_queues_drained(self):
+        ch = KovalChannel2019()
+
+        def p():
+            for i in range(5):
+                yield from ch.send(i)
+
+        def c():
+            for _ in range(5):
+                yield from ch.receive()
+
+        run_tasks(p(), c())
+        assert ch._senders.enq.value == ch._senders.deq.value
+        assert ch._receivers.enq.value == ch._receivers.deq.value

@@ -1,0 +1,132 @@
+"""Unit tests for the benchmark harness itself."""
+
+import pytest
+
+from repro.bench import (
+    GeometricWork,
+    IMPLEMENTATIONS,
+    format_panel,
+    format_series,
+    make_impl,
+    measure_alloc_rate,
+    measure_poisoning,
+    run_producer_consumer,
+    speedup_at,
+    split_evenly,
+    sweep,
+)
+
+
+class TestWorkload:
+    def test_geometric_mean_roughly_right(self):
+        work = GeometricWork(100, seed=1)
+        samples = [work.sample() for _ in range(8000)]
+        mean = sum(samples) / len(samples)
+        assert 85 <= mean <= 115, mean
+
+    def test_zero_mean_is_zero(self):
+        work = GeometricWork(0, seed=1)
+        assert all(work.sample() == 0 for _ in range(10))
+
+    def test_deterministic_per_seed(self):
+        a = [GeometricWork(50, seed=3).sample() for _ in range(20)]
+        b = [GeometricWork(50, seed=3).sample() for _ in range(20)]
+        assert a == b
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            GeometricWork(-1)
+
+    def test_split_evenly(self):
+        assert split_evenly(10, 3) == [4, 3, 3]
+        assert sum(split_evenly(1000, 7)) == 1000
+        assert split_evenly(2, 4) == [1, 1, 0, 0]
+
+
+class TestRegistry:
+    def test_all_impls_instantiate_rendezvous(self):
+        for name in IMPLEMENTATIONS:
+            assert make_impl(name, 0) is not None
+
+    def test_rendezvous_only_impls_reject_capacity(self):
+        with pytest.raises(ValueError):
+            make_impl("java-sync-queue", 16)
+        with pytest.raises(ValueError):
+            make_impl("koval-2019", 16)
+
+    def test_buffered_impls_accept_capacity(self):
+        for name in ("faa-channel", "faa-channel-eb", "go-channel", "kotlin-legacy"):
+            assert make_impl(name, 8) is not None
+
+
+class TestRunner:
+    @pytest.mark.parametrize("impl", sorted(IMPLEMENTATIONS))
+    def test_every_impl_completes_a_small_run(self, impl):
+        r = run_producer_consumer(impl, threads=4, capacity=0, elements=200)
+        assert r.throughput > 0
+        assert r.makespan > 0
+        assert r.elements == 200
+
+    def test_coroutines_default_to_threads(self):
+        r = run_producer_consumer("faa-channel", threads=6, elements=100)
+        assert r.coroutines == 6
+
+    def test_coroutines_rounded_even(self):
+        r = run_producer_consumer("faa-channel", threads=5, elements=100)
+        assert r.coroutines == 6  # rounded up to pairs
+
+    def test_multiplexed_coroutines(self):
+        r = run_producer_consumer("faa-channel", threads=2, coroutines=20, elements=200)
+        assert r.coroutines == 20 and r.threads == 2
+        assert r.throughput > 0
+
+    def test_deterministic_given_seed(self):
+        a = run_producer_consumer("faa-channel", threads=4, elements=300, seed=5)
+        b = run_producer_consumer("faa-channel", threads=4, elements=300, seed=5)
+        assert a.makespan == b.makespan
+
+    def test_work_mean_slows_throughput(self):
+        fast = run_producer_consumer("faa-channel", threads=2, elements=300, work_mean=0)
+        slow = run_producer_consumer("faa-channel", threads=2, elements=300, work_mean=1000)
+        assert slow.throughput < fast.throughput
+
+
+class TestReports:
+    def test_sweep_and_panel(self):
+        results = sweep(["faa-channel", "go-channel"], (1, 2), elements=100)
+        text = format_panel(results, "test panel")
+        assert "faa-channel" in text and "go-channel" in text
+        assert text.count("\n") >= 4
+
+    def test_speedup_at(self):
+        results = sweep(["faa-channel", "go-channel"], (2,), elements=100)
+        ratio = speedup_at(results, "faa-channel", "go-channel", 2)
+        assert ratio > 0
+
+    def test_speedup_missing_raises(self):
+        with pytest.raises(ValueError):
+            speedup_at([], "a", "b", 4)
+
+    def test_format_series(self):
+        results = sweep(["faa-channel"], (1, 2), elements=100)
+        text = format_series(results, "threads", "series")
+        assert "elems/Mcycle" in text
+
+
+class TestStatsCollectors:
+    def test_poisoning_report(self):
+        report = measure_poisoning(threads=4, elements=400, work_mean=0)
+        assert 0 <= report.fraction <= 1
+        assert report.cells >= 400
+        assert "poisoned" in report.row()
+
+    def test_alloc_report(self):
+        report = measure_alloc_rate("faa-channel", capacity=0, threads=2, elements=400)
+        assert report.rate > 0
+        assert "segment" in report.by_tag
+
+    def test_alloc_rates_distinguish_designs(self):
+        faa = measure_alloc_rate("faa-channel", capacity=0, threads=2, elements=400)
+        java = measure_alloc_rate("java-sync-queue", capacity=0, threads=2, elements=400)
+        # One dual-node per element vs amortized segments.
+        assert java.rate > faa.rate

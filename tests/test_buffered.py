@@ -1,0 +1,322 @@
+"""Behavioural tests for the buffered channel (§3.2, Listing 4)."""
+
+import pytest
+
+from repro.concurrent import Work, Yield
+from repro.core import BufferedChannel, BUFFERED, IN_BUFFER, INTERRUPTED_SEND
+from repro.errors import DeadlockError, Interrupted
+from repro.runtime import interrupt_task
+from repro.sim import NullCostModel, RandomPolicy, Scheduler
+from repro.verify import FifoObserver
+
+from conftest import run_tasks
+
+
+class TestBufferSemantics:
+    @pytest.mark.parametrize("capacity", [1, 2, 4, 7])
+    def test_sends_up_to_capacity_do_not_suspend(self, capacity):
+        ch = BufferedChannel(capacity, seg_size=2)
+
+        def p():
+            for i in range(capacity):
+                yield from ch.send(i)
+            return "done"
+
+        _, (tp,) = run_tasks(p())
+        assert tp.value == "done"
+        assert ch.stats.send_suspends == 0
+
+    def test_send_beyond_capacity_suspends(self):
+        ch = BufferedChannel(2, seg_size=2)
+        sched = Scheduler()
+
+        def p():
+            for i in range(3):
+                yield from ch.send(i)
+
+        sched.spawn(p())
+        with pytest.raises(DeadlockError):
+            sched.run()
+        assert ch.stats.send_suspends == 1
+
+    def test_receive_frees_buffer_slot_resumes_sender(self):
+        ch = BufferedChannel(1, seg_size=2)
+        got = []
+
+        def p():
+            yield from ch.send(1)
+            yield from ch.send(2)  # suspends until the receive
+            return "done"
+
+        def c():
+            yield Work(50_000)
+            got.append((yield from ch.receive()))
+            got.append((yield from ch.receive()))
+
+        _, (tp, tc) = run_tasks(p(), c())
+        assert tp.value == "done" and got == [1, 2]
+        assert ch.stats.send_suspends == 1
+
+    def test_capacity_zero_behaves_as_rendezvous(self):
+        ch = BufferedChannel(0, seg_size=2)
+        got = []
+
+        def p():
+            for i in range(5):
+                yield from ch.send(i)
+
+        def c():
+            for _ in range(5):
+                got.append((yield from ch.receive()))
+
+        run_tasks(p(), c())
+        assert got == [0, 1, 2, 3, 4]
+        assert ch.stats.send_suspends >= 1  # no buffering happened
+
+    def test_fifo_through_buffer(self):
+        ch = BufferedChannel(4, seg_size=2)
+        got = []
+
+        def p():
+            for i in range(30):
+                yield from ch.send(i)
+
+        def c():
+            for _ in range(30):
+                got.append((yield from ch.receive()))
+
+        run_tasks(p(), c(), seed=2)
+        assert got == list(range(30))
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferedChannel(-1)
+
+    def test_b_counter_initialized_to_capacity(self):
+        assert BufferedChannel(5).B.value == 5
+
+    def test_receive_on_empty_buffered_channel_suspends(self):
+        ch = BufferedChannel(3, seg_size=2)
+        sched = Scheduler()
+
+        def c():
+            yield from ch.receive()
+
+        sched.spawn(c())
+        with pytest.raises(DeadlockError):
+            sched.run()
+        assert ch.stats.rcv_suspends == 1
+
+
+class TestExpandBuffer:
+    def test_expansion_count_tracks_receives(self):
+        ch = BufferedChannel(2, seg_size=2)
+
+        def p():
+            for i in range(10):
+                yield from ch.send(i)
+
+        def c():
+            for _ in range(10):
+                yield from ch.receive()
+
+        run_tasks(p(), c())
+        # Every completed receive synchronization expands exactly once
+        # (plus restarts); B must have advanced at least per receive.
+        assert ch.B.value >= 2 + 10
+
+    def test_buffer_capacity_not_inflated_by_interrupted_sender(self):
+        """§3.2's counter-example: B must skip an interrupted sender."""
+
+        ch = BufferedChannel(1, seg_size=2)
+        sched = Scheduler()
+
+        def s1():
+            yield from ch.send("a")  # buffered
+
+        def s2():
+            yield from ch.send("b")  # suspends (buffer full)
+
+        t1 = sched.spawn(s1(), "s1")
+        t2 = sched.spawn(s2(), "s2")
+
+        def canceller():
+            yield from interrupt_task(t2)
+
+        sched.spawn(canceller(), "x")
+        sched.run()
+        assert t2.interrupted
+        # Now one receive drains "a"; the buffer slot moves past the
+        # interrupted cell.  A following send must buffer, NOT suspend.
+        got = []
+
+        def c():
+            got.append((yield from ch.receive()))
+
+        run_tasks(c())
+        assert got == ["a"]
+
+        def s3():
+            yield from ch.send("c")
+            return "no-suspend"
+
+        _, (t3,) = run_tasks(s3())
+        assert t3.value == "no-suspend"
+        assert ch.stats.send_suspends == 1  # only s2 ever suspended
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_mpmc_buffered_conservation(self, seed):
+        ch = BufferedChannel(2, seg_size=2)
+        obs = FifoObserver()
+        ch.observer = obs
+        got = []
+
+        def p(pid):
+            for i in range(8):
+                yield from ch.send(pid * 100 + i)
+
+        def c():
+            for _ in range(8):
+                got.append((yield from ch.receive()))
+
+        run_tasks(*(p(i) for i in range(3)), *(c() for _ in range(3)), seed=seed)
+        assert sorted(got) == sorted(p * 100 + i for p in range(3) for i in range(8))
+        obs.verify()
+
+    @pytest.mark.parametrize("capacity", [0, 1, 3, 16])
+    def test_capacity_sweep_conservation(self, capacity):
+        ch = BufferedChannel(capacity, seg_size=2)
+        got = []
+
+        def p(pid):
+            for i in range(10):
+                yield from ch.send(pid * 100 + i)
+
+        def c():
+            for _ in range(10):
+                got.append((yield from ch.receive()))
+
+        run_tasks(p(0), p(1), c(), c(), seed=capacity)
+        assert sorted(got) == sorted(p * 100 + i for p in range(2) for i in range(10))
+
+
+class TestBufferedCancellation:
+    def test_cancelled_sender_does_not_occupy_buffer(self):
+        ch = BufferedChannel(1, seg_size=2)
+        sched = Scheduler()
+
+        def filler():
+            yield from ch.send(1)
+
+        def victim():
+            yield from ch.send(2)
+
+        sched.spawn(filler(), "filler")
+        tv = sched.spawn(victim(), "victim")
+        sched.spawn(interrupt_task(tv), "canceller")
+        sched.run()
+        assert tv.interrupted
+        got = []
+
+        def c():
+            got.append((yield from ch.receive()))
+
+        def p():
+            yield from ch.send(3)
+
+        run_tasks(c(), p())
+        assert got == [1]
+        # Element 3 buffered (capacity restored past the dead cell).
+        ok_got = []
+
+        def c2():
+            ok_got.append((yield from ch.receive()))
+
+        run_tasks(c2())
+        assert ok_got == [3]
+
+    def test_cancelled_receiver_expansion_consistent(self):
+        ch = BufferedChannel(1, seg_size=2)
+        sched = Scheduler()
+
+        def victim():
+            yield from ch.receive()
+
+        tv = sched.spawn(victim(), "victim")
+        sched.spawn(interrupt_task(tv), "canceller")
+        sched.run()
+        assert tv.interrupted
+        # The channel still buffers exactly `capacity` sends.
+        def p():
+            yield from ch.send(1)
+            return "ok"
+
+        _, (tp,) = run_tasks(p())
+        assert tp.value == "ok"
+        assert ch.stats.send_suspends == 0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_cancellation_storm(self, seed):
+        ch = BufferedChannel(2, seg_size=2)
+        sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+        sent, got = [], []
+        victims = []
+
+        def victim(pid):
+            try:
+                for i in range(6):
+                    yield from ch.send(pid * 10 + i)
+                    sent.append(pid * 10 + i)
+            except Interrupted:
+                pass
+
+        for pid in range(2):
+            victims.append(sched.spawn(victim(pid), f"v{pid}"))
+        for tv in victims:
+            sched.spawn(interrupt_task(tv), f"x-{tv.name}")
+
+        def drain():
+            while True:
+                ok, v = yield from ch.receive_catching()
+                if not ok:
+                    return
+                got.append(v)
+
+        sched.spawn(drain(), "drain")
+
+        def closer():
+            while not all(t.done for t in victims):
+                yield Yield()
+            yield from ch.close()
+
+        sched.spawn(closer(), "closer")
+        sched.run()
+        assert sorted(got) == sorted(sent)
+
+
+class TestBlockingBehaviour:
+    def test_spin_waits_only_in_documented_race(self):
+        """All spins carry the receive/expandBuffer reasons (§4.2)."""
+
+        from repro.sim import SpinCounter
+
+        for seed in range(10):
+            ch = BufferedChannel(1, seg_size=2)
+            sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+            counter = SpinCounter()
+            sched.add_hook(counter)
+
+            def p(pid):
+                for i in range(6):
+                    yield from ch.send(pid * 10 + i)
+
+            def c():
+                for _ in range(6):
+                    yield from ch.receive()
+
+            for pid in range(2):
+                sched.spawn(p(pid))
+            for _ in range(2):
+                sched.spawn(c())
+            sched.run()
+            assert set(counter.by_reason) <= {"rcv-wait-eb", "eb-wait-rcv"}

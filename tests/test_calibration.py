@@ -1,0 +1,76 @@
+"""Regression guards for the cost-model calibration (EXPERIMENTS.md).
+
+Two properties of the simulated multicore proved load-bearing for the
+paper's statistics and must not silently regress:
+
+* cells' state/elem fields share a cache line (the sender wins the
+  deposit race often enough that poisoning stays rare);
+* seeded timing jitter prevents the S/R counters from phase-locking into
+  the §4.2 mutual-poisoning orbit.
+"""
+
+import pytest
+
+from repro.bench import run_producer_consumer
+from repro.core import RendezvousChannel
+from repro.sim.costmodel import CostParams
+
+
+def _poison_fraction(result):
+    cells = max(1, result.channel_stats["cells_processed"] // 2)
+    return result.channel_stats["poisoned"] / cells
+
+
+class TestPoisoningCalibration:
+    def test_single_thread_never_poisons(self):
+        """On one processor coroutines run cooperatively: a producer and
+        consumer strictly alternate and no cell is ever poisoned."""
+
+        r = run_producer_consumer("faa-channel", threads=1, capacity=0, elements=400)
+        assert r.channel_stats["poisoned"] == 0
+
+    @pytest.mark.parametrize("threads", [4, 16, 32])
+    def test_poisoning_stays_in_paper_band(self, threads):
+        r = run_producer_consumer(
+            "faa-channel", threads=threads, capacity=0, elements=1200, work_mean=0
+        )
+        assert _poison_fraction(r) <= 0.12, r.channel_stats
+
+    def test_shared_lines_are_present(self):
+        """State and elem of one cell must share a coherence line."""
+
+        ch = RendezvousChannel(seg_size=4)
+        seg = ch._list.first
+        for i in range(4):
+            assert seg.state_cell(i).line is seg.elem_cell(i).line
+        assert seg.state_cell(0).line is not seg.state_cell(1).line
+
+    def test_zero_jitter_is_available_for_exact_costing(self):
+        params = CostParams(jitter=0)
+        a = run_producer_consumer("faa-channel", threads=4, elements=200, cost_params=params)
+        b = run_producer_consumer("faa-channel", threads=4, elements=200, cost_params=params)
+        assert a.makespan == b.makespan  # fully deterministic
+
+    def test_jitter_defaults_on(self):
+        assert CostParams().jitter > 0
+
+
+class TestScalingShape:
+    def test_faa_channel_scales_with_threads(self):
+        thr = {
+            t: run_producer_consumer("faa-channel", threads=t, capacity=0, elements=1200).throughput
+            for t in (1, 16)
+        }
+        assert thr[16] > 2.5 * thr[1], thr
+
+    def test_lock_channel_does_not_scale(self):
+        thr = {
+            t: run_producer_consumer("go-channel", threads=t, capacity=0, elements=1200).throughput
+            for t in (4, 64)
+        }
+        assert thr[64] < thr[4] * 1.5, thr
+
+    def test_faa_beats_locks_at_high_threads(self):
+        faa = run_producer_consumer("faa-channel", threads=64, capacity=0, elements=1200).throughput
+        go = run_producer_consumer("go-channel", threads=64, capacity=0, elements=1200).throughput
+        assert faa > 2 * go, (faa, go)

@@ -1,0 +1,127 @@
+"""Unit tests for atomic cells and the op-descriptor protocol."""
+
+import pytest
+
+from repro.concurrent import (
+    Alloc,
+    Cas,
+    Faa,
+    GetAndSet,
+    IntCell,
+    Label,
+    ParkTask,
+    Read,
+    RefCell,
+    Spin,
+    Work,
+    Write,
+    Yield,
+    apply_memory_op,
+    is_memory_op,
+)
+from repro.errors import SchedulerError
+
+
+class TestIntCell:
+    def test_initial_value(self):
+        assert IntCell(7).value == 7
+
+    def test_default_zero(self):
+        assert IntCell().value == 0
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            IntCell("nope")
+
+    def test_cas_compares_by_value(self):
+        assert IntCell.compare(10, 10)
+        assert not IntCell.compare(10, 11)
+
+    def test_unique_loc_ids(self):
+        a, b = IntCell(), IntCell()
+        assert a.loc_id != b.loc_id
+
+
+class TestRefCell:
+    def test_cas_compares_by_identity(self):
+        x, y = object(), object()
+        assert RefCell.compare(x, x)
+        assert not RefCell.compare(x, y)
+
+    def test_equal_but_distinct_objects_do_not_match(self):
+        # Critical for waiter-vs-sentinel distinctions.
+        a, b = [1], [1]
+        assert a == b
+        assert not RefCell.compare(a, b)
+
+
+class TestApplyMemoryOp:
+    def test_read(self):
+        c = IntCell(3)
+        assert apply_memory_op(Read(c)) == 3
+
+    def test_write(self):
+        c = IntCell(0)
+        assert apply_memory_op(Write(c, 9)) is None
+        assert c.value == 9
+
+    def test_faa_returns_pre_increment(self):
+        c = IntCell(5)
+        assert apply_memory_op(Faa(c, 3)) == 5
+        assert c.value == 8
+
+    def test_faa_negative_delta(self):
+        c = IntCell(5)
+        assert apply_memory_op(Faa(c, -2)) == 5
+        assert c.value == 3
+
+    def test_cas_success(self):
+        c = IntCell(1)
+        assert apply_memory_op(Cas(c, 1, 2)) is True
+        assert c.value == 2
+
+    def test_cas_failure_leaves_value(self):
+        c = IntCell(1)
+        assert apply_memory_op(Cas(c, 5, 2)) is False
+        assert c.value == 1
+
+    def test_cas_identity_on_refcell(self):
+        sentinel = object()
+        c = RefCell(sentinel)
+        other = object()
+        assert apply_memory_op(Cas(c, other, "x")) is False
+        assert apply_memory_op(Cas(c, sentinel, "x")) is True
+        assert c.value == "x"
+
+    def test_get_and_set(self):
+        c = RefCell("a")
+        assert apply_memory_op(GetAndSet(c, "b")) == "a"
+        assert c.value == "b"
+
+    def test_non_memory_op_rejected(self):
+        with pytest.raises(SchedulerError):
+            apply_memory_op(Yield())
+
+
+class TestOpClassification:
+    def test_memory_ops(self):
+        c = IntCell()
+        for op in (Read(c), Write(c, 1), Cas(c, 0, 1), Faa(c, 1), GetAndSet(c, 1)):
+            assert is_memory_op(op)
+
+    def test_non_memory_ops(self):
+        for op in (Yield(), Spin("x"), Work(5), Alloc("t"), Label("l"), ParkTask(None)):
+            assert not is_memory_op(op)
+
+    def test_work_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Work(-1)
+
+    def test_kinds(self):
+        c = IntCell()
+        assert Read(c).kind == "read"
+        assert Write(c, 1).kind == "write"
+        assert Cas(c, 0, 1).kind == "rmw"
+        assert Faa(c, 1).kind == "rmw"
+        assert Spin("r").kind == "spin"
+        assert Work(1).kind == "work"

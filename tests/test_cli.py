@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro.bench`` command-line runner."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_fig5_small(self, capsys):
+        rc = main(["fig5", "--elements", "200", "--threads", "1", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "faa-channel" in out
+        assert "speedup over" in out
+
+    def test_fig5_buffered(self, capsys):
+        rc = main(["fig5", "--capacity", "8", "--elements", "200", "--threads", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faa-channel-eb" in out
+        assert "java-sync-queue" not in out  # rendezvous-only excluded
+
+    def test_poisoning(self, capsys):
+        rc = main(["poisoning", "--elements", "400", "--threads", "4"])
+        assert rc == 0
+        assert "poisoned" in capsys.readouterr().out
+
+    def test_memory(self, capsys):
+        rc = main(["memory", "--elements", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cells/elem" in out and "kotlin-legacy" in out
+
+    def test_ablate_segsize(self, capsys):
+        rc = main(["ablate-segsize", "--elements", "200"])
+        assert rc == 0
+        assert "K=32" in capsys.readouterr().out
+
+    def test_ablate_capacity(self, capsys):
+        rc = main(["ablate-capacity", "--elements", "200"])
+        assert rc == 0
+        assert "C=64" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,365 @@
+"""Tests for the full channel semantics: close(), cancel(), try-ops (§5)."""
+
+import pytest
+
+from repro.concurrent import Work, Yield
+from repro.core import BufferedChannel, RendezvousChannel
+from repro.errors import ChannelClosedForReceive, ChannelClosedForSend
+from repro.sim import NullCostModel, RandomPolicy, Scheduler
+
+from conftest import run_tasks
+
+
+class TestClose:
+    def test_close_returns_true_once(self, full_api_factory):
+        ch = full_api_factory()
+
+        def t():
+            first = yield from ch.close()
+            second = yield from ch.close()
+            return (first, second)
+
+        _, (task,) = run_tasks(t())
+        assert task.value == (True, False)
+
+    def test_send_after_close_raises(self, full_api_factory):
+        ch = full_api_factory()
+
+        def t():
+            yield from ch.close()
+            try:
+                yield from ch.send(1)
+            except ChannelClosedForSend:
+                return "closed"
+            return "sent"
+
+        _, (task,) = run_tasks(t())
+        assert task.value == "closed"
+
+    def test_receive_drains_buffer_after_close(self):
+        ch = BufferedChannel(4, seg_size=2)
+
+        def t():
+            yield from ch.send(1)
+            yield from ch.send(2)
+            yield from ch.close()
+            a = yield from ch.receive()
+            b = yield from ch.receive()
+            try:
+                yield from ch.receive()
+            except ChannelClosedForReceive:
+                return (a, b, "drained")
+            return (a, b, "extra!")
+
+        _, (task,) = run_tasks(t())
+        assert task.value == (1, 2, "drained")
+
+    def test_receive_on_closed_empty_raises(self, full_api_factory):
+        ch = full_api_factory()
+
+        def t():
+            yield from ch.close()
+            try:
+                yield from ch.receive()
+            except ChannelClosedForReceive:
+                return "closed"
+
+        _, (task,) = run_tasks(t())
+        assert task.value == "closed"
+
+    def test_close_wakes_waiting_receiver(self, full_api_factory):
+        ch = full_api_factory()
+        outcome = {}
+
+        def receiver():
+            try:
+                outcome["v"] = yield from ch.receive()
+            except ChannelClosedForReceive:
+                outcome["v"] = "closed"
+
+        def closer():
+            yield Work(100_000)  # let the receiver park first
+            yield from ch.close()
+
+        run_tasks(receiver(), closer())
+        assert outcome["v"] == "closed"
+
+    def test_close_wakes_multiple_waiting_receivers(self, full_api_factory):
+        ch = full_api_factory()
+        outcomes = []
+
+        def receiver():
+            try:
+                outcomes.append((yield from ch.receive()))
+            except ChannelClosedForReceive:
+                outcomes.append("closed")
+
+        def closer():
+            yield Work(100_000)
+            yield from ch.close()
+
+        run_tasks(receiver(), receiver(), receiver(), closer())
+        assert outcomes == ["closed"] * 3
+
+    def test_suspended_sender_still_matchable_after_close(self):
+        """A sender registered before close delivers during draining."""
+
+        ch = RendezvousChannel(seg_size=2)
+        outcome = {}
+
+        def sender():
+            yield from ch.send("payload")
+            outcome["send"] = "delivered"
+
+        def rest():
+            yield Work(100_000)  # sender parks
+            yield from ch.close()
+            outcome["recv"] = yield from ch.receive()
+
+        run_tasks(sender(), rest())
+        assert outcome == {"send": "delivered", "recv": "payload"}
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_close_race_no_receiver_hangs(self, seed, full_api_factory):
+        """Receivers racing with close() either get data or the close
+        exception — never a deadlock (the Dekker handshake)."""
+
+        ch = full_api_factory()
+        outcomes = []
+
+        def receiver():
+            try:
+                outcomes.append((yield from ch.receive()))
+            except ChannelClosedForReceive:
+                outcomes.append("closed")
+
+        def producer_and_closer():
+            yield from ch.send(1)
+            yield from ch.close()
+
+        sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+        sched.spawn(receiver(), "r0")
+        sched.spawn(receiver(), "r1")
+        sched.spawn(producer_and_closer(), "pc")
+        sched.run()  # DeadlockError would fail the test
+        assert sorted(map(str, outcomes)) == ["1", "closed"]
+
+    def test_receive_catching_reports_close(self, full_api_factory):
+        ch = full_api_factory()
+
+        def t():
+            yield from ch.close()
+            return (yield from ch.receive_catching())
+
+        _, (task,) = run_tasks(t())
+        assert task.value == (False, None)
+
+    def test_is_closed_for_send(self, full_api_factory):
+        ch = full_api_factory()
+
+        def t():
+            before = yield from ch.is_closed_for_send()
+            yield from ch.close()
+            after = yield from ch.is_closed_for_send()
+            return (before, after)
+
+        _, (task,) = run_tasks(t())
+        assert task.value == (False, True)
+
+
+class TestCancel:
+    def test_cancel_discards_buffered_elements(self):
+        ch = BufferedChannel(4, seg_size=2)
+
+        def t():
+            yield from ch.send(1)
+            yield from ch.send(2)
+            yield from ch.cancel()
+            try:
+                yield from ch.receive()
+            except ChannelClosedForReceive:
+                return "cancelled"
+            return "got-data!"
+
+        _, (task,) = run_tasks(t())
+        assert task.value == "cancelled"
+        assert ch.cancelled
+
+    def test_cancel_fails_waiting_senders(self):
+        ch = RendezvousChannel(seg_size=2)
+        outcome = {}
+
+        def sender():
+            try:
+                yield from ch.send(1)
+                outcome["s"] = "sent"
+            except ChannelClosedForSend:
+                outcome["s"] = "cancelled"
+
+        def canceller():
+            yield Work(100_000)
+            yield from ch.cancel()
+
+        run_tasks(sender(), canceller())
+        assert outcome["s"] == "cancelled"
+
+    def test_cancel_fails_waiting_receivers(self, full_api_factory):
+        ch = full_api_factory()
+        outcome = {}
+
+        def receiver():
+            try:
+                outcome["r"] = yield from ch.receive()
+            except ChannelClosedForReceive:
+                outcome["r"] = "cancelled"
+
+        def canceller():
+            yield Work(100_000)
+            yield from ch.cancel()
+
+        run_tasks(receiver(), canceller())
+        assert outcome["r"] == "cancelled"
+
+    def test_send_after_cancel_raises(self, full_api_factory):
+        ch = full_api_factory()
+
+        def t():
+            yield from ch.cancel()
+            try:
+                yield from ch.send(5)
+            except ChannelClosedForSend:
+                return "closed"
+
+        _, (task,) = run_tasks(t())
+        assert task.value == "closed"
+
+
+class TestTryOps:
+    def test_try_send_fails_without_receiver_rendezvous(self):
+        ch = RendezvousChannel(seg_size=2)
+
+        def t():
+            return (yield from ch.try_send(1))
+
+        _, (task,) = run_tasks(t())
+        assert task.value is False
+        assert ch.stats.try_send_failures == 1
+
+    def test_try_send_succeeds_with_waiting_receiver(self):
+        ch = RendezvousChannel(seg_size=2)
+        got = []
+
+        def receiver():
+            got.append((yield from ch.receive()))
+
+        def sender():
+            yield Work(100_000)  # receiver parks first
+            return (yield from ch.try_send(9))
+
+        _, (tr, ts) = run_tasks(receiver(), sender())
+        assert ts.value is True and got == [9]
+
+    def test_try_send_respects_buffer(self):
+        ch = BufferedChannel(2, seg_size=2)
+
+        def t():
+            r1 = yield from ch.try_send(1)
+            r2 = yield from ch.try_send(2)
+            r3 = yield from ch.try_send(3)
+            return (r1, r2, r3)
+
+        _, (task,) = run_tasks(t())
+        assert task.value == (True, True, False)
+
+    def test_try_receive_empty(self, full_api_factory):
+        ch = full_api_factory()
+
+        def t():
+            return (yield from ch.try_receive())
+
+        _, (task,) = run_tasks(t())
+        assert task.value == (False, None)
+        assert ch.stats.try_receive_failures == 1
+
+    def test_try_receive_gets_buffered_element(self):
+        ch = BufferedChannel(2, seg_size=2)
+
+        def t():
+            yield from ch.send(7)
+            return (yield from ch.try_receive())
+
+        _, (task,) = run_tasks(t())
+        assert task.value == (True, 7)
+
+    def test_try_receive_from_suspended_sender(self):
+        ch = RendezvousChannel(seg_size=2)
+        res = {}
+
+        def sender():
+            yield from ch.send(3)
+            res["s"] = "done"
+
+        def trier():
+            yield Work(100_000)  # sender parks first
+            res["r"] = yield from ch.try_receive()
+
+        run_tasks(sender(), trier())
+        assert res == {"s": "done", "r": (True, 3)}
+
+    def test_try_send_after_close_raises(self, full_api_factory):
+        ch = full_api_factory()
+
+        def t():
+            yield from ch.close()
+            try:
+                yield from ch.try_send(1)
+            except ChannelClosedForSend:
+                return "closed"
+
+        _, (task,) = run_tasks(t())
+        assert task.value == "closed"
+
+    def test_try_receive_after_close_drained_raises(self, full_api_factory):
+        ch = full_api_factory()
+
+        def t():
+            yield from ch.close()
+            try:
+                yield from ch.try_receive()
+            except ChannelClosedForReceive:
+                return "closed"
+
+        _, (task,) = run_tasks(t())
+        assert task.value == "closed"
+
+    def test_failed_try_ops_do_not_corrupt_channel(self):
+        """A storm of failed try-ops must leave send/receive working."""
+
+        ch = BufferedChannel(1, seg_size=2)
+
+        def t():
+            for _ in range(10):
+                yield from ch.try_receive()  # all fail (empty)
+            yield from ch.send(1)
+            for _ in range(10):
+                yield from ch.try_send(99)  # all fail (full)
+            ok, v = yield from ch.try_receive()
+            return (ok, v)
+
+        _, (task,) = run_tasks(t())
+        assert task.value == (True, 1)
+
+    def test_normal_ops_after_try_failures_across_segments(self):
+        ch = BufferedChannel(1, seg_size=1)
+        got = []
+
+        def t():
+            for _ in range(5):
+                yield from ch.try_receive()
+            yield from ch.send(1)
+            got.append((yield from ch.receive()))
+            yield from ch.send(2)
+            got.append((yield from ch.receive()))
+
+        run_tasks(t())
+        assert got == [1, 2]

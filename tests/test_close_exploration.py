@@ -1,0 +1,195 @@
+"""Exhaustive exploration of close() racing in-flight operations.
+
+The close protocol is a two-sided handshake (flag on S, walk of waiting
+receivers, receiver post-install re-check).  These scenarios enumerate
+every preemption-bounded interleaving of close() against concurrent
+sends/receives and assert the §5 contract:
+
+* a send either completes (linearized before the close) or raises
+  ``ChannelClosedForSend`` — never hangs, never loses its element once
+  completed;
+* a receive either gets an element, or raises after the channel is
+  closed *and* drained — never hangs;
+* double close: exactly one call reports ``True``.
+"""
+
+import pytest
+
+from repro.core import BufferedChannel, RendezvousChannel
+from repro.errors import ChannelClosedForReceive, ChannelClosedForSend
+from repro.sim import explore
+from repro.sim.tasks import TaskState
+
+
+class TestCloseVsSend:
+    def test_close_races_send_rendezvous(self):
+        def build(sched):
+            ch = RendezvousChannel(seg_size=2)
+            res = {}
+
+            def sender():
+                try:
+                    yield from ch.send("x")
+                    res["send"] = "sent"
+                except ChannelClosedForSend:
+                    res["send"] = "closed"
+
+            def closer():
+                res["closed_new"] = yield from ch.close()
+
+            def rescuer():
+                # Drain whatever the sender managed to register/deposit so
+                # a successful send never deadlocks the scenario.
+                ok, v = yield from ch.receive_catching()
+                res["rescue"] = v if ok else None
+
+            sched.spawn(sender(), "s")
+            sched.spawn(closer(), "c")
+            sched.spawn(rescuer(), "r")
+            return (ch, res)
+
+        def check(ctx, sched):
+            ch, res = ctx
+            assert res["closed_new"] is True
+            if res["send"] == "sent":
+                assert res["rescue"] == "x", res
+            else:
+                assert res["rescue"] is None, res
+
+        result = explore(build, check, max_schedules=400_000, preemption_bound=2)
+        assert result.exhausted
+
+    def test_close_races_send_buffered(self):
+        def build(sched):
+            ch = BufferedChannel(1, seg_size=2)
+            res = {}
+
+            def sender():
+                try:
+                    yield from ch.send("x")
+                    res["send"] = "sent"
+                except ChannelClosedForSend:
+                    res["send"] = "closed"
+
+            def closer():
+                yield from ch.close()
+
+            def drainer():
+                ok, v = yield from ch.receive_catching()
+                res["drained"] = v if ok else None
+
+            sched.spawn(sender(), "s")
+            sched.spawn(closer(), "c")
+            sched.spawn(drainer(), "d")
+            return res
+
+        def check(res, sched):
+            # A completed (buffered) send's element must be drainable.
+            if res["send"] == "sent":
+                assert res["drained"] == "x", res
+            else:
+                assert res["drained"] is None, res
+
+        result = explore(build, check, max_schedules=400_000, preemption_bound=2)
+        assert result.exhausted
+
+
+class TestCloseVsReceive:
+    def test_close_races_empty_receive(self):
+        """The Dekker handshake: a receive racing close never hangs."""
+
+        def build(sched):
+            ch = RendezvousChannel(seg_size=2)
+            res = {}
+
+            def receiver():
+                try:
+                    res["recv"] = yield from ch.receive()
+                except ChannelClosedForReceive:
+                    res["recv"] = "closed"
+
+            def closer():
+                yield from ch.close()
+
+            sched.spawn(receiver(), "r")
+            sched.spawn(closer(), "c")
+            return res
+
+        def check(res, sched):
+            assert res["recv"] == "closed", res
+
+        result = explore(build, check, max_schedules=400_000, preemption_bound=3)
+        assert result.exhausted
+
+    def test_close_races_receive_with_buffered_element(self):
+        """Draining rights survive the close: the one buffered element is
+        delivered to the receive regardless of interleaving."""
+
+        def build(sched):
+            ch = BufferedChannel(1, seg_size=2)
+            res = {}
+
+            def setup():
+                yield from ch.send("kept")
+
+            ts = sched.spawn(setup(), "setup")
+            while not ts.done:  # deterministic prefix: element buffered
+                sched.step()
+
+            def receiver():
+                res["recv"] = yield from ch.receive()
+
+            def closer():
+                yield from ch.close()
+
+            sched.spawn(receiver(), "r")
+            sched.spawn(closer(), "c")
+            return res
+
+        def check(res, sched):
+            assert res["recv"] == "kept", res
+
+        result = explore(build, check, max_schedules=400_000, preemption_bound=3)
+        assert result.exhausted
+
+
+class TestDoubleClose:
+    def test_exactly_one_close_wins(self):
+        def build(sched):
+            ch = RendezvousChannel(seg_size=2)
+            res = []
+
+            def closer():
+                res.append((yield from ch.close()))
+
+            sched.spawn(closer(), "c1")
+            sched.spawn(closer(), "c2")
+            return res
+
+        def check(res, sched):
+            assert sorted(res) == [False, True], res
+
+        result = explore(build, check, max_schedules=200_000, preemption_bound=3)
+        assert result.exhausted
+
+    def test_close_races_cancel(self):
+        def build(sched):
+            ch = BufferedChannel(1, seg_size=2)
+            res = {}
+
+            def closer():
+                res["close"] = yield from ch.close()
+
+            def canceller():
+                yield from ch.cancel()
+
+            sched.spawn(closer(), "cl")
+            sched.spawn(canceller(), "cx")
+            return (ch, res)
+
+        def check(ctx, sched):
+            ch, res = ctx
+            assert ch.closed_now and ch.cancelled
+
+        result = explore(build, check, max_schedules=200_000, preemption_bound=2)
+        assert result.exhausted

@@ -1,0 +1,88 @@
+"""Unit tests for counter packing (closing.py) and ChannelStats."""
+
+import pytest
+
+from repro.core.closing import CLOSE_BIT, COUNTER_MASK, counter_of, is_flagged, with_flag
+from repro.core.stats import ChannelStats
+
+
+class TestCounterPacking:
+    def test_flag_roundtrip(self):
+        raw = with_flag(41)
+        assert is_flagged(raw)
+        assert counter_of(raw) == 41
+
+    def test_unflagged(self):
+        assert not is_flagged(41)
+        assert counter_of(41) == 41
+
+    def test_flag_survives_increment(self):
+        """A send's FAA(+1) must not clobber the close flag."""
+
+        raw = with_flag(100)
+        bumped = raw + 1
+        assert is_flagged(bumped)
+        assert counter_of(bumped) == 101
+
+    def test_mask_is_flag_minus_one(self):
+        assert COUNTER_MASK == CLOSE_BIT - 1
+
+    def test_large_counters_do_not_touch_flag(self):
+        big = COUNTER_MASK - 5
+        assert not is_flagged(big)
+        assert counter_of(with_flag(big)) == big
+
+
+class TestChannelStats:
+    def test_snapshot_includes_every_field(self):
+        stats = ChannelStats()
+        snap = stats.snapshot()
+        for field in ("sends", "receives", "poisoned", "eliminations", "select_undelivered"):
+            assert field in snap
+
+    def test_poisoned_fraction(self):
+        stats = ChannelStats(poisoned=5, cells_processed=100)
+        assert stats.poisoned_fraction == 0.05
+
+    def test_poisoned_fraction_empty(self):
+        assert ChannelStats().poisoned_fraction == 0.0
+
+    def test_counters_independent_per_channel(self):
+        from repro.core import RendezvousChannel
+
+        a, b = RendezvousChannel(), RendezvousChannel()
+        a.stats.sends += 3
+        assert b.stats.sends == 0
+
+
+class TestUnlimitedCapacity:
+    def test_unlimited_sends_never_suspend(self):
+        from repro.core import UNLIMITED, make_channel
+        from conftest import run_tasks
+
+        ch = make_channel(UNLIMITED, seg_size=4)
+
+        def t():
+            for i in range(100):
+                yield from ch.send(i)
+            return "free"
+
+        _, (task,) = run_tasks(t())
+        assert task.value == "free"
+        assert ch.stats.send_suspends == 0
+
+    def test_unlimited_fifo_drain(self):
+        from repro.core import UNLIMITED, make_channel
+        from conftest import run_tasks
+
+        ch = make_channel(UNLIMITED, seg_size=4)
+        got = []
+
+        def t():
+            for i in range(25):
+                yield from ch.send(i)
+            for _ in range(25):
+                got.append((yield from ch.receive()))
+
+        run_tasks(t())
+        assert got == list(range(25))

@@ -1,0 +1,174 @@
+"""Tests for the DROP_OLDEST and conflated channel behaviours."""
+
+import pytest
+
+from repro.concurrent import Work, Yield
+from repro.core import ConflatedChannel, DropOldestChannel
+from repro.errors import ChannelClosedForReceive, ChannelClosedForSend
+from repro.sim import NullCostModel, RandomPolicy, Scheduler
+
+from conftest import run_tasks
+
+
+class TestDropOldest:
+    def test_requires_capacity(self):
+        with pytest.raises(ValueError):
+            DropOldestChannel(0)
+
+    def test_send_never_suspends(self):
+        ch = DropOldestChannel(2, seg_size=2)
+
+        def t():
+            for i in range(20):
+                yield from ch.send(i)
+            return "never-suspended"
+
+        _, (task,) = run_tasks(t())
+        assert task.value == "never-suspended"
+        assert ch.stats.send_suspends == 0
+
+    def test_keeps_newest_elements(self):
+        ch = DropOldestChannel(3, seg_size=2)
+        got = []
+
+        def t():
+            for i in range(10):
+                yield from ch.send(i)
+            for _ in range(3):
+                got.append((yield from ch.receive()))
+
+        run_tasks(t())
+        assert got == [7, 8, 9]
+
+    def test_dropped_elements_counted(self):
+        ch = DropOldestChannel(1, seg_size=2)
+
+        def t():
+            for i in range(5):
+                yield from ch.send(i)
+
+        run_tasks(t())
+        assert ch.conflated_drops == 4
+
+    def test_on_undelivered_hook_receives_evicted(self):
+        ch = DropOldestChannel(1, seg_size=2)
+        evicted = []
+        ch.on_undelivered = evicted.append
+
+        def t():
+            for i in range(4):
+                yield from ch.send(i)
+
+        run_tasks(t())
+        assert evicted == [0, 1, 2]
+        assert ch.conflated_drops == 0
+
+    def test_try_send_always_succeeds(self):
+        ch = DropOldestChannel(1, seg_size=2)
+
+        def t():
+            results = []
+            for i in range(3):
+                results.append((yield from ch.try_send(i)))
+            return results
+
+        _, (task,) = run_tasks(t())
+        assert task.value == [True, True, True]
+
+    def test_receive_suspends_when_empty(self):
+        from repro.errors import DeadlockError
+
+        ch = DropOldestChannel(2, seg_size=2)
+        sched = Scheduler()
+
+        def t():
+            yield from ch.receive()
+
+        sched.spawn(t())
+        with pytest.raises(DeadlockError):
+            sched.run()
+
+    def test_close_semantics(self):
+        ch = DropOldestChannel(2, seg_size=2)
+
+        def t():
+            yield from ch.send(1)
+            yield from ch.close()
+            try:
+                yield from ch.send(2)
+            except ChannelClosedForSend:
+                pass
+            v = yield from ch.receive()
+            try:
+                yield from ch.receive()
+            except ChannelClosedForReceive:
+                return v
+
+        _, (task,) = run_tasks(t())
+        assert task.value == 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_concurrent_producer_consumer_no_loss_beyond_drops(self, seed):
+        """Everything sent is either received, evicted via the hook, or
+        still buffered — nothing silently vanishes."""
+
+        ch = DropOldestChannel(2, seg_size=2)
+        evicted = []
+        ch.on_undelivered = evicted.append
+        got = []
+
+        def producer():
+            for i in range(15):
+                yield from ch.send(i)
+
+        def consumer():
+            for _ in range(5):
+                got.append((yield from ch.receive()))
+
+        sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+        sched.spawn(producer())
+        sched.spawn(consumer())
+        sched.run()
+        leftover = []
+
+        def drain():
+            while True:
+                ok, v = yield from ch.try_receive()
+                if not ok:
+                    return
+                leftover.append(v)
+
+        run_tasks(drain())
+        assert sorted(got + evicted + leftover) == list(range(15)), (seed, got, evicted, leftover)
+        assert len(got) == 5 and len(leftover) <= 2
+
+
+class TestConflated:
+    def test_capacity_is_one(self):
+        assert ConflatedChannel().capacity == 1
+
+    def test_receiver_sees_latest(self):
+        ch = ConflatedChannel(seg_size=2)
+        got = []
+
+        def t():
+            for i in range(7):
+                yield from ch.send(i)
+            got.append((yield from ch.receive()))
+
+        run_tasks(t())
+        assert got == [6]
+
+    def test_waiting_receiver_gets_first_send_directly(self):
+        ch = ConflatedChannel(seg_size=2)
+        got = []
+
+        def receiver():
+            got.append((yield from ch.receive()))
+
+        def sender():
+            yield Work(100_000)
+            yield from ch.send("direct")
+
+        run_tasks(receiver(), sender())
+        assert got == ["direct"]

@@ -1,0 +1,188 @@
+"""Unit tests for the cache-coherence cost model."""
+
+import pytest
+
+from repro.concurrent import Cas, Faa, IntCell, Read, Spin, Work, Write, Yield
+from repro.sim import CostModel, CostParams, NullCostModel, Scheduler, run_all
+from repro.sim.tasks import Task
+
+#: Exact-cost assertions below disable the deterministic timing jitter.
+NOJIT = CostParams(jitter=0)
+
+
+def _task(tid=0):
+    def empty():
+        yield Yield()
+
+    return Task(tid, empty())
+
+
+class TestBasicCharges:
+    def test_local_read_is_cheap(self):
+        m = CostModel(NOJIT)
+        t = _task()
+        c = IntCell(0)
+        m.charge(t, Read(c))
+        assert t.clock == m.p.read_hit
+
+    def test_work_charges_exact_cycles(self):
+        m = CostModel(NOJIT)
+        t = _task()
+        m.charge(t, Work(137))
+        assert t.clock == 137
+
+    def test_rmw_base_cost_uncontended(self):
+        m = CostModel(NOJIT)
+        t = _task()
+        c = IntCell(0)
+        m.charge(t, Faa(c, 1))
+        assert t.clock == m.p.rmw  # no remote miss: no prior writer
+
+    def test_own_line_rmw_has_no_miss(self):
+        m = CostModel(NOJIT)
+        t = _task()
+        c = IntCell(0)
+        m.charge(t, Faa(c, 1))
+        first = t.clock
+        m.charge(t, Faa(c, 1))
+        assert t.clock == first + m.p.rmw  # still owner, no miss
+
+
+class TestCoherence:
+    def test_remote_rmw_pays_miss(self):
+        m = CostModel(NOJIT)
+        a, b = _task(0), _task(1)
+        c = IntCell(0)
+        m.charge(a, Faa(c, 1))
+        m.charge(b, Faa(c, 1))
+        # b started after a's line release and paid rmw + miss.
+        assert b.clock == a.clock + m.p.rmw + m.p.remote_miss
+
+    def test_conflicting_rmws_serialize(self):
+        m = CostModel(NOJIT)
+        tasks = [_task(i) for i in range(4)]
+        c = IntCell(0)
+        for t in tasks:
+            m.charge(t, Faa(c, 1))
+        clocks = [t.clock for t in tasks]
+        assert clocks == sorted(clocks) and len(set(clocks)) == 4
+
+    def test_read_after_remote_write_pays_miss_once(self):
+        m = CostModel(NOJIT)
+        a, b = _task(0), _task(1)
+        c = IntCell(0)
+        m.charge(a, Write(c, 1))
+        m.charge(b, Read(c))
+        miss_clock = b.clock
+        # The read waits for the writer's store to retire (line release
+        # at a.clock), then pays the cache-to-cache transfer.
+        assert miss_clock == a.clock + m.p.read_hit + m.p.read_miss
+        m.charge(b, Read(c))  # cached now
+        assert b.clock == miss_clock + m.p.read_hit
+
+    def test_reads_do_not_serialize(self):
+        m = CostModel(NOJIT)
+        a, b = _task(0), _task(1)
+        c = IntCell(0)
+        m.charge(a, Read(c))
+        m.charge(b, Read(c))
+        assert a.clock == b.clock == m.p.read_hit
+
+    def test_separate_cells_do_not_serialize(self):
+        m = CostModel(NOJIT)
+        a, b = _task(0), _task(1)
+        for t, cell in ((a, IntCell(0)), (b, IntCell(0))):
+            m.charge(t, Faa(cell, 1))
+        assert a.clock == b.clock == m.p.rmw
+
+
+class TestWake:
+    def test_wake_propagates_waker_time(self):
+        m = CostModel(NOJIT)
+        sleeper, waker = _task(0), _task(1)
+        waker.clock = 500
+        m.wake(sleeper, waker.clock)
+        assert sleeper.clock == 500 + m.p.wake_latency
+
+    def test_wake_keeps_later_own_clock(self):
+        m = CostModel(NOJIT)
+        sleeper = _task(0)
+        sleeper.clock = 900
+        m.wake(sleeper, 100)
+        assert sleeper.clock == 900 + m.p.wake_latency
+
+
+class TestParams:
+    def test_scaled_changes_coherence_costs_only(self):
+        p = CostParams()
+        q = p.scaled(2.0)
+        assert q.rmw == 2 * p.rmw and q.remote_miss == 2 * p.remote_miss
+        assert q.read_hit == p.read_hit and q.park == p.park
+
+    def test_scaled_never_zero(self):
+        q = CostParams().scaled(0.0001)
+        assert q.rmw >= 1 and q.remote_miss >= 1
+
+
+class TestNullCostModel:
+    def test_monotone_step_counter(self):
+        m = NullCostModel()
+        t = _task()
+        c = IntCell(0)
+        for op in (Read(c), Faa(c, 1), Spin("x")):
+            m.charge(t, op)
+        assert t.clock == 3
+
+
+class TestMakespanIntegration:
+    def test_hot_counter_serializes_makespan(self):
+        """FAA on one cell from N tasks: makespan grows linearly in ops."""
+
+        c = IntCell(0)
+
+        def worker(n):
+            for _ in range(n):
+                yield Faa(c, 1)
+
+        sched = run_all([worker(50) for _ in range(4)], cost_model=CostModel(NOJIT))
+        p = CostModel().p
+        # 200 serialized RMWs, ping-ponging: >= 200 * rmw.
+        assert sched.makespan >= 200 * p.rmw
+
+    def test_disjoint_counters_run_in_parallel(self):
+        cells = [IntCell(0) for _ in range(4)]
+
+        def worker(c, n):
+            for _ in range(n):
+                yield Faa(c, 1)
+
+        sched = run_all([worker(c, 50) for c in cells], cost_model=CostModel(NOJIT))
+        p = CostModel().p
+        # Perfectly parallel: makespan ~ one task's cost.
+        assert sched.makespan <= 50 * p.rmw + p.rmw
+
+    def test_shape_stable_under_cost_scaling(self):
+        """Who-wins is stable when coherence costs double (sensitivity)."""
+
+        def run(params):
+            hot = IntCell(0)
+
+            def hammer(n):
+                for _ in range(n):
+                    yield Faa(hot, 1)
+
+            cold_cells = [IntCell(0) for _ in range(4)]
+
+            def local(c, n):
+                for _ in range(n):
+                    yield Faa(c, 1)
+
+            s1 = run_all([hammer(50) for _ in range(4)], cost_model=CostModel(params))
+            s2 = run_all(
+                [local(c, 50) for c in cold_cells], cost_model=CostModel(params)
+            )
+            return s1.makespan, s2.makespan
+
+        for factor in (0.5, 1.0, 2.0):
+            contended, parallel = run(CostParams().scaled(factor))
+            assert contended > 2 * parallel

@@ -1,0 +1,93 @@
+"""Tests for the channel introspection helpers."""
+
+import pytest
+
+from repro.concurrent import Work
+from repro.core import BufferedChannel, RendezvousChannel
+from repro.core.debug import channel_summary, dump_channel
+from repro.sim import Scheduler
+
+from conftest import run_tasks
+
+
+class TestDumpChannel:
+    def test_fresh_channel(self):
+        ch = BufferedChannel(2, seg_size=2, name="jobs")
+        text = dump_channel(ch)
+        assert "BufferedChannel 'jobs'" in text
+        assert "S=0 R=0 B=2" in text
+        assert "EMPTY" in text
+
+    def test_buffered_elements_visible(self):
+        ch = BufferedChannel(2, seg_size=2)
+
+        def t():
+            yield from ch.send("payload")
+
+        run_tasks(t())
+        text = dump_channel(ch)
+        assert "BUFFERED" in text and "'payload'" in text
+
+    def test_parked_sender_visible(self):
+        ch = RendezvousChannel(seg_size=2)
+        sched = Scheduler()
+
+        def t():
+            yield from ch.send(1)
+
+        sched.spawn(t())
+        try:
+            sched.run()
+        except Exception:
+            pass
+        text = dump_channel(ch)
+        assert "SenderWaiter" in text and "PARKED" in text
+
+    def test_closed_flag_rendered(self):
+        ch = RendezvousChannel(seg_size=2)
+
+        def t():
+            yield from ch.close()
+
+        run_tasks(t())
+        assert "closed=True" in dump_channel(ch)
+
+
+class TestChannelSummary:
+    def test_summary_shape(self):
+        ch = BufferedChannel(1, seg_size=2, name="s")
+
+        def t():
+            yield from ch.send(1)
+            yield from ch.receive()
+            yield from ch.send(2)
+
+        run_tasks(t())
+        summary = channel_summary(ch)
+        assert summary["type"] == "BufferedChannel"
+        assert summary["senders"] == 2 and summary["receivers"] == 1
+        assert summary["buffer_end"] >= 2
+        assert summary["segments"] >= 1
+        assert summary["stats"]["sends"] == 2
+        assert "BUFFERED" in summary["cell_states"]
+
+    def test_rendezvous_has_no_buffer_end(self):
+        ch = RendezvousChannel(seg_size=2)
+        assert channel_summary(ch)["buffer_end"] is None
+
+    def test_segment_accounting(self):
+        ch = RendezvousChannel(seg_size=1)
+        got = []
+
+        def p():
+            for i in range(4):
+                yield from ch.send(i)
+
+        def c():
+            for _ in range(4):
+                got.append((yield from ch.receive()))
+
+        run_tasks(p(), c())
+        summary = channel_summary(ch)
+        assert summary["segments"] >= 4
+        assert summary["segments_alive"] <= summary["segments"]

@@ -1,0 +1,71 @@
+"""Tests for the exception hierarchy and its contracts."""
+
+import pytest
+
+from repro.errors import (
+    ChannelClosed,
+    ChannelClosedForReceive,
+    ChannelClosedForSend,
+    DeadlockError,
+    Interrupted,
+    InvariantViolation,
+    LinearizabilityError,
+    ReproError,
+    RetryWakeup,
+    SchedulerError,
+    StepLimitExceeded,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            Interrupted,
+            RetryWakeup,
+            ChannelClosed,
+            ChannelClosedForSend,
+            ChannelClosedForReceive,
+            DeadlockError(["x"]).__class__,
+            SchedulerError,
+            StepLimitExceeded(1).__class__,
+            LinearizabilityError,
+            InvariantViolation,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_closed_variants_derive_from_channel_closed(self):
+        assert issubclass(ChannelClosedForSend, ChannelClosed)
+        assert issubclass(ChannelClosedForReceive, ChannelClosed)
+
+    def test_closed_not_interrupted(self):
+        # Cancellation handling must be able to distinguish the two.
+        assert not issubclass(ChannelClosedForSend, Interrupted)
+        assert not issubclass(Interrupted, ChannelClosed)
+
+    def test_deadlock_carries_task_names(self):
+        exc = DeadlockError(["alice", "bob"])
+        assert exc.parked == ["alice", "bob"]
+        assert "alice" in str(exc)
+
+    def test_step_limit_carries_limit(self):
+        exc = StepLimitExceeded(12345)
+        assert exc.limit == 12345
+        assert "12345" in str(exc)
+
+    def test_channel_closed_cause_slot(self):
+        cause = ValueError("root")
+        exc = ChannelClosedForSend(cause)
+        assert exc.cause is cause
+
+
+class TestCatchability:
+    def test_channel_closed_catches_both_directions(self):
+        with pytest.raises(ChannelClosed):
+            raise ChannelClosedForSend()
+        with pytest.raises(ChannelClosed):
+            raise ChannelClosedForReceive()
+
+    def test_repro_error_catches_everything(self):
+        for make in (Interrupted, RetryWakeup, LinearizabilityError, InvariantViolation):
+            with pytest.raises(ReproError):
+                raise make("x") if make in (LinearizabilityError, InvariantViolation) else make()

@@ -1,0 +1,243 @@
+"""Exhaustive preemption-bounded exploration of channel scenarios.
+
+These are the heavyweight model-checking tests: every schedule (within a
+CHESS-style preemption bound) of small producer/consumer/canceller
+scenarios is executed against the channel algorithms, with conservation
+and FIFO checked per schedule.  A single bad interleaving anywhere in the
+algorithm fails with a replayable choice sequence.
+"""
+
+import pytest
+
+from repro.core import BufferedChannel, BufferedChannelEB, RendezvousChannel
+from repro.errors import Interrupted
+from repro.sim import explore, explore_random
+from repro.sim.tasks import TaskState
+from repro.verify import FifoObserver
+
+
+def _pc_scenario(factory, producers, consumers, per_producer):
+    total = producers * per_producer
+    per_consumer = total // consumers
+
+    def build(sched):
+        ch = factory()
+        obs = FifoObserver()
+        if hasattr(ch, "observer"):
+            ch.observer = obs
+        got = []
+
+        def p(pid):
+            for i in range(per_producer):
+                yield from ch.send(pid * 100 + i)
+
+        def c():
+            for _ in range(per_consumer):
+                got.append((yield from ch.receive()))
+
+        for pid in range(producers):
+            sched.spawn(p(pid), f"p{pid}")
+        for cid in range(consumers):
+            sched.spawn(c(), f"c{cid}")
+        return (got, obs)
+
+    def check(ctx, sched):
+        got, obs = ctx
+        expected = sorted(pid * 100 + i for pid in range(producers) for i in range(per_producer))
+        assert sorted(got) == expected, got
+        obs.verify()
+
+    return build, check
+
+
+class TestRendezvousExhaustive:
+    def test_1p1c_pb2(self):
+        build, check = _pc_scenario(lambda: RendezvousChannel(seg_size=2), 1, 1, 2)
+        result = explore(build, check, max_schedules=400_000, preemption_bound=2)
+        assert result.exhausted
+
+    def test_2p2c_pb2(self):
+        build, check = _pc_scenario(lambda: RendezvousChannel(seg_size=2), 2, 2, 1)
+        result = explore(build, check, max_schedules=400_000, preemption_bound=2)
+        assert result.exhausted
+
+    def test_2p1c_segment_boundary_pb2(self):
+        # seg_size=1 maximizes segment traffic (every cell a new segment).
+        build, check = _pc_scenario(lambda: RendezvousChannel(seg_size=1), 2, 1, 1)
+        result = explore(build, check, max_schedules=400_000, preemption_bound=2)
+        assert result.exhausted
+
+
+class TestBufferedExhaustive:
+    def test_c1_2p1c_pb2(self):
+        build, check = _pc_scenario(lambda: BufferedChannel(1, seg_size=2), 2, 1, 1)
+        result = explore(build, check, max_schedules=400_000, preemption_bound=2)
+        assert result.exhausted
+
+    def test_c1_1p1c_two_elements_pb2(self):
+        build, check = _pc_scenario(lambda: BufferedChannel(1, seg_size=2), 1, 1, 2)
+        result = explore(build, check, max_schedules=400_000, preemption_bound=2)
+        assert result.exhausted
+
+    def test_eb_variant_c1_2p1c_pb2(self):
+        build, check = _pc_scenario(lambda: BufferedChannelEB(1, seg_size=2), 2, 1, 1)
+        result = explore(build, check, max_schedules=400_000, preemption_bound=2)
+        assert result.exhausted
+
+    def test_eb_variant_c0_1p1c_pb3(self):
+        # pb=3 explored to exhaustion during development (zero
+        # violations); pb=2 keeps the CI suite fast.
+        build, check = _pc_scenario(lambda: BufferedChannelEB(0, seg_size=2), 1, 1, 1)
+        result = explore(build, check, max_schedules=400_000, preemption_bound=2)
+        assert result.exhausted
+
+
+class TestCancellationExhaustive:
+    def test_interrupt_vs_rendezvous_all_schedules(self):
+        """Sender parked; a canceller and a receiver race for it."""
+
+        def build(sched):
+            ch = RendezvousChannel(seg_size=1)
+            res = {}
+
+            def victim():
+                try:
+                    yield from ch.send(9)
+                    res["send"] = "ok"
+                except Interrupted:
+                    res["send"] = "cancelled"
+
+            tv = sched.spawn(victim(), "victim")
+            while tv.state is not TaskState.PARKED:
+                sched.step()
+            waiter = tv.current_waiter
+
+            def canceller():
+                res["int"] = yield from waiter.interrupt()
+                if res["int"]:
+                    # Compensate so the receiver always completes.
+                    yield from ch.send(77)
+
+            def receiver():
+                res["recv"] = yield from ch.receive()
+
+            sched.spawn(canceller(), "x")
+            sched.spawn(receiver(), "r")
+            return res
+
+        def check(res, sched):
+            if res["int"]:
+                assert res["send"] == "cancelled" and res["recv"] == 77, res
+            else:
+                assert res["send"] == "ok" and res["recv"] == 9, res
+
+        result = explore(build, check, max_schedules=400_000, preemption_bound=2)
+        assert result.exhausted
+
+    def test_interrupt_vs_expand_buffer_all_schedules(self):
+        """Buffered: suspended sender cancelled while a receive (and its
+        expandBuffer) tries to resume it — the S_RESUMING races."""
+
+        def build(sched):
+            ch = BufferedChannel(1, seg_size=2)
+            res = {}
+
+            def filler():
+                yield from ch.send("a")
+
+            def victim():
+                try:
+                    yield from ch.send("b")
+                    res["send"] = "ok"
+                except Interrupted:
+                    res["send"] = "cancelled"
+
+            # Deterministic prefix: one task at a time, so the explorer's
+            # choice space covers only the canceller/receiver race.
+            tf = sched.spawn(filler(), "filler")
+            while not tf.done:
+                sched.step()
+            tv = sched.spawn(victim(), "victim")
+            while tv.state is not TaskState.PARKED:
+                sched.step()
+            waiter = tv.current_waiter
+
+            def canceller():
+                res["int"] = yield from waiter.interrupt()
+
+            def receiver():
+                res["recv"] = yield from ch.receive()
+
+            sched.spawn(canceller(), "x")
+            sched.spawn(receiver(), "r")
+            return (ch, res)
+
+        def check(ctx, sched):
+            ch, res = ctx
+            if res["int"]:
+                # Cancellation won: "b" is gone; only "a" can be received.
+                assert res["send"] == "cancelled" and res["recv"] == "a", res
+            else:
+                # The receive's help-resume won.  The filler's send may
+                # have restarted (poisoned cell) and linearized after the
+                # victim's, so either element can arrive first.
+                assert res["send"] == "ok" and res["recv"] in ("a", "b"), res
+
+        # pb=3/600k explored to exhaustion during development (zero
+        # violations); pb=2 keeps the CI suite fast.
+        result = explore(build, check, max_schedules=300_000, preemption_bound=2)
+        assert result.exhausted
+
+    def test_interrupt_vs_close_all_schedules(self):
+        """A parked receiver: cancellation races channel close."""
+
+        def build(sched):
+            ch = RendezvousChannel(seg_size=2)
+            res = {}
+
+            def victim():
+                try:
+                    res["recv"] = yield from ch.receive()
+                except Interrupted:
+                    res["recv"] = "cancelled"
+                except Exception as exc:  # ChannelClosedForReceive
+                    res["recv"] = type(exc).__name__
+
+            tv = sched.spawn(victim(), "victim")
+            while tv.state is not TaskState.PARKED:
+                sched.step()
+            waiter = tv.current_waiter
+
+            def canceller():
+                res["int"] = yield from waiter.interrupt()
+
+            def closer():
+                yield from ch.close()
+
+            sched.spawn(canceller(), "x")
+            sched.spawn(closer(), "closer")
+            return res
+
+        def check(res, sched):
+            assert res["recv"] in ("cancelled", "ChannelClosedForReceive"), res
+
+        result = explore(build, check, max_schedules=400_000, preemption_bound=2)
+        assert result.exhausted
+
+
+class TestRandomDeepSchedules:
+    """Larger scenarios, randomized: breadth where DFS cannot exhaust."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: RendezvousChannel(seg_size=2),
+            lambda: BufferedChannel(2, seg_size=2),
+            lambda: BufferedChannelEB(2, seg_size=2),
+        ],
+        ids=["rendezvous", "buffered", "buffered-eb"],
+    )
+    def test_3p3c_random_schedules(self, factory):
+        build, check = _pc_scenario(factory, 3, 3, 4)
+        result = explore_random(build, check, schedules=60, seed=42)
+        assert result.schedules == 60

@@ -1,0 +1,209 @@
+"""Tests for the interleaving explorer (the mini-Lincheck)."""
+
+import pytest
+
+from repro.concurrent import Cas, Faa, IntCell, Read, Spin, Write, Yield
+from repro.sim import ExplorationFailure, explore, explore_random, replay
+
+
+def build_racy_increment(sched):
+    """The canonical lost-update race: non-atomic read-modify-write."""
+
+    cell = IntCell(0)
+
+    def inc():
+        v = yield Read(cell)
+        yield Write(cell, v + 1)
+
+    sched.spawn(inc())
+    sched.spawn(inc())
+    return cell
+
+
+class TestExhaustiveDfs:
+    def test_finds_the_lost_update(self):
+        """DFS must surface the interleaving where an increment is lost."""
+
+        def check(cell, sched):
+            assert cell.value == 2
+
+        with pytest.raises(ExplorationFailure) as exc:
+            explore(build_racy_increment, check)
+        assert isinstance(exc.value.cause, AssertionError)
+
+    def test_replay_reproduces_the_failure(self):
+        def check(cell, sched):
+            assert cell.value == 2
+
+        with pytest.raises(ExplorationFailure) as exc:
+            explore(build_racy_increment, check)
+        choices = exc.value.choices
+        with pytest.raises(AssertionError):
+            replay(build_racy_increment, choices, check)
+
+    def test_atomic_faa_has_no_lost_update(self):
+        def build(sched):
+            cell = IntCell(0)
+
+            def inc():
+                yield Faa(cell, 1)
+
+            sched.spawn(inc())
+            sched.spawn(inc())
+            return cell
+
+        result = explore(build, lambda cell, s: None)
+        assert result.exhausted
+        # And every schedule ends with value 2.
+        explore(build, lambda cell, s: (_ := None, None)[1])
+
+    def test_exhaustion_covers_all_interleavings(self):
+        """Two tasks, two steps each: C(4,2)=6 interleavings exactly."""
+
+        orders = set()
+
+        def build(sched):
+            log = []
+
+            def t(name):
+                yield Yield()
+                log.append(f"{name}1")
+                yield Yield()
+                log.append(f"{name}2")
+
+            sched.spawn(t("a"))
+            sched.spawn(t("b"))
+            return log
+
+        def check(log, sched):
+            orders.add(tuple(log))
+
+        result = explore(build, check)
+        assert result.exhausted
+        assert len(orders) == 6
+
+    def test_schedule_budget_respected(self):
+        def build(sched):
+            def t():
+                for _ in range(6):
+                    yield Yield()
+
+            sched.spawn(t())
+            sched.spawn(t())
+            return None
+
+        result = explore(build, max_schedules=10)
+        assert result.schedules == 10 and not result.exhausted
+
+
+class TestPreemptionBounding:
+    def test_pb0_runs_tasks_to_completion(self):
+        orders = set()
+
+        def build(sched):
+            log = []
+
+            def t(name):
+                for i in range(3):
+                    yield Yield()
+                    log.append(name)
+
+            sched.spawn(t("a"))
+            sched.spawn(t("b"))
+            return log
+
+        def check(log, sched):
+            orders.add(tuple(log))
+
+        result = explore(build, check, preemption_bound=0)
+        assert result.exhausted
+        # With zero preemptions each task runs to completion once picked:
+        # only the first pick branches.
+        assert result.schedules == 2
+        assert orders == {("a",) * 3 + ("b",) * 3, ("b",) * 3 + ("a",) * 3}
+
+    def test_spin_forces_hand_off(self):
+        """Spin (unlike Yield) hands the processor off without branching."""
+
+        from repro.concurrent import Spin
+
+        def build(sched):
+            flag = IntCell(0)
+            log = []
+
+            def spinner():
+                while True:
+                    v = yield Read(flag)
+                    if v:
+                        log.append("saw")
+                        return
+                    yield Spin("wait")
+
+            def setter():
+                yield Write(flag, 1)
+                log.append("set")
+
+            sched.spawn(spinner())
+            sched.spawn(setter())
+            return log
+
+        result = explore(build, preemption_bound=0, max_steps=10_000)
+        assert result.exhausted
+
+    def test_pb_bound_monotone_coverage(self):
+        def make_orders(pb):
+            orders = set()
+
+            def build(sched):
+                log = []
+                cell = IntCell(0)
+
+                def t(name):
+                    for _ in range(2):
+                        yield Faa(cell, 1)
+                        log.append(name)
+
+                sched.spawn(t("a"))
+                sched.spawn(t("b"))
+                return log
+
+            explore(build, lambda log, s: orders.add(tuple(log)), preemption_bound=pb)
+            return orders
+
+        assert make_orders(0) <= make_orders(1) <= make_orders(2)
+
+    def test_spinner_does_not_livelock_under_bound(self):
+        """A budget-pinned spinner must hand off (stutter reduction)."""
+
+        def build(sched):
+            flag = IntCell(0)
+
+            def spinner():
+                while True:
+                    v = yield Read(flag)
+                    if v:
+                        return
+                    yield Spin("wait-flag")
+
+            def setter():
+                yield Write(flag, 1)
+
+            sched.spawn(spinner())
+            sched.spawn(setter())
+            return None
+
+        result = explore(build, preemption_bound=0, max_steps=10_000)
+        assert result.exhausted
+
+
+class TestRandomExploration:
+    def test_runs_requested_schedules(self):
+        result = explore_random(build_racy_increment, schedules=25, seed=3)
+        assert result.schedules == 25
+
+    def test_random_finds_race_eventually(self):
+        def check(cell, sched):
+            assert cell.value == 2
+
+        with pytest.raises(ExplorationFailure):
+            explore_random(build_racy_increment, check, schedules=200, seed=0)

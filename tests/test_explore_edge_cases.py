@@ -1,0 +1,167 @@
+"""Edge-case tests for the exploration machinery."""
+
+import pytest
+
+from repro.concurrent import Faa, IntCell, Read, Spin, Work, Write, Yield
+from repro.errors import SchedulerError, StepLimitExceeded
+from repro.sim import (
+    ControlledPolicy,
+    ExplorationFailure,
+    NullCostModel,
+    Scheduler,
+    explore,
+    explore_random,
+    replay,
+)
+
+
+class TestControlledPolicy:
+    def test_out_of_range_choice_rejected(self):
+        policy = ControlledPolicy(choices=[5])
+        sched = Scheduler(policy=policy, cost_model=NullCostModel())
+
+        def t():
+            yield Yield()
+            yield Yield()
+
+        sched.spawn(t())
+        sched.spawn(t())
+        with pytest.raises(SchedulerError):
+            sched.run()
+
+    def test_single_task_records_no_branching(self):
+        policy = ControlledPolicy()
+        sched = Scheduler(policy=policy, cost_model=NullCostModel())
+
+        def t():
+            for _ in range(5):
+                yield Yield()
+
+        sched.spawn(t())
+        sched.run()
+        assert policy.branching == []
+
+    def test_preemption_counting(self):
+        policy = ControlledPolicy(choices=[1, 0, 1], preemption_bound=None)
+        sched = Scheduler(policy=policy, cost_model=NullCostModel())
+
+        def t():
+            yield Work(1)
+            yield Work(1)
+
+        sched.spawn(t())
+        sched.spawn(t())
+        sched.run()
+        assert policy.preemptions >= 1
+
+
+class TestExploreFailures:
+    def test_failure_carries_choices_and_cause(self):
+        def build(sched):
+            cell = IntCell(0)
+
+            def inc():
+                v = yield Read(cell)
+                yield Write(cell, v + 1)
+
+            sched.spawn(inc())
+            sched.spawn(inc())
+            return cell
+
+        def check(cell, sched):
+            assert cell.value == 2
+
+        with pytest.raises(ExplorationFailure) as exc:
+            explore(build, check)
+        failure = exc.value
+        assert isinstance(failure.cause, AssertionError)
+        assert isinstance(failure.choices, list)
+        assert "replay" in str(failure)
+        # And the choices do reproduce it.
+        with pytest.raises(AssertionError):
+            replay(build, failure.choices, check)
+
+    def test_step_limit_surfaces_as_failure(self):
+        def build(sched):
+            def forever():
+                while True:
+                    yield Work(1)
+
+            sched.spawn(forever())
+            return None
+
+        with pytest.raises(ExplorationFailure) as exc:
+            explore(build, max_steps=500)
+        assert isinstance(exc.value.cause, StepLimitExceeded)
+
+    def test_replay_returns_scheduler(self):
+        def build(sched):
+            def t():
+                yield Yield()
+
+            sched.spawn(t())
+            return None
+
+        sched = replay(build, [])
+        assert sched.total_steps >= 1
+
+
+class TestExplorationResults:
+    def test_max_depth_recorded(self):
+        def build(sched):
+            def t():
+                yield Yield()
+                yield Yield()
+
+            sched.spawn(t())
+            sched.spawn(t())
+            return None
+
+        result = explore(build)
+        assert result.exhausted
+        assert result.max_depth >= 2
+
+    def test_random_exploration_distinct_seeds_reported(self):
+        outcomes = set()
+
+        def build(sched):
+            order = []
+
+            def t(name):
+                yield Yield()
+                order.append(name)
+
+            sched.spawn(t("a"))
+            sched.spawn(t("b"))
+            return order
+
+        def check(order, sched):
+            outcomes.add(tuple(order))
+
+        explore_random(build, check, schedules=30, seed=1)
+        assert len(outcomes) == 2  # both orders observed
+
+    def test_spin_contract_keeps_spaces_finite(self):
+        """A Spin-based poll loop adds no schedules beyond the writer's
+        interleavings (the stutter-reduction contract)."""
+
+        def build(sched):
+            flag = IntCell(0)
+
+            def poller():
+                while True:
+                    if (yield Read(flag)):
+                        return
+                    yield Spin("poll")
+
+            def setter():
+                yield Work(1)
+                yield Write(flag, 1)
+
+            sched.spawn(poller())
+            sched.spawn(setter())
+            return None
+
+        result = explore(build, max_schedules=5_000)
+        assert result.exhausted
+        assert result.schedules < 200

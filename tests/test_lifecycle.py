@@ -1,0 +1,227 @@
+"""Cell life-cycle conformance tests (Figures 1, 2, 6 as edge sets)."""
+
+import pytest
+
+from repro.concurrent import Work, Yield
+from repro.core import (
+    BufferedChannel,
+    BufferedChannelEB,
+    RendezvousChannel,
+    receive_clause,
+    select,
+    send_clause,
+)
+from repro.errors import Interrupted, InvariantViolation
+from repro.runtime import interrupt_task
+from repro.sim import NullCostModel, RandomPolicy, Scheduler, explore
+from repro.verify import CellLifecycleChecker, abstract_state
+
+
+def run_with_checker(channel, spawners, seed=None):
+    sched = Scheduler(
+        policy=RandomPolicy(seed) if seed is not None else None,
+        cost_model=NullCostModel() if seed is not None else None,
+    )
+    checker = CellLifecycleChecker.for_channel(channel)
+    sched.add_hook(checker)
+    for gen, name in spawners:
+        sched.spawn(gen, name)
+    sched.run()
+    return checker
+
+
+class TestAbstraction:
+    def test_sentinels_map(self):
+        from repro.core import BROKEN, BUFFERED, DONE
+
+        assert abstract_state(None) == "EMPTY"
+        assert abstract_state(BUFFERED) == "BUFFERED"
+        assert abstract_state(BROKEN) == "BROKEN"
+        assert abstract_state(DONE) == "DONE"
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(InvariantViolation):
+            abstract_state(42)
+
+    def test_for_channel_dispatch(self):
+        from repro.verify import BUFFERED_EDGES, EB_EDGES, RENDEZVOUS_EDGES
+
+        assert CellLifecycleChecker.for_channel(RendezvousChannel()).edges is RENDEZVOUS_EDGES
+        assert CellLifecycleChecker.for_channel(BufferedChannel(1)).edges is BUFFERED_EDGES
+        assert CellLifecycleChecker.for_channel(BufferedChannelEB(1)).edges is EB_EDGES
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: RendezvousChannel(seg_size=2),
+        lambda: BufferedChannel(0, seg_size=2),
+        lambda: BufferedChannel(2, seg_size=2),
+        lambda: BufferedChannelEB(0, seg_size=2),
+        lambda: BufferedChannelEB(2, seg_size=2),
+    ],
+    ids=["rz", "buf-c0", "buf-c2", "eb-c0", "eb-c2"],
+)
+class TestLifecycleUnderLoad:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_producer_consumer(self, factory, seed):
+        ch = factory()
+        got = []
+
+        def p(pid):
+            for i in range(8):
+                yield from ch.send(pid * 10 + i)
+
+        def c():
+            for _ in range(8):
+                got.append((yield from ch.receive()))
+
+        checker = run_with_checker(
+            ch,
+            [(p(0), "p0"), (p(1), "p1"), (c(), "c0"), (c(), "c1")],
+            seed=seed,
+        )
+        assert checker.transitions > 0
+
+    def test_with_cancellation_and_close(self, factory):
+        for seed in range(5):
+            ch = factory()
+            sent = []
+
+            def victim():
+                try:
+                    for i in range(6):
+                        yield from ch.send(i)
+                        sent.append(i)
+                except Interrupted:
+                    pass
+
+            sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+            checker = CellLifecycleChecker.for_channel(ch)
+            sched.add_hook(checker)
+            tv = sched.spawn(victim(), "victim")
+            sched.spawn(interrupt_task(tv), "x")
+
+            def drain():
+                while True:
+                    ok, v = yield from ch.receive_catching()
+                    if not ok:
+                        return
+
+            sched.spawn(drain(), "drain")
+
+            def closer():
+                while not tv.done:
+                    yield Yield()
+                yield from ch.close()
+
+            sched.spawn(closer(), "closer")
+            sched.run()
+
+    def test_try_ops(self, factory):
+        ch = factory()
+
+        def t():
+            yield from ch.try_send(1)
+            yield from ch.try_receive()
+            yield from ch.try_send(2)
+            yield from ch.try_receive()
+            yield from ch.try_receive()
+
+        run_with_checker(ch, [(t(), "t")])
+
+
+class TestLifecycleWithSelect:
+    def test_select_paths_conform(self):
+        for seed in range(10):
+            c1 = RendezvousChannel(seg_size=2)
+            c2 = BufferedChannel(1, seg_size=2)
+            sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+            for ch in (c1, c2):
+                sched.add_hook(CellLifecycleChecker.for_channel(ch))
+
+            def selector():
+                yield from select(receive_clause(c1), receive_clause(c2))
+
+            def sender():
+                yield from c2.send("x")
+
+            sched.spawn(selector(), "sel")
+            sched.spawn(sender(), "snd")
+            sched.run()
+
+    def test_select_send_retry_path_conforms(self):
+        for seed in range(10):
+            c1 = RendezvousChannel(seg_size=2)
+            c2 = RendezvousChannel(seg_size=2)
+            sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+            for ch in (c1, c2):
+                sched.add_hook(CellLifecycleChecker.for_channel(ch))
+            res = []
+
+            def selector():
+                res.append((yield from select(send_clause(c1, "a"), send_clause(c2, "b")))[0])
+
+            def r1():
+                yield from c1.receive()
+
+            def r2():
+                yield from c2.receive()
+
+            def backup():
+                from repro.concurrent import Spin
+
+                while not res:
+                    yield Spin("poll")
+                if res[0] == 0:
+                    yield from c2.send("bk")
+                else:
+                    yield from c1.send("bk")
+
+            sched.spawn(selector(), "sel")
+            sched.spawn(r1(), "r1")
+            sched.spawn(r2(), "r2")
+            sched.spawn(backup(), "bk")
+            sched.run()
+
+
+class TestLifecycleExhaustive:
+    def test_buffered_c1_exhaustive(self):
+        def build(sched):
+            ch = BufferedChannel(1, seg_size=2)
+            sched.add_hook(CellLifecycleChecker.for_channel(ch))
+            got = []
+
+            def p(i):
+                yield from ch.send(i)
+
+            def c():
+                got.append((yield from ch.receive()))
+
+            sched.spawn(p(1))
+            sched.spawn(p(2))
+            sched.spawn(c())
+            return got
+
+        result = explore(build, max_schedules=200_000, preemption_bound=2)
+        assert result.exhausted
+
+    def test_checker_catches_illegal_transition(self):
+        """Meta-test: a fabricated illegal write must trip the checker."""
+
+        from repro.concurrent import Write
+        from repro.core.states import BROKEN, BUFFERED
+
+        ch = RendezvousChannel(seg_size=2)
+        sched = Scheduler()
+        checker = CellLifecycleChecker.for_channel(ch)
+        sched.add_hook(checker)
+
+        def bad():
+            cell = ch._list.first.state_cell(0)
+            yield Write(cell, BUFFERED)  # legal: elimination
+            yield Write(cell, BROKEN)  # illegal: BUFFERED -> BROKEN
+
+        sched.spawn(bad())
+        with pytest.raises(InvariantViolation):
+            sched.run()

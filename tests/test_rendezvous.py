@@ -1,0 +1,377 @@
+"""Behavioural tests for the rendezvous channel (§3.1, Listing 3)."""
+
+import pytest
+
+from repro.concurrent import Work, Yield
+from repro.core import (
+    BROKEN,
+    BUFFERED,
+    DONE,
+    INTERRUPTED_RCV,
+    INTERRUPTED_SEND,
+    RendezvousChannel,
+)
+from repro.errors import Interrupted
+from repro.runtime import interrupt_task
+from repro.sim import NullCostModel, RandomPolicy, Scheduler
+from repro.verify import FifoObserver, Lemma1Checker
+
+from conftest import run_tasks
+
+
+class TestBasicTransfer:
+    def test_single_transfer(self):
+        ch = RendezvousChannel()
+
+        def p():
+            yield from ch.send("x")
+
+        def c():
+            return (yield from ch.receive())
+
+        _, (tp, tc) = run_tasks(p(), c())
+        assert tc.value == "x"
+
+    def test_send_suspends_without_receiver_then_completes(self):
+        ch = RendezvousChannel()
+
+        def p():
+            yield from ch.send(1)
+            return "sent"
+
+        def late_c():
+            yield Work(50_000)
+            return (yield from ch.receive())
+
+        _, (tp, tc) = run_tasks(p(), late_c())
+        assert tp.value == "sent" and tc.value == 1
+        assert ch.stats.send_suspends == 1
+
+    def test_receive_suspends_without_sender_then_completes(self):
+        ch = RendezvousChannel()
+
+        def c():
+            return (yield from ch.receive())
+
+        def late_p():
+            yield Work(50_000)
+            yield from ch.send(2)
+
+        _, (tc, tp) = run_tasks(c(), late_p())
+        assert tc.value == 2
+        assert ch.stats.rcv_suspends == 1
+
+    def test_fifo_order_single_pair(self):
+        ch = RendezvousChannel(seg_size=2)
+        got = []
+
+        def p():
+            for i in range(10):
+                yield from ch.send(i)
+
+        def c():
+            for _ in range(10):
+                got.append((yield from ch.receive()))
+
+        run_tasks(p(), c())
+        assert got == list(range(10))
+
+    def test_none_elements_rejected(self):
+        ch = RendezvousChannel()
+        with pytest.raises(ValueError):
+            # The check happens before the first yield.
+            next(ch.send(None))
+
+    def test_capacity_is_zero(self):
+        assert RendezvousChannel().capacity == 0
+
+    def test_counters_track_operations(self):
+        ch = RendezvousChannel(seg_size=2)
+
+        def p():
+            for i in range(5):
+                yield from ch.send(i)
+
+        def c():
+            for _ in range(5):
+                yield from ch.receive()
+
+        run_tasks(p(), c())
+        assert ch.sender_counter >= 5
+        assert ch.receiver_counter >= 5
+        assert ch.stats.sends == 5 and ch.stats.receives == 5
+
+
+class TestMultiPartyFifo:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_conservation_and_fifo_random_schedules(self, seed):
+        ch = RendezvousChannel(seg_size=2)
+        obs = FifoObserver()
+        ch.observer = obs
+        got = []
+
+        def p(pid):
+            for i in range(12):
+                yield from ch.send(pid * 100 + i)
+
+        def c():
+            for _ in range(12):
+                got.append((yield from ch.receive()))
+
+        run_tasks(*(p(i) for i in range(3)), *(c() for _ in range(3)), seed=seed)
+        assert sorted(got) == sorted(p * 100 + i for p in range(3) for i in range(12))
+        obs.verify()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lemma1_holds_under_random_schedules(self, seed):
+        ch = RendezvousChannel(seg_size=2)
+        sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+        checker = Lemma1Checker(ch)
+        sched.add_hook(checker)
+
+        def p(pid):
+            for i in range(10):
+                yield from ch.send(pid * 100 + i)
+
+        def c():
+            for _ in range(10):
+                yield from ch.receive()
+
+        for i in range(2):
+            sched.spawn(p(i))
+        for i in range(2):
+            sched.spawn(c())
+        sched.run()
+        assert checker.checked_suspensions >= 0  # no violation raised
+
+    def test_per_producer_order_preserved(self):
+        ch = RendezvousChannel(seg_size=2)
+        got = []
+
+        def p(pid):
+            for i in range(15):
+                yield from ch.send((pid, i))
+
+        def c():
+            for _ in range(30):
+                got.append((yield from ch.receive()))
+
+        run_tasks(p(0), p(1), c(), seed=11)
+        for pid in (0, 1):
+            seq = [i for (q, i) in got if q == pid]
+            assert seq == sorted(seq)
+
+
+class TestEliminationAndPoisoning:
+    def test_elimination_buffers_for_incoming_receiver(self):
+        """A send that observes s < r must finish without suspending."""
+
+        ch = RendezvousChannel(seg_size=2)
+        got = []
+
+        def c():
+            got.append((yield from ch.receive()))
+
+        def p():
+            # Let the receiver reserve its cell first, then be slow to
+            # install: DES cannot create that exact race deterministically,
+            # so run many random schedules and require elimination to
+            # appear at least once overall (checked below).
+            yield from ch.send(7)
+
+        run_tasks(c(), p(), seed=1)
+        assert got == [7]
+
+    def test_races_produce_eliminations_and_poisons_somewhere(self):
+        eliminations = poisons = 0
+        for seed in range(40):
+            ch = RendezvousChannel(seg_size=2)
+            got = []
+
+            def p(pid):
+                for i in range(5):
+                    yield from ch.send(pid * 10 + i)
+
+            def c():
+                for _ in range(5):
+                    got.append((yield from ch.receive()))
+
+            run_tasks(p(0), p(1), c(), c(), seed=seed)
+            eliminations += ch.stats.eliminations
+            poisons += ch.stats.poisoned
+        assert eliminations > 0, "elimination path never exercised"
+        assert poisons > 0, "poisoning path never exercised"
+
+    def test_poisoned_cell_is_skipped_by_both(self):
+        """After a poison, both parties complete on a later cell."""
+
+        for seed in range(30):
+            ch = RendezvousChannel(seg_size=1)
+            got = []
+
+            def p():
+                yield from ch.send(42)
+
+            def c():
+                got.append((yield from ch.receive()))
+
+            run_tasks(p(), c(), seed=seed)
+            assert got == [42]
+
+
+class TestCancellation:
+    def test_cancel_suspended_sender(self):
+        ch = RendezvousChannel(seg_size=2)
+        sched = Scheduler()
+
+        def victim():
+            yield from ch.send(9)
+
+        tv = sched.spawn(victim(), "victim")
+
+        def canceller():
+            return (yield from interrupt_task(tv))
+
+        tc = sched.spawn(canceller(), "canceller")
+        sched.run()
+        assert tv.interrupted and tc.value is True
+        assert ch.stats.send_interrupts == 1
+        # The cell was cleaned: INTERRUPTED_SEND, element dropped.
+        seg = ch._list.first
+        states = [c.value for c in seg.states]
+        assert INTERRUPTED_SEND in states
+        assert all(e.value is None for e in seg.elems)
+
+    def test_cancel_suspended_receiver(self):
+        ch = RendezvousChannel(seg_size=2)
+        sched = Scheduler()
+
+        def victim():
+            yield from ch.receive()
+
+        tv = sched.spawn(victim(), "victim")
+        tc = sched.spawn(interrupt_task(tv), "canceller")
+        sched.run()
+        assert tv.interrupted
+        states = [c.value for c in ch._list.first.states]
+        assert INTERRUPTED_RCV in states
+
+    def test_channel_works_after_cancellation(self, rendezvous_after=None):
+        ch = RendezvousChannel(seg_size=2)
+        sched = Scheduler()
+
+        def victim():
+            yield from ch.send(1)
+
+        tv = sched.spawn(victim(), "victim")
+        sched.spawn(interrupt_task(tv), "canceller")
+        sched.run()
+        # A fresh pair must still rendezvous fine.
+        got = []
+
+        def p():
+            yield from ch.send(2)
+
+        def c():
+            got.append((yield from ch.receive()))
+
+        run_tasks(p(), c())
+        assert got == [2]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_cancellation_never_loses_other_elements(self, seed):
+        ch = RendezvousChannel(seg_size=2)
+        sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+        sent, got = [], []
+
+        def victim():
+            try:
+                for i in range(10):
+                    yield from ch.send(i)
+                    sent.append(i)
+            except Interrupted:
+                pass
+
+        tv = sched.spawn(victim(), "victim")
+
+        def healthy():
+            for i in range(10):
+                yield from ch.send(100 + i)
+                sent.append(100 + i)
+
+        sched.spawn(healthy(), "healthy")
+        sched.spawn(interrupt_task(tv), "canceller")
+
+        def consumer():
+            while True:
+                ok, v = yield from ch.receive_catching()
+                if not ok:
+                    return
+                got.append(v)
+
+        sched.spawn(consumer(), "c0")
+        sched.spawn(consumer(), "c1")
+
+        def closer():
+            while not tv.done:
+                yield Yield()
+            # healthy may still be sending; wait for it too
+            yield from _wait_done()
+            yield from ch.close()
+
+        def _wait_done():
+            while len(sent) < 10 + (10 if not tv.interrupted else len([s for s in sent if s < 100])):
+                if all(t.done for t in sched.tasks[:2]):
+                    break
+                yield Yield()
+
+        sched.spawn(closer(), "closer")
+        sched.run()
+        assert sorted(got) == sorted(sent)
+
+
+class TestSegmentIntegration:
+    def test_many_elements_cross_segments(self):
+        ch = RendezvousChannel(seg_size=2)
+        got = []
+
+        def p():
+            for i in range(40):
+                yield from ch.send(i)
+
+        def c():
+            for _ in range(40):
+                got.append((yield from ch.receive()))
+
+        run_tasks(p(), c(), seed=3)
+        assert got == list(range(40))
+        assert ch._list.segments_allocated >= 20
+
+    def test_cancelled_segment_removed(self):
+        """A fully interrupted segment must unlink from the list."""
+
+        ch = RendezvousChannel(seg_size=1)
+        sched = Scheduler()
+
+        def victim():
+            yield from ch.send(1)
+
+        tv = sched.spawn(victim(), "victim")
+        sched.spawn(interrupt_task(tv), "canceller")
+        sched.run()
+        # Grow the list past the dead segment, then check it is skipped.
+        got = []
+
+        def p():
+            for i in range(4):
+                yield from ch.send(i)
+
+        def c():
+            for _ in range(4):
+                got.append((yield from ch.receive()))
+
+        run_tasks(p(), c())
+        assert got == [0, 1, 2, 3]
+        alive_ids = [s.id for s in ch._list.iter_segments() if not s.removed_now]
+        dead_ids = [s.id for s in ch._list.iter_segments() if s.removed_now]
+        assert all(i not in alive_ids for i in dead_ids)

@@ -1,0 +1,304 @@
+"""Unit tests for the simulated scheduler and its policies."""
+
+import pytest
+
+from repro.concurrent import Alloc, Faa, IntCell, Label, ParkTask, Read, Work, Write, Yield
+from repro.errors import DeadlockError, Interrupted, StepLimitExceeded
+from repro.runtime import make_waiter
+from repro.sim import (
+    ControlledPolicy,
+    DesPolicy,
+    NullCostModel,
+    RandomPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+    run_all,
+)
+from repro.sim.tasks import TaskState
+
+
+def counter_tasks(cell, n_tasks, n_incs):
+    def worker():
+        for _ in range(n_incs):
+            yield Faa(cell, 1)
+
+    return [worker() for _ in range(n_tasks)]
+
+
+class TestBasicExecution:
+    def test_single_task_result(self):
+        def t():
+            yield Yield()
+            return 42
+
+        sched = Scheduler()
+        task = sched.spawn(t())
+        sched.run()
+        assert task.result() == 42
+
+    def test_task_failure_propagates(self):
+        def t():
+            yield Yield()
+            raise RuntimeError("boom")
+
+        sched = Scheduler()
+        sched.spawn(t())
+        with pytest.raises(RuntimeError, match="boom"):
+            sched.run()
+
+    def test_interrupted_failure_not_reraised(self):
+        def t():
+            yield Yield()
+            raise Interrupted()
+
+        sched = Scheduler()
+        task = sched.spawn(t())
+        sched.run()  # must not raise
+        assert task.interrupted
+
+    def test_result_before_completion_raises(self):
+        def t():
+            yield Yield()
+
+        sched = Scheduler()
+        task = sched.spawn(t())
+        with pytest.raises(RuntimeError):
+            task.result()
+
+    @pytest.mark.parametrize("n_tasks,n_incs", [(1, 10), (4, 100), (16, 25)])
+    def test_counter_sums(self, n_tasks, n_incs):
+        c = IntCell(0)
+        run_all(counter_tasks(c, n_tasks, n_incs))
+        assert c.value == n_tasks * n_incs
+
+    def test_step_limit(self):
+        def forever():
+            while True:
+                yield Yield()
+
+        sched = Scheduler(max_steps=100)
+        sched.spawn(forever())
+        with pytest.raises(StepLimitExceeded):
+            sched.run()
+
+
+class TestParkUnpark:
+    def test_deadlock_detection_names_tasks(self):
+        def stuck():
+            w = yield from make_waiter()
+            yield from w.park()
+
+        sched = Scheduler()
+        sched.spawn(stuck(), "alice")
+        sched.spawn(stuck(), "bob")
+        with pytest.raises(DeadlockError) as exc:
+            sched.run()
+        assert set(exc.value.parked) == {"alice", "bob"}
+
+    def test_unpark_before_park_consumes_permit(self):
+        from repro.concurrent import RefCell
+
+        slot = RefCell(None)
+
+        def early_waker():
+            while True:
+                w = yield Read(slot)
+                if w is not None:
+                    ok = yield from w.try_unpark()
+                    return ok
+                yield Work(1)
+
+        def late_parker():
+            w = yield from make_waiter()
+            yield Write(slot, w)
+            yield Work(10_000)  # guarantee the unpark lands first (DES)
+            yield from w.park()
+            return "ran"
+
+        sched = Scheduler()
+        parker = sched.spawn(late_parker())
+        waker = sched.spawn(early_waker())
+        sched.run()
+        assert parker.result() == "ran"
+        assert waker.result() is True
+        assert parker.park_count == 0  # never actually suspended
+
+    def test_park_count_tracks_suspensions(self):
+        from repro.concurrent import RefCell
+
+        slot = RefCell(None)
+
+        def parker():
+            w = yield from make_waiter()
+            yield Write(slot, w)
+            yield from w.park()
+
+        def waker():
+            while True:
+                w = yield Read(slot)
+                if w is not None:
+                    yield Work(10_000)
+                    return (yield from w.try_unpark())
+                yield Work(1)
+
+        sched = Scheduler()
+        p = sched.spawn(parker())
+        sched.spawn(waker())
+        sched.run()
+        assert p.park_count == 1
+
+
+class TestProcessors:
+    def test_processor_limit_serializes_work(self):
+        def worker():
+            yield Work(1000)
+
+        s1 = Scheduler(processors=1)
+        for _ in range(4):
+            s1.spawn(worker())
+        s1.run()
+        s4 = Scheduler(processors=4)
+        for _ in range(4):
+            s4.spawn(worker())
+        s4.run()
+        assert s1.makespan >= 4000
+        assert s4.makespan <= 1100
+
+    def test_more_processors_than_tasks_is_unconstrained(self):
+        def worker():
+            yield Work(500)
+
+        limited = Scheduler(processors=8)
+        free = Scheduler()
+        for s in (limited, free):
+            for _ in range(4):
+                s.spawn(worker())
+            s.run()
+        assert limited.makespan == free.makespan
+
+
+class TestPolicies:
+    def test_des_policy_is_deterministic(self):
+        def run_once():
+            c = IntCell(0)
+            order = []
+
+            def worker(wid, cost):
+                yield Work(cost)
+                yield Faa(c, 1)
+                order.append(wid)
+
+            sched = Scheduler(policy=DesPolicy())
+            for wid, cost in ((0, 30), (1, 10), (2, 20)):
+                sched.spawn(worker(wid, cost))
+            sched.run()
+            return order
+
+        assert run_once() == run_once() == [1, 2, 0]
+
+    def test_random_policy_is_seed_deterministic(self):
+        def run_once(seed):
+            order = []
+
+            def worker(wid):
+                for _ in range(3):
+                    yield Yield()
+                order.append(wid)
+
+            sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+            for wid in range(4):
+                sched.spawn(worker(wid))
+            sched.run()
+            return order
+
+        assert run_once(7) == run_once(7)
+
+    def test_random_seeds_differ(self):
+        def run_once(seed):
+            order = []
+
+            def worker(wid):
+                for _ in range(5):
+                    yield Yield()
+                order.append(wid)
+
+            sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+            for wid in range(6):
+                sched.spawn(worker(wid))
+            sched.run()
+            return order
+
+        assert any(run_once(s) != run_once(0) for s in range(1, 6))
+
+    def test_round_robin_interleaves(self):
+        order = []
+
+        def worker(wid):
+            for _ in range(2):
+                yield Yield()
+                order.append(wid)
+
+        sched = Scheduler(policy=RoundRobinPolicy(), cost_model=NullCostModel())
+        sched.spawn(worker(0))
+        sched.spawn(worker(1))
+        sched.run()
+        assert order == [0, 1, 0, 1]
+
+    def test_controlled_policy_records_branching(self):
+        def worker():
+            yield Yield()
+            yield Yield()
+
+        policy = ControlledPolicy()
+        sched = Scheduler(policy=policy, cost_model=NullCostModel())
+        sched.spawn(worker())
+        sched.spawn(worker())
+        sched.run()
+        assert policy.branching and all(b == 2 for b in policy.branching)
+
+
+class TestHooksAndAlloc:
+    def test_hooks_see_every_op(self):
+        seen = []
+
+        def worker():
+            yield Yield()
+            yield Work(3)
+
+        sched = Scheduler()
+        sched.add_hook(lambda s, t, op: seen.append(type(op).__name__))
+        sched.spawn(worker())
+        sched.run()
+        assert seen == ["Yield", "Work"]
+
+    def test_alloc_events_forwarded(self):
+        class Collector:
+            def __init__(self):
+                self.items = []
+
+            def record(self, tag, units):
+                self.items.append((tag, units))
+
+        def worker():
+            yield Alloc("segment", 32)
+            yield Alloc("node")
+
+        sched = Scheduler()
+        col = Collector()
+        sched.alloc_stats = col
+        sched.spawn(worker())
+        sched.run()
+        assert col.items == [("segment", 32), ("node", 1)]
+
+    def test_label_payload_visible_to_hooks(self):
+        from repro.sim import LabelCollector
+
+        def worker():
+            yield Label("checkpoint", {"k": 1})
+
+        sched = Scheduler()
+        collector = LabelCollector()
+        sched.add_hook(collector)
+        sched.spawn(worker(), "w")
+        sched.run()
+        assert collector.labels == [("w", "checkpoint", {"k": 1})]

@@ -1,0 +1,451 @@
+"""Tests for the select expression over channels."""
+
+import pytest
+
+from repro.concurrent import Work, Yield
+from repro.core import (
+    BufferedChannel,
+    BufferedChannelEB,
+    RendezvousChannel,
+    make_channel,
+    receive_clause,
+    select,
+    send_clause,
+)
+from repro.errors import (
+    ChannelClosedForReceive,
+    ChannelClosedForSend,
+    DeadlockError,
+    Interrupted,
+)
+from repro.runtime import interrupt_task
+from repro.sim import NullCostModel, RandomPolicy, Scheduler, explore
+
+from conftest import run_tasks
+
+
+class TestValidation:
+    def test_requires_clauses(self):
+        with pytest.raises(ValueError):
+            next(select())
+
+    def test_rejects_duplicate_channels(self):
+        ch = make_channel(1)
+        with pytest.raises(ValueError):
+            next(select(receive_clause(ch), send_clause(ch, 1)))
+
+    def test_eb_variant_unsupported(self):
+        ch = BufferedChannelEB(1, seg_size=2)
+
+        def t():
+            yield from select(receive_clause(ch))
+
+        sched = Scheduler()
+        sched.spawn(t())
+        with pytest.raises(NotImplementedError):
+            sched.run()
+
+
+class TestImmediatePaths:
+    def test_first_ready_clause_wins(self):
+        ch1, ch2 = BufferedChannel(1, seg_size=2), BufferedChannel(1, seg_size=2)
+
+        def t():
+            yield from ch1.send("one")
+            yield from ch2.send("two")
+            return (yield from select(receive_clause(ch1), receive_clause(ch2)))
+
+        _, (task,) = run_tasks(t())
+        assert task.value == (0, "one")  # clause order decides ties
+
+    def test_later_clause_wins_when_first_empty(self):
+        ch1, ch2 = BufferedChannel(1, seg_size=2), BufferedChannel(1, seg_size=2)
+
+        def t():
+            yield from ch2.send("two")
+            return (yield from select(receive_clause(ch1), receive_clause(ch2)))
+
+        _, (task,) = run_tasks(t())
+        assert task.value == (1, "two")
+
+    def test_send_clause_into_buffer_space(self):
+        full = BufferedChannel(1, seg_size=2)
+        roomy = BufferedChannel(1, seg_size=2)
+
+        def t():
+            yield from full.send(0)
+            idx, _ = yield from select(send_clause(full, 1), send_clause(roomy, 2))
+            return idx
+
+        _, (task,) = run_tasks(t())
+        assert task.value == 1
+        got = []
+
+        def check():
+            got.append((yield from roomy.receive()))
+
+        run_tasks(check())
+        assert got == [2]
+
+    def test_send_clause_to_waiting_receiver(self):
+        ch1, ch2 = RendezvousChannel(seg_size=2), RendezvousChannel(seg_size=2)
+        got = []
+
+        def receiver():
+            got.append((yield from ch2.receive()))
+
+        def selector():
+            yield Work(100_000)  # receiver parks first
+            return (yield from select(send_clause(ch1, "a"), send_clause(ch2, "b")))
+
+        _, (tr, ts) = run_tasks(receiver(), selector())
+        assert ts.value == (1, None) and got == ["b"]
+
+
+class TestParkedPaths:
+    def test_parked_select_woken_by_sender(self):
+        ch1, ch2 = RendezvousChannel(seg_size=2), RendezvousChannel(seg_size=2)
+
+        def selector():
+            return (yield from select(receive_clause(ch1), receive_clause(ch2)))
+
+        def sender():
+            yield Work(100_000)
+            yield from ch2.send(7)
+
+        _, (ts, _) = run_tasks(selector(), sender())
+        assert ts.value == (1, 7)
+
+    def test_parked_select_send_woken_by_receiver(self):
+        ch1, ch2 = RendezvousChannel(seg_size=2), RendezvousChannel(seg_size=2)
+
+        def selector():
+            return (yield from select(send_clause(ch1, "x"), send_clause(ch2, "y")))
+
+        def receiver(out):
+            yield Work(100_000)
+            out.append((yield from ch1.receive()))
+
+        out = []
+        _, (ts, _) = run_tasks(selector(), receiver(out))
+        assert ts.value == (0, None) and out == ["x"]
+
+    def test_losing_registration_is_cleaned(self):
+        """After a select completes, its losing cells are INTERRUPTED_*
+        and the channels remain fully usable."""
+
+        ch1, ch2 = RendezvousChannel(seg_size=2), RendezvousChannel(seg_size=2)
+
+        def selector():
+            return (yield from select(receive_clause(ch1), receive_clause(ch2)))
+
+        def sender():
+            yield Work(100_000)
+            yield from ch2.send(1)
+
+        run_tasks(selector(), sender())
+        # ch1's registration must not satisfy a future sender.
+        got = []
+
+        def p():
+            yield from ch1.send(2)
+
+        def c():
+            got.append((yield from ch1.receive()))
+
+        run_tasks(p(), c())
+        assert got == [2]
+
+    def test_select_alone_deadlocks_cleanly(self):
+        ch1, ch2 = RendezvousChannel(seg_size=2), RendezvousChannel(seg_size=2)
+
+        def selector():
+            yield from select(receive_clause(ch1), receive_clause(ch2))
+
+        sched = Scheduler()
+        sched.spawn(selector())
+        with pytest.raises(DeadlockError):
+            sched.run()
+
+
+class TestRetrySignal:
+    def test_waiting_receiver_not_orphaned_by_losing_send_clause(self):
+        """The core retry-wakeup property: when a select send clause
+        reserves a cell with a parked receiver but the select is won by
+        another clause, that receiver is retried, not orphaned."""
+
+        for seed in range(30):
+            c1, c2 = RendezvousChannel(seg_size=2), RendezvousChannel(seg_size=2)
+            results = []
+
+            def selector():
+                idx, _ = yield from select(send_clause(c1, "s1"), send_clause(c2, "s2"))
+                results.append(("sent", idx))
+
+            def r1():
+                results.append(("r1", (yield from c1.receive())))
+
+            def r2():
+                results.append(("r2", (yield from c2.receive())))
+
+            def backup():
+                while not any(tag == "sent" for tag, _ in results):
+                    yield Yield()
+                idx = [i for tag, i in results if tag == "sent"][0]
+                # Feed whichever receiver the select did not serve.
+                if idx == 0:
+                    yield from c2.send("backup")
+                else:
+                    yield from c1.send("backup")
+
+            sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+            for gen, name in ((selector(), "sel"), (r1(), "r1"), (r2(), "r2"), (backup(), "bk")):
+                sched.spawn(gen, name)
+            sched.run()  # DeadlockError here would mean an orphaned receiver
+            assert len(results) == 3, (seed, results)
+
+    def test_waiting_sender_not_orphaned_by_losing_recv_clause(self):
+        """Losing recv clauses either retry a parked sender (its element
+        stays receivable) or, if they already consumed an element, route
+        it to ``on_undelivered`` — either way nothing is silently lost
+        and the peer sender always completes."""
+
+        for seed in range(30):
+            c1, c2 = RendezvousChannel(seg_size=2), RendezvousChannel(seg_size=2)
+            recovered = []
+            c1.on_undelivered = recovered.append
+            c2.on_undelivered = recovered.append
+            results = []
+
+            def selector():
+                idx, v = yield from select(receive_clause(c1), receive_clause(c2))
+                results.append(("recv", idx, v))
+
+            def s1():
+                yield from c1.send("v1")
+                results.append(("s1-done",))
+
+            def s2():
+                yield from c2.send("v2")
+                results.append(("s2-done",))
+
+            def backup():
+                from repro.concurrent import Spin
+
+                while not any(r[0] == "recv" for r in results):
+                    yield Spin("wait-recv")
+                idx = [r[1] for r in results if r[0] == "recv"][0]
+                loser = c2 if idx == 0 else c1
+                while True:
+                    ok, v = yield from loser.try_receive()
+                    if ok:
+                        results.append(("bk", v))
+                        return
+                    if recovered:
+                        results.append(("bk", recovered[0]))
+                        return
+                    yield Spin("wait-loser")
+
+            sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+            for gen, name in ((selector(), "sel"), (s1(), "s1"), (s2(), "s2"), (backup(), "bk")):
+                sched.spawn(gen, name)
+            sched.run()
+            assert len(results) == 4, (seed, results)
+            # Both senders completed; both elements reached the app
+            # (directly or via the undelivered hook), exactly once.
+            received = sorted(r[-1] for r in results if r[0] in ("recv", "bk"))
+            assert received == ["v1", "v2"], (seed, results)
+
+
+class TestClosedAndCancelled:
+    def test_closed_recv_clause_raises(self):
+        ch1 = RendezvousChannel(seg_size=2)
+
+        def t():
+            yield from ch1.close()
+            try:
+                yield from select(receive_clause(ch1))
+            except ChannelClosedForReceive:
+                return "closed"
+
+        _, (task,) = run_tasks(t())
+        assert task.value == "closed"
+
+    def test_closed_send_clause_raises_and_cleans(self):
+        ch1, ch2 = RendezvousChannel(seg_size=2), RendezvousChannel(seg_size=2)
+
+        def t():
+            yield from ch2.close()
+            try:
+                yield from select(receive_clause(ch1), send_clause(ch2, 1))
+            except ChannelClosedForSend:
+                return "closed"
+
+        _, (task,) = run_tasks(t())
+        assert task.value == "closed"
+        # ch1's registration was cleaned: a sender pairs with a fresh receiver.
+        got = []
+
+        def p():
+            yield from ch1.send(9)
+
+        def c():
+            got.append((yield from ch1.receive()))
+
+        run_tasks(p(), c())
+        assert got == [9]
+
+    def test_close_wakes_parked_select(self):
+        ch1, ch2 = RendezvousChannel(seg_size=2), RendezvousChannel(seg_size=2)
+
+        def selector():
+            try:
+                yield from select(receive_clause(ch1), receive_clause(ch2))
+            except ChannelClosedForReceive:
+                return "closed"
+
+        def closer():
+            yield Work(100_000)
+            yield from ch1.close()
+
+        _, (ts, _) = run_tasks(selector(), closer())
+        assert ts.value == "closed"
+
+    def test_cancelled_select_cleans_registrations(self):
+        ch1, ch2 = RendezvousChannel(seg_size=2), RendezvousChannel(seg_size=2)
+        sched = Scheduler()
+
+        def selector():
+            yield from select(receive_clause(ch1), receive_clause(ch2))
+
+        tv = sched.spawn(selector(), "sel")
+        sched.spawn(interrupt_task(tv), "x")
+        sched.run()
+        assert tv.interrupted
+        # Both channels usable afterwards.
+        for ch in (ch1, ch2):
+            got = []
+
+            def p(c=ch):
+                yield from c.send(5)
+
+            def c_(c=ch):
+                got.append((yield from c.receive()))
+
+            run_tasks(p(), c_())
+            assert got == [5]
+
+
+class TestSelectExploration:
+    def test_two_selects_racing_exhaustive(self):
+        """A receive-select and a send-select on overlapping channels:
+        every preemption-bounded interleaving must complete cleanly."""
+
+        def build(sched):
+            c1 = RendezvousChannel(seg_size=2)
+            c2 = BufferedChannel(1, seg_size=2)
+            res = {}
+
+            def sel_recv():
+                res["recv"] = yield from select(receive_clause(c1), receive_clause(c2))
+
+            def sender():
+                yield from c2.send("z")
+
+            sched.spawn(sel_recv(), "sel")
+            sched.spawn(sender(), "snd")
+            return res
+
+        def check(res, sched):
+            assert res["recv"] == (1, "z"), res
+
+        result = explore(build, check, max_schedules=300_000, preemption_bound=2)
+        assert result.exhausted
+
+    def test_select_vs_plain_receiver_exhaustive(self):
+        """A send-select races a plain receiver on one of its channels."""
+
+        def build(sched):
+            c1 = RendezvousChannel(seg_size=2)
+            c2 = RendezvousChannel(seg_size=2)
+            res = {}
+
+            def sel_send():
+                res["sent"] = (yield from select(send_clause(c1, "a"), send_clause(c2, "b")))[0]
+
+            def receiver():
+                res["got"] = yield from c1.receive()
+
+            def backup():
+                # If the select served c2 (possible when the receiver's
+                # registration loses a race), feed the receiver.
+                from repro.concurrent import Spin
+
+                while "sent" not in res:
+                    yield Spin("poll-sent")  # pure poll: stutter-reduced
+                if res["sent"] == 1:
+                    yield from c1.send("backup")
+
+            sched.spawn(sel_send(), "sel")
+            sched.spawn(receiver(), "rcv")
+            sched.spawn(backup(), "bk")
+            return res
+
+        def check(res, sched):
+            if res["sent"] == 0:
+                assert res["got"] == "a", res
+            else:
+                assert res["got"] == "backup", res
+
+        result = explore(build, check, max_schedules=400_000, preemption_bound=2)
+        assert result.exhausted
+
+
+class TestUndeliveredHook:
+    def test_hook_receives_orphaned_buffered_element(self):
+        """Drive the rare lost-claim-at-BUFFERED race via many schedules;
+        whenever it fires, the element must reach the hook (never lost)."""
+
+        total_recovered = []
+        for seed in range(60):
+            c1 = BufferedChannel(1, seg_size=2)
+            c2 = BufferedChannel(1, seg_size=2)
+            recovered = []
+            c1.on_undelivered = recovered.append
+            c2.on_undelivered = recovered.append
+            got = []
+
+            def sel():
+                got.append((yield from select(receive_clause(c1), receive_clause(c2))))
+
+            def p1():
+                yield from c1.send("a")
+
+            def p2():
+                yield from c2.send("b")
+
+            sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel())
+            sched.spawn(sel(), "sel")
+            sched.spawn(p1(), "p1")
+            sched.spawn(p2(), "p2")
+            sched.run()
+            assert len(got) == 1
+            received = {got[0][1], *recovered}
+            # Between the received element, the recovered ones, and what
+            # remains buffered, nothing is lost.
+            for ch, val in ((c1, "a"), (c2, "b")):
+                ok, v = None, None
+
+                def drain(c=ch):
+                    return (yield from c.try_receive())
+
+                sched2 = Scheduler()
+                t = sched2.spawn(drain())
+                sched2.run()
+                ok, v = t.value
+                if ok:
+                    received.add(v)
+            assert received >= {"a", "b"}, (seed, received)
+            total_recovered.extend(recovered)
+        # The hook path itself is schedule-dependent; conservation above
+        # is the real assertion.

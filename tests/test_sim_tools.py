@@ -1,0 +1,204 @@
+"""Tests for simulator tooling: mutex, tracing hooks, runtime helpers."""
+
+import pytest
+
+from repro.concurrent import Cas, Faa, IntCell, Label, Read, Spin, Work, Write, Yield
+from repro.errors import SchedulerError
+from repro.runtime import busy_work, cooperative_yield, interrupt_task, park_current
+from repro.sim import (
+    NullCostModel,
+    OpCounter,
+    RandomPolicy,
+    Scheduler,
+    SimMutex,
+    SpinCounter,
+    Tracer,
+    run_all,
+)
+
+from conftest import run_tasks
+
+
+class TestSimMutex:
+    def test_mutual_exclusion(self):
+        lock = SimMutex()
+        shared = {"v": 0, "in_cs": 0, "max_in_cs": 0}
+
+        def worker():
+            for _ in range(20):
+                yield from lock.acquire()
+                shared["in_cs"] += 1
+                shared["max_in_cs"] = max(shared["max_in_cs"], shared["in_cs"])
+                yield Work(5)  # interleaving point inside the section
+                v = shared["v"]
+                yield Work(5)
+                shared["v"] = v + 1
+                shared["in_cs"] -= 1
+                yield from lock.release()
+
+        run_tasks(*(worker() for _ in range(4)), seed=9)
+        assert shared["v"] == 80
+        assert shared["max_in_cs"] == 1
+
+    def test_release_unheld_raises(self):
+        lock = SimMutex()
+
+        def t():
+            yield from lock.release()
+
+        sched = Scheduler()
+        sched.spawn(t())
+        with pytest.raises(SchedulerError):
+            sched.run()
+
+    def test_contention_counted(self):
+        lock = SimMutex()
+
+        def worker():
+            for _ in range(10):
+                yield from lock.acquire()
+                yield Work(50)
+                yield from lock.release()
+
+        run_tasks(worker(), worker(), seed=1)
+        assert lock.acquisitions == 20
+        assert lock.contended_acquisitions >= 1
+
+    def test_critical_sections_serialize_time(self):
+        lock = SimMutex()
+
+        def worker():
+            yield from lock.acquire()
+            yield Work(1000)
+            yield from lock.release()
+
+        sched, _ = run_tasks(worker(), worker(), worker())
+        assert sched.makespan >= 3000  # sections cannot overlap
+
+
+class TestHooks:
+    def test_op_counter_tracks_cas_failures(self):
+        cell = IntCell(0)
+
+        def winner():
+            yield Cas(cell, 0, 1)
+
+        def loser():
+            yield Work(1000)
+            yield Cas(cell, 0, 2)  # fails: value is 1
+
+        sched = Scheduler()
+        counter = OpCounter()
+        sched.add_hook(counter)
+        sched.spawn(winner())
+        sched.spawn(loser())
+        sched.run()
+        assert counter.cas_success == 1
+        assert counter.cas_failure == 1
+        assert 0 < counter.cas_failure_rate < 1
+
+    def test_spin_counter_by_reason(self):
+        def t():
+            yield Spin("alpha")
+            yield Spin("alpha")
+            yield Spin("beta")
+
+        sched = Scheduler()
+        counter = SpinCounter()
+        sched.add_hook(counter)
+        sched.spawn(t())
+        sched.run()
+        assert counter.total == 3
+        assert counter.by_reason == {"alpha": 2, "beta": 1}
+
+    def test_tracer_ring_buffer(self):
+        def t():
+            for i in range(10):
+                yield Work(1)
+
+        sched = Scheduler()
+        tracer = Tracer(capacity=4)
+        sched.add_hook(tracer)
+        sched.spawn(t(), "tracee")
+        sched.run()
+        assert len(tracer.events) == 4  # capped
+        assert "tracee" in tracer.format()
+
+
+class TestRuntimeHelpers:
+    def test_park_current_and_external_interrupt(self):
+        from repro.errors import Interrupted
+
+        sched = Scheduler()
+
+        def sleeper():
+            try:
+                yield from park_current()
+                return "resumed"
+            except Interrupted:
+                return "interrupted"
+
+        tv = sched.spawn(sleeper(), "sleeper")
+        sched.spawn(interrupt_task(tv), "canceller")
+        sched.run()
+        assert tv.interrupted or tv.value == "interrupted"
+
+    def test_interrupt_task_on_finished_task_returns_false(self):
+        sched = Scheduler()
+
+        def quick():
+            yield Work(1)
+
+        tq = sched.spawn(quick(), "quick")
+
+        def canceller():
+            yield Work(10_000)  # let the target finish first
+            return (yield from interrupt_task(tq))
+
+        tc = sched.spawn(canceller(), "canceller")
+        sched.run()
+        assert tc.value is False
+
+    def test_cooperative_yield_and_busy_work(self):
+        def t():
+            yield from cooperative_yield()
+            yield from busy_work(123)
+            return "done"
+
+        sched = Scheduler()
+        task = sched.spawn(t())
+        sched.run()
+        assert task.value == "done"
+        assert task.clock >= 123
+
+
+class TestChannelFactory:
+    def test_capacity_zero_is_rendezvous(self):
+        from repro.core import RendezvousChannel, make_channel
+
+        assert isinstance(make_channel(0), RendezvousChannel)
+
+    def test_positive_capacity_is_buffered(self):
+        from repro.core import BufferedChannel, make_channel
+
+        ch = make_channel(3)
+        assert isinstance(ch, BufferedChannel)
+        assert ch.capacity == 3
+
+    def test_unlimited_constant(self):
+        from repro.core import UNLIMITED, make_channel
+
+        ch = make_channel(UNLIMITED)
+        assert ch.capacity == UNLIMITED
+
+    def test_negative_rejected(self):
+        from repro.core import make_channel
+
+        with pytest.raises(ValueError):
+            make_channel(-1)
+
+    def test_custom_name_propagates(self):
+        from repro.core import make_channel
+
+        assert make_channel(0, name="x").name == "x"
+        assert make_channel(2, name="y").name == "y"

@@ -1,0 +1,56 @@
+"""Tests for the thread adapter's overflow policies and iteration."""
+
+import threading
+
+import pytest
+
+from repro.threads import BlockingChannel
+
+
+class TestThreadsOverflow:
+    def test_drop_oldest(self):
+        ch = BlockingChannel(capacity=2, overflow="drop_oldest")
+        for i in range(7):
+            ch.send(i)
+        assert ch.receive() == 5
+        assert ch.receive() == 6
+
+    def test_conflate(self):
+        ch = BlockingChannel(overflow="conflate")
+        for i in range(5):
+            ch.send(i)
+        assert ch.receive() == 4
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            BlockingChannel(overflow="nope")
+
+    def test_drop_oldest_producer_never_blocks(self):
+        ch = BlockingChannel(capacity=1, overflow="drop_oldest")
+        done = threading.Event()
+
+        def producer():
+            for i in range(300):
+                ch.send(i)
+            done.set()
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        assert done.wait(timeout=30), "drop_oldest producer blocked"
+        assert ch.receive() == 299
+
+    def test_conflated_cross_thread(self):
+        ch = BlockingChannel(overflow="conflate")
+        got = []
+
+        def consumer():
+            got.append(ch.receive())
+
+        t = threading.Thread(target=consumer, daemon=True)
+        t.start()
+        import time
+
+        time.sleep(0.05)
+        ch.send("live")
+        t.join(10)
+        assert got == ["live"]

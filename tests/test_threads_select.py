@@ -1,0 +1,75 @@
+"""Tests for select on the OS-thread adapter."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import receive_clause, send_clause
+from repro.threads import BlockingChannel, select_blocking
+
+
+class TestSelectBlocking:
+    def test_immediate_ready_clause(self):
+        a, b = BlockingChannel(0), BlockingChannel(2)
+        b.send(1)
+        assert select_blocking(receive_clause(a.core), receive_clause(b.core)) == (1, 1)
+
+    def test_parked_select_woken_from_other_thread(self):
+        a, b = BlockingChannel(0), BlockingChannel(0)
+        res = []
+
+        def selector():
+            res.append(select_blocking(receive_clause(a.core), receive_clause(b.core)))
+
+        t = threading.Thread(target=selector)
+        t.start()
+        time.sleep(0.05)
+        b.send("x")
+        t.join(10)
+        assert not t.is_alive()
+        assert res == [(1, "x")]
+
+    def test_send_clause_with_waiting_receiver(self):
+        a, b = BlockingChannel(0), BlockingChannel(0)
+        got = []
+
+        def receiver():
+            got.append(b.receive())
+
+        t = threading.Thread(target=receiver)
+        t.start()
+        time.sleep(0.05)
+        idx, _ = select_blocking(send_clause(a.core, "A"), send_clause(b.core, "B"))
+        t.join(10)
+        assert idx == 1 and got == ["B"]
+
+    def test_requires_clauses(self):
+        with pytest.raises(ValueError):
+            select_blocking()
+
+    def test_losing_peer_retried_not_orphaned(self):
+        """Two plain receivers + one send-select: the select serves one;
+        the other must remain servable (retry wakeup, not orphaned)."""
+
+        a, b = BlockingChannel(0), BlockingChannel(0)
+        got = {}
+
+        def recv(name, ch):
+            got[name] = ch.receive()
+
+        t1 = threading.Thread(target=recv, args=("a", a))
+        t2 = threading.Thread(target=recv, args=("b", b))
+        t1.start()
+        t2.start()
+        time.sleep(0.05)
+        idx, _ = select_blocking(send_clause(a.core, "va"), send_clause(b.core, "vb"))
+        # Feed the loser.
+        if idx == 0:
+            b.send("direct-b")
+        else:
+            a.send("direct-a")
+        t1.join(10)
+        t2.join(10)
+        assert not t1.is_alive() and not t2.is_alive()
+        assert set(got) == {"a", "b"}

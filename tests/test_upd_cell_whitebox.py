@@ -1,0 +1,176 @@
+"""White-box tests of ``updCellSend``/``updCellRcv`` branch dispatch.
+
+Manufactured cell states pin each branch of Listings 3 and 4 directly,
+including branches that only races reach (BROKEN skip, interrupted-peer
+restart, IN_BUFFER deposit).
+"""
+
+import pytest
+
+from repro.core import BufferedChannel, RendezvousChannel
+from repro.core.states import (
+    BROKEN,
+    BUFFERED,
+    IN_BUFFER,
+    INTERRUPTED_RCV,
+    INTERRUPTED_SEND,
+)
+
+from conftest import run_tasks
+
+
+def plant(ch, index, state, elem=None):
+    ch._list.first.state_cell(index).value = state
+    if elem is not None:
+        ch._list.first.elem_cell(index).value = elem
+
+
+class TestRendezvousSendBranches:
+    def test_send_skips_broken_cell(self):
+        ch = RendezvousChannel(seg_size=4)
+        plant(ch, 0, BROKEN)
+        ch.R.value = 1  # the poisoning receiver moved on
+        got = []
+
+        def p():
+            yield from ch.send("v")
+
+        def c():
+            got.append((yield from ch.receive()))
+
+        run_tasks(p(), c())
+        assert got == ["v"]
+        assert ch.sender_counter >= 2  # cell 0 was skipped
+        assert ch.stats.send_restarts >= 1
+
+    def test_send_skips_interrupted_receiver_cell(self):
+        ch = RendezvousChannel(seg_size=4)
+        plant(ch, 0, INTERRUPTED_RCV)
+        ch.R.value = 1
+        got = []
+
+        def p():
+            yield from ch.send("v")
+
+        def c():
+            got.append((yield from ch.receive()))
+
+        run_tasks(p(), c())
+        assert got == ["v"]
+        # The sender cleaned its stale element out of the dead cell.
+        assert ch._list.first.elem_cell(0).value is None
+
+    def test_receive_skips_interrupted_sender_cell(self):
+        ch = RendezvousChannel(seg_size=4)
+        plant(ch, 0, INTERRUPTED_SEND)
+        ch.S.value = 1
+        got = []
+
+        def p():
+            yield from ch.send("w")
+
+        def c():
+            got.append((yield from ch.receive()))
+
+        run_tasks(c(), p())
+        assert got == ["w"]
+        assert ch.stats.rcv_restarts >= 1
+
+    def test_receive_takes_eliminated_element(self):
+        ch = RendezvousChannel(seg_size=4)
+        plant(ch, 0, BUFFERED, elem="eliminated")
+        ch.S.value = 1  # the eliminating sender has moved on
+        got = []
+
+        def c():
+            got.append((yield from ch.receive()))
+
+        run_tasks(c())
+        assert got == ["eliminated"]
+
+
+class TestBufferedSendBranches:
+    def test_send_deposits_into_premarked_cell(self):
+        ch = BufferedChannel(0, seg_size=4)
+        plant(ch, 0, IN_BUFFER)
+
+        def p():
+            yield from ch.send("x")
+            return "no-suspend"
+
+        _, (tp,) = run_tasks(p())
+        assert tp.value == "no-suspend"
+        assert ch._list.first.state_cell(0).value is BUFFERED
+
+    def test_send_restarts_past_broken_buffer_cell(self):
+        ch = BufferedChannel(2, seg_size=4)
+        plant(ch, 0, BROKEN)
+        ch.R.value = 1
+
+        def p():
+            yield from ch.send("y")
+            return "done"
+
+        _, (tp,) = run_tasks(p())
+        assert tp.value == "done"
+        # The element landed in a later cell.
+        states = [ch._list.first.state_cell(i).value for i in range(4)]
+        assert BUFFERED in states[1:]
+
+    def test_receive_poisons_in_buffer_cell_when_sender_incoming(self):
+        """IN_BUFFER is treated as EMPTY by a covered receive (line 36)."""
+
+        ch = BufferedChannel(1, seg_size=4)
+        plant(ch, 0, IN_BUFFER)
+        ch.S.value = 1  # a sender reserved cell 0 but has not deposited
+        plant(ch, 1, BUFFERED, elem="later")
+        ch.S.value = 2
+        got = []
+
+        def c():
+            got.append((yield from ch.receive()))
+
+        run_tasks(c())
+        assert got == ["later"]
+        assert ch._list.first.state_cell(0).value is BROKEN
+        assert ch.stats.poisoned == 1
+
+
+class TestElementHygiene:
+    def test_consumed_cells_hold_no_elements(self):
+        """After a run, no consumed cell retains its element reference."""
+
+        ch = BufferedChannel(2, seg_size=2)
+        got = []
+
+        def p():
+            for i in range(10):
+                yield from ch.send(f"obj-{i}")
+
+        def c():
+            for _ in range(10):
+                got.append((yield from ch.receive()))
+
+        run_tasks(p(), c())
+        assert len(got) == 10
+        for seg in ch._list.iter_segments():
+            for cell in seg.elems:
+                assert cell.value is None
+
+    def test_cancelled_cells_hold_no_elements(self):
+        from repro.errors import Interrupted
+        from repro.runtime import interrupt_task
+        from repro.sim import Scheduler
+
+        ch = RendezvousChannel(seg_size=2)
+        sched = Scheduler()
+
+        def victim():
+            yield from ch.send("leaky?")
+
+        tv = sched.spawn(victim(), "v")
+        sched.spawn(interrupt_task(tv), "x")
+        sched.run()
+        for seg in ch._list.iter_segments():
+            for cell in seg.elems:
+                assert cell.value is None

@@ -1,0 +1,155 @@
+"""Unit tests for the sequential spec and the verification helpers."""
+
+import pytest
+
+from repro.errors import LinearizabilityError
+from repro.verify import (
+    Event,
+    SequentialChannelSpec,
+    check_fifo_matching,
+    check_linearizable,
+)
+
+
+class TestSequentialSpec:
+    def test_rendezvous_send_suspends_alone(self):
+        spec = SequentialChannelSpec(0)
+        assert spec.send(1) == "suspend"
+
+    def test_rendezvous_receive_suspends_alone(self):
+        spec = SequentialChannelSpec(0)
+        assert spec.receive() == ("suspend", None)
+
+    def test_send_serves_waiting_receiver(self):
+        spec = SequentialChannelSpec(0)
+        spec.receive()
+        assert spec.send(7) == "done"
+        # The receiver's element is the oldest pending one.
+        assert list(spec.pending_elements) == [7]
+
+    def test_buffered_send_completes_up_to_capacity(self):
+        spec = SequentialChannelSpec(2)
+        assert spec.send(1) == "done"
+        assert spec.send(2) == "done"
+        assert spec.send(3) == "suspend"
+
+    def test_receive_takes_fifo(self):
+        spec = SequentialChannelSpec(3)
+        for i in range(3):
+            spec.send(i)
+        assert spec.receive() == ("done", 0)
+        assert spec.receive() == ("done", 1)
+
+    def test_closed_semantics(self):
+        spec = SequentialChannelSpec(1)
+        spec.send(1)
+        spec.close()
+        assert spec.send(2) == "closed"
+        assert spec.receive() == ("done", 1)
+        assert spec.receive() == ("closed", None)
+
+
+class TestFifoMatching:
+    def test_accepts_prefix(self):
+        check_fifo_matching([1, 2, 3], [1, 2])
+
+    def test_accepts_exact(self):
+        check_fifo_matching([1, 2], [1, 2])
+
+    def test_rejects_reorder(self):
+        with pytest.raises(LinearizabilityError):
+            check_fifo_matching([1, 2], [2, 1])
+
+    def test_rejects_excess_receives(self):
+        with pytest.raises(LinearizabilityError):
+            check_fifo_matching([1], [1, 2])
+
+    def test_rejects_fabricated_value(self):
+        with pytest.raises(LinearizabilityError):
+            check_fifo_matching([1, 2], [1, 99])
+
+
+class TestHistoryChecker:
+    def test_sequential_history_ok(self):
+        check_linearizable(
+            [Event("send", 1, 0, 1), Event("receive", 1, 2, 3)]
+        )
+
+    def test_concurrent_rendezvous_ok(self):
+        check_linearizable(
+            [Event("send", 1, 0, 10), Event("receive", 1, 0, 10)]
+        )
+
+    def test_blocked_receive_served_later(self):
+        # receive invoked first, completes after the send: valid.
+        check_linearizable(
+            [Event("receive", 5, 0, 20), Event("send", 5, 10, 15)]
+        )
+
+    def test_wrong_value_rejected(self):
+        with pytest.raises(LinearizabilityError):
+            check_linearizable(
+                [Event("send", 1, 0, 10), Event("receive", 2, 0, 10)]
+            )
+
+    def test_fifo_violation_rejected(self):
+        # Two sends strictly before any receive; receives swap the order.
+        with pytest.raises(LinearizabilityError):
+            check_linearizable(
+                [
+                    Event("send", 1, 0, 1),
+                    Event("send", 2, 2, 3),
+                    Event("receive", 2, 4, 5),
+                    Event("receive", 1, 6, 7),
+                ]
+            )
+
+    def test_concurrent_sends_may_order_either_way(self):
+        # The two sends overlap: either FIFO order is a valid witness.
+        check_linearizable(
+            [
+                Event("send", 1, 0, 10),
+                Event("send", 2, 0, 10),
+                Event("receive", 2, 11, 12),
+                Event("receive", 1, 13, 14),
+            ]
+        )
+
+    def test_real_time_order_enforced(self):
+        # send(2) completes strictly before send(1) begins, yet 2 is
+        # received after 1: invalid.
+        with pytest.raises(LinearizabilityError):
+            check_linearizable(
+                [
+                    Event("send", 2, 0, 1),
+                    Event("send", 1, 5, 6),
+                    Event("receive", 1, 7, 8),
+                    Event("receive", 2, 9, 10),
+                ]
+            )
+
+    def test_large_history_rejected(self):
+        events = [Event("send", i, i, i + 1) for i in range(20)]
+        with pytest.raises(ValueError):
+            check_linearizable(events)
+
+
+class TestFifoObserver:
+    def test_detects_double_success_in_cell(self):
+        from repro.errors import InvariantViolation
+        from repro.verify import FifoObserver
+
+        obs = FifoObserver()
+        obs.send_done(0, "a")
+        obs.send_done(0, "b")
+        with pytest.raises(InvariantViolation):
+            obs.verify()
+
+    def test_accepts_clean_run(self):
+        from repro.verify import FifoObserver
+
+        obs = FifoObserver()
+        obs.send_done(0, "a")
+        obs.send_done(1, "b")
+        obs.receive_done(0, "a")
+        obs.verify()

@@ -1,0 +1,87 @@
+"""Tests for verification utilities: scenarios, latency collector, fuzz internals."""
+
+import random
+
+import pytest
+
+from repro.bench.latency import LatencyReport, measure_latency
+from repro.core import RendezvousChannel
+from repro.sim import NullCostModel, RandomPolicy, Scheduler, explore
+from repro.verify import ProducerConsumerScenario, random_program
+
+
+class TestProducerConsumerScenario:
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError):
+            ProducerConsumerScenario(lambda: RendezvousChannel(), producers=3, consumers=2, per_producer=1)
+
+    def test_runs_and_checks(self):
+        sc = ProducerConsumerScenario(
+            lambda: RendezvousChannel(seg_size=2), producers=2, consumers=2, per_producer=3
+        )
+        sched = Scheduler(policy=RandomPolicy(5), cost_model=NullCostModel())
+        ctx = sc.build(sched)
+        sched.run()
+        sc.check(ctx, sched)
+
+    def test_detects_missing_elements(self):
+        """Meta-test: a broken context must fail the check."""
+
+        sc = ProducerConsumerScenario(
+            lambda: RendezvousChannel(seg_size=2), producers=1, consumers=1, per_producer=2
+        )
+        sched = Scheduler()
+        ctx = sc.build(sched)
+        sched.run()
+        ctx["received"].pop()
+        with pytest.raises(AssertionError):
+            sc.check(ctx, sched)
+
+    def test_usable_with_explorer(self):
+        sc = ProducerConsumerScenario(
+            lambda: RendezvousChannel(seg_size=2), producers=1, consumers=1, per_producer=1
+        )
+        result = explore(sc.build, sc.check, max_schedules=50_000, preemption_bound=2)
+        assert result.exhausted
+
+
+class TestRandomProgram:
+    def test_shape(self):
+        rng = random.Random(1)
+        prog = random_program(rng, n_tasks=3, ops_per_task=5)
+        assert len(prog) == 3
+        assert all(len(ops) == 5 for ops in prog)
+
+    def test_values_unique(self):
+        rng = random.Random(2)
+        prog = random_program(rng, 4, 6)
+        values = [v for ops in prog for (k, v) in ops if v is not None]
+        assert len(values) == len(set(values))
+
+    def test_close_can_be_disabled(self):
+        rng = random.Random(3)
+        for _ in range(5):
+            prog = random_program(rng, 3, 10, allow_close=False)
+            assert all(k != "close" for ops in prog for (k, _) in ops)
+
+
+class TestLatencyCollector:
+    def test_report_shape(self):
+        rep = measure_latency("faa-channel", threads=2, elements=200)
+        assert len(rep.send_latencies) == 200
+        assert len(rep.rcv_latencies) == 200
+        p = rep.percentiles("send")
+        assert p["p50"] <= p["p90"] <= p["p99"] <= p["max"]
+        assert "p50=" in rep.row("send")
+
+    def test_empty_report_percentiles(self):
+        rep = LatencyReport("x", 1, 0)
+        assert rep.percentiles("send") == {"p50": 0, "p90": 0, "p99": 0, "max": 0}
+
+    def test_suspension_shows_in_latency(self):
+        """Rendezvous latencies include the partner wait: with heavy
+        between-op work on one side, the other side's p90 grows."""
+
+        fast = measure_latency("faa-channel", threads=2, elements=150, work_mean=0, seed=1)
+        slow = measure_latency("faa-channel", threads=2, elements=150, work_mean=3000, seed=1)
+        assert slow.percentiles("send")["p50"] > fast.percentiles("send")["p50"]

@@ -1,0 +1,264 @@
+"""Tests for the Waiter state machine (Listing 1's coroutine API)."""
+
+import pytest
+
+from repro.concurrent import Read, RefCell, Spin, Work, Write
+from repro.errors import Interrupted
+from repro.runtime import INIT, INTERRUPTED, PARKED, PERMIT, RESUMED, Waiter, make_waiter
+from repro.sim import Scheduler, explore
+
+from conftest import run_tasks
+
+
+def _publish_waiter(slot, waiter_cls=Waiter):
+    """Task body: create a waiter, publish it, park; return outcome."""
+
+    def body():
+        w = yield from waiter_cls.make()
+        yield Write(slot, w)
+        try:
+            yield from w.park()
+            return "resumed"
+        except Interrupted:
+            return "interrupted"
+
+    return body
+
+
+def _wait_for_waiter(slot):
+    def get():
+        while True:
+            w = yield Read(slot)
+            if w is not None:
+                return w
+            yield Spin("wait-waiter")  # pure poll: lets DFS stutter-reduce
+
+    return get
+
+
+class TestBasicLifecycle:
+    def test_park_then_unpark(self):
+        slot = RefCell(None)
+
+        def waker():
+            w = yield from _wait_for_waiter(slot)()
+            yield Work(10_000)  # ensure the parker actually parks first
+            return (yield from w.try_unpark())
+
+        def parker():
+            try:
+                result = yield from _publish_waiter(slot)()
+            except Interrupted:
+                result = "interrupted"
+            return result
+
+        sched, (p, k) = run_tasks(parker(), waker())
+        assert p.value == "resumed" and k.value is True
+        assert p.park_count == 1
+
+    def test_unpark_before_park_no_suspension(self):
+        slot = RefCell(None)
+
+        def parker():
+            w = yield from make_waiter()
+            yield Write(slot, w)
+            yield Work(10_000)  # let the unpark land first
+            yield from w.park()
+            return "resumed"
+
+        def waker():
+            w = yield from _wait_for_waiter(slot)()
+            return (yield from w.try_unpark())
+
+        sched, (p, k) = run_tasks(parker(), waker())
+        assert p.value == "resumed" and k.value is True
+        assert p.park_count == 0
+
+    def test_interrupt_parked_runs_handler_then_raises(self):
+        slot = RefCell(None)
+        events = []
+
+        def parker():
+            w = yield from make_waiter()
+            yield Write(slot, w)
+
+            def handler():
+                events.append("cleanup")
+                yield Write(slot, None)
+
+            try:
+                yield from w.park(handler)
+                return "resumed"
+            except Interrupted:
+                events.append("raised")
+                return "interrupted"
+
+        def canceller():
+            w = yield from _wait_for_waiter(slot)()
+            yield Work(10_000)
+            return (yield from w.interrupt())
+
+        sched, (p, c) = run_tasks(parker(), canceller())
+        assert p.value == "interrupted" and c.value is True
+        assert events == ["cleanup", "raised"]  # handler before unwind
+        assert slot.value is None
+
+    def test_interrupt_before_park_takes_effect_at_park(self):
+        slot = RefCell(None)
+        events = []
+
+        def parker():
+            w = yield from make_waiter()
+            yield Write(slot, w)
+            yield Work(10_000)  # the interrupt lands while still ACTIVE
+
+            def handler():
+                events.append("cleanup-own-context")
+                yield Work(0)
+
+            try:
+                yield from w.park(handler)
+                return "resumed"
+            except Interrupted:
+                return "interrupted"
+
+        def canceller():
+            w = yield from _wait_for_waiter(slot)()
+            return (yield from w.interrupt())
+
+        sched, (p, c) = run_tasks(parker(), canceller())
+        assert p.value == "interrupted" and c.value is True
+        assert events == ["cleanup-own-context"]
+        assert p.park_count == 0  # never suspended
+
+    def test_try_unpark_after_interrupt_returns_false(self):
+        slot = RefCell(None)
+
+        def parker():
+            return (yield from _publish_waiter(slot)())
+
+        def canceller():
+            w = yield from _wait_for_waiter(slot)()
+            yield Work(10_000)
+            return (yield from w.interrupt())
+
+        def resumer():
+            w = yield from _wait_for_waiter(slot)()
+            yield Work(50_000)  # strictly after the interrupt
+            return (yield from w.try_unpark())
+
+        sched, (p, c, r) = run_tasks(parker(), canceller(), resumer())
+        assert p.value == "interrupted"
+        assert c.value is True and r.value is False
+
+    def test_interrupt_after_resume_returns_false(self):
+        slot = RefCell(None)
+
+        def parker():
+            return (yield from _publish_waiter(slot)())
+
+        def resumer():
+            w = yield from _wait_for_waiter(slot)()
+            yield Work(10_000)
+            return (yield from w.try_unpark())
+
+        def canceller():
+            w = yield from _wait_for_waiter(slot)()
+            yield Work(50_000)
+            return (yield from w.interrupt())
+
+        sched, (p, r, c) = run_tasks(parker(), resumer(), canceller())
+        assert p.value == "resumed"
+        assert r.value is True and c.value is False
+
+    def test_interrupt_cause_is_published(self):
+        slot = RefCell(None)
+
+        class Custom(Exception):
+            pass
+
+        def parker():
+            w = yield from make_waiter()
+            yield Write(slot, w)
+            try:
+                yield from w.park()
+            except Interrupted:
+                return type(w.interrupt_cause).__name__
+
+        def canceller():
+            w = yield from _wait_for_waiter(slot)()
+            yield Work(10_000)
+            return (yield from w.interrupt(cause=Custom()))
+
+        sched, (p, c) = run_tasks(parker(), canceller())
+        assert p.value == "Custom" and c.value is True
+
+
+class TestRaceExploration:
+    """Exhaustively explore the three-way unpark/interrupt/park races."""
+
+    def test_unpark_vs_park_all_interleavings(self):
+        def build(sched):
+            slot = RefCell(None)
+            res = {}
+
+            def parker():
+                w = yield from make_waiter()
+                yield Write(slot, w)
+                yield from w.park()
+                res["p"] = "resumed"
+
+            def waker():
+                w = yield from _wait_for_waiter(slot)()
+                res["w"] = yield from w.try_unpark()
+
+            sched.spawn(parker())
+            sched.spawn(waker())
+            return res
+
+        def check(res, sched):
+            assert res == {"p": "resumed", "w": True}
+
+        result = explore(build, check, max_schedules=100_000, preemption_bound=3)
+        assert result.exhausted
+
+    def test_unpark_vs_interrupt_exactly_one_wins(self):
+        outcomes = set()
+
+        def build(sched):
+            slot = RefCell(None)
+            res = {}
+
+            def parker():
+                w = yield from make_waiter()
+                yield Write(slot, w)
+                try:
+                    yield from w.park()
+                    res["p"] = "resumed"
+                except Interrupted:
+                    res["p"] = "interrupted"
+
+            def waker():
+                w = yield from _wait_for_waiter(slot)()
+                res["w"] = yield from w.try_unpark()
+
+            def canceller():
+                w = yield from _wait_for_waiter(slot)()
+                res["c"] = yield from w.interrupt()
+
+            sched.spawn(parker())
+            sched.spawn(waker())
+            sched.spawn(canceller())
+            return res
+
+        def check(res, sched):
+            # Exactly one of resume/interrupt took effect, and the parker
+            # observed the winner.
+            assert res["w"] != res["c"], res
+            expected = "resumed" if res["w"] else "interrupted"
+            assert res["p"] == expected, res
+            outcomes.add(res["p"])
+
+        result = explore(build, check, max_schedules=200_000, preemption_bound=2)
+        assert result.exhausted
+        assert outcomes == {"resumed", "interrupted"}  # both winners occur
