@@ -35,6 +35,7 @@ Example::
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any, AsyncIterator, Generator, Optional
 
 from ..concurrent.ops import (
@@ -48,6 +49,13 @@ from ..concurrent.ops import (
 from ..core.channel import make_channel
 from ..core.segments import DEFAULT_SEGMENT_SIZE
 from ..errors import ChannelClosedForReceive, Interrupted, RetryWakeup, SchedulerError
+from ..obs.events import EventBus, emit_op_events
+
+
+def _now_us() -> int:
+    """Event timestamp for real-time drivers: monotonic microseconds."""
+
+    return time.monotonic_ns() // 1000
 
 __all__ = ["AsyncChannel", "drive_async", "drive_sync"]
 
@@ -104,7 +112,11 @@ def _apply_simple(op: Op, handle: _AioTaskHandle) -> Any:
     return None
 
 
-def drive_sync(gen: Generator[Any, Any, Any], handle: Optional[_AioTaskHandle] = None) -> Any:
+def drive_sync(
+    gen: Generator[Any, Any, Any],
+    handle: Optional[_AioTaskHandle] = None,
+    bus: Optional[EventBus] = None,
+) -> Any:
     """Drive an operation that must not suspend (try-ops, close, interrupt)."""
 
     handle = handle or _AioTaskHandle("sync-op")
@@ -117,6 +129,8 @@ def drive_sync(gen: Generator[Any, Any, Any], handle: Optional[_AioTaskHandle] =
         if type(op) is ParkTask:
             raise SchedulerError("drive_sync used on a suspending operation")
         to_send = _apply_simple(op, handle)
+        if bus is not None and bus.active:
+            emit_op_events(bus, handle.name, op, result=to_send, clock=_now_us())
 
 
 def _unwind_with(gen: Generator[Any, Any, Any], exc: BaseException, handle: "_AioTaskHandle") -> None:
@@ -141,10 +155,21 @@ def _unwind_with(gen: Generator[Any, Any, Any], exc: BaseException, handle: "_Ai
         pass
 
 
-async def drive_async(gen: Generator[Any, Any, Any], name: str = "aio-op") -> Any:
-    """Drive a (possibly suspending) channel operation on the event loop."""
+async def drive_async(
+    gen: Generator[Any, Any, Any],
+    name: str = "aio-op",
+    bus: Optional[EventBus] = None,
+) -> Any:
+    """Drive a (possibly suspending) channel operation on the event loop.
+
+    With ``bus`` given, every executed op is translated into structured
+    events through the shared :func:`~repro.obs.events.emit_op_events`
+    path — the same events the simulator emits, timestamped in
+    monotonic microseconds.
+    """
 
     handle = _AioTaskHandle(name)
+    observing = bus is not None and bus.active
     to_send: Any = None
     to_throw: Optional[BaseException] = None
     while True:
@@ -160,6 +185,8 @@ async def drive_async(gen: Generator[Any, Any, Any], name: str = "aio-op") -> An
             return stop.value
         if type(op) is not ParkTask:
             to_send = _apply_simple(op, handle)
+            if observing:
+                emit_op_events(bus, name, op, result=to_send, clock=_now_us())
             continue
         # Park: honour permits, then await the suspension future.
         if handle.interrupt_pending:
@@ -175,6 +202,8 @@ async def drive_async(gen: Generator[Any, Any, Any], name: str = "aio-op") -> An
             continue
         waiter = op.waiter  # type: ignore[attr-defined]
         handle.future = asyncio.get_running_loop().create_future()
+        if observing:
+            emit_op_events(bus, name, op, clock=_now_us(), parked=True)
         try:
             await handle.future
             handle.future = None
@@ -222,10 +251,13 @@ class AsyncChannel:
         seg_size: int = DEFAULT_SEGMENT_SIZE,
         name: str = "async-chan",
         overflow: str = "suspend",
+        bus: Optional[EventBus] = None,
     ):
         """``overflow`` selects the kotlinx buffer-overflow policy:
         ``"suspend"`` (default), ``"drop_oldest"``, or ``"conflate"``
-        (which forces capacity 1)."""
+        (which forces capacity 1).  ``bus`` opts this channel into the
+        :mod:`repro.obs` event stream (pay-for-use: ``None`` emits
+        nothing)."""
 
         if overflow == "suspend":
             self._ch = make_channel(capacity, seg_size=seg_size, name=name)
@@ -240,6 +272,7 @@ class AsyncChannel:
         else:
             raise ValueError(f"unknown overflow policy: {overflow!r}")
         self.name = name
+        self.bus = bus
 
     @property
     def capacity(self) -> int:
@@ -256,37 +289,37 @@ class AsyncChannel:
     async def send(self, element: Any) -> None:
         """Send, suspending while the channel is full (or unpaired)."""
 
-        await drive_async(self._ch.send(element), f"{self.name}.send")
+        await drive_async(self._ch.send(element), f"{self.name}.send", self.bus)
 
     async def receive(self) -> Any:
         """Receive, suspending while the channel is empty."""
 
-        return await drive_async(self._ch.receive(), f"{self.name}.receive")
+        return await drive_async(self._ch.receive(), f"{self.name}.receive", self.bus)
 
     async def receive_catching(self) -> tuple[bool, Any]:
         """Like :meth:`receive`, but ``(False, None)`` once closed."""
 
-        return await drive_async(self._ch.receive_catching(), f"{self.name}.receive")
+        return await drive_async(self._ch.receive_catching(), f"{self.name}.receive", self.bus)
 
     def try_send(self, element: Any) -> bool:
         """Non-blocking send (synchronous: it never suspends)."""
 
-        return drive_sync(self._ch.try_send(element))
+        return drive_sync(self._ch.try_send(element), bus=self.bus)
 
     def try_receive(self) -> tuple[bool, Any]:
         """Non-blocking receive (synchronous: it never suspends)."""
 
-        return drive_sync(self._ch.try_receive())
+        return drive_sync(self._ch.try_receive(), bus=self.bus)
 
     def close(self) -> bool:
         """Close for sending; wakes waiting receivers.  Synchronous."""
 
-        return drive_sync(self._ch.close())
+        return drive_sync(self._ch.close(), bus=self.bus)
 
     def cancel(self) -> bool:
         """Close and discard everything.  Synchronous."""
 
-        return drive_sync(self._ch.cancel())
+        return drive_sync(self._ch.cancel(), bus=self.bus)
 
     # ------------------------------------------------------------------
 

@@ -8,28 +8,42 @@ Regenerates the paper's evaluation artefacts without pytest::
     python -m repro.bench memory
     python -m repro.bench ablate-segsize
     python -m repro.bench ablate-capacity
+    python -m repro.bench profile --impl faa-channel --threads 64
     python -m repro.bench all
 
 Tables print to stdout; `--elements` trades time for fidelity (the paper
 transferred 10^6 elements; the shape is stable from ~10^4).
+
+``--json PATH`` additionally dumps every produced row as machine-readable
+JSON (a list of objects, each tagged with its ``command``), so the perf
+trajectory (``BENCH_*.json``) regenerates from the CLI instead of
+hand-scraping the ASCII tables.
+
+``profile`` attaches the :mod:`repro.obs` contention profiler and prints
+the per-implementation breakdown of simulated cycles into the three §5
+regimes plus the ranked hot cache lines/code sites; ``--trace out.json``
+also writes a Chrome Trace Event Format timeline (open in Perfetto or
+``chrome://tracing``) for the first profiled implementation.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
-from .harness import DEFAULT_THREAD_COUNTS, run_producer_consumer, sweep
+from .harness import DEFAULT_THREAD_COUNTS, IMPLEMENTATIONS, run_producer_consumer, sweep
 from .memstats import measure_alloc_rate
-from .report import format_panel, speedup_at
+from .report import format_contention, format_panel, speedup_at
 from .stats import measure_poisoning
 
 RENDEZVOUS_IMPLS = ["faa-channel", "java-sync-queue", "koval-2019", "go-channel", "kotlin-legacy"]
 BUFFERED_IMPLS = ["faa-channel", "faa-channel-eb", "go-channel", "kotlin-legacy"]
 
 
-def cmd_fig5(args: argparse.Namespace) -> None:
-    impls = RENDEZVOUS_IMPLS if args.capacity == 0 else BUFFERED_IMPLS
+def cmd_fig5(args: argparse.Namespace) -> list[dict]:
+    impls = args.impl or (RENDEZVOUS_IMPLS if args.capacity == 0 else BUFFERED_IMPLS)
     results = sweep(
         impls,
         tuple(args.threads),
@@ -43,32 +57,44 @@ def cmd_fig5(args: argparse.Namespace) -> None:
     print(format_panel(results, f"Figure 5 — capacity {args.capacity}, {coroutines}, {args.elements} elems"))
     hi = max(args.threads)
     base = "faa-channel"
-    for other in impls:
-        if other != base:
-            print(f"  speedup over {other} at t={hi}: {speedup_at(results, base, other, hi):.2f}x")
+    if base in impls:
+        for other in impls:
+            if other != base:
+                print(f"  speedup over {other} at t={hi}: {speedup_at(results, base, other, hi):.2f}x")
+    return [r.to_dict() for r in results]
 
 
-def cmd_poisoning(args: argparse.Namespace) -> None:
+def cmd_poisoning(args: argparse.Namespace) -> list[dict]:
     print("Cell poisoning (BROKEN cells / reserved cells)")
+    rows = []
     for threads in args.threads:
         for work in (0, args.work):
             report = measure_poisoning(threads=threads, elements=args.elements, work_mean=work)
             print(report.row())
+            rows.append(dataclasses.asdict(report) | {"fraction": report.fraction})
+    return rows
 
 
-def cmd_memory(args: argparse.Namespace) -> None:
+def cmd_memory(args: argparse.Namespace) -> list[dict]:
     print("Allocation pressure (cells allocated per element)")
+    rows = []
     for threads, label in ((2, "low contention"), (64, "high contention")):
         for impl in ("faa-channel", "koval-2019", "java-sync-queue", "kotlin-legacy"):
-            print(f"[{label:16s}]", measure_alloc_rate(impl, 0, threads, args.elements).row())
+            report = measure_alloc_rate(impl, 0, threads, args.elements)
+            print(f"[{label:16s}]", report.row())
+            rows.append(dataclasses.asdict(report) | {"rate": report.rate, "regime": label})
     for impl in ("faa-channel", "go-channel", "kotlin-legacy"):
-        print(f"[{'buffered(64)':16s}]", measure_alloc_rate(impl, 64, 8, args.elements).row())
+        report = measure_alloc_rate(impl, 64, 8, args.elements)
+        print(f"[{'buffered(64)':16s}]", report.row())
+        rows.append(dataclasses.asdict(report) | {"rate": report.rate, "regime": "buffered(64)"})
+    return rows
 
 
-def cmd_ablate_segsize(args: argparse.Namespace) -> None:
+def cmd_ablate_segsize(args: argparse.Namespace) -> list[dict]:
     from repro.core import RendezvousChannel
 
     print("Segment-size ablation (rendezvous, t=16)")
+    rows = []
     for size in (1, 2, 4, 8, 16, 32, 64, 128):
         ch = RendezvousChannel(seg_size=size)
         res = run_producer_consumer(
@@ -76,13 +102,59 @@ def cmd_ablate_segsize(args: argparse.Namespace) -> None:
         )
         print(f"  K={size:<4d} thr={res.throughput:10.1f} elems/Mcycle  "
               f"segments={ch._list.segments_allocated}")
+        rows.append(res.to_dict() | {"seg_size": size, "segments": ch._list.segments_allocated})
+    return rows
 
 
-def cmd_ablate_capacity(args: argparse.Namespace) -> None:
+def cmd_ablate_capacity(args: argparse.Namespace) -> list[dict]:
     print("Buffer-capacity ablation (t=16)")
+    rows = []
     for cap in (1, 4, 16, 64, 256):
         res = run_producer_consumer("faa-channel", threads=16, capacity=cap, elements=args.elements)
         print(f"  C={cap:<4d} thr={res.throughput:10.1f} elems/Mcycle")
+        rows.append(res.to_dict())
+    return rows
+
+
+def cmd_profile(args: argparse.Namespace) -> list[dict]:
+    from repro.obs import ObsSession
+
+    impls = args.impl or (RENDEZVOUS_IMPLS if args.capacity == 0 else BUFFERED_IMPLS)
+    threads = max(args.threads)
+    rows = []
+    reports = []
+    sessions: dict[str, ObsSession] = {}
+    for i, impl in enumerate(impls):
+        session = ObsSession(label=impl, timeline=bool(args.trace) and i == 0)
+        res = run_producer_consumer(
+            impl,
+            threads,
+            capacity=args.capacity,
+            coroutines=args.coroutines,
+            elements=args.elements,
+            work_mean=args.work,
+            seed=args.seed,
+            profile=session,
+        )
+        sessions[impl] = session
+        report = session.contention_report()
+        reports.append(report)
+        rows.append(report.to_dict() | {"threads": threads, "throughput": res.throughput})
+    print(
+        format_contention(
+            reports,
+            f"Contention breakdown — capacity {args.capacity}, t={threads}, {args.elements} elems",
+        )
+    )
+    print()
+    for report in reports:
+        print(report.format(top=args.top))
+        print()
+    if args.trace:
+        first = impls[0]
+        count = sessions[first].export_timeline(args.trace)
+        print(f"wrote {count} trace events for {first} to {args.trace} (open in Perfetto)")
+    return rows
 
 
 COMMANDS = {
@@ -91,6 +163,7 @@ COMMANDS = {
     "memory": cmd_memory,
     "ablate-segsize": cmd_ablate_segsize,
     "ablate-capacity": cmd_ablate_capacity,
+    "profile": cmd_profile,
 }
 
 
@@ -112,13 +185,51 @@ def main(argv: list[str] | None = None) -> int:
         default=list(DEFAULT_THREAD_COUNTS),
         help="thread counts to sweep",
     )
+    parser.add_argument(
+        "--impl",
+        nargs="+",
+        default=None,
+        choices=sorted(IMPLEMENTATIONS),
+        help="implementations to run (default: the command's standard set)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="dump machine-readable result rows to PATH",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="profile: write a Chrome Trace Event Format timeline to PATH",
+    )
+    parser.add_argument(
+        "--top", type=int, default=5, help="profile: hot lines/sites to print per impl"
+    )
     args = parser.parse_args(argv)
+    # Fail fast on unwritable output paths before minutes of simulation.
+    trace_used = args.trace if args.command in ("profile", "all") else None
+    for path in (args.json, trace_used):
+        if path:
+            try:
+                with open(path, "a", encoding="utf-8"):
+                    pass
+            except OSError as exc:
+                parser.error(f"cannot write to {path}: {exc}")
+    all_rows: list[dict] = []
     if args.command == "all":
         for name, fn in COMMANDS.items():
             print(f"\n=== {name} ===")
-            fn(args)
+            rows = fn(args)
+            all_rows.extend({"command": name} | row for row in rows)
     else:
-        COMMANDS[args.command](args)
+        rows = COMMANDS[args.command](args)
+        all_rows.extend({"command": args.command} | row for row in rows)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(all_rows, fh, indent=1)
+        print(f"wrote {len(all_rows)} result rows to {args.json}")
     return 0
 
 

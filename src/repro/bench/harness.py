@@ -16,7 +16,7 @@ their originals.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Optional
 
 from ..baselines import (
@@ -101,6 +101,11 @@ class BenchResult:
             f"thr={self.throughput:10.2f} elems/Mcycle"
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """Machine-readable row for ``--json`` output (BENCH_*.json)."""
+
+        return asdict(self)
+
 
 def run_producer_consumer(
     impl: str,
@@ -112,12 +117,19 @@ def run_producer_consumer(
     seed: int = 0,
     cost_params: Optional[CostParams] = None,
     channel: Any = None,
+    profile: Any = None,
 ) -> BenchResult:
     """Run one benchmark configuration and return its data point.
 
     ``coroutines`` defaults to ``threads`` (the "#coroutines = #threads"
     panels); pass 1000 for the fixed-coroutines panels.  Producer and
     consumer counts are equal (``coroutines`` is rounded up to even).
+
+    ``profile`` threads an :class:`~repro.obs.session.ObsSession`
+    through the run: its hooks (event bus, contention profiler, timeline
+    recorder) are attached to the scheduler before the run and sealed
+    after it.  ``None`` (the default) attaches nothing — the unobserved
+    path is unchanged.
     """
 
     elements = elements if elements is not None else default_elements()
@@ -133,6 +145,8 @@ def run_producer_consumer(
         cost_model=CostModel(cost_params),
         processors=threads,
     )
+    if profile is not None:
+        profile.attach(sched)
     per_producer = split_evenly(elements, pairs)
     per_consumer = split_evenly(elements, pairs)
     for p in range(pairs):
@@ -142,6 +156,8 @@ def run_producer_consumer(
         work = GeometricWork(work_mean, seed=seed * 7919 + c * 2 + 2)
         sched.spawn(consumer_task(chan, per_consumer[c], work), f"cons-{c}")
     sched.run()
+    if profile is not None:
+        profile.finish(sched)
 
     makespan = sched.makespan
     throughput = elements / makespan * 1_000_000 if makespan else float("inf")

@@ -14,7 +14,7 @@ from typing import Iterable
 
 from .harness import BenchResult
 
-__all__ = ["format_panel", "format_series", "speedup_at"]
+__all__ = ["format_panel", "format_series", "speedup_at", "format_contention"]
 
 
 def format_panel(results: Iterable[BenchResult], title: str) -> str:
@@ -44,6 +44,28 @@ def format_series(results: Iterable[BenchResult], key: str, title: str) -> str:
     lines = [title, "-" * len(title)]
     for r in results:
         lines.append(f"{getattr(r, key)!s:>12}  {r.throughput:10.1f} elems/Mcycle")
+    return "\n".join(lines)
+
+
+def format_contention(reports: Iterable, title: str) -> str:
+    """Per-implementation contention breakdown table (§5 regimes).
+
+    ``reports`` are :class:`~repro.obs.profiler.ContentionReport`
+    objects, one per implementation; columns are each regime's share of
+    that implementation's attributed simulated cycles.
+    """
+
+    from ..obs.profiler import REGIMES
+
+    lines = [title, "-" * len(title)]
+    header = f"{'impl':18s}" + "".join(f"{r:>14s}" for r in REGIMES) + f"{'cycles':>14s}"
+    lines.append(header)
+    for report in reports:
+        lines.append(report.summary_row())
+    lines.append(
+        "(shares of attributed simulated cycles; serialization = line-ownership "
+        "stalls, remote-miss = coherence transfers, failed-CAS = wasted attempts)"
+    )
     return "\n".join(lines)
 
 

@@ -1,0 +1,76 @@
+"""``repro.obs`` — the unified observability layer.
+
+One subsystem subsumes the previously fragmented hooks (``sim/trace.py``
+ring buffers, ``core/stats.py`` counters, ``core/debug.py`` dumps) behind
+four cooperating pieces:
+
+* :mod:`repro.obs.events` — a typed **event bus**.  Drivers translate
+  executed ops into structured events (op executed, park/unpark, CAS
+  failure, segment alloc, cell poisoned, channel close/cancel) through a
+  single shared translation path, so the simulator, the asyncio adapter
+  and the OS-thread adapter are observable with the same subscribers.
+* :mod:`repro.obs.metrics` — a **metrics registry** of labeled counters,
+  gauges and histograms (with p50/p99 extraction).
+* :mod:`repro.obs.profiler` — a **contention profiler** attributing
+  simulated cycles per cache line and per code site to the three §5
+  regimes: serialization stalls, remote-miss transfers, failed-CAS waste.
+* :mod:`repro.obs.timeline` — a **timeline exporter** writing Chrome
+  Trace Event Format JSON loadable in Perfetto / ``chrome://tracing``.
+
+:class:`~repro.obs.session.ObsSession` bundles them; the bench harness
+threads a session through a run via ``run_producer_consumer(...,
+profile=session)`` and ``python -m repro.bench profile`` drives it from
+the command line.
+
+Everything here is **pay-for-use**: with no session attached, the
+scheduler's hook list stays empty and the cost model's audit tap stays
+``None``, so benchmark runs are unaffected (<5% — see
+``tests/test_obs_profiler.py``).
+"""
+
+from .events import (
+    CasFailureEvent,
+    CellPoisonEvent,
+    ChannelCloseEvent,
+    Event,
+    EventBus,
+    LabelEvent,
+    OpEvent,
+    ParkEvent,
+    ResumeEvent,
+    SchedulerObserver,
+    SegmentAllocEvent,
+    UnparkEvent,
+    emit_op_events,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import REGIMES, ContentionProfiler, ContentionReport
+from .session import ObsSession
+from .timeline import REQUIRED_KEYS, TimelineRecorder, validate_trace_events
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "OpEvent",
+    "ParkEvent",
+    "ResumeEvent",
+    "UnparkEvent",
+    "CasFailureEvent",
+    "CellPoisonEvent",
+    "SegmentAllocEvent",
+    "ChannelCloseEvent",
+    "LabelEvent",
+    "SchedulerObserver",
+    "emit_op_events",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ContentionProfiler",
+    "ContentionReport",
+    "REGIMES",
+    "TimelineRecorder",
+    "REQUIRED_KEYS",
+    "validate_trace_events",
+    "ObsSession",
+]

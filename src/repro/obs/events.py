@@ -1,0 +1,325 @@
+"""Typed structured events and the event bus.
+
+The bus is deliberately tiny: subscribers register for an event type (or
+for all events) and :meth:`EventBus.emit` dispatches in **subscription
+order** — deterministic, so tests can assert on delivery sequences.
+
+The **disabled fast path** is the whole design: an :class:`EventBus`
+with no subscribers reports ``active == False`` and every emission site
+checks that flag before *constructing* an event, so an unobserved run
+allocates nothing and pays one attribute read per op.  Hooks are only
+attached to a scheduler when a session is threaded through a run, so
+the default benchmark path is byte-for-byte the pre-observability one.
+
+:func:`emit_op_events` is the single op→event translation shared by all
+three drivers (simulator, asyncio adapter, OS-thread adapter): given one
+executed op descriptor plus its result, it derives the structured events
+the op implies — a CAS that lost its race, a cell poisoned with
+``BROKEN``, a segment allocation, the close/cancel bit being planted in
+a channel counter.  Having exactly one translation path is what makes
+"the same algorithm, observed anywhere" true for events the way
+:func:`~repro.concurrent.ops.apply_memory_op` makes it true for memory.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..concurrent.ops import (
+    Alloc,
+    Cas,
+    Label,
+    Op,
+    ParkTask,
+    Spin,
+    UnparkTask,
+    Write,
+)
+from ..core.closing import CLOSE_BIT
+from ..core.states import BROKEN
+
+__all__ = [
+    "Event",
+    "OpEvent",
+    "ParkEvent",
+    "ResumeEvent",
+    "UnparkEvent",
+    "CasFailureEvent",
+    "CellPoisonEvent",
+    "SegmentAllocEvent",
+    "ChannelCloseEvent",
+    "LabelEvent",
+    "EventBus",
+    "SchedulerObserver",
+    "emit_op_events",
+]
+
+
+class Event:
+    """Base class for one structured observation.
+
+    ``source`` names the virtual thread (or adapter operation) the event
+    originated from; ``clock`` is its timestamp — simulated cycles under
+    the simulator, monotonic microseconds under the real-time adapters.
+    """
+
+    __slots__ = ("source", "clock")
+
+    def __init__(self, source: str, clock: int):
+        self.source = source
+        self.clock = clock
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}"
+            for cls in type(self).__mro__
+            for name in getattr(cls, "__slots__", ())
+        )
+        return f"{type(self).__name__}({fields})"
+
+
+class OpEvent(Event):
+    """One op executed: the raw descriptor plus the value it resumed with."""
+
+    __slots__ = ("op", "result", "tid")
+
+    def __init__(self, source: str, clock: int, op: Op, result: Any = None, tid: int = 0):
+        super().__init__(source, clock)
+        self.op = op
+        self.result = result
+        self.tid = tid
+
+
+class ParkEvent(Event):
+    """A task actually suspended (its park was not elided by a permit)."""
+
+    __slots__ = ("tid",)
+
+    def __init__(self, source: str, clock: int, tid: int = 0):
+        super().__init__(source, clock)
+        self.tid = tid
+
+
+class ResumeEvent(Event):
+    """A previously parked task executed its first op after waking.
+
+    ``waited`` is the suspension latency: park to first post-wake op,
+    including the driver's wake-up latency — the quantity the paper's
+    suspension-rich steady state (§5) is about.
+    """
+
+    __slots__ = ("tid", "waited")
+
+    def __init__(self, source: str, clock: int, tid: int = 0, waited: int = 0):
+        super().__init__(source, clock)
+        self.tid = tid
+        self.waited = waited
+
+
+class UnparkEvent(Event):
+    """A successful ``tryUnpark()`` (or a permit deposit) on ``target``."""
+
+    __slots__ = ("target", "interrupt", "retry")
+
+    def __init__(self, source: str, clock: int, target: str, interrupt: bool, retry: bool):
+        super().__init__(source, clock)
+        self.target = target
+        self.interrupt = interrupt
+        self.retry = retry
+
+
+class CasFailureEvent(Event):
+    """A CAS lost its race — the wasted-line-transfer currency of §5."""
+
+    __slots__ = ("cell",)
+
+    def __init__(self, source: str, clock: int, cell: Any):
+        super().__init__(source, clock)
+        self.cell = cell
+
+
+class CellPoisonEvent(Event):
+    """A cell moved to ``BROKEN`` (the red path of Figure 1)."""
+
+    __slots__ = ("cell",)
+
+    def __init__(self, source: str, clock: int, cell: Any):
+        super().__init__(source, clock)
+        self.cell = cell
+
+
+class SegmentAllocEvent(Event):
+    """An :class:`~repro.concurrent.ops.Alloc` — segment/node/descriptor."""
+
+    __slots__ = ("tag", "units")
+
+    def __init__(self, source: str, clock: int, tag: str, units: int):
+        super().__init__(source, clock)
+        self.tag = tag
+        self.units = units
+
+
+class ChannelCloseEvent(Event):
+    """The close (or cancel) flag was planted in a channel counter.
+
+    Detected structurally: a successful CAS that sets ``CLOSE_BIT`` in an
+    integer cell.  ``cancel`` is ``True`` when the bit landed in the
+    receivers counter (``*.R``), i.e. the ``cancel()`` protocol.
+    """
+
+    __slots__ = ("cell", "cancel")
+
+    def __init__(self, source: str, clock: int, cell: Any, cancel: bool):
+        super().__init__(source, clock)
+        self.cell = cell
+        self.cancel = cancel
+
+
+class LabelEvent(Event):
+    """A :class:`~repro.concurrent.ops.Label` trace marker."""
+
+    __slots__ = ("name", "payload")
+
+    def __init__(self, source: str, clock: int, name: str, payload: Any):
+        super().__init__(source, clock)
+        self.name = name
+        self.payload = payload
+
+
+class EventBus:
+    """Dispatches events to subscribers in subscription order."""
+
+    __slots__ = ("_subs",)
+
+    def __init__(self) -> None:
+        #: Ordered ``(event_type_or_None, callback)`` pairs.
+        self._subs: list[tuple[Optional[type], Callable[[Event], None]]] = []
+
+    @property
+    def active(self) -> bool:
+        """``True`` iff anyone is listening — the emission-site guard."""
+
+        return bool(self._subs)
+
+    def subscribe(
+        self, event_type: Optional[type], fn: Callable[[Event], None]
+    ) -> Callable[[Event], None]:
+        """Register ``fn`` for ``event_type`` (``None`` = every event)."""
+
+        if event_type is not None and not (
+            isinstance(event_type, type) and issubclass(event_type, Event)
+        ):
+            raise TypeError(f"not an Event type: {event_type!r}")
+        self._subs.append((event_type, fn))
+        return fn
+
+    def unsubscribe(self, fn: Callable[[Event], None]) -> None:
+        """Remove every subscription of ``fn``."""
+
+        self._subs = [(et, f) for et, f in self._subs if f is not fn]
+
+    def emit(self, event: Event) -> None:
+        """Deliver ``event`` to matching subscribers, in subscription order."""
+
+        for event_type, fn in self._subs:
+            if event_type is None or isinstance(event, event_type):
+                fn(event)
+
+
+def _is_close_cas(op: Cas) -> bool:
+    """Does this CAS plant the close/cancel flag in a packed counter?"""
+
+    expected, update = op.expected, op.update
+    return (
+        type(update) is int
+        and type(expected) is int
+        and update != expected
+        and update == expected | CLOSE_BIT
+    )
+
+
+def emit_op_events(
+    bus: EventBus,
+    source: str,
+    op: Op,
+    *,
+    result: Any = None,
+    clock: int = 0,
+    tid: int = 0,
+    parked: bool = False,
+) -> None:
+    """Translate one executed op into structured events on ``bus``.
+
+    The shared op→event path of all drivers.  ``result`` is the value the
+    op resumed its generator with (the CAS outcome, the read value, …);
+    ``parked`` says whether a ``ParkTask`` actually suspended (as opposed
+    to consuming a pending unpark permit).
+
+    Callers should guard with ``bus.active`` — this function assumes
+    someone is listening and always constructs the :class:`OpEvent`.
+    """
+
+    bus.emit(OpEvent(source, clock, op, result, tid))
+    t = type(op)
+    if t is Cas:
+        if result is False:
+            bus.emit(CasFailureEvent(source, clock, op.cell))
+        elif result is True:
+            if op.update is BROKEN:
+                bus.emit(CellPoisonEvent(source, clock, op.cell))
+            elif _is_close_cas(op):
+                cancel = op.cell.name.endswith(".R")
+                bus.emit(ChannelCloseEvent(source, clock, op.cell, cancel))
+    elif t is Write:
+        if op.value is BROKEN:
+            bus.emit(CellPoisonEvent(source, clock, op.cell))
+    elif t is Alloc:
+        bus.emit(SegmentAllocEvent(source, clock, op.tag, op.units))
+    elif t is ParkTask:
+        if parked:
+            bus.emit(ParkEvent(source, clock, tid))
+    elif t is UnparkTask:
+        target = getattr(op.task, "name", None) or "?"
+        bus.emit(UnparkEvent(source, clock, target, op.interrupt, op.retry))
+    elif t is Label:
+        bus.emit(LabelEvent(source, clock, op.name, op.payload))
+    # Read/Faa/GetAndSet/Yield/Spin/Work/CurrentTask: OpEvent only.
+
+
+class SchedulerObserver:
+    """Scheduler hook feeding an :class:`EventBus` from executed ops.
+
+    Attach with ``sched.add_hook(SchedulerObserver(bus))`` (or let
+    :class:`~repro.obs.session.ObsSession` do it).  Beyond the shared
+    translation it tracks park→resume pairs to emit
+    :class:`ResumeEvent` with the measured suspension latency.
+    """
+
+    __slots__ = ("bus", "_parked")
+
+    def __init__(self, bus: EventBus):
+        self.bus = bus
+        #: tid -> clock at the moment the task actually parked.
+        self._parked: dict[int, int] = {}
+
+    def __call__(self, sched: Any, task: Any, op: Op) -> None:
+        bus = self.bus
+        if not bus.active:
+            return
+        tid = task.tid
+        if self._parked:
+            start = self._parked.pop(tid, None)
+            if start is not None:
+                bus.emit(ResumeEvent(task.name, task.clock, tid, task.clock - start))
+        parked = task.state.name == "PARKED"
+        emit_op_events(
+            bus,
+            task.name,
+            op,
+            result=task.pending_value,
+            clock=task.clock,
+            tid=tid,
+            parked=parked,
+        )
+        if parked:
+            self._parked[tid] = task.clock

@@ -1,0 +1,190 @@
+"""Labeled counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of metric *series*: a
+series is a metric name plus a set of ``key=value`` labels (per
+implementation, per channel, per code site, …).  ``counter(name,
+**labels)`` is get-or-create, so emission sites never need to
+pre-register anything::
+
+    reg = MetricsRegistry()
+    reg.counter("ops_total", impl="faa-channel", kind="rmw").inc()
+    reg.histogram("park_wait_cycles", impl="faa-channel").observe(1234)
+    reg.histogram("park_wait_cycles", impl="faa-channel").p99
+
+Histograms keep exact samples (benchmark runs observe at most a few
+hundred thousand values) and extract percentiles by nearest-rank on a
+cached sort, so ``p50``/``p99`` are exact, not bucket upper bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Exact-sample distribution with nearest-rank percentiles."""
+
+    __slots__ = ("_values", "_sorted")
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        values = self._values
+        if self._sorted and values and value < values[-1]:
+            self._sorted = False
+        values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._values) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile; ``p`` in (0, 100]."""
+
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        values = self._values
+        if not values:
+            return 0.0
+        if not self._sorted:
+            values.sort()
+            self._sorted = True
+        rank = max(1, math.ceil(len(values) * p / 100))
+        return values[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p99": self.p99,
+            "max": max(self._values) if self._values else 0.0,
+        }
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
+    return tuple(sorted(labels.items()))
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labeled metric series."""
+
+    __slots__ = ("_metrics",)
+
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def __init__(self) -> None:
+        #: (name, labels) -> (kind, metric)
+        self._metrics: dict[tuple[str, tuple[tuple[str, Any], ...]], tuple[str, Any]] = {}
+
+    def _get(self, kind: str, name: str, labels: dict[str, Any]) -> Any:
+        key = (name, _label_key(labels))
+        entry = self._metrics.get(key)
+        if entry is None:
+            metric = self._KINDS[kind]()
+            self._metrics[key] = (kind, metric)
+            return metric
+        found_kind, metric = entry
+        if found_kind != kind:
+            raise TypeError(f"{name}{labels!r} already registered as a {found_kind}")
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    def series(self, name: str) -> list[tuple[dict[str, Any], Any]]:
+        """All (labels, metric) series registered under ``name``."""
+
+        return [
+            (dict(label_key), metric)
+            for (metric_name, label_key), (_, metric) in self._metrics.items()
+            if metric_name == name
+        ]
+
+    def names(self) -> list[str]:
+        return sorted({name for name, _ in self._metrics})
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flat ``name{k=v,...} -> value`` mapping for reports/JSON."""
+
+        out: dict[str, Any] = {}
+        for (name, label_key), (kind, metric) in sorted(self._metrics.items()):
+            labels = ",".join(f"{k}={v}" for k, v in label_key)
+            full = f"{name}{{{labels}}}" if labels else name
+            out[full] = metric.snapshot() if kind == "histogram" else metric.value
+        return out
+
+    def format(self, names: Optional[Iterable[str]] = None) -> str:
+        """Human-readable dump (sorted, one series per line)."""
+
+        wanted = set(names) if names is not None else None
+        lines = []
+        for full, value in self.snapshot().items():
+            if wanted is not None and full.split("{")[0] not in wanted:
+                continue
+            if isinstance(value, dict):
+                rendered = " ".join(f"{k}={v:g}" for k, v in value.items())
+            else:
+                rendered = f"{value:g}"
+            lines.append(f"{full:60s} {rendered}")
+        return "\n".join(lines)

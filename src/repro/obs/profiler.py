@@ -1,0 +1,234 @@
+"""Contention profiler: where do the simulated cycles go?
+
+The cost model (:mod:`repro.sim.costmodel`) already *computes* the three
+§5 contention regimes per memory op — it just never told anyone.  With a
+profiler attached, every charge is decomposed through an
+:class:`~repro.sim.costmodel.OpCostAudit` tap and attributed here:
+
+* **serialization** — cycles stalled waiting for a cache line's previous
+  exclusive owner (how coarse locks lose: the whole critical section is
+  one long stall chain);
+* **remote_miss** — cycles of coherence transfers themselves (how *any*
+  shared counter pays, bounded per element for FAA designs);
+* **failed_cas** — the *entire* cost of CAS attempts that lost their
+  race, stall and transfer included (how CAS-retry designs waste line
+  transfers under contention — a failed CAS still acquires the line
+  exclusively);
+* **local** — the intrinsic cost of ops that did useful work.
+
+Attribution is kept per **cache line** (cell names, normalized so all
+segments/indices of one field family aggregate: ``chan.seg*.state[*]``)
+and per **code site** (the ``file:line`` of the innermost generator
+``yield`` that paid the cycles), so the report ranks the *hot lines* of
+an algorithm — the FAA-vs-CAS-retry-vs-lock gap of Figure 5 becomes
+directly inspectable instead of inferred from end-to-end throughput.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..concurrent.ops import Cas, Op
+from ..sim.costmodel import OpCostAudit
+
+__all__ = ["REGIMES", "ContentionProfiler", "ContentionReport"]
+
+#: Attribution buckets, in report order.
+REGIMES = ("serialization", "remote_miss", "failed_cas", "local")
+
+_SEG_RE = re.compile(r"seg(?:ment)?\d+")
+_IDX_RE = re.compile(r"\[\d+\]")
+
+
+def _normalize_cell(name: str, loc_id: int) -> str:
+    """Collapse per-segment/per-index cell names into one field family."""
+
+    if not name:
+        return f"cell#{loc_id}"
+    name = _SEG_RE.sub("seg*", name)
+    return _IDX_RE.sub("[*]", name)
+
+
+def _code_site(task: Any) -> str:
+    """``file:line`` of the innermost suspended ``yield`` of ``task``.
+
+    Walks the ``yield from`` delegation chain so the site names the
+    algorithm line that issued the op, not the benchmark driver loop.
+    """
+
+    gen = task.gen
+    for _ in range(16):
+        sub = getattr(gen, "gi_yieldfrom", None)
+        if sub is None or not hasattr(sub, "gi_frame"):
+            break
+        gen = sub
+    frame = getattr(gen, "gi_frame", None)
+    if frame is None:
+        return "<finished>"
+    return f"{os.path.basename(frame.f_code.co_filename)}:{frame.f_lineno}"
+
+
+class _Bucket:
+    """Cycles by regime for one aggregation key."""
+
+    __slots__ = ("serialization", "remote_miss", "failed_cas", "local", "ops")
+
+    def __init__(self) -> None:
+        self.serialization = 0
+        self.remote_miss = 0
+        self.failed_cas = 0
+        self.local = 0
+        self.ops = 0
+
+    @property
+    def contended(self) -> int:
+        return self.serialization + self.remote_miss + self.failed_cas
+
+    @property
+    def total(self) -> int:
+        return self.contended + self.local
+
+    def as_dict(self) -> dict[str, int]:
+        return {r: getattr(self, r) for r in REGIMES} | {"ops": self.ops}
+
+
+class ContentionProfiler:
+    """Scheduler hook attributing audited op costs to contention regimes.
+
+    Attach both sides — the audit tap on the cost model and the hook on
+    the scheduler::
+
+        profiler = ContentionProfiler()
+        profiler.attach(sched)          # or ObsSession does this
+        sched.run()
+        print(profiler.report().format())
+    """
+
+    __slots__ = ("audit", "totals", "by_site", "by_line", "_enabled")
+
+    def __init__(self) -> None:
+        self.audit = OpCostAudit()
+        self.totals = _Bucket()
+        self.by_site: dict[str, _Bucket] = {}
+        self.by_line: dict[str, _Bucket] = {}
+        self._enabled = False
+
+    def attach(self, sched: Any) -> "ContentionProfiler":
+        """Install the audit tap and the per-op hook on ``sched``."""
+
+        cost = getattr(sched, "cost", None)
+        if hasattr(cost, "audit"):
+            cost.audit = self.audit
+            self._enabled = True
+        sched.add_hook(self)
+        return self
+
+    def __call__(self, sched: Any, task: Any, op: Op) -> None:
+        a = self.audit
+        cell = a.cell
+        if cell is None:
+            return  # no shared-memory effect: nothing to attribute
+        site = _code_site(task)
+        line = _normalize_cell(cell.name, cell.loc_id)
+        failed = type(op) is Cas and task.pending_value is False
+        for bucket in (
+            self.totals,
+            self.by_site.setdefault(site, _Bucket()),
+            self.by_line.setdefault(line, _Bucket()),
+        ):
+            bucket.ops += 1
+            if failed:
+                # A lost CAS still stalled for and acquired the line —
+                # every one of its cycles is waste.
+                bucket.failed_cas += a.stall + a.miss + a.base
+            else:
+                bucket.serialization += a.stall
+                bucket.remote_miss += a.miss
+                bucket.local += a.base
+
+    def report(self, label: str = "") -> "ContentionReport":
+        return ContentionReport(
+            label=label,
+            enabled=self._enabled,
+            totals=self.totals.as_dict(),
+            by_site={k: b.as_dict() for k, b in self.by_site.items()},
+            by_line={k: b.as_dict() for k, b in self.by_line.items()},
+        )
+
+
+def _ranked(table: dict[str, dict[str, int]], n: int) -> list[tuple[str, dict[str, int]]]:
+    def contended(entry: dict[str, int]) -> int:
+        return entry["serialization"] + entry["remote_miss"] + entry["failed_cas"]
+
+    return sorted(table.items(), key=lambda kv: contended(kv[1]), reverse=True)[:n]
+
+
+@dataclass
+class ContentionReport:
+    """Per-regime cycle attribution for one run."""
+
+    label: str
+    enabled: bool
+    totals: dict[str, int]
+    by_site: dict[str, dict[str, int]] = field(default_factory=dict)
+    by_line: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.totals[r] for r in REGIMES)
+
+    def share(self, regime: str) -> float:
+        """This regime's fraction of all attributed cycles."""
+
+        total = self.total_cycles
+        return self.totals[regime] / total if total else 0.0
+
+    def hot_sites(self, n: int = 10) -> list[tuple[str, dict[str, int]]]:
+        """Code sites ranked by contended (non-local) cycles."""
+
+        return _ranked(self.by_site, n)
+
+    def hot_lines(self, n: int = 10) -> list[tuple[str, dict[str, int]]]:
+        """Cache-line families ranked by contended cycles."""
+
+        return _ranked(self.by_line, n)
+
+    def summary_row(self) -> str:
+        shares = "".join(f"{self.share(r) * 100:>13.1f}%" for r in REGIMES)
+        return f"{self.label:18s}{shares}{self.total_cycles:>14d}"
+
+    def format(self, top: int = 8) -> str:
+        """Full report: regime shares plus the ranked hot lines/sites."""
+
+        title = f"Contention profile — {self.label or 'run'}"
+        lines = [title, "-" * len(title)]
+        if not self.enabled:
+            lines.append("(cost audit unavailable: not a CostModel run; counts only)")
+        total = self.total_cycles
+        for regime in REGIMES:
+            cycles = self.totals[regime]
+            lines.append(f"  {regime:14s} {cycles:>14d} cycles  {self.share(regime) * 100:6.1f}%")
+        lines.append(f"  {'attributed':14s} {total:>14d} cycles over {self.totals['ops']} memory ops")
+        for header, table in (("hot cache lines", self.by_line), ("hot code sites", self.by_site)):
+            lines.append(f"{header} (by contended cycles):")
+            for key, entry in _ranked(table, top):
+                contended = entry["serialization"] + entry["remote_miss"] + entry["failed_cas"]
+                lines.append(
+                    f"  {key:44s} stall={entry['serialization']:<10d} "
+                    f"miss={entry['remote_miss']:<10d} failed-cas={entry['failed_cas']:<10d} "
+                    f"({contended * 100 // total if total else 0}% of attributed)"
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "enabled": self.enabled,
+            "totals": dict(self.totals),
+            "shares": {r: self.share(r) for r in REGIMES},
+            "by_line": dict(self.by_line),
+            "by_site": dict(self.by_site),
+        }

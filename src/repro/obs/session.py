@@ -1,0 +1,159 @@
+"""One observability session: bus + metrics + profiler + timeline.
+
+An :class:`ObsSession` is the object the bench harness threads through a
+run (``run_producer_consumer(..., profile=session)``).  It owns an
+:class:`~repro.obs.events.EventBus`, wires a standard set of metrics
+into a :class:`~repro.obs.metrics.MetricsRegistry`, and optionally
+carries a contention profiler and a timeline recorder.  ``attach()``
+installs whatever the session carries onto a scheduler; nothing is
+installed on schedulers the session never touches, preserving the
+pay-for-use contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .events import (
+    CasFailureEvent,
+    CellPoisonEvent,
+    ChannelCloseEvent,
+    Event,
+    EventBus,
+    OpEvent,
+    ParkEvent,
+    ResumeEvent,
+    SchedulerObserver,
+    SegmentAllocEvent,
+)
+from .metrics import MetricsRegistry
+from .profiler import ContentionProfiler
+from .timeline import TimelineRecorder
+
+__all__ = ["ObsSession", "MetricsBridge"]
+
+
+class MetricsBridge:
+    """Bus subscriber maintaining the standard metric series.
+
+    * ``ops_total{kind=...}`` — op mix;
+    * ``cas_failures_total`` — lost CAS races;
+    * ``parks_total`` / ``cell_poisons_total`` / ``segment_alloc_units``
+      / ``channel_closes_total`` — the structured events;
+    * ``park_wait_cycles`` — suspension-latency histogram (p50/p99).
+
+    Every series carries the session's labels (typically ``impl=...``).
+    """
+
+    __slots__ = ("registry", "labels")
+
+    def __init__(self, registry: MetricsRegistry, **labels: Any):
+        self.registry = registry
+        self.labels = labels
+
+    def install(self, bus: EventBus) -> "MetricsBridge":
+        bus.subscribe(OpEvent, self._on_op)
+        bus.subscribe(CasFailureEvent, self._on_cas_failure)
+        bus.subscribe(ParkEvent, self._on_park)
+        bus.subscribe(ResumeEvent, self._on_resume)
+        bus.subscribe(CellPoisonEvent, self._on_poison)
+        bus.subscribe(SegmentAllocEvent, self._on_alloc)
+        bus.subscribe(ChannelCloseEvent, self._on_close)
+        return self
+
+    def _on_op(self, e: Event) -> None:
+        self.registry.counter("ops_total", kind=e.op.kind, **self.labels).inc()
+
+    def _on_cas_failure(self, e: Event) -> None:
+        self.registry.counter("cas_failures_total", **self.labels).inc()
+
+    def _on_park(self, e: Event) -> None:
+        self.registry.counter("parks_total", **self.labels).inc()
+
+    def _on_resume(self, e: Event) -> None:
+        self.registry.histogram("park_wait_cycles", **self.labels).observe(e.waited)
+
+    def _on_poison(self, e: Event) -> None:
+        self.registry.counter("cell_poisons_total", **self.labels).inc()
+
+    def _on_alloc(self, e: Event) -> None:
+        self.registry.counter("segment_alloc_units", tag=e.tag, **self.labels).inc(e.units)
+
+    def _on_close(self, e: Event) -> None:
+        kind = "cancel" if e.cancel else "close"
+        self.registry.counter("channel_closes_total", kind=kind, **self.labels).inc()
+
+
+class ObsSession:
+    """Bundle of observability tools for one (or more) runs.
+
+    Parameters
+    ----------
+    label:
+        Value of the ``impl`` label on every metric series (and the
+        default report label) — typically the implementation name.
+    metrics / profiler / timeline:
+        Which tools to carry.  Metrics and the profiler are on by
+        default; the timeline is opt-in (it records one tuple per
+        span, which is noticeable on million-element runs).
+    """
+
+    def __init__(
+        self,
+        label: str = "",
+        *,
+        metrics: bool = True,
+        profiler: bool = True,
+        timeline: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.label = label
+        self.bus = EventBus()
+        self.metrics = registry if registry is not None else (MetricsRegistry() if metrics else None)
+        self.profiler = ContentionProfiler() if profiler else None
+        self.timeline = (
+            TimelineRecorder(audit=self.profiler.audit if self.profiler else None)
+            if timeline
+            else None
+        )
+        if self.metrics is not None:
+            labels = {"impl": label} if label else {}
+            MetricsBridge(self.metrics, **labels).install(self.bus)
+        self._attached: list[Any] = []
+
+    def attach(self, sched: Any) -> "ObsSession":
+        """Install the session's hooks (and the cost audit) on ``sched``."""
+
+        if self.bus.active:
+            sched.add_hook(SchedulerObserver(self.bus))
+        if self.profiler is not None:
+            self.profiler.attach(sched)
+        if self.timeline is not None:
+            sched.add_hook(self.timeline)
+        self._attached.append(sched)
+        return self
+
+    def finish(self, sched: Any) -> "ObsSession":
+        """Seal per-run state (close open timeline spans, set gauges)."""
+
+        if self.timeline is not None:
+            self.timeline.finish(sched)
+        if self.metrics is not None:
+            labels = {"impl": self.label} if self.label else {}
+            self.metrics.gauge("makespan_cycles", **labels).set(sched.makespan)
+            self.metrics.gauge("scheduler_steps", **labels).set(sched.total_steps)
+        return self
+
+    def contention_report(self):
+        """The profiler's report, labeled with the session label."""
+
+        if self.profiler is None:
+            raise ValueError("session was created with profiler=False")
+        return self.profiler.report(self.label)
+
+    def export_timeline(self, path: str) -> int:
+        """Write the Chrome trace JSON; returns the event count."""
+
+        if self.timeline is None:
+            raise ValueError("session was created with timeline=False")
+        return self.timeline.export(path, process_name=self.label or "simulated-multicore")

@@ -1,0 +1,181 @@
+"""Timeline export in Chrome Trace Event Format.
+
+:class:`TimelineRecorder` is a scheduler hook that reconstructs one
+track per virtual thread from the per-op stream: ``run`` spans while the
+task executes, ``park`` spans while it is suspended, nested ``stall``
+spans when the cost audit shows the op waited for a cache line, and
+instant markers for lost CAS races and cell poisonings.
+
+The export is plain Trace Event Format JSON — ``{"traceEvents": [...]}``
+with ``X`` (complete), ``i`` (instant) and ``M`` (metadata) phases — so
+it loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``.  Timestamps are simulated cycles reported in the
+``ts`` microsecond field: 1 µs of trace time = 1 simulated cycle.
+
+::
+
+    rec = TimelineRecorder()
+    sched.add_hook(rec)
+    sched.run()
+    rec.finish(sched)
+    rec.export("trace.json")      # open in Perfetto
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from ..concurrent.ops import Cas, Op, Write
+from ..core.states import BROKEN
+from ..sim.costmodel import OpCostAudit
+
+__all__ = ["TimelineRecorder", "validate_trace_events"]
+
+#: Keys every non-metadata trace event must carry (the format's minimum).
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+class TimelineRecorder:
+    """Reconstructs per-task run/park/stall spans from executed ops."""
+
+    __slots__ = ("pid", "audit", "spans", "instants", "_open", "_parked", "_names")
+
+    def __init__(self, pid: int = 0, audit: Optional[OpCostAudit] = None):
+        self.pid = pid
+        #: Optional cost-audit tap (shared with the profiler): enables
+        #: nested ``stall`` spans inside run spans.
+        self.audit = audit
+        #: (name, tid, start, duration) completed spans.
+        self.spans: list[tuple[str, int, int, int]] = []
+        #: (name, tid, ts) instant markers.
+        self.instants: list[tuple[str, int, int]] = []
+        self._open: dict[int, int] = {}  # tid -> run-span start clock
+        self._parked: dict[int, int] = {}  # tid -> park clock
+        self._names: dict[int, str] = {}
+
+    def __call__(self, sched: Any, task: Any, op: Op) -> None:
+        tid = task.tid
+        clock = task.clock
+        if tid not in self._names:
+            self._names[tid] = task.name
+            self._open[tid] = clock
+        parked_at = self._parked.pop(tid, None)
+        if parked_at is not None:
+            # First op after waking: close the park span, reopen a run.
+            self.spans.append(("park", tid, parked_at, clock - parked_at))
+            self._open[tid] = clock
+        a = self.audit
+        if a is not None and a.cell is not None and a.stall:
+            # The stall ended when the op's transfer+execution began.
+            self.spans.append(("stall", tid, clock - a.base - a.miss - a.stall, a.stall))
+        if type(op) is Cas:
+            if task.pending_value is False:
+                self.instants.append(("cas-fail", tid, clock))
+            elif op.update is BROKEN:
+                self.instants.append(("poison", tid, clock))
+        elif type(op) is Write and op.value is BROKEN:
+            self.instants.append(("poison", tid, clock))
+        if task.state.name == "PARKED":
+            start = self._open.pop(tid, clock)
+            if clock > start:
+                self.spans.append(("run", tid, start, clock - start))
+            self._parked[tid] = clock
+
+    def finish(self, sched: Any) -> None:
+        """Close every span still open at the end of the run."""
+
+        for task in getattr(sched, "tasks", []):
+            tid = task.tid
+            start = self._open.pop(tid, None)
+            if start is not None and task.clock > start:
+                self.spans.append(("run", tid, start, task.clock - start))
+            parked_at = self._parked.pop(tid, None)
+            if parked_at is not None:
+                self.spans.append(("park", tid, parked_at, max(0, task.clock - parked_at)))
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def trace_events(self, process_name: str = "simulated-multicore") -> list[dict[str, Any]]:
+        """The run as a Trace Event Format event list."""
+
+        pid = self.pid
+        events: list[dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        ]
+        for tid, name in sorted(self._names.items()):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "ts": 0,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+        for name, tid, start, dur in self.spans:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "task" if name != "stall" else "contention",
+                    "ph": "X",
+                    "ts": start,
+                    "dur": dur,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
+        for name, tid, ts in self.instants:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "contention",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
+        return events
+
+    def export(self, path: str, process_name: str = "simulated-multicore") -> int:
+        """Write the trace JSON to ``path``; returns the event count."""
+
+        events = self.trace_events(process_name)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+        return len(events)
+
+
+def validate_trace_events(events: Any) -> None:
+    """Raise :class:`ValueError` unless ``events`` is valid trace JSON.
+
+    Accepts either the ``{"traceEvents": [...]}`` object form or a bare
+    event list, and checks the keys Perfetto requires of every event.
+    """
+
+    if isinstance(events, dict):
+        if "traceEvents" not in events:
+            raise ValueError("trace object lacks 'traceEvents'")
+        events = events["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("trace must be a non-empty event list")
+    for i, event in enumerate(events):
+        for key in REQUIRED_KEYS:
+            if key not in event:
+                raise ValueError(f"event #{i} lacks required key {key!r}: {event!r}")
+        if event["ph"] == "X" and event.get("dur", -1) < 0:
+            raise ValueError(f"complete event #{i} has negative/missing dur: {event!r}")
+        if event["ph"] not in ("X", "i", "M", "B", "E", "C"):
+            raise ValueError(f"event #{i} has unknown phase {event['ph']!r}")

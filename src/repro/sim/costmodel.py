@@ -60,7 +60,40 @@ from ..concurrent.ops import (
 )
 from .tasks import Task
 
-__all__ = ["CostParams", "CostModel", "NullCostModel", "DEFAULT_PARAMS"]
+__all__ = ["CostParams", "CostModel", "NullCostModel", "DEFAULT_PARAMS", "OpCostAudit"]
+
+
+class OpCostAudit:
+    """Per-op cost breakdown, filled by :class:`CostModel` when attached.
+
+    The contention profiler (:mod:`repro.obs.profiler`) sets
+    ``cost_model.audit`` to an instance of this class; the model then
+    decomposes every memory op's charge into
+
+    * ``stall`` — cycles spent waiting for the cache line's previous
+      exclusive owner to release it (serialization);
+    * ``miss`` — cycles of the coherence transfer itself (RFO or shared
+      read miss, including its jitter share);
+    * ``base`` — the op's intrinsic cost (read/write/RMW latency).
+
+    ``cell`` is the memory location charged, or ``None`` for ops with no
+    shared-memory effect (``Work``, ``Park``, …).  The record is
+    overwritten on every charge; scheduler hooks read it immediately
+    after the op executes.  When no audit is attached the model pays one
+    ``is None`` test per op — the pay-for-use contract.
+    """
+
+    __slots__ = ("cell", "stall", "miss", "base")
+
+    def __init__(self) -> None:
+        self.cell = None
+        self.stall = 0
+        self.miss = 0
+        self.base = 0
+
+    @property
+    def total(self) -> int:
+        return self.stall + self.miss + self.base
 
 
 @dataclass(frozen=True)
@@ -131,11 +164,13 @@ DEFAULT_PARAMS = CostParams()
 class CostModel:
     """Charges simulated cycles per op and serializes conflicting RMWs."""
 
-    __slots__ = ("p", "_lcg")
+    __slots__ = ("p", "_lcg", "audit")
 
     def __init__(self, params: CostParams | None = None, seed: int = 0):
         self.p = params or DEFAULT_PARAMS
         self._lcg = (seed * 2862933555777941757 + 3037000493) & 0xFFFFFFFFFFFFFFFF
+        #: Optional :class:`OpCostAudit` tap for the contention profiler.
+        self.audit: OpCostAudit | None = None
 
     def _jitter(self, bound: int | None = None) -> int:
         """Next deterministic timing-skew sample (cheap 64-bit LCG).
@@ -161,22 +196,34 @@ class CostModel:
         """Advance ``task.clock`` (and cell bookkeeping) for *op*."""
 
         p = self.p
+        a = self.audit
+        if a is not None:
+            a.cell = None
+            a.stall = a.miss = a.base = 0
         t = type(op)
         if t is Read:
             line = op.cell.line  # type: ignore[attr-defined]
-            cost = p.read_hit + self._jitter()
+            base = p.read_hit + self._jitter()
+            miss = 0
+            stall = 0
             if line.last_writer is not None and line.last_writer != task.tid:
                 seen = task.cache.get(line.loc_id, -1)
                 if line.write_time > seen:
-                    cost += p.read_miss
+                    miss = p.read_miss
                     if p.jitter:
-                        cost += self._jitter(p.read_miss)
+                        miss += self._jitter(p.read_miss)
                     task.cache[line.loc_id] = line.write_time
                     # A read cannot complete before the owning writer's
                     # store retires: serve it at the line's release time.
                     if line.avail_time > task.clock:
+                        stall = line.avail_time - task.clock
                         task.clock = line.avail_time
-            task.clock += cost
+            task.clock += base + miss
+            if a is not None:
+                a.cell = op.cell  # type: ignore[attr-defined]
+                a.stall = stall
+                a.miss = miss
+                a.base = base
         elif t is Cas or t is Faa or t is GetAndSet:
             self._charge_exclusive(task, op.cell, p.rmw)  # type: ignore[attr-defined]
         elif t is Write:
@@ -203,19 +250,28 @@ class CostModel:
 
         line = cell.line
         start = task.clock
+        stall = 0
         if line.avail_time > start:
+            stall = line.avail_time - start
             start = line.avail_time
         cost = base + self._jitter()
+        miss = 0
         if line.last_writer is not None and line.last_writer != task.tid:
-            cost += self.p.remote_miss
+            miss = self.p.remote_miss
             if self.p.jitter:
-                cost += self._jitter(self.p.remote_miss)
-        end = start + cost
+                miss += self._jitter(self.p.remote_miss)
+        end = start + cost + miss
         task.clock = end
         line.avail_time = end
         line.last_writer = task.tid
         line.write_time = end
         task.cache[line.loc_id] = end
+        a = self.audit
+        if a is not None:
+            a.cell = cell
+            a.stall = stall
+            a.miss = miss
+            a.base = cost
 
     def wake(self, target: Task, waker_clock: int) -> None:
         """Propagate simulated time to a task being unparked."""

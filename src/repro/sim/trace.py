@@ -1,7 +1,18 @@
 """Tracing and per-op statistics hooks for the simulated scheduler.
 
-Hooks observe every executed op (after its effect was applied) and are used
-for three purposes in this repository:
+.. deprecated::
+    These classes are kept for their small, convenient API, but they are
+    now thin shims over the unified observability layer
+    (:mod:`repro.obs`): each one owns a private
+    :class:`~repro.obs.events.EventBus`, feeds it through the shared
+    op→event translation (:class:`~repro.obs.events.SchedulerObserver`),
+    and subscribes to the events it cares about.  There is exactly one
+    hook path in the repository; new code should subscribe to an
+    :class:`~repro.obs.events.EventBus` (or use
+    :class:`~repro.obs.session.ObsSession`) directly.
+
+Hooks observe every executed op (after its effect was applied) and are
+used for three purposes in this repository:
 
 * debugging failing explorations (:class:`Tracer` ring buffer);
 * progress-guarantee accounting (:class:`SpinCounter` verifies that the
@@ -14,26 +25,48 @@ from __future__ import annotations
 from collections import Counter, deque
 from typing import Any, Deque
 
-from ..concurrent.ops import Cas, Label, Op, Spin
+from ..concurrent.ops import Cas, Op, Spin
+from ..obs.events import EventBus, LabelEvent, OpEvent, SchedulerObserver
 from .scheduler import Scheduler
 from .tasks import Task
 
 __all__ = ["Tracer", "OpCounter", "SpinCounter", "LabelCollector"]
 
 
-class Tracer:
+class _EventShim:
+    """Base for scheduler hooks implemented as event-bus subscribers."""
+
+    def __init__(self) -> None:
+        self._bus = EventBus()
+        self._observer = SchedulerObserver(self._bus)
+        self._subscribe(self._bus)
+
+    def _subscribe(self, bus: EventBus) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, sched: Scheduler, task: Task, op: Op) -> None:
+        self._observer(sched, task, op)
+
+
+class Tracer(_EventShim):
     """Ring buffer of the last ``capacity`` executed ops.
 
     Attach with ``sched.add_hook(tracer)``; render with :meth:`format`.
+
+    .. deprecated:: shim over :class:`repro.obs.events.EventBus`.
     """
 
     def __init__(self, capacity: int = 256):
         self.events: Deque[tuple[int, str, str]] = deque(maxlen=capacity)
         self._step = 0
+        super().__init__()
 
-    def __call__(self, sched: Scheduler, task: Task, op: Op) -> None:
+    def _subscribe(self, bus: EventBus) -> None:
+        bus.subscribe(OpEvent, self._on_op)
+
+    def _on_op(self, event: OpEvent) -> None:
         self._step += 1
-        self.events.append((self._step, task.name, repr(op)))
+        self.events.append((self._step, event.source, repr(event.op)))
 
     def format(self) -> str:
         """Human-readable rendering of the buffered tail of the execution."""
@@ -41,19 +74,26 @@ class Tracer:
         return "\n".join(f"{step:6d} {name:16s} {op}" for step, name, op in self.events)
 
 
-class OpCounter:
-    """Counts ops by kind and CAS successes/failures."""
+class OpCounter(_EventShim):
+    """Counts ops by kind and CAS successes/failures.
+
+    .. deprecated:: shim over :class:`repro.obs.events.EventBus`.
+    """
 
     def __init__(self) -> None:
         self.by_kind: Counter[str] = Counter()
         self.cas_success = 0
         self.cas_failure = 0
+        super().__init__()
 
-    def __call__(self, sched: Scheduler, task: Task, op: Op) -> None:
+    def _subscribe(self, bus: EventBus) -> None:
+        bus.subscribe(OpEvent, self._on_op)
+
+    def _on_op(self, event: OpEvent) -> None:
+        op = event.op
         self.by_kind[op.kind] += 1
         if type(op) is Cas:
-            # The CAS result was just stored as the task's pending value.
-            if task.pending_value:
+            if event.result:
                 self.cas_success += 1
             else:
                 self.cas_failure += 1
@@ -64,34 +104,47 @@ class OpCounter:
         return self.cas_failure / total if total else 0.0
 
 
-class SpinCounter:
+class SpinCounter(_EventShim):
     """Counts :class:`~repro.concurrent.ops.Spin` iterations per reason.
 
     The rendezvous channel must never spin-wait (obstruction freedom,
     Section 4.2); the buffered channel may spin only in the documented
     ``receive()`` / ``expandBuffer()`` race.  Tests assert both from the
     per-reason counts collected here.
+
+    .. deprecated:: shim over :class:`repro.obs.events.EventBus`.
     """
 
     def __init__(self) -> None:
         self.by_reason: Counter[str] = Counter()
         self.total = 0
+        super().__init__()
 
-    def __call__(self, sched: Scheduler, task: Task, op: Op) -> None:
+    def _subscribe(self, bus: EventBus) -> None:
+        bus.subscribe(OpEvent, self._on_op)
+
+    def _on_op(self, event: OpEvent) -> None:
+        op = event.op
         if type(op) is Spin:
             self.total += 1
             self.by_reason[op.reason] += 1
 
 
-class LabelCollector:
-    """Collects :class:`~repro.concurrent.ops.Label` markers in order."""
+class LabelCollector(_EventShim):
+    """Collects :class:`~repro.concurrent.ops.Label` markers in order.
+
+    .. deprecated:: shim over :class:`repro.obs.events.EventBus`.
+    """
 
     def __init__(self) -> None:
         self.labels: list[tuple[str, str, Any]] = []
+        super().__init__()
 
-    def __call__(self, sched: Scheduler, task: Task, op: Op) -> None:
-        if type(op) is Label:
-            self.labels.append((task.name, op.name, op.payload))
+    def _subscribe(self, bus: EventBus) -> None:
+        bus.subscribe(LabelEvent, self._on_label)
+
+    def _on_label(self, event: LabelEvent) -> None:
+        self.labels.append((event.source, event.name, event.payload))
 
     def names(self) -> list[str]:
         return [name for _, name, _ in self.labels]

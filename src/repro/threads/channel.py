@@ -21,6 +21,7 @@ no per-operation cancellation API for threads.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Generator, Optional
 
 from ..concurrent.ops import (
@@ -34,6 +35,7 @@ from ..concurrent.ops import (
 from ..core.channel import make_channel
 from ..core.segments import DEFAULT_SEGMENT_SIZE
 from ..errors import ChannelClosedForReceive, Interrupted, RetryWakeup
+from ..obs.events import EventBus, emit_op_events
 
 __all__ = ["BlockingChannel", "select_blocking"]
 
@@ -66,9 +68,15 @@ class BlockingChannel:
         seg_size: int = DEFAULT_SEGMENT_SIZE,
         name: str = "blocking-chan",
         overflow: str = "suspend",
+        bus: Optional[EventBus] = None,
     ):
         """``overflow``: ``"suspend"`` (default), ``"drop_oldest"``, or
-        ``"conflate"`` — the kotlinx buffer-overflow policies."""
+        ``"conflate"`` — the kotlinx buffer-overflow policies.
+
+        ``bus`` opts this channel into the :mod:`repro.obs` event
+        stream; events are emitted under the op lock, so subscribers are
+        serialized across threads (they must still be quick — they run
+        inside every channel operation)."""
 
         if overflow == "suspend":
             self._ch = make_channel(capacity, seg_size=seg_size, name=name)
@@ -84,6 +92,7 @@ class BlockingChannel:
             raise ValueError(f"unknown overflow policy: {overflow!r}")
         self._op_lock = _GLOBAL_OP_LOCK
         self.name = name
+        self.bus = bus
 
     @property
     def capacity(self) -> int:
@@ -166,6 +175,15 @@ class BlockingChannel:
                         handle.unpark_pending = False
                         continue
                     handle.event.clear()
+                    bus = self.bus
+                    if bus is not None and bus.active:
+                        emit_op_events(
+                            bus,
+                            threading.current_thread().name,
+                            op,
+                            clock=time.monotonic_ns() // 1000,
+                            parked=True,
+                        )
                 if not handle.event.wait(timeout):
                     raise TimeoutError(
                         f"{self.name}: operation still parked after {timeout}s"
@@ -184,6 +202,15 @@ class BlockingChannel:
                 continue
             with lock:
                 to_send = self._apply(op, handle)
+                bus = self.bus
+                if bus is not None and bus.active:
+                    emit_op_events(
+                        bus,
+                        threading.current_thread().name,
+                        op,
+                        result=to_send,
+                        clock=time.monotonic_ns() // 1000,
+                    )
 
     @staticmethod
     def _apply(op: Op, handle: _ThreadTaskHandle) -> Any:
@@ -225,4 +252,5 @@ def select_blocking(*clauses, timeout: Optional[float] = None):
     driver = BlockingChannel.__new__(BlockingChannel)
     driver._op_lock = _GLOBAL_OP_LOCK
     driver.name = "select"
+    driver.bus = None
     return driver._drive(_select(*clauses), timeout)

@@ -1,8 +1,11 @@
 """Tests for the ``python -m repro.bench`` command-line runner."""
 
+import json
+
 import pytest
 
 from repro.bench.__main__ import main
+from repro.obs import validate_trace_events
 
 
 class TestCli:
@@ -45,3 +48,59 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+    def test_fig5_impl_filter(self, capsys):
+        rc = main(["fig5", "--elements", "200", "--threads", "2",
+                   "--impl", "faa-channel"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faa-channel" in out
+        assert "koval-2019" not in out
+
+
+class TestJsonOutput:
+    def test_fig5_json(self, tmp_path, capsys):
+        path = tmp_path / "rows.json"
+        rc = main(["fig5", "--elements", "200", "--threads", "2",
+                   "--json", str(path)])
+        assert rc == 0
+        rows = json.loads(path.read_text())
+        assert rows and all(r["command"] == "fig5" for r in rows)
+        assert all("throughput" in r and "impl" in r for r in rows)
+
+    def test_memory_json(self, tmp_path):
+        path = tmp_path / "mem.json"
+        rc = main(["memory", "--elements", "200", "--json", str(path)])
+        assert rc == 0
+        rows = json.loads(path.read_text())
+        assert rows and all(r["command"] == "memory" for r in rows)
+
+
+class TestProfileCommand:
+    def test_profile_prints_contention_table(self, capsys):
+        rc = main(["profile", "--threads", "4", "--elements", "200",
+                   "--impl", "faa-channel", "koval-2019"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serialization" in out
+        assert "failed_cas" in out
+        assert "faa-channel" in out and "koval-2019" in out
+
+    def test_profile_json_and_trace(self, tmp_path, capsys):
+        rows_path = tmp_path / "rows.json"
+        trace_path = tmp_path / "trace.json"
+        rc = main(["profile", "--threads", "4", "--elements", "200",
+                   "--impl", "faa-channel",
+                   "--json", str(rows_path), "--trace", str(trace_path)])
+        assert rc == 0
+        rows = json.loads(rows_path.read_text())
+        assert rows and rows[0]["command"] == "profile"
+        assert "totals" in rows[0]
+        validate_trace_events(json.loads(trace_path.read_text()))
+
+    def test_profile_baselines_waste_more(self, capsys):
+        rc = main(["profile", "--threads", "8", "--elements", "300",
+                   "--impl", "faa-channel", "koval-2019", "--json", "/dev/null"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "failed-CAS" in out or "failed_cas" in out

@@ -1,0 +1,176 @@
+"""Tests for the observability event bus and the op→event translation."""
+
+import pytest
+
+from repro.concurrent import Cas, IntCell, Label, RefCell, Work, Write
+from repro.concurrent.ops import Alloc
+from repro.core import RendezvousChannel
+from repro.core.closing import CLOSE_BIT
+from repro.core.states import BROKEN
+from repro.obs import (
+    CasFailureEvent,
+    CellPoisonEvent,
+    ChannelCloseEvent,
+    EventBus,
+    LabelEvent,
+    OpEvent,
+    ParkEvent,
+    ResumeEvent,
+    SchedulerObserver,
+    SegmentAllocEvent,
+    UnparkEvent,
+    emit_op_events,
+)
+from repro.runtime import park_current
+from repro.sim import Scheduler
+
+
+class TestEventBus:
+    def test_dispatch_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(None, lambda e: order.append("any-1"))
+        bus.subscribe(OpEvent, lambda e: order.append("typed"))
+        bus.subscribe(None, lambda e: order.append("any-2"))
+        bus.emit(OpEvent("t", 0, Work(1)))
+        assert order == ["any-1", "typed", "any-2"]
+
+    def test_type_filtering(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(CasFailureEvent, seen.append)
+        bus.emit(OpEvent("t", 0, Work(1)))
+        assert seen == []
+        event = CasFailureEvent("t", 0, None)
+        bus.emit(event)
+        assert seen == [event]
+
+    def test_disabled_fast_path(self):
+        bus = EventBus()
+        assert not bus.active
+        bus.emit(OpEvent("t", 0, Work(1)))  # no subscribers: no-op
+        fn = bus.subscribe(None, lambda e: None)
+        assert bus.active
+        bus.unsubscribe(fn)
+        assert not bus.active
+
+    def test_subscribe_rejects_non_event_types(self):
+        with pytest.raises(TypeError):
+            EventBus().subscribe(int, lambda e: None)
+
+
+def collect_events(bus):
+    events = []
+    bus.subscribe(None, events.append)
+    return events
+
+
+class TestOpTranslation:
+    def test_cas_failure_event(self):
+        bus = EventBus()
+        events = collect_events(bus)
+        cell = IntCell(5, name="c")
+        emit_op_events(bus, "t", Cas(cell, 0, 1), result=False)
+        kinds = [type(e) for e in events]
+        assert kinds == [OpEvent, CasFailureEvent]
+
+    def test_poison_via_cas_and_write(self):
+        bus = EventBus()
+        events = collect_events(bus)
+        cell = RefCell(None, name="state")
+        emit_op_events(bus, "t", Cas(cell, None, BROKEN), result=True)
+        emit_op_events(bus, "t", Write(cell, BROKEN))
+        assert [type(e) for e in events] == [OpEvent, CellPoisonEvent, OpEvent, CellPoisonEvent]
+
+    def test_close_bit_cas_maps_to_close_and_cancel(self):
+        bus = EventBus()
+        events = collect_events(bus)
+        s = IntCell(7, name="chan.S")
+        r = IntCell(3, name="chan.R")
+        emit_op_events(bus, "t", Cas(s, 7, 7 | CLOSE_BIT), result=True)
+        emit_op_events(bus, "t", Cas(r, 3, 3 | CLOSE_BIT), result=True)
+        closes = [e for e in events if isinstance(e, ChannelCloseEvent)]
+        assert [c.cancel for c in closes] == [False, True]
+
+    def test_plain_counter_cas_is_not_a_close(self):
+        bus = EventBus()
+        events = collect_events(bus)
+        s = IntCell(7, name="chan.S")
+        emit_op_events(bus, "t", Cas(s, 7, 8), result=True)
+        assert [type(e) for e in events] == [OpEvent]
+
+    def test_alloc_and_label_events(self):
+        bus = EventBus()
+        events = collect_events(bus)
+        emit_op_events(bus, "t", Alloc("segment", 32))
+        emit_op_events(bus, "t", Label("landmark", payload=42))
+        seg, label = events[1], events[3]
+        assert isinstance(seg, SegmentAllocEvent) and seg.tag == "segment" and seg.units == 32
+        assert isinstance(label, LabelEvent) and label.name == "landmark" and label.payload == 42
+
+
+class TestSchedulerObserver:
+    def test_park_unpark_resume_cycle(self):
+        bus = EventBus()
+        events = collect_events(bus)
+        sched = Scheduler()
+        sched.add_hook(SchedulerObserver(bus))
+
+        def sleeper():
+            yield from park_current()
+            yield Work(1)
+            return "ok"
+
+        def waker(target):
+            yield Work(5000)
+            from repro.concurrent.ops import UnparkTask
+
+            yield UnparkTask(target)
+
+        t = sched.spawn(sleeper(), "sleeper")
+        sched.spawn(waker(t), "waker")
+        sched.run()
+        parks = [e for e in events if isinstance(e, ParkEvent)]
+        unparks = [e for e in events if isinstance(e, UnparkEvent)]
+        resumes = [e for e in events if isinstance(e, ResumeEvent)]
+        assert len(parks) == 1 and parks[0].source == "sleeper"
+        assert len(unparks) == 1 and unparks[0].target == "sleeper"
+        assert len(resumes) == 1 and resumes[0].waited > 0
+
+    def test_channel_run_emits_structured_events(self):
+        bus = EventBus()
+        events = collect_events(bus)
+        ch = RendezvousChannel(seg_size=2)
+
+        def producer():
+            for i in range(6):
+                yield from ch.send(i)
+            yield from ch.close()
+
+        def consumer():
+            for _ in range(6):
+                yield from ch.receive()
+
+        sched = Scheduler()
+        sched.add_hook(SchedulerObserver(bus))
+        sched.spawn(producer(), "prod")
+        sched.spawn(consumer(), "cons")
+        sched.run()
+        assert any(isinstance(e, SegmentAllocEvent) for e in events)
+        assert any(isinstance(e, ChannelCloseEvent) and not e.cancel for e in events)
+        # every hooked dispatch produced exactly one OpEvent
+        n_ops = sum(isinstance(e, OpEvent) for e in events)
+        assert 0 < n_ops <= sched.total_steps
+
+    def test_inactive_bus_skips_translation(self):
+        bus = EventBus()
+        observer = SchedulerObserver(bus)
+        sched = Scheduler()
+        sched.add_hook(observer)
+
+        def t():
+            yield Work(1)
+
+        sched.spawn(t())
+        sched.run()
+        assert not observer._parked  # nothing tracked, nothing emitted

@@ -1,0 +1,103 @@
+"""Tests for the labeled metrics registry and exact histograms."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_percentiles_on_known_data(self):
+        h = Histogram()
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        assert h.percentile(50) == 50
+        assert h.percentile(99) == 99
+        assert h.percentile(100) == 100
+        assert h.p50 == 50 and h.p99 == 99
+
+    def test_percentile_small_samples(self):
+        h = Histogram()
+        h.observe(7)
+        assert h.percentile(1) == 7
+        assert h.percentile(99) == 7
+        h.observe(3)
+        assert h.percentile(50) == 3  # nearest-rank: ceil(2*0.5)=1 → sorted[0]
+        assert h.percentile(51) == 7
+
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.percentile(50) == 0.0
+        assert h.p99 == 0.0
+        snap = h.snapshot()
+        assert snap["count"] == 0
+
+    def test_snapshot_fields(self):
+        h = Histogram()
+        for v in (2, 4, 6):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["total"] == 12
+        assert snap["mean"] == pytest.approx(4.0)
+        assert snap["max"] == 6
+
+    def test_sorted_cache_invalidation(self):
+        h = Histogram()
+        h.observe(10)
+        assert h.percentile(50) == 10
+        h.observe(1)  # must invalidate the cached sort
+        assert h.percentile(50) == 1
+
+
+class TestCounterGauge:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(5)
+        g.dec(12)
+        assert g.value == 3
+
+
+class TestRegistry:
+    def test_labeled_get_or_create(self):
+        reg = MetricsRegistry()
+        a = reg.counter("ops_total", kind="Cas")
+        b = reg.counter("ops_total", kind="Cas")
+        c = reg.counter("ops_total", kind="Read")
+        assert a is b and a is not c
+        a.inc(3)
+        c.inc(1)
+        series = reg.series("ops_total")
+        assert {labels["kind"]: m.value for labels, m in series} == {"Cas": 3, "Read": 1}
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", x="1", y="2")
+        b = reg.counter("m", y="2", x="1")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(TypeError):
+            reg.gauge("thing")
+
+    def test_snapshot_format(self):
+        reg = MetricsRegistry()
+        reg.counter("parks_total").inc(2)
+        reg.gauge("makespan", run="r1").set(1234)
+        reg.histogram("wait").observe(10)
+        snap = reg.snapshot()
+        assert snap["parks_total"] == 2
+        assert snap['makespan{run=r1}'] == 1234
+        assert snap["wait"]["count"] == 1
+        text = reg.format()
+        assert "parks_total" in text and "makespan" in text

@@ -1,0 +1,137 @@
+"""Tests for the contention profiler's regime attribution."""
+
+import pytest
+
+from repro.bench.harness import run_producer_consumer
+from repro.concurrent import Cas, Faa, IntCell, Work
+from repro.obs import REGIMES, ContentionProfiler, ObsSession
+from repro.sim import Scheduler
+
+
+def test_regimes_tuple_is_stable():
+    assert REGIMES == ("serialization", "remote_miss", "failed_cas", "local")
+
+
+class TestHandBuiltSchedule:
+    def test_contended_rmws_attribute_stall_and_miss(self):
+        """Two tasks FAA-hammering one cell: cycles land in serialization
+        (waiting for the line's availability window) and remote_miss
+        (the line ping-pongs between the two caches)."""
+
+        counter = IntCell(0, name="hot")
+
+        def hammer():
+            for _ in range(50):
+                yield Faa(counter, 1)
+
+        sched = Scheduler()
+        profiler = ContentionProfiler().attach(sched)
+        sched.spawn(hammer(), "a")
+        sched.spawn(hammer(), "b")
+        sched.run()
+
+        totals = profiler.totals
+        assert totals.ops == 100
+        assert totals.remote_miss > 0, "ping-ponging line must cost remote misses"
+        assert totals.serialization > 0, "back-to-back RMWs must serialize"
+        assert totals.failed_cas == 0, "FAA never fails"
+        # The hot cell dominates the by-line table.
+        report = profiler.report("hand-built")
+        (line, entry), *_ = report.hot_lines(1)
+        assert "hot" in line
+        assert entry["ops"] == 100
+
+    def test_failed_cas_cycles_are_all_waste(self):
+        """A CAS that loses charges its *entire* cost to failed_cas."""
+
+        cell = IntCell(0, name="flag")
+
+        def winner():
+            yield Cas(cell, 0, 1)  # succeeds
+
+        def loser():
+            yield Work(10_000)  # run after the winner
+            for _ in range(20):
+                yield Cas(cell, 0, 1)  # expected value long gone
+
+        sched = Scheduler()
+        profiler = ContentionProfiler().attach(sched)
+        sched.spawn(winner(), "w")
+        sched.spawn(loser(), "l")
+        sched.run()
+
+        totals = profiler.totals
+        assert totals.failed_cas > 0
+        # 20 failed + 1 successful CAS; Work has no shared-memory effect.
+        assert totals.ops == 21
+        report = profiler.report()
+        assert report.share("failed_cas") > 0.5
+
+    def test_uncontended_ops_are_local(self):
+        cell = IntCell(0, name="private")
+
+        def solo():
+            for _ in range(30):
+                yield Faa(cell, 1)
+
+        sched = Scheduler()
+        profiler = ContentionProfiler().attach(sched)
+        sched.spawn(solo(), "only")
+        sched.run()
+        totals = profiler.totals
+        assert totals.remote_miss == 0, "sole owner never misses remotely"
+        assert totals.failed_cas == 0
+        assert totals.local > 0
+
+    def test_code_site_attribution(self):
+        cell = IntCell(0, name="c")
+
+        def site_a():
+            for _ in range(5):
+                yield Faa(cell, 1)
+
+        sched = Scheduler()
+        profiler = ContentionProfiler().attach(sched)
+        sched.spawn(site_a(), "t")
+        sched.run()
+        sites = list(profiler.by_site)
+        assert len(sites) == 1
+        assert "test_obs_profiler.py:" in sites[0]
+
+
+class TestIntegration:
+    def test_cas_retry_baseline_wastes_more(self):
+        """The acceptance-criteria shape at test scale: a CAS-retry
+        baseline shows a strictly higher failed-CAS share than the
+        FAA-based channel."""
+
+        shares = {}
+        for impl in ("faa-channel", "koval-2019"):
+            session = ObsSession(label=impl)
+            run_producer_consumer(impl, 8, capacity=0, elements=200, profile=session)
+            shares[impl] = session.contention_report().share("failed_cas")
+        assert shares["koval-2019"] > shares["faa-channel"]
+
+    def test_profiling_does_not_perturb_the_run(self):
+        """Attaching the profiler must not change simulated time: the
+        audit tap is observation-only and the jitter draw order is
+        preserved."""
+
+        plain = run_producer_consumer("faa-channel", 4, capacity=0, elements=100)
+        session = ObsSession(label="faa")
+        profiled = run_producer_consumer(
+            "faa-channel", 4, capacity=0, elements=100, profile=session
+        )
+        assert profiled.makespan == plain.makespan
+        assert profiled.steps == plain.steps
+
+    def test_report_to_dict_and_format(self):
+        session = ObsSession(label="faa")
+        run_producer_consumer("faa-channel", 4, capacity=0, elements=50, profile=session)
+        report = session.contention_report()
+        d = report.to_dict()
+        assert set(REGIMES) <= set(d["totals"])
+        assert d["label"] == "faa"
+        text = report.format(top=3)
+        assert "failed_cas" in text or "failed-CAS" in text or "serialization" in text
+        assert report.total_cycles == sum(d["totals"][r] for r in REGIMES)
