@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Producers and consumers meeting through the TCP channel server.
+
+An in-process ``ChannelServer`` on an ephemeral port, then four clients
+on separate connections: three producers pushing work into a named
+buffered channel and one consumer draining it with ``async for``.  The
+last producer closes the channel, the close propagates over the wire,
+and the consumer's iteration terminates — no sentinel values, no lost
+elements.
+
+Run:  python examples/net_pipeline.py
+"""
+
+import asyncio
+
+from repro.net import connect, serve
+
+ITEMS_PER_PRODUCER = 50
+PRODUCERS = 3
+
+
+async def producer(port: int, pid: int, finished: list) -> int:
+    client = await connect("127.0.0.1", port)
+    try:
+        ch = await client.channel("work", capacity=8)
+        for seq in range(ITEMS_PER_PRODUCER):
+            # Backpressure: past 8 buffered items this await parks
+            # server-side until the consumer catches up.
+            await ch.send({"producer": pid, "seq": seq})
+        finished.append(pid)
+        if len(finished) == PRODUCERS:  # last one out closes the channel
+            await ch.close()
+        return ITEMS_PER_PRODUCER
+    finally:
+        await client.close()
+
+
+async def consumer(port: int) -> list:
+    client = await connect("127.0.0.1", port)
+    try:
+        ch = await client.channel("work", capacity=8)
+        received = []
+        async for item in ch:  # ends when the close frame arrives
+            received.append((item["producer"], item["seq"]))
+        return received
+    finally:
+        await client.close()
+
+
+async def main() -> None:
+    server = await serve("127.0.0.1", 0)
+    print(f"server listening on 127.0.0.1:{server.port}")
+    try:
+        finished = []
+        results = await asyncio.gather(
+            consumer(server.port),
+            *(producer(server.port, pid, finished) for pid in range(PRODUCERS)),
+        )
+    finally:
+        await server.shutdown()
+
+    received, sent_counts = results[0], results[1:]
+    assert sum(sent_counts) == len(received) == PRODUCERS * ITEMS_PER_PRODUCER
+    # Per-producer FIFO survives the network hop.
+    for pid in range(PRODUCERS):
+        seqs = [seq for p, seq in received if p == pid]
+        assert seqs == sorted(seqs), f"producer {pid} reordered"
+    print(f"{len(received)} items delivered, per-producer FIFO intact")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

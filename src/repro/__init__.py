@@ -22,14 +22,18 @@ from .errors import (
     ChannelClosed,
     ChannelClosedForReceive,
     ChannelClosedForSend,
+    ConnectionLostError,
     DeadlockError,
     Interrupted,
     InvariantViolation,
     LinearizabilityError,
+    ProtocolError,
+    RemoteOpError,
     ReproError,
     SchedulerError,
     StepLimitExceeded,
 )
+from .net import RemoteChannel, connect, serve
 from .sim import Scheduler
 
 __all__ = [
@@ -46,6 +50,10 @@ __all__ = [
     "send_clause",
     "receive_clause",
     "Scheduler",
+    # networked channels
+    "serve",
+    "connect",
+    "RemoteChannel",
     # errors
     "ReproError",
     "Interrupted",
@@ -57,4 +65,7 @@ __all__ = [
     "StepLimitExceeded",
     "LinearizabilityError",
     "InvariantViolation",
+    "ProtocolError",
+    "ConnectionLostError",
+    "RemoteOpError",
 ]

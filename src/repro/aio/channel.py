@@ -60,6 +60,52 @@ def _now_us() -> int:
 __all__ = ["AsyncChannel", "drive_async", "drive_sync"]
 
 
+async def _with_deadline(coro, timeout: float):
+    """Await ``coro`` with a deadline that maps onto ``interrupt()``.
+
+    On expiry the operation is cancelled — which runs the paper's
+    interrupt protocol, neutralizing the parked cell so the channel
+    stays fully usable — and :class:`asyncio.TimeoutError` is raised.
+    If a resumption beat the cancellation, the operation's result is
+    returned despite the expired deadline: the element is never lost
+    (the same guarantee the driver gives plain task cancellation).
+
+    Implemented by hand rather than with :func:`asyncio.wait_for`
+    because ``wait_for`` discards the result of a task that survives
+    its cancellation — exactly the lost-element case we must avoid —
+    and :class:`asyncio.timeout` only exists on 3.11+.
+    """
+
+    task = asyncio.ensure_future(coro)
+    try:
+        done, _ = await asyncio.wait({task}, timeout=timeout)
+    except asyncio.CancelledError:
+        task.cancel()
+        with _suppress_cancel(task):
+            await task
+        raise
+    if task in done:
+        return task.result()
+    task.cancel()
+    try:
+        return await task  # a resumption may have beaten the cancel
+    except asyncio.CancelledError:
+        raise asyncio.TimeoutError() from None
+
+
+class _suppress_cancel:
+    """``with``-helper awaiting a cancelled task without re-raising."""
+
+    def __init__(self, task: "asyncio.Task"):
+        self.task = task
+
+    def __enter__(self):
+        return self.task
+
+    def __exit__(self, exc_type, exc, tb):
+        return exc_type is asyncio.CancelledError
+
+
 class _AioTaskHandle:
     """The driver's task object (what ``curCor()`` binds waiters to)."""
 
@@ -286,20 +332,42 @@ class AsyncChannel:
 
     # ------------------------------------------------------------------
 
-    async def send(self, element: Any) -> None:
-        """Send, suspending while the channel is full (or unpaired)."""
+    async def send(self, element: Any, *, timeout: Optional[float] = None) -> None:
+        """Send, suspending while the channel is full (or unpaired).
 
-        await drive_async(self._ch.send(element), f"{self.name}.send", self.bus)
+        With ``timeout``, a send still parked after ``timeout`` seconds
+        is cancelled (the cell is neutralized via the interrupt
+        protocol; the channel stays usable) and
+        :class:`asyncio.TimeoutError` is raised.
+        """
 
-    async def receive(self) -> Any:
-        """Receive, suspending while the channel is empty."""
+        op = drive_async(self._ch.send(element), f"{self.name}.send", self.bus)
+        if timeout is None:
+            await op
+        else:
+            await _with_deadline(op, timeout)
 
-        return await drive_async(self._ch.receive(), f"{self.name}.receive", self.bus)
+    async def receive(self, *, timeout: Optional[float] = None) -> Any:
+        """Receive, suspending while the channel is empty.
 
-    async def receive_catching(self) -> tuple[bool, Any]:
+        With ``timeout``, a receive still parked after ``timeout``
+        seconds raises :class:`asyncio.TimeoutError`; if an element
+        arrived in the same instant the deadline expired, the element
+        is returned rather than lost.
+        """
+
+        op = drive_async(self._ch.receive(), f"{self.name}.receive", self.bus)
+        if timeout is None:
+            return await op
+        return await _with_deadline(op, timeout)
+
+    async def receive_catching(self, *, timeout: Optional[float] = None) -> tuple[bool, Any]:
         """Like :meth:`receive`, but ``(False, None)`` once closed."""
 
-        return await drive_async(self._ch.receive_catching(), f"{self.name}.receive", self.bus)
+        op = drive_async(self._ch.receive_catching(), f"{self.name}.receive", self.bus)
+        if timeout is None:
+            return await op
+        return await _with_deadline(op, timeout)
 
     def try_send(self, element: Any) -> bool:
         """Non-blocking send (synchronous: it never suspends)."""
@@ -312,14 +380,24 @@ class AsyncChannel:
         return drive_sync(self._ch.try_receive(), bus=self.bus)
 
     def close(self) -> bool:
-        """Close for sending; wakes waiting receivers.  Synchronous."""
+        """Close for sending; wakes waiting receivers.  Synchronous.
+
+        Idempotent: only the call that actually closed the channel
+        returns ``True``; repeats return ``False`` and wake nobody.
+        """
 
         return drive_sync(self._ch.close(), bus=self.bus)
 
     def cancel(self) -> bool:
-        """Close and discard everything.  Synchronous."""
+        """Close and discard everything.  Synchronous and idempotent."""
 
         return drive_sync(self._ch.cancel(), bus=self.bus)
+
+    @property
+    def cancelled(self) -> bool:
+        """Was the channel :meth:`cancel`-ed (as opposed to closed)?"""
+
+        return bool(getattr(self._ch, "cancelled", False))
 
     # ------------------------------------------------------------------
 

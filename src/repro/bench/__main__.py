@@ -9,6 +9,7 @@ Regenerates the paper's evaluation artefacts without pytest::
     python -m repro.bench ablate-segsize
     python -m repro.bench ablate-capacity
     python -m repro.bench profile --impl faa-channel --threads 64
+    python -m repro.bench net --producers 4 --consumers 4 --ops 2000
     python -m repro.bench all
 
 Tables print to stdout; `--elements` trades time for fidelity (the paper
@@ -18,6 +19,11 @@ transferred 10^6 elements; the shape is stable from ~10^4).
 JSON (a list of objects, each tagged with its ``command``), so the perf
 trajectory (``BENCH_*.json``) regenerates from the CLI instead of
 hand-scraping the ASCII tables.
+
+``net`` pushes an N-producer/M-consumer load through the
+:mod:`repro.net` TCP channel service (in-process ephemeral server by
+default, ``--port`` to target an external one) and reports real-I/O
+throughput plus exact p50/p99 op latency from :mod:`repro.obs.metrics`.
 
 ``profile`` attaches the :mod:`repro.obs` contention profiler and prints
 the per-implementation breakdown of simulated cycles into the three §5
@@ -157,6 +163,54 @@ def cmd_profile(args: argparse.Namespace) -> list[dict]:
     return rows
 
 
+def cmd_net(args: argparse.Namespace) -> list[dict]:
+    """N-producer/M-consumer load over the repro.net TCP service.
+
+    With ``--port`` the load targets an already-running server (e.g.
+    ``python -m repro.net --port 0``); without it an in-process server
+    is started on an ephemeral port and gracefully shut down after.
+    Wall-clock here is real socket I/O, not simulated cycles.
+    """
+
+    import asyncio
+
+    from repro.net.loadgen import format_report, run_load
+    from repro.net.server import ChannelServer
+    from repro.obs.metrics import MetricsRegistry
+
+    async def _run() -> dict:
+        metrics = MetricsRegistry()
+        kwargs = dict(
+            producers=args.producers,
+            consumers=args.consumers,
+            ops=args.ops,
+            capacity=args.net_capacity,
+            payload_bytes=args.payload_bytes,
+            deadline=args.deadline,
+            metrics=metrics,
+        )
+        if args.port:
+            return await run_load(args.host, args.port, **kwargs)
+        server = ChannelServer(obs=metrics)
+        await server.start("127.0.0.1", 0)
+        try:
+            return await run_load("127.0.0.1", server.port, **kwargs)
+        finally:
+            await server.shutdown(drain=True, timeout=5.0)
+
+    try:
+        row = asyncio.run(_run())
+    except (ValueError, OSError) as exc:
+        raise SystemExit(f"python -m repro.bench net: error: {exc}") from exc
+    print(format_report(row))
+    if row["ops_completed"] != row["ops_submitted"]:
+        print(
+            f"WARNING: lost messages: {row['ops_submitted'] - row['ops_completed']} "
+            "of the submitted ops never reached a consumer"
+        )
+    return [row]
+
+
 COMMANDS = {
     "fig5": cmd_fig5,
     "poisoning": cmd_poisoning,
@@ -164,7 +218,13 @@ COMMANDS = {
     "ablate-segsize": cmd_ablate_segsize,
     "ablate-capacity": cmd_ablate_capacity,
     "profile": cmd_profile,
+    "net": cmd_net,
 }
+
+#: Commands ``all`` runs: the paper's simulated artefacts.  ``net`` is
+#: excluded — it needs real sockets and measures wall-clock I/O, which
+#: has no counterpart in the paper's evaluation.
+PAPER_COMMANDS = ("fig5", "poisoning", "memory", "ablate-segsize", "ablate-capacity", "profile")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -207,6 +267,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--top", type=int, default=5, help="profile: hot lines/sites to print per impl"
     )
+    net = parser.add_argument_group("net", "options for the `net` load-generator command")
+    net.add_argument("--producers", type=int, default=4, help="net: producer client connections")
+    net.add_argument("--consumers", type=int, default=4, help="net: consumer client connections")
+    net.add_argument("--ops", type=int, default=2000, help="net: total messages through the channel")
+    net.add_argument("--net-capacity", type=int, default=64, help="net: served channel capacity")
+    net.add_argument("--payload-bytes", type=int, default=64, help="net: padding bytes per message")
+    net.add_argument("--deadline", type=float, default=30.0, help="net: per-op client deadline (s)")
+    net.add_argument("--host", default="127.0.0.1", help="net: server host (with --port)")
+    net.add_argument(
+        "--port", type=int, default=0,
+        help="net: target an external server instead of starting one in-process",
+    )
     args = parser.parse_args(argv)
     # Fail fast on unwritable output paths before minutes of simulation.
     trace_used = args.trace if args.command in ("profile", "all") else None
@@ -219,9 +291,9 @@ def main(argv: list[str] | None = None) -> int:
                 parser.error(f"cannot write to {path}: {exc}")
     all_rows: list[dict] = []
     if args.command == "all":
-        for name, fn in COMMANDS.items():
+        for name in PAPER_COMMANDS:
             print(f"\n=== {name} ===")
-            rows = fn(args)
+            rows = COMMANDS[name](args)
             all_rows.extend({"command": name} | row for row in rows)
     else:
         rows = COMMANDS[args.command](args)

@@ -24,6 +24,9 @@ __all__ = [
     "StepLimitExceeded",
     "LinearizabilityError",
     "InvariantViolation",
+    "ProtocolError",
+    "ConnectionLostError",
+    "RemoteOpError",
 ]
 
 
@@ -108,3 +111,31 @@ class LinearizabilityError(ReproError):
 
 class InvariantViolation(ReproError):
     """An instrumented algorithm invariant (Lemma 1 / Theorem 1) failed."""
+
+
+class ProtocolError(ReproError):
+    """Malformed traffic on the :mod:`repro.net` wire protocol.
+
+    Raised for oversized or truncated frames, unknown op codes, and
+    undecodable payloads.  Decoders fail loudly and immediately — a bad
+    byte stream must never hang a reader waiting for bytes that cannot
+    come.
+    """
+
+
+class ConnectionLostError(ReproError):
+    """The :mod:`repro.net` connection died with operations in flight.
+
+    This is the *cancellation* flavor of remote failure (§4.3): the
+    peer's parked operations were interrupted — their cells neutralized,
+    the channel itself left open — rather than the channel being closed.
+    """
+
+
+class RemoteOpError(ReproError):
+    """The server rejected or failed a :mod:`repro.net` operation.
+
+    Carries the server's error message; raised for registry conflicts
+    (re-opening a channel with different parameters), unknown channels,
+    and unexpected server-side failures.
+    """

@@ -1,0 +1,50 @@
+"""Networked channels: the paper's algorithm served over TCP.
+
+``repro.net`` turns in-process :class:`~repro.aio.channel.AsyncChannel`
+instances into a shared service: a server multiplexes named channels
+over asyncio sockets with channel-native backpressure, and
+:class:`RemoteChannel` gives remote callers the same API surface as the
+local channel (plus per-op deadlines).  See ``DESIGN.md`` §7 for the
+frame layout and the close-vs-cancel wire semantics.
+
+Server::
+
+    server = await repro.net.serve("127.0.0.1", 0)   # or: python -m repro.net
+
+Client::
+
+    client = await repro.net.connect("127.0.0.1", server.port)
+    ch = await client.channel("events", capacity=64)
+    await ch.send({"hello": "world"})
+"""
+
+from .client import NetClient, RemoteChannel, connect
+from .loadgen import format_report, run_load
+from .protocol import (
+    MAX_FRAME_BYTES,
+    OP_NAMES,
+    Frame,
+    FrameDecoder,
+    decode_frame,
+    encode_frame,
+)
+from .registry import ChannelEntry, ChannelRegistry
+from .server import ChannelServer, serve
+
+__all__ = [
+    "serve",
+    "connect",
+    "ChannelServer",
+    "NetClient",
+    "RemoteChannel",
+    "ChannelRegistry",
+    "ChannelEntry",
+    "Frame",
+    "FrameDecoder",
+    "encode_frame",
+    "decode_frame",
+    "OP_NAMES",
+    "MAX_FRAME_BYTES",
+    "run_load",
+    "format_report",
+]

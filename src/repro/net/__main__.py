@@ -1,0 +1,17 @@
+"""``python -m repro.net`` — serve named channels over TCP.
+
+Prints the bound port on the first stdout line (``--port 0`` picks an
+ephemeral port), which is what scripted harnesses capture::
+
+    PYTHONPATH=src python -m repro.net --port 0 > port.txt &
+    PORT=$(head -1 port.txt)
+
+``python -m repro.net.server`` is the same entry point.
+"""
+
+import sys
+
+from .server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

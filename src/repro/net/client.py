@@ -1,0 +1,338 @@
+"""Client side: :class:`RemoteChannel` mirrors the ``AsyncChannel`` API.
+
+One :class:`NetClient` owns one TCP connection and pipelines every
+operation over it: requests carry fresh request ids, a background read
+loop correlates responses back to the awaiting futures, so many ops —
+from many :class:`RemoteChannel` objects — are in flight concurrently
+on one socket.
+
+Per-op deadlines: every operation takes ``timeout=`` (falling back to
+the channel's, then the client's, default).  On expiry the client
+abandons the request id, best-effort sends ``CANCEL_OP`` so the server
+interrupts the parked op (the §4.3 cancellation — the channel stays
+usable), and raises :class:`asyncio.TimeoutError`.  If the server-side
+resumption beat the cancellation, the late response is dropped and
+counted in ``late_responses`` — a deadline-expired ``receive`` is
+therefore at-most-once, exactly like every RPC deadline.
+
+Failure mapping (what awaited ops raise):
+
+* ``CLOSED{reason="close"|"cancel"}`` → the matching
+  :class:`~repro.errors.ChannelClosedForSend` /
+  :class:`~repro.errors.ChannelClosedForReceive` — same exceptions as
+  the local ``AsyncChannel``;
+* ``CLOSED{reason="interrupt"}`` (server shut down / op interrupted) →
+  :class:`~repro.errors.ConnectionLostError`;
+* ``ERROR`` → :class:`~repro.errors.RemoteOpError`;
+* the connection dying with ops parked →
+  :class:`~repro.errors.ConnectionLostError` on every pending op.
+
+Example::
+
+    client = await connect("127.0.0.1", port)
+    ch = await client.channel("events", capacity=64)
+    await ch.send({"user": 7, "kind": "login"})
+    async for event in ch:   # terminates when the channel is closed
+        handle(event)
+    await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any, AsyncIterator, Optional
+
+from ..errors import (
+    ChannelClosedForReceive,
+    ChannelClosedForSend,
+    ConnectionLostError,
+    ProtocolError,
+    RemoteOpError,
+)
+from .protocol import (
+    OP_CANCEL,
+    OP_CANCEL_OP,
+    OP_CLOSE,
+    OP_CLOSED,
+    OP_ERROR,
+    OP_OK,
+    OP_OPEN,
+    OP_RECEIVE,
+    OP_SEND,
+    OP_TRY_RECEIVE,
+    OP_TRY_SEND,
+    Frame,
+    FrameDecoder,
+    encode_frame,
+)
+
+__all__ = ["NetClient", "RemoteChannel", "connect"]
+
+_READ_CHUNK = 64 * 1024
+
+#: Sentinel distinguishing "no timeout argument" from an explicit
+#: ``timeout=None`` (which disables the channel/client default).
+_UNSET: Any = object()
+
+#: Ops whose CLOSED failure is a *send*-side close.
+_SEND_SIDE = frozenset((OP_SEND, OP_TRY_SEND))
+
+
+class NetClient:
+    """One pipelined connection to a :mod:`repro.net` server."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        deadline: Optional[float] = None,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self.deadline = deadline
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_req_id = 1
+        self._lost: Optional[BaseException] = None
+        #: Responses that arrived after their op's deadline expired.
+        self.late_responses = 0
+        self._read_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    # ------------------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._lost is None and not self._writer.is_closing()
+
+    async def channel(
+        self,
+        name: str,
+        capacity: int = 0,
+        overflow: str = "suspend",
+        *,
+        deadline: Any = _UNSET,
+    ) -> "RemoteChannel":
+        """OPEN (get-or-create) the named channel on the server.
+
+        ``capacity`` follows ``make_channel`` with ``-1`` = unlimited;
+        ``deadline`` becomes the channel's default per-op timeout.
+        """
+
+        chan_deadline = self.deadline if deadline is _UNSET else deadline
+        await self.request(
+            OP_OPEN,
+            {"channel": name, "capacity": capacity, "overflow": overflow},
+            timeout=chan_deadline,
+        )
+        return RemoteChannel(self, name, deadline=chan_deadline)
+
+    async def request(self, op: int, payload: dict, *, timeout: Optional[float] = None) -> dict:
+        """Send one request frame and await its correlated response."""
+
+        if self._lost is not None:
+            raise ConnectionLostError(f"connection is gone: {self._lost}")
+        req_id = self._next_req_id
+        self._next_req_id += 1
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending[req_id] = future
+        try:
+            self._writer.write(encode_frame(op, req_id, payload))
+            await self._writer.drain()
+        except ConnectionError as exc:
+            self._pending.pop(req_id, None)
+            raise ConnectionLostError(f"connection lost while sending: {exc}") from exc
+        try:
+            if timeout is None:
+                frame = await future
+            else:
+                frame = await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            # Deadline expired: abandon the request id and interrupt the
+            # server-side op so it does not stay parked forever.
+            self._abandon(req_id, future)
+            raise
+        except asyncio.CancelledError:
+            self._abandon(req_id, future)
+            raise
+        finally:
+            self._pending.pop(req_id, None)
+        return self._unwrap(op, frame)
+
+    def _abandon(self, req_id: int, future: asyncio.Future) -> None:
+        if self._pending.pop(req_id, None) is None:
+            return
+        # Track the zombie so a late response is counted, not mistaken
+        # for a protocol violation.
+        future.add_done_callback(lambda _f: None)
+        if self.connected:
+            with contextlib.suppress(ConnectionError):
+                self._writer.write(encode_frame(OP_CANCEL_OP, 0, {"target": req_id}))
+
+    def _unwrap(self, request_op: int, frame: Frame) -> dict:
+        if frame.op == OP_OK:
+            return frame.payload
+        if frame.op == OP_CLOSED:
+            reason = frame.payload.get("reason", "close")
+            if reason == "interrupt":
+                raise ConnectionLostError("operation interrupted by the server (shutdown or kill)")
+            if request_op in _SEND_SIDE:
+                raise ChannelClosedForSend()
+            raise ChannelClosedForReceive()
+        if frame.op == OP_ERROR:
+            raise RemoteOpError(frame.payload.get("message", "unspecified server error"))
+        raise ProtocolError(f"unexpected response op {frame.op_name}")
+
+    # ------------------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        decoder = FrameDecoder()
+        error: BaseException
+        try:
+            while True:
+                chunk = await self._reader.read(_READ_CHUNK)
+                if not chunk:
+                    decoder.eof()
+                    error = ConnectionLostError("server closed the connection")
+                    break
+                for frame in decoder.feed(chunk):
+                    future = self._pending.pop(frame.req_id, None)
+                    if future is None or future.done():
+                        self.late_responses += 1
+                        continue
+                    future.set_result(frame)
+        except asyncio.CancelledError:
+            error = ConnectionLostError("client closed the connection")
+        except (ConnectionError, ProtocolError) as exc:
+            error = (
+                exc
+                if isinstance(exc, ProtocolError)
+                else ConnectionLostError(f"connection lost: {exc}")
+            )
+        self._lost = error
+        # Every op still parked surfaces the *cancellation* flavor of
+        # failure — the channel on the server is untouched.
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+
+    async def close(self) -> None:
+        """Tear the connection down; parked ops raise ``ConnectionLostError``."""
+
+        self._read_task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._read_task
+        with contextlib.suppress(Exception):
+            self._writer.close()
+            await self._writer.wait_closed()
+
+    def abort(self) -> None:
+        """Kill the socket immediately (no FIN handshake) — test helper
+        for the 'connection died with ops parked' path."""
+
+        transport = self._writer.transport
+        if transport is not None:
+            transport.abort()
+
+
+class RemoteChannel:
+    """A named server-side channel, driven through a :class:`NetClient`.
+
+    Mirrors :class:`~repro.aio.channel.AsyncChannel`: ``send`` /
+    ``receive`` / ``receive_catching`` / ``try_send`` / ``try_receive``
+    / ``close`` / ``cancel`` and async iteration.  The one necessary
+    difference: the try-ops are ``async`` here (they are non-blocking
+    *channel* operations, but reaching the server still takes a round
+    trip).
+    """
+
+    def __init__(self, client: NetClient, name: str, *, deadline: Optional[float] = None):
+        self.client = client
+        self.name = name
+        self.deadline = deadline
+
+    def _timeout(self, timeout: Any) -> Optional[float]:
+        if timeout is _UNSET:
+            return self.deadline
+        return timeout
+
+    def _payload(self, **extra: Any) -> dict:
+        return {"channel": self.name, **extra}
+
+    # ------------------------------------------------------------------
+
+    async def send(self, element: Any, *, timeout: Any = _UNSET) -> None:
+        """Send; parks server-side while the channel is full."""
+
+        await self.client.request(
+            OP_SEND, self._payload(value=element), timeout=self._timeout(timeout)
+        )
+
+    async def receive(self, *, timeout: Any = _UNSET) -> Any:
+        """Receive; parks server-side while the channel is empty."""
+
+        reply = await self.client.request(
+            OP_RECEIVE, self._payload(), timeout=self._timeout(timeout)
+        )
+        return reply.get("value")
+
+    async def receive_catching(self, *, timeout: Any = _UNSET) -> tuple[bool, Any]:
+        """Like :meth:`receive`, but ``(False, None)`` once closed."""
+
+        try:
+            return (True, await self.receive(timeout=timeout))
+        except ChannelClosedForReceive:
+            return (False, None)
+
+    async def try_send(self, element: Any, *, timeout: Any = _UNSET) -> bool:
+        reply = await self.client.request(
+            OP_TRY_SEND, self._payload(value=element), timeout=self._timeout(timeout)
+        )
+        return bool(reply.get("success"))
+
+    async def try_receive(self, *, timeout: Any = _UNSET) -> tuple[bool, Any]:
+        reply = await self.client.request(
+            OP_TRY_RECEIVE, self._payload(), timeout=self._timeout(timeout)
+        )
+        return (bool(reply.get("success")), reply.get("value"))
+
+    async def close(self, *, timeout: Any = _UNSET) -> bool:
+        """Close for sending; ``True`` iff this call closed the channel."""
+
+        reply = await self.client.request(
+            OP_CLOSE, self._payload(), timeout=self._timeout(timeout)
+        )
+        return bool(reply.get("closed"))
+
+    async def cancel(self, *, timeout: Any = _UNSET) -> bool:
+        """Close and discard buffered elements."""
+
+        reply = await self.client.request(
+            OP_CANCEL, self._payload(), timeout=self._timeout(timeout)
+        )
+        return bool(reply.get("cancelled"))
+
+    # ------------------------------------------------------------------
+
+    def __aiter__(self) -> AsyncIterator[Any]:
+        return self
+
+    async def __anext__(self) -> Any:
+        try:
+            return await self.receive()
+        except ChannelClosedForReceive:
+            raise StopAsyncIteration from None
+
+
+async def connect(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    deadline: Optional[float] = None,
+) -> NetClient:
+    """Open a pipelined client connection to a :mod:`repro.net` server."""
+
+    reader, writer = await asyncio.open_connection(host, port)
+    return NetClient(reader, writer, deadline=deadline)

@@ -1,0 +1,137 @@
+"""Load generator for the networked channel service.
+
+Drives N producer clients and M consumer clients — each on its **own
+TCP connection** — through one named channel on a server, measuring
+end-to-end op latency client-side into a
+:class:`~repro.obs.metrics.MetricsRegistry` histogram (the same exact
+nearest-rank p50/p99 machinery the simulator benchmarks use).
+
+The workload is loss-accounted: every producer tags messages with
+``(producer, seq)``, consumers check off what arrives, and the report
+carries ``ops_submitted`` / ``ops_completed`` so a harness can assert
+nothing was dropped.  Producers close the channel once all sends are
+acked; consumers drain until the close propagates — so a correct run
+always terminates, and a lossy one fails the count, never hangs.
+
+Used by ``python -m repro.bench net`` (see
+:func:`repro.bench.__main__.cmd_net`) and the CI ``net-smoke`` step.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Optional
+
+from ..obs.metrics import MetricsRegistry
+from .client import connect
+
+__all__ = ["run_load", "format_report"]
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    producers: int = 4,
+    consumers: int = 4,
+    ops: int = 2000,
+    capacity: int = 64,
+    payload_bytes: int = 64,
+    channel: str = "bench",
+    deadline: Optional[float] = 30.0,
+    metrics: Optional[MetricsRegistry] = None,
+) -> dict[str, Any]:
+    """Run the N-producer/M-consumer workload; returns the report row.
+
+    ``ops`` is the total number of messages pushed through the channel
+    (split evenly across producers).  Latency histograms land in
+    ``metrics`` under ``net_op_latency_us{op=send|receive}``.
+    """
+
+    if producers < 1 or consumers < 1:
+        raise ValueError("need at least one producer and one consumer")
+    if ops < 1:
+        raise ValueError("ops must be positive")
+    registry = metrics if metrics is not None else MetricsRegistry()
+    send_hist = registry.histogram("net_op_latency_us", op="send")
+    recv_hist = registry.histogram("net_op_latency_us", op="receive")
+    pad = "x" * payload_bytes
+    per_producer = [ops // producers] * producers
+    for i in range(ops % producers):
+        per_producer[i] += 1
+
+    received: set[tuple[int, int]] = set()
+    sent_acked = 0
+    producers_done = 0
+
+    async def producer(pid: int, count: int) -> None:
+        nonlocal sent_acked, producers_done
+        client = await connect(host, port, deadline=deadline)
+        try:
+            ch = await client.channel(channel, capacity=capacity)
+            for seq in range(count):
+                t0 = time.perf_counter()
+                await ch.send({"p": pid, "seq": seq, "pad": pad})
+                send_hist.observe((time.perf_counter() - t0) * 1e6)
+                sent_acked += 1
+            producers_done += 1
+            if producers_done == producers:
+                # Last producer out closes the channel: consumers see the
+                # close only after every buffered element drains.
+                await ch.close()
+        finally:
+            await client.close()
+
+    async def consumer(cid: int) -> None:
+        client = await connect(host, port, deadline=deadline)
+        try:
+            ch = await client.channel(channel, capacity=capacity)
+            while True:
+                t0 = time.perf_counter()
+                ok, value = await ch.receive_catching()
+                if not ok:
+                    return
+                recv_hist.observe((time.perf_counter() - t0) * 1e6)
+                received.add((value["p"], value["seq"]))
+        finally:
+            await client.close()
+
+    wall_start = time.perf_counter()
+    await asyncio.gather(
+        *(producer(i, n) for i, n in enumerate(per_producer)),
+        *(consumer(i) for i in range(consumers)),
+    )
+    wall = time.perf_counter() - wall_start
+
+    return {
+        "channel": channel,
+        "capacity": capacity,
+        "producers": producers,
+        "consumers": consumers,
+        "payload_bytes": payload_bytes,
+        "ops_submitted": ops,
+        "ops_acked": sent_acked,
+        "ops_completed": len(received),
+        "wall_s": round(wall, 6),
+        "throughput_ops_s": round(ops / wall, 1) if wall > 0 else float("inf"),
+        "send_p50_us": send_hist.p50,
+        "send_p99_us": send_hist.p99,
+        "recv_p50_us": recv_hist.p50,
+        "recv_p99_us": recv_hist.p99,
+    }
+
+
+def format_report(row: dict[str, Any]) -> str:
+    """Human-readable summary of one :func:`run_load` report row."""
+
+    lines = [
+        f"net load — {row['producers']}p/{row['consumers']}c over channel "
+        f"{row['channel']!r} (capacity {row['capacity']}, {row['payload_bytes']}B payloads)",
+        f"  ops: {row['ops_completed']}/{row['ops_submitted']} completed "
+        f"({row['ops_acked']} send-acked) in {row['wall_s']:.3f}s",
+        f"  throughput: {row['throughput_ops_s']:,.1f} ops/s",
+        f"  send latency: p50 {row['send_p50_us']:.0f}us  p99 {row['send_p99_us']:.0f}us",
+        f"  recv latency: p50 {row['recv_p50_us']:.0f}us  p99 {row['recv_p99_us']:.0f}us",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,262 @@
+"""Wire protocol for networked channels: length-prefixed binary frames.
+
+Every message on a :mod:`repro.net` connection is one frame::
+
+    +----------+--------+------------+--------------------+
+    | length   | op     | request id | payload (JSON)     |
+    | u32 (BE) | u8     | u64 (BE)   | length - 9 bytes   |
+    +----------+--------+------------+--------------------+
+
+``length`` counts everything after itself (op + request id + payload),
+so a complete frame occupies ``4 + length`` bytes.  The request id is
+chosen by the requesting side and echoed verbatim on the response,
+which is what makes pipelining work: many requests may be in flight on
+one connection and responses may arrive in any order.
+
+Op codes split into *requests* (client → server) and *responses*
+(server → client):
+
+==============  =====  ======================================================
+op              value  payload
+==============  =====  ======================================================
+``OPEN``        1      ``{"channel", "capacity", "overflow"}``
+``SEND``        2      ``{"channel", "value"}``
+``RECEIVE``     3      ``{"channel"}``
+``TRY_SEND``    4      ``{"channel", "value"}``
+``TRY_RECEIVE`` 5      ``{"channel"}``
+``CLOSE``       6      ``{"channel"}``
+``CANCEL``      7      ``{"channel"}``
+``CANCEL_OP``   8      ``{"target": <request id>}`` — abandon an in-flight op
+``OK``          9      op-specific result (``{"value": ...}`` for receives)
+``CLOSED``      10     ``{"cancelled": bool, "reason": str}`` — notification
+                       that the op failed because the channel is closed
+                       (``cancelled=False``) or cancelled/interrupted
+                       (``cancelled=True``), per §4.3's close-vs-cancel split
+``ERROR``       11     ``{"message": str}``
+==============  =====  ======================================================
+
+Payloads are UTF-8 JSON objects (possibly empty).  Channel elements are
+therefore restricted to JSON-serializable values on the wire — the same
+trade every RPC layer makes; richer codecs can slot in behind
+:func:`encode_frame`/:class:`FrameDecoder` without touching framing.
+
+Decoding is *incremental* (:class:`FrameDecoder` is fed arbitrary byte
+chunks) and *fail-fast*: unknown op codes, oversized lengths and
+undecodable payloads raise :class:`~repro.errors.ProtocolError`
+immediately, and :meth:`FrameDecoder.eof` raises if the stream ends
+mid-frame — a truncated frame is an error, never a hang.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "OP_OPEN",
+    "OP_SEND",
+    "OP_RECEIVE",
+    "OP_TRY_SEND",
+    "OP_TRY_RECEIVE",
+    "OP_CLOSE",
+    "OP_CANCEL",
+    "OP_CANCEL_OP",
+    "OP_OK",
+    "OP_CLOSED",
+    "OP_ERROR",
+    "OP_NAMES",
+    "REQUEST_OPS",
+    "RESPONSE_OPS",
+    "MAX_FRAME_BYTES",
+    "Frame",
+    "FrameDecoder",
+    "encode_frame",
+    "decode_frame",
+]
+
+OP_OPEN = 1
+OP_SEND = 2
+OP_RECEIVE = 3
+OP_TRY_SEND = 4
+OP_TRY_RECEIVE = 5
+OP_CLOSE = 6
+OP_CANCEL = 7
+OP_CANCEL_OP = 8
+OP_OK = 9
+OP_CLOSED = 10
+OP_ERROR = 11
+
+OP_NAMES = {
+    OP_OPEN: "OPEN",
+    OP_SEND: "SEND",
+    OP_RECEIVE: "RECEIVE",
+    OP_TRY_SEND: "TRY_SEND",
+    OP_TRY_RECEIVE: "TRY_RECEIVE",
+    OP_CLOSE: "CLOSE",
+    OP_CANCEL: "CANCEL",
+    OP_CANCEL_OP: "CANCEL_OP",
+    OP_OK: "OK",
+    OP_CLOSED: "CLOSED",
+    OP_ERROR: "ERROR",
+}
+
+REQUEST_OPS = frozenset(
+    (OP_OPEN, OP_SEND, OP_RECEIVE, OP_TRY_SEND, OP_TRY_RECEIVE, OP_CLOSE, OP_CANCEL, OP_CANCEL_OP)
+)
+RESPONSE_OPS = frozenset((OP_OK, OP_CLOSED, OP_ERROR))
+
+#: ``!`` = network byte order; u32 length, u8 op, u64 request id.
+_HEADER = struct.Struct("!IBQ")
+
+#: Fixed bytes covered by ``length`` (op + request id).
+_LENGTH_OVERHEAD = _HEADER.size - 4
+
+#: Hard ceiling on one frame (16 MiB).  A length field beyond this is a
+#: corrupt or hostile stream, not a big payload — reject it instead of
+#: buffering unboundedly.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded protocol frame."""
+
+    op: int
+    req_id: int
+    payload: dict = field(default_factory=dict)
+
+    @property
+    def op_name(self) -> str:
+        return OP_NAMES.get(self.op, f"op#{self.op}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Frame {self.op_name} #{self.req_id} {self.payload!r}>"
+
+
+def encode_frame(op: int, req_id: int, payload: Optional[dict] = None) -> bytes:
+    """Serialize one frame; the inverse of :func:`decode_frame`."""
+
+    if op not in OP_NAMES:
+        raise ProtocolError(f"unknown op code {op}")
+    if not 0 <= req_id < 1 << 64:
+        raise ProtocolError(f"request id out of range: {req_id}")
+    body = b"" if not payload else json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    length = _LENGTH_OVERHEAD + len(body)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
+    return _HEADER.pack(length, op, req_id) + body
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode exactly one complete frame from ``data`` (no trailing bytes)."""
+
+    decoder = FrameDecoder()
+    frames = list(decoder.feed(data))
+    decoder.eof()
+    if len(frames) != 1:
+        raise ProtocolError(f"expected exactly one frame, got {len(frames)}")
+    return frames[0]
+
+
+class FrameDecoder:
+    """Incremental frame decoder over arbitrary byte chunks.
+
+    ``feed(chunk)`` yields every frame completed by the chunk; partial
+    trailing bytes are buffered for the next feed.  Any malformed input
+    raises :class:`~repro.errors.ProtocolError` at the earliest byte
+    that proves the stream corrupt (a bad length or op code is rejected
+    from the header alone, before the payload arrives).
+    """
+
+    __slots__ = ("_buf", "_frames_decoded")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._frames_decoded = 0
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of a frame."""
+
+        return len(self._buf)
+
+    @property
+    def frames_decoded(self) -> int:
+        return self._frames_decoded
+
+    def feed(self, chunk: bytes) -> Iterator[Frame]:
+        """Buffer ``chunk`` and yield every frame it completes."""
+
+        self._buf.extend(chunk)
+        frames = []
+        while True:
+            frame = self._try_decode_one()
+            if frame is None:
+                break
+            frames.append(frame)
+        return iter(frames)
+
+    def eof(self) -> None:
+        """Declare end-of-stream; a partially buffered frame is an error."""
+
+        if self._buf:
+            raise ProtocolError(
+                f"stream truncated mid-frame: {len(self._buf)} dangling bytes after "
+                f"{self._frames_decoded} complete frame(s)"
+            )
+
+    # ------------------------------------------------------------------
+
+    def _try_decode_one(self) -> Optional[Frame]:
+        buf = self._buf
+        if len(buf) < 4:
+            return None
+        length = int.from_bytes(buf[:4], "big")
+        if length < _LENGTH_OVERHEAD:
+            raise ProtocolError(f"frame length {length} shorter than the fixed header")
+        if length > MAX_FRAME_BYTES:
+            raise ProtocolError(
+                f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+            )
+        # Validate the op code as soon as it is visible, even if the
+        # payload has not arrived — corrupt streams fail fast.
+        if len(buf) >= 5:
+            op = buf[4]
+            if op not in OP_NAMES:
+                raise ProtocolError(f"unknown op code {op}")
+        if len(buf) < 4 + length:
+            return None
+        _, op, req_id = _HEADER.unpack_from(buf, 0)
+        body = bytes(buf[_HEADER.size : 4 + length])
+        del buf[: 4 + length]
+        if body:
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(f"undecodable payload in {OP_NAMES[op]} frame: {exc}") from None
+            if not isinstance(payload, dict):
+                raise ProtocolError(
+                    f"payload of {OP_NAMES[op]} frame must be a JSON object, got {type(payload).__name__}"
+                )
+        else:
+            payload = {}
+        self._frames_decoded += 1
+        return Frame(op, req_id, payload)
+
+
+def describe_payload(op: int, payload: dict) -> str:
+    """Short human-readable payload summary (for logs and errors)."""
+
+    if op in (OP_SEND, OP_TRY_SEND):
+        value: Any = payload.get("value")
+        text = repr(value)
+        if len(text) > 40:
+            text = text[:37] + "..."
+        return f"channel={payload.get('channel')!r} value={text}"
+    if "channel" in payload:
+        return f"channel={payload.get('channel')!r}"
+    return repr(payload)

@@ -1,0 +1,237 @@
+"""Sharded registry of named channels served by :mod:`repro.net`.
+
+The server's channel namespace: ``open("events", capacity=64)`` is
+get-or-create, every operation routes through the name, and channels
+carry per-lifecycle stats (open count, ops served, timestamps) so the
+registry can garbage-collect idle channels and export queue-depth
+gauges into the shared :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Names are hashed (CRC32, stable across processes) onto a fixed number
+of shards.  asyncio keeps each operation single-threaded, so sharding
+here is not a lock-striping trick as it would be in the simulated
+algorithm — it bounds the work of one idle-GC slice (the collector
+scans one shard per tick, mirroring how production registries amortize
+scans) and keeps the layout ready for a multi-loop server.
+
+``capacity`` on open follows :func:`repro.core.channel.make_channel`
+plus two aliases: ``-1`` means :data:`~repro.core.channel.UNLIMITED`,
+and ``overflow`` selects the kotlinx policy (``"suspend"``,
+``"drop_oldest"``, ``"conflate"``).
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from ..aio.channel import AsyncChannel
+from ..core.channel import UNLIMITED
+from ..errors import RemoteOpError
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["ChannelEntry", "ChannelRegistry", "DEFAULT_SHARDS"]
+
+DEFAULT_SHARDS = 8
+
+_OVERFLOW_POLICIES = ("suspend", "drop_oldest", "conflate")
+
+
+@dataclass
+class ChannelEntry:
+    """One named channel plus its lifecycle bookkeeping."""
+
+    name: str
+    channel: AsyncChannel
+    capacity: int
+    overflow: str
+    created_at: float
+    last_active: float
+    opens: int = 1
+    ops: int = 0
+    #: Ops currently executing against this channel (parked included).
+    inflight: int = 0
+
+    def touch(self, now: float) -> None:
+        self.ops += 1
+        self.last_active = now
+
+    @property
+    def queue_depth(self) -> int:
+        """Elements currently buffered (completed sends minus receives)."""
+
+        stats = self.channel.stats
+        return max(0, stats.sends - stats.receives)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "overflow": self.overflow,
+            "opens": self.opens,
+            "ops": self.ops,
+            "inflight": self.inflight,
+            "queue_depth": self.queue_depth,
+            "age_s": round(time.monotonic() - self.created_at, 3),
+        }
+
+
+class ChannelRegistry:
+    """Get-or-create registry of named :class:`AsyncChannel` instances."""
+
+    def __init__(
+        self,
+        shards: int = DEFAULT_SHARDS,
+        *,
+        idle_seconds: float = 300.0,
+        metrics: Optional[MetricsRegistry] = None,
+        clock=time.monotonic,
+    ):
+        if shards < 1:
+            raise ValueError("registry needs at least one shard")
+        self._shards: list[dict[str, ChannelEntry]] = [{} for _ in range(shards)]
+        self._gc_cursor = 0
+        self.idle_seconds = idle_seconds
+        self.metrics = metrics
+        self.clock = clock
+        #: Lifetime counters (survive channel removal).
+        self.total_opened = 0
+        self.total_collected = 0
+
+    # ------------------------------------------------------------------
+
+    def _shard_of(self, name: str) -> dict[str, ChannelEntry]:
+        return self._shards[zlib.crc32(name.encode("utf-8")) % len(self._shards)]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._shard_of(name)
+
+    def entries(self) -> Iterator[ChannelEntry]:
+        for shard in self._shards:
+            yield from shard.values()
+
+    # ------------------------------------------------------------------
+
+    def open(
+        self,
+        name: str,
+        capacity: int = 0,
+        overflow: str = "suspend",
+    ) -> ChannelEntry:
+        """Get-or-create the named channel.
+
+        Re-opening an existing name with the *same* parameters joins the
+        existing channel (this is how many clients share one channel);
+        conflicting parameters raise :class:`~repro.errors.RemoteOpError`
+        — silently handing back a channel with different buffering than
+        requested would be a debugging nightmare.
+        """
+
+        if not name:
+            raise RemoteOpError("channel name must be non-empty")
+        if overflow not in _OVERFLOW_POLICIES:
+            raise RemoteOpError(f"unknown overflow policy {overflow!r}")
+        if capacity < -1:
+            raise RemoteOpError(f"capacity must be >= -1, got {capacity}")
+        shard = self._shard_of(name)
+        now = self.clock()
+        entry = shard.get(name)
+        if entry is not None:
+            if entry.capacity != capacity or entry.overflow != overflow:
+                raise RemoteOpError(
+                    f"channel {name!r} already open with capacity={entry.capacity} "
+                    f"overflow={entry.overflow!r} (requested capacity={capacity} "
+                    f"overflow={overflow!r})"
+                )
+            entry.opens += 1
+            entry.last_active = now
+            return entry
+        real_capacity = UNLIMITED if capacity == -1 else capacity
+        channel = AsyncChannel(real_capacity, name=name, overflow=overflow)
+        entry = ChannelEntry(
+            name=name,
+            channel=channel,
+            capacity=capacity,
+            overflow=overflow,
+            created_at=now,
+            last_active=now,
+        )
+        shard[name] = entry
+        self.total_opened += 1
+        if self.metrics is not None:
+            self.metrics.counter("net_channels_opened_total").inc()
+            self.metrics.gauge("net_channels").set(len(self))
+        return entry
+
+    def get(self, name: str) -> ChannelEntry:
+        """The entry for ``name``; raises if it was never opened."""
+
+        entry = self._shard_of(name).get(name)
+        if entry is None:
+            raise RemoteOpError(f"unknown channel {name!r} (send OPEN first)")
+        return entry
+
+    def remove(self, name: str) -> bool:
+        entry = self._shard_of(name).pop(name, None)
+        if entry is not None and self.metrics is not None:
+            self.metrics.gauge("net_channels").set(len(self))
+        return entry is not None
+
+    # ------------------------------------------------------------------
+
+    def record_op(self, entry: ChannelEntry) -> None:
+        """Account one completed op and refresh the queue-depth gauge."""
+
+        entry.touch(self.clock())
+        if self.metrics is not None:
+            self.metrics.gauge("queue_depth", channel=entry.name).set(entry.queue_depth)
+
+    def collect_idle(self, *, full: bool = False) -> list[str]:
+        """Remove closed-and-idle channels; returns the collected names.
+
+        A channel is collectible when nothing has touched it for
+        ``idle_seconds`` and no op is in flight against it.  Closed,
+        drained channels keep no state worth preserving; an *open* idle
+        channel is also collected — a later OPEN simply recreates it,
+        which matches the at-least-once registration contract every
+        named-resource service ends up with.  By default one shard is
+        scanned per call (amortized GC); ``full=True`` scans everything.
+        """
+
+        now = self.clock()
+        collected: list[str] = []
+        if full:
+            shards = list(range(len(self._shards)))
+        else:
+            shards = [self._gc_cursor % len(self._shards)]
+            self._gc_cursor += 1
+        for i in shards:
+            shard = self._shards[i]
+            for name, entry in list(shard.items()):
+                if entry.inflight > 0:
+                    continue
+                if now - entry.last_active < self.idle_seconds:
+                    continue
+                del shard[name]
+                collected.append(name)
+        if collected:
+            self.total_collected += len(collected)
+            if self.metrics is not None:
+                self.metrics.counter("net_channels_collected_total").inc(len(collected))
+                self.metrics.gauge("net_channels").set(len(self))
+        return collected
+
+    def snapshot(self) -> dict[str, Any]:
+        """Registry-wide stats plus one row per live channel."""
+
+        return {
+            "channels": len(self),
+            "shards": len(self._shards),
+            "total_opened": self.total_opened,
+            "total_collected": self.total_collected,
+            "entries": sorted((e.snapshot() for e in self.entries()), key=lambda r: r["name"]),
+        }

@@ -1,0 +1,448 @@
+"""asyncio server multiplexing channel operations over TCP connections.
+
+One connection carries many concurrent operations: the reader loop
+decodes frames and dispatches each request as its own asyncio task, so
+a parked ``RECEIVE`` never blocks a pipelined ``SEND`` behind it.  Three
+properties the paper's semantics force on the design:
+
+* **Backpressure is the channel's, not the socket buffer's.**  A
+  ``SEND`` against a full channel *awaits* ``channel.send`` — the op
+  holds its in-flight slot while parked, and once a connection's
+  ``max_inflight`` slots are taken the reader stops reading.  TCP flow
+  control then pushes back on the remote writer: a full channel slows
+  the producing client instead of buffering frames unboundedly in
+  server memory.
+
+* **Close vs. cancel propagates over the wire (§4.3).**  An op failing
+  because the channel was closed reports ``CLOSED{cancelled=false}``
+  (buffered elements still drain); a cancelled channel reports
+  ``CLOSED{cancelled=true}``.  An op *interrupted* — its connection
+  died, the server is shutting down, or the client sent ``CANCEL_OP`` —
+  reports ``reason="interrupt"``: the paper's coroutine cancellation,
+  which neutralizes the op's cell and leaves the channel itself open.
+  A killed connection therefore cancels that connection's parked ops
+  without closing any channel other clients are using.
+
+* **Graceful shutdown drains accepted sends.**  ``shutdown(drain=True)``
+  stops accepting connections and reading frames, waits for every
+  in-flight ``SEND`` to land in a channel, and only then interrupts the
+  remaining parked ops and closes connections — an accepted message is
+  never dropped on the floor.
+
+Observability rides the shared registry: pass an
+:class:`~repro.obs.session.ObsSession` (or a bare ``MetricsRegistry``)
+and the server maintains ``connections``, ``inflight_ops``,
+``frames_total{op=...}`` and per-channel ``queue_depth`` gauges in the
+same registry the contention profiler reports into.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+from typing import Any, Optional
+
+from ..errors import (
+    ChannelClosedForReceive,
+    ChannelClosedForSend,
+    ProtocolError,
+    ReproError,
+)
+from ..obs.metrics import MetricsRegistry
+from .protocol import (
+    OP_CANCEL,
+    OP_CANCEL_OP,
+    OP_CLOSE,
+    OP_CLOSED,
+    OP_ERROR,
+    OP_NAMES,
+    OP_OK,
+    OP_OPEN,
+    OP_RECEIVE,
+    OP_SEND,
+    OP_TRY_RECEIVE,
+    OP_TRY_SEND,
+    Frame,
+    FrameDecoder,
+    encode_frame,
+)
+from .registry import ChannelRegistry
+
+__all__ = ["ChannelServer", "serve", "main"]
+
+#: Per-connection cap on concurrently executing ops.  Hitting the cap
+#: pauses the connection's reader — that is the backpressure mechanism,
+#: not an error.
+DEFAULT_MAX_INFLIGHT = 256
+
+_READ_CHUNK = 64 * 1024
+
+
+class _Connection:
+    """Per-connection state: decoder, in-flight ops, write ordering."""
+
+    __slots__ = (
+        "conn_id",
+        "reader",
+        "writer",
+        "decoder",
+        "slots",
+        "inflight",
+        "notify_tasks",
+        "reader_task",
+        "write_lock",
+        "preserve_inflight",
+    )
+
+    def __init__(self, conn_id: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, max_inflight: int):
+        self.conn_id = conn_id
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder()
+        self.slots = asyncio.Semaphore(max_inflight)
+        #: req_id -> (op code, task) for every op still executing.
+        self.inflight: dict[int, tuple[int, asyncio.Task]] = {}
+        #: Fire-and-forget CLOSED/ERROR notifications still being written.
+        self.notify_tasks: set[asyncio.Task] = set()
+        self.reader_task: Optional[asyncio.Task] = None
+        self.write_lock = asyncio.Lock()
+        #: Set during server shutdown so the reader's teardown leaves the
+        #: in-flight ops to the drain logic instead of cancelling them.
+        self.preserve_inflight = False
+
+
+class ChannelServer:
+    """Serve a :class:`~repro.net.registry.ChannelRegistry` over TCP."""
+
+    def __init__(
+        self,
+        registry: Optional[ChannelRegistry] = None,
+        *,
+        obs: Any = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        gc_interval: Optional[float] = None,
+    ):
+        metrics = getattr(obs, "metrics", obs)
+        if metrics is not None and not isinstance(metrics, MetricsRegistry):
+            raise TypeError(f"obs must be an ObsSession or MetricsRegistry, got {type(obs).__name__}")
+        self.obs = obs
+        self.metrics = metrics
+        self.registry = registry if registry is not None else ChannelRegistry(metrics=metrics)
+        if self.registry.metrics is None and metrics is not None:
+            self.registry.metrics = metrics
+        self.max_inflight = max_inflight
+        self.gc_interval = gc_interval
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conns: dict[int, _Connection] = {}
+        self._next_conn_id = 0
+        self._closing = False
+        self._gc_task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> "ChannelServer":
+        """Bind and start accepting; ``port=0`` picks an ephemeral port."""
+
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        if self.gc_interval:
+            self._gc_task = asyncio.get_running_loop().create_task(self._gc_loop())
+        return self
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def shutdown(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the server; with ``drain``, land in-flight sends first.
+
+        Order matters: stop accepting, stop *reading* (no new ops can
+        arrive), wait for accepted SENDs to reach their channels, then
+        interrupt whatever is still parked (receives, and sends that
+        missed the drain ``timeout``) and close the connections.
+        """
+
+        self._closing = True
+        if self._gc_task is not None:
+            self._gc_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._gc_task
+        if self._server is not None:
+            self._server.close()
+        conns = list(self._conns.values())
+        for conn in conns:
+            conn.preserve_inflight = True
+            if conn.reader_task is not None:
+                conn.reader_task.cancel()
+        for conn in conns:
+            if conn.reader_task is not None:
+                with contextlib.suppress(asyncio.CancelledError):
+                    await conn.reader_task
+        if drain:
+            sends = [
+                task
+                for conn in conns
+                for (op, task) in list(conn.inflight.values())
+                if op in (OP_SEND, OP_TRY_SEND)
+            ]
+            if sends:
+                await asyncio.wait(sends, timeout=timeout)
+        for conn in conns:
+            for _, task in list(conn.inflight.values()):
+                task.cancel()
+        for conn in conns:
+            await self._close_connection(conn)
+        if self._server is not None:
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._server.wait_closed()
+
+    async def _gc_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.gc_interval)
+            self.registry.collect_idle()
+
+    # ------------------------------------------------------------------
+    # connection handling
+
+    async def _on_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        if self._closing:
+            writer.close()
+            return
+        conn = _Connection(self._next_conn_id, reader, writer, self.max_inflight)
+        self._next_conn_id += 1
+        self._conns[conn.conn_id] = conn
+        conn.reader_task = asyncio.current_task()
+        if self.metrics is not None:
+            self.metrics.gauge("connections").set(len(self._conns))
+        try:
+            await self._read_frames(conn)
+        except asyncio.CancelledError:
+            # Not re-raised: a connection-handler task that ends
+            # "cancelled" trips asyncio.streams' done-callback on some
+            # 3.11 releases.  With ``preserve_inflight`` (server
+            # shutdown) teardown is orchestrated by ``shutdown()``;
+            # otherwise fall through to the kill-cleanup below.
+            if conn.preserve_inflight:
+                return
+        except ProtocolError as exc:
+            self._notify(conn, OP_ERROR, 0, {"message": str(exc)})
+        except ConnectionError:
+            pass
+        finally:
+            if not conn.preserve_inflight:
+                # Client went away (EOF, reset, or protocol abuse): the
+                # paper's §4.3 cancellation — interrupt this connection's
+                # parked ops, leave every channel open.
+                for _, task in list(conn.inflight.values()):
+                    task.cancel()
+                await self._close_connection(conn)
+
+    async def _read_frames(self, conn: _Connection) -> None:
+        while True:
+            chunk = await conn.reader.read(_READ_CHUNK)
+            if not chunk:
+                conn.decoder.eof()  # truncated mid-frame -> ProtocolError
+                return
+            for frame in conn.decoder.feed(chunk):
+                if self.metrics is not None:
+                    self.metrics.counter("frames_total", op=frame.op_name).inc()
+                if frame.op == OP_CANCEL_OP:
+                    self._cancel_inflight_op(conn, frame)
+                    continue
+                # Backpressure: block the reader until a slot frees up.
+                await conn.slots.acquire()
+                task = asyncio.get_running_loop().create_task(self._run_op(conn, frame))
+                conn.inflight[frame.req_id] = (frame.op, task)
+                task.add_done_callback(lambda _t, c=conn, rid=frame.req_id: self._op_done(c, rid))
+                if self.metrics is not None:
+                    self.metrics.gauge("inflight_ops").inc()
+
+    def _cancel_inflight_op(self, conn: _Connection, frame: Frame) -> None:
+        target = frame.payload.get("target")
+        entry = conn.inflight.get(target)
+        if entry is not None:
+            entry[1].cancel()
+
+    def _op_done(self, conn: _Connection, req_id: int) -> None:
+        conn.inflight.pop(req_id, None)
+        conn.slots.release()
+        if self.metrics is not None:
+            self.metrics.gauge("inflight_ops").dec()
+
+    async def _close_connection(self, conn: _Connection) -> None:
+        # Let in-flight ops and their teardown notifications finish
+        # writing before the stream goes away.
+        pending = [task for _, task in conn.inflight.values()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        if conn.notify_tasks:
+            await asyncio.gather(*conn.notify_tasks, return_exceptions=True)
+        self._conns.pop(conn.conn_id, None)
+        if self.metrics is not None:
+            self.metrics.gauge("connections").set(len(self._conns))
+        with contextlib.suppress(Exception):
+            conn.writer.close()
+            await conn.writer.wait_closed()
+
+    # ------------------------------------------------------------------
+    # op execution
+
+    async def _run_op(self, conn: _Connection, frame: Frame) -> None:
+        try:
+            payload = await self._execute(frame)
+            await self._respond(conn, OP_OK, frame.req_id, payload)
+        except asyncio.CancelledError:
+            # Interrupted (connection death, shutdown, CANCEL_OP): tell
+            # the client this was a cancellation, not a channel close.
+            # The write happens on a detached task because this one is
+            # being torn down.
+            self._notify(conn, OP_CLOSED, frame.req_id, {"cancelled": True, "reason": "interrupt"})
+            raise
+        except ChannelClosedForSend as exc:
+            await self._respond_closed(conn, frame, exc)
+        except ChannelClosedForReceive as exc:
+            await self._respond_closed(conn, frame, exc)
+        except ReproError as exc:
+            await self._respond(conn, OP_ERROR, frame.req_id, {"message": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - never kill the connection for one op
+            await self._respond(conn, OP_ERROR, frame.req_id, {"message": f"{type(exc).__name__}: {exc}"})
+
+    async def _execute(self, frame: Frame) -> dict:
+        op, p = frame.op, frame.payload
+        name = p.get("channel", "")
+        if op == OP_OPEN:
+            entry = self.registry.open(
+                name, int(p.get("capacity", 0)), p.get("overflow", "suspend")
+            )
+            self.registry.record_op(entry)
+            return {"capacity": entry.capacity, "overflow": entry.overflow, "opens": entry.opens}
+        entry = self.registry.get(name)
+        entry.inflight += 1
+        try:
+            if op == OP_SEND:
+                await entry.channel.send(p.get("value"))
+                result: dict = {}
+            elif op == OP_RECEIVE:
+                result = {"value": await entry.channel.receive()}
+            elif op == OP_TRY_SEND:
+                result = {"success": entry.channel.try_send(p.get("value"))}
+            elif op == OP_TRY_RECEIVE:
+                ok, value = entry.channel.try_receive()
+                result = {"success": ok, "value": value}
+            elif op == OP_CLOSE:
+                result = {"closed": entry.channel.close()}
+            elif op == OP_CANCEL:
+                result = {"cancelled": entry.channel.cancel()}
+            else:
+                raise ProtocolError(f"op {OP_NAMES.get(op, op)} is not a channel operation")
+        finally:
+            entry.inflight -= 1
+        self.registry.record_op(entry)
+        return result
+
+    async def _respond_closed(self, conn: _Connection, frame: Frame, exc: Exception) -> None:
+        name = frame.payload.get("channel", "")
+        cancelled = False
+        if name in self.registry:
+            cancelled = self.registry.get(name).channel.cancelled
+        await self._respond(
+            conn,
+            OP_CLOSED,
+            frame.req_id,
+            {"cancelled": cancelled, "reason": "cancel" if cancelled else "close"},
+        )
+
+    # ------------------------------------------------------------------
+    # response writing
+
+    async def _respond(self, conn: _Connection, op: int, req_id: int, payload: dict) -> None:
+        data = encode_frame(op, req_id, payload)
+        try:
+            async with conn.write_lock:
+                if conn.writer.is_closing():
+                    return
+                conn.writer.write(data)
+                await conn.writer.drain()
+        except ConnectionError:
+            pass  # the peer is gone; its reader-side teardown handles cleanup
+
+    def _notify(self, conn: _Connection, op: int, req_id: int, payload: dict) -> None:
+        """Fire-and-forget response write (used from cancellation paths)."""
+
+        task = asyncio.get_running_loop().create_task(self._respond(conn, op, req_id, payload))
+        conn.notify_tasks.add(task)
+        task.add_done_callback(conn.notify_tasks.discard)
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    registry: Optional[ChannelRegistry] = None,
+    obs: Any = None,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    gc_interval: Optional[float] = None,
+) -> ChannelServer:
+    """Start a :class:`ChannelServer`; returns once it is listening.
+
+    The returned server exposes ``.host``/``.port`` (useful with
+    ``port=0``) and must be stopped with ``await server.shutdown()``.
+    """
+
+    server = ChannelServer(registry, obs=obs, max_inflight=max_inflight, gc_interval=gc_interval)
+    return await server.start(host, port)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.net [--host H] [--port P]``.
+
+    Prints the bound port as the first stdout line (so scripts can
+    capture an ephemeral port), then serves until interrupted.
+    """
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net",
+        description="Serve named repro channels over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0, help="0 picks an ephemeral port")
+    parser.add_argument("--shards", type=int, default=8, help="registry shard count")
+    parser.add_argument("--idle-seconds", type=float, default=300.0, help="idle-channel GC threshold")
+    parser.add_argument("--gc-interval", type=float, default=30.0, help="seconds between GC slices (0 disables)")
+    parser.add_argument("--max-inflight", type=int, default=DEFAULT_MAX_INFLIGHT,
+                        help="per-connection in-flight op cap (backpressure threshold)")
+    args = parser.parse_args(argv)
+
+    async def _run() -> None:
+        registry = ChannelRegistry(args.shards, idle_seconds=args.idle_seconds)
+        server = await serve(
+            args.host,
+            args.port,
+            registry=registry,
+            max_inflight=args.max_inflight,
+            gc_interval=args.gc_interval or None,
+        )
+        print(server.port, flush=True)
+        print(f"repro.net: serving on {server.host}:{server.port}", file=sys.stderr, flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.shutdown(drain=True, timeout=5.0)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro.net: interrupted, shut down", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI net-smoke
+    sys.exit(main())

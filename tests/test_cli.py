@@ -76,6 +76,26 @@ class TestJsonOutput:
         assert rows and all(r["command"] == "memory" for r in rows)
 
 
+class TestNetCommand:
+    def test_net_smoke_no_loss(self, tmp_path, capsys):
+        path = tmp_path / "net.json"
+        rc = main(["net", "--producers", "2", "--consumers", "2",
+                   "--ops", "200", "--net-capacity", "16",
+                   "--json", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "200/200 completed" in out
+        rows = json.loads(path.read_text())
+        assert rows[0]["command"] == "net"
+        assert rows[0]["ops_completed"] == rows[0]["ops_submitted"] == 200
+        assert rows[0]["throughput_ops_s"] > 0
+
+    def test_net_excluded_from_all(self):
+        from repro.bench.__main__ import PAPER_COMMANDS
+
+        assert "net" not in PAPER_COMMANDS
+
+
 class TestProfileCommand:
     def test_profile_prints_contention_table(self, capsys):
         rc = main(["profile", "--threads", "4", "--elements", "200",

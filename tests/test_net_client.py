@@ -1,0 +1,227 @@
+"""Client-side tests: RemoteChannel API surface, deadlines, loadgen."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ChannelClosedForReceive, ConnectionLostError
+from repro.net import connect, serve
+from repro.net.loadgen import format_report, run_load
+from repro.obs.metrics import MetricsRegistry
+
+
+def run(coro, timeout=20):
+    async def guarded():
+        return await asyncio.wait_for(coro, timeout)
+
+    return asyncio.run(guarded())
+
+
+class TestDeadlines:
+    def test_receive_deadline_expires(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            c = await connect("127.0.0.1", server.port)
+            try:
+                ch = await c.channel("empty", capacity=0)
+                with pytest.raises(asyncio.TimeoutError):
+                    await ch.receive(timeout=0.1)
+                return "ok"
+            finally:
+                await c.close()
+                await server.shutdown()
+
+        assert run(main()) == "ok"
+
+    def test_send_deadline_expires_on_full_channel(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            c = await connect("127.0.0.1", server.port)
+            try:
+                ch = await c.channel("full", capacity=1)
+                await ch.send(1)
+                with pytest.raises(asyncio.TimeoutError):
+                    await ch.send(2, timeout=0.1)
+                return "ok"
+            finally:
+                await c.close()
+                await server.shutdown()
+
+        assert run(main()) == "ok"
+
+    def test_channel_usable_after_expired_deadline(self):
+        """The expired op is interrupted server-side (cell neutralized);
+        the channel itself keeps working for everyone."""
+
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            a = await connect("127.0.0.1", server.port)
+            b = await connect("127.0.0.1", server.port)
+            try:
+                ch_a = await a.channel("reuse", capacity=0)
+                ch_b = await b.channel("reuse", capacity=0)
+                with pytest.raises(asyncio.TimeoutError):
+                    await ch_a.receive(timeout=0.1)
+                await asyncio.sleep(0.05)  # CANCEL_OP lands server-side
+                recv = asyncio.create_task(ch_a.receive())
+                await ch_b.send("after")
+                return await recv
+            finally:
+                await a.close()
+                await b.close()
+                await server.shutdown()
+
+        assert run(main()) == "after"
+
+    def test_expired_receive_does_not_steal_elements(self):
+        """An interrupted remote receive must not consume a later send:
+        the next real receive gets the element."""
+
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            a = await connect("127.0.0.1", server.port)
+            b = await connect("127.0.0.1", server.port)
+            try:
+                ch_a = await a.channel("steal", capacity=4)
+                ch_b = await b.channel("steal", capacity=4)
+                with pytest.raises(asyncio.TimeoutError):
+                    await ch_a.receive(timeout=0.1)
+                await asyncio.sleep(0.05)
+                await ch_b.send("kept")
+                return await ch_a.receive()
+            finally:
+                await a.close()
+                await b.close()
+                await server.shutdown()
+
+        assert run(main()) == "kept"
+
+    def test_client_default_deadline_applies(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            c = await connect("127.0.0.1", server.port, deadline=0.1)
+            try:
+                ch = await c.channel("dflt", capacity=0)
+                with pytest.raises(asyncio.TimeoutError):
+                    await ch.receive()  # inherits the client deadline
+                # Explicit timeout=None disables the default.
+                recv = asyncio.create_task(ch.receive(timeout=None))
+                await asyncio.sleep(0.2)
+                assert not recv.done()
+                recv.cancel()
+                try:
+                    await recv
+                except (asyncio.CancelledError, ConnectionLostError):
+                    pass
+                return "ok"
+            finally:
+                await c.close()
+                await server.shutdown()
+
+        assert run(main()) == "ok"
+
+
+class TestClientLifecycle:
+    def test_receive_catching_and_iteration(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            c = await connect("127.0.0.1", server.port)
+            try:
+                ch = await c.channel("rc", capacity=4)
+                await ch.send(1)
+                await ch.close()
+                first = await ch.receive_catching()
+                second = await ch.receive_catching()
+                return first, second
+            finally:
+                await c.close()
+                await server.shutdown()
+
+        assert run(main()) == ((True, 1), (False, None))
+
+    def test_client_close_fails_parked_ops(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            c = await connect("127.0.0.1", server.port)
+            ch = await c.channel("gone", capacity=0)
+            parked = asyncio.create_task(ch.receive())
+            await asyncio.sleep(0.05)
+            await c.close()
+            with pytest.raises(ConnectionLostError):
+                await parked
+            with pytest.raises(ConnectionLostError):
+                await ch.send(1)  # the connection is gone for new ops too
+            await server.shutdown()
+            return "ok"
+
+        assert run(main()) == "ok"
+
+    def test_server_shutdown_fails_pending_ops(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            c = await connect("127.0.0.1", server.port)
+            ch = await c.channel("down", capacity=0)
+            parked = asyncio.create_task(ch.receive())
+            await asyncio.sleep(0.05)
+            await server.shutdown(drain=True, timeout=1)
+            with pytest.raises(ConnectionLostError):
+                await parked
+            await c.close()
+            return "ok"
+
+        assert run(main()) == "ok"
+
+
+class TestLoadgen:
+    def test_load_completes_without_loss(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            metrics = MetricsRegistry()
+            try:
+                return await run_load(
+                    "127.0.0.1",
+                    server.port,
+                    producers=3,
+                    consumers=2,
+                    ops=300,
+                    capacity=16,
+                    payload_bytes=32,
+                    metrics=metrics,
+                ), metrics
+            finally:
+                await server.shutdown()
+
+        row, metrics = run(main(), timeout=60)
+        assert row["ops_completed"] == row["ops_submitted"] == 300
+        assert row["ops_acked"] == 300
+        assert row["throughput_ops_s"] > 0
+        assert row["send_p99_us"] >= row["send_p50_us"] > 0
+        # Latency histograms live in the shared obs registry.
+        assert metrics.histogram("net_op_latency_us", op="send").count == 300
+        assert metrics.histogram("net_op_latency_us", op="receive").count == 300
+        report = format_report(row)
+        assert "300/300 completed" in report and "p99" in report
+
+    def test_uneven_split_and_single_consumer(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            try:
+                return await run_load(
+                    "127.0.0.1",
+                    server.port,
+                    producers=4,
+                    consumers=1,
+                    ops=101,  # not divisible by 4
+                    capacity=8,
+                )
+            finally:
+                await server.shutdown()
+
+        row = run(main(), timeout=60)
+        assert row["ops_completed"] == 101
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            run(run_load("127.0.0.1", 1, producers=0))
+        with pytest.raises(ValueError):
+            run(run_load("127.0.0.1", 1, ops=0))

@@ -1,0 +1,169 @@
+"""Wire-protocol tests: frame round-trips, fuzzing, truncation safety."""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    OP_NAMES,
+    OP_OK,
+    OP_OPEN,
+    OP_SEND,
+    Frame,
+    FrameDecoder,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestRoundTrip:
+    def test_simple_frame(self):
+        data = encode_frame(OP_SEND, 42, {"channel": "c", "value": [1, 2, 3]})
+        frame = decode_frame(data)
+        assert frame.op == OP_SEND
+        assert frame.req_id == 42
+        assert frame.payload == {"channel": "c", "value": [1, 2, 3]}
+
+    def test_empty_payload(self):
+        frame = decode_frame(encode_frame(OP_OK, 7))
+        assert frame == Frame(OP_OK, 7, {})
+
+    def test_zero_byte_payload_equals_empty_dict(self):
+        assert decode_frame(encode_frame(OP_OK, 1, {})).payload == {}
+
+    def test_large_payload_over_64k(self):
+        value = "y" * (80 * 1024)
+        frame = decode_frame(encode_frame(OP_SEND, 9, {"value": value}))
+        assert frame.payload["value"] == value
+
+    def test_max_req_id(self):
+        frame = decode_frame(encode_frame(OP_OK, (1 << 64) - 1))
+        assert frame.req_id == (1 << 64) - 1
+
+    @pytest.mark.parametrize("op", sorted(OP_NAMES))
+    def test_every_op_code(self, op):
+        assert decode_frame(encode_frame(op, 3, {"k": "v"})).op == op
+
+
+class TestFuzzRoundTrip:
+    """Random frames through random chunkings always decode losslessly."""
+
+    def test_random_frames_random_chunks(self):
+        rng = random.Random(20230)
+        for _ in range(60):
+            frames = []
+            blob = bytearray()
+            for _ in range(rng.randint(1, 12)):
+                op = rng.choice(sorted(OP_NAMES))
+                req_id = rng.randrange(1 << 64)
+                size = rng.choice([0, 1, 7, 100, 4096, 70_000])
+                payload = {"pad": "z" * size, "n": rng.randrange(1 << 30)} if size else {}
+                frames.append(Frame(op, req_id, payload))
+                blob.extend(encode_frame(op, req_id, payload))
+            decoder = FrameDecoder()
+            decoded = []
+            pos = 0
+            while pos < len(blob):
+                step = rng.randint(1, max(1, len(blob) // 3))
+                decoded.extend(decoder.feed(bytes(blob[pos : pos + step])))
+                pos += step
+            decoder.eof()
+            assert decoded == frames
+            assert decoder.pending_bytes == 0
+
+    def test_byte_at_a_time(self):
+        data = encode_frame(OP_OPEN, 5, {"channel": "events", "capacity": 64})
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(len(data)):
+            frames.extend(decoder.feed(data[i : i + 1]))
+        assert frames == [Frame(OP_OPEN, 5, {"channel": "events", "capacity": 64})]
+
+
+class TestMalformedInput:
+    """Corrupt streams fail fast with ProtocolError — never hang."""
+
+    def test_truncated_frame_raises_at_eof(self):
+        data = encode_frame(OP_SEND, 1, {"value": "x" * 100})
+        decoder = FrameDecoder()
+        assert list(decoder.feed(data[: len(data) - 10])) == []
+        with pytest.raises(ProtocolError, match="truncated"):
+            decoder.eof()
+
+    def test_truncated_header_raises_at_eof(self):
+        decoder = FrameDecoder()
+        assert list(decoder.feed(b"\x00\x00")) == []
+        with pytest.raises(ProtocolError, match="truncated"):
+            decoder.eof()
+
+    def test_clean_eof_ok(self):
+        decoder = FrameDecoder()
+        list(decoder.feed(encode_frame(OP_OK, 1)))
+        decoder.eof()  # no dangling bytes: fine
+
+    def test_unknown_op_code_rejected_from_header(self):
+        bad = bytearray(encode_frame(OP_OK, 1, {"a": 1}))
+        bad[4] = 200  # clobber the op byte
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="unknown op code"):
+            # Only the 5-byte header prefix: rejected before the payload.
+            list(decoder.feed(bytes(bad[:5])))
+
+    def test_oversized_length_rejected_before_payload(self):
+        header = (MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="exceeds"):
+            list(decoder.feed(header))
+
+    def test_undersized_length_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(ProtocolError, match="shorter than"):
+            list(decoder.feed((3).to_bytes(4, "big") + b"\x09abc"))
+
+    def test_non_json_payload_rejected(self):
+        frame = encode_frame(OP_SEND, 1, {"value": 1})
+        bad = frame[:13] + b"\xff" * (len(frame) - 13)
+        with pytest.raises(ProtocolError, match="undecodable payload"):
+            list(FrameDecoder().feed(bad))
+
+    def test_non_object_json_payload_rejected(self):
+        body = json.dumps([1, 2, 3]).encode()
+        raw = (9 + len(body)).to_bytes(4, "big") + bytes([OP_SEND]) + (1).to_bytes(8, "big") + body
+        with pytest.raises(ProtocolError, match="JSON object"):
+            list(FrameDecoder().feed(raw))
+
+    def test_random_garbage_never_hangs(self):
+        """Any byte soup either decodes or raises; eof() settles the rest."""
+
+        rng = random.Random(7)
+        for _ in range(200):
+            blob = bytes(rng.randrange(256) for _ in range(rng.randint(1, 400)))
+            decoder = FrameDecoder()
+            try:
+                list(decoder.feed(blob))
+                decoder.eof()
+            except ProtocolError:
+                pass  # fail-fast is the contract; hanging would be the bug
+
+    def test_encode_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(99, 1, {})
+
+    def test_encode_rejects_bad_req_id(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(OP_OK, -1)
+        with pytest.raises(ProtocolError):
+            encode_frame(OP_OK, 1 << 64)
+
+    def test_decode_frame_rejects_trailing_bytes(self):
+        data = encode_frame(OP_OK, 1) + b"\x00"
+        with pytest.raises(ProtocolError):
+            decode_frame(data)
+
+    def test_frames_decoded_counter(self):
+        decoder = FrameDecoder()
+        list(decoder.feed(encode_frame(OP_OK, 1) + encode_frame(OP_OK, 2)))
+        assert decoder.frames_decoded == 2

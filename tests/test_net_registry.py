@@ -1,0 +1,160 @@
+"""Tests for the sharded named-channel registry (repro.net.registry)."""
+
+import pytest
+
+from repro.errors import RemoteOpError
+from repro.net.registry import ChannelRegistry
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestOpen:
+    def test_open_is_get_or_create(self):
+        reg = ChannelRegistry()
+        a = reg.open("events", capacity=4)
+        b = reg.open("events", capacity=4)
+        assert a is b
+        assert a.opens == 2
+        assert len(reg) == 1
+
+    def test_distinct_names_distinct_channels(self):
+        reg = ChannelRegistry()
+        assert reg.open("a").channel is not reg.open("b").channel
+        assert len(reg) == 2
+
+    def test_parameter_conflict_rejected(self):
+        reg = ChannelRegistry()
+        reg.open("c", capacity=4)
+        with pytest.raises(RemoteOpError, match="already open"):
+            reg.open("c", capacity=8)
+        with pytest.raises(RemoteOpError, match="already open"):
+            reg.open("c", capacity=4, overflow="conflate")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(RemoteOpError):
+            ChannelRegistry().open("")
+
+    def test_bad_overflow_rejected(self):
+        with pytest.raises(RemoteOpError, match="overflow"):
+            ChannelRegistry().open("x", overflow="bogus")
+
+    def test_unlimited_capacity_alias(self):
+        entry = ChannelRegistry().open("big", capacity=-1)
+        assert entry.capacity == -1
+        assert entry.channel.capacity > 1 << 40  # UNLIMITED under the hood
+
+    def test_overflow_policies_construct(self):
+        reg = ChannelRegistry()
+        assert reg.open("d", capacity=2, overflow="drop_oldest").channel.capacity == 2
+        assert reg.open("k", capacity=1, overflow="conflate").channel.capacity == 1
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(RemoteOpError, match="unknown channel"):
+            ChannelRegistry().get("ghost")
+
+    def test_contains_and_remove(self):
+        reg = ChannelRegistry()
+        reg.open("x")
+        assert "x" in reg
+        assert reg.remove("x") is True
+        assert "x" not in reg
+        assert reg.remove("x") is False
+
+
+class TestSharding:
+    def test_names_spread_over_shards(self):
+        reg = ChannelRegistry(shards=4)
+        for i in range(64):
+            reg.open(f"chan-{i}")
+        sizes = [len(s) for s in reg._shards]
+        assert sum(sizes) == 64
+        assert all(size > 0 for size in sizes), f"degenerate spread: {sizes}"
+
+    def test_single_shard_allowed(self):
+        reg = ChannelRegistry(shards=1)
+        reg.open("only")
+        assert len(reg) == 1
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelRegistry(shards=0)
+
+
+class TestIdleGC:
+    def test_idle_channel_collected(self):
+        clock = FakeClock()
+        reg = ChannelRegistry(shards=1, idle_seconds=10, clock=clock)
+        reg.open("stale")
+        clock.now = 11
+        assert reg.collect_idle(full=True) == ["stale"]
+        assert len(reg) == 0
+        assert reg.total_collected == 1
+
+    def test_active_channel_survives(self):
+        clock = FakeClock()
+        reg = ChannelRegistry(shards=1, idle_seconds=10, clock=clock)
+        entry = reg.open("hot")
+        clock.now = 9
+        reg.record_op(entry)
+        clock.now = 15  # idle for 6s only
+        assert reg.collect_idle(full=True) == []
+
+    def test_inflight_channel_never_collected(self):
+        clock = FakeClock()
+        reg = ChannelRegistry(shards=1, idle_seconds=10, clock=clock)
+        entry = reg.open("busy")
+        entry.inflight = 1
+        clock.now = 1000
+        assert reg.collect_idle(full=True) == []
+
+    def test_amortized_scan_covers_all_shards(self):
+        clock = FakeClock()
+        reg = ChannelRegistry(shards=4, idle_seconds=10, clock=clock)
+        for i in range(16):
+            reg.open(f"c{i}")
+        clock.now = 100
+        collected = []
+        for _ in range(4):  # one shard per slice
+            collected.extend(reg.collect_idle())
+        assert sorted(collected) == sorted(f"c{i}" for i in range(16))
+
+
+class TestStatsAndMetrics:
+    def test_lifecycle_stats(self):
+        clock = FakeClock()
+        reg = ChannelRegistry(clock=clock)
+        entry = reg.open("s")
+        clock.now = 2.5
+        reg.record_op(entry)
+        assert entry.ops == 1
+        assert entry.last_active == 2.5
+        snap = reg.snapshot()
+        assert snap["channels"] == 1 and snap["total_opened"] == 1
+        assert snap["entries"][0]["name"] == "s"
+
+    def test_queue_depth_gauge(self):
+        metrics = MetricsRegistry()
+        reg = ChannelRegistry(metrics=metrics)
+        entry = reg.open("q", capacity=4)
+        assert entry.channel.try_send(1) and entry.channel.try_send(2)
+        reg.record_op(entry)
+        assert metrics.gauge("queue_depth", channel="q").value == 2
+        assert metrics.gauge("net_channels").value == 1
+        assert metrics.counter("net_channels_opened_total").value == 1
+
+    def test_collect_updates_metrics(self):
+        clock = FakeClock()
+        metrics = MetricsRegistry()
+        reg = ChannelRegistry(idle_seconds=1, metrics=metrics, clock=clock)
+        reg.open("gone")
+        clock.now = 5
+        reg.collect_idle(full=True)
+        assert metrics.counter("net_channels_collected_total").value == 1
+        assert metrics.gauge("net_channels").value == 0

@@ -1,0 +1,382 @@
+"""End-to-end tests for the networked channel service (repro.net).
+
+Every test runs a real asyncio TCP server on an ephemeral localhost
+port and talks to it through real sockets.  A global deadline guards
+each test — a protocol bug must fail, not hang the suite.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    ChannelClosedForReceive,
+    ChannelClosedForSend,
+    ConnectionLostError,
+    RemoteOpError,
+)
+from repro.net import ChannelServer, connect, serve
+from repro.obs.metrics import MetricsRegistry
+
+
+def run(coro, timeout=15):
+    async def guarded():
+        return await asyncio.wait_for(coro, timeout)
+
+    return asyncio.run(guarded())
+
+
+class TestBasicOps:
+    def test_send_receive_across_clients(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            a = await connect("127.0.0.1", server.port)
+            b = await connect("127.0.0.1", server.port)
+            try:
+                ch_a = await a.channel("t", capacity=4)
+                ch_b = await b.channel("t", capacity=4)
+                await ch_a.send({"n": 1})
+                await ch_a.send([1, "two"])
+                first = await ch_b.receive()
+                second = await ch_b.receive()
+                return first, second
+            finally:
+                await a.close()
+                await b.close()
+                await server.shutdown()
+
+        assert run(main()) == ({"n": 1}, [1, "two"])
+
+    def test_rendezvous_parks_until_peer(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            a = await connect("127.0.0.1", server.port)
+            b = await connect("127.0.0.1", server.port)
+            try:
+                ch_a = await a.channel("rz", capacity=0)
+                ch_b = await b.channel("rz", capacity=0)
+                recv = asyncio.create_task(ch_b.receive())
+                await asyncio.sleep(0.05)
+                assert not recv.done()  # parked server-side
+                await ch_a.send("paired")
+                return await recv
+            finally:
+                await a.close()
+                await b.close()
+                await server.shutdown()
+
+        assert run(main()) == "paired"
+
+    def test_pipelined_ops_one_connection(self):
+        """Many concurrent ops in flight on a single socket."""
+
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            c = await connect("127.0.0.1", server.port)
+            try:
+                ch = await c.channel("pipe", capacity=100)
+                sends = [asyncio.create_task(ch.send(i)) for i in range(100)]
+                recvs = [asyncio.create_task(ch.receive()) for _ in range(100)]
+                await asyncio.gather(*sends)
+                values = await asyncio.gather(*recvs)
+                return sorted(values)
+            finally:
+                await c.close()
+                await server.shutdown()
+
+        assert run(main()) == list(range(100))
+
+    def test_try_ops_and_unknown_channel(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            c = await connect("127.0.0.1", server.port)
+            try:
+                ch = await c.channel("try", capacity=1)
+                assert await ch.try_send(1) is True
+                assert await ch.try_send(2) is False  # full
+                assert await ch.try_receive() == (True, 1)
+                assert await ch.try_receive() == (False, None)
+                from repro.net.client import RemoteChannel
+
+                ghost = RemoteChannel(c, "never-opened")
+                with pytest.raises(RemoteOpError, match="unknown channel"):
+                    await ghost.send(1)
+                return "ok"
+            finally:
+                await c.close()
+                await server.shutdown()
+
+        assert run(main()) == "ok"
+
+    def test_open_conflict_surfaces_as_remote_error(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            c = await connect("127.0.0.1", server.port)
+            try:
+                await c.channel("dup", capacity=2)
+                with pytest.raises(RemoteOpError, match="already open"):
+                    await c.channel("dup", capacity=8)
+                return "ok"
+            finally:
+                await c.close()
+                await server.shutdown()
+
+        assert run(main()) == "ok"
+
+
+class TestCloseSemantics:
+    def test_close_propagates_and_is_idempotent_over_wire(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            a = await connect("127.0.0.1", server.port)
+            b = await connect("127.0.0.1", server.port)
+            try:
+                ch_a = await a.channel("cl", capacity=4)
+                ch_b = await b.channel("cl", capacity=4)
+                await ch_a.send("last")
+                first = await ch_a.close()
+                second = await ch_b.close()
+                # close (not cancel): the buffered element still drains.
+                drained = await ch_b.receive()
+                with pytest.raises(ChannelClosedForReceive):
+                    await ch_b.receive()
+                with pytest.raises(ChannelClosedForSend):
+                    await ch_a.send("late")
+                return first, second, drained
+            finally:
+                await a.close()
+                await b.close()
+                await server.shutdown()
+
+        assert run(main()) == (True, False, "last")
+
+    def test_cancel_discards_buffered_elements(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            c = await connect("127.0.0.1", server.port)
+            try:
+                ch = await c.channel("cx", capacity=4)
+                await ch.send(1)
+                await ch.send(2)
+                assert await ch.cancel() is True
+                with pytest.raises(ChannelClosedForReceive):
+                    await ch.receive()
+                return "ok"
+            finally:
+                await c.close()
+                await server.shutdown()
+
+        assert run(main()) == "ok"
+
+    def test_close_wakes_parked_remote_receiver(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            a = await connect("127.0.0.1", server.port)
+            b = await connect("127.0.0.1", server.port)
+            try:
+                ch_a = await a.channel("wake", capacity=0)
+                ch_b = await b.channel("wake", capacity=0)
+                parked = asyncio.create_task(ch_b.receive())
+                await asyncio.sleep(0.05)
+                await ch_a.close()
+                with pytest.raises(ChannelClosedForReceive):
+                    await parked
+                return "ok"
+            finally:
+                await a.close()
+                await b.close()
+                await server.shutdown()
+
+        assert run(main()) == "ok"
+
+    def test_iteration_terminates_on_close(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            a = await connect("127.0.0.1", server.port)
+            b = await connect("127.0.0.1", server.port)
+            try:
+                ch_a = await a.channel("it", capacity=8)
+                ch_b = await b.channel("it", capacity=8)
+                for i in range(5):
+                    await ch_a.send(i)
+                await ch_a.close()
+                return [v async for v in ch_b]
+            finally:
+                await a.close()
+                await b.close()
+                await server.shutdown()
+
+        assert run(main()) == [0, 1, 2, 3, 4]
+
+
+class TestBackpressure:
+    def test_inflight_cap_slows_reader_without_loss(self):
+        """Pipelining far past max_inflight completes once a consumer
+        drains — the reader pauses instead of buffering unboundedly."""
+
+        async def main():
+            server = ChannelServer(max_inflight=8)
+            await server.start("127.0.0.1", 0)
+            a = await connect("127.0.0.1", server.port)
+            b = await connect("127.0.0.1", server.port)
+            try:
+                ch_a = await a.channel("bp", capacity=0)  # rendezvous: sends park
+                ch_b = await b.channel("bp", capacity=0)
+                sends = [asyncio.create_task(ch_a.send(i)) for i in range(64)]
+                await asyncio.sleep(0.1)
+                # At most max_inflight ops admitted; the rest are queued
+                # in socket buffers, not server memory.
+                inflight = sum(len(conn.inflight) for conn in server._conns.values())
+                assert inflight <= 8, inflight
+                got = [await ch_b.receive() for _ in range(64)]
+                await asyncio.gather(*sends)
+                return sorted(got)
+            finally:
+                await a.close()
+                await b.close()
+                await server.shutdown()
+
+        assert run(main(), timeout=30) == list(range(64))
+
+
+class TestShutdownAndKill:
+    def test_graceful_drain_loses_no_accepted_send(self):
+        """Every SEND the server admitted lands in its channel before
+        connections close, even with the sends still in flight."""
+
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            c = await connect("127.0.0.1", server.port)
+            ch = await c.channel("drain", capacity=1000)
+            sends = [asyncio.create_task(ch.send(i)) for i in range(200)]
+            await asyncio.sleep(0.02)  # some acked, some in flight, some unread
+            await server.shutdown(drain=True, timeout=5)
+            outcomes = await asyncio.gather(*sends, return_exceptions=True)
+            acked = sum(1 for o in outcomes if not isinstance(o, BaseException))
+            # Unacked sends must have failed loudly, not vanished.
+            assert all(
+                isinstance(o, (ConnectionLostError, asyncio.TimeoutError))
+                for o in outcomes
+                if isinstance(o, BaseException)
+            ), outcomes
+            entry = server.registry.get("drain")
+            landed = entry.channel.stats.sends
+            # No accepted message lost: everything acknowledged to the
+            # client is in the channel (late unacked landings allowed).
+            assert landed >= acked, (landed, acked)
+            await c.close()
+            return acked, landed
+
+        acked, landed = run(main(), timeout=30)
+        assert acked > 0  # the race window actually exercised both sides
+
+    def test_shutdown_interrupts_parked_ops_as_cancellation(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            c = await connect("127.0.0.1", server.port)
+            ch = await c.channel("park", capacity=0)
+            parked = asyncio.create_task(ch.receive())
+            await asyncio.sleep(0.05)
+            await server.shutdown(drain=True, timeout=1)
+            with pytest.raises(ConnectionLostError):
+                await parked
+            await c.close()
+            return "ok"
+
+        assert run(main()) == "ok"
+
+    def test_killed_connection_is_cancellation_not_close(self):
+        """A dying client interrupts its own parked ops (§4.3 cancel);
+        the channel stays open and other clients are untouched."""
+
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            victim = await connect("127.0.0.1", server.port)
+            survivor = await connect("127.0.0.1", server.port)
+            try:
+                ch_v = await victim.channel("kill", capacity=0)
+                ch_s = await survivor.channel("kill", capacity=0)
+                parked = asyncio.create_task(ch_v.receive())
+                await asyncio.sleep(0.05)
+                victim.abort()  # RST: no FIN handshake
+                with pytest.raises(ConnectionLostError):
+                    await parked
+                await asyncio.sleep(0.05)  # server notices the dead peer
+                # The victim's parked receive was interrupted, NOT the
+                # channel closed: a fresh pair still rendezvouses.
+                recv = asyncio.create_task(ch_s.receive())
+                helper = await connect("127.0.0.1", server.port)
+                ch_h = await helper.channel("kill", capacity=0)
+                await ch_h.send("alive")
+                value = await recv
+                await helper.close()
+                return value
+            finally:
+                await survivor.close()
+                await server.shutdown()
+
+        assert run(main()) == "alive"
+
+    def test_garbage_bytes_kill_only_that_connection(self):
+        async def main():
+            server = await serve("127.0.0.1", 0)
+            good = await connect("127.0.0.1", server.port)
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+                writer.write(b"\xde\xad\xbe\xef" * 64)
+                await writer.drain()
+                await reader.read()  # server answers (ERROR frame) and closes
+                writer.close()
+                # The well-behaved connection still works.
+                ch = await good.channel("ok", capacity=1)
+                await ch.send("fine")
+                return await ch.receive()
+            finally:
+                await good.close()
+                await server.shutdown()
+
+        assert run(main()) == "fine"
+
+
+class TestObservability:
+    def test_gauges_track_connections_and_ops(self):
+        async def main():
+            metrics = MetricsRegistry()
+            server = await serve("127.0.0.1", 0, obs=metrics)
+            a = await connect("127.0.0.1", server.port)
+            b = await connect("127.0.0.1", server.port)
+            ch_a = await a.channel("m", capacity=4)
+            await ch_a.send(1)
+            await asyncio.sleep(0.05)
+            during = metrics.gauge("connections").value
+            await a.close()
+            await b.close()
+            await asyncio.sleep(0.05)
+            after = metrics.gauge("connections").value
+            await server.shutdown()
+            return during, after, metrics.snapshot()
+
+        during, after, snap = run(main())
+        assert during == 2
+        assert after == 0
+        assert snap["inflight_ops"] == 0
+        assert snap["frames_total{op=OPEN}"] == 1
+        assert snap["frames_total{op=SEND}"] == 1
+        assert snap["queue_depth{channel=m}"] == 1
+
+    def test_obs_session_threads_through(self):
+        from repro.obs import ObsSession
+
+        async def main():
+            session = ObsSession(label="net", profiler=False)
+            server = await serve("127.0.0.1", 0, obs=session)
+            c = await connect("127.0.0.1", server.port)
+            ch = await c.channel("s", capacity=2)
+            await ch.send("x")
+            await c.close()
+            await server.shutdown()
+            return session.metrics.snapshot()
+
+        snap = run(main())
+        assert snap["frames_total{op=SEND}"] == 1
+        assert "queue_depth{channel=s}" in snap
