@@ -6,6 +6,11 @@ leaves inspectable output, and printed (visible with ``pytest -s``).
 
 Scale knob: ``REPRO_BENCH_ELEMS`` (default 10_000; the paper used 10^6 —
 the shape is stable from ~10^4, see EXPERIMENTS.md).
+
+(Named ``bench_lib`` rather than living in ``conftest.py``: the tests/
+tree has its own ``conftest`` that test modules import from, and two
+top-level modules named ``conftest`` collide when both trees are
+collected in one run.)
 """
 
 from __future__ import annotations

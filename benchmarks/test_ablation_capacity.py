@@ -13,7 +13,10 @@ import pytest
 
 from repro.bench import run_producer_consumer
 
-from conftest import bench_elements, save_report
+from bench_lib import bench_elements, save_report
+
+# Figure-scale suite: deselected by default, run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 CAPACITIES = (1, 4, 16, 64, 256)
 

@@ -14,7 +14,10 @@ import pytest
 from repro.bench import format_series, run_producer_consumer
 from repro.core import RendezvousChannel
 
-from conftest import bench_elements, save_report
+from bench_lib import bench_elements, save_report
+
+# Figure-scale suite: deselected by default, run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 SIZES = (1, 2, 4, 8, 16, 32, 64, 128)
 

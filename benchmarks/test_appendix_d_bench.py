@@ -14,7 +14,10 @@ from repro.core.states import ReceiverWaiter, SenderWaiter
 from repro.sim import NullCostModel, RandomPolicy, Scheduler
 from repro.sim.tasks import TaskState
 
-from conftest import save_report
+from bench_lib import save_report
+
+# Figure-scale suite: deselected by default, run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 
 def _anomaly_snapshots(make_queue, schedules=60, seed0=0):

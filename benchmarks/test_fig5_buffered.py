@@ -20,7 +20,10 @@ from repro.bench import (
     sweep,
 )
 
-from conftest import bench_elements, save_report
+from bench_lib import bench_elements, save_report
+
+# Figure-scale suite: deselected by default, run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 PANEL_IMPLS = ["faa-channel", "faa-channel-eb", "go-channel", "kotlin-legacy"]
 CAPACITY = 64  # "we chose 64 as a standard size constant"

@@ -19,7 +19,10 @@ from repro.bench import (
     sweep,
 )
 
-from conftest import bench_elements, save_report
+from bench_lib import bench_elements, save_report
+
+# Figure-scale suite: deselected by default, run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 PANEL_IMPLS = ["faa-channel", "java-sync-queue", "koval-2019", "go-channel", "kotlin-legacy"]
 

@@ -9,7 +9,10 @@ import pytest
 
 from repro.bench.latency import measure_latency
 
-from conftest import bench_elements, save_report
+from bench_lib import bench_elements, save_report
+
+# Figure-scale suite: deselected by default, run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 IMPLS = ["faa-channel", "go-channel", "kotlin-legacy"]
 

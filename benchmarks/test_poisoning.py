@@ -16,7 +16,10 @@ import pytest
 
 from repro.bench import measure_poisoning
 
-from conftest import bench_elements, save_report
+from bench_lib import bench_elements, save_report
+
+# Figure-scale suite: deselected by default, run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 
 def test_poisoning_table(benchmark):

@@ -12,7 +12,10 @@ import pytest
 from repro.bench import run_producer_consumer
 from repro.sim.costmodel import CostParams
 
-from conftest import bench_elements, save_report
+from bench_lib import bench_elements, save_report
+
+# Figure-scale suite: deselected by default, run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 IMPLS = ["faa-channel", "java-sync-queue", "go-channel", "kotlin-legacy"]
 

@@ -11,7 +11,10 @@ import pytest
 
 from repro.bench import IMPLEMENTATIONS, run_producer_consumer
 
-from conftest import bench_elements, save_report
+from bench_lib import bench_elements, save_report
+
+# Figure-scale suite: deselected by default, run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
 
 RENDEZVOUS_IMPLS = ["faa-channel", "faa-channel-eb", "java-sync-queue", "koval-2019", "go-channel", "kotlin-legacy"]
 

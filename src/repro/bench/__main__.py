@@ -10,7 +10,19 @@ Regenerates the paper's evaluation artefacts without pytest::
     python -m repro.bench ablate-capacity
     python -m repro.bench profile --impl faa-channel --threads 64
     python -m repro.bench net --producers 4 --consumers 4 --ops 2000
+    python -m repro.bench selfperf --json            # engine ops/sec -> BENCH_03.json
+    python -m repro.bench compare OLD.json NEW.json  # exit 1 on >15% perf regression
     python -m repro.bench all
+
+``--parallel N`` fans the sweep-style commands (``fig5``,
+``ablate-segsize``, ``ablate-capacity``) out over N worker processes
+(``--parallel 0`` = one per CPU).  Results are byte-identical to a
+serial run: every point derives its own workload seed from its
+coordinates and collection preserves point order.
+
+``selfperf`` measures the *simulator's own* wall-clock throughput
+(scheduler ops/sec) on a pinned workload matrix; ``compare`` gates two
+such dumps (see :mod:`repro.bench.selfperf`).
 
 Tables print to stdout; `--elements` trades time for fidelity (the paper
 transferred 10^6 elements; the shape is stable from ~10^4).
@@ -58,6 +70,7 @@ def cmd_fig5(args: argparse.Namespace) -> list[dict]:
         elements=args.elements,
         work_mean=args.work,
         seed=args.seed,
+        parallel=args.parallel,
     )
     coroutines = f"{args.coroutines} coroutines" if args.coroutines else "#coroutines = #threads"
     print(format_panel(results, f"Figure 5 — capacity {args.capacity}, {coroutines}, {args.elements} elems"))
@@ -96,28 +109,46 @@ def cmd_memory(args: argparse.Namespace) -> list[dict]:
     return rows
 
 
+def _pmap(fn, items: list, parallel: int) -> list:
+    """Ordered map, optionally over a process pool (``0`` = one per CPU)."""
+
+    if parallel == 1 or len(items) <= 1:
+        return [fn(it) for it in items]
+    import os
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = parallel if parallel > 1 else (os.cpu_count() or 2)
+    with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
 def cmd_ablate_segsize(args: argparse.Namespace) -> list[dict]:
-    from repro.core import RendezvousChannel
+    from .harness import _ablate_segsize_point
 
     print("Segment-size ablation (rendezvous, t=16)")
+    sizes = (1, 2, 4, 8, 16, 32, 64, 128)
+    outs = _pmap(_ablate_segsize_point, [(s, args.elements) for s in sizes], args.parallel)
     rows = []
-    for size in (1, 2, 4, 8, 16, 32, 64, 128):
-        ch = RendezvousChannel(seg_size=size)
-        res = run_producer_consumer(
-            "faa-channel", threads=16, capacity=0, elements=args.elements, channel=ch
-        )
+    for size, (res, segments) in zip(sizes, outs):
         print(f"  K={size:<4d} thr={res.throughput:10.1f} elems/Mcycle  "
-              f"segments={ch._list.segments_allocated}")
-        rows.append(res.to_dict() | {"seg_size": size, "segments": ch._list.segments_allocated})
+              f"segments={segments}")
+        rows.append(res.to_dict() | {"seg_size": size, "segments": segments})
     return rows
 
 
 def cmd_ablate_capacity(args: argparse.Namespace) -> list[dict]:
+    from .harness import _sweep_point
+
     print("Buffer-capacity ablation (t=16)")
+    caps = (1, 4, 16, 64, 256)
+    results = _pmap(
+        _sweep_point,
+        [dict(impl="faa-channel", threads=16, capacity=cap, elements=args.elements) for cap in caps],
+        args.parallel,
+    )
     rows = []
-    for cap in (1, 4, 16, 64, 256):
-        res = run_producer_consumer("faa-channel", threads=16, capacity=cap, elements=args.elements)
-        print(f"  C={cap:<4d} thr={res.throughput:10.1f} elems/Mcycle")
+    for res in results:
+        print(f"  C={res.capacity:<4d} thr={res.throughput:10.1f} elems/Mcycle")
         rows.append(res.to_dict())
     return rows
 
@@ -211,6 +242,36 @@ def cmd_net(args: argparse.Namespace) -> list[dict]:
     return [row]
 
 
+def cmd_selfperf(args: argparse.Namespace) -> list[dict]:
+    from .selfperf import run_selfperf
+
+    label = "quick subset" if args.quick else "full matrix"
+    print(f"Engine self-performance ({label}, best of {args.repeat})")
+    rows = run_selfperf(quick=args.quick, repeat=args.repeat)
+    for r in rows:
+        print(f"  {r['name']:24s} {r['ops']:>9d} ops in {r['seconds']:8.3f}s "
+              f"= {r['ops_per_sec']:12.0f} ops/s")
+    return rows
+
+
+def cmd_compare(args: argparse.Namespace) -> list[dict]:
+    from .selfperf import compare_rows
+
+    if len(args.paths) != 2:
+        raise SystemExit("python -m repro.bench compare: error: expected OLD.json NEW.json")
+    dumps = []
+    for path in args.paths:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                dumps.append(json.load(fh))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"python -m repro.bench compare: error: {path}: {exc}") from exc
+    ok, report = compare_rows(dumps[0], dumps[1], threshold=args.threshold)
+    print(report)
+    args._exit_code = 0 if ok else 1
+    return []
+
+
 COMMANDS = {
     "fig5": cmd_fig5,
     "poisoning": cmd_poisoning,
@@ -219,6 +280,8 @@ COMMANDS = {
     "ablate-capacity": cmd_ablate_capacity,
     "profile": cmd_profile,
     "net": cmd_net,
+    "selfperf": cmd_selfperf,
+    "compare": cmd_compare,
 }
 
 #: Commands ``all`` runs: the paper's simulated artefacts.  ``net`` is
@@ -233,6 +296,10 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the paper's evaluation artefacts (§5).",
     )
     parser.add_argument("command", choices=[*COMMANDS, "all"])
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="compare: the two selfperf --json dumps (OLD.json NEW.json)",
+    )
     parser.add_argument("--capacity", type=int, default=0, help="buffer capacity (0 = rendezvous)")
     parser.add_argument("--coroutines", type=int, default=None, help="fixed coroutine count (default: = threads)")
     parser.add_argument("--elements", type=int, default=10_000)
@@ -255,8 +322,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json",
         metavar="PATH",
+        nargs="?",
+        const="__default__",
         default=None,
-        help="dump machine-readable result rows to PATH",
+        help="dump machine-readable result rows to PATH "
+        "(selfperf: bare --json defaults to BENCH_03.json)",
+    )
+    parser.add_argument(
+        "--parallel", type=int, default=1, metavar="N",
+        help="worker processes for fig5/ablations (0 = one per CPU; results are "
+        "byte-identical to a serial run)",
+    )
+    perf = parser.add_argument_group("selfperf", "options for selfperf/compare")
+    perf.add_argument("--quick", action="store_true", help="selfperf: CI smoke subset of the matrix")
+    perf.add_argument("--repeat", type=int, default=3, help="selfperf: repeats per point (best-of)")
+    perf.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="compare: max tolerated geomean ops/sec drop (fraction, default 0.15)",
     )
     parser.add_argument(
         "--trace",
@@ -280,6 +362,13 @@ def main(argv: list[str] | None = None) -> int:
         help="net: target an external server instead of starting one in-process",
     )
     args = parser.parse_args(argv)
+    if args.paths and args.command != "compare":
+        parser.error(f"positional paths are only accepted by `compare`, not `{args.command}`")
+    if args.json == "__default__":
+        if args.command == "selfperf":
+            args.json = "BENCH_03.json"
+        else:
+            parser.error("--json needs an explicit PATH for this command")
     # Fail fast on unwritable output paths before minutes of simulation.
     trace_used = args.trace if args.command in ("profile", "all") else None
     for path in (args.json, trace_used):
@@ -302,7 +391,7 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(all_rows, fh, indent=1)
         print(f"wrote {len(all_rows)} result rows to {args.json}")
-    return 0
+    return getattr(args, "_exit_code", 0)
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ their originals.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Optional
@@ -36,6 +37,7 @@ __all__ = [
     "make_impl",
     "run_producer_consumer",
     "sweep",
+    "point_seed",
     "default_elements",
     "DEFAULT_THREAD_COUNTS",
 ]
@@ -175,6 +177,47 @@ def run_producer_consumer(
     )
 
 
+def point_seed(seed: int, impl: str, threads: int, capacity: int) -> int:
+    """Stable per-point workload seed for a sweep.
+
+    Every sweep point used to receive the sweep's base ``seed``
+    verbatim, so all points drew the *same* workload jitter streams —
+    systematic correlation the paper's benchmark methodology avoids.
+    Deriving the seed from the point's coordinates decorrelates points
+    while staying reproducible across runs **and processes**: this hashes
+    with :mod:`hashlib` rather than :func:`hash`, which is randomized
+    per interpreter and would break the serial/parallel-identical
+    guarantee of :func:`sweep`.
+    """
+
+    key = f"{seed}:{impl}:{threads}:{capacity}".encode()
+    return int.from_bytes(hashlib.blake2b(key, digest_size=6).digest(), "big")
+
+
+def _sweep_point(kwargs: dict) -> BenchResult:
+    """Top-level (picklable) worker: one sweep point in one call."""
+
+    return run_producer_consumer(**kwargs)
+
+
+def _ablate_segsize_point(point: tuple[int, int]) -> tuple[BenchResult, int]:
+    """Top-level (picklable) worker for the segment-size ablation.
+
+    The channel must be constructed *inside* the worker (channels are
+    not picklable and carry per-run state); returns the data point plus
+    the segment-allocation count the ablation table reports.
+    """
+
+    seg_size, elements = point
+    from ..core import RendezvousChannel
+
+    ch = RendezvousChannel(seg_size=seg_size)
+    res = run_producer_consumer(
+        "faa-channel", threads=16, capacity=0, elements=elements, channel=ch
+    )
+    return res, ch._list.segments_allocated
+
+
 def sweep(
     impls: list[str],
     thread_counts: tuple[int, ...] = DEFAULT_THREAD_COUNTS,
@@ -184,22 +227,37 @@ def sweep(
     work_mean: int = 100,
     seed: int = 0,
     cost_params: Optional[CostParams] = None,
+    parallel: int = 1,
 ) -> list[BenchResult]:
-    """One Figure 5 panel: every implementation at every thread count."""
+    """One Figure 5 panel: every implementation at every thread count.
 
-    results = []
-    for impl in impls:
-        for threads in thread_counts:
-            results.append(
-                run_producer_consumer(
-                    impl,
-                    threads,
-                    capacity=capacity,
-                    coroutines=coroutines,
-                    elements=elements,
-                    work_mean=work_mean,
-                    seed=seed,
-                    cost_params=cost_params,
-                )
-            )
-    return results
+    Each point runs with its own :func:`point_seed`-derived workload
+    seed.  ``parallel`` fans points out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor` (``0`` = one worker
+    per CPU); every point is an isolated scheduler+cost-model world, so
+    results are **byte-identical** for any worker count — collection is
+    ordered and seeds are derived, never drawn from shared state.
+    """
+
+    points = [
+        dict(
+            impl=impl,
+            threads=threads,
+            capacity=capacity,
+            coroutines=coroutines,
+            elements=elements,
+            work_mean=work_mean,
+            seed=point_seed(seed, impl, threads, capacity),
+            cost_params=cost_params,
+        )
+        for impl in impls
+        for threads in thread_counts
+    ]
+    if parallel == 1 or len(points) <= 1:
+        return [_sweep_point(p) for p in points]
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = parallel if parallel > 1 else (os.cpu_count() or 2)
+    workers = min(workers, len(points))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_sweep_point, points))

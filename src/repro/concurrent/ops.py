@@ -51,6 +51,7 @@ __all__ = [
     "Label",
     "apply_memory_op",
     "is_memory_op",
+    "MEMORY_OP_APPLIERS",
 ]
 
 
@@ -267,7 +268,59 @@ _MEMORY_OPS = (Read, Write, Cas, Faa, GetAndSet)
 def is_memory_op(op: Op) -> bool:
     """Return ``True`` if *op* has a shared-memory effect."""
 
-    return isinstance(op, _MEMORY_OPS)
+    return type(op) in MEMORY_OP_APPLIERS or isinstance(op, _MEMORY_OPS)
+
+
+# ----------------------------------------------------------------------
+# Type-keyed appliers: one hash lookup per op instead of an isinstance
+# chain.  These are the single authoritative semantics of the simulated
+# shared memory; every driver goes through them (directly or via
+# :func:`apply_memory_op`), so a channel tested under the model checker
+# is bit-for-bit the channel benchmarked under the simulator.
+# ----------------------------------------------------------------------
+
+
+def _apply_read(op: Read) -> Any:
+    return op.cell.value
+
+
+def _apply_write(op: Write) -> None:
+    op.cell.value = op.value
+    return None
+
+
+def _apply_cas(op: Cas) -> bool:
+    cell = op.cell
+    if cell.compare(cell.value, op.expected):
+        cell.value = op.update
+        return True
+    return False
+
+
+def _apply_faa(op: Faa) -> int:
+    cell = op.cell
+    old = cell.value
+    cell.value = old + op.delta
+    return old
+
+
+def _apply_get_and_set(op: GetAndSet) -> Any:
+    cell = op.cell
+    old = cell.value
+    cell.value = op.value
+    return old
+
+
+#: ``type(op) -> applier``.  Drivers with a hot loop index this table
+#: directly (``MEMORY_OP_APPLIERS.get(type(op))``); everything else uses
+#: :func:`apply_memory_op`.
+MEMORY_OP_APPLIERS: dict[type, Any] = {
+    Read: _apply_read,
+    Write: _apply_write,
+    Cas: _apply_cas,
+    Faa: _apply_faa,
+    GetAndSet: _apply_get_and_set,
+}
 
 
 def apply_memory_op(op: Op) -> Any:
@@ -279,25 +332,7 @@ def apply_memory_op(op: Op) -> Any:
     holds a lock, the asyncio adapter relies on the event loop).
     """
 
-    if type(op) is Read:
-        return op.cell.value
-    if type(op) is Write:
-        op.cell.value = op.value
-        return None
-    if type(op) is Cas:
-        cell = op.cell
-        if cell.compare(cell.value, op.expected):
-            cell.value = op.update
-            return True
-        return False
-    if type(op) is Faa:
-        cell = op.cell
-        old = cell.value
-        cell.value = old + op.delta
-        return old
-    if type(op) is GetAndSet:
-        cell = op.cell
-        old = cell.value
-        cell.value = op.value
-        return old
-    raise SchedulerError(f"not a memory op: {op!r}")
+    fn = MEMORY_OP_APPLIERS.get(type(op))
+    if fn is None:
+        raise SchedulerError(f"not a memory op: {op!r}")
+    return fn(op)

@@ -119,18 +119,49 @@ class ObsSession:
         if self.metrics is not None:
             labels = {"impl": label} if label else {}
             MetricsBridge(self.metrics, **labels).install(self.bus)
-        self._attached: list[Any] = []
+        self._attached: list[tuple[Any, list[Any]]] = []
 
     def attach(self, sched: Any) -> "ObsSession":
         """Install the session's hooks (and the cost audit) on ``sched``."""
 
+        hooks: list[Any] = []
         if self.bus.active:
-            sched.add_hook(SchedulerObserver(self.bus))
+            observer = SchedulerObserver(self.bus)
+            sched.add_hook(observer)
+            hooks.append(observer)
         if self.profiler is not None:
             self.profiler.attach(sched)
+            hooks.append(self.profiler)
         if self.timeline is not None:
             sched.add_hook(self.timeline)
-        self._attached.append(sched)
+            hooks.append(self.timeline)
+        self._attached.append((sched, hooks))
+        return self
+
+    def detach(self, sched: Any) -> "ObsSession":
+        """Uninstall everything :meth:`attach` put on ``sched``.
+
+        Removes the session's hooks and clears the profiler's cost-audit
+        tap, so the scheduler's next :meth:`~repro.sim.scheduler.Scheduler.run`
+        regains the fused fast path — observability is fully reversible,
+        cost included.  Collected data (metrics, profiler buckets,
+        timeline spans) is kept.  Unknown schedulers are a no-op.
+        """
+
+        kept: list[tuple[Any, list[Any]]] = []
+        for s, hooks in self._attached:
+            if s is not sched:
+                kept.append((s, hooks))
+                continue
+            for hook in hooks:
+                sched.remove_hook(hook)
+            cost = getattr(sched, "cost", None)
+            if (
+                self.profiler is not None
+                and getattr(cost, "audit", None) is self.profiler.audit
+            ):
+                cost.audit = None
+        self._attached = kept
         return self
 
     def finish(self, sched: Any) -> "ObsSession":

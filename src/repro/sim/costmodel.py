@@ -161,16 +161,91 @@ class CostParams:
 DEFAULT_PARAMS = CostParams()
 
 
-class CostModel:
-    """Charges simulated cycles per op and serializes conflicting RMWs."""
+# ----------------------------------------------------------------------
+# Batched jitter-LCG states.  The LCG state stream is fixed by the seed
+# alone — which op consumes a draw never changes the stream — so the
+# scheduler's fast loop pulls states from a pre-generated block instead
+# of paying two big-int multiplies per draw.  With numpy the whole block
+# is one vectorized affine step: state_i = A^i * s + (A^{i-1}+..+1) * C
+# (mod 2**64, native uint64 wraparound); without it a plain loop
+# produces the identical list at the same per-draw cost as the inline
+# update (no regression, just no batching win).
+# ----------------------------------------------------------------------
 
-    __slots__ = ("p", "_lcg", "audit")
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_LCG_MASK = 0xFFFFFFFFFFFFFFFF
+LCG_BATCH = 4096
+
+try:  # pragma: no cover - exercised indirectly via the fast path
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy is in the standard image
+    _np = None
+
+if _np is not None:
+    _apows = []
+    _ccums = []
+    _a, _c = 1, 0
+    for _ in range(LCG_BATCH):
+        _a = (_a * _LCG_A) & _LCG_MASK
+        _c = (_c * _LCG_A + _LCG_C) & _LCG_MASK
+        _apows.append(_a)
+        _ccums.append(_c)
+    _LCG_APOW = _np.array(_apows, dtype=_np.uint64)
+    _LCG_CCUM = _np.array(_ccums, dtype=_np.uint64)
+    del _apows, _ccums, _a, _c
+
+    def lcg_batch(state: int) -> list[int]:
+        """The next :data:`LCG_BATCH` LCG states after *state*, in order."""
+
+        return (_LCG_APOW * _np.uint64(state) + _LCG_CCUM).tolist()
+
+else:  # pragma: no cover - fallback without numpy
+
+    def lcg_batch(state: int) -> list[int]:
+        """The next :data:`LCG_BATCH` LCG states after *state*, in order."""
+
+        out = []
+        append = out.append
+        for _ in range(LCG_BATCH):
+            state = (state * _LCG_A + _LCG_C) & _LCG_MASK
+            append(state)
+        return out
+
+
+class CostModel:
+    """Charges simulated cycles per op and serializes conflicting RMWs.
+
+    Charging dispatches through a type-keyed table
+    (``type(op) -> handler``), built once per audit state: with no audit
+    attached the handlers carry **no** audit branches at all (the
+    pay-for-use contract made structural), and attaching an audit swaps
+    in handlers that decompose every charge.  The table is rebuilt by the
+    :attr:`audit` setter, never consulted per-op.
+    """
+
+    __slots__ = ("p", "_lcg", "_audit", "_charge_table")
 
     def __init__(self, params: CostParams | None = None, seed: int = 0):
         self.p = params or DEFAULT_PARAMS
         self._lcg = (seed * 2862933555777941757 + 3037000493) & 0xFFFFFFFFFFFFFFFF
-        #: Optional :class:`OpCostAudit` tap for the contention profiler.
-        self.audit: OpCostAudit | None = None
+        self._audit: OpCostAudit | None = None
+        self._charge_table: dict = self._build_table()
+
+    @property
+    def audit(self) -> OpCostAudit | None:
+        """Optional :class:`OpCostAudit` tap for the contention profiler.
+
+        Assigning (or clearing) the tap rebuilds the dispatch table so
+        the per-op path never tests for it.
+        """
+
+        return self._audit
+
+    @audit.setter
+    def audit(self, tap: OpCostAudit | None) -> None:
+        self._audit = tap
+        self._charge_table = self._build_table()
 
     def _jitter(self, bound: int | None = None) -> int:
         """Next deterministic timing-skew sample (cheap 64-bit LCG).
@@ -193,57 +268,142 @@ class CostModel:
     # The scheduler calls exactly one of the three entry points below per op.
 
     def charge(self, task: Task, op: Op) -> None:
-        """Advance ``task.clock`` (and cell bookkeeping) for *op*."""
+        """Advance ``task.clock`` (and cell bookkeeping) for *op*.
 
+        One type-keyed table lookup; unknown op types (defensive) fall
+        back to a one-cycle charge.
+        """
+
+        self._charge_table.get(type(op), self._charge_unknown)(task, op)
+
+    # -- unaudited handlers (the hot path: zero audit branches) ---------
+
+    def _charge_read(self, task: Task, op: Op) -> None:
         p = self.p
-        a = self.audit
+        line = op.cell.line  # type: ignore[attr-defined]
+        base = p.read_hit + self._jitter()
+        if line.last_writer is not None and line.last_writer != task.tid:
+            seen = task.cache.get(line.loc_id, -1)
+            if line.write_time > seen:
+                miss = p.read_miss
+                if p.jitter:
+                    miss += self._jitter(p.read_miss)
+                task.cache[line.loc_id] = line.write_time
+                # A read cannot complete before the owning writer's
+                # store retires: serve it at the line's release time.
+                if line.avail_time > task.clock:
+                    task.clock = line.avail_time
+                task.clock += base + miss
+                return
+        task.clock += base
+
+    def _charge_rmw(self, task: Task, op: Op) -> None:
+        self._charge_exclusive(task, op.cell, self.p.rmw)  # type: ignore[attr-defined]
+
+    def _charge_write(self, task: Task, op: Op) -> None:
+        self._charge_exclusive(task, op.cell, self.p.write)  # type: ignore[attr-defined]
+
+    def _charge_work(self, task: Task, op: Op) -> None:
+        task.clock += op.cycles  # type: ignore[attr-defined]
+
+    def _charge_yield(self, task: Task, op: Op) -> None:
+        task.clock += self.p.yield_
+
+    def _charge_spin(self, task: Task, op: Op) -> None:
+        task.clock += self.p.spin
+
+    def _charge_alloc(self, task: Task, op: Op) -> None:
+        task.clock += self.p.alloc
+
+    def _charge_park(self, task: Task, op: Op) -> None:
+        task.clock += self.p.park
+
+    def _charge_unpark(self, task: Task, op: Op) -> None:
+        task.clock += self.p.unpark
+
+    def _charge_free(self, task: Task, op: Op) -> None:
+        pass
+
+    def _charge_unknown(self, task: Task, op: Op) -> None:  # pragma: no cover
+        a = self._audit
         if a is not None:
             a.cell = None
             a.stall = a.miss = a.base = 0
-        t = type(op)
-        if t is Read:
-            line = op.cell.line  # type: ignore[attr-defined]
-            base = p.read_hit + self._jitter()
-            miss = 0
-            stall = 0
-            if line.last_writer is not None and line.last_writer != task.tid:
-                seen = task.cache.get(line.loc_id, -1)
-                if line.write_time > seen:
-                    miss = p.read_miss
-                    if p.jitter:
-                        miss += self._jitter(p.read_miss)
-                    task.cache[line.loc_id] = line.write_time
-                    # A read cannot complete before the owning writer's
-                    # store retires: serve it at the line's release time.
-                    if line.avail_time > task.clock:
-                        stall = line.avail_time - task.clock
-                        task.clock = line.avail_time
-            task.clock += base + miss
-            if a is not None:
-                a.cell = op.cell  # type: ignore[attr-defined]
-                a.stall = stall
-                a.miss = miss
-                a.base = base
-        elif t is Cas or t is Faa or t is GetAndSet:
-            self._charge_exclusive(task, op.cell, p.rmw)  # type: ignore[attr-defined]
-        elif t is Write:
-            self._charge_exclusive(task, op.cell, p.write)  # type: ignore[attr-defined]
-        elif t is Work:
-            task.clock += op.cycles  # type: ignore[attr-defined]
-        elif t is Yield:
-            task.clock += p.yield_
-        elif t is Spin:
-            task.clock += p.spin
-        elif t is Alloc:
-            task.clock += p.alloc
-        elif t is ParkTask:
-            task.clock += p.park
-        elif t is UnparkTask:
-            task.clock += p.unpark
-        elif t is Label or t is CurrentTask:
-            pass
-        else:  # pragma: no cover - defensive
-            task.clock += 1
+        task.clock += 1
+
+    # -- audited handlers (profiler attached) ---------------------------
+
+    def _charge_read_audited(self, task: Task, op: Op) -> None:
+        p = self.p
+        line = op.cell.line  # type: ignore[attr-defined]
+        base = p.read_hit + self._jitter()
+        miss = 0
+        stall = 0
+        if line.last_writer is not None and line.last_writer != task.tid:
+            seen = task.cache.get(line.loc_id, -1)
+            if line.write_time > seen:
+                miss = p.read_miss
+                if p.jitter:
+                    miss += self._jitter(p.read_miss)
+                task.cache[line.loc_id] = line.write_time
+                if line.avail_time > task.clock:
+                    stall = line.avail_time - task.clock
+                    task.clock = line.avail_time
+        task.clock += base + miss
+        a = self._audit
+        a.cell = op.cell  # type: ignore[attr-defined]
+        a.stall = stall
+        a.miss = miss
+        a.base = base
+
+    def _audited(self, fn):
+        """Wrap a no-shared-memory handler to reset the audit record."""
+
+        audit = self._audit
+
+        def handler(task: Task, op: Op) -> None:
+            audit.cell = None
+            audit.stall = audit.miss = audit.base = 0
+            fn(task, op)
+
+        return handler
+
+    def _build_table(self) -> dict:
+        """``type(op) -> handler`` for the current audit state."""
+
+        if self._audit is None:
+            return {
+                Read: self._charge_read,
+                Cas: self._charge_rmw,
+                Faa: self._charge_rmw,
+                GetAndSet: self._charge_rmw,
+                Write: self._charge_write,
+                Work: self._charge_work,
+                Yield: self._charge_yield,
+                Spin: self._charge_spin,
+                Alloc: self._charge_alloc,
+                ParkTask: self._charge_park,
+                UnparkTask: self._charge_unpark,
+                Label: self._charge_free,
+                CurrentTask: self._charge_free,
+            }
+        # _charge_exclusive fills every audit field itself; only the
+        # no-shared-memory handlers need the reset wrapper.
+        return {
+            Read: self._charge_read_audited,
+            Cas: self._charge_rmw,
+            Faa: self._charge_rmw,
+            GetAndSet: self._charge_rmw,
+            Write: self._charge_write,
+            Work: self._audited(self._charge_work),
+            Yield: self._audited(self._charge_yield),
+            Spin: self._audited(self._charge_spin),
+            Alloc: self._audited(self._charge_alloc),
+            ParkTask: self._audited(self._charge_park),
+            UnparkTask: self._audited(self._charge_unpark),
+            Label: self._audited(self._charge_free),
+            CurrentTask: self._audited(self._charge_free),
+        }
 
     def _charge_exclusive(self, task: Task, cell: Cell, base: int) -> None:
         """A write or RMW: acquire the line exclusively, serializing."""
@@ -266,7 +426,7 @@ class CostModel:
         line.last_writer = task.tid
         line.write_time = end
         task.cache[line.loc_id] = end
-        a = self.audit
+        a = self._audit
         if a is not None:
             a.cell = cell
             a.stall = stall

@@ -38,6 +38,7 @@ from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from ..concurrent.ops import (
+    MEMORY_OP_APPLIERS,
     Alloc,
     Cas,
     CurrentTask,
@@ -49,13 +50,15 @@ from ..concurrent.ops import (
     Read,
     Spin,
     UnparkTask,
+    Work,
     Write,
     Yield,
-    apply_memory_op,
 )
 from ..errors import DeadlockError, Interrupted, RetryWakeup, SchedulerError, StepLimitExceeded
-from .costmodel import CostModel, NullCostModel
+from .costmodel import LCG_BATCH, CostModel, NullCostModel, lcg_batch
 from .tasks import Task, TaskState
+
+_INF = float("inf")
 
 __all__ = [
     "Scheduler",
@@ -66,9 +69,6 @@ __all__ = [
     "ControlledPolicy",
     "run_all",
 ]
-
-_MEMORY_OP_TYPES = (Read, Write, Cas, Faa, GetAndSet)
-
 
 class SchedulingPolicy:
     """Chooses which runnable task executes the next op."""
@@ -108,14 +108,24 @@ class SchedulingPolicy:
 class DesPolicy(SchedulingPolicy):
     """Discrete-event order: run the runnable task with the smallest clock.
 
-    Ties break by task id, so runs are fully deterministic.  Implemented
-    as a lazy min-heap of ``(clock, tid)`` entries.
+    The ready queue is a lazy min-heap of ``(clock, tid, task)`` entries.
+
+    **Deterministic tie-break (load-bearing for golden results):** among
+    runnable tasks with equal clocks, the *lowest task id* runs first —
+    tuple comparison on ``(clock, tid)`` gives this for free; the third
+    element is never compared because tids are unique.  Carrying the
+    task in the entry keeps the hot paths free of id->task dict lookups.
+    Entries are never removed eagerly; a popped entry is *stale*
+    (skipped) when its task is no longer runnable or has a different
+    clock than recorded (a fresher entry exists).  The scheduler's fused
+    fast path (:meth:`Scheduler._run_fast`) inlines exactly this heap
+    discipline, which is why fast-path and hooked runs are bit-identical.
     """
 
     __slots__ = ("_heap", "_tasks")
 
     def __init__(self) -> None:
-        self._heap: list[tuple[int, int]] = []
+        self._heap: list[tuple[int, int, Task]] = []
         self._tasks: dict[int, Task] = {}
 
     def reset(self) -> None:
@@ -124,18 +134,16 @@ class DesPolicy(SchedulingPolicy):
 
     def on_runnable(self, task: Task) -> None:
         self._tasks[task.tid] = task
-        heapq.heappush(self._heap, (task.clock, task.tid))
+        heapq.heappush(self._heap, (task.clock, task.tid, task))
 
     def requeue(self, task: Task) -> None:
-        heapq.heappush(self._heap, (task.clock, task.tid))
+        heapq.heappush(self._heap, (task.clock, task.tid, task))
 
     def next(self) -> Optional[Task]:
         heap = self._heap
-        tasks = self._tasks
         while heap:
-            clock, tid = heapq.heappop(heap)
-            task = tasks.get(tid)
-            if task is None or task.state is not TaskState.RUNNABLE:
+            clock, _tid, task = heapq.heappop(heap)
+            if task.state is not TaskState.RUNNABLE:
                 continue
             if task.clock != clock:
                 continue  # stale entry; a fresher one exists
@@ -144,13 +152,10 @@ class DesPolicy(SchedulingPolicy):
 
     def keep_running(self, task: Task) -> bool:
         heap = self._heap
-        tasks = self._tasks
         while heap:
-            clock, tid = heap[0]
-            other = tasks.get(tid)
+            clock, _tid, other = heap[0]
             if (
-                other is None
-                or other.state is not TaskState.RUNNABLE
+                other.state is not TaskState.RUNNABLE
                 or other.clock != clock
                 or other is task
             ):
@@ -160,6 +165,12 @@ class DesPolicy(SchedulingPolicy):
         return True  # nothing else runnable
 
     def forget(self, task: Task) -> None:
+        """Drop the id->task registration (bookkeeping only).
+
+        Scheduling is driven by the heap entries themselves; a forgotten
+        task with a live entry remains schedulable until it parks or
+        finishes.
+        """
         self._tasks.pop(task.tid, None)
 
 
@@ -407,6 +418,19 @@ class Scheduler:
 
         self._hooks.append(hook)
 
+    def remove_hook(self, hook: Callable[["Scheduler", Task, Op], None]) -> None:
+        """Detach a previously added hook; unknown hooks are ignored.
+
+        With the last hook removed (and no audit/alloc collectors
+        attached) the scheduler regains the fused fast path — attaching
+        observability is fully reversible, cost included.
+        """
+
+        try:
+            self._hooks.remove(hook)
+        except ValueError:
+            pass
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -417,7 +441,34 @@ class Scheduler:
         With ``raise_errors`` (default) the first task failure that is not
         an :class:`~repro.errors.Interrupted` (an *expected* cancellation
         outcome) is re-raised.
+
+        The loop is chosen **once**, here — not per op: the unobserved
+        standard configuration (:class:`DesPolicy` + :class:`CostModel`,
+        no hooks, no cost audit, no alloc collector) runs the fused
+        :meth:`_run_fast` loop, which inlines policy, cost model, and
+        memory-op application and pays zero per-op overhead for the
+        absent observers.  Any observer attached makes the whole run use
+        the general loop; both produce bit-identical schedules, clocks,
+        and results.
         """
+
+        if (
+            not self._hooks
+            and self.alloc_stats is None
+            and type(self.policy) is DesPolicy
+            and type(self.cost) is CostModel
+            and self.cost.audit is None
+        ):
+            self._run_fast()
+        else:
+            self._run_general()
+        if raise_errors:
+            for task in self.tasks:
+                if task.state is TaskState.FAILED and not isinstance(task.error, Interrupted):
+                    raise task.error  # type: ignore[misc]
+
+    def _run_general(self) -> None:
+        """The observable loop: one `_step_task` (hooks included) per op."""
 
         policy = self.policy
         limit = self.max_steps
@@ -441,10 +492,324 @@ class Scheduler:
                 if not policy.keep_running(task):
                     policy.requeue(task)
                     break
-        if raise_errors:
-            for task in self.tasks:
-                if task.state is TaskState.FAILED and not isinstance(task.error, Interrupted):
-                    raise task.error  # type: ignore[misc]
+
+    def _run_fast(self) -> None:
+        """Fused hot loop: DesPolicy + CostModel inlined, no observers.
+
+        Semantically identical to :meth:`_run_general` — same heap
+        discipline, same cost arithmetic, same jitter LCG sequence, same
+        park/unpark protocol — with every per-op method call flattened
+        into one frame.  While one task runs a *stint* (consecutive ops
+        the DES policy allows), its clock, op count, and resume
+        value/exception live in locals and are written back only when
+        the stint ends; global engine state (step counter, jitter LCG)
+        is restored in ``finally`` so errors and post-run observers see
+        exact state.
+        """
+
+        cost = self.cost
+        policy = self.policy
+        heap = policy._heap
+        heappop = heapq.heappop
+        heappushpop = heapq.heappushpop
+        p = cost.p
+        read_hit = p.read_hit
+        write_cost = p.write
+        rmw_cost = p.rmw
+        remote_miss = p.remote_miss
+        read_miss = p.read_miss
+        park_cost = p.park
+        unpark_cost = p.unpark
+        wake_latency = p.wake_latency
+        spin_cost = p.spin
+        yield_cost = p.yield_
+        alloc_cost = p.alloc
+        jit = p.jitter
+        jit1 = jit + 1
+        rm1 = remote_miss + 1
+        rd1 = read_miss + 1
+        lcg = cost._lcg
+        # Jitter draws come from pre-generated LCG state blocks; ``lcg``
+        # always tracks the last *consumed* state, so syncing it back is
+        # exact and unconsumed states are simply regenerated next time.
+        refill = lcg_batch
+        BATCH = LCG_BATCH
+        buf: list[int] = []
+        bufi = BATCH
+        RUNNABLE = TaskState.RUNNABLE
+        PARKED = TaskState.PARKED
+        DONE = TaskState.DONE
+        FAILED = TaskState.FAILED
+        procs = self.processors
+        unbound = self._unbound
+        limit = self.max_steps
+        steps = self.total_steps
+        # The previous stint's requeue entry: pushed and the new minimum
+        # popped in a single sift (heappushpop) instead of push + pop.
+        pending = None
+        try:
+            while self._live:
+                # -- policy.next(), inlined ----------------------------
+                task = None
+                if pending is not None:
+                    if heap:
+                        clock, _tid, t = heappushpop(heap, pending)
+                    else:
+                        clock, _tid, t = pending
+                    pending = None
+                    if t.state is RUNNABLE and t.clock == clock:
+                        task = t
+                if task is None:
+                    while heap:
+                        clock, _tid, t = heappop(heap)
+                        if t.state is not RUNNABLE or t.clock != clock:
+                            continue  # stale entry; a fresher one exists
+                        task = t
+                        break
+                if task is None:
+                    if unbound:  # defensive: bind and keep going
+                        self._bind(unbound.popleft())
+                        continue
+                    parked = [t.name for t in self.tasks if t.state is PARKED]
+                    if parked:
+                        raise DeadlockError(parked)
+                    break  # spawned nothing / all finished
+                gen = task.gen
+                send = gen.send
+                ttid = task.tid
+                tcache = task.cache
+                tclock = task.clock
+                tsteps = task.steps
+                send_value = task.pending_value
+                throw_exc = task.pending_exc
+                # While *task* runs, every other runnable task's clock is
+                # frozen: the earliest competing clock only changes when
+                # an unpark pushes a fresh entry.  And on this path every
+                # live heap entry is valid — entries are pushed with the
+                # task's current clock and a queued task's clock/state
+                # never changes (only the *running* task mutates, and it
+                # holds no entry) — so the heap top IS the next-earliest
+                # runnable clock and the keep-running check reduces to
+                # one int compare per op, refreshed only after wakeups.
+                next_clock = heap[0][0] if heap else _INF
+                while True:
+                    # -- _step_task, inlined ---------------------------
+                    steps += 1
+                    try:
+                        if throw_exc is not None:
+                            exc = throw_exc
+                            throw_exc = None
+                            op = gen.throw(exc)
+                        else:
+                            value = send_value
+                            send_value = None
+                            op = send(value)
+                    except StopIteration as stop:
+                        task.state = DONE
+                        task.value = stop.value
+                        task.clock = tclock
+                        task.steps = tsteps
+                        task.pending_value = None
+                        task.pending_exc = None
+                        self._live -= 1
+                        if procs is not None:
+                            self._unbind(task)
+                        if steps > limit:
+                            raise StepLimitExceeded(limit)
+                        break
+                    except BaseException as exc:  # noqa: BLE001 - captured
+                        task.state = FAILED
+                        task.error = exc
+                        task.clock = tclock
+                        task.steps = tsteps
+                        task.pending_value = None
+                        task.pending_exc = None
+                        self._live -= 1
+                        if procs is not None:
+                            self._unbind(task)
+                        if steps > limit:
+                            raise StepLimitExceeded(limit)
+                        break
+                    tsteps += 1
+                    tp = type(op)
+                    # -- cost.charge + apply_memory_op, fused ----------
+                    if tp is Read:
+                        cell = op.cell
+                        line = cell.line
+                        if jit:
+                            if bufi == BATCH:
+                                buf = refill(lcg)
+                                bufi = 0
+                            lcg = buf[bufi]
+                            bufi += 1
+                            base = read_hit + (lcg >> 33) % jit1
+                        else:
+                            base = read_hit
+                        lw = line.last_writer
+                        if lw is not None and lw != ttid:
+                            loc = line.loc_id
+                            wt = line.write_time
+                            if wt > tcache.get(loc, -1):
+                                miss = read_miss
+                                if jit and read_miss:
+                                    if bufi == BATCH:
+                                        buf = refill(lcg)
+                                        bufi = 0
+                                    lcg = buf[bufi]
+                                    bufi += 1
+                                    miss += (lcg >> 33) % rd1
+                                tcache[loc] = wt
+                                # A read cannot complete before the owning
+                                # writer's store retires.
+                                avail = line.avail_time
+                                if avail > tclock:
+                                    tclock = avail
+                                tclock += base + miss
+                            else:
+                                tclock += base
+                        else:
+                            tclock += base
+                        send_value = cell.value
+                    elif tp is Faa or tp is Cas or tp is GetAndSet or tp is Write:
+                        cell = op.cell
+                        line = cell.line
+                        start = tclock
+                        at = line.avail_time
+                        if at > start:
+                            start = at
+                        if jit:
+                            if bufi == BATCH:
+                                buf = refill(lcg)
+                                bufi = 0
+                            lcg = buf[bufi]
+                            bufi += 1
+                            base = (lcg >> 33) % jit1
+                        else:
+                            base = 0
+                        base += write_cost if tp is Write else rmw_cost
+                        lw = line.last_writer
+                        if lw is not None and lw != ttid:
+                            miss = remote_miss
+                            if jit and remote_miss:
+                                if bufi == BATCH:
+                                    buf = refill(lcg)
+                                    bufi = 0
+                                lcg = buf[bufi]
+                                bufi += 1
+                                miss += (lcg >> 33) % rm1
+                            end = start + base + miss
+                        else:
+                            end = start + base
+                        tclock = end
+                        line.avail_time = end
+                        line.last_writer = ttid
+                        line.write_time = end
+                        tcache[line.loc_id] = end
+                        if tp is Faa:
+                            old = cell.value
+                            cell.value = old + op.delta
+                            send_value = old
+                        elif tp is Cas:
+                            if cell.compare(cell.value, op.expected):
+                                cell.value = op.update
+                                send_value = True
+                            else:
+                                send_value = False
+                        elif tp is Write:
+                            cell.value = op.value
+                        else:  # GetAndSet
+                            old = cell.value
+                            cell.value = op.value
+                            send_value = old
+                    elif tp is Work:
+                        tclock += op.cycles
+                    elif tp is Yield:
+                        tclock += yield_cost
+                    elif tp is Spin:
+                        # DesPolicy.on_voluntary_yield is the base-class
+                        # no-op: nothing to call on the fast path.
+                        tclock += spin_cost
+                    elif tp is ParkTask:
+                        tclock += park_cost
+                        if task.interrupt_pending:
+                            task.interrupt_pending = False
+                            throw_exc = Interrupted()
+                        elif task.retry_pending:
+                            task.retry_pending = False
+                            throw_exc = RetryWakeup()
+                        elif task.unpark_pending:
+                            task.unpark_pending = False  # permit consumed
+                        else:
+                            task.state = PARKED
+                            task.park_count += 1
+                            task.clock = tclock
+                            task.steps = tsteps
+                            task.pending_value = send_value
+                            task.pending_exc = throw_exc
+                            if procs is not None:
+                                self._unbind(task)
+                            if steps > limit:
+                                raise StepLimitExceeded(limit)
+                            break
+                    elif tp is UnparkTask:
+                        tclock += unpark_cost
+                        target = op.task
+                        if target.state is PARKED:
+                            if op.interrupt:
+                                target.pending_exc = Interrupted()
+                            elif op.retry:
+                                target.pending_exc = RetryWakeup()
+                            target.state = RUNNABLE
+                            # cost.wake, inlined
+                            wbase = target.clock
+                            if tclock > wbase:
+                                wbase = tclock
+                            target.clock = wbase + wake_latency
+                            self._make_runnable(target)
+                            # The fresh entry may now be the earliest.
+                            next_clock = heap[0][0] if heap else _INF
+                        elif op.interrupt:
+                            target.interrupt_pending = True
+                        elif op.retry:
+                            target.retry_pending = True
+                        else:
+                            target.unpark_pending = True
+                    elif tp is CurrentTask:
+                        send_value = task
+                    elif tp is Alloc:
+                        tclock += alloc_cost
+                    elif tp is Label:
+                        pass
+                    else:
+                        # Unknown op subtype: fall back to the general
+                        # handlers (sync task + LCG state around the call).
+                        task.clock = tclock
+                        task.pending_value = send_value
+                        cost._lcg = lcg
+                        cost.charge(task, op)
+                        self._dispatch(task, op)
+                        lcg = cost._lcg
+                        bufi = BATCH  # cost advanced the LCG; drop the block
+                        tclock = task.clock
+                        send_value = task.pending_value
+                        next_clock = heap[0][0] if heap else _INF
+                    if steps > limit:
+                        task.clock = tclock
+                        task.steps = tsteps
+                        task.pending_value = send_value
+                        task.pending_exc = throw_exc
+                        raise StepLimitExceeded(limit)
+                    # -- keep_running + requeue, inlined ---------------
+                    if tclock > next_clock:
+                        task.clock = tclock
+                        task.steps = tsteps
+                        task.pending_value = send_value
+                        task.pending_exc = throw_exc
+                        pending = (tclock, ttid, task)
+                        break
+        finally:
+            self.total_steps = steps
+            cost._lcg = lcg
 
     def step(self) -> bool:
         """Execute exactly one op of one task; ``False`` when nothing ran."""
@@ -509,8 +874,9 @@ class Scheduler:
                 hook(self, task, op)
 
     def _dispatch(self, task: Task, op: Op) -> None:
-        if isinstance(op, _MEMORY_OP_TYPES):
-            task.pending_value = apply_memory_op(op)
+        apply = MEMORY_OP_APPLIERS.get(type(op))
+        if apply is not None:
+            task.pending_value = apply(op)
             return
         t = type(op)
         if t is ParkTask:

@@ -1,0 +1,126 @@
+"""Unit tests for the self-performance harness and its CLI.
+
+``selfperf`` measures wall-clock ops/sec of the engine on a pinned
+matrix; ``compare`` gates on the geomean ratio between two dumps.  The
+wall-clock numbers themselves are machine noise — these tests only pin
+the *mechanics*: row schema, point matching, the regression gate's
+arithmetic and exit codes, and the ``--json`` plumbing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.bench.selfperf import (
+    DEFAULT_THRESHOLD,
+    MATRIX,
+    QUICK_MATRIX,
+    compare_rows,
+    geomean,
+    run_selfperf,
+)
+
+
+def _rows(**rates: float) -> list[dict]:
+    return [
+        {"command": "selfperf", "name": n, "ops": 1000, "seconds": 1.0, "ops_per_sec": r}
+        for n, r in rates.items()
+    ]
+
+
+class TestMatrix:
+    def test_quick_matrix_is_subset_of_full(self):
+        # compare matches points by name, so the quick matrix must reuse
+        # full-matrix names (same workloads, just fewer of them).
+        assert set(QUICK_MATRIX) <= set(MATRIX)
+
+    def test_run_selfperf_row_schema(self):
+        rows = run_selfperf(names=["counter-faa-t8"], repeat=1)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["name"] == "counter-faa-t8"
+        assert row["ops"] > 0 and row["seconds"] > 0 and row["ops_per_sec"] > 0
+        assert row["python"] and row["impl"]
+
+
+class TestCompareRows:
+    def test_equal_rates_pass(self):
+        ok, report = compare_rows(_rows(a=100.0, b=200.0), _rows(a=100.0, b=200.0))
+        assert ok and "1.00x" in report and "OK" in report
+
+    def test_geomean_regression_fails(self):
+        # 20% drop on every point > 15% threshold.
+        ok, report = compare_rows(_rows(a=100.0, b=200.0), _rows(a=80.0, b=160.0))
+        assert not ok and "REGRESSION" in report
+
+    def test_single_point_noise_is_damped_by_geomean(self):
+        # One point down 30%, three steady: geomean ~0.915 >= 0.85.
+        old = _rows(a=100.0, b=100.0, c=100.0, d=100.0)
+        new = _rows(a=70.0, b=100.0, c=100.0, d=100.0)
+        ok, _ = compare_rows(old, new)
+        assert ok
+
+    def test_threshold_is_configurable(self):
+        old, new = _rows(a=100.0), _rows(a=90.0)
+        assert compare_rows(old, new, threshold=0.15)[0]
+        assert not compare_rows(old, new, threshold=0.05)[0]
+
+    def test_baseline_rows_are_ignored(self):
+        # BENCH_03.json keeps the pre-optimization engine's numbers as
+        # `selfperf-baseline` rows; the gate must never match them.
+        old = _rows(a=100.0) + [
+            {"command": "selfperf-baseline", "name": "a", "ops_per_sec": 1.0}
+        ]
+        ok, report = compare_rows(old, _rows(a=100.0))
+        assert ok and "1.00x" in report
+
+    def test_no_common_points_fails_loudly(self):
+        ok, report = compare_rows(_rows(a=100.0), _rows(b=100.0))
+        assert not ok and "no common" in report
+
+    def test_geomean_helper(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+        assert DEFAULT_THRESHOLD == 0.15
+
+
+class TestCli:
+    def _dump(self, path, rates):
+        path.write_text(json.dumps(_rows(**rates)))
+        return str(path)
+
+    def test_compare_exit_zero_on_parity(self, tmp_path, capsys):
+        old = self._dump(tmp_path / "old.json", {"a": 100.0})
+        new = self._dump(tmp_path / "new.json", {"a": 100.0})
+        assert bench_main(["compare", old, new]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compare_exit_nonzero_on_injected_regression(self, tmp_path, capsys):
+        old = self._dump(tmp_path / "old.json", {"a": 100.0, "b": 100.0})
+        new = self._dump(tmp_path / "new.json", {"a": 80.0, "b": 80.0})
+        assert bench_main(["compare", old, new]) != 0
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_threshold_flag(self, tmp_path, capsys):
+        old = self._dump(tmp_path / "old.json", {"a": 100.0})
+        new = self._dump(tmp_path / "new.json", {"a": 80.0})
+        assert bench_main(["compare", old, new, "--threshold", "0.25"]) == 0
+        capsys.readouterr()
+
+    def test_selfperf_writes_tagged_json(self, tmp_path, capsys, monkeypatch):
+        out = tmp_path / "perf.json"
+        monkeypatch.setenv("REPRO_BENCH_ELEMS", "100")
+        rc = bench_main(
+            ["selfperf", "--repeat", "1", "--quick", "--json", str(out)]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        rows = json.loads(out.read_text())
+        assert [r["name"] for r in rows] == list(QUICK_MATRIX)
+        assert all(r["command"] == "selfperf" for r in rows)
+        # The dump round-trips through compare against itself.
+        assert bench_main(["compare", str(out), str(out)]) == 0
+        capsys.readouterr()
