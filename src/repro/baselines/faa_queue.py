@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from ..concurrent.cells import IntCell, RefCell
-from ..concurrent.ops import Alloc, Cas, Faa, GetAndSet, Read
+from ..concurrent.ops import Alloc, Cas, GetAndSet, faa_of, read_of
 
 __all__ = ["FAAQueue"]
 
@@ -31,8 +31,9 @@ class _QSegment:
 
     def __init__(self, seg_id: int):
         self.id = seg_id
-        self.cells = [RefCell(None, name=f"faaq.seg{seg_id}[{i}]") for i in range(_SEG)]
-        self.next = RefCell(None, name=f"faaq.seg{seg_id}.next")
+        # Lazy name tuples (see Cell.name): segment creation is hot.
+        self.cells = [RefCell(None, name=("faaq.seg%d[%d]", seg_id, i)) for i in range(_SEG)]
+        self.next = RefCell(None, name=("faaq.seg%d.next", seg_id))
 
 
 class FAAQueue:
@@ -48,14 +49,19 @@ class FAAQueue:
         self.deq_idx = IntCell(0, name=f"{name}.deqIdx")
         self.segments_allocated = 1
 
-    def _find_segment(self, anchor: RefCell, seg_id: int) -> Generator[Any, Any, _QSegment]:
-        cur: _QSegment = yield Read(anchor)
+    def _find_segment(
+        self, anchor: RefCell, seg_id: int, cur: Optional[_QSegment] = None
+    ) -> Generator[Any, Any, _QSegment]:
+        # ``cur`` carries an anchor read the caller already emitted (the
+        # inlined fast case of enqueue/dequeue), so no op is re-issued.
+        if cur is None:
+            cur = yield read_of(anchor)
         if cur.id > seg_id:
             # A faster peer advanced the anchor past our segment; restart
             # from the permanent first segment (never removed here).
             cur = self._first
         while cur.id < seg_id:
-            nxt = yield Read(cur.next)
+            nxt = yield read_of(cur.next)
             if nxt is None:
                 new = _QSegment(cur.id + 1)
                 yield Alloc("segment", _SEG)
@@ -64,7 +70,7 @@ class FAAQueue:
                     self.segments_allocated += 1
                 continue
             cur = nxt
-        seen = yield Read(anchor)
+        seen = yield read_of(anchor)
         if seen.id < cur.id:
             yield Cas(anchor, seen, cur)  # best-effort advance, never backward
         return cur
@@ -74,11 +80,23 @@ class FAAQueue:
 
         if value is None:
             raise ValueError("FAAQueue cannot carry None")
+        tail = self._tail
+        faa_enq = faa_of(self.enq_idx, 1)
+        read_tail = read_of(tail)
         while True:
-            i = yield Faa(self.enq_idx, 1)
-            seg = yield from self._find_segment(self._tail, i // _SEG)
-            cell = seg.cells[i % _SEG]
-            ok = yield Cas(cell, None, value)
+            i = yield faa_enq
+            sid, ci = divmod(i, _SEG)
+            # Inlined _find_segment fast case: the tail already covers
+            # our cell (two anchor reads, no sub-generator frame).
+            cur = yield read_tail
+            if cur.id == sid:
+                seen = yield read_tail
+                if seen.id < cur.id:
+                    yield Cas(tail, seen, cur)
+                seg = cur
+            else:
+                seg = yield from self._find_segment(tail, sid, cur=cur)
+            ok = yield Cas(seg.cells[ci], None, value)
             if ok:
                 return
             # The cell was poisoned by a hasty dequeuer; take the next one.
@@ -86,15 +104,28 @@ class FAAQueue:
     def dequeue(self) -> Generator[Any, Any, Optional[Any]]:
         """Pop the oldest element, or ``None`` when empty."""
 
+        head = self._head
+        read_deq = read_of(self.deq_idx)
+        read_enq = read_of(self.enq_idx)
+        faa_deq = faa_of(self.deq_idx, 1)
+        read_head = read_of(head)
         while True:
-            deq = yield Read(self.deq_idx)
-            enq = yield Read(self.enq_idx)
+            deq = yield read_deq
+            enq = yield read_enq
             if deq >= enq:
                 return None  # observed empty
-            i = yield Faa(self.deq_idx, 1)
-            seg = yield from self._find_segment(self._head, i // _SEG)
-            cell = seg.cells[i % _SEG]
-            value = yield GetAndSet(cell, _BROKEN)
+            i = yield faa_deq
+            sid, ci = divmod(i, _SEG)
+            # Inlined _find_segment fast case (see enqueue).
+            cur = yield read_head
+            if cur.id == sid:
+                seen = yield read_head
+                if seen.id < cur.id:
+                    yield Cas(head, seen, cur)
+                seg = cur
+            else:
+                seg = yield from self._find_segment(head, sid, cur=cur)
+            value = yield GetAndSet(seg.cells[ci], _BROKEN)
             if value is not None:
                 return value
             # Poisoned an empty cell; its enqueuer will skip it.

@@ -10,7 +10,8 @@ Regenerates the paper's evaluation artefacts without pytest::
     python -m repro.bench ablate-capacity
     python -m repro.bench profile --impl faa-channel --threads 64
     python -m repro.bench net --producers 4 --consumers 4 --ops 2000
-    python -m repro.bench selfperf --json            # engine ops/sec -> BENCH_03.json
+    python -m repro.bench selfperf --json            # engine ops/sec -> BENCH_04.json
+    python -m repro.bench allocs --json allocs.json  # descriptor allocations per element
     python -m repro.bench compare OLD.json NEW.json  # exit 1 on >15% perf regression
     python -m repro.bench all
 
@@ -254,6 +255,24 @@ def cmd_selfperf(args: argparse.Namespace) -> list[dict]:
     return rows
 
 
+def cmd_allocs(args: argparse.Namespace) -> list[dict]:
+    from .allocs import run_allocs
+
+    print("Op-descriptor allocations (tracemalloc + retaining hook)")
+    rows = run_allocs(elements=min(args.elements, 4000), threads=4)
+    for r in rows:
+        if r.get("summary"):
+            print(f"  {r['impl']} C={r['capacity']}: fresh/fast descriptor ratio = "
+                  f"{r['alloc_reduction']:.1f}x  "
+                  f"(logical allocs match: {r['logical_allocs_match']})")
+        else:
+            mode = "fast " if r["fast_ops"] else "fresh"
+            print(f"  {r['impl']:12s} C={r['capacity']:<3d} [{mode}] "
+                  f"{r['descriptors']:>8d} descriptors over {r['ops_total']:>8d} ops "
+                  f"= {r['descs_per_element']:8.2f}/elem")
+    return rows
+
+
 def cmd_compare(args: argparse.Namespace) -> list[dict]:
     from .selfperf import compare_rows
 
@@ -281,6 +300,7 @@ COMMANDS = {
     "profile": cmd_profile,
     "net": cmd_net,
     "selfperf": cmd_selfperf,
+    "allocs": cmd_allocs,
     "compare": cmd_compare,
 }
 
@@ -326,7 +346,7 @@ def main(argv: list[str] | None = None) -> int:
         const="__default__",
         default=None,
         help="dump machine-readable result rows to PATH "
-        "(selfperf: bare --json defaults to BENCH_03.json)",
+        "(selfperf: bare --json defaults to BENCH_04.json)",
     )
     parser.add_argument(
         "--parallel", type=int, default=1, metavar="N",
@@ -366,7 +386,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"positional paths are only accepted by `compare`, not `{args.command}`")
     if args.json == "__default__":
         if args.command == "selfperf":
-            args.json = "BENCH_03.json"
+            args.json = "BENCH_04.json"
         else:
             parser.error("--json needs an explicit PATH for this command")
     # Fail fast on unwritable output paths before minutes of simulation.

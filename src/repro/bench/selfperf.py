@@ -40,6 +40,7 @@ from ..sim.scheduler import DesPolicy, Scheduler
 __all__ = [
     "MATRIX",
     "QUICK_MATRIX",
+    "ALG_SUBSET",
     "run_selfperf",
     "compare_rows",
     "geomean",
@@ -121,12 +122,14 @@ def _run_micro(kind: str, tasks: int, per_task: int) -> Scheduler:
     return sched
 
 
-def _run_channel(impl: str, threads: int, capacity: int, elements: int) -> Scheduler:
+def _run_channel(
+    impl: str, threads: int, capacity: int, elements: int, channel: Any = None
+) -> Scheduler:
     # Local import: harness imports selfperf's sibling modules.
     from .harness import make_impl
     from .workload import GeometricWork, consumer_task, producer_task, split_evenly
 
-    chan = make_impl(impl, capacity)
+    chan = channel if channel is not None else make_impl(impl, capacity)
     sched = Scheduler(policy=DesPolicy(), cost_model=CostModel(), processors=threads)
     pairs = max(2, threads) // 2 or 1
     per_p = split_evenly(elements, pairs)
@@ -137,6 +140,49 @@ def _run_channel(impl: str, threads: int, capacity: int, elements: int) -> Sched
         sched.spawn(consumer_task(chan, per_c[c], GeometricWork(100, seed=c * 2 + 2)), f"cons-{c}")
     sched.run()
     return sched
+
+
+def _faaq_producer(q: Any, base: int, n: int) -> Generator[Any, Any, None]:
+    for i in range(n):
+        yield from q.enqueue(base + i + 1)
+
+
+def _faaq_consumer(q: Any, n: int) -> Generator[Any, Any, int]:
+    yld = Yield()
+    got = 0
+    while got < n:
+        v = yield from q.dequeue()
+        if v is None:
+            yield yld  # observed empty: back off and let producers run
+        else:
+            got += 1
+    return got
+
+
+def _run_faaq(threads: int, elements: int) -> Scheduler:
+    from ..baselines.faa_queue import FAAQueue
+    from .workload import split_evenly
+
+    q = FAAQueue("selfperf.faaq")
+    sched = Scheduler(policy=DesPolicy(), cost_model=CostModel(), processors=threads)
+    pairs = max(2, threads) // 2 or 1
+    per = split_evenly(elements, pairs)
+    for p in range(pairs):
+        sched.spawn(_faaq_producer(q, p * elements, per[p]), f"faaq-prod-{p}")
+    for c in range(pairs):
+        sched.spawn(_faaq_consumer(q, per[c]), f"faaq-cons-{c}")
+    sched.run()
+    return sched
+
+
+def _run_segchurn(threads: int, elements: int) -> Scheduler:
+    """Rendezvous with tiny segments: segment alloc/removal dominates."""
+
+    from ..core import RendezvousChannel
+
+    return _run_channel(
+        "faa-channel", threads, 0, elements, channel=RendezvousChannel(seg_size=2)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -157,7 +203,25 @@ MATRIX: dict[str, Callable[[], Scheduler]] = {
     # whose long stints exercise the fused keep-running path.
     "op-stream-t1": lambda: _run_micro("faa", 1, 40000),
     "yield-work-t2": lambda: _run_micro("yield", 2, 20000),
+    # Algorithm-bound points (PR 4): low thread counts so per-op cost is
+    # dominated by channel/baseline *algorithm* code — descriptor
+    # construction, segment walks, cell state machines — rather than by
+    # scheduling decisions.  These are the points the algorithm-layer
+    # fast path (flyweight ops, flattened chains, segment pooling) moves.
+    "alg-rendezvous-t4": lambda: _run_channel("faa-channel", 4, 0, 8000),
+    "alg-buffered-deep-t4": lambda: _run_channel("faa-channel", 4, 256, 8000),
+    "alg-segchurn-t4": lambda: _run_segchurn(4, 6000),
+    "alg-faaq-t4": lambda: _run_faaq(4, 8000),
 }
+
+#: The algorithm-bound subset: the A/B gate for the algorithm-layer fast
+#: path is the geomean over exactly these points.
+ALG_SUBSET: tuple[str, ...] = (
+    "alg-rendezvous-t4",
+    "alg-buffered-deep-t4",
+    "alg-segchurn-t4",
+    "alg-faaq-t4",
+)
 
 #: Reduced matrix for CI smoke runs (same names, smaller sizes would
 #: break point matching — so a *subset* of the full matrix instead).

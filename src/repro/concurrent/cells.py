@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Any
 
-__all__ = ["Cell", "RefCell", "IntCell", "CacheLine"]
+__all__ = ["Cell", "RefCell", "IntCell", "CacheLine", "renew_line"]
 
 _cell_ids = itertools.count()
 
@@ -53,6 +53,23 @@ class CacheLine:
         self.avail_time: int = 0
 
 
+def renew_line(line: CacheLine) -> None:
+    """Reset *line* to the state of a freshly constructed cache line.
+
+    Used by the segment pool: a recycled segment must be observationally
+    identical to a new one, which means its lines take **fresh**
+    ``loc_id``\\ s from the global counter (in construction order) and
+    drop all writer/timing bookkeeping.  Reusing the old ``loc_id`` would
+    leak a previous run's per-task cache-residency into the cost model
+    and break bit-exact determinism.
+    """
+
+    line.loc_id = next(_cell_ids)
+    line.last_writer = None
+    line.write_time = 0
+    line.avail_time = 0
+
+
 class Cell:
     """One atomic memory location (do not instantiate directly).
 
@@ -60,12 +77,38 @@ class Cell:
     shared line may be passed to model co-located fields.
     """
 
-    __slots__ = ("value", "name", "line")
+    __slots__ = ("value", "_name", "line", "read_op")
 
-    def __init__(self, value: Any, name: str = "", line: CacheLine | None = None):
+    def __init__(self, value: Any, name: Any = "", line: CacheLine | None = None):
         self.value = value
-        self.name = name
+        self._name = name
         self.line = line if line is not None else CacheLine()
+        #: Interned ``Read(self)`` descriptor (lazily built by
+        #: :func:`repro.concurrent.ops.read_of`); immutable, so it stays
+        #: valid for the cell's whole life — including across segment
+        #: recycling, which reuses cells in place.
+        self.read_op: Any = None
+
+    @property
+    def name(self) -> str:
+        """The cell's debug label, formatted on first access.
+
+        Hot construction paths (``Segment.__init__``) pass a lazy
+        ``(fmt, *args)`` tuple instead of an eagerly built f-string —
+        names are only ever read by tracing/observability/debug code,
+        never by the simulation itself, so the ``%``-format is deferred
+        until someone actually looks.
+        """
+
+        n = self._name
+        if type(n) is tuple:
+            n = n[0] % n[1:]
+            self._name = n
+        return n
+
+    @name.setter
+    def name(self, value: Any) -> None:
+        self._name = value
 
     @property
     def loc_id(self) -> int:
@@ -98,12 +141,15 @@ class RefCell(Cell):
 class IntCell(Cell):
     """An atomic 64-bit integer; CAS compares by value, FAA is supported."""
 
-    __slots__ = ()
+    __slots__ = ("faa_inc", "faa_dec")
 
     def __init__(self, value: int = 0, name: str = "", line: CacheLine | None = None):
         if not isinstance(value, int):
             raise TypeError(f"IntCell requires an int, got {type(value).__name__}")
         super().__init__(value, name, line)
+        #: Interned ``Faa(self, ±1)`` descriptors (see ``Cell.read_op``).
+        self.faa_inc: Any = None
+        self.faa_dec: Any = None
 
     @staticmethod
     def compare(current: Any, expected: Any) -> bool:

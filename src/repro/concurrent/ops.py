@@ -29,6 +29,8 @@ driver implements them against its own notion of a task.
 
 from __future__ import annotations
 
+import os
+import threading
 from typing import Any, Optional
 
 from ..errors import SchedulerError
@@ -52,6 +54,17 @@ __all__ = [
     "apply_memory_op",
     "is_memory_op",
     "MEMORY_OP_APPLIERS",
+    "YIELD",
+    "CURRENT_TASK",
+    "OpKit",
+    "FreshOpKit",
+    "FRESH_KIT",
+    "acquire_kit",
+    "release_kit",
+    "read_of",
+    "faa_of",
+    "fast_ops_enabled",
+    "set_fast_ops",
 ]
 
 
@@ -321,6 +334,206 @@ MEMORY_OP_APPLIERS: dict[type, Any] = {
     Faa: _apply_faa,
     GetAndSet: _apply_get_and_set,
 }
+
+
+# ----------------------------------------------------------------------
+# Flyweight descriptors (algorithm-layer fast path).
+#
+# Three tiers, cheapest first:
+#
+# 1. **Singletons** for the parameterless ops.  ``Yield()`` and
+#    ``CurrentTask()`` carry no state at all, so one shared instance is
+#    indistinguishable from a fresh one.
+# 2. **Per-cell interned ops** for the two shapes hot loops repeat
+#    against the *same* location forever: ``Read(cell)`` and
+#    ``Faa(cell, ±1)``.  The cache lives in slots *on the cell itself*
+#    (no global intern dict), so it is process-local by construction —
+#    ``sweep(parallel=)`` workers build their own cells and therefore
+#    their own caches, and nothing keeps a cell alive beyond its owner.
+# 3. **Reusable kits** (:class:`OpKit`) for everything else: one mutable
+#    descriptor per op type, reused for the duration of a single channel
+#    operation.  Safe because every driver in this repository applies an
+#    op *synchronously* after ``gen.send`` returns it, before any other
+#    code of the same task can run; consumers that retain descriptors
+#    (``obs.OpEvent``) must read fields in-step, which all in-tree
+#    subscribers do.
+#
+# ``REPRO_NO_FAST_OPS=1`` (or :func:`set_fast_ops(False)`) degrades all
+# three tiers to fresh immutable allocations — the A/B lever for the
+# allocation microbench and the golden identity tests.
+# ----------------------------------------------------------------------
+
+#: Shared instances of the parameterless ops.
+YIELD = Yield()
+CURRENT_TASK = CurrentTask()
+
+_fast_ops = os.environ.get("REPRO_NO_FAST_OPS", "") in ("", "0")
+
+
+def fast_ops_enabled() -> bool:
+    """``True`` when the flyweight/reusable descriptor tiers are active."""
+
+    return _fast_ops
+
+
+def set_fast_ops(enabled: bool) -> None:
+    """Runtime toggle for the fast-op tiers (A/B and identity tests).
+
+    Only affects descriptors created *after* the call; kits already
+    handed out keep their mode for the operation in flight.
+    """
+
+    global _fast_ops
+    _fast_ops = bool(enabled)
+
+
+def read_of(cell: Cell) -> Read:
+    """An interned ``Read(cell)``, cached on the cell itself."""
+
+    if not _fast_ops:
+        return Read(cell)
+    op = cell.read_op
+    if op is None:
+        op = cell.read_op = Read(cell)
+    return op
+
+
+def faa_of(cell: IntCell, delta: int) -> Faa:
+    """An interned ``Faa(cell, ±1)``; other deltas allocate fresh."""
+
+    if not _fast_ops:
+        return Faa(cell, delta)
+    if delta == 1:
+        op = cell.faa_inc
+        if op is None:
+            op = cell.faa_inc = Faa(cell, 1)
+        return op
+    if delta == -1:
+        op = cell.faa_dec
+        if op is None:
+            op = cell.faa_dec = Faa(cell, -1)
+        return op
+    return Faa(cell, delta)
+
+
+class OpKit:
+    """A reusable set of mutable op descriptors for one task's operation.
+
+    Hot paths acquire a kit at operation entry (``send``/``receive``/…)
+    and produce each memory op by *mutating* the kit's single instance of
+    that type instead of allocating::
+
+        ok = yield kit.cas(cell, EMPTY, waiter)
+
+    The same kit must never be used by two concurrent operations; the
+    acquire/release free-list is thread-local, and an operation passes
+    its kit down the call chain rather than re-acquiring.
+    """
+
+    __slots__ = ("_read", "_write", "_cas", "_faa", "_gas")
+
+    def __init__(self) -> None:
+        self._read = Read.__new__(Read)
+        self._write = Write.__new__(Write)
+        self._cas = Cas.__new__(Cas)
+        self._faa = Faa.__new__(Faa)
+        self._gas = GetAndSet.__new__(GetAndSet)
+
+    def read(self, cell: Cell) -> Read:
+        op = self._read
+        op.cell = cell
+        return op
+
+    def write(self, cell: Cell, value: Any) -> Write:
+        op = self._write
+        op.cell = cell
+        op.value = value
+        return op
+
+    def cas(self, cell: Cell, expected: Any, update: Any) -> Cas:
+        op = self._cas
+        op.cell = cell
+        op.expected = expected
+        op.update = update
+        return op
+
+    def faa(self, cell: IntCell, delta: int) -> Faa:
+        op = self._faa
+        op.cell = cell
+        op.delta = delta
+        return op
+
+    def get_and_set(self, cell: Cell, value: Any) -> GetAndSet:
+        op = self._gas
+        op.cell = cell
+        op.value = value
+        return op
+
+
+class FreshOpKit:
+    """Kit-shaped factory that allocates a fresh immutable op per call.
+
+    Handed out when fast ops are disabled, so call sites need no
+    branches: the identity tests compare a run on :class:`OpKit` against
+    a run on this class and require bit-identical results.
+    """
+
+    __slots__ = ()
+
+    @staticmethod
+    def read(cell: Cell) -> Read:
+        return Read(cell)
+
+    @staticmethod
+    def write(cell: Cell, value: Any) -> Write:
+        return Write(cell, value)
+
+    @staticmethod
+    def cas(cell: Cell, expected: Any, update: Any) -> Cas:
+        return Cas(cell, expected, update)
+
+    @staticmethod
+    def faa(cell: IntCell, delta: int) -> Faa:
+        return Faa(cell, delta)
+
+    @staticmethod
+    def get_and_set(cell: Cell, value: Any) -> GetAndSet:
+        return GetAndSet(cell, value)
+
+
+#: The shared stateless fresh-allocation kit.
+FRESH_KIT = FreshOpKit()
+
+# Kits are pooled per OS thread: the simulator and asyncio adapter drive
+# every task on one thread, while the threads adapter runs one task per
+# thread — in both regimes a popped kit is exclusively owned until
+# released.  (Each sweep worker process starts with an empty pool.)
+_kit_local = threading.local()
+_KIT_POOL_CAP = 64
+
+
+def acquire_kit() -> Any:
+    """Borrow a reusable :class:`OpKit` (or :data:`FRESH_KIT` when off)."""
+
+    if not _fast_ops:
+        return FRESH_KIT
+    pool = getattr(_kit_local, "pool", None)
+    if pool:
+        return pool.pop()
+    return OpKit()
+
+
+def release_kit(kit: Any) -> None:
+    """Return a kit to the current thread's pool.  Idempotent-ish: only
+    real :class:`OpKit` instances are pooled, and the pool is bounded."""
+
+    if type(kit) is not OpKit:
+        return
+    pool = getattr(_kit_local, "pool", None)
+    if pool is None:
+        pool = _kit_local.pool = []
+    if len(pool) < _KIT_POOL_CAP:
+        pool.append(kit)
 
 
 def apply_memory_op(op: Op) -> Any:

@@ -30,7 +30,18 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from ..concurrent.cells import IntCell, RefCell
-from ..concurrent.ops import Cas, Faa, GetAndSet, Read, Write
+from ..concurrent.ops import (
+    FRESH_KIT,
+    Cas,
+    Faa,
+    GetAndSet,
+    Read,
+    Write,
+    acquire_kit,
+    faa_of,
+    read_of,
+    release_kit,
+)
 from ..errors import ChannelClosedForReceive, ChannelClosedForSend, Interrupted, RetryWakeup
 from ..runtime.waiter import Waiter
 from .closing import CLOSE_BIT, counter_of, is_flagged
@@ -190,12 +201,12 @@ class ChannelBase:
     # ------------------------------------------------------------------
 
     def _upd_cell_send(
-        self, segm: Segment, i: int, s: int, mode: Any
+        self, segm: Segment, i: int, s: int, mode: Any, kit: Any = FRESH_KIT
     ) -> Generator[Any, Any, Any]:
         raise NotImplementedError
 
     def _upd_cell_rcv(
-        self, segm: Segment, i: int, r: int, mode: Any
+        self, segm: Segment, i: int, r: int, mode: Any, kit: Any = FRESH_KIT
     ) -> Generator[Any, Any, Any]:
         raise NotImplementedError
 
@@ -219,12 +230,16 @@ class ChannelBase:
 
         if element is None:
             raise ValueError("channels cannot carry None (reserved sentinel)")
-        while True:
-            outcome = yield from self._send_attempt(element, PARK)
-            if outcome is SUCCESS:
-                self.stats.sends += 1
-                return
-            self.stats.send_restarts += 1
+        kit = acquire_kit()
+        try:
+            while True:
+                outcome = yield from self._send_attempt(element, PARK, kit)
+                if outcome is SUCCESS:
+                    self.stats.sends += 1
+                    return
+                self.stats.send_restarts += 1
+        finally:
+            release_kit(kit)
 
     def try_send(self, element: Any) -> Generator[Any, Any, bool]:
         """Non-blocking send; ``False`` when it would have to suspend.
@@ -234,18 +249,22 @@ class ChannelBase:
 
         if element is None:
             raise ValueError("channels cannot carry None (reserved sentinel)")
-        while True:
-            if (yield from self._try_send_would_block()):
-                self.stats.try_send_failures += 1
-                return False
-            outcome = yield from self._send_attempt(element, MARK)
-            if outcome is SUCCESS:
-                self.stats.sends += 1
-                return True
-            if outcome is WOULD_BLOCK:
-                self.stats.try_send_failures += 1
-                return False
-            self.stats.send_restarts += 1
+        kit = acquire_kit()
+        try:
+            while True:
+                if (yield from self._try_send_would_block()):
+                    self.stats.try_send_failures += 1
+                    return False
+                outcome = yield from self._send_attempt(element, MARK, kit)
+                if outcome is SUCCESS:
+                    self.stats.sends += 1
+                    return True
+                if outcome is WOULD_BLOCK:
+                    self.stats.try_send_failures += 1
+                    return False
+                self.stats.send_restarts += 1
+        finally:
+            release_kit(kit)
 
     def receive(self) -> Generator[Any, Any, Any]:
         """Receive the next element, suspending while the channel is empty.
@@ -255,14 +274,18 @@ class ChannelBase:
         suspension is cancelled.
         """
 
-        while True:
-            outcome, value = yield from self._receive_attempt(PARK)
-            if outcome is SUCCESS:
-                self.stats.receives += 1
-                return value
-            if outcome is CLOSED:
-                raise ChannelClosedForReceive()
-            self.stats.rcv_restarts += 1
+        kit = acquire_kit()
+        try:
+            while True:
+                outcome, value = yield from self._receive_attempt(PARK, kit)
+                if outcome is SUCCESS:
+                    self.stats.receives += 1
+                    return value
+                if outcome is CLOSED:
+                    raise ChannelClosedForReceive()
+                self.stats.rcv_restarts += 1
+        finally:
+            release_kit(kit)
 
     def try_receive(self) -> Generator[Any, Any, tuple[bool, Any]]:
         """Non-blocking receive; returns ``(ok, element_or_None)``.
@@ -270,20 +293,24 @@ class ChannelBase:
         Raises :class:`ChannelClosedForReceive` when closed and drained.
         """
 
-        while True:
-            if (yield from self._try_receive_would_block()):
-                self.stats.try_receive_failures += 1
-                return (False, None)
-            outcome, value = yield from self._receive_attempt(MARK)
-            if outcome is SUCCESS:
-                self.stats.receives += 1
-                return (True, value)
-            if outcome is WOULD_BLOCK:
-                self.stats.try_receive_failures += 1
-                return (False, None)
-            if outcome is CLOSED:
-                raise ChannelClosedForReceive()
-            self.stats.rcv_restarts += 1
+        kit = acquire_kit()
+        try:
+            while True:
+                if (yield from self._try_receive_would_block()):
+                    self.stats.try_receive_failures += 1
+                    return (False, None)
+                outcome, value = yield from self._receive_attempt(MARK, kit)
+                if outcome is SUCCESS:
+                    self.stats.receives += 1
+                    return (True, value)
+                if outcome is WOULD_BLOCK:
+                    self.stats.try_receive_failures += 1
+                    return (False, None)
+                if outcome is CLOSED:
+                    raise ChannelClosedForReceive()
+                self.stats.rcv_restarts += 1
+        finally:
+            release_kit(kit)
 
     def receive_catching(self) -> Generator[Any, Any, tuple[bool, Any]]:
         """Like :meth:`receive` but returns ``(False, None)`` when closed."""
@@ -308,16 +335,20 @@ class ChannelBase:
 
         if element is None:
             raise ValueError("channels cannot carry None (reserved sentinel)")
-        while True:
-            outcome = yield from self._send_attempt(element, registrar)
-            if outcome is SUCCESS:
-                self.stats.sends += 1
-                return ("done", None)
-            if isinstance(outcome, Registered):
-                return ("registered", outcome)
-            if outcome is SELECT_LOST:
-                return ("lost", None)
-            self.stats.send_restarts += 1
+        kit = acquire_kit()
+        try:
+            while True:
+                outcome = yield from self._send_attempt(element, registrar, kit)
+                if outcome is SUCCESS:
+                    self.stats.sends += 1
+                    return ("done", None)
+                if isinstance(outcome, Registered):
+                    return ("registered", outcome)
+                if outcome is SELECT_LOST:
+                    return ("lost", None)
+                self.stats.send_restarts += 1
+        finally:
+            release_kit(kit)
 
     def select_receive(self, registrar: "SelectRegistrar") -> Generator[Any, Any, tuple[str, Any]]:
         """One receive clause of a select (see :meth:`select_send`).
@@ -326,18 +357,22 @@ class ChannelBase:
         closed and drained.
         """
 
-        while True:
-            outcome, value = yield from self._receive_attempt(registrar)
-            if outcome is SUCCESS:
-                self.stats.receives += 1
-                return ("done", value)
-            if isinstance(outcome, Registered):
-                return ("registered", outcome)
-            if outcome is SELECT_LOST:
-                return ("lost", None)
-            if outcome is CLOSED:
-                return ("closed", None)
-            self.stats.rcv_restarts += 1
+        kit = acquire_kit()
+        try:
+            while True:
+                outcome, value = yield from self._receive_attempt(registrar, kit)
+                if outcome is SUCCESS:
+                    self.stats.receives += 1
+                    return ("done", value)
+                if isinstance(outcome, Registered):
+                    return ("registered", outcome)
+                if outcome is SELECT_LOST:
+                    return ("lost", None)
+                if outcome is CLOSED:
+                    return ("closed", None)
+                self.stats.rcv_restarts += 1
+        finally:
+            release_kit(kit)
 
     def select_cleanup(self, reg: Registered, is_sender: bool) -> Generator[Any, Any, None]:
         """Neutralize a losing registration's cell (INTERRUPTED_*).
@@ -376,51 +411,87 @@ class ChannelBase:
     # One reservation attempt (the Listing 5 skeleton)
     # ------------------------------------------------------------------
 
-    def _send_attempt(self, element: Any, mode: Any) -> Generator[Any, Any, Any]:
+    # The attempt drivers inline the uncontended ``findAndMoveForward``
+    # case (DESIGN.md §10): when the anchor's segment already covers the
+    # reserved cell and is alive, the whole locate-and-advance step is
+    # two reads emitted from *this* frame; every other case hands the
+    # already-emitted prefix to the flat
+    # :meth:`SegmentList.find_and_move_forward` via its resume-state
+    # parameters, so no op is ever re-emitted.
+
+    def _send_attempt(self, element: Any, mode: Any, kit: Any = FRESH_KIT) -> Generator[Any, Any, Any]:
         K = self.seg_size
-        segm = yield Read(self._segm_s)
-        s_raw = yield Faa(self.S, 1)
+        anchor = self._segm_s
+        segm = yield read_of(anchor)
+        s_raw = yield faa_of(self.S, 1)
         self.stats.cells_processed += 1
         s = counter_of(s_raw)
         sid, i = divmod(s, K)
         if is_flagged(s_raw):
             yield from self._mark_closed_send_cell(segm, sid, i)
             raise ChannelClosedForSend()
-        segm = yield from self._list.find_and_move_forward(self._segm_s, segm, sid)
+        if segm.id >= sid:
+            value = yield read_of(segm._cnt)  # inlined is_removed(segm)
+            if value % (K + 1) == K and value // (K + 1) == 0:
+                segm = yield from self._list.find_and_move_forward(
+                    anchor, segm, sid, checked_start=True
+                )
+            else:
+                cur = yield read_of(anchor)  # inlined move_forward fast case
+                if cur.id < segm.id:
+                    segm = yield from self._list.find_and_move_forward(
+                        anchor, segm, sid, resume_cur=cur
+                    )
+        else:
+            segm = yield from self._list.find_and_move_forward(anchor, segm, sid)
         if segm.id != sid:
             # The whole range up to segm.id*K was interrupted and removed;
             # help the counter skip it (Listing 5, line 6).
-            yield Cas(self.S, s_raw + 1, (s_raw - s) + segm.id * K)
+            yield kit.cas(self.S, s_raw + 1, (s_raw - s) + segm.id * K)
             return RESTART
-        yield Write(segm.elem_cell(i), element)
-        outcome = yield from self._upd_cell_send(segm, i, s, mode)
+        yield kit.write(segm.elems[i], element)
+        outcome = yield from self._upd_cell_send(segm, i, s, mode, kit)
         if outcome is SUCCESS:
             if self.observer is not None:
                 self.observer.send_done(s, element)
-            yield from segm.clean_prev()
+            yield kit.write(segm._prev, None)  # inlined clean_prev()
         return outcome
 
-    def _receive_attempt(self, mode: Any) -> Generator[Any, Any, tuple[Any, Any]]:
+    def _receive_attempt(self, mode: Any, kit: Any = FRESH_KIT) -> Generator[Any, Any, tuple[Any, Any]]:
         K = self.seg_size
-        segm = yield Read(self._segm_r)
-        r_raw = yield Faa(self.R, 1)
+        anchor = self._segm_r
+        segm = yield read_of(anchor)
+        r_raw = yield faa_of(self.R, 1)
         self.stats.cells_processed += 1
         r = counter_of(r_raw)
         rid, i = divmod(r, K)
         if is_flagged(r_raw):  # the channel was cancelled
             yield from self._mark_cancelled_rcv_cell(segm, rid, i)
             return (CLOSED, None)
-        segm = yield from self._list.find_and_move_forward(self._segm_r, segm, rid)
+        if segm.id >= rid:
+            value = yield read_of(segm._cnt)  # inlined is_removed(segm)
+            if value % (K + 1) == K and value // (K + 1) == 0:
+                segm = yield from self._list.find_and_move_forward(
+                    anchor, segm, rid, checked_start=True
+                )
+            else:
+                cur = yield read_of(anchor)  # inlined move_forward fast case
+                if cur.id < segm.id:
+                    segm = yield from self._list.find_and_move_forward(
+                        anchor, segm, rid, resume_cur=cur
+                    )
+        else:
+            segm = yield from self._list.find_and_move_forward(anchor, segm, rid)
         if segm.id != rid:
-            yield Cas(self.R, r_raw + 1, (r_raw - r) + segm.id * K)
+            yield kit.cas(self.R, r_raw + 1, (r_raw - r) + segm.id * K)
             return (RESTART, None)
-        outcome = yield from self._upd_cell_rcv(segm, i, r, mode)
+        outcome = yield from self._upd_cell_rcv(segm, i, r, mode, kit)
         if outcome is not SUCCESS:
             return (outcome, None)
         # Claim the element atomically: a concurrent cancel() discards
         # buffered elements, and the GetAndSet decides who got this one.
-        value = yield GetAndSet(segm.elem_cell(i), None)
-        yield from segm.clean_prev()
+        value = yield kit.get_and_set(segm.elems[i], None)
+        yield kit.write(segm._prev, None)  # inlined clean_prev()
         if value is None:
             return (CLOSED, None)  # lost the race against cancel()
         if self.observer is not None:

@@ -39,9 +39,18 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from ..concurrent.cells import IntCell
-from ..concurrent.ops import Cas, Faa, GetAndSet, Read, Spin, Write
-from ..errors import ChannelClosedForReceive
-from ..runtime.waiter import Waiter
+from ..concurrent.ops import (
+    CURRENT_TASK,
+    FRESH_KIT,
+    Spin,
+    UnparkTask,
+    acquire_kit,
+    faa_of,
+    read_of,
+    release_kit,
+)
+from ..errors import ChannelClosedForReceive, ChannelClosedForSend
+from ..runtime.waiter import INIT, PARKED, PERMIT, RESUMED
 from .base import (
     CLOSED,
     MARK,
@@ -94,52 +103,308 @@ class BufferedChannel(ChannelBase):
         self._segm_b = self._list.make_anchor("B")
 
     # ------------------------------------------------------------------
+    # Fused fast paths (DESIGN.md §10)
+    # ------------------------------------------------------------------
+    #
+    # Same shape as :class:`~repro.core.rendezvous.RendezvousChannel`'s
+    # fused paths: the PARK-mode send()/receive() inline the attempt
+    # loop and the updCell state machine into the public generator (two
+    # frames per op instead of four), dropping the select/MARK branches
+    # that cannot fire in PARK mode.  Op-for-op identical to the general
+    # code, which try-ops, select clauses, and subclasses keep using.
+
+    def send(self, element: Any) -> Generator[Any, Any, None]:
+        """Send ``element``, suspending while the buffer is full.
+
+        Raises :class:`ChannelClosedForSend` once the channel is closed,
+        and :class:`Interrupted` if the suspension is cancelled.
+        """
+
+        if element is None:
+            raise ValueError("channels cannot carry None (reserved sentinel)")
+        kit = acquire_kit()
+        try:
+            K = self.seg_size
+            stats = self.stats
+            anchor = self._segm_s
+            read_anchor = read_of(anchor)
+            faa_s = faa_of(self.S, 1)
+            read_r = read_of(self.R)
+            read_b = read_of(self.B)
+            while True:
+                # -- _send_attempt(element, PARK, kit), inlined --------
+                segm = yield read_anchor
+                s_raw = yield faa_s
+                stats.cells_processed += 1
+                s = counter_of(s_raw)
+                sid, i = divmod(s, K)
+                if is_flagged(s_raw):
+                    yield from self._mark_closed_send_cell(segm, sid, i)
+                    raise ChannelClosedForSend()
+                if segm.id >= sid:
+                    value = yield read_of(segm._cnt)  # inlined is_removed(segm)
+                    if value % (K + 1) == K and value // (K + 1) == 0:
+                        segm = yield from self._list.find_and_move_forward(
+                            anchor, segm, sid, checked_start=True
+                        )
+                    else:
+                        cur = yield read_anchor  # inlined move_forward fast case
+                        if cur.id < segm.id:
+                            segm = yield from self._list.find_and_move_forward(
+                                anchor, segm, sid, resume_cur=cur
+                            )
+                else:
+                    segm = yield from self._list.find_and_move_forward(anchor, segm, sid)
+                if segm.id != sid:
+                    yield kit.cas(self.S, s_raw + 1, (s_raw - s) + segm.id * K)
+                    stats.send_restarts += 1
+                    continue
+                state_cell = segm.states[i]
+                elem_cell = segm.elems[i]
+                yield kit.write(elem_cell, element)
+                # -- _upd_cell_send(segm, i, s, PARK, kit), inlined ----
+                read_state = read_of(state_cell)
+                outcome = RESTART
+                while True:
+                    state = yield read_state
+                    r_raw = yield read_r
+                    r = counter_of(r_raw)
+                    b = yield read_b
+                    if (state is None and (s < r or s < b)) or state is IN_BUFFER:
+                        # In the buffer, or a receiver is incoming:
+                        # deposit without suspending.
+                        ok = yield kit.cas(state_cell, state, BUFFERED)
+                        if ok:
+                            outcome = SUCCESS
+                            break
+                        continue
+                    if state is None and s >= b and s >= r:
+                        # EMPTY, outside the buffer, no receiver.
+                        w = SenderWaiter.of((yield CURRENT_TASK))
+                        ok = yield kit.cas(state_cell, None, w)
+                        if ok:
+                            resumed = yield from self._park_sender(w, segm, i)
+                            outcome = SUCCESS if resumed else RESTART
+                            break
+                        continue
+                    if isinstance(state, ReceiverWaiter):
+                        # Waiting receiver => rendezvous.
+                        wcell = state._state
+                        ws = yield read_of(wcell)
+                        if ws is INIT:
+                            ok = yield kit.cas(wcell, INIT, PERMIT)
+                            if not ok:
+                                ok = yield from state.try_unpark()
+                        elif ws is PARKED:
+                            ok = yield kit.cas(wcell, PARKED, RESUMED)
+                            if ok:
+                                yield UnparkTask(state.task, interrupt=False)
+                            else:
+                                ok = yield from state.try_unpark()
+                        else:
+                            ok = False
+                        if ok:
+                            yield kit.write(state_cell, DONE_RCV)
+                            outcome = SUCCESS
+                            break
+                        yield kit.write(elem_cell, None)
+                        outcome = RESTART
+                        break
+                    if state is INTERRUPTED_RCV or state is BROKEN or state is CANCELLED:
+                        yield kit.write(elem_cell, None)
+                        outcome = RESTART
+                        break
+                    raise AssertionError(
+                        f"send found impossible cell state {state!r} at {segm.id}:{i}"
+                    )
+                if outcome is SUCCESS:
+                    if self.observer is not None:
+                        self.observer.send_done(s, element)
+                    yield kit.write(segm._prev, None)  # inlined clean_prev()
+                    stats.sends += 1
+                    return
+                stats.send_restarts += 1
+        finally:
+            release_kit(kit)
+
+    def receive(self) -> Generator[Any, Any, Any]:
+        """Receive the next element, suspending while the channel is empty.
+
+        Raises :class:`ChannelClosedForReceive` once the channel is both
+        closed and drained (or cancelled), and :class:`Interrupted` if the
+        suspension is cancelled.
+        """
+
+        kit = acquire_kit()
+        try:
+            K = self.seg_size
+            stats = self.stats
+            anchor = self._segm_r
+            read_anchor = read_of(anchor)
+            faa_r = faa_of(self.R, 1)
+            read_s = read_of(self.S)
+            while True:
+                # -- _receive_attempt(PARK, kit), inlined --------------
+                segm = yield read_anchor
+                r_raw = yield faa_r
+                stats.cells_processed += 1
+                r = counter_of(r_raw)
+                rid, i = divmod(r, K)
+                if is_flagged(r_raw):  # the channel was cancelled
+                    yield from self._mark_cancelled_rcv_cell(segm, rid, i)
+                    raise ChannelClosedForReceive()
+                if segm.id >= rid:
+                    value = yield read_of(segm._cnt)  # inlined is_removed(segm)
+                    if value % (K + 1) == K and value // (K + 1) == 0:
+                        segm = yield from self._list.find_and_move_forward(
+                            anchor, segm, rid, checked_start=True
+                        )
+                    else:
+                        cur = yield read_anchor  # inlined move_forward fast case
+                        if cur.id < segm.id:
+                            segm = yield from self._list.find_and_move_forward(
+                                anchor, segm, rid, resume_cur=cur
+                            )
+                else:
+                    segm = yield from self._list.find_and_move_forward(anchor, segm, rid)
+                if segm.id != rid:
+                    yield kit.cas(self.R, r_raw + 1, (r_raw - r) + segm.id * K)
+                    stats.rcv_restarts += 1
+                    continue
+                state_cell = segm.states[i]
+                # -- _upd_cell_rcv(segm, i, r, PARK, kit), inlined -----
+                read_state = read_of(state_cell)
+                outcome = RESTART
+                while True:
+                    state = yield read_state
+                    s_raw = yield read_s
+                    s = counter_of(s_raw)
+                    if (state is None or state is IN_BUFFER) and r >= s:
+                        # EMPTY (or pre-marked buffer cell), no sender.
+                        if is_flagged(s_raw):
+                            # Closed and drained.
+                            ok = yield kit.cas(state_cell, state, INTERRUPTED_RCV)
+                            if ok:
+                                yield from segm.on_interrupted_cell()
+                                yield from self.expand_buffer(kit)
+                                outcome = CLOSED
+                                break
+                            continue
+                        w = ReceiverWaiter.of((yield CURRENT_TASK))
+                        ok = yield kit.cas(state_cell, state, w)
+                        if ok:
+                            # Restore the consumed capacity *before*
+                            # suspending (Listing 4, line 33).
+                            yield from self.expand_buffer(kit)
+                            yield from self._close_recheck_receiver(w, r)
+                            resumed = yield from self._park_receiver(w, segm, i)
+                            outcome = SUCCESS if resumed else RESTART
+                            break
+                        continue
+                    if (state is None or state is IN_BUFFER) and r < s:
+                        # A sender is incoming => poison the cell; the
+                        # poisoned buffer cell must be replaced.
+                        ok = yield kit.cas(state_cell, state, BROKEN)
+                        if ok:
+                            stats.poisoned += 1
+                            yield from self.expand_buffer(kit)
+                            outcome = RESTART
+                            break
+                        continue
+                    if state is BUFFERED:
+                        yield from self.expand_buffer(kit)
+                        outcome = SUCCESS
+                        break
+                    if state is INTERRUPTED_SEND:
+                        outcome = RESTART  # expandBuffer owns the accounting
+                        break
+                    if state is CANCELLED:
+                        outcome = RESTART
+                        break
+                    if isinstance(state, SenderWaiter):
+                        # Suspended sender: help the (late) expandBuffer
+                        # via the S_RESUMING_RCV lock.
+                        ok = yield kit.cas(state_cell, state, S_RESUMING_RCV)
+                        if ok:
+                            resumed = yield from state.try_unpark()
+                            if resumed:
+                                yield kit.write(state_cell, BUFFERED)
+                            else:
+                                yield kit.write(state_cell, INTERRUPTED_SEND)
+                        continue
+                    if state is S_RESUMING_EB:
+                        # expandBuffer is resuming the sender => wait.
+                        yield Spin("rcv-wait-eb")
+                        continue
+                    raise AssertionError(
+                        f"receive found impossible cell state {state!r} at {segm.id}:{i}"
+                    )
+                if outcome is SUCCESS:
+                    # Claim the element atomically vs. a racing cancel().
+                    value = yield kit.get_and_set(segm.elems[i], None)
+                    yield kit.write(segm._prev, None)  # inlined clean_prev()
+                    if value is None:
+                        raise ChannelClosedForReceive()  # lost to cancel()
+                    if self.observer is not None:
+                        self.observer.receive_done(r, value)
+                    stats.receives += 1
+                    return value
+                if outcome is CLOSED:
+                    raise ChannelClosedForReceive()
+                stats.rcv_restarts += 1
+        finally:
+            release_kit(kit)
+
+    # ------------------------------------------------------------------
     # updCellSend (Listing 4, lines 1-25)
     # ------------------------------------------------------------------
 
     def _upd_cell_send(
-        self, segm: Segment, i: int, s: int, mode: Any
+        self, segm: Segment, i: int, s: int, mode: Any, kit: Any = FRESH_KIT
     ) -> Generator[Any, Any, Any]:
-        state_cell = segm.state_cell(i)
-        elem_cell = segm.elem_cell(i)
+        state_cell = segm.states[i]
+        elem_cell = segm.elems[i]
+        read_state = read_of(state_cell)
+        read_r = read_of(self.R)
+        read_b = read_of(self.B)
         registrar = mode if isinstance(mode, SelectRegistrar) else None
         while True:
-            state = yield Read(state_cell)
-            r_raw = yield Read(self.R)
+            state = yield read_state
+            r_raw = yield read_r
             r = counter_of(r_raw)
-            b = yield Read(self.B)
+            b = yield read_b
             if (state is None and (s < r or s < b)) or state is IN_BUFFER:
                 if registrar is not None and not registrar.claimed:
                     if not (yield from registrar.claim()):
                         # Another clause won.  Leaving the cell EMPTY or
                         # IN_BUFFER is safe: the covering receive poisons
                         # it and retries, like any abandoned send cell.
-                        yield Write(elem_cell, None)
+                        yield kit.write(elem_cell, None)
                         return SELECT_LOST
                 # The cell is in the buffer, or a receiver is incoming:
                 # deposit the element without suspending.
-                ok = yield Cas(state_cell, state, BUFFERED)
+                ok = yield kit.cas(state_cell, state, BUFFERED)
                 if ok:
                     return SUCCESS
                 continue
             if state is None and s >= b and s >= r:
                 # EMPTY, outside the buffer, no receiver => suspend.
                 if mode is MARK:
-                    ok = yield Cas(state_cell, None, INTERRUPTED_SEND)
+                    ok = yield kit.cas(state_cell, None, INTERRUPTED_SEND)
                     if ok:
-                        yield Write(elem_cell, None)
+                        yield kit.write(elem_cell, None)
                         # Accounting delegated to expandBuffer (see module
                         # docstring); nothing more to do here.
                         return WOULD_BLOCK
                     continue
                 if registrar is not None and not registrar.claimed:
                     w = registrar.linked(SenderWaiter)
-                    ok = yield Cas(state_cell, None, w)
+                    ok = yield kit.cas(state_cell, None, w)
                     if ok:
                         return Registered(segm, i, w)
                     continue
-                w = yield from SenderWaiter.make()
-                ok = yield Cas(state_cell, None, w)
+                w = SenderWaiter.of((yield CURRENT_TASK))  # inlined make()
+                ok = yield kit.cas(state_cell, None, w)
                 if ok:
                     resumed = yield from self._park_sender(w, segm, i)
                     return SUCCESS if resumed else RESTART
@@ -149,18 +414,33 @@ class BufferedChannel(ChannelBase):
                     if not (yield from registrar.claim()):
                         # Free the waiting receiver to retry elsewhere.
                         if (yield from state.try_unpark_retry()):
-                            yield Write(state_cell, BROKEN)
-                        yield Write(elem_cell, None)
+                            yield kit.write(state_cell, BROKEN)
+                        yield kit.write(elem_cell, None)
                         return SELECT_LOST
-                # Waiting receiver => rendezvous.
-                ok = yield from state.try_unpark()
+                # Waiting receiver => rendezvous.  Inlined try_unpark()
+                # fast path; the CAS-failure retry delegates back to the
+                # readable helper.
+                wcell = state._state
+                ws = yield read_of(wcell)
+                if ws is INIT:
+                    ok = yield kit.cas(wcell, INIT, PERMIT)
+                    if not ok:
+                        ok = yield from state.try_unpark()
+                elif ws is PARKED:
+                    ok = yield kit.cas(wcell, PARKED, RESUMED)
+                    if ok:
+                        yield UnparkTask(state.task, interrupt=False)
+                    else:
+                        ok = yield from state.try_unpark()
+                else:
+                    ok = False
                 if ok:
-                    yield Write(state_cell, DONE_RCV)
+                    yield kit.write(state_cell, DONE_RCV)
                     return SUCCESS
-                yield Write(elem_cell, None)
+                yield kit.write(elem_cell, None)
                 return RESTART
             if state is INTERRUPTED_RCV or state is BROKEN or state is CANCELLED:
-                yield Write(elem_cell, None)
+                yield kit.write(elem_cell, None)
                 return RESTART
             raise AssertionError(f"send found impossible cell state {state!r} at {segm.id}:{i}")
 
@@ -169,45 +449,47 @@ class BufferedChannel(ChannelBase):
     # ------------------------------------------------------------------
 
     def _upd_cell_rcv(
-        self, segm: Segment, i: int, r: int, mode: Any
+        self, segm: Segment, i: int, r: int, mode: Any, kit: Any = FRESH_KIT
     ) -> Generator[Any, Any, Any]:
-        state_cell = segm.state_cell(i)
+        state_cell = segm.states[i]
+        read_state = read_of(state_cell)
+        read_s = read_of(self.S)
         registrar = mode if isinstance(mode, SelectRegistrar) else None
         while True:
-            state = yield Read(state_cell)
-            s_raw = yield Read(self.S)
+            state = yield read_state
+            s_raw = yield read_s
             s = counter_of(s_raw)
             if (state is None or state is IN_BUFFER) and r >= s:
                 # EMPTY (or pre-marked buffer cell) and no sender coming.
                 if is_flagged(s_raw):
                     # Closed and drained.
-                    ok = yield Cas(state_cell, state, INTERRUPTED_RCV)
+                    ok = yield kit.cas(state_cell, state, INTERRUPTED_RCV)
                     if ok:
                         yield from segm.on_interrupted_cell()
-                        yield from self.expand_buffer()
+                        yield from self.expand_buffer(kit)
                         return CLOSED
                     continue
                 if mode is MARK:
-                    ok = yield Cas(state_cell, state, INTERRUPTED_RCV)
+                    ok = yield kit.cas(state_cell, state, INTERRUPTED_RCV)
                     if ok:
                         yield from segm.on_interrupted_cell()
-                        yield from self.expand_buffer()
+                        yield from self.expand_buffer(kit)
                         return WOULD_BLOCK
                     continue
                 if registrar is not None and not registrar.claimed:
                     w = registrar.linked(ReceiverWaiter)
-                    ok = yield Cas(state_cell, state, w)
+                    ok = yield kit.cas(state_cell, state, w)
                     if ok:
-                        yield from self.expand_buffer()
+                        yield from self.expand_buffer(kit)
                         yield from self._close_recheck_receiver(w, r)
                         return Registered(segm, i, w)
                     continue
-                w = yield from ReceiverWaiter.make()
-                ok = yield Cas(state_cell, state, w)
+                w = ReceiverWaiter.of((yield CURRENT_TASK))  # inlined make()
+                ok = yield kit.cas(state_cell, state, w)
                 if ok:
                     # Restore the buffer capacity this reservation consumed
                     # *before* suspending (Listing 4, line 33).
-                    yield from self.expand_buffer()
+                    yield from self.expand_buffer(kit)
                     yield from self._close_recheck_receiver(w, r)
                     resumed = yield from self._park_receiver(w, segm, i)
                     return SUCCESS if resumed else RESTART
@@ -215,10 +497,10 @@ class BufferedChannel(ChannelBase):
             if (state is None or state is IN_BUFFER) and r < s:
                 # A sender is incoming => poison the cell and retry; the
                 # poisoned buffer cell must be replaced (line 38).
-                ok = yield Cas(state_cell, state, BROKEN)
+                ok = yield kit.cas(state_cell, state, BROKEN)
                 if ok:
                     self.stats.poisoned += 1
-                    yield from self.expand_buffer()
+                    yield from self.expand_buffer(kit)
                     return RESTART
                 continue
             if state is BUFFERED:
@@ -227,12 +509,12 @@ class BufferedChannel(ChannelBase):
                         # Another clause won, but only this reservation may
                         # consume the buffered element: hand it to the
                         # on_undelivered hook and restore the capacity.
-                        value = yield GetAndSet(segm.elem_cell(i), None)
+                        value = yield kit.get_and_set(segm.elems[i], None)
                         if value is not None:
                             self._select_dispose_element(value)
-                        yield from self.expand_buffer()
+                        yield from self.expand_buffer(kit)
                         return SELECT_LOST
-                yield from self.expand_buffer()
+                yield from self.expand_buffer(kit)
                 return SUCCESS
             if state is INTERRUPTED_SEND:
                 return RESTART  # expandBuffer owns the accounting
@@ -245,19 +527,19 @@ class BufferedChannel(ChannelBase):
                         # poisoned buffer cell must be compensated, like a
                         # normal BROKEN cell (Listing 4, line 38).
                         if (yield from state.try_unpark_retry()):
-                            yield Write(state_cell, BROKEN)
-                            yield GetAndSet(segm.elem_cell(i), None)
-                            yield from self.expand_buffer()
+                            yield kit.write(state_cell, BROKEN)
+                            yield kit.get_and_set(segm.elems[i], None)
+                            yield from self.expand_buffer(kit)
                         return SELECT_LOST
                 # Suspended sender: help the (late) expandBuffer by
                 # resuming it ourselves, via the S_RESUMING_RCV lock.
-                ok = yield Cas(state_cell, state, S_RESUMING_RCV)
+                ok = yield kit.cas(state_cell, state, S_RESUMING_RCV)
                 if ok:
                     resumed = yield from state.try_unpark()
                     if resumed:
-                        yield Write(state_cell, BUFFERED)
+                        yield kit.write(state_cell, BUFFERED)
                     else:
-                        yield Write(state_cell, INTERRUPTED_SEND)
+                        yield kit.write(state_cell, INTERRUPTED_SEND)
                     # Loop: the next iteration dispatches on the new state.
                 continue
             if state is S_RESUMING_EB:
@@ -270,46 +552,67 @@ class BufferedChannel(ChannelBase):
     # expandBuffer (Listing 4, lines 54-88)
     # ------------------------------------------------------------------
 
-    def expand_buffer(self) -> Generator[Any, Any, None]:
+    def expand_buffer(self, kit: Any = FRESH_KIT) -> Generator[Any, Any, None]:
         """Advance the logical end of the buffer by one effective cell."""
 
+        K = self.seg_size
+        anchor = self._segm_b
+        read_anchor = read_of(anchor)
+        faa_b = faa_of(self.B, 1)
+        read_s = read_of(self.S)
         while True:
             self.stats.expansions += 1
-            segm = yield Read(self._segm_b)
-            b = yield Faa(self.B, 1)
-            s_raw = yield Read(self.S)
+            segm = yield read_anchor
+            b = yield faa_b
+            s_raw = yield read_s
             if b >= counter_of(s_raw):
                 return  # not covered by any send => nothing to resume
-            bid, i = divmod(b, self.seg_size)
-            segm = yield from self._list.find_and_move_forward(self._segm_b, segm, bid)
+            bid, i = divmod(b, K)
+            if segm.id >= bid:
+                value = yield read_of(segm._cnt)  # inlined is_removed(segm)
+                if value % (K + 1) == K and value // (K + 1) == 0:
+                    segm = yield from self._list.find_and_move_forward(
+                        anchor, segm, bid, checked_start=True
+                    )
+                else:
+                    cur = yield read_anchor  # inlined move_forward fast case
+                    if cur.id < segm.id:
+                        segm = yield from self._list.find_and_move_forward(
+                            anchor, segm, bid, resume_cur=cur
+                        )
+            else:
+                segm = yield from self._list.find_and_move_forward(anchor, segm, bid)
             if segm.id != bid:
                 # The covered cell's segment was fully interrupted and
                 # removed.  Such a segment can only contain cancelled
                 # receivers (module docstring), for which an expansion
                 # completes; help B skip the removed range wholesale.
-                yield Cas(self.B, b + 1, segm.id * self.seg_size)
+                yield kit.cas(self.B, b + 1, segm.id * K)
                 return
-            done = yield from self._upd_cell_eb(segm, i, b)
+            done = yield from self._upd_cell_eb(segm, i, b, kit)
             if done:
                 return
             self.stats.expansion_restarts += 1
 
-    def _upd_cell_eb(self, segm: Segment, i: int, b: int) -> Generator[Any, Any, bool]:
+    def _upd_cell_eb(
+        self, segm: Segment, i: int, b: int, kit: Any = FRESH_KIT
+    ) -> Generator[Any, Any, bool]:
         """updCellEB (Listing 4, lines 61-88): True = expansion finished."""
 
-        state_cell = segm.state_cell(i)
+        state_cell = segm.states[i]
+        read_state = read_of(state_cell)
         while True:
-            state = yield Read(state_cell)
+            state = yield read_state
             if isinstance(state, SenderWaiter):
                 # A suspended sender: move its element into the buffer by
                 # resuming it, via the S_RESUMING_EB lock.
-                ok = yield Cas(state_cell, state, S_RESUMING_EB)
+                ok = yield kit.cas(state_cell, state, S_RESUMING_EB)
                 if ok:
                     resumed = yield from state.try_unpark()
                     if resumed:
-                        yield Write(state_cell, BUFFERED)
+                        yield kit.write(state_cell, BUFFERED)
                         return True
-                    yield Write(state_cell, INTERRUPTED_SEND)
+                    yield kit.write(state_cell, INTERRUPTED_SEND)
                     yield from segm.on_interrupted_cell()  # EB owns this
                     return False
                 continue
@@ -323,7 +626,7 @@ class BufferedChannel(ChannelBase):
             if state is None:
                 # The sender is still coming: pre-mark the cell so it
                 # will buffer without suspending.
-                ok = yield Cas(state_cell, None, IN_BUFFER)
+                ok = yield kit.cas(state_cell, None, IN_BUFFER)
                 if ok:
                     return True
                 continue
@@ -348,17 +651,17 @@ class BufferedChannel(ChannelBase):
     # ------------------------------------------------------------------
 
     def _try_send_would_block(self) -> Generator[Any, Any, bool]:
-        s_raw = yield Read(self.S)
+        s_raw = yield read_of(self.S)
         if is_flagged(s_raw):
             return False  # let the slow path raise ChannelClosedForSend
-        r_raw = yield Read(self.R)
-        b = yield Read(self.B)
+        r_raw = yield read_of(self.R)
+        b = yield read_of(self.B)
         s = counter_of(s_raw)
         return s >= b and s >= counter_of(r_raw)
 
     def _try_receive_would_block(self) -> Generator[Any, Any, bool]:
-        r_raw = yield Read(self.R)
-        s_raw = yield Read(self.S)
+        r_raw = yield read_of(self.R)
+        s_raw = yield read_of(self.S)
         if is_flagged(s_raw) or is_flagged(r_raw):
             return False  # let the slow path report the closed state
         return counter_of(r_raw) >= counter_of(s_raw)

@@ -33,7 +33,7 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from ..concurrent.cells import IntCell
-from ..concurrent.ops import Cas, Faa, Read, Spin, Write
+from ..concurrent.ops import CURRENT_TASK, FRESH_KIT, Cas, Faa, Read, Spin, Write, read_of
 from ..errors import Interrupted, RetryWakeup
 from ..runtime.waiter import Waiter
 from .base import (
@@ -138,33 +138,36 @@ class BufferedChannelEB(ChannelBase):
     # ------------------------------------------------------------------
 
     def _upd_cell_send(
-        self, segm: Segment, i: int, s: int, mode: Any
+        self, segm: Segment, i: int, s: int, mode: Any, kit: Any = FRESH_KIT
     ) -> Generator[Any, Any, Any]:
         if isinstance(mode, SelectRegistrar):
             raise NotImplementedError(
                 "select is not supported on the Appendix A variant; use BufferedChannel"
             )
-        state_cell = segm.state_cell(i)
-        elem_cell = segm.elem_cell(i)
+        state_cell = segm.states[i]
+        elem_cell = segm.elems[i]
+        read_state = read_of(state_cell)
+        read_r = read_of(self.R)
+        read_b = read_of(self.B)
         while True:
-            state = yield Read(state_cell)
-            r_raw = yield Read(self.R)
+            state = yield read_state
+            r_raw = yield read_r
             r = counter_of(r_raw)
-            b = yield Read(self.B)
+            b = yield read_b
             if (state is None and (s < r or s < b)) or state is IN_BUFFER:
-                ok = yield Cas(state_cell, state, BUFFERED)
+                ok = yield kit.cas(state_cell, state, BUFFERED)
                 if ok:
                     return SUCCESS
                 continue
             if state is None and s >= b and s >= r:
                 if mode is MARK:
-                    ok = yield Cas(state_cell, None, INTERRUPTED)
+                    ok = yield kit.cas(state_cell, None, INTERRUPTED)
                     if ok:
-                        yield Write(elem_cell, None)
+                        yield kit.write(elem_cell, None)
                         return WOULD_BLOCK
                     continue
-                w = yield from Waiter.make()
-                ok = yield Cas(state_cell, None, w)
+                w = Waiter.of((yield CURRENT_TASK))  # inlined make()
+                ok = yield kit.cas(state_cell, None, w)
                 if ok:
                     resumed = yield from self._park_generic(w, segm, i, is_sender=True)
                     return SUCCESS if resumed else RESTART
@@ -175,13 +178,13 @@ class BufferedChannelEB(ChannelBase):
                 waiter = state.waiter if isinstance(state, EBWaiter) else state
                 ok = yield from waiter.try_unpark()
                 if ok:
-                    yield Write(state_cell, DONE_RCV)
+                    yield kit.write(state_cell, DONE_RCV)
                     return SUCCESS
-                yield Write(elem_cell, None)
+                yield kit.write(elem_cell, None)
                 return RESTART
             if state in (INTERRUPTED, INTERRUPTED_EB) or state is BROKEN or state is CANCELLED:
                 # An interrupted party in our cell was a receiver.
-                yield Write(elem_cell, None)
+                yield kit.write(elem_cell, None)
                 return RESTART
             raise AssertionError(f"EB-send found impossible state {state!r} at {segm.id}:{i}")
 
@@ -190,32 +193,34 @@ class BufferedChannelEB(ChannelBase):
     # ------------------------------------------------------------------
 
     def _upd_cell_rcv(
-        self, segm: Segment, i: int, r: int, mode: Any
+        self, segm: Segment, i: int, r: int, mode: Any, kit: Any = FRESH_KIT
     ) -> Generator[Any, Any, Any]:
         if isinstance(mode, SelectRegistrar):
             raise NotImplementedError(
                 "select is not supported on the Appendix A variant; use BufferedChannel"
             )
-        state_cell = segm.state_cell(i)
+        state_cell = segm.states[i]
+        read_state = read_of(state_cell)
+        read_s = read_of(self.S)
         while True:
-            state = yield Read(state_cell)
-            s_raw = yield Read(self.S)
+            state = yield read_state
+            s_raw = yield read_s
             s = counter_of(s_raw)
             if (state is None or state is IN_BUFFER) and r >= s:
                 if is_flagged(s_raw):
-                    ok = yield Cas(state_cell, state, INTERRUPTED)
+                    ok = yield kit.cas(state_cell, state, INTERRUPTED)
                     if ok:
                         yield from self.expand_buffer()
                         return CLOSED
                     continue
                 if mode is MARK:
-                    ok = yield Cas(state_cell, state, INTERRUPTED)
+                    ok = yield kit.cas(state_cell, state, INTERRUPTED)
                     if ok:
                         yield from self.expand_buffer()
                         return WOULD_BLOCK
                     continue
-                w = yield from Waiter.make()
-                ok = yield Cas(state_cell, state, w)
+                w = Waiter.of((yield CURRENT_TASK))  # inlined make()
+                ok = yield kit.cas(state_cell, state, w)
                 if ok:
                     yield from self.expand_buffer()
                     yield from self._close_recheck_receiver(w, r)
@@ -223,7 +228,7 @@ class BufferedChannelEB(ChannelBase):
                     return SUCCESS if resumed else RESTART
                 continue
             if (state is None or state is IN_BUFFER) and r < s:
-                ok = yield Cas(state_cell, state, BROKEN)
+                ok = yield kit.cas(state_cell, state, BROKEN)
                 if ok:
                     self.stats.poisoned += 1
                     yield from self.expand_buffer()
@@ -239,7 +244,7 @@ class BufferedChannelEB(ChannelBase):
             if state is INTERRUPTED_EB:
                 # A delegated expansion met a cancelled sender: compensate
                 # for the delegating expandBuffer and retry elsewhere.
-                ok = yield Cas(state_cell, INTERRUPTED_EB, INTERRUPTED_SEND)
+                ok = yield kit.cas(state_cell, INTERRUPTED_EB, INTERRUPTED_SEND)
                 if ok:
                     yield from self.expand_buffer()
                 return RESTART
@@ -251,13 +256,13 @@ class BufferedChannelEB(ChannelBase):
                 # In a receive's cell a stored waiter is a *sender*.
                 has_eb = isinstance(state, EBWaiter)
                 waiter = state.waiter if has_eb else state
-                ok = yield Cas(state_cell, state, S_RESUMING_RCV)
+                ok = yield kit.cas(state_cell, state, S_RESUMING_RCV)
                 if ok:
                     resumed = yield from waiter.try_unpark()
                     if resumed:
-                        yield Write(state_cell, BUFFERED)
+                        yield kit.write(state_cell, BUFFERED)
                     else:
-                        yield Write(state_cell, INTERRUPTED_SEND)
+                        yield kit.write(state_cell, INTERRUPTED_SEND)
                         if has_eb:
                             # Complete the delegated expansion's restart.
                             yield from self.expand_buffer()

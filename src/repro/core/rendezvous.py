@@ -24,8 +24,17 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from ..concurrent.ops import Cas, GetAndSet, Read, Write
-from ..errors import ChannelClosedForReceive
+from ..concurrent.ops import (
+    CURRENT_TASK,
+    FRESH_KIT,
+    UnparkTask,
+    acquire_kit,
+    faa_of,
+    read_of,
+    release_kit,
+)
+from ..errors import ChannelClosedForReceive, ChannelClosedForSend
+from ..runtime.waiter import INIT, PARKED, PERMIT, RESUMED
 from .base import (
     CLOSED,
     MARK,
@@ -68,36 +77,289 @@ class RendezvousChannel(ChannelBase):
         return 0
 
     # ------------------------------------------------------------------
+    # Fused fast paths (DESIGN.md §10)
+    # ------------------------------------------------------------------
+    #
+    # The base class routes every operation through the `attempt` and
+    # `updCell` sub-generators, so each suspension bubbles through four
+    # generator frames.  Plain PARK-mode send()/receive() dominate every
+    # workload; they are specialized here with the attempt loop and the
+    # updCell state machine inlined into the public generator itself
+    # (two frames end to end), with the select/MARK branches — which
+    # never fire in PARK mode — dropped.  Op-for-op identical to the
+    # general code, which try-ops and select clauses keep using.
+
+    def send(self, element: Any) -> Generator[Any, Any, None]:
+        """Send ``element``, suspending until buffered or received.
+
+        Raises :class:`ChannelClosedForSend` once the channel is closed,
+        and :class:`Interrupted` if the suspension is cancelled.
+        """
+
+        if element is None:
+            raise ValueError("channels cannot carry None (reserved sentinel)")
+        kit = acquire_kit()
+        try:
+            K = self.seg_size
+            stats = self.stats
+            anchor = self._segm_s
+            read_anchor = read_of(anchor)
+            faa_s = faa_of(self.S, 1)
+            read_r = read_of(self.R)
+            while True:
+                # -- _send_attempt(element, PARK, kit), inlined --------
+                segm = yield read_anchor
+                s_raw = yield faa_s
+                stats.cells_processed += 1
+                s = counter_of(s_raw)
+                sid, i = divmod(s, K)
+                if is_flagged(s_raw):
+                    yield from self._mark_closed_send_cell(segm, sid, i)
+                    raise ChannelClosedForSend()
+                if segm.id >= sid:
+                    value = yield read_of(segm._cnt)  # inlined is_removed(segm)
+                    if value % (K + 1) == K and value // (K + 1) == 0:
+                        segm = yield from self._list.find_and_move_forward(
+                            anchor, segm, sid, checked_start=True
+                        )
+                    else:
+                        cur = yield read_anchor  # inlined move_forward fast case
+                        if cur.id < segm.id:
+                            segm = yield from self._list.find_and_move_forward(
+                                anchor, segm, sid, resume_cur=cur
+                            )
+                else:
+                    segm = yield from self._list.find_and_move_forward(anchor, segm, sid)
+                if segm.id != sid:
+                    yield kit.cas(self.S, s_raw + 1, (s_raw - s) + segm.id * K)
+                    stats.send_restarts += 1
+                    continue
+                state_cell = segm.states[i]
+                elem_cell = segm.elems[i]
+                yield kit.write(elem_cell, element)
+                # -- _upd_cell_send(segm, i, s, PARK, kit), inlined ----
+                read_state = read_of(state_cell)
+                outcome = RESTART
+                while True:
+                    state = yield read_state
+                    r_raw = yield read_r
+                    r = counter_of(r_raw)
+                    if state is None and s >= r:
+                        # EMPTY and no receiver is coming => suspend.
+                        w = SenderWaiter.of((yield CURRENT_TASK))
+                        ok = yield kit.cas(state_cell, None, w)
+                        if ok:
+                            resumed = yield from self._park_sender(w, segm, i)
+                            outcome = SUCCESS if resumed else RESTART
+                            break
+                        continue
+                    if isinstance(state, ReceiverWaiter):
+                        # Waiting receiver => try to resume it.
+                        wcell = state._state
+                        ws = yield read_of(wcell)
+                        if ws is INIT:
+                            ok = yield kit.cas(wcell, INIT, PERMIT)
+                            if not ok:
+                                ok = yield from state.try_unpark()
+                        elif ws is PARKED:
+                            ok = yield kit.cas(wcell, PARKED, RESUMED)
+                            if ok:
+                                yield UnparkTask(state.task, interrupt=False)
+                            else:
+                                ok = yield from state.try_unpark()
+                        else:
+                            ok = False
+                        if ok:
+                            yield kit.write(state_cell, DONE)
+                            outcome = SUCCESS
+                            break
+                        # Interrupted receiver: clean our element, retry.
+                        yield kit.write(elem_cell, None)
+                        outcome = RESTART
+                        break
+                    if state is None and s < r:
+                        # EMPTY but a receiver is incoming => eliminate.
+                        ok = yield kit.cas(state_cell, None, BUFFERED)
+                        if ok:
+                            stats.eliminations += 1
+                            outcome = SUCCESS
+                            break
+                        continue
+                    if state is INTERRUPTED_RCV or state is BROKEN or state is CANCELLED:
+                        yield kit.write(elem_cell, None)
+                        outcome = RESTART
+                        break
+                    raise AssertionError(
+                        f"send found impossible cell state {state!r} at {segm.id}:{i}"
+                    )
+                if outcome is SUCCESS:
+                    if self.observer is not None:
+                        self.observer.send_done(s, element)
+                    yield kit.write(segm._prev, None)  # inlined clean_prev()
+                    stats.sends += 1
+                    return
+                stats.send_restarts += 1
+        finally:
+            release_kit(kit)
+
+    def receive(self) -> Generator[Any, Any, Any]:
+        """Receive the next element, suspending while the channel is empty.
+
+        Raises :class:`ChannelClosedForReceive` once the channel is both
+        closed and drained (or cancelled), and :class:`Interrupted` if the
+        suspension is cancelled.
+        """
+
+        kit = acquire_kit()
+        try:
+            K = self.seg_size
+            stats = self.stats
+            anchor = self._segm_r
+            read_anchor = read_of(anchor)
+            faa_r = faa_of(self.R, 1)
+            read_s = read_of(self.S)
+            while True:
+                # -- _receive_attempt(PARK, kit), inlined --------------
+                segm = yield read_anchor
+                r_raw = yield faa_r
+                stats.cells_processed += 1
+                r = counter_of(r_raw)
+                rid, i = divmod(r, K)
+                if is_flagged(r_raw):  # the channel was cancelled
+                    yield from self._mark_cancelled_rcv_cell(segm, rid, i)
+                    raise ChannelClosedForReceive()
+                if segm.id >= rid:
+                    value = yield read_of(segm._cnt)  # inlined is_removed(segm)
+                    if value % (K + 1) == K and value // (K + 1) == 0:
+                        segm = yield from self._list.find_and_move_forward(
+                            anchor, segm, rid, checked_start=True
+                        )
+                    else:
+                        cur = yield read_anchor  # inlined move_forward fast case
+                        if cur.id < segm.id:
+                            segm = yield from self._list.find_and_move_forward(
+                                anchor, segm, rid, resume_cur=cur
+                            )
+                else:
+                    segm = yield from self._list.find_and_move_forward(anchor, segm, rid)
+                if segm.id != rid:
+                    yield kit.cas(self.R, r_raw + 1, (r_raw - r) + segm.id * K)
+                    stats.rcv_restarts += 1
+                    continue
+                state_cell = segm.states[i]
+                # -- _upd_cell_rcv(segm, i, r, PARK, kit), inlined -----
+                read_state = read_of(state_cell)
+                outcome = RESTART
+                while True:
+                    state = yield read_state
+                    s_raw = yield read_s
+                    s = counter_of(s_raw)
+                    if state is None and r >= s:
+                        # EMPTY and no sender is coming => suspend.
+                        if is_flagged(s_raw):
+                            # Closed and drained: S can never cover r.
+                            ok = yield kit.cas(state_cell, None, INTERRUPTED_RCV)
+                            if ok:
+                                yield from segm.on_interrupted_cell()
+                                outcome = CLOSED
+                                break
+                            continue
+                        w = ReceiverWaiter.of((yield CURRENT_TASK))
+                        ok = yield kit.cas(state_cell, None, w)
+                        if ok:
+                            yield from self._close_recheck_receiver(w, r)
+                            resumed = yield from self._park_receiver(w, segm, i)
+                            outcome = SUCCESS if resumed else RESTART
+                            break
+                        continue
+                    if isinstance(state, SenderWaiter):
+                        # Waiting sender => try to resume it.
+                        wcell = state._state
+                        ws = yield read_of(wcell)
+                        if ws is INIT:
+                            ok = yield kit.cas(wcell, INIT, PERMIT)
+                            if not ok:
+                                ok = yield from state.try_unpark()
+                        elif ws is PARKED:
+                            ok = yield kit.cas(wcell, PARKED, RESUMED)
+                            if ok:
+                                yield UnparkTask(state.task, interrupt=False)
+                            else:
+                                ok = yield from state.try_unpark()
+                        else:
+                            ok = False
+                        if ok:
+                            yield kit.write(state_cell, DONE)
+                            outcome = SUCCESS
+                            break
+                        outcome = RESTART  # its handler cleans the cell
+                        break
+                    if state is None and r < s:
+                        # A sender is incoming => poison the cell.
+                        ok = yield kit.cas(state_cell, None, BROKEN)
+                        if ok:
+                            stats.poisoned += 1
+                            outcome = RESTART
+                            break
+                        continue
+                    if state is BUFFERED:
+                        outcome = SUCCESS  # the sender eliminated
+                        break
+                    if state is INTERRUPTED_SEND or state is CANCELLED:
+                        outcome = RESTART
+                        break
+                    raise AssertionError(
+                        f"receive found impossible cell state {state!r} at {segm.id}:{i}"
+                    )
+                if outcome is SUCCESS:
+                    # Claim the element atomically vs. a racing cancel().
+                    value = yield kit.get_and_set(segm.elems[i], None)
+                    yield kit.write(segm._prev, None)  # inlined clean_prev()
+                    if value is None:
+                        raise ChannelClosedForReceive()  # lost to cancel()
+                    if self.observer is not None:
+                        self.observer.receive_done(r, value)
+                    stats.receives += 1
+                    return value
+                if outcome is CLOSED:
+                    raise ChannelClosedForReceive()
+                stats.rcv_restarts += 1
+        finally:
+            release_kit(kit)
+
+    # ------------------------------------------------------------------
     # updCellSend (Listing 3, lines 7-32)
     # ------------------------------------------------------------------
 
     def _upd_cell_send(
-        self, segm: Segment, i: int, s: int, mode: Any
+        self, segm: Segment, i: int, s: int, mode: Any, kit: Any = FRESH_KIT
     ) -> Generator[Any, Any, Any]:
-        state_cell = segm.state_cell(i)
-        elem_cell = segm.elem_cell(i)
+        state_cell = segm.states[i]
+        elem_cell = segm.elems[i]
+        read_state = read_of(state_cell)
+        read_r = read_of(self.R)
         registrar = mode if isinstance(mode, SelectRegistrar) else None
         while True:
-            state = yield Read(state_cell)
-            r_raw = yield Read(self.R)
+            state = yield read_state
+            r_raw = yield read_r
             r = counter_of(r_raw)
             if state is None and s >= r:
                 # EMPTY and no receiver is coming => suspend.
                 if mode is MARK:
-                    ok = yield Cas(state_cell, None, INTERRUPTED_SEND)
+                    ok = yield kit.cas(state_cell, None, INTERRUPTED_SEND)
                     if ok:
-                        yield Write(elem_cell, None)
+                        yield kit.write(elem_cell, None)
                         yield from segm.on_interrupted_cell()
                         return WOULD_BLOCK
                     continue
                 if registrar is not None and not registrar.claimed:
                     w = registrar.linked(SenderWaiter)
-                    ok = yield Cas(state_cell, None, w)
+                    ok = yield kit.cas(state_cell, None, w)
                     if ok:
                         return Registered(segm, i, w)
                     continue
-                w = yield from SenderWaiter.make()
-                ok = yield Cas(state_cell, None, w)
+                w = SenderWaiter.of((yield CURRENT_TASK))  # inlined make()
+                ok = yield kit.cas(state_cell, None, w)
                 if ok:
                     resumed = yield from self._park_sender(w, segm, i)
                     return SUCCESS if resumed else RESTART
@@ -109,33 +371,48 @@ class RendezvousChannel(ChannelBase):
                         # the waiting receiver to retry at a fresh cell
                         # rather than orphaning it in ours.
                         if (yield from state.try_unpark_retry()):
-                            yield Write(state_cell, BROKEN)
-                        yield Write(elem_cell, None)
+                            yield kit.write(state_cell, BROKEN)
+                        yield kit.write(elem_cell, None)
                         return SELECT_LOST
                 # Waiting receiver => try to resume it (rendezvous).
-                ok = yield from state.try_unpark()
+                # Inlined try_unpark() fast path; the CAS-failure retry
+                # delegates back to the readable helper.
+                wcell = state._state
+                ws = yield read_of(wcell)
+                if ws is INIT:
+                    ok = yield kit.cas(wcell, INIT, PERMIT)
+                    if not ok:
+                        ok = yield from state.try_unpark()
+                elif ws is PARKED:
+                    ok = yield kit.cas(wcell, PARKED, RESUMED)
+                    if ok:
+                        yield UnparkTask(state.task, interrupt=False)
+                    else:
+                        ok = yield from state.try_unpark()
+                else:
+                    ok = False
                 if ok:
-                    yield Write(state_cell, DONE)
+                    yield kit.write(state_cell, DONE)
                     return SUCCESS
                 # Interrupted receiver: clean our element and retry
                 # elsewhere (its handler owns the cell transition).
-                yield Write(elem_cell, None)
+                yield kit.write(elem_cell, None)
                 return RESTART
             if state is None and s < r:
                 if registrar is not None and not registrar.claimed:
                     if not (yield from registrar.claim()):
                         # The incoming receiver will poison and retry.
-                        yield Write(elem_cell, None)
+                        yield kit.write(elem_cell, None)
                         return SELECT_LOST
                 # EMPTY but a receiver is already incoming => eliminate:
                 # publish the element for it (yellow path of Figure 1).
-                ok = yield Cas(state_cell, None, BUFFERED)
+                ok = yield kit.cas(state_cell, None, BUFFERED)
                 if ok:
                     self.stats.eliminations += 1
                     return SUCCESS
                 continue
             if state is INTERRUPTED_RCV or state is BROKEN or state is CANCELLED:
-                yield Write(elem_cell, None)
+                yield kit.write(elem_cell, None)
                 return RESTART
             raise AssertionError(f"send found impossible cell state {state!r} at {segm.id}:{i}")
 
@@ -144,38 +421,40 @@ class RendezvousChannel(ChannelBase):
     # ------------------------------------------------------------------
 
     def _upd_cell_rcv(
-        self, segm: Segment, i: int, r: int, mode: Any
+        self, segm: Segment, i: int, r: int, mode: Any, kit: Any = FRESH_KIT
     ) -> Generator[Any, Any, Any]:
-        state_cell = segm.state_cell(i)
+        state_cell = segm.states[i]
+        read_state = read_of(state_cell)
+        read_s = read_of(self.S)
         registrar = mode if isinstance(mode, SelectRegistrar) else None
         while True:
-            state = yield Read(state_cell)
-            s_raw = yield Read(self.S)
+            state = yield read_state
+            s_raw = yield read_s
             s = counter_of(s_raw)
             if state is None and r >= s:
                 # EMPTY and no sender is coming => suspend (or give up).
                 if is_flagged(s_raw):
                     # Closed and drained: the frozen S can never cover r.
-                    ok = yield Cas(state_cell, None, INTERRUPTED_RCV)
+                    ok = yield kit.cas(state_cell, None, INTERRUPTED_RCV)
                     if ok:
                         yield from segm.on_interrupted_cell()
                         return CLOSED
                     continue
                 if mode is MARK:
-                    ok = yield Cas(state_cell, None, INTERRUPTED_RCV)
+                    ok = yield kit.cas(state_cell, None, INTERRUPTED_RCV)
                     if ok:
                         yield from segm.on_interrupted_cell()
                         return WOULD_BLOCK
                     continue
                 if registrar is not None and not registrar.claimed:
                     w = registrar.linked(ReceiverWaiter)
-                    ok = yield Cas(state_cell, None, w)
+                    ok = yield kit.cas(state_cell, None, w)
                     if ok:
                         yield from self._close_recheck_receiver(w, r)
                         return Registered(segm, i, w)
                     continue
-                w = yield from ReceiverWaiter.make()
-                ok = yield Cas(state_cell, None, w)
+                w = ReceiverWaiter.of((yield CURRENT_TASK))  # inlined make()
+                ok = yield kit.cas(state_cell, None, w)
                 if ok:
                     yield from self._close_recheck_receiver(w, r)
                     resumed = yield from self._park_receiver(w, segm, i)
@@ -187,19 +466,34 @@ class RendezvousChannel(ChannelBase):
                         # Another clause won: free the waiting sender to
                         # retry (its element travels with it).
                         if (yield from state.try_unpark_retry()):
-                            yield Write(state_cell, BROKEN)
-                            yield GetAndSet(segm.elem_cell(i), None)
+                            yield kit.write(state_cell, BROKEN)
+                            yield kit.get_and_set(segm.elems[i], None)
                         return SELECT_LOST
                 # Waiting sender => try to resume it (rendezvous).
-                ok = yield from state.try_unpark()
+                # Inlined try_unpark() fast path; the CAS-failure retry
+                # delegates back to the readable helper.
+                wcell = state._state
+                ws = yield read_of(wcell)
+                if ws is INIT:
+                    ok = yield kit.cas(wcell, INIT, PERMIT)
+                    if not ok:
+                        ok = yield from state.try_unpark()
+                elif ws is PARKED:
+                    ok = yield kit.cas(wcell, PARKED, RESUMED)
+                    if ok:
+                        yield UnparkTask(state.task, interrupt=False)
+                    else:
+                        ok = yield from state.try_unpark()
+                else:
+                    ok = False
                 if ok:
-                    yield Write(state_cell, DONE)
+                    yield kit.write(state_cell, DONE)
                     return SUCCESS
                 return RESTART  # its handler cleans the cell and element
             if state is None and r < s:
                 # EMPTY but a sender is incoming => poison the cell so
                 # both parties retry (red path of Figure 1).
-                ok = yield Cas(state_cell, None, BROKEN)
+                ok = yield kit.cas(state_cell, None, BROKEN)
                 if ok:
                     self.stats.poisoned += 1
                     return RESTART
@@ -210,7 +504,7 @@ class RendezvousChannel(ChannelBase):
                         # Another clause won, but only this reservation
                         # may consume the eliminated element: route it to
                         # the on_undelivered hook (kotlinx semantics).
-                        value = yield GetAndSet(segm.elem_cell(i), None)
+                        value = yield kit.get_and_set(segm.elems[i], None)
                         if value is not None:
                             self._select_dispose_element(value)
                         return SELECT_LOST
@@ -224,16 +518,16 @@ class RendezvousChannel(ChannelBase):
     # ------------------------------------------------------------------
 
     def _try_send_would_block(self) -> Generator[Any, Any, bool]:
-        s_raw = yield Read(self.S)
-        r_raw = yield Read(self.R)
+        s_raw = yield read_of(self.S)
+        r_raw = yield read_of(self.R)
         if is_flagged(s_raw):
             return False  # let the slow path raise ChannelClosedForSend
         # A rendezvous trySend can only succeed against a waiting receiver.
         return counter_of(s_raw) >= counter_of(r_raw)
 
     def _try_receive_would_block(self) -> Generator[Any, Any, bool]:
-        r_raw = yield Read(self.R)
-        s_raw = yield Read(self.S)
+        r_raw = yield read_of(self.R)
+        s_raw = yield read_of(self.S)
         if is_flagged(s_raw) or is_flagged(r_raw):
             return False  # let the slow path report the closed state
         return counter_of(r_raw) >= counter_of(s_raw)

@@ -27,49 +27,209 @@ physically remove the segment when the drop made it logically removed).
 
 The tail segment is never physically removed (it anchors id uniqueness); its
 removal is re-checked when the tail advances.
+
+**Segment pooling (PR 4).**  Fully-processed segments are *recycled*: when a
+segment becomes unreachable (``clean_prev`` plus anchor advancement cut the
+last references — reachability is the safety proof, exactly like the JVM's
+GC-based reclamation the paper relies on), a ``weakref.finalize`` callback
+harvests its cells into the owning list's carcass pool, and the next
+tail-append adopts a pooled carcass instead of allocating ~3K fresh objects.
+Only the *innards* (cells, lines, lists) are reused — never the
+:class:`Segment` object itself, whose identity and ``id`` concurrent walkers
+may still hold.  A recycled segment is observationally identical to a fresh
+one: its cache lines take **fresh** ``loc_id``\\ s from the global counter in
+construction order and all cost-model bookkeeping is reset, so simulated
+results are bit-identical whether or not (and whenever) recycling happens.
+Logical allocation accounting is unchanged: the ``Alloc`` op is emitted and
+``segments_allocated`` incremented for pooled and fresh segments alike;
+``pool_hits``/``pool_recycled`` count reuse separately.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
+import weakref
 from typing import Any, Generator, Optional
 
-from ..concurrent.cells import CacheLine, IntCell, RefCell
-from ..concurrent.ops import Alloc, Cas, Faa, Read, Write
+from ..concurrent.cells import CacheLine, IntCell, RefCell, renew_line
+from ..concurrent.ops import Alloc, Cas, Faa, Read, Write, read_of
+from ..runtime.waiter import Waiter
 
-__all__ = ["Segment", "SegmentList", "DEFAULT_SEGMENT_SIZE"]
+__all__ = [
+    "Segment",
+    "SegmentList",
+    "DEFAULT_SEGMENT_SIZE",
+    "segment_pool_enabled",
+    "set_segment_pool",
+]
 
 #: The paper's tuned segment size ("we have chosen the segment size of 32").
 DEFAULT_SEGMENT_SIZE = 32
+
+_segment_pool = os.environ.get("REPRO_NO_SEGMENT_POOL", "") in ("", "0")
+
+
+def segment_pool_enabled() -> bool:
+    """``True`` when carcass recycling is active (A/B lever)."""
+
+    return _segment_pool
+
+
+def set_segment_pool(enabled: bool) -> None:
+    """Runtime toggle for segment pooling (A/B and identity tests)."""
+
+    global _segment_pool
+    _segment_pool = bool(enabled)
+
+
+#: Harvested carcasses kept per list.  Small on purpose: steady state
+#: needs one or two (the wave reuses the segment the anchors just left).
+_POOL_CAP = 16
+
+
+class _CarcassPool:
+    """Free-list of segment innards ``(next, prev, cnt, states, elems)``.
+
+    Deliberately ignorant of :class:`SegmentList` so the
+    ``weakref.finalize`` callbacks that feed it never keep the list (or
+    the dying segment) alive.
+    """
+
+    __slots__ = ("items", "hits", "recycled", "rejected")
+
+    def __init__(self) -> None:
+        self.items: list[tuple] = []
+        #: Carcasses handed back out to new segments.
+        self.hits = 0
+        #: Carcasses harvested from dead segments.
+        self.recycled = 0
+        #: Harvests refused because a cell still held a waiter.
+        self.rejected = 0
+
+    def harvest(self, carcass: tuple) -> None:
+        """Scrub a dead segment's cells and pool them for reuse."""
+
+        if not _segment_pool or len(self.items) >= _POOL_CAP:
+            return
+        nxt_c, prev_c, cnt_c, states, elems = carcass
+        for c in states:
+            if isinstance(c.value, Waiter):
+                # Lifecycle invariant: a segment holding a parked waiter
+                # must be reachable (the waiter's own task frame pins it),
+                # so a dying one cannot carry a waiter.  Refuse the
+                # carcass rather than ever resurrecting a waiter into a
+                # fresh segment; the fuzzer asserts this stays zero.
+                self.rejected += 1
+                return
+        # Drop value references now (elements, neighbour segments) so the
+        # pooled carcass pins nothing.
+        nxt_c.value = None
+        prev_c.value = None
+        for c in states:
+            c.value = None
+        for c in elems:
+            c.value = None
+        self.items.append(carcass)
+        self.recycled += 1
+
+    def take(self) -> Optional[tuple]:
+        if self.items:
+            self.hits += 1
+            return self.items.pop()
+        return None
 
 
 class Segment:
     """One fixed-size block of ``K`` (state, elem) cell pairs."""
 
-    __slots__ = ("owner", "id", "K", "_next", "_prev", "_cnt", "states", "elems")
+    __slots__ = (
+        "owner",
+        "id",
+        "K",
+        "_next",
+        "_prev",
+        "_cnt",
+        "states",
+        "elems",
+        "_fin",
+        "__weakref__",
+    )
 
-    def __init__(self, owner: "SegmentList", seg_id: int, prev: Optional["Segment"], pointers: int = 0):
+    def __init__(
+        self,
+        owner: "SegmentList",
+        seg_id: int,
+        prev: Optional["Segment"],
+        pointers: int = 0,
+        carcass: Optional[tuple] = None,
+    ):
         self.owner = owner
         self.id = seg_id
         K = owner.seg_size
         self.K = K
         tag = owner.tag
-        self._next: RefCell = RefCell(None, name=f"{tag}.seg{seg_id}.next")
-        self._prev: RefCell = RefCell(prev, name=f"{tag}.seg{seg_id}.prev")
-        # Packed counter: value = pointers * (K + 1) + interrupted.
-        self._cnt: IntCell = IntCell(pointers * (K + 1), name=f"{tag}.seg{seg_id}.cnt")
-        # A cell's state and elem are adjacent slots of one array in the
-        # real layout — the same cache line.  Model that: the sender's
-        # element store takes the line exclusively, so its state CAS is
-        # local while a racing receiver's state read must fetch the line
-        # from it (this asymmetry keeps poisoning rare, §5).
-        lines = [CacheLine() for _ in range(K)]
-        self.states: list[RefCell] = [
-            RefCell(None, name=f"{tag}.seg{seg_id}.state[{i}]", line=lines[i]) for i in range(K)
-        ]
-        self.elems: list[RefCell] = [
-            RefCell(None, name=f"{tag}.seg{seg_id}.elem[{i}]", line=lines[i]) for i in range(K)
-        ]
+        if carcass is not None:
+            # Adopt pooled innards.  Lines are renewed in the same order
+            # fresh construction creates them (next, prev, cnt, then the
+            # K shared state/elem lines), drawing the same number of
+            # fresh loc_ids from the global counter — the cost model
+            # cannot tell a recycled segment from a new one.
+            # Names are lazy ``(fmt, *args)`` tuples (see ``Cell.name``):
+            # segment construction is the allocation hot path and the
+            # labels are only ever read by tracing/debug code.
+            nxt_c, prev_c, cnt_c, states, elems = carcass
+            renew_line(nxt_c.line)
+            nxt_c.value = None
+            nxt_c.name = ("%s.seg%d.next", tag, seg_id)
+            renew_line(prev_c.line)
+            prev_c.value = prev
+            prev_c.name = ("%s.seg%d.prev", tag, seg_id)
+            renew_line(cnt_c.line)
+            cnt_c.value = pointers * (K + 1)
+            cnt_c.name = ("%s.seg%d.cnt", tag, seg_id)
+            for i in range(K):
+                sc = states[i]
+                renew_line(sc.line)  # shared with elems[i]
+                sc.value = None
+                sc.name = ("%s.seg%d.state[%d]", tag, seg_id, i)
+                ec = elems[i]
+                ec.value = None
+                ec.name = ("%s.seg%d.elem[%d]", tag, seg_id, i)
+            self._next = nxt_c
+            self._prev = prev_c
+            self._cnt = cnt_c
+            self.states = states
+            self.elems = elems
+        else:
+            self._next = RefCell(None, name=("%s.seg%d.next", tag, seg_id))
+            self._prev = RefCell(prev, name=("%s.seg%d.prev", tag, seg_id))
+            # Packed counter: value = pointers * (K + 1) + interrupted.
+            self._cnt = IntCell(pointers * (K + 1), name=("%s.seg%d.cnt", tag, seg_id))
+            # A cell's state and elem are adjacent slots of one array in the
+            # real layout — the same cache line.  Model that: the sender's
+            # element store takes the line exclusively, so its state CAS is
+            # local while a racing receiver's state read must fetch the line
+            # from it (this asymmetry keeps poisoning rare, §5).
+            lines = [CacheLine() for _ in range(K)]
+            self.states = [
+                RefCell(None, name=("%s.seg%d.state[%d]", tag, seg_id, i), line=lines[i])
+                for i in range(K)
+            ]
+            self.elems = [
+                RefCell(None, name=("%s.seg%d.elem[%d]", tag, seg_id, i), line=lines[i])
+                for i in range(K)
+            ]
+        # Recycle the innards when this segment object dies.  The
+        # callback references only the pool and the cells (never the
+        # segment or the list), so registration does not extend any
+        # lifetime; atexit harvesting is pointless, skip it.
+        self._fin = weakref.finalize(
+            self,
+            owner._pool.harvest,
+            (self._next, self._prev, self._cnt, self.states, self.elems),
+        )
+        self._fin.atexit = False
 
     # ------------------------------------------------------------------
     # Cell access
@@ -233,8 +393,11 @@ class SegmentList:
         #: 3 for buffered: S, R and B).  The first segment starts with
         #: this many pointers — Listing 6: "Initialized with (3, 0)".
         self.anchors = anchors
+        self._pool = _CarcassPool()
         self.first = Segment(self, 0, prev=None, pointers=anchors)
         #: Segments ever allocated (allocation-pressure statistic).
+        #: Counts *logical* allocations: recycled segments count too —
+        #: pooling is invisible to allocation accounting by design.
         self.segments_allocated = 1
 
     def make_anchor(self, label: str) -> RefCell:
@@ -243,31 +406,88 @@ class SegmentList:
         return RefCell(self.first, name=f"{self.name}.segment{label}")
 
     # ------------------------------------------------------------------
-    # findSegment / moveForward (Listing 6, lines 1–37)
+    # Segment construction / recycling
     # ------------------------------------------------------------------
 
-    def find_segment(self, start: Segment, seg_id: int) -> Generator[Any, Any, Segment]:
+    def _new_segment(self, seg_id: int, prev: Optional[Segment], pointers: int = 0) -> Segment:
+        """A segment for the tail append — from the carcass pool if possible."""
+
+        carcass = self._pool.take() if _segment_pool else None
+        return Segment(self, seg_id, prev, pointers, carcass=carcass)
+
+    def _recycle_unpublished(self, seg: Segment) -> None:
+        """Pool a segment whose tail-append CAS lost (deterministic path).
+
+        The segment was never published — no other task can hold a
+        reference — so its innards go straight back to the pool instead
+        of waiting for GC.  Detach the finalizer first or the eventual
+        collection would harvest the same carcass twice.
+        """
+
+        if _segment_pool:
+            seg._fin.detach()
+            self._pool.harvest((seg._next, seg._prev, seg._cnt, seg.states, seg.elems))
+
+    @property
+    def pool_hits(self) -> int:
+        return self._pool.hits
+
+    @property
+    def pool_recycled(self) -> int:
+        return self._pool.recycled
+
+    @property
+    def pool_rejected(self) -> int:
+        return self._pool.rejected
+
+    # ------------------------------------------------------------------
+    # findSegment / moveForward (Listing 6, lines 1–37)
+    # ------------------------------------------------------------------
+    #
+    # Hot-path flattening rule (DESIGN.md §10): these walks inline the
+    # bodies of ``is_removed``/``try_inc_pointers``/``dec_pointers``
+    # *mechanically* — the emitted op sequence is identical to the
+    # delegating form, only the generator frames are gone.  The slow
+    # ``remove()`` machinery stays on the readable helpers.
+
+    def find_segment(
+        self, start: Segment, seg_id: int, checked_start: bool = False
+    ) -> Generator[Any, Any, Segment]:
         """First non-removed segment with ``id >= seg_id``, growing the list.
 
         May return a segment with a *larger* id when the requested one was
         fully interrupted and physically removed; callers then skip the
         whole interrupted range (Listing 5, lines 5–7).
+
+        ``checked_start=True`` resumes a caller's inlined fast path: the
+        caller already performed this walk's first removal check on
+        ``start`` (one ``Read(start._cnt)``) and saw it removed, so the
+        walk starts directly at ``Read(start._next)`` without re-emitting
+        the check.
         """
 
+        K1 = self.seg_size + 1
         cur = start
+        skip_check = checked_start
         while True:
-            if cur.id >= seg_id and not (yield from cur.is_removed()):
-                return cur
-            nxt = yield Read(cur._next)
+            if cur.id >= seg_id and not skip_check:
+                value = yield read_of(cur._cnt)  # inlined is_removed()
+                if not (value % K1 == self.seg_size and value // K1 == 0):
+                    return cur
+            skip_check = False
+            nxt = yield read_of(cur._next)
             if nxt is None:
-                new = Segment(self, cur.id + 1, prev=cur)
+                new = self._new_segment(cur.id + 1, cur)
                 yield Alloc("segment", self.seg_size)
                 ok = yield Cas(cur._next, None, new)
                 if ok:
                     self.segments_allocated += 1
                     # The old tail may have been waiting for its removal.
-                    if (yield from cur.is_removed()):
+                    value = yield read_of(cur._cnt)
+                    if value % K1 == self.seg_size and value // K1 == 0:
                         yield from cur.remove()
+                else:
+                    self._recycle_unpublished(new)
                 continue  # re-read next: it is non-null now
             cur = nxt
 
@@ -294,13 +514,79 @@ class SegmentList:
                 yield from to.remove()
 
     def find_and_move_forward(
-        self, anchor: RefCell, start: Segment, seg_id: int
+        self,
+        anchor: RefCell,
+        start: Segment,
+        seg_id: int,
+        checked_start: bool = False,
+        resume_cur: Optional[Segment] = None,
     ) -> Generator[Any, Any, Segment]:
-        """``findAndMoveForwardSend`` and friends (Listing 6, lines 1–8)."""
+        """``findAndMoveForwardSend`` and friends (Listing 6, lines 1–8).
 
+        One flat generator: the find phase delegates to
+        :meth:`find_segment` only when walking is actually required, and
+        the move phase inlines ``move_forward``/``try_inc_pointers``/
+        ``dec_pointers`` so the common advance is a single extra frame.
+
+        Two resume-state parameters let callers inline the uncontended
+        case without re-emitting ops (both consumed on first use):
+
+        * ``checked_start`` — as for :meth:`find_segment`;
+        * ``resume_cur`` — the caller already found ``start`` alive
+          (``start.id >= seg_id``) *and* read the anchor, observing
+          ``resume_cur`` with ``resume_cur.id < start.id``; the move
+          phase continues at the pointer-increment CAS.
+        """
+
+        K = self.seg_size
+        K1 = K + 1
+        read_anchor = read_of(anchor)
         while True:
-            segm = yield from self.find_segment(start, seg_id)
-            if (yield from self.move_forward(anchor, segm)):
+            # ---- find phase ----
+            if resume_cur is not None:
+                segm = start
+                pending_cur: Optional[Segment] = resume_cur
+                resume_cur = None
+            else:
+                segm = yield from self.find_segment(start, seg_id, checked_start)
+                checked_start = False
+                pending_cur = None
+            # ---- move phase (inlined move_forward) ----
+            moved = False
+            while True:
+                if pending_cur is not None:
+                    cur = pending_cur
+                    pending_cur = None
+                else:
+                    cur = yield read_anchor
+                if cur.id >= segm.id:
+                    moved = True
+                    break
+                # Inlined try_inc_pointers(segm).
+                inc_ok = False
+                while True:
+                    value = yield read_of(segm._cnt)
+                    if value % K1 == K and value // K1 == 0:
+                        break  # logically removed: cannot take a pointer
+                    ok = yield Cas(segm._cnt, value, value + K1)
+                    if ok:
+                        inc_ok = True
+                        break
+                if not inc_ok:
+                    break  # re-run the find phase
+                ok = yield Cas(anchor, cur, segm)
+                if ok:
+                    # Inlined cur.dec_pointers().
+                    old = yield Faa(cur._cnt, -K1)
+                    if (old - K1) % K1 == K and (old - K1) // K1 == 0:
+                        yield from cur.remove()
+                    moved = True
+                    break
+                # Inlined segm.dec_pointers() after the lost anchor CAS.
+                old = yield Faa(segm._cnt, -K1)
+                if (old - K1) % K1 == K and (old - K1) // K1 == 0:
+                    yield from segm.remove()
+            if moved:
                 return segm
 
     # ------------------------------------------------------------------

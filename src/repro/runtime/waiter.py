@@ -46,7 +46,7 @@ import itertools
 from typing import Any, Callable, Generator, Optional
 
 from ..concurrent.cells import RefCell
-from ..concurrent.ops import Cas, CurrentTask, ParkTask, Read, UnparkTask
+from ..concurrent.ops import CURRENT_TASK, Cas, CurrentTask, ParkTask, Read, UnparkTask, read_of
 from ..errors import Interrupted, RetryWakeup
 
 __all__ = [
@@ -108,6 +108,22 @@ class Waiter:
         self.interrupt_cause: Optional[BaseException] = None
 
     @classmethod
+    def of(cls, task: Any) -> "Waiter":
+        """Build and publish a waiter for an already-known task handle.
+
+        The non-generator half of :meth:`make`: hot paths that already
+        yielded :data:`~repro.concurrent.ops.CURRENT_TASK` themselves
+        call this directly to skip a generator frame.
+        """
+
+        waiter = cls(task)
+        try:
+            task.current_waiter = waiter
+        except AttributeError:  # driver task types without the slot
+            pass
+        return waiter
+
+    @classmethod
     def make(cls) -> Generator[Any, Any, "Waiter"]:
         """``curCor()`` for this waiter kind: build one for the running task.
 
@@ -116,13 +132,7 @@ class Waiter:
         the task's in-flight suspension.
         """
 
-        task = yield CurrentTask()
-        waiter = cls(task)
-        try:
-            task.current_waiter = waiter
-        except AttributeError:  # driver task types without the slot
-            pass
-        return waiter
+        return cls.of((yield CURRENT_TASK))
 
     # -- non-simulated introspection (tests, between scheduler steps) ----
 
@@ -149,7 +159,7 @@ class Waiter:
 
         self.handler = on_interrupt
         while True:
-            state = yield Read(self._state)
+            state = yield read_of(self._state)
             if state is INIT:
                 ok = yield Cas(self._state, INIT, PARKED)
                 if not ok:
@@ -180,7 +190,7 @@ class Waiter:
         """
 
         while True:
-            state = yield Read(self._state)
+            state = yield read_of(self._state)
             if state is INIT:
                 ok = yield Cas(self._state, INIT, PERMIT)
                 if ok:
@@ -204,7 +214,7 @@ class Waiter:
         """
 
         while True:
-            state = yield Read(self._state)
+            state = yield read_of(self._state)
             if state is INIT:
                 ok = yield Cas(self._state, INIT, RETRY_PERMIT)
                 if ok:
@@ -238,7 +248,7 @@ class Waiter:
         if cause is not None:
             self.interrupt_cause = cause
         while True:
-            state = yield Read(self._state)
+            state = yield read_of(self._state)
             if state is INIT:
                 ok = yield Cas(self._state, INIT, INTERRUPTED)
                 if ok:

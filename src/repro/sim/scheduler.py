@@ -108,7 +108,11 @@ class SchedulingPolicy:
 class DesPolicy(SchedulingPolicy):
     """Discrete-event order: run the runnable task with the smallest clock.
 
-    The ready queue is a lazy min-heap of ``(clock, tid, task)`` entries.
+    The ready queue is a lazy min-heap of ``(clock, tid, task)`` entries;
+    the fused scheduler loop also pushes *wide* entries ``(clock, tid,
+    task, steps, pending_value, pending_exc)`` that carry a descheduled
+    task's resume state (see :meth:`Scheduler._run_fast`).  Ordering is
+    unaffected — comparisons never reach past ``tid``.
 
     **Deterministic tie-break (load-bearing for golden results):** among
     runnable tasks with equal clocks, the *lowest task id* runs first —
@@ -142,18 +146,27 @@ class DesPolicy(SchedulingPolicy):
     def next(self) -> Optional[Task]:
         heap = self._heap
         while heap:
-            clock, _tid, task = heapq.heappop(heap)
+            entry = heapq.heappop(heap)
+            task = entry[2]
             if task.state is not TaskState.RUNNABLE:
                 continue
-            if task.clock != clock:
+            if task.clock != entry[0]:
                 continue  # stale entry; a fresher one exists
+            if len(entry) == 6:
+                # Wide stint entry (see Scheduler._run_fast): the resume
+                # state travelled in the entry, not the task attributes.
+                task.steps = entry[3]
+                task.pending_value = entry[4]
+                task.pending_exc = entry[5]
             return task
         return None
 
     def keep_running(self, task: Task) -> bool:
         heap = self._heap
         while heap:
-            clock, _tid, other = heap[0]
+            entry = heap[0]
+            clock = entry[0]
+            other = entry[2]
             if (
                 other.state is not TaskState.RUNNABLE
                 or other.clock != clock
@@ -550,23 +563,28 @@ class Scheduler:
         try:
             while self._live:
                 # -- policy.next(), inlined ----------------------------
-                task = None
+                # Entries are (clock, tid, task) from spawns/wakeups, or
+                # the wide stint form (clock, tid, task, steps, value,
+                # exc) pushed by the stint-end path below, which carries
+                # the resume state in the entry so a descheduled task
+                # costs one attribute write (``clock``, needed by the
+                # staleness check) instead of four.
+                entry = None
                 if pending is not None:
-                    if heap:
-                        clock, _tid, t = heappushpop(heap, pending)
-                    else:
-                        clock, _tid, t = pending
+                    e = heappushpop(heap, pending) if heap else pending
                     pending = None
-                    if t.state is RUNNABLE and t.clock == clock:
-                        task = t
-                if task is None:
+                    t = e[2]
+                    if t.state is RUNNABLE and t.clock == e[0]:
+                        entry = e
+                if entry is None:
                     while heap:
-                        clock, _tid, t = heappop(heap)
-                        if t.state is not RUNNABLE or t.clock != clock:
+                        e = heappop(heap)
+                        t = e[2]
+                        if t.state is not RUNNABLE or t.clock != e[0]:
                             continue  # stale entry; a fresher one exists
-                        task = t
+                        entry = e
                         break
-                if task is None:
+                if entry is None:
                     if unbound:  # defensive: bind and keep going
                         self._bind(unbound.popleft())
                         continue
@@ -574,14 +592,20 @@ class Scheduler:
                     if parked:
                         raise DeadlockError(parked)
                     break  # spawned nothing / all finished
+                task = entry[2]
                 gen = task.gen
-                send = gen.send
+                send = task.send_fn
                 ttid = task.tid
                 tcache = task.cache
                 tclock = task.clock
-                tsteps = task.steps
-                send_value = task.pending_value
-                throw_exc = task.pending_exc
+                if len(entry) == 6:
+                    tsteps = entry[3]
+                    send_value = entry[4]
+                    throw_exc = entry[5]
+                else:
+                    tsteps = task.steps
+                    send_value = task.pending_value
+                    throw_exc = task.pending_exc
                 # While *task* runs, every other runnable task's clock is
                 # frozen: the earliest competing clock only changes when
                 # an unpark pushes a fresh entry.  And on this path every
@@ -801,11 +825,13 @@ class Scheduler:
                         raise StepLimitExceeded(limit)
                     # -- keep_running + requeue, inlined ---------------
                     if tclock > next_clock:
+                        # Wide entry: resume state rides in the heap entry.
+                        # Only ``clock`` must be written back — the pop
+                        # paths check ``t.clock == entry[0]`` for
+                        # staleness, and an UnparkTask against a RUNNABLE
+                        # task touches only the ``*_pending`` flags.
                         task.clock = tclock
-                        task.steps = tsteps
-                        task.pending_value = send_value
-                        task.pending_exc = throw_exc
-                        pending = (tclock, ttid, task)
+                        pending = (tclock, ttid, task, tsteps, send_value, throw_exc)
                         break
         finally:
             self.total_steps = steps

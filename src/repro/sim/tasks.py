@@ -37,6 +37,7 @@ class Task:
         "tid",
         "name",
         "gen",
+        "send_fn",
         "state",
         "clock",
         "steps",
@@ -56,6 +57,9 @@ class Task:
         self.tid = tid
         self.name = name or f"task-{tid}"
         self.gen = gen
+        #: ``gen.send`` pre-bound once; the fused scheduler loop resumes
+        #: through this instead of re-binding the method every stint.
+        self.send_fn = gen.send
         self.state = TaskState.RUNNABLE
         #: Per-task simulated clock, in cycles.  Frozen while parked.
         self.clock: int = 0

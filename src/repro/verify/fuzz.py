@@ -20,16 +20,24 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..errors import (
+    ChannelClosed,
     ChannelClosedForReceive,
     ChannelClosedForSend,
     DeadlockError,
+    Interrupted,
     StepLimitExceeded,
 )
 from ..sim.costmodel import NullCostModel
 from ..sim.scheduler import RandomPolicy, Scheduler
 from .checker import Event, check_linearizable
 
-__all__ = ["FuzzReport", "random_program", "run_fuzz_case", "fuzz_channel"]
+__all__ = [
+    "FuzzReport",
+    "random_program",
+    "run_fuzz_case",
+    "fuzz_channel",
+    "fuzz_segment_recycling",
+]
 
 _OP_KINDS = ("send", "receive", "try_send", "try_receive")
 
@@ -135,6 +143,109 @@ def _validate(report: FuzzReport, capacity: int, check_lin: bool) -> None:
     if check_lin and len(report.events) <= 12:
         check_linearizable(report.events, capacity)
         report.checked_linearizability = True
+
+
+def fuzz_segment_recycling(
+    cases: int = 25,
+    seed: int = 0,
+    seg_size: int = 2,
+    max_steps: int = 300_000,
+) -> dict[str, int]:
+    """Storm-test segment pooling: cancel/close/interrupt while recycling.
+
+    Tiny segments (``seg_size`` cells) force continuous segment turnover;
+    producer/consumer pairs race with interrupters and an occasional
+    ``close()``/``cancel()``, so segments are freed — and their carcasses
+    recycled into later segments — while waiters are parked, cells are
+    being interrupted, and close/cancel walks are in flight.
+
+    Invariants checked per case:
+
+    * the pool never harvests a carcass whose cells still hold a waiter
+      (``pool_rejected == 0``) — recycling must be impossible to observe
+      as a resurrected parked task;
+    * conservation — every received value was sent, exactly once.
+
+    The aggregate must also show the pool actually worked (some carcasses
+    recycled *and* reused), otherwise the test is vacuous.  Returns the
+    aggregated pool counters.
+    """
+
+    import gc
+
+    from ..core import BufferedChannel, RendezvousChannel
+    from ..runtime import interrupt_task
+
+    totals = {"recycled": 0, "hits": 0, "rejected": 0, "deadlocks": 0}
+    for case in range(cases):
+        rng = random.Random(seed * 7919 + case)
+        capacity = rng.choice((0, 0, 1, 4))
+        if capacity == 0:
+            channel: Any = RendezvousChannel(seg_size=seg_size, name=f"fuzz-pool-{case}")
+        else:
+            channel = BufferedChannel(capacity, seg_size=seg_size, name=f"fuzz-pool-{case}")
+        sched = Scheduler(
+            policy=RandomPolicy(seed * 99991 + case),
+            cost_model=NullCostModel(),
+            max_steps=max_steps,
+        )
+        sent: list[int] = []
+        received: list[int] = []
+        pairs = rng.randint(1, 3)
+        per_task = rng.randint(4, 12)
+        base = case * 1_000_000
+
+        def producer(pid: int, n: int):
+            for k in range(n):
+                value = base + pid * 1000 + k
+                try:
+                    yield from channel.send(value)
+                except (ChannelClosed, Interrupted):
+                    return
+                sent.append(value)
+
+        def consumer(n: int):
+            for _ in range(n):
+                try:
+                    got = yield from channel.receive()
+                except (ChannelClosed, Interrupted):
+                    return
+                received.append(got)
+
+        def terminator():
+            if rng.random() < 0.5:
+                yield from channel.close()
+            else:
+                yield from channel.cancel()
+
+        victims = []
+        for p in range(pairs):
+            victims.append(sched.spawn(producer(p, per_task), f"prod-{p}"))
+            victims.append(sched.spawn(consumer(per_task), f"cons-{p}"))
+        for x in range(rng.randint(1, 3)):
+            sched.spawn(interrupt_task(rng.choice(victims)), f"x-{x}")
+        if rng.random() < 0.4:
+            sched.spawn(terminator(), "terminator")
+        try:
+            sched.run()
+        except (DeadlockError, StepLimitExceeded):
+            totals["deadlocks"] += 1
+
+        gc.collect()  # drive any cycle-held segment carcasses to harvest
+        seg_list = channel._list
+        assert seg_list.pool_rejected == 0, (
+            f"case {case}: pool offered a carcass still holding a waiter "
+            f"({seg_list.pool_rejected} rejections)"
+        )
+        assert len(set(received)) == len(received), f"case {case}: value received twice"
+        missing = set(received) - set(sent)
+        assert not missing, f"case {case}: received but never sent: {missing}"
+        totals["recycled"] += seg_list.pool_recycled
+        totals["hits"] += seg_list.pool_hits
+        totals["rejected"] += seg_list.pool_rejected
+    assert totals["recycled"] > 0, "pooling never exercised: no carcass was recycled"
+    assert totals["hits"] > 0, "pooling never exercised: no carcass was reused"
+    return totals
 
 
 def fuzz_channel(

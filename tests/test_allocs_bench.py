@@ -1,0 +1,68 @@
+"""Allocation microbenchmark (PR 4): descriptor-object economy.
+
+Pins the payoff of the flyweight/interned/reusable descriptor layer via
+:mod:`repro.bench.allocs`: a rendezvous transfer must allocate at least
+3x fewer distinct op-descriptor objects with the fast path on than with
+it degraded to fresh allocation, the absolute per-element descriptor
+counts must stay under generous ceilings (so regressions surface as a
+number, not a vague slowdown), and the *logical* allocation accounting
+(`Alloc` ops / segments) must be unaffected either way.
+
+The workload is fully deterministic, so these numbers are exact per
+seed; the ceilings leave headroom only for intentional algorithm
+changes, not for accidental per-op allocation creep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.allocs import measure_descriptor_allocs
+
+ELEMENTS = 600
+THREADS = 4
+
+
+@pytest.fixture(scope="module")
+def paired():
+    rows = {}
+    for capacity in (0, 64):
+        for fast in (True, False):
+            rows[(capacity, fast)] = measure_descriptor_allocs(
+                impl="faa-channel",
+                capacity=capacity,
+                threads=THREADS,
+                elements=ELEMENTS,
+                fast=fast,
+            )
+    return rows
+
+
+class TestDescriptorAllocs:
+    @pytest.mark.parametrize("capacity", [0, 64])
+    def test_rendezvous_transfer_allocates_3x_fewer(self, paired, capacity):
+        fast = paired[(capacity, True)]
+        fresh = paired[(capacity, False)]
+        assert fresh["ops_total"] == fast["ops_total"]  # same simulated run
+        assert fresh["descriptors"] >= 3 * fast["descriptors"]
+
+    @pytest.mark.parametrize("capacity,ceiling", [(0, 12.0), (64, 8.0)])
+    def test_descriptors_per_element_upper_bound(self, paired, capacity, ceiling):
+        # Fast path: interned reads/FAAs + pooled kits leave only the
+        # workload's fresh Work descriptors and rare slow-path objects.
+        assert paired[(capacity, True)]["descs_per_element"] <= ceiling
+
+    @pytest.mark.parametrize("capacity", [0, 64])
+    def test_fresh_mode_allocates_per_op(self, paired, capacity):
+        # Sanity of the methodology: with the fast path off, nearly every
+        # yielded memory op is a distinct object (Yield singletons and
+        # workload descriptors are the remainder).
+        row = paired[(capacity, False)]
+        assert row["descriptors"] > 0.5 * row["ops_total"]
+
+    @pytest.mark.parametrize("capacity", [0, 64])
+    def test_logical_allocations_unchanged(self, paired, capacity):
+        fast = paired[(capacity, True)]
+        fresh = paired[(capacity, False)]
+        assert fast["segments_allocated"] == fresh["segments_allocated"]
+        assert fast["segments_allocated"] is not None

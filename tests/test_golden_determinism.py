@@ -94,6 +94,72 @@ class TestGoldenDeterminism:
         assert len(hooked_calls) == general.total_steps - len(general.tasks)
 
 
+class TestFastOpsIdentity:
+    """The PR-4 algorithm-layer fast path is observationally invisible.
+
+    Interned/reusable op descriptors and segment pooling must never change
+    a single simulated outcome: every golden config run with the fast path
+    degraded to fresh-allocation mode must match the default run bit for
+    bit.  (``REPRO_NO_FAST_OPS=1`` / ``REPRO_NO_SEGMENT_POOL=1`` flip the
+    same switches from the environment.)
+    """
+
+    @pytest.fixture
+    def degraded(self):
+        from repro.concurrent.ops import fast_ops_enabled, set_fast_ops
+        from repro.core.segments import segment_pool_enabled, set_segment_pool
+
+        was_fast, was_pool = fast_ops_enabled(), segment_pool_enabled()
+        yield lambda: (set_fast_ops(False), set_segment_pool(False))
+        set_fast_ops(was_fast)
+        set_segment_pool(was_pool)
+
+    @pytest.mark.parametrize(
+        "g",
+        GOLDEN["points"],
+        ids=[
+            f"{g['impl']}-t{g['threads']}-c{g['capacity']}-s{g['seed']}"
+            for g in GOLDEN["points"]
+        ],
+    )
+    def test_flyweight_and_pooling_off_bit_identical(self, g, degraded):
+        with_fast = _observe(_run_golden_config(g))
+        degraded()
+        without = _observe(_run_golden_config(g))
+        assert with_fast == without
+
+    def test_degraded_mode_allocates_fresh_descriptors(self, degraded):
+        from repro.concurrent.cells import IntCell
+        from repro.concurrent.ops import FreshOpKit, acquire_kit, faa_of, read_of
+
+        cell = IntCell(0, "probe")
+        assert read_of(cell) is read_of(cell)  # interned while on
+        assert faa_of(cell, 1) is faa_of(cell, 1)
+        assert not isinstance(acquire_kit(), FreshOpKit)
+        degraded()
+        fresh = IntCell(0, "probe2")
+        assert read_of(fresh) is not read_of(fresh)
+        assert faa_of(fresh, 1) is not faa_of(fresh, 1)
+        assert isinstance(acquire_kit(), FreshOpKit)
+
+    def test_sweep_parallel_matches_serial_with_interning(self):
+        # The interned-descriptor caches live on the cells themselves and
+        # are therefore process-local by construction; a parallel sweep
+        # (fresh worker processes) must agree with the serial run and with
+        # a serial run that never interns at all.
+        from repro.concurrent.ops import set_fast_ops
+
+        kwargs = dict(thread_counts=(2,), elements=200)
+        serial = [r.to_dict() for r in sweep(["faa-channel"], **kwargs)]
+        parallel = [r.to_dict() for r in sweep(["faa-channel"], parallel=2, **kwargs)]
+        set_fast_ops(False)
+        try:
+            plain = [r.to_dict() for r in sweep(["faa-channel"], **kwargs)]
+        finally:
+            set_fast_ops(True)
+        assert serial == parallel == plain
+
+
 def _spawn_probe_tasks(sched: Scheduler) -> None:
     from repro.concurrent.cells import IntCell
     from repro.concurrent.ops import Faa, Work, Yield

@@ -1,0 +1,131 @@
+"""Segment pooling (PR 4): recycling safety and accounting.
+
+The :class:`~repro.core.segments.SegmentList` free-list recycles the
+cell *carcasses* of unreachable segments into later allocations.  These
+tests pin the three promises the pool makes:
+
+1. recycling is observationally invisible (covered in bulk by the golden
+   tests; here: recycled segments take fresh ``loc_id``\\ s and blank
+   bookkeeping);
+2. a carcass whose cells still hold a waiter is **refused** — a pooled
+   segment can never resurrect a parked task;
+3. logical allocation accounting (``Alloc`` ops / ``segments_allocated``)
+   is identical with the pool on and off.
+
+Plus the randomized storm: :func:`repro.verify.fuzz.fuzz_segment_recycling`
+cancels/closes/interrupts while tiny segments churn through the pool.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.core.segments import SegmentList, segment_pool_enabled, set_segment_pool
+from repro.runtime.waiter import Waiter
+from repro.verify.fuzz import fuzz_segment_recycling
+
+
+def drive(gen):
+    """Run a generator of ops to completion against live cells.
+
+    Memory ops apply for real; scheduler ops (Alloc, Yield, ...) are
+    acknowledged with ``None``, like a single-task driver would.
+    """
+
+    from repro.concurrent.ops import MEMORY_OP_APPLIERS, apply_memory_op
+
+    try:
+        op = next(gen)
+        while True:
+            result = apply_memory_op(op) if type(op) in MEMORY_OP_APPLIERS else None
+            op = gen.send(result)
+    except StopIteration as stop:
+        return stop.value
+
+
+class TestCarcassPool:
+    def test_harvest_refuses_waiter_holding_carcass(self):
+        lst = SegmentList(seg_size=2, name="t")
+        seg = lst.first
+        seg.states[0].value = Waiter(task=object())
+        carcass = (seg._next, seg._prev, seg._cnt, seg.states, seg.elems)
+        lst._pool.harvest(carcass)
+        assert lst.pool_rejected == 1
+        assert lst.pool_recycled == 0
+        assert lst._pool.take() is None
+
+    def test_harvest_then_take_recycles_blanked_carcass(self):
+        lst = SegmentList(seg_size=2, name="t")
+        seg = lst.first
+        seg.states[0].value = "junk"
+        seg.elems[1].value = "junk"
+        carcass = (seg._next, seg._prev, seg._cnt, seg.states, seg.elems)
+        seg._fin.detach()  # unit test owns the carcass from here
+        lst._pool.harvest(carcass)
+        assert lst.pool_recycled == 1
+        got = lst._pool.take()
+        assert got is carcass
+        _, _, _, states, elems = got
+        assert all(c.value is None for c in states)
+        assert all(c.value is None for c in elems)
+
+    def test_recycled_segment_gets_fresh_loc_ids(self):
+        from repro.core.segments import Segment
+
+        lst = SegmentList(seg_size=2, name="t")
+        seg = lst.first
+        old_ids = [seg._cnt.loc_id] + [c.loc_id for c in seg.states]
+        carcass = (seg._next, seg._prev, seg._cnt, seg.states, seg.elems)
+        seg._fin.detach()
+        lst._pool.harvest(carcass)
+        renewed = Segment(lst, 7, None, carcass=lst._pool.take())
+        new_ids = [renewed._cnt.loc_id] + [c.loc_id for c in renewed.states]
+        assert set(new_ids).isdisjoint(old_ids)
+        assert renewed.id == 7
+        assert renewed._cnt.line.last_writer is None
+        assert "seg7" in renewed._cnt.name
+
+    def test_pool_toggle_and_env_default(self):
+        assert segment_pool_enabled()  # default on in the test env
+        set_segment_pool(False)
+        try:
+            lst = SegmentList(seg_size=2, name="t")
+            carcass = (
+                lst.first._next,
+                lst.first._prev,
+                lst.first._cnt,
+                lst.first.states,
+                lst.first.elems,
+            )
+            lst.first._fin.detach()
+            lst._pool.harvest(carcass)
+            assert lst.pool_recycled == 0  # pool off: harvest is a no-op
+        finally:
+            set_segment_pool(True)
+
+
+class TestLogicalAccountingInvariance:
+    @pytest.mark.parametrize("pooled", [True, False])
+    def test_walk_allocation_count_is_pool_independent(self, pooled):
+        was = segment_pool_enabled()
+        set_segment_pool(pooled)
+        try:
+            lst = SegmentList(seg_size=1, name="t")
+            seg = lst.first
+            for seg_id in range(1, 30):
+                seg = drive(lst.find_segment(seg, seg_id))
+                assert seg.id == seg_id
+            gc.collect()
+            assert lst.segments_allocated == 30
+        finally:
+            set_segment_pool(was)
+
+
+class TestRecyclingFuzz:
+    def test_storm_never_resurrects_a_waiter(self):
+        totals = fuzz_segment_recycling(cases=20, seed=1, seg_size=2)
+        assert totals["rejected"] == 0
+        assert totals["recycled"] > 0
+        assert totals["hits"] > 0
