@@ -10,6 +10,7 @@ Regenerates the paper's evaluation artefacts without pytest::
     python -m repro.bench ablate-capacity
     python -m repro.bench profile --impl faa-channel --threads 64
     python -m repro.bench net --producers 4 --consumers 4 --ops 2000
+    python -m repro.bench net --ab --json            # wire A/B matrix -> BENCH_05.json
     python -m repro.bench selfperf --json            # engine ops/sec -> BENCH_04.json
     python -m repro.bench allocs --json allocs.json  # descriptor allocations per element
     python -m repro.bench compare OLD.json NEW.json  # exit 1 on >15% perf regression
@@ -37,6 +38,10 @@ hand-scraping the ASCII tables.
 :mod:`repro.net` TCP channel service (in-process ephemeral server by
 default, ``--port`` to target an external one) and reports real-I/O
 throughput plus exact p50/p99 op latency from :mod:`repro.obs.metrics`.
+``net --ab`` runs the paired protocol matrix (v1 serial baseline, v1
+pipelined, v2, v2+batch across producer/consumer combos); its rows
+carry ``name``/``ops_per_sec`` so ``compare`` gates BENCH_05.json the
+same way it gates the selfperf matrix.
 
 ``profile`` attaches the :mod:`repro.obs` contention profiler and prints
 the per-implementation breakdown of simulated cycles into the three §5
@@ -195,6 +200,21 @@ def cmd_profile(args: argparse.Namespace) -> list[dict]:
     return rows
 
 
+#: The A/B arms ``net --ab`` sweeps.  ``v1-serial`` reproduces exactly
+#: what the PR 2 loadgen measured (JSON protocol, one op in flight per
+#: connection); the others share one pipelining window so the protocol
+#: levers — binary framing, then op batching — are isolated.
+NET_AB_ARMS: "tuple[tuple[str, int, bool, int | None], ...]" = (
+    ("v1-serial", 1, False, 1),
+    ("v1", 1, False, None),
+    ("v2", 2, False, None),
+    ("v2-batch", 2, True, None),
+)
+
+#: Producer/consumer combos for the ``--ab`` matrix.
+NET_AB_COMBOS = ((1, 1), (4, 4), (8, 8))
+
+
 def cmd_net(args: argparse.Namespace) -> list[dict]:
     """N-producer/M-consumer load over the repro.net TCP service.
 
@@ -202,6 +222,11 @@ def cmd_net(args: argparse.Namespace) -> list[dict]:
     ``python -m repro.net --port 0``); without it an in-process server
     is started on an ephemeral port and gracefully shut down after.
     Wall-clock here is real socket I/O, not simulated cycles.
+
+    ``--ab`` ignores ``--producers/--consumers/--protocol/--batch`` and
+    runs the paired protocol matrix (:data:`NET_AB_ARMS` ×
+    :data:`NET_AB_COMBOS`) used for ``BENCH_05.json``; each row carries
+    ``name`` and ``ops_per_sec`` so ``compare`` gates it like selfperf.
     """
 
     import asyncio
@@ -210,37 +235,115 @@ def cmd_net(args: argparse.Namespace) -> list[dict]:
     from repro.net.server import ChannelServer
     from repro.obs.metrics import MetricsRegistry
 
-    async def _run() -> dict:
-        metrics = MetricsRegistry()
-        kwargs = dict(
-            producers=args.producers,
-            consumers=args.consumers,
-            ops=args.ops,
-            capacity=args.net_capacity,
-            payload_bytes=args.payload_bytes,
-            deadline=args.deadline,
-            metrics=metrics,
-        )
+    async def _run() -> list[dict]:
+        async def one(port: int, host: str, **kw) -> dict:
+            return await run_load(
+                host,
+                port,
+                ops=args.ops,
+                capacity=args.net_capacity,
+                payload_bytes=args.payload_bytes,
+                deadline=args.deadline,
+                warmup=args.warmup,
+                metrics=MetricsRegistry(),
+                **kw,
+            )
+
+        async def matrix(port: int, host: str) -> list[dict]:
+            if not args.ab:
+                row = await one(
+                    port,
+                    host,
+                    producers=args.producers,
+                    consumers=args.consumers,
+                    protocol=args.protocol,
+                    batch=args.batch,
+                    window=args.window,
+                    channel=args.channel,
+                )
+                name = (
+                    f"net-{args.payload_bytes}B-{args.producers}p{args.consumers}c-"
+                    f"v{row['protocol']}{'b' if row['batch'] else ''}-w{row['window']}"
+                )
+                return [{"name": name, "ops_per_sec": row["throughput_ops_s"], **row}]
+            rows = []
+            for producers, consumers in NET_AB_COMBOS:
+                for arm, protocol, batch, window in NET_AB_ARMS:
+                    w = args.window if window is None else window
+                    best = None
+                    # Best-of-N, the same noise discipline selfperf uses:
+                    # interference only slows a run down.  Fresh channel
+                    # per repeat (the previous repeat closed its own).
+                    for rep in range(max(1, args.repeat)):
+                        row = await one(
+                            port,
+                            host,
+                            producers=producers,
+                            consumers=consumers,
+                            protocol=protocol,
+                            batch=batch,
+                            window=w,
+                            channel=f"ab-{producers}x{consumers}-{arm}-r{rep}",
+                        )
+                        if best is None or row["throughput_ops_s"] > best["throughput_ops_s"]:
+                            best = row
+                    name = f"net-{args.payload_bytes}B-{producers}p{consumers}c-{arm}"
+                    rows.append({"name": name, "arm": arm, "ops_per_sec": best["throughput_ops_s"], **best})
+                    print(f"  {name:36s} {best['throughput_ops_s']:>12,.1f} ops/s "
+                          f"(p50 send {best['send_p50_us']:.0f}us, best of {max(1, args.repeat)})")
+            return rows
+
         if args.port:
-            return await run_load(args.host, args.port, **kwargs)
-        server = ChannelServer(obs=metrics)
+            return await matrix(args.port, args.host)
+        server = ChannelServer()
         await server.start("127.0.0.1", 0)
         try:
-            return await run_load("127.0.0.1", server.port, **kwargs)
+            return await matrix(server.port, "127.0.0.1")
         finally:
             await server.shutdown(drain=True, timeout=5.0)
 
+    if args.ab:
+        print(f"net A/B matrix — {args.payload_bytes}B payloads, "
+              f"{args.ops} ops/cell, window {args.window}")
     try:
-        row = asyncio.run(_run())
+        rows = asyncio.run(_run())
     except (ValueError, OSError) as exc:
         raise SystemExit(f"python -m repro.bench net: error: {exc}") from exc
-    print(format_report(row))
-    if row["ops_completed"] != row["ops_submitted"]:
-        print(
-            f"WARNING: lost messages: {row['ops_submitted'] - row['ops_completed']} "
-            "of the submitted ops never reached a consumer"
-        )
-    return [row]
+    if args.ab:
+        _print_net_ab_summary(rows)
+    else:
+        print(format_report(rows[0]))
+    for row in rows:
+        if row["ops_completed"] != row["ops_submitted"]:
+            print(
+                f"WARNING: lost messages in {row.get('name', row['channel'])}: "
+                f"{row['ops_submitted'] - row['ops_completed']} "
+                "of the submitted ops never reached a consumer"
+            )
+    return rows
+
+
+def _print_net_ab_summary(rows: list[dict]) -> None:
+    """Geomean speedups of each arm over the PR 2-equivalent baseline."""
+
+    from .selfperf import geomean
+
+    base = {
+        (r["producers"], r["consumers"]): r["ops_per_sec"]
+        for r in rows
+        if r.get("arm") == "v1-serial"
+    }
+    if not base:
+        return
+    print("\ngeomean ops/sec vs v1-serial baseline (PR 2 loadgen config):")
+    for arm, _, _, _ in NET_AB_ARMS:
+        ratios = [
+            r["ops_per_sec"] / base[(r["producers"], r["consumers"])]
+            for r in rows
+            if r.get("arm") == arm and base.get((r["producers"], r["consumers"]))
+        ]
+        if ratios:
+            print(f"  {arm:12s} {geomean(ratios):6.2f}x")
 
 
 def cmd_selfperf(args: argparse.Namespace) -> list[dict]:
@@ -355,7 +458,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     perf = parser.add_argument_group("selfperf", "options for selfperf/compare")
     perf.add_argument("--quick", action="store_true", help="selfperf: CI smoke subset of the matrix")
-    perf.add_argument("--repeat", type=int, default=3, help="selfperf: repeats per point (best-of)")
+    perf.add_argument("--repeat", type=int, default=3,
+                      help="selfperf / net --ab: repeats per point (best-of)")
     perf.add_argument(
         "--threshold", type=float, default=0.15,
         help="compare: max tolerated geomean ops/sec drop (fraction, default 0.15)",
@@ -375,18 +479,33 @@ def main(argv: list[str] | None = None) -> int:
     net.add_argument("--ops", type=int, default=2000, help="net: total messages through the channel")
     net.add_argument("--net-capacity", type=int, default=64, help="net: served channel capacity")
     net.add_argument("--payload-bytes", type=int, default=64, help="net: padding bytes per message")
-    net.add_argument("--deadline", type=float, default=30.0, help="net: per-op client deadline (s)")
+    net.add_argument("--deadline", type=float, default=30.0, help="net: whole-run watchdog (s)")
     net.add_argument("--host", default="127.0.0.1", help="net: server host (with --port)")
     net.add_argument(
         "--port", type=int, default=0,
         help="net: target an external server instead of starting one in-process",
     )
+    net.add_argument("--channel", default="bench",
+                     help="net: served channel name (a finished run closes its "
+                          "channel; pick a fresh name when reusing a server)")
+    net.add_argument("--protocol", type=int, choices=(1, 2), default=2,
+                     help="net: wire protocol arm (1 = JSON, 2 = binary)")
+    net.add_argument("--batch", action=argparse.BooleanOptionalAction, default=True,
+                     help="net: coalesce pipelined requests into BATCH frames (v2)")
+    net.add_argument("--window", type=int, default=16,
+                     help="net: in-flight ops per connection (1 = PR 2 serial behavior)")
+    net.add_argument("--warmup", type=int, default=16,
+                     help="net: unmeasured warmup round trips per connection")
+    net.add_argument("--ab", action="store_true",
+                     help="net: run the paired v1/v2 × batch matrix (BENCH_05.json rows)")
     args = parser.parse_args(argv)
     if args.paths and args.command != "compare":
         parser.error(f"positional paths are only accepted by `compare`, not `{args.command}`")
     if args.json == "__default__":
         if args.command == "selfperf":
             args.json = "BENCH_04.json"
+        elif args.command == "net":
+            args.json = "BENCH_05.json"
         else:
             parser.error("--json needs an explicit PATH for this command")
     # Fail fast on unwritable output paths before minutes of simulation.

@@ -271,17 +271,19 @@ def geomean(values: Iterable[float]) -> float:
 
 
 def _selfperf_points(rows: Iterable[dict[str, Any]]) -> dict[str, dict[str, Any]]:
-    """Index a ``--json`` dump's selfperf rows by point name.
+    """Index a ``--json`` dump's gateable rows by point name.
 
-    Rows tagged ``selfperf-baseline`` (the pre-optimization engine's
-    numbers kept in BENCH_03.json for the record) are ignored: compare
-    always gates on the *current* engine's numbers.
+    ``selfperf`` rows and ``net`` A/B rows (BENCH_05.json) share the
+    ``name`` + ``ops_per_sec`` shape, so one compare gates both
+    matrices.  Rows tagged ``selfperf-baseline`` (the pre-optimization
+    engine's numbers kept in BENCH_03.json for the record) are ignored:
+    compare always gates on the *current* engine's numbers.
     """
 
     return {
         r["name"]: r
         for r in rows
-        if r.get("command") == "selfperf" and "ops_per_sec" in r
+        if r.get("command") in ("selfperf", "net") and "ops_per_sec" in r
     }
 
 

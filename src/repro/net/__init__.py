@@ -5,7 +5,10 @@ instances into a shared service: a server multiplexes named channels
 over asyncio sockets with channel-native backpressure, and
 :class:`RemoteChannel` gives remote callers the same API surface as the
 local channel (plus per-op deadlines).  See ``DESIGN.md`` §7 for the
-frame layout and the close-vs-cancel wire semantics.
+frame layout and the close-vs-cancel wire semantics, and §11 for wire
+protocol v2 (HELLO negotiation, binary hot ops, BATCH framing, write
+coalescing).  ``connect(protocol=1)`` / ``serve(protocol=1)`` pin
+either side to the v1 JSON protocol.
 
 Server::
 
@@ -19,10 +22,14 @@ Client::
 """
 
 from .client import NetClient, RemoteChannel, connect
+from .iobuf import CoalescingWriter
 from .loadgen import format_report, run_load
 from .protocol import (
     MAX_FRAME_BYTES,
     OP_NAMES,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    SUPPORTED_VERSIONS,
     Frame,
     FrameDecoder,
     decode_frame,
@@ -30,6 +37,9 @@ from .protocol import (
 )
 from .registry import ChannelEntry, ChannelRegistry
 from .server import ChannelServer, serve
+
+#: The version a default ``connect()``/``serve()`` pair negotiates.
+DEFAULT_PROTOCOL = PROTOCOL_V2
 
 __all__ = [
     "serve",
@@ -39,12 +49,17 @@ __all__ = [
     "RemoteChannel",
     "ChannelRegistry",
     "ChannelEntry",
+    "CoalescingWriter",
     "Frame",
     "FrameDecoder",
     "encode_frame",
     "decode_frame",
     "OP_NAMES",
     "MAX_FRAME_BYTES",
+    "PROTOCOL_V1",
+    "PROTOCOL_V2",
+    "DEFAULT_PROTOCOL",
+    "SUPPORTED_VERSIONS",
     "run_load",
     "format_report",
 ]

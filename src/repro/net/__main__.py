@@ -6,6 +6,8 @@ ephemeral port), which is what scripted harnesses capture::
     PYTHONPATH=src python -m repro.net --port 0 > port.txt &
     PORT=$(head -1 port.txt)
 
+``--protocol {1,2}`` caps the negotiated wire protocol (``1`` pins the
+server to the JSON protocol for compatibility measurements).
 ``python -m repro.net.server`` is the same entry point.
 """
 

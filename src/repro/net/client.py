@@ -6,6 +6,20 @@ loop correlates responses back to the awaiting futures, so many ops —
 from many :class:`RemoteChannel` objects — are in flight concurrently
 on one socket.
 
+Protocol negotiation: :func:`connect` opens the socket and sends
+``HELLO`` offering every supported version.  A v2 server answers with
+the negotiated version; a pre-v2 server rejects the unknown op (or
+drops the connection), and the client transparently reconnects pinned
+to protocol v1 — so ``connect()`` works against any server vintage.
+On a v2 connection the hot ops go out struct-packed (``SEND_B`` when
+the element is ``bytes``, ``RECEIVE_B`` always) and pipelined requests
+coalesce into ``BATCH`` frames: requests issued within the same event
+loop tick are staged in the writer and sealed into one container frame
+at the flush — size-bounded by the writer's batch caps and
+deadline-bounded by the tick, while each op keeps its own req_id and
+its own ``timeout=`` deadline.  Pass ``batch=False`` (or
+``protocol=1``) to :func:`connect` to measure either lever separately.
+
 Per-op deadlines: every operation takes ``timeout=`` (falling back to
 the channel's, then the client's, default).  On expiry the client
 abandons the request id, best-effort sends ``CANCEL_OP`` so the server
@@ -50,21 +64,31 @@ from ..errors import (
     ProtocolError,
     RemoteOpError,
 )
+from .iobuf import CoalescingWriter
 from .protocol import (
+    OP_BATCH,
     OP_CANCEL,
     OP_CANCEL_OP,
     OP_CLOSE,
     OP_CLOSED,
     OP_ERROR,
+    OP_HELLO,
     OP_OK,
+    OP_OK_B,
     OP_OPEN,
     OP_RECEIVE,
     OP_SEND,
     OP_TRY_RECEIVE,
     OP_TRY_SEND,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    SUPPORTED_VERSIONS,
     Frame,
     FrameDecoder,
     encode_frame,
+    encode_frame_into,
+    encode_receive_b_into,
+    encode_send_b_into,
 )
 
 __all__ = ["NetClient", "RemoteChannel", "connect"]
@@ -78,6 +102,8 @@ _UNSET: Any = object()
 #: Ops whose CLOSED failure is a *send*-side close.
 _SEND_SIDE = frozenset((OP_SEND, OP_TRY_SEND))
 
+_BYTES_TYPES = (bytes, bytearray, memoryview)
+
 
 class NetClient:
     """One pipelined connection to a :mod:`repro.net` server."""
@@ -88,10 +114,18 @@ class NetClient:
         writer: asyncio.StreamWriter,
         *,
         deadline: Optional[float] = None,
+        batch: bool = True,
     ):
         self._reader = reader
         self._writer = writer
+        self._out = CoalescingWriter(writer)
         self.deadline = deadline
+        #: Negotiated protocol version; v1 until HELLO says otherwise.
+        self.version = PROTOCOL_V1
+        #: The server's frame-size cap, learned from the HELLO reply.
+        self.server_max_frame: Optional[int] = None
+        #: Coalesce pipelined requests into BATCH frames (v2 only).
+        self.batching = batch
         self._pending: dict[int, asyncio.Future] = {}
         self._next_req_id = 1
         self._lost: Optional[BaseException] = None
@@ -128,7 +162,13 @@ class NetClient:
         return RemoteChannel(self, name, deadline=chan_deadline)
 
     async def request(self, op: int, payload: dict, *, timeout: Optional[float] = None) -> dict:
-        """Send one request frame and await its correlated response."""
+        """Queue one request frame and await its correlated response.
+
+        The frame lands in the coalescing writer — possibly staged into
+        a BATCH with other requests from this loop tick — and reaches
+        the wire at the next flush.  The await below is therefore also
+        the batching deadline: nothing waits longer than one tick.
+        """
 
         if self._lost is not None:
             raise ConnectionLostError(f"connection is gone: {self._lost}")
@@ -138,8 +178,8 @@ class NetClient:
         future: asyncio.Future = loop.create_future()
         self._pending[req_id] = future
         try:
-            self._writer.write(encode_frame(op, req_id, payload))
-            await self._writer.drain()
+            self._encode_request(op, req_id, payload)
+            await self._out.wait_writable()
         except ConnectionError as exc:
             self._pending.pop(req_id, None)
             raise ConnectionLostError(f"connection lost while sending: {exc}") from exc
@@ -160,6 +200,33 @@ class NetClient:
             self._pending.pop(req_id, None)
         return self._unwrap(op, frame)
 
+    def _encode_request(self, op: int, req_id: int, payload: dict) -> None:
+        """Encode one request into the writer, binary/batched on v2."""
+
+        out = self._out
+        if self.version >= PROTOCOL_V2:
+            if self.batching and op != OP_HELLO:
+                target, queued = out.batch, True
+            else:
+                out.seal_batch()
+                target, queued = out.buf, False
+            if op == OP_SEND and len(payload) == 2 and isinstance(payload.get("value"), _BYTES_TYPES):
+                encode_send_b_into(
+                    target, req_id, payload["channel"].encode("utf-8"), payload["value"]
+                )
+            elif op == OP_RECEIVE and len(payload) == 1:
+                encode_receive_b_into(target, req_id, payload["channel"].encode("utf-8"))
+            else:
+                encode_frame_into(target, op, req_id, payload)
+            if queued:
+                out.frame_queued()
+            else:
+                out.frame_written()
+            return
+        out.seal_batch()
+        encode_frame_into(out.buf, op, req_id, payload)
+        out.frame_written()
+
     def _abandon(self, req_id: int, future: asyncio.Future) -> None:
         if self._pending.pop(req_id, None) is None:
             return
@@ -168,10 +235,10 @@ class NetClient:
         future.add_done_callback(lambda _f: None)
         if self.connected:
             with contextlib.suppress(ConnectionError):
-                self._writer.write(encode_frame(OP_CANCEL_OP, 0, {"target": req_id}))
+                self._out.write_frame(encode_frame(OP_CANCEL_OP, 0, {"target": req_id}))
 
     def _unwrap(self, request_op: int, frame: Frame) -> dict:
-        if frame.op == OP_OK:
+        if frame.op == OP_OK or frame.op == OP_OK_B:
             return frame.payload
         if frame.op == OP_CLOSED:
             reason = frame.payload.get("reason", "close")
@@ -186,6 +253,13 @@ class NetClient:
 
     # ------------------------------------------------------------------
 
+    def _deliver(self, frame: Frame) -> None:
+        future = self._pending.pop(frame.req_id, None)
+        if future is None or future.done():
+            self.late_responses += 1
+            return
+        future.set_result(frame)
+
     async def _read_loop(self) -> None:
         decoder = FrameDecoder()
         error: BaseException
@@ -197,11 +271,12 @@ class NetClient:
                     error = ConnectionLostError("server closed the connection")
                     break
                 for frame in decoder.feed(chunk):
-                    future = self._pending.pop(frame.req_id, None)
-                    if future is None or future.done():
-                        self.late_responses += 1
-                        continue
-                    future.set_result(frame)
+                    if frame.op == OP_BATCH:
+                        # One batched reply: correlate each sub-response.
+                        for sub in frame.payload["frames"]:
+                            self._deliver(sub)
+                    else:
+                        self._deliver(frame)
         except asyncio.CancelledError:
             error = ConnectionLostError("client closed the connection")
         except (ConnectionError, ProtocolError) as exc:
@@ -210,6 +285,8 @@ class NetClient:
                 if isinstance(exc, ProtocolError)
                 else ConnectionLostError(f"connection lost: {exc}")
             )
+        finally:
+            decoder.release()
         self._lost = error
         # Every op still parked surfaces the *cancellation* flavor of
         # failure — the channel on the server is untouched.
@@ -224,6 +301,7 @@ class NetClient:
         self._read_task.cancel()
         with contextlib.suppress(asyncio.CancelledError):
             await self._read_task
+        self._out.close()
         with contextlib.suppress(Exception):
             self._writer.close()
             await self._writer.wait_closed()
@@ -232,6 +310,7 @@ class NetClient:
         """Kill the socket immediately (no FIN handshake) — test helper
         for the 'connection died with ops parked' path."""
 
+        self._out.closed = True
         transport = self._writer.transport
         if transport is not None:
             transport.abort()
@@ -331,8 +410,34 @@ async def connect(
     port: int = 0,
     *,
     deadline: Optional[float] = None,
+    protocol: int = PROTOCOL_V2,
+    batch: bool = True,
 ) -> NetClient:
-    """Open a pipelined client connection to a :mod:`repro.net` server."""
+    """Open a pipelined client connection to a :mod:`repro.net` server.
 
+    ``protocol`` caps what HELLO offers: ``2`` (default) negotiates the
+    binary protocol where the server supports it and falls back to v1
+    otherwise — including reconnecting when the server is old enough to
+    reject HELLO outright; ``1`` skips negotiation entirely and speaks
+    JSON.  ``batch`` enables request coalescing on v2 connections.
+    """
+
+    if protocol not in SUPPORTED_VERSIONS:
+        raise ValueError(f"protocol must be one of {SUPPORTED_VERSIONS}, got {protocol}")
     reader, writer = await asyncio.open_connection(host, port)
-    return NetClient(reader, writer, deadline=deadline)
+    client = NetClient(reader, writer, deadline=deadline, batch=batch)
+    if protocol < PROTOCOL_V2:
+        return client
+    offered = [v for v in SUPPORTED_VERSIONS if v <= protocol]
+    try:
+        reply = await client.request(OP_HELLO, {"versions": offered}, timeout=deadline)
+    except (RemoteOpError, ConnectionLostError, ProtocolError):
+        # Pre-v2 server: it answered ERROR to the unknown op or dropped
+        # the connection.  Reconnect pinned to the JSON protocol.
+        await client.close()
+        reader, writer = await asyncio.open_connection(host, port)
+        return NetClient(reader, writer, deadline=deadline, batch=False)
+    client.version = int(reply.get("version", PROTOCOL_V1))
+    max_frame = reply.get("max_frame")
+    client.server_max_frame = int(max_frame) if max_frame is not None else None
+    return client

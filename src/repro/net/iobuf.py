@@ -1,0 +1,240 @@
+"""Write coalescing for the :mod:`repro.net` transport.
+
+Protocol v1 wrote one frame per ``transport.write`` and awaited
+``drain()`` after every one — a syscall and an event-loop round trip
+per channel operation.  :class:`CoalescingWriter` replaces that with a
+flush scheduler:
+
+* Frames are encoded **into a reusable ``bytearray``** (no per-frame
+  ``bytes`` objects); the buffer is handed to the transport in one
+  write per flush and its allocation is reused afterwards.
+* A flush happens when the buffer crosses ``flush_watermark`` **or** at
+  the next event-loop tick (``loop.call_soon``), whichever comes first
+  — so a burst of pipelined ops becomes one write, while a lone op
+  still leaves within the same tick (the deadline bound).
+* Request *batching* rides the same buffer: batchable frames accumulate
+  in a staging area and are sealed into a single ``BATCH`` container
+  frame (when two or more are pending; a lone frame is written bare).
+  Sealing happens on flush, on ``max_batch_bytes``/``max_batch_ops``,
+  or whenever a non-batchable frame must keep its ordering.
+* Backpressure is **byte-based**: :meth:`wait_writable` blocks while
+  the transport's outgoing buffer sits above the high watermark, which
+  is what lets a server reader stop admitting work for a slow-reading
+  peer instead of buffering replies unboundedly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from .protocol import _HEADER, _LENGTH_OVERHEAD, OP_BATCH, MAX_FRAME_BYTES
+from ..errors import ProtocolError
+
+__all__ = ["CoalescingWriter"]
+
+#: Buffered bytes past which a flush is forced immediately instead of
+#: waiting for the scheduled loop-tick flush.
+DEFAULT_FLUSH_WATERMARK = 64 * 1024
+
+#: Batch staging caps: seal the pending BATCH once it holds this many
+#: bytes or sub-frames.  Bounded batches keep per-batch decode work and
+#: peak frame size predictable.
+DEFAULT_MAX_BATCH_BYTES = 256 * 1024
+DEFAULT_MAX_BATCH_OPS = 512
+
+
+class CoalescingWriter:
+    """Coalesce many frame writes into few transport writes.
+
+    Producers append encoded frames to :attr:`buf` (direct frames) or
+    :attr:`batch` (batchable request frames) via the ``*_into``
+    encoders, then call :meth:`frame_written` / :meth:`frame_queued`.
+    The writer owns flush scheduling; nothing reaches the transport
+    until a flush, and every flush is a single ``write``.
+    """
+
+    __slots__ = (
+        "_writer",
+        "buf",
+        "batch",
+        "_batch_ops",
+        "_flush_scheduled",
+        "_loop",
+        "flush_watermark",
+        "max_batch_bytes",
+        "max_batch_ops",
+        "max_frame_bytes",
+        "flushes",
+        "frames_out",
+        "batches_out",
+        "closed",
+    )
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        *,
+        flush_watermark: int = DEFAULT_FLUSH_WATERMARK,
+        max_batch_bytes: int = DEFAULT_MAX_BATCH_BYTES,
+        max_batch_ops: int = DEFAULT_MAX_BATCH_OPS,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self._writer = writer
+        #: Sealed, ready-to-write bytes (reused between flushes).
+        self.buf = bytearray()
+        #: Staging area for batchable frames (complete encoded frames).
+        self.batch = bytearray()
+        self._batch_ops = 0
+        self._flush_scheduled = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self.flush_watermark = flush_watermark
+        self.max_batch_bytes = min(max_batch_bytes, max_frame_bytes - _LENGTH_OVERHEAD)
+        self.max_batch_ops = max_batch_ops
+        self.max_frame_bytes = max_frame_bytes
+        #: Telemetry: transport writes / frames / BATCH containers emitted.
+        self.flushes = 0
+        self.frames_out = 0
+        self.batches_out = 0
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes coalesced but not yet handed to the transport."""
+
+        return len(self.buf) + len(self.batch) + (_HEADER.size if self._batch_ops > 1 else 0)
+
+    @property
+    def pending_batch_ops(self) -> int:
+        return self._batch_ops
+
+    # ------------------------------------------------------------------
+    # producing
+
+    def frame_written(self) -> None:
+        """One frame was appended to :attr:`buf`; schedule its flush.
+
+        Direct frames must not overtake batched frames queued before
+        them, so any staged batch is sealed first — callers therefore
+        seal via :meth:`seal_batch` *before* encoding into ``buf``.
+        """
+
+        self.frames_out += 1
+        if len(self.buf) >= self.flush_watermark:
+            self.flush()
+        else:
+            self._schedule_flush()
+
+    def frame_queued(self) -> None:
+        """One batchable frame was appended to :attr:`batch`."""
+
+        self.frames_out += 1
+        self._batch_ops += 1
+        if len(self.batch) >= self.max_batch_bytes or self._batch_ops >= self.max_batch_ops:
+            self.seal_batch()
+            if len(self.buf) >= self.flush_watermark:
+                self.flush()
+                return
+        self._schedule_flush()
+
+    def write_frame(self, data: bytes) -> None:
+        """Convenience: append one pre-encoded frame and schedule."""
+
+        self.seal_batch()
+        self.buf += data
+        self.frame_written()
+
+    def queue_frame(self, data: bytes) -> None:
+        """Convenience: stage one pre-encoded frame for batching."""
+
+        self.batch += data
+        self.frame_queued()
+
+    # ------------------------------------------------------------------
+    # flushing
+
+    def seal_batch(self) -> None:
+        """Move staged frames into :attr:`buf`, wrapping in BATCH if >1."""
+
+        n, staged = self._batch_ops, self.batch
+        if not n:
+            return
+        if n == 1:
+            self.buf += staged
+        else:
+            length = _LENGTH_OVERHEAD + len(staged)
+            if length > self.max_frame_bytes:  # pragma: no cover - caps prevent this
+                raise ProtocolError(
+                    f"sealed batch of {length} bytes exceeds the {self.max_frame_bytes}-byte limit"
+                )
+            self.buf += _HEADER.pack(length, OP_BATCH, 0)
+            self.buf += staged
+            self.batches_out += 1
+        del staged[:]
+        self._batch_ops = 0
+
+    def _schedule_flush(self) -> None:
+        if self._flush_scheduled or self.closed:
+            return
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        self._flush_scheduled = True
+        self._loop.call_soon(self._tick_flush)
+
+    def _tick_flush(self) -> None:
+        self._flush_scheduled = False
+        self.flush()
+
+    def flush(self) -> None:
+        """Seal and hand everything buffered to the transport now."""
+
+        self.seal_batch()
+        if not self.buf or self.closed:
+            return
+        # One copy: the transport may retain what it is given, so the
+        # reusable buffer cannot be handed over directly.
+        try:
+            self._writer.write(bytes(self.buf))
+        except (ConnectionError, RuntimeError):
+            # Peer is gone; flushes can run from call_soon where raising
+            # would only reach the loop's exception handler.  The owner
+            # discovers the loss through its reader, as v1 did.
+            self.closed = True
+        del self.buf[:]
+        self.flushes += 1
+
+    async def drain(self) -> None:
+        """Flush and wait for the transport buffer to come back down."""
+
+        self.flush()
+        if not self.closed:
+            await self._writer.drain()
+
+    async def wait_writable(self) -> None:
+        """Byte-based backpressure: block while the peer reads slowly.
+
+        ``StreamWriter.drain`` returns immediately below the transport's
+        high watermark and blocks above it, so this await is free on the
+        fast path and throttles exactly when reply bytes pile up.
+
+        Deliberately does **not** force a flush: coalesced bytes are
+        bounded by the scheduled tick flush, and flushing here would
+        collapse every pipelined request back into one transport write
+        each.  The transport buffer this waits on fills through those
+        tick flushes.
+        """
+
+        if not self.closed and len(self.buf) >= self.flush_watermark:
+            self.flush()
+        if not self.closed:
+            await self._writer.drain()
+
+    def close(self) -> None:
+        """Flush what is pending and mark the writer unusable."""
+
+        if not self.closed:
+            self.flush()
+        self.closed = True

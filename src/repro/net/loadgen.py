@@ -6,6 +6,25 @@ end-to-end op latency client-side into a
 :class:`~repro.obs.metrics.MetricsRegistry` histogram (the same exact
 nearest-rank p50/p99 machinery the simulator benchmarks use).
 
+Measurement hygiene (changed with protocol v2, and reflected in the
+report schema):
+
+* **Warmup before the measured window.**  Every connection is opened,
+  version-negotiated, and exercised with ``warmup`` no-op round trips
+  (try-receives against an empty side channel) *before* the clock
+  starts — previously the first op of each connection paid TCP setup
+  and codec warmup inside the latency percentiles.  The report carries
+  ``warmup_ops_per_conn`` so rows are self-describing.
+* **Pipelining window.**  Each producer/consumer keeps up to ``window``
+  ops in flight on its connection (``window=1`` reproduces the old
+  serial behavior).  Pipelined submission is what op batching (BATCH
+  frames) feeds on, so the same window must be used when A/B-ing
+  protocol arms.
+* **Bytes payloads.**  Elements are ``bytes`` (an 8-byte producer/seq
+  header plus padding to ``payload_bytes``): protocol v2 ships them
+  struct-packed, v1 ships them base64-inside-JSON — both arms carry
+  the same logical payload.
+
 The workload is loss-accounted: every producer tags messages with
 ``(producer, seq)``, consumers check off what arrives, and the report
 carries ``ops_submitted`` / ``ops_completed`` so a harness can assert
@@ -14,19 +33,24 @@ acked; consumers drain until the close propagates — so a correct run
 always terminates, and a lossy one fails the count, never hangs.
 
 Used by ``python -m repro.bench net`` (see
-:func:`repro.bench.__main__.cmd_net`) and the CI ``net-smoke`` step.
+:func:`repro.bench.__main__.cmd_net`) and the CI ``net-smoke`` /
+``net-perf-smoke`` steps.
 """
 
 from __future__ import annotations
 
 import asyncio
+import struct
 import time
 from typing import Any, Optional
 
 from ..obs.metrics import MetricsRegistry
 from .client import connect
+from .protocol import PROTOCOL_V2
 
 __all__ = ["run_load", "format_report"]
+
+_SEQ_HEADER = struct.Struct("!II")
 
 
 async def run_load(
@@ -40,12 +64,19 @@ async def run_load(
     payload_bytes: int = 64,
     channel: str = "bench",
     deadline: Optional[float] = 30.0,
+    protocol: int = PROTOCOL_V2,
+    batch: bool = True,
+    window: int = 16,
+    warmup: int = 16,
     metrics: Optional[MetricsRegistry] = None,
 ) -> dict[str, Any]:
     """Run the N-producer/M-consumer workload; returns the report row.
 
     ``ops`` is the total number of messages pushed through the channel
-    (split evenly across producers).  Latency histograms land in
+    (split evenly across producers).  ``protocol``/``batch`` select the
+    wire arm (v1 JSON, v2 binary, v2 batched); ``window`` bounds each
+    connection's in-flight ops; ``warmup`` no-op round trips run per
+    connection before the measured window.  Latency histograms land in
     ``metrics`` under ``net_op_latency_us{op=send|receive}``.
     """
 
@@ -53,10 +84,12 @@ async def run_load(
         raise ValueError("need at least one producer and one consumer")
     if ops < 1:
         raise ValueError("ops must be positive")
+    if window < 1:
+        raise ValueError("window must be positive")
     registry = metrics if metrics is not None else MetricsRegistry()
     send_hist = registry.histogram("net_op_latency_us", op="send")
     recv_hist = registry.histogram("net_op_latency_us", op="receive")
-    pad = "x" * payload_bytes
+    pad = b"x" * max(0, payload_bytes - _SEQ_HEADER.size)
     per_producer = [ops // producers] * producers
     for i in range(ops % producers):
         per_producer[i] += 1
@@ -64,17 +97,51 @@ async def run_load(
     received: set[tuple[int, int]] = set()
     sent_acked = 0
     producers_done = 0
+    negotiated = 0
+    warmup_channel = f"{channel}.warmup"
 
-    async def producer(pid: int, count: int) -> None:
+    async def setup():
+        """Connect, open both channels, and run the warmup round trips.
+
+        Everything here happens before the measured window: TCP setup,
+        HELLO negotiation, and ``warmup`` try-receives against the empty
+        warmup channel (no side effects on the bench channel) that prime
+        the codec and registry paths on both ends.
+        """
+
+        nonlocal negotiated
+        # Per-op deadlines would put an asyncio timer on every measured
+        # op (~15% of wall in profiles); the run is guarded by one
+        # whole-workload watchdog below instead.
+        client = await connect(host, port, deadline=None, protocol=protocol, batch=batch)
+        negotiated = max(negotiated, client.version)
+        ch = await client.channel(channel, capacity=capacity)
+        warm = await client.channel(warmup_channel, capacity=1)
+        for _ in range(warmup):
+            await warm.try_receive()
+        return client, ch
+
+    async def producer(pid: int, count: int, conn) -> None:
         nonlocal sent_acked, producers_done
-        client = await connect(host, port, deadline=deadline)
-        try:
-            ch = await client.channel(channel, capacity=capacity)
-            for seq in range(count):
+        client, ch = conn
+
+        async def worker(lo: int, hi: int) -> None:
+            nonlocal sent_acked
+            for seq in range(lo, hi):
+                value = _SEQ_HEADER.pack(pid, seq) + pad
                 t0 = time.perf_counter()
-                await ch.send({"p": pid, "seq": seq, "pad": pad})
+                await ch.send(value)
                 send_hist.observe((time.perf_counter() - t0) * 1e6)
                 sent_acked += 1
+
+        try:
+            # ``window`` workers share the connection, keeping up to
+            # ``window`` sends pipelined (and batchable) at once.
+            lanes = min(window, count) or 1
+            bounds = [count * i // lanes for i in range(lanes + 1)]
+            await asyncio.gather(
+                *(worker(bounds[i], bounds[i + 1]) for i in range(lanes))
+            )
             producers_done += 1
             if producers_done == producers:
                 # Last producer out closes the channel: consumers see the
@@ -83,25 +150,38 @@ async def run_load(
         finally:
             await client.close()
 
-    async def consumer(cid: int) -> None:
-        client = await connect(host, port, deadline=deadline)
-        try:
-            ch = await client.channel(channel, capacity=capacity)
+    async def consumer(cid: int, conn) -> None:
+        client, ch = conn
+
+        async def worker() -> None:
             while True:
                 t0 = time.perf_counter()
                 ok, value = await ch.receive_catching()
                 if not ok:
                     return
                 recv_hist.observe((time.perf_counter() - t0) * 1e6)
-                received.add((value["p"], value["seq"]))
+                received.add(_SEQ_HEADER.unpack_from(value))
+
+        try:
+            await asyncio.gather(*(worker() for _ in range(window)))
         finally:
             await client.close()
 
+    # Warm every connection before the clock starts: the measured window
+    # contains steady-state channel ops only.
+    conns = await asyncio.gather(*(setup() for _ in range(producers + consumers)))
+
     wall_start = time.perf_counter()
-    await asyncio.gather(
-        *(producer(i, n) for i, n in enumerate(per_producer)),
-        *(consumer(i) for i in range(consumers)),
+    work = asyncio.gather(
+        *(producer(i, n, conns[i]) for i, n in enumerate(per_producer)),
+        *(consumer(i, conns[producers + i]) for i in range(consumers)),
     )
+    # One watchdog for the whole run: a lossy or wedged run fails loudly
+    # instead of hanging, without per-op timer overhead.
+    if deadline is None:
+        await work
+    else:
+        await asyncio.wait_for(work, timeout=deadline)
     wall = time.perf_counter() - wall_start
 
     return {
@@ -110,6 +190,10 @@ async def run_load(
         "producers": producers,
         "consumers": consumers,
         "payload_bytes": payload_bytes,
+        "protocol": negotiated,
+        "batch": bool(batch) and negotiated >= PROTOCOL_V2,
+        "window": window,
+        "warmup_ops_per_conn": warmup,
         "ops_submitted": ops,
         "ops_acked": sent_acked,
         "ops_completed": len(received),
@@ -125,9 +209,11 @@ async def run_load(
 def format_report(row: dict[str, Any]) -> str:
     """Human-readable summary of one :func:`run_load` report row."""
 
+    arm = f"v{row.get('protocol', 1)}" + ("+batch" if row.get("batch") else "")
     lines = [
         f"net load — {row['producers']}p/{row['consumers']}c over channel "
-        f"{row['channel']!r} (capacity {row['capacity']}, {row['payload_bytes']}B payloads)",
+        f"{row['channel']!r} (capacity {row['capacity']}, {row['payload_bytes']}B payloads, "
+        f"{arm}, window {row.get('window', 1)}, {row.get('warmup_ops_per_conn', 0)} warmup ops/conn)",
         f"  ops: {row['ops_completed']}/{row['ops_submitted']} completed "
         f"({row['ops_acked']} send-acked) in {row['wall_s']:.3f}s",
         f"  throughput: {row['throughput_ops_s']:,.1f} ops/s",

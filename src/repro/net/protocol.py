@@ -3,7 +3,7 @@
 Every message on a :mod:`repro.net` connection is one frame::
 
     +----------+--------+------------+--------------------+
-    | length   | op     | request id | payload (JSON)     |
+    | length   | op     | request id | payload            |
     | u32 (BE) | u8     | u64 (BE)   | length - 9 bytes   |
     +----------+--------+------------+--------------------+
 
@@ -12,6 +12,18 @@ so a complete frame occupies ``4 + length`` bytes.  The request id is
 chosen by the requesting side and echoed verbatim on the response,
 which is what makes pipelining work: many requests may be in flight on
 one connection and responses may arrive in any order.
+
+Two payload families share this framing:
+
+* **JSON ops** (protocol v1, and v2 control traffic): the payload is a
+  UTF-8 JSON object (possibly empty).  ``bytes`` channel elements ride
+  JSON frames as a one-key marker object
+  ``{"__b64__": "<base64>"}`` — reserved, so binary elements survive a
+  JSON hop between mixed-version peers.
+* **Binary ops** (protocol v2 hot path): the payload is struct-packed,
+  no JSON anywhere.  ``SEND_B``/``RECEIVE_B``/``OK_B`` move ``bytes``
+  elements with two fixed-size fields of overhead, and ``BATCH`` is a
+  container of complete frames — one transport write, many ops.
 
 Op codes split into *requests* (client → server) and *responses*
 (server → client):
@@ -33,15 +45,27 @@ op              value  payload
                        (``cancelled=False``) or cancelled/interrupted
                        (``cancelled=True``), per §4.3's close-vs-cancel split
 ``ERROR``       11     ``{"message": str}``
+``HELLO``       12     ``{"versions": [int, ...]}`` — protocol negotiation;
+                       answered with ``OK {"version": int}``
+``BATCH``       13     binary: concatenation of complete frames (each with
+                       its own header); nested batches are rejected
+``SEND_B``      14     binary: ``u16 name_len | name utf-8 | element bytes``
+``RECEIVE_B``   15     binary: ``u16 name_len | name utf-8``
+``OK_B``        16     binary: empty (a send ack) or ``0x01 | value bytes``
 ==============  =====  ======================================================
 
-Payloads are UTF-8 JSON objects (possibly empty).  Channel elements are
-therefore restricted to JSON-serializable values on the wire — the same
-trade every RPC layer makes; richer codecs can slot in behind
-:func:`encode_frame`/:class:`FrameDecoder` without touching framing.
+Version negotiation: a v2 client's first frame is ``HELLO`` listing the
+versions it speaks; the server answers ``OK {"version": v}`` with the
+highest version both sides support and tags the connection.  A v1 peer
+never sends ``HELLO`` and is served JSON frames exactly as before — v1
+traffic is valid v2 traffic.  Decoded binary frames surface the same
+``dict`` payload shape as their JSON twins (``SEND_B`` decodes to
+``{"channel": ..., "value": b"..."}``), so everything above the codec
+is payload-format agnostic.
 
 Decoding is *incremental* (:class:`FrameDecoder` is fed arbitrary byte
-chunks) and *fail-fast*: unknown op codes, oversized lengths and
+chunks) and *fail-fast*: unknown op codes, lengths above the decoder's
+``max_frame_bytes`` cap (default 16 MiB, configurable per decoder) and
 undecodable payloads raise :class:`~repro.errors.ProtocolError`
 immediately, and :meth:`FrameDecoder.eof` raises if the stream ends
 mid-frame — a truncated frame is an error, never a hang.
@@ -49,10 +73,11 @@ mid-frame — a truncated frame is an error, never a hang.
 
 from __future__ import annotations
 
+import base64
 import json
 import struct
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator, List, Optional, Union
 
 from ..errors import ProtocolError
 
@@ -68,13 +93,28 @@ __all__ = [
     "OP_OK",
     "OP_CLOSED",
     "OP_ERROR",
+    "OP_HELLO",
+    "OP_BATCH",
+    "OP_SEND_B",
+    "OP_RECEIVE_B",
+    "OP_OK_B",
     "OP_NAMES",
     "REQUEST_OPS",
     "RESPONSE_OPS",
+    "JSON_OPS",
+    "BINARY_OPS",
+    "PROTOCOL_V1",
+    "PROTOCOL_V2",
+    "SUPPORTED_VERSIONS",
     "MAX_FRAME_BYTES",
     "Frame",
     "FrameDecoder",
     "encode_frame",
+    "encode_frame_into",
+    "encode_send_b_into",
+    "encode_receive_b_into",
+    "encode_ok_b_into",
+    "encode_batch",
     "decode_frame",
 ]
 
@@ -89,6 +129,11 @@ OP_CANCEL_OP = 8
 OP_OK = 9
 OP_CLOSED = 10
 OP_ERROR = 11
+OP_HELLO = 12
+OP_BATCH = 13
+OP_SEND_B = 14
+OP_RECEIVE_B = 15
+OP_OK_B = 16
 
 OP_NAMES = {
     OP_OPEN: "OPEN",
@@ -102,32 +147,78 @@ OP_NAMES = {
     OP_OK: "OK",
     OP_CLOSED: "CLOSED",
     OP_ERROR: "ERROR",
+    OP_HELLO: "HELLO",
+    OP_BATCH: "BATCH",
+    OP_SEND_B: "SEND_B",
+    OP_RECEIVE_B: "RECEIVE_B",
+    OP_OK_B: "OK_B",
 }
 
 REQUEST_OPS = frozenset(
-    (OP_OPEN, OP_SEND, OP_RECEIVE, OP_TRY_SEND, OP_TRY_RECEIVE, OP_CLOSE, OP_CANCEL, OP_CANCEL_OP)
+    (
+        OP_OPEN,
+        OP_SEND,
+        OP_RECEIVE,
+        OP_TRY_SEND,
+        OP_TRY_RECEIVE,
+        OP_CLOSE,
+        OP_CANCEL,
+        OP_CANCEL_OP,
+        OP_HELLO,
+        OP_SEND_B,
+        OP_RECEIVE_B,
+    )
 )
-RESPONSE_OPS = frozenset((OP_OK, OP_CLOSED, OP_ERROR))
+RESPONSE_OPS = frozenset((OP_OK, OP_CLOSED, OP_ERROR, OP_OK_B))
+
+#: Ops whose payload is struct-packed rather than JSON.
+BINARY_OPS = frozenset((OP_BATCH, OP_SEND_B, OP_RECEIVE_B, OP_OK_B))
+#: Ops whose payload is a UTF-8 JSON object.
+JSON_OPS = frozenset(OP_NAMES) - BINARY_OPS
+
+#: Wire protocol versions.  v1 = JSON payloads only (PR 2's protocol,
+#: every frame above is still decodable by a v2 peer); v2 adds the
+#: binary hot ops and BATCH containers after a HELLO handshake.
+PROTOCOL_V1 = 1
+PROTOCOL_V2 = 2
+SUPPORTED_VERSIONS = (PROTOCOL_V1, PROTOCOL_V2)
 
 #: ``!`` = network byte order; u32 length, u8 op, u64 request id.
 _HEADER = struct.Struct("!IBQ")
+_NAME_LEN = struct.Struct("!H")
 
 #: Fixed bytes covered by ``length`` (op + request id).
 _LENGTH_OVERHEAD = _HEADER.size - 4
 
-#: Hard ceiling on one frame (16 MiB).  A length field beyond this is a
-#: corrupt or hostile stream, not a big payload — reject it instead of
-#: buffering unboundedly.
+#: Default hard ceiling on one frame (16 MiB).  A length field beyond
+#: the decoder's cap is a corrupt or hostile stream, not a big payload —
+#: reject it instead of buffering unboundedly.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Reserved one-key JSON marker that carries ``bytes`` elements across
+#: JSON frames (v1 peers, control ops).  Chosen to be implausible as a
+#: user payload; DESIGN.md §11 documents the reservation.
+_B64_KEY = "__b64__"
+
+_BYTES_TYPES = (bytes, bytearray, memoryview)
 
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded protocol frame."""
+    """One decoded protocol frame.
+
+    Binary ops surface the same payload shape as their JSON twins
+    (``SEND_B`` → ``{"channel", "value"}``; ``BATCH`` →
+    ``{"frames": [Frame, ...]}``), so consumers never branch on the
+    wire format.  ``wire_bytes`` records the encoded size the frame
+    occupied on the wire (0 for hand-built frames); it is excluded from
+    equality so constructed and decoded frames compare by content.
+    """
 
     op: int
     req_id: int
     payload: dict = field(default_factory=dict)
+    wire_bytes: int = field(default=0, compare=False, repr=False)
 
     @property
     def op_name(self) -> str:
@@ -137,18 +228,157 @@ class Frame:
         return f"<Frame {self.op_name} #{self.req_id} {self.payload!r}>"
 
 
-def encode_frame(op: int, req_id: int, payload: Optional[dict] = None) -> bytes:
-    """Serialize one frame; the inverse of :func:`decode_frame`."""
+# ----------------------------------------------------------------------
+# encoding
+
+
+def _wire_json_payload(payload: dict) -> dict:
+    """Swap a ``bytes`` element for the reserved base64 marker object."""
+
+    value = payload.get("value")
+    if isinstance(value, _BYTES_TYPES):
+        payload = dict(payload)
+        payload["value"] = {_B64_KEY: base64.b64encode(bytes(value)).decode("ascii")}
+    return payload
+
+
+def _unwire_json_payload(payload: dict) -> dict:
+    value = payload.get("value")
+    if isinstance(value, dict) and len(value) == 1 and _B64_KEY in value:
+        try:
+            payload["value"] = base64.b64decode(value[_B64_KEY])
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed {_B64_KEY} marker: {exc}") from None
+    return payload
+
+
+def encode_frame_into(buf: bytearray, op: int, req_id: int, payload: Optional[dict] = None,
+                      *, max_frame_bytes: int = MAX_FRAME_BYTES) -> int:
+    """Append one encoded frame to ``buf``; returns the frame's size.
+
+    The workhorse behind :func:`encode_frame`: hot paths encode straight
+    into a reusable ``bytearray`` instead of allocating per-frame
+    ``bytes``.  Binary ops are struct-packed from the same payload dict
+    shape their decode produces.
+    """
 
     if op not in OP_NAMES:
         raise ProtocolError(f"unknown op code {op}")
     if not 0 <= req_id < 1 << 64:
         raise ProtocolError(f"request id out of range: {req_id}")
-    body = b"" if not payload else json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if op == OP_SEND_B:
+        p = payload or {}
+        value = p.get("value", b"")
+        if not isinstance(value, _BYTES_TYPES):
+            raise ProtocolError("SEND_B carries bytes elements only")
+        return encode_send_b_into(
+            buf, req_id, str(p.get("channel", "")).encode("utf-8"), value,
+            max_frame_bytes=max_frame_bytes,
+        )
+    if op == OP_RECEIVE_B:
+        p = payload or {}
+        return encode_receive_b_into(
+            buf, req_id, str(p.get("channel", "")).encode("utf-8")
+        )
+    if op == OP_OK_B:
+        p = payload or {}
+        return encode_ok_b_into(
+            buf, req_id, p.get("value") if "value" in p else None,
+            max_frame_bytes=max_frame_bytes,
+        )
+    if op == OP_BATCH:
+        frames = (payload or {}).get("frames", [])
+        body = bytearray()
+        for sub in frames:
+            if isinstance(sub, Frame):
+                encode_frame_into(body, sub.op, sub.req_id, sub.payload,
+                                  max_frame_bytes=max_frame_bytes)
+            else:  # pre-encoded bytes
+                body.extend(sub)
+        return _append_frame(buf, op, req_id, body, max_frame_bytes)
+    body = b""
+    if payload:
+        body = json.dumps(_wire_json_payload(payload), separators=(",", ":")).encode("utf-8")
+    return _append_frame(buf, op, req_id, body, max_frame_bytes)
+
+
+def _append_frame(buf: bytearray, op: int, req_id: int, body, max_frame_bytes: int) -> int:
     length = _LENGTH_OVERHEAD + len(body)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
-    return _HEADER.pack(length, op, req_id) + body
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    buf += _HEADER.pack(length, op, req_id)
+    buf += body
+    return 4 + length
+
+
+def encode_send_b_into(buf: bytearray, req_id: int, name: bytes, value,
+                       *, max_frame_bytes: int = MAX_FRAME_BYTES) -> int:
+    """Append a binary SEND frame: ``u16 name_len | name | element``."""
+
+    if len(name) > 0xFFFF:
+        raise ProtocolError(f"channel name of {len(name)} bytes exceeds the u16 field")
+    length = _LENGTH_OVERHEAD + _NAME_LEN.size + len(name) + len(value)
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    buf += _HEADER.pack(length, OP_SEND_B, req_id)
+    buf += _NAME_LEN.pack(len(name))
+    buf += name
+    buf += value
+    return 4 + length
+
+
+def encode_receive_b_into(buf: bytearray, req_id: int, name: bytes) -> int:
+    """Append a binary RECEIVE frame: ``u16 name_len | name``."""
+
+    if len(name) > 0xFFFF:
+        raise ProtocolError(f"channel name of {len(name)} bytes exceeds the u16 field")
+    length = _LENGTH_OVERHEAD + _NAME_LEN.size + len(name)
+    buf += _HEADER.pack(length, OP_RECEIVE_B, req_id)
+    buf += _NAME_LEN.pack(len(name))
+    buf += name
+    return 4 + length
+
+
+def encode_ok_b_into(buf: bytearray, req_id: int, value=None,
+                     *, max_frame_bytes: int = MAX_FRAME_BYTES) -> int:
+    """Append a binary OK/ack frame (``value=None`` = bare ack)."""
+
+    if value is None:
+        buf += _HEADER.pack(_LENGTH_OVERHEAD, OP_OK_B, req_id)
+        return 4 + _LENGTH_OVERHEAD
+    if not isinstance(value, _BYTES_TYPES):
+        raise ProtocolError("OK_B carries bytes values only")
+    length = _LENGTH_OVERHEAD + 1 + len(value)
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame_bytes}-byte limit"
+        )
+    buf += _HEADER.pack(length, OP_OK_B, req_id)
+    buf += b"\x01"
+    buf += value
+    return 4 + length
+
+
+def encode_frame(op: int, req_id: int, payload: Optional[dict] = None) -> bytes:
+    """Serialize one frame; the inverse of :func:`decode_frame`."""
+
+    buf = bytearray()
+    encode_frame_into(buf, op, req_id, payload)
+    return bytes(buf)
+
+
+def encode_batch(frames: List[Union[Frame, bytes]], req_id: int = 0,
+                 *, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Encode a BATCH container from frames or pre-encoded frame bytes."""
+
+    buf = bytearray()
+    encode_frame_into(buf, OP_BATCH, req_id, {"frames": frames},
+                      max_frame_bytes=max_frame_bytes)
+    return bytes(buf)
 
 
 def decode_frame(data: bytes) -> Frame:
@@ -162,6 +392,115 @@ def decode_frame(data: bytes) -> Frame:
     return frames[0]
 
 
+# ----------------------------------------------------------------------
+# decoding
+
+#: Free list of decode buffers.  Connections churn (one decoder each);
+#: recycling the backing bytearrays keeps steady-state decode allocation
+#: flat.  Buffers are cleared before reuse and the pool is bounded.
+_BUF_POOL: list = []
+_BUF_POOL_CAP = 32
+
+#: Consumed-prefix length past which the decoder compacts its buffer.
+#: Between compactions decode is cursor-based — no per-frame ``del``.
+_COMPACT_BYTES = 256 * 1024
+
+
+def _acquire_buf() -> bytearray:
+    if _BUF_POOL:
+        return _BUF_POOL.pop()
+    return bytearray()
+
+
+def _release_buf(buf: bytearray) -> None:
+    if len(_BUF_POOL) < _BUF_POOL_CAP:
+        del buf[:]
+        _BUF_POOL.append(buf)
+
+
+def _parse_payload(op: int, view: bytes, in_batch: bool,
+                   max_frame_bytes: int) -> dict:
+    """Decode one frame body (header already consumed) into a payload dict."""
+
+    if op == OP_SEND_B:
+        if len(view) < _NAME_LEN.size:
+            raise ProtocolError("SEND_B frame shorter than its name-length field")
+        (name_len,) = _NAME_LEN.unpack_from(view, 0)
+        if _NAME_LEN.size + name_len > len(view):
+            raise ProtocolError("SEND_B name length exceeds the frame body")
+        name = view[_NAME_LEN.size : _NAME_LEN.size + name_len].decode("utf-8")
+        return {"channel": name, "value": bytes(view[_NAME_LEN.size + name_len :])}
+    if op == OP_RECEIVE_B:
+        if len(view) < _NAME_LEN.size:
+            raise ProtocolError("RECEIVE_B frame shorter than its name-length field")
+        (name_len,) = _NAME_LEN.unpack_from(view, 0)
+        if _NAME_LEN.size + name_len != len(view):
+            raise ProtocolError("RECEIVE_B frame has trailing bytes after the name")
+        return {"channel": view[_NAME_LEN.size :].decode("utf-8")}
+    if op == OP_OK_B:
+        if not view:
+            return {}
+        if view[0] != 1:
+            raise ProtocolError(f"unknown OK_B value tag {view[0]}")
+        return {"value": bytes(view[1:])}
+    if op == OP_BATCH:
+        if in_batch:
+            raise ProtocolError("nested BATCH frames are not allowed")
+        frames = []
+        pos, end = 0, len(view)
+        while pos < end:
+            frame, pos = _parse_one(view, pos, end, max_frame_bytes, in_batch=True)
+            if frame is None:
+                raise ProtocolError("BATCH payload ends mid-subframe")
+            frames.append(frame)
+        return {"frames": frames}
+    # JSON family
+    if not view:
+        return {}
+    try:
+        payload = json.loads(bytes(view))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable payload in {OP_NAMES[op]} frame: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"payload of {OP_NAMES[op]} frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return _unwire_json_payload(payload)
+
+
+def _parse_one(buf, pos: int, end: int, max_frame_bytes: int,
+               *, in_batch: bool):
+    """Parse one frame at ``buf[pos:end]``; ``(frame | None, new_pos)``.
+
+    ``None`` means the bytes of a frame are not all there yet (only
+    legal at the top level; inside a BATCH it is a protocol error,
+    handled by the caller).
+    """
+
+    avail = end - pos
+    if avail < 4:
+        return None, pos
+    length = int.from_bytes(buf[pos : pos + 4], "big")
+    if length < _LENGTH_OVERHEAD:
+        raise ProtocolError(f"frame length {length} shorter than the fixed header")
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {max_frame_bytes}-byte limit"
+        )
+    # Validate the op code as soon as it is visible, even if the
+    # payload has not arrived — corrupt streams fail fast.
+    if avail >= 5:
+        op = buf[pos + 4]
+        if op not in OP_NAMES:
+            raise ProtocolError(f"unknown op code {op}")
+    if avail < 4 + length:
+        return None, pos
+    _, op, req_id = _HEADER.unpack_from(buf, pos)
+    body = bytes(buf[pos + _HEADER.size : pos + 4 + length])
+    payload = _parse_payload(op, body, in_batch, max_frame_bytes)
+    return Frame(op, req_id, payload, wire_bytes=4 + length), pos + 4 + length
+
+
 class FrameDecoder:
     """Incremental frame decoder over arbitrary byte chunks.
 
@@ -170,19 +509,31 @@ class FrameDecoder:
     raises :class:`~repro.errors.ProtocolError` at the earliest byte
     that proves the stream corrupt (a bad length or op code is rejected
     from the header alone, before the payload arrives).
+
+    ``max_frame_bytes`` caps how large a single frame — and therefore
+    this decoder's buffer — may grow; frames claiming more are rejected
+    from their length field alone.  The backing buffer is drawn from a
+    small module-level pool and consumed with a cursor (compacting only
+    past a watermark), so steady-state decoding neither reallocates nor
+    shifts bytes per frame.  Call :meth:`release` when the connection
+    dies to return the buffer to the pool.
     """
 
-    __slots__ = ("_buf", "_frames_decoded")
+    __slots__ = ("_buf", "_pos", "_frames_decoded", "max_frame_bytes")
 
-    def __init__(self) -> None:
-        self._buf = bytearray()
+    def __init__(self, *, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < _LENGTH_OVERHEAD:
+            raise ValueError(f"max_frame_bytes must be >= {_LENGTH_OVERHEAD}")
+        self._buf = _acquire_buf()
+        self._pos = 0
         self._frames_decoded = 0
+        self.max_frame_bytes = max_frame_bytes
 
     @property
     def pending_bytes(self) -> int:
         """Bytes buffered awaiting the rest of a frame."""
 
-        return len(self._buf)
+        return len(self._buf) - self._pos
 
     @property
     def frames_decoded(self) -> int:
@@ -191,67 +542,61 @@ class FrameDecoder:
     def feed(self, chunk: bytes) -> Iterator[Frame]:
         """Buffer ``chunk`` and yield every frame it completes."""
 
-        self._buf.extend(chunk)
+        buf = self._buf
+        buf += chunk
         frames = []
+        pos, end = self._pos, len(buf)
         while True:
-            frame = self._try_decode_one()
+            frame, pos = _parse_one(buf, pos, end, self.max_frame_bytes, in_batch=False)
             if frame is None:
                 break
             frames.append(frame)
+        self._frames_decoded += len(frames)
+        if pos == end:
+            del buf[:]
+            pos = 0
+        elif pos > _COMPACT_BYTES:
+            del buf[:pos]
+            pos = 0
+        self._pos = pos
         return iter(frames)
 
     def eof(self) -> None:
         """Declare end-of-stream; a partially buffered frame is an error."""
 
-        if self._buf:
+        if self.pending_bytes:
             raise ProtocolError(
-                f"stream truncated mid-frame: {len(self._buf)} dangling bytes after "
+                f"stream truncated mid-frame: {self.pending_bytes} dangling bytes after "
                 f"{self._frames_decoded} complete frame(s)"
             )
 
-    # ------------------------------------------------------------------
+    def release(self) -> None:
+        """Return the decode buffer to the pool (decoder becomes unusable)."""
 
-    def _try_decode_one(self) -> Optional[Frame]:
         buf = self._buf
-        if len(buf) < 4:
-            return None
-        length = int.from_bytes(buf[:4], "big")
-        if length < _LENGTH_OVERHEAD:
-            raise ProtocolError(f"frame length {length} shorter than the fixed header")
-        if length > MAX_FRAME_BYTES:
-            raise ProtocolError(
-                f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
-            )
-        # Validate the op code as soon as it is visible, even if the
-        # payload has not arrived — corrupt streams fail fast.
-        if len(buf) >= 5:
-            op = buf[4]
-            if op not in OP_NAMES:
-                raise ProtocolError(f"unknown op code {op}")
-        if len(buf) < 4 + length:
-            return None
-        _, op, req_id = _HEADER.unpack_from(buf, 0)
-        body = bytes(buf[_HEADER.size : 4 + length])
-        del buf[: 4 + length]
-        if body:
-            try:
-                payload = json.loads(body.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-                raise ProtocolError(f"undecodable payload in {OP_NAMES[op]} frame: {exc}") from None
-            if not isinstance(payload, dict):
-                raise ProtocolError(
-                    f"payload of {OP_NAMES[op]} frame must be a JSON object, got {type(payload).__name__}"
-                )
-        else:
-            payload = {}
-        self._frames_decoded += 1
-        return Frame(op, req_id, payload)
+        self._buf = bytearray()
+        self._pos = 0
+        _release_buf(buf)
+
+
+def negotiate_version(offered, supported=SUPPORTED_VERSIONS) -> int:
+    """Highest version in both ``offered`` and ``supported`` (else v1).
+
+    Lenient by design: a peer offering nothing intelligible is served
+    protocol v1, which every participant speaks.
+    """
+
+    try:
+        common = set(int(v) for v in offered) & set(supported)
+    except (TypeError, ValueError):
+        return PROTOCOL_V1
+    return max(common) if common else PROTOCOL_V1
 
 
 def describe_payload(op: int, payload: dict) -> str:
     """Short human-readable payload summary (for logs and errors)."""
 
-    if op in (OP_SEND, OP_TRY_SEND):
+    if op in (OP_SEND, OP_TRY_SEND, OP_SEND_B):
         value: Any = payload.get("value")
         text = repr(value)
         if len(text) > 40:

@@ -190,6 +190,24 @@ class ChannelRegistry:
         if self.metrics is not None:
             self.metrics.gauge("queue_depth", channel=entry.name).set(entry.queue_depth)
 
+    def record_batch(self, touched: dict[str, list]) -> None:
+        """Vectorized accounting for one BATCH of ops.
+
+        ``touched`` maps channel name to ``[entry, op_count]`` as built
+        by the server's batch dispatch.  Folding the whole batch into
+        one pass means one clock read and at most one queue-depth gauge
+        update per channel, instead of one of each per op.
+        """
+
+        now = self.clock()
+        metrics = self.metrics
+        for entry, n in touched.values():
+            if n:
+                entry.ops += n
+                entry.last_active = now
+            if metrics is not None:
+                metrics.gauge("queue_depth", channel=entry.name).set(entry.queue_depth)
+
     def collect_idle(self, *, full: bool = False) -> list[str]:
         """Remove closed-and-idle channels; returns the collected names.
 

@@ -1,17 +1,35 @@
 """asyncio server multiplexing channel operations over TCP connections.
 
-One connection carries many concurrent operations: the reader loop
-decodes frames and dispatches each request as its own asyncio task, so
-a parked ``RECEIVE`` never blocks a pipelined ``SEND`` behind it.  Three
-properties the paper's semantics force on the design:
+One connection carries many concurrent operations.  The reader loop
+decodes frames and, since protocol v2, splits them across two lanes:
+
+* **Synchronous fast lane.**  Most ops against a healthy channel
+  complete without suspending — a ``SEND`` into a non-full buffer, a
+  ``RECEIVE`` from a non-empty one, every try-op, OPEN/CLOSE/CANCEL.
+  These execute inline in the reader (no task spawn, no context
+  switch) via the channel's ``try_*`` entry points and their replies
+  coalesce into the connection's write buffer.  A ``BATCH`` frame runs
+  through :meth:`ChannelServer._run_batch`, which memoizes registry
+  lookups, applies every sub-op in one pass, folds the registry
+  accounting into one clock read, and emits the replies as **one
+  batched frame**.
+* **Parked lane.**  Ops that must suspend (``SEND`` against a full
+  channel, ``RECEIVE`` from an empty one) are dispatched as their own
+  asyncio task, exactly as protocol v1 did for everything, so a parked
+  ``RECEIVE`` never blocks a pipelined ``SEND`` behind it.
+
+Three properties the paper's semantics force on the design:
 
 * **Backpressure is the channel's, not the socket buffer's.**  A
   ``SEND`` against a full channel *awaits* ``channel.send`` — the op
   holds its in-flight slot while parked, and once a connection's
-  ``max_inflight`` slots are taken the reader stops reading.  TCP flow
-  control then pushes back on the remote writer: a full channel slows
-  the producing client instead of buffering frames unboundedly in
-  server memory.
+  ``max_inflight`` slots — or, new in v2, ``max_inflight_bytes`` of
+  parked frame payload — are taken the reader stops reading.  The
+  reader also stops while the connection's outgoing buffer sits above
+  the transport watermark (a peer that stops *reading* its replies
+  cannot keep submitting work).  TCP flow control then pushes back on
+  the remote writer: a full channel slows the producing client instead
+  of buffering frames unboundedly in server memory.
 
 * **Close vs. cancel propagates over the wire (§4.3).**  An op failing
   because the channel was closed reports ``CLOSED{cancelled=false}``
@@ -29,11 +47,18 @@ properties the paper's semantics force on the design:
   remaining parked ops and closes connections — an accepted message is
   never dropped on the floor.
 
+Protocol negotiation: a v2 client's first frame is ``HELLO``; the
+server answers with the highest mutually supported version (capped by
+the ``protocol=`` argument / ``--protocol`` flag, so a server can be
+pinned to v1) and tags the connection.  Connections that never say
+HELLO are v1 and receive JSON frames exactly as PR 2 shipped them.
+
 Observability rides the shared registry: pass an
 :class:`~repro.obs.session.ObsSession` (or a bare ``MetricsRegistry``)
 and the server maintains ``connections``, ``inflight_ops``,
-``frames_total{op=...}`` and per-channel ``queue_depth`` gauges in the
-same registry the contention profiler reports into.
+``frames_total{op=...}`` (sub-ops of a BATCH counted individually,
+plus ``net_batches_total``) and per-channel ``queue_depth`` gauges in
+the same registry the contention profiler reports into.
 """
 
 from __future__ import annotations
@@ -51,22 +76,33 @@ from ..errors import (
     ReproError,
 )
 from ..obs.metrics import MetricsRegistry
+from .iobuf import CoalescingWriter
 from .protocol import (
+    MAX_FRAME_BYTES,
+    OP_BATCH,
     OP_CANCEL,
     OP_CANCEL_OP,
     OP_CLOSE,
     OP_CLOSED,
     OP_ERROR,
+    OP_HELLO,
     OP_NAMES,
     OP_OK,
     OP_OPEN,
     OP_RECEIVE,
+    OP_RECEIVE_B,
     OP_SEND,
+    OP_SEND_B,
     OP_TRY_RECEIVE,
     OP_TRY_SEND,
+    PROTOCOL_V1,
+    PROTOCOL_V2,
+    SUPPORTED_VERSIONS,
     Frame,
     FrameDecoder,
-    encode_frame,
+    encode_frame_into,
+    encode_ok_b_into,
+    negotiate_version,
 )
 from .registry import ChannelRegistry
 
@@ -77,11 +113,47 @@ __all__ = ["ChannelServer", "serve", "main"]
 #: not an error.
 DEFAULT_MAX_INFLIGHT = 256
 
+#: Per-connection cap on the wire bytes held by parked ops.  The op
+#: count cap alone lets 256 ops × 16 MiB frames pin 4 GiB; the byte cap
+#: bounds memory in payload terms no matter the op mix.
+DEFAULT_MAX_INFLIGHT_BYTES = 8 * 1024 * 1024
+
 _READ_CHUNK = 64 * 1024
+
+#: Sentinel: the op cannot complete synchronously and must park.
+_PARK = object()
+
+_BYTES_TYPES = (bytes, bytearray, memoryview)
+
+#: Request ops that address a channel (everything but OPEN/HELLO/CANCEL_OP).
+_CHANNEL_OPS = frozenset(
+    (OP_SEND, OP_SEND_B, OP_RECEIVE, OP_RECEIVE_B, OP_TRY_SEND, OP_TRY_RECEIVE, OP_CLOSE, OP_CANCEL)
+)
+
+#: Ops the graceful drain waits for (accepted sends must land).
+_SEND_OPS = frozenset((OP_SEND, OP_SEND_B, OP_TRY_SEND))
+
+
+def _encode_reply_into(buf: bytearray, version: int, op: int, req_id: int, payload: dict) -> None:
+    """Encode one response, binary (``OK_B``) when the peer speaks v2.
+
+    A bare ack (empty payload) or a pure bytes value goes out
+    struct-packed; everything else — errors, CLOSED notifications,
+    structured results — stays JSON even on v2 (control traffic).
+    """
+
+    if version >= PROTOCOL_V2 and op == OP_OK:
+        if not payload:
+            encode_ok_b_into(buf, req_id, None)
+            return
+        if len(payload) == 1 and isinstance(payload.get("value"), _BYTES_TYPES):
+            encode_ok_b_into(buf, req_id, payload["value"])
+            return
+    encode_frame_into(buf, op, req_id, payload)
 
 
 class _Connection:
-    """Per-connection state: decoder, in-flight ops, write ordering."""
+    """Per-connection state: decoder, in-flight ops, coalesced writes."""
 
     __slots__ = (
         "conn_id",
@@ -90,27 +162,39 @@ class _Connection:
         "decoder",
         "slots",
         "inflight",
-        "notify_tasks",
+        "inflight_bytes",
+        "bytes_freed",
         "reader_task",
-        "write_lock",
         "preserve_inflight",
+        "version",
+        "out",
     )
 
-    def __init__(self, conn_id: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter, max_inflight: int):
+    def __init__(
+        self,
+        conn_id: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_inflight: int,
+        max_frame_bytes: int,
+    ):
         self.conn_id = conn_id
         self.reader = reader
         self.writer = writer
-        self.decoder = FrameDecoder()
+        self.decoder = FrameDecoder(max_frame_bytes=max_frame_bytes)
         self.slots = asyncio.Semaphore(max_inflight)
         #: req_id -> (op code, task) for every op still executing.
         self.inflight: dict[int, tuple[int, asyncio.Task]] = {}
-        #: Fire-and-forget CLOSED/ERROR notifications still being written.
-        self.notify_tasks: set[asyncio.Task] = set()
+        #: Wire bytes held by parked ops (byte-based backpressure).
+        self.inflight_bytes = 0
+        self.bytes_freed = asyncio.Event()
         self.reader_task: Optional[asyncio.Task] = None
-        self.write_lock = asyncio.Lock()
         #: Set during server shutdown so the reader's teardown leaves the
         #: in-flight ops to the drain logic instead of cancelling them.
         self.preserve_inflight = False
+        #: Negotiated protocol version (v1 until a HELLO says otherwise).
+        self.version = PROTOCOL_V1
+        self.out = CoalescingWriter(writer, max_frame_bytes=max_frame_bytes)
 
 
 class ChannelServer:
@@ -122,17 +206,25 @@ class ChannelServer:
         *,
         obs: Any = None,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_inflight_bytes: int = DEFAULT_MAX_INFLIGHT_BYTES,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        protocol: int = PROTOCOL_V2,
         gc_interval: Optional[float] = None,
     ):
         metrics = getattr(obs, "metrics", obs)
         if metrics is not None and not isinstance(metrics, MetricsRegistry):
             raise TypeError(f"obs must be an ObsSession or MetricsRegistry, got {type(obs).__name__}")
+        if protocol not in SUPPORTED_VERSIONS:
+            raise ValueError(f"protocol must be one of {SUPPORTED_VERSIONS}, got {protocol}")
         self.obs = obs
         self.metrics = metrics
         self.registry = registry if registry is not None else ChannelRegistry(metrics=metrics)
         if self.registry.metrics is None and metrics is not None:
             self.registry.metrics = metrics
         self.max_inflight = max_inflight
+        self.max_inflight_bytes = max_inflight_bytes
+        self.max_frame_bytes = max_frame_bytes
+        self.protocol = protocol
         self.gc_interval = gc_interval
         self.host: Optional[str] = None
         self.port: Optional[int] = None
@@ -151,6 +243,10 @@ class ChannelServer:
         self._server = await asyncio.start_server(self._on_connection, host, port)
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
+        if self.metrics is not None:
+            # Materialize the parked-lane gauge even if every op ends up
+            # completing on the synchronous fast path.
+            self.metrics.gauge("inflight_ops")
         if self.gc_interval:
             self._gc_task = asyncio.get_running_loop().create_task(self._gc_loop())
         return self
@@ -189,7 +285,7 @@ class ChannelServer:
                 task
                 for conn in conns
                 for (op, task) in list(conn.inflight.values())
-                if op in (OP_SEND, OP_TRY_SEND)
+                if op in _SEND_OPS
             ]
             if sends:
                 await asyncio.wait(sends, timeout=timeout)
@@ -214,7 +310,7 @@ class ChannelServer:
         if self._closing:
             writer.close()
             return
-        conn = _Connection(self._next_conn_id, reader, writer, self.max_inflight)
+        conn = _Connection(self._next_conn_id, reader, writer, self.max_inflight, self.max_frame_bytes)
         self._next_conn_id += 1
         self._conns[conn.conn_id] = conn
         conn.reader_task = asyncio.current_task()
@@ -231,7 +327,7 @@ class ChannelServer:
             if conn.preserve_inflight:
                 return
         except ProtocolError as exc:
-            self._notify(conn, OP_ERROR, 0, {"message": str(exc)})
+            self._respond(conn, OP_ERROR, 0, {"message": str(exc)})
         except ConnectionError:
             pass
         finally:
@@ -244,24 +340,40 @@ class ChannelServer:
                 await self._close_connection(conn)
 
     async def _read_frames(self, conn: _Connection) -> None:
+        metrics = self.metrics
         while True:
             chunk = await conn.reader.read(_READ_CHUNK)
             if not chunk:
                 conn.decoder.eof()  # truncated mid-frame -> ProtocolError
                 return
             for frame in conn.decoder.feed(chunk):
-                if self.metrics is not None:
-                    self.metrics.counter("frames_total", op=frame.op_name).inc()
-                if frame.op == OP_CANCEL_OP:
+                op = frame.op
+                if op == OP_BATCH:
+                    await self._run_batch(conn, frame)
+                    continue
+                if metrics is not None:
+                    metrics.counter("frames_total", op=frame.op_name).inc()
+                if op == OP_HELLO:
+                    self._handle_hello(conn, frame)
+                    continue
+                if op == OP_CANCEL_OP:
                     self._cancel_inflight_op(conn, frame)
                     continue
-                # Backpressure: block the reader until a slot frees up.
-                await conn.slots.acquire()
-                task = asyncio.get_running_loop().create_task(self._run_op(conn, frame))
-                conn.inflight[frame.req_id] = (frame.op, task)
-                task.add_done_callback(lambda _t, c=conn, rid=frame.req_id: self._op_done(c, rid))
-                if self.metrics is not None:
-                    self.metrics.gauge("inflight_ops").inc()
+                await self._dispatch(conn, frame)
+            # Byte-based backpressure toward slow readers: while this
+            # connection's outgoing bytes sit above the transport's
+            # watermark, stop admitting new work from it.
+            await conn.out.wait_writable()
+
+    def _handle_hello(self, conn: _Connection, frame: Frame) -> None:
+        allowed = SUPPORTED_VERSIONS if self.protocol >= PROTOCOL_V2 else (PROTOCOL_V1,)
+        conn.version = negotiate_version(frame.payload.get("versions", ()), allowed)
+        self._respond(
+            conn,
+            OP_OK,
+            frame.req_id,
+            {"version": conn.version, "max_frame": self.max_frame_bytes},
+        )
 
     def _cancel_inflight_op(self, conn: _Connection, frame: Frame) -> None:
         target = frame.payload.get("target")
@@ -269,23 +381,36 @@ class ChannelServer:
         if entry is not None:
             entry[1].cancel()
 
-    def _op_done(self, conn: _Connection, req_id: int) -> None:
+    def _op_done(
+        self, conn: _Connection, req_id: int, size: int, task: asyncio.Task, replied: list
+    ) -> None:
         conn.inflight.pop(req_id, None)
         conn.slots.release()
+        conn.inflight_bytes -= size
+        conn.bytes_freed.set()
         if self.metrics is not None:
             self.metrics.gauge("inflight_ops").dec()
+        if task.cancelled() and not replied[0]:
+            # Cancelled before the op coroutine ever ran (e.g. a
+            # CANCEL_OP in the same batch/chunk that parked it), so
+            # _run_op's own CancelledError path could not answer.
+            self._respond(
+                conn, OP_CLOSED, req_id, {"cancelled": True, "reason": "interrupt"}
+            )
 
     async def _close_connection(self, conn: _Connection) -> None:
-        # Let in-flight ops and their teardown notifications finish
-        # writing before the stream goes away.
+        # Let in-flight ops finish writing their teardown notifications,
+        # then flush the coalesced buffer before the stream goes away.
         pending = [task for _, task in conn.inflight.values()]
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
-        if conn.notify_tasks:
-            await asyncio.gather(*conn.notify_tasks, return_exceptions=True)
         self._conns.pop(conn.conn_id, None)
         if self.metrics is not None:
             self.metrics.gauge("connections").set(len(self._conns))
+        with contextlib.suppress(Exception):
+            await conn.out.drain()
+        conn.out.close()
+        conn.decoder.release()
         with contextlib.suppress(Exception):
             conn.writer.close()
             await conn.writer.wait_closed()
@@ -293,27 +418,114 @@ class ChannelServer:
     # ------------------------------------------------------------------
     # op execution
 
-    async def _run_op(self, conn: _Connection, frame: Frame) -> None:
+    async def _dispatch(self, conn: _Connection, frame: Frame) -> None:
+        """Run one non-batched request: sync fast lane, else park."""
+
+        try:
+            result = self._execute_sync(frame)
+        except Exception as exc:  # noqa: BLE001 - never kill the connection for one op
+            op, payload = self._failure_reply(frame, exc)
+            self._respond(conn, op, frame.req_id, payload)
+            return
+        if result is _PARK:
+            await self._admit(conn, frame)
+        else:
+            self._respond(conn, OP_OK, frame.req_id, result)
+
+    async def _run_batch(self, conn: _Connection, frame: Frame) -> None:
+        """Vectorized dispatch: one pass over a BATCH's sub-ops.
+
+        Registry lookups are memoized per batch, per-entry accounting is
+        folded into a single ``record_batch`` (one clock read, one
+        queue-depth gauge update per channel), and every synchronously
+        completed reply is emitted as one batched frame.  Sub-ops that
+        must park are admitted exactly like pipelined singles, keeping
+        their own req_ids and interrupt semantics — a mid-batch
+        ``CANCEL_OP`` can target an op parked earlier in the same batch.
+        """
+
+        subs = frame.payload["frames"]
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("net_batches_total").inc()
+            for sub in subs:
+                metrics.counter("frames_total", op=sub.op_name).inc()
+        touched: dict[str, list] = {}
+        out = conn.out
+        use_wrap = conn.version >= PROTOCOL_V2
+        for sub in subs:
+            op = sub.op
+            if op == OP_HELLO:
+                self._handle_hello(conn, sub)
+                continue
+            if op == OP_CANCEL_OP:
+                self._cancel_inflight_op(conn, sub)
+                continue
+            if op == OP_BATCH:  # decoder rejects nesting; belt and braces
+                continue
+            try:
+                result = self._execute_sync(sub, touched)
+            except Exception as exc:  # noqa: BLE001
+                reply_op, payload = self._failure_reply(sub, exc)
+            else:
+                if result is _PARK:
+                    await self._admit(conn, sub)
+                    continue
+                reply_op, payload = OP_OK, result
+            if use_wrap:
+                _encode_reply_into(out.batch, conn.version, reply_op, sub.req_id, payload)
+                out.frame_queued()
+            else:
+                out.seal_batch()
+                _encode_reply_into(out.buf, conn.version, reply_op, sub.req_id, payload)
+                out.frame_written()
+        out.seal_batch()
+        if touched:
+            self.registry.record_batch(touched)
+
+    async def _admit(self, conn: _Connection, frame: Frame) -> None:
+        """Backpressure gate for the parked lane: op slots + byte budget."""
+
+        await conn.slots.acquire()
+        size = frame.wire_bytes
+        while conn.inflight_bytes > 0 and conn.inflight_bytes + size > self.max_inflight_bytes:
+            conn.bytes_freed.clear()
+            await conn.bytes_freed.wait()
+        conn.inflight_bytes += size
+        replied = [False]
+        task = asyncio.get_running_loop().create_task(self._run_op(conn, frame, replied))
+        conn.inflight[frame.req_id] = (frame.op, task)
+        task.add_done_callback(
+            lambda t, c=conn, rid=frame.req_id, sz=size, r=replied: self._op_done(
+                c, rid, sz, t, r
+            )
+        )
+        if self.metrics is not None:
+            self.metrics.gauge("inflight_ops").inc()
+
+    async def _run_op(self, conn: _Connection, frame: Frame, replied: list) -> None:
         try:
             payload = await self._execute(frame)
-            await self._respond(conn, OP_OK, frame.req_id, payload)
+            replied[0] = True
+            self._respond(conn, OP_OK, frame.req_id, payload)
         except asyncio.CancelledError:
             # Interrupted (connection death, shutdown, CANCEL_OP): tell
             # the client this was a cancellation, not a channel close.
-            # The write happens on a detached task because this one is
-            # being torn down.
-            self._notify(conn, OP_CLOSED, frame.req_id, {"cancelled": True, "reason": "interrupt"})
+            replied[0] = True
+            self._respond(conn, OP_CLOSED, frame.req_id, {"cancelled": True, "reason": "interrupt"})
             raise
-        except ChannelClosedForSend as exc:
-            await self._respond_closed(conn, frame, exc)
-        except ChannelClosedForReceive as exc:
-            await self._respond_closed(conn, frame, exc)
-        except ReproError as exc:
-            await self._respond(conn, OP_ERROR, frame.req_id, {"message": str(exc)})
         except Exception as exc:  # noqa: BLE001 - never kill the connection for one op
-            await self._respond(conn, OP_ERROR, frame.req_id, {"message": f"{type(exc).__name__}: {exc}"})
+            op, payload = self._failure_reply(frame, exc)
+            replied[0] = True
+            self._respond(conn, op, frame.req_id, payload)
 
-    async def _execute(self, frame: Frame) -> dict:
+    def _execute_sync(self, frame: Frame, touched: Optional[dict] = None):
+        """Complete one op without suspending, or return ``_PARK``.
+
+        ``touched`` (batch mode) memoizes registry lookups and defers
+        per-op accounting to one :meth:`ChannelRegistry.record_batch`.
+        """
+
         op, p = frame.op, frame.payload
         name = p.get("channel", "")
         if op == OP_OPEN:
@@ -321,63 +533,93 @@ class ChannelServer:
                 name, int(p.get("capacity", 0)), p.get("overflow", "suspend")
             )
             self.registry.record_op(entry)
+            if touched is not None:
+                touched[name] = [entry, 0]
             return {"capacity": entry.capacity, "overflow": entry.overflow, "opens": entry.opens}
-        entry = self.registry.get(name)
+        if op not in _CHANNEL_OPS:
+            raise ProtocolError(f"op {OP_NAMES.get(op, op)} is not a channel operation")
+        cached = touched.get(name) if touched is not None else None
+        if cached is not None:
+            entry = cached[0]
+        else:
+            entry = self.registry.get(name)
+            if touched is not None:
+                cached = touched[name] = [entry, 0]
+        channel = entry.channel
+        if op == OP_SEND or op == OP_SEND_B:
+            if not channel.try_send(p.get("value")):
+                return _PARK
+            result: dict = {}
+        elif op == OP_RECEIVE or op == OP_RECEIVE_B:
+            ok, value = channel.try_receive()
+            if not ok:
+                return _PARK
+            result = {"value": value}
+        elif op == OP_TRY_SEND:
+            result = {"success": channel.try_send(p.get("value"))}
+        elif op == OP_TRY_RECEIVE:
+            ok, value = channel.try_receive()
+            result = {"success": ok, "value": value}
+        elif op == OP_CLOSE:
+            result = {"closed": channel.close()}
+        else:  # OP_CANCEL
+            result = {"cancelled": channel.cancel()}
+        if cached is not None:
+            cached[1] += 1
+        else:
+            self.registry.record_op(entry)
+        return result
+
+    async def _execute(self, frame: Frame) -> dict:
+        """Parked lane: the op genuinely suspends in the channel."""
+
+        op, p = frame.op, frame.payload
+        entry = self.registry.get(p.get("channel", ""))
         entry.inflight += 1
         try:
-            if op == OP_SEND:
+            if op == OP_SEND or op == OP_SEND_B:
                 await entry.channel.send(p.get("value"))
                 result: dict = {}
-            elif op == OP_RECEIVE:
+            elif op == OP_RECEIVE or op == OP_RECEIVE_B:
                 result = {"value": await entry.channel.receive()}
-            elif op == OP_TRY_SEND:
-                result = {"success": entry.channel.try_send(p.get("value"))}
-            elif op == OP_TRY_RECEIVE:
-                ok, value = entry.channel.try_receive()
-                result = {"success": ok, "value": value}
-            elif op == OP_CLOSE:
-                result = {"closed": entry.channel.close()}
-            elif op == OP_CANCEL:
-                result = {"cancelled": entry.channel.cancel()}
-            else:
-                raise ProtocolError(f"op {OP_NAMES.get(op, op)} is not a channel operation")
+            else:  # pragma: no cover - only send/receive can park
+                raise ProtocolError(f"op {OP_NAMES.get(op, op)} cannot park")
         finally:
             entry.inflight -= 1
         self.registry.record_op(entry)
         return result
 
-    async def _respond_closed(self, conn: _Connection, frame: Frame, exc: Exception) -> None:
-        name = frame.payload.get("channel", "")
-        cancelled = False
-        if name in self.registry:
-            cancelled = self.registry.get(name).channel.cancelled
-        await self._respond(
-            conn,
-            OP_CLOSED,
-            frame.req_id,
-            {"cancelled": cancelled, "reason": "cancel" if cancelled else "close"},
-        )
+    def _failure_reply(self, frame: Frame, exc: Exception) -> tuple[int, dict]:
+        """Map an op failure to its wire response (§4.3 close-vs-cancel)."""
+
+        if isinstance(exc, (ChannelClosedForSend, ChannelClosedForReceive)):
+            name = frame.payload.get("channel", "")
+            cancelled = False
+            if name in self.registry:
+                cancelled = self.registry.get(name).channel.cancelled
+            return OP_CLOSED, {"cancelled": cancelled, "reason": "cancel" if cancelled else "close"}
+        if isinstance(exc, ReproError):
+            return OP_ERROR, {"message": str(exc)}
+        return OP_ERROR, {"message": f"{type(exc).__name__}: {exc}"}
 
     # ------------------------------------------------------------------
     # response writing
 
-    async def _respond(self, conn: _Connection, op: int, req_id: int, payload: dict) -> None:
-        data = encode_frame(op, req_id, payload)
-        try:
-            async with conn.write_lock:
-                if conn.writer.is_closing():
-                    return
-                conn.writer.write(data)
-                await conn.writer.drain()
-        except ConnectionError:
-            pass  # the peer is gone; its reader-side teardown handles cleanup
+    def _respond(self, conn: _Connection, op: int, req_id: int, payload: dict) -> None:
+        """Queue one response into the connection's coalesced writer.
 
-    def _notify(self, conn: _Connection, op: int, req_id: int, payload: dict) -> None:
-        """Fire-and-forget response write (used from cancellation paths)."""
+        Synchronous: the frame lands in the reusable output buffer and
+        the flush scheduler hands it to the transport on watermark or
+        the next loop tick.  Callers never await a per-frame drain —
+        write-side backpressure is applied in the reader loop instead.
+        """
 
-        task = asyncio.get_running_loop().create_task(self._respond(conn, op, req_id, payload))
-        conn.notify_tasks.add(task)
-        task.add_done_callback(conn.notify_tasks.discard)
+        out = conn.out
+        if out.closed:
+            return
+        out.seal_batch()
+        _encode_reply_into(out.buf, conn.version, op, req_id, payload)
+        out.frame_written()
 
 
 async def serve(
@@ -387,15 +629,28 @@ async def serve(
     registry: Optional[ChannelRegistry] = None,
     obs: Any = None,
     max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    max_inflight_bytes: int = DEFAULT_MAX_INFLIGHT_BYTES,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+    protocol: int = PROTOCOL_V2,
     gc_interval: Optional[float] = None,
 ) -> ChannelServer:
     """Start a :class:`ChannelServer`; returns once it is listening.
 
     The returned server exposes ``.host``/``.port`` (useful with
     ``port=0``) and must be stopped with ``await server.shutdown()``.
+    ``protocol=1`` pins the server to the JSON protocol (it still
+    answers HELLO, negotiating every peer down to v1).
     """
 
-    server = ChannelServer(registry, obs=obs, max_inflight=max_inflight, gc_interval=gc_interval)
+    server = ChannelServer(
+        registry,
+        obs=obs,
+        max_inflight=max_inflight,
+        max_inflight_bytes=max_inflight_bytes,
+        max_frame_bytes=max_frame_bytes,
+        protocol=protocol,
+        gc_interval=gc_interval,
+    )
     return await server.start(host, port)
 
 
@@ -412,11 +667,18 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0, help="0 picks an ephemeral port")
+    parser.add_argument("--protocol", type=int, choices=sorted(SUPPORTED_VERSIONS),
+                        default=PROTOCOL_V2,
+                        help="highest wire protocol version to negotiate (1 = JSON only)")
     parser.add_argument("--shards", type=int, default=8, help="registry shard count")
     parser.add_argument("--idle-seconds", type=float, default=300.0, help="idle-channel GC threshold")
     parser.add_argument("--gc-interval", type=float, default=30.0, help="seconds between GC slices (0 disables)")
     parser.add_argument("--max-inflight", type=int, default=DEFAULT_MAX_INFLIGHT,
                         help="per-connection in-flight op cap (backpressure threshold)")
+    parser.add_argument("--max-inflight-bytes", type=int, default=DEFAULT_MAX_INFLIGHT_BYTES,
+                        help="per-connection cap on bytes held by parked ops")
+    parser.add_argument("--max-frame-mib", type=float, default=MAX_FRAME_BYTES / (1024 * 1024),
+                        help="reject frames larger than this many MiB")
     args = parser.parse_args(argv)
 
     async def _run() -> None:
@@ -426,10 +688,17 @@ def main(argv: Optional[list[str]] = None) -> int:
             args.port,
             registry=registry,
             max_inflight=args.max_inflight,
+            max_inflight_bytes=args.max_inflight_bytes,
+            max_frame_bytes=int(args.max_frame_mib * 1024 * 1024),
+            protocol=args.protocol,
             gc_interval=args.gc_interval or None,
         )
         print(server.port, flush=True)
-        print(f"repro.net: serving on {server.host}:{server.port}", file=sys.stderr, flush=True)
+        print(
+            f"repro.net: serving protocol v{args.protocol} on {server.host}:{server.port}",
+            file=sys.stderr,
+            flush=True,
+        )
         try:
             await server.serve_forever()
         except asyncio.CancelledError:

@@ -95,6 +95,40 @@ class TestNetCommand:
 
         assert "net" not in PAPER_COMMANDS
 
+    def test_net_ab_matrix_emits_paired_rows(self, tmp_path, capsys):
+        from repro.bench.__main__ import NET_AB_ARMS, NET_AB_COMBOS
+
+        path = tmp_path / "ab.json"
+        rc = main(["net", "--ab", "--ops", "60", "--warmup", "2",
+                   "--net-capacity", "16", "--json", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "geomean ops/sec vs v1-serial baseline" in out
+        rows = json.loads(path.read_text())
+        assert len(rows) == len(NET_AB_ARMS) * len(NET_AB_COMBOS)
+        names = {r["name"] for r in rows}
+        assert "net-64B-4p4c-v1-serial" in names
+        assert "net-64B-4p4c-v2-batch" in names
+        for row in rows:
+            assert row["command"] == "net"
+            assert row["ops_per_sec"] > 0
+            assert row["ops_completed"] == row["ops_submitted"] == 60
+        # The v1-serial arm reproduces the PR 2 loadgen configuration.
+        baseline = next(r for r in rows if r["name"] == "net-64B-1p1c-v1-serial")
+        assert baseline["protocol"] == 1 and baseline["window"] == 1
+
+    def test_net_ab_rows_gate_through_compare(self, tmp_path, capsys):
+        path = tmp_path / "ab.json"
+        rc = main(["net", "--ab", "--ops", "40", "--warmup", "2",
+                   "--json", str(path)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["compare", str(path), str(path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "net-64B-1p1c-v2-batch" in out
+        assert "OK" in out
+
 
 class TestProfileCommand:
     def test_profile_prints_contention_table(self, capsys):

@@ -7,16 +7,41 @@ import pytest
 
 from repro.errors import ProtocolError
 from repro.net.protocol import (
+    BINARY_OPS,
+    JSON_OPS,
     MAX_FRAME_BYTES,
+    OP_BATCH,
     OP_NAMES,
     OP_OK,
+    OP_OK_B,
     OP_OPEN,
+    OP_RECEIVE_B,
     OP_SEND,
+    OP_SEND_B,
     Frame,
     FrameDecoder,
     decode_frame,
     encode_frame,
 )
+
+
+def random_frame(rng):
+    """One random frame whose payload fits its op's wire family."""
+
+    op = rng.choice(sorted(OP_NAMES))
+    req_id = rng.randrange(1 << 64)
+    size = rng.choice([0, 1, 7, 100, 4096, 70_000])
+    if op == OP_SEND_B:
+        payload = {"channel": "c" * rng.randint(1, 30), "value": rng.randbytes(size)}
+    elif op == OP_RECEIVE_B:
+        payload = {"channel": "r" * rng.randint(1, 30)}
+    elif op == OP_OK_B:
+        payload = {"value": rng.randbytes(size)} if rng.random() < 0.7 else {}
+    elif op == OP_BATCH:
+        payload = {"frames": []}
+    else:
+        payload = {"pad": "z" * size, "n": rng.randrange(1 << 30)} if size else {}
+    return Frame(op, req_id, payload)
 
 
 class TestRoundTrip:
@@ -57,12 +82,9 @@ class TestFuzzRoundTrip:
             frames = []
             blob = bytearray()
             for _ in range(rng.randint(1, 12)):
-                op = rng.choice(sorted(OP_NAMES))
-                req_id = rng.randrange(1 << 64)
-                size = rng.choice([0, 1, 7, 100, 4096, 70_000])
-                payload = {"pad": "z" * size, "n": rng.randrange(1 << 30)} if size else {}
-                frames.append(Frame(op, req_id, payload))
-                blob.extend(encode_frame(op, req_id, payload))
+                frame = random_frame(rng)
+                frames.append(frame)
+                blob.extend(encode_frame(frame.op, frame.req_id, frame.payload))
             decoder = FrameDecoder()
             decoded = []
             pos = 0
@@ -167,3 +189,112 @@ class TestMalformedInput:
         decoder = FrameDecoder()
         list(decoder.feed(encode_frame(OP_OK, 1) + encode_frame(OP_OK, 2)))
         assert decoder.frames_decoded == 2
+
+
+class TestBinaryOps:
+    """Protocol v2 struct-packed hot ops round-trip losslessly."""
+
+    def test_send_b_round_trip(self):
+        data = encode_frame(OP_SEND_B, 11, {"channel": "hot", "value": b"\x00\xffpayload"})
+        frame = decode_frame(data)
+        assert frame == Frame(OP_SEND_B, 11, {"channel": "hot", "value": b"\x00\xffpayload"})
+
+    def test_send_b_empty_value(self):
+        frame = decode_frame(encode_frame(OP_SEND_B, 1, {"channel": "c", "value": b""}))
+        assert frame.payload == {"channel": "c", "value": b""}
+
+    def test_send_b_rejects_non_bytes(self):
+        with pytest.raises(ProtocolError, match="bytes"):
+            encode_frame(OP_SEND_B, 1, {"channel": "c", "value": {"not": "bytes"}})
+
+    def test_receive_b_round_trip(self):
+        frame = decode_frame(encode_frame(OP_RECEIVE_B, 2, {"channel": "événements"}))
+        assert frame.payload == {"channel": "événements"}
+
+    def test_ok_b_ack_vs_empty_value(self):
+        # A bare ack ({}) and an empty bytes value (b"") are distinct.
+        assert decode_frame(encode_frame(OP_OK_B, 3, {})).payload == {}
+        assert decode_frame(encode_frame(OP_OK_B, 3, {"value": b""})).payload == {"value": b""}
+
+    def test_ok_b_value_round_trip(self):
+        frame = decode_frame(encode_frame(OP_OK_B, 4, {"value": b"x" * 70_000}))
+        assert frame.payload["value"] == b"x" * 70_000
+
+    def test_ok_b_bad_tag_rejected(self):
+        raw = (10).to_bytes(4, "big") + bytes([OP_OK_B]) + (1).to_bytes(8, "big") + b"\x07"
+        with pytest.raises(ProtocolError, match="OK_B value tag"):
+            decode_frame(raw)
+
+    def test_receive_b_trailing_bytes_rejected(self):
+        good = bytearray(encode_frame(OP_RECEIVE_B, 1, {"channel": "c"}))
+        bad = good[:4] + bytes([good[4]]) + good[5:13] + good[13:] + b"junk"
+        bad[0:4] = (int.from_bytes(good[0:4], "big") + 4).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="trailing"):
+            decode_frame(bytes(bad))
+
+    def test_bytes_value_survives_json_frame(self):
+        """On JSON frames (v1 peers) bytes ride the reserved b64 marker."""
+
+        frame = decode_frame(encode_frame(OP_SEND, 5, {"channel": "c", "value": b"\x01\x02"}))
+        assert frame.payload == {"channel": "c", "value": b"\x01\x02"}
+
+    def test_wire_bytes_excluded_from_equality(self):
+        decoded = decode_frame(encode_frame(OP_OK, 1, {"a": 1}))
+        assert decoded.wire_bytes > 0
+        assert decoded == Frame(OP_OK, 1, {"a": 1})
+
+    def test_op_partition(self):
+        assert JSON_OPS | BINARY_OPS == set(OP_NAMES)
+        assert not JSON_OPS & BINARY_OPS
+
+
+class TestConfigurableCap:
+    """The frame-size cap is per-decoder; oversize fails from the header."""
+
+    def test_small_cap_rejects_before_payload(self):
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        header = (1025).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="exceeds the 1024-byte limit"):
+            list(decoder.feed(header))
+        # The decoder never buffered the (unsent) 1 KiB payload.
+
+    def test_small_cap_accepts_frames_under_it(self):
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        frames = list(decoder.feed(encode_frame(OP_OK, 1, {"k": "v"})))
+        assert len(frames) == 1
+
+    def test_default_cap_is_16mib(self):
+        assert FrameDecoder().max_frame_bytes == MAX_FRAME_BYTES == 16 * 1024 * 1024
+
+    def test_oversize_and_truncation_fuzz(self):
+        """Random streams against a tiny cap: every outcome is decode,
+        ProtocolError, or a truncation error at eof — never unbounded
+        buffering past the cap."""
+
+        rng = random.Random(515)
+        for _ in range(120):
+            decoder = FrameDecoder(max_frame_bytes=512)
+            blob = bytearray()
+            for _ in range(rng.randint(1, 6)):
+                roll = rng.random()
+                if roll < 0.4:  # well-formed, under the cap
+                    blob += encode_frame(OP_OK, rng.randrange(100), {"p": "x" * rng.randint(0, 100)})
+                elif roll < 0.7:  # oversize length header
+                    blob += (rng.randint(513, 1 << 31)).to_bytes(4, "big")
+                    blob += bytes(rng.randrange(256) for _ in range(rng.randint(0, 40)))
+                else:  # truncated tail
+                    whole = encode_frame(OP_OK, 1, {"p": "y" * 50})
+                    blob += whole[: rng.randint(1, len(whole) - 1)]
+            try:
+                for i in range(0, len(blob), 7):
+                    list(decoder.feed(bytes(blob[i : i + 7])))
+                    assert decoder.pending_bytes <= 512 + 4
+                decoder.eof()
+            except ProtocolError:
+                pass
+
+    def test_release_returns_buffer_to_pool(self):
+        decoder = FrameDecoder()
+        list(decoder.feed(encode_frame(OP_OK, 1)[:5]))
+        decoder.release()
+        assert decoder.pending_bytes == 0
