@@ -11,6 +11,7 @@ Regenerates the paper's evaluation artefacts without pytest::
     python -m repro.bench profile --impl faa-channel --threads 64
     python -m repro.bench net --producers 4 --consumers 4 --ops 2000
     python -m repro.bench net --ab --json            # wire A/B matrix -> BENCH_05.json
+    python -m repro.bench net --cluster --json       # worker-scaling matrix -> BENCH_06.json
     python -m repro.bench selfperf --json            # engine ops/sec -> BENCH_04.json
     python -m repro.bench allocs --json allocs.json  # descriptor allocations per element
     python -m repro.bench compare OLD.json NEW.json  # exit 1 on >15% perf regression
@@ -214,6 +215,84 @@ NET_AB_ARMS: "tuple[tuple[str, int, bool, int | None], ...]" = (
 #: Producer/consumer combos for the ``--ab`` matrix.
 NET_AB_COMBOS = ((1, 1), (4, 4), (8, 8))
 
+#: Producer/consumer combos (per client process) for ``--cluster``.
+NET_CLUSTER_COMBOS = ((8, 8), (16, 16))
+
+
+def _net_cluster_mode(args: argparse.Namespace) -> bool:
+    """True when the run needs the multi-process cluster path."""
+
+    return bool(args.cluster or args.client_procs > 1 or args.workers > 1)
+
+
+def _cmd_net_cluster(args: argparse.Namespace) -> list[dict]:
+    """Worker-scaling matrix over the multi-process cluster service.
+
+    Each worker count spawns a fresh :class:`ClusterSupervisor` (one OS
+    process per worker behind one SO_REUSEPORT port) and drives it with
+    ``--client-procs`` load-generator processes, so both sides of the
+    socket scale past one event loop.  Synchronous on purpose: the
+    supervisor and ``run_load_procs`` block on multiprocessing pipes,
+    which must not run inside the asyncio loop ``cmd_net`` uses for the
+    single-loop arms.  Rows carry ``name``/``ops_per_sec`` so
+    ``compare`` gates BENCH_06.json like the ``--ab`` matrix.
+    """
+
+    from repro.net.cluster import ClusterSupervisor, run_load_procs
+
+    worker_counts = list(args.cluster_workers) if args.cluster else [max(1, args.workers)]
+    client_procs = args.client_procs if args.client_procs > 0 else (2 if args.cluster else 1)
+    combos = NET_CLUSTER_COMBOS if args.cluster else ((args.producers, args.consumers),)
+    print(
+        f"net cluster matrix — workers {worker_counts}, {client_procs} client proc(s), "
+        f"{args.payload_bytes}B payloads, {args.ops} ops per proc"
+    )
+    rows: list[dict] = []
+    for workers in worker_counts:
+        sup = None
+        try:
+            if args.port:
+                host, port = args.host, args.port
+            else:
+                sup = ClusterSupervisor(workers, protocol=args.protocol)
+                sup.start()
+                host, port = "127.0.0.1", sup.port
+            for producers, consumers in combos:
+                # Spread the load over one channel per worker (capped by
+                # the per-side connection count) unless pinned.
+                channels = args.channels or min(producers, consumers, max(workers, 1))
+                best = None
+                for rep in range(max(1, args.repeat)):
+                    row = run_load_procs(
+                        host,
+                        port,
+                        client_procs=client_procs,
+                        producers=producers,
+                        consumers=consumers,
+                        ops=args.ops,
+                        capacity=args.net_capacity,
+                        payload_bytes=args.payload_bytes,
+                        channel=f"{args.channel}-w{workers}-{producers}x{consumers}-r{rep}",
+                        channels=channels,
+                        deadline=args.deadline,
+                        protocol=args.protocol,
+                        batch=args.batch,
+                        window=args.window,
+                        warmup=args.warmup,
+                    )
+                    if best is None or row["throughput_ops_s"] > best["throughput_ops_s"]:
+                        best = row
+                name = f"net-{args.payload_bytes}B-{producers}p{consumers}c-w{workers}"
+                rows.append(
+                    {"name": name, "workers": workers, "ops_per_sec": best["throughput_ops_s"], **best}
+                )
+                print(f"  {name:36s} {best['throughput_ops_s']:>12,.1f} ops/s "
+                      f"({channels} chan/proc, best of {max(1, args.repeat)})")
+        finally:
+            if sup is not None:
+                sup.stop()
+    return rows
+
 
 def cmd_net(args: argparse.Namespace) -> list[dict]:
     """N-producer/M-consumer load over the repro.net TCP service.
@@ -227,6 +306,10 @@ def cmd_net(args: argparse.Namespace) -> list[dict]:
     runs the paired protocol matrix (:data:`NET_AB_ARMS` ×
     :data:`NET_AB_COMBOS`) used for ``BENCH_05.json``; each row carries
     ``name`` and ``ops_per_sec`` so ``compare`` gates it like selfperf.
+
+    ``--cluster`` (or ``--workers N`` / ``--client-procs N``) switches
+    to the multi-process path: supervised worker clusters driven by
+    multi-process loadgen (see :func:`_cmd_net_cluster`).
     """
 
     import asyncio
@@ -234,6 +317,11 @@ def cmd_net(args: argparse.Namespace) -> list[dict]:
     from repro.net.loadgen import format_report, run_load
     from repro.net.server import ChannelServer
     from repro.obs.metrics import MetricsRegistry
+
+    if _net_cluster_mode(args):
+        rows = _cmd_net_cluster(args)
+        _warn_net_losses(rows)
+        return rows
 
     async def _run() -> list[dict]:
         async def one(port: int, host: str, **kw) -> dict:
@@ -313,6 +401,11 @@ def cmd_net(args: argparse.Namespace) -> list[dict]:
         _print_net_ab_summary(rows)
     else:
         print(format_report(rows[0]))
+    _warn_net_losses(rows)
+    return rows
+
+
+def _warn_net_losses(rows: list[dict]) -> None:
     for row in rows:
         if row["ops_completed"] != row["ops_submitted"]:
             print(
@@ -320,7 +413,6 @@ def cmd_net(args: argparse.Namespace) -> list[dict]:
                 f"{row['ops_submitted'] - row['ops_completed']} "
                 "of the submitted ops never reached a consumer"
             )
-    return rows
 
 
 def _print_net_ab_summary(rows: list[dict]) -> None:
@@ -388,7 +480,9 @@ def cmd_compare(args: argparse.Namespace) -> list[dict]:
                 dumps.append(json.load(fh))
         except (OSError, ValueError) as exc:
             raise SystemExit(f"python -m repro.bench compare: error: {path}: {exc}") from exc
-    ok, report = compare_rows(dumps[0], dumps[1], threshold=args.threshold)
+    ok, report = compare_rows(
+        dumps[0], dumps[1], threshold=args.threshold, allow_missing=args.allow_missing
+    )
     print(report)
     args._exit_code = 0 if ok else 1
     return []
@@ -464,6 +558,11 @@ def main(argv: list[str] | None = None) -> int:
         "--threshold", type=float, default=0.15,
         help="compare: max tolerated geomean ops/sec drop (fraction, default 0.15)",
     )
+    perf.add_argument(
+        "--allow-missing", action="store_true",
+        help="compare: report baseline rows missing from NEW without failing "
+        "(for subset runs, e.g. --quick smoke vs a full baseline)",
+    )
     parser.add_argument(
         "--trace",
         metavar="PATH",
@@ -498,6 +597,20 @@ def main(argv: list[str] | None = None) -> int:
                      help="net: unmeasured warmup round trips per connection")
     net.add_argument("--ab", action="store_true",
                      help="net: run the paired v1/v2 × batch matrix (BENCH_05.json rows)")
+    net.add_argument("--cluster", action="store_true",
+                     help="net: run the worker-scaling matrix over multi-process "
+                          "clusters (BENCH_06.json rows)")
+    net.add_argument("--cluster-workers", type=int, nargs="+", default=[1, 2, 4],
+                     metavar="N", help="net --cluster: worker counts to sweep")
+    net.add_argument("--workers", type=int, default=1,
+                     help="net: serve from N cluster workers instead of one "
+                          "single-loop server (implies the multi-process path)")
+    net.add_argument("--client-procs", type=int, default=0,
+                     help="net: load-generator processes (0 = auto: 2 for "
+                          "--cluster, 1 otherwise)")
+    net.add_argument("--channels", type=int, default=0,
+                     help="net: channels per client process (0 = auto: one per "
+                          "worker, capped by producer/consumer counts)")
     args = parser.parse_args(argv)
     if args.paths and args.command != "compare":
         parser.error(f"positional paths are only accepted by `compare`, not `{args.command}`")
@@ -505,7 +618,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "selfperf":
             args.json = "BENCH_04.json"
         elif args.command == "net":
-            args.json = "BENCH_05.json"
+            args.json = "BENCH_06.json" if _net_cluster_mode(args) else "BENCH_05.json"
         else:
             parser.error("--json needs an explicit PATH for this command")
     # Fail fast on unwritable output paths before minutes of simulation.

@@ -291,11 +291,19 @@ def compare_rows(
     old_rows: list[dict[str, Any]],
     new_rows: list[dict[str, Any]],
     threshold: float = DEFAULT_THRESHOLD,
+    *,
+    allow_missing: bool = False,
 ) -> tuple[bool, str]:
     """Compare two selfperf dumps; ``(ok, report)``.
 
     ``ok`` is ``False`` when the geometric-mean ops/sec over the common
-    points regressed by more than ``threshold`` (a fraction, 0.15 = 15%).
+    points regressed by more than ``threshold`` (a fraction, 0.15 = 15%)
+    — or when a baseline point is *missing* from the new dump.  A
+    silently shrunk intersection would let a dropped (slow) point fake a
+    pass, and newly added points could mask it in row counts; both sets
+    are therefore reported explicitly.  ``allow_missing=True`` downgrades
+    missing baseline points to informational (for comparing a quick
+    subset against a full dump).
     """
 
     old = _selfperf_points(old_rows)
@@ -316,9 +324,17 @@ def compare_rows(
         f"{'geomean':24s} {'':14s} {'':14s} {gm:6.2f}x  "
         f"(gate: >= {1.0 - threshold:.2f}x) -> {'OK' if ok else 'REGRESSION'}"
     )
-    missing = sorted(set(old) ^ set(new))
+    missing = sorted(set(old) - set(new))
+    added = sorted(set(new) - set(old))
     if missing:
-        lines.append(f"unmatched points ignored: {', '.join(missing)}")
+        lines.append(f"MISSING from new dump: {', '.join(missing)}")
+        if allow_missing:
+            lines.append("  (allowed by --allow-missing; not gated)")
+        else:
+            lines.append("  -> FAIL: every baseline point must be present (--allow-missing to waive)")
+            ok = False
+    if added:
+        lines.append(f"added in new dump (not gated): {', '.join(added)}")
     return ok, "\n".join(lines)
 
 

@@ -10,6 +10,11 @@ protocol v2 (HELLO negotiation, binary hot ops, BATCH framing, write
 coalescing).  ``connect(protocol=1)`` / ``serve(protocol=1)`` pin
 either side to the v1 JSON protocol.
 
+Past one event loop: :func:`serve_cluster` (and ``python -m repro.net
+--workers N``) serves the same namespace from N sharded workers behind
+one ``SO_REUSEPORT`` port, relaying cross-worker ops over FORWARD
+frames — see :mod:`repro.net.cluster` and DESIGN.md §12.
+
 Server::
 
     server = await repro.net.serve("127.0.0.1", 0)   # or: python -m repro.net
@@ -22,6 +27,13 @@ Client::
 """
 
 from .client import NetClient, RemoteChannel, connect
+from .cluster import (
+    ClusterServer,
+    ClusterSupervisor,
+    ShardMap,
+    run_load_procs,
+    serve_cluster,
+)
 from .iobuf import CoalescingWriter
 from .loadgen import format_report, run_load
 from .protocol import (
@@ -43,8 +55,13 @@ DEFAULT_PROTOCOL = PROTOCOL_V2
 
 __all__ = [
     "serve",
+    "serve_cluster",
     "connect",
     "ChannelServer",
+    "ClusterServer",
+    "ClusterSupervisor",
+    "ShardMap",
+    "run_load_procs",
     "NetClient",
     "RemoteChannel",
     "ChannelRegistry",

@@ -72,6 +72,7 @@ from .protocol import (
     OP_CLOSE,
     OP_CLOSED,
     OP_ERROR,
+    OP_FORWARD,
     OP_HELLO,
     OP_OK,
     OP_OK_B,
@@ -170,6 +171,23 @@ class NetClient:
         the batching deadline: nothing waits longer than one tick.
         """
 
+        frame = await self.request_frame(op, payload, timeout=timeout)
+        return self._unwrap(op, frame)
+
+    async def forward(self, frame: Frame, *, timeout: Optional[float] = None) -> Frame:
+        """Relay ``frame`` to this server inside a FORWARD container.
+
+        Cluster workers use this to execute an op on the channel's
+        owning worker; the reply comes back *raw* so the relaying side
+        can hand the exact response frame to the origin client.
+        """
+
+        return await self.request_frame(OP_FORWARD, {"frame": frame}, timeout=timeout)
+
+    async def request_frame(self, op: int, payload: dict, *,
+                            timeout: Optional[float] = None) -> Frame:
+        """:meth:`request` without the failure mapping: the raw reply frame."""
+
         if self._lost is not None:
             raise ConnectionLostError(f"connection is gone: {self._lost}")
         req_id = self._next_req_id
@@ -198,7 +216,7 @@ class NetClient:
             raise
         finally:
             self._pending.pop(req_id, None)
-        return self._unwrap(op, frame)
+        return frame
 
     def _encode_request(self, op: int, req_id: int, payload: dict) -> None:
         """Encode one request into the writer, binary/batched on v2."""

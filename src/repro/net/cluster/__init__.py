@@ -1,0 +1,42 @@
+"""Multi-worker sharded channel service (one event loop per core).
+
+The single-loop :class:`~repro.net.server.ChannelServer` serializes
+all dispatch on one core; this package scales it out.  A cluster is N
+full ChannelServers ("workers") behind one ``SO_REUSEPORT`` public
+port, each owning the channels a consistent-hash
+:class:`~repro.net.cluster.shardmap.ShardMap` assigns it.  Any client
+can talk to any worker: ops against a channel another worker owns are
+relayed over persistent inter-worker v2 connections (``FORWARD`` /
+``OWNER`` frames — workers are just clients of each other), preserving
+blocking, close-vs-cancel, and interrupt semantics end-to-end.
+
+Two deployments share all of that machinery:
+
+* :func:`serve_cluster` / :class:`ClusterServer` — every worker in the
+  calling process's event loop.  Concurrency without parallelism; what
+  the test suite runs against.
+* :class:`ClusterSupervisor` — one OS process per worker, spawned,
+  health-checked, and restarted by a supervisor
+  (``python -m repro.net --workers N``).  Real multi-core dispatch.
+
+:func:`run_load_procs` is the matching driver side: ``--client-procs``
+load-generator processes so the *offered* load also scales past one
+event loop.  See DESIGN.md §12.
+"""
+
+from .loadgen import run_load_procs
+from .router import ClusterRouter
+from .server import ClusterServer, serve_cluster
+from .shardmap import DEFAULT_REPLICAS, ShardMap
+from .supervisor import ClusterSupervisor, WorkerSpec
+
+__all__ = [
+    "ClusterServer",
+    "serve_cluster",
+    "ClusterRouter",
+    "ClusterSupervisor",
+    "WorkerSpec",
+    "ShardMap",
+    "DEFAULT_REPLICAS",
+    "run_load_procs",
+]

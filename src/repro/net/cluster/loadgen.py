@@ -1,0 +1,176 @@
+"""Multi-process load driver: scale offered load past one client loop.
+
+One asyncio loop maxes out around the same point on both sides of the
+socket — a cluster server with a single-loop *driver* just moves the
+bottleneck into the benchmark harness.  :func:`run_load_procs` spawns
+``client_procs`` driver processes, each running the standard
+:func:`repro.net.loadgen.run_load` workload against the server's
+public port, and merges their report rows into one.
+
+Correctness of the merge:
+
+* **Clock.** All processes rendezvous on a :class:`multiprocessing.Barrier`
+  *after* connection setup/warmup and *before* their measured windows,
+  and the parent measures wall-clock from barrier release to the last
+  row collected — so process spawn and interpreter startup are outside
+  the window, and aggregate throughput is total ops over the union
+  window, not a sum of per-process rates with disjoint windows.
+* **Loss accounting.** Each child drives its own channel namespace
+  (``{channel}.cp{k}``) with producer ids offset by ``producer_base``,
+  so ``(producer, seq)`` tags stay globally unique and per-child
+  close/drain semantics need no cross-process coordination.
+* **Latency.** Children ship their raw histogram samples
+  (``include_samples``) and the parent re-observes them into fresh
+  histograms — exact nearest-rank percentiles over the union, not an
+  average of per-process percentiles.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Any, Optional
+
+from ...obs.metrics import Histogram
+from ..protocol import PROTOCOL_V2
+
+__all__ = ["run_load_procs"]
+
+
+def _driver_main(conn, barrier, kwargs: dict) -> None:
+    """Child entry point: run one ``run_load`` and ship the row back."""
+
+    import asyncio
+
+    from ..loadgen import run_load
+
+    try:
+        row = asyncio.run(run_load(start_gate=barrier.wait, **kwargs))
+        conn.send(("row", row))
+    except BaseException as exc:  # noqa: BLE001 - parent re-raises
+        try:
+            barrier.abort()
+        except Exception:
+            pass
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def run_load_procs(
+    host: str,
+    port: int,
+    *,
+    client_procs: int = 2,
+    producers: int = 4,
+    consumers: int = 4,
+    ops: int = 2000,
+    capacity: int = 64,
+    payload_bytes: int = 64,
+    channel: str = "bench",
+    channels: int = 1,
+    deadline: Optional[float] = 60.0,
+    protocol: int = PROTOCOL_V2,
+    batch: bool = True,
+    window: int = 16,
+    warmup: int = 16,
+) -> dict[str, Any]:
+    """Drive the workload from ``client_procs`` processes; merged row.
+
+    ``producers``/``consumers``/``ops`` are *per process* totals split
+    exactly as :func:`run_load` splits them, so a ``client_procs=2``
+    run offers twice the load of a ``client_procs=1`` run with the same
+    arguments.  ``channels`` is per process too (each process has its
+    own namespace).  Blocking call — run it from a non-async context.
+    """
+
+    if client_procs < 1:
+        raise ValueError("client_procs must be positive")
+    import time
+
+    ctx = mp.get_context("fork") if "fork" in mp.get_all_start_methods() else mp.get_context()
+    # Parties: every driver + the parent (which holds the clock).
+    barrier = ctx.Barrier(client_procs + 1)
+    procs = []
+    conns = []
+    for k in range(client_procs):
+        parent_conn, child_conn = ctx.Pipe()
+        kwargs = dict(
+            host=host,
+            port=port,
+            producers=producers,
+            consumers=consumers,
+            ops=ops,
+            capacity=capacity,
+            payload_bytes=payload_bytes,
+            channel=f"{channel}.cp{k}" if client_procs > 1 else channel,
+            channels=channels,
+            deadline=deadline,
+            protocol=protocol,
+            batch=batch,
+            window=window,
+            warmup=warmup,
+            producer_base=k * producers,
+            include_samples=True,
+        )
+        proc = ctx.Process(
+            target=_driver_main,
+            args=(child_conn, barrier, kwargs),
+            name=f"repro-loadgen-{k}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        procs.append(proc)
+        conns.append(parent_conn)
+
+    try:
+        # All children are connected and warmed when the barrier trips;
+        # wall-clock starts the instant they are released.
+        barrier.wait(timeout=deadline)
+        wall_start = time.perf_counter()
+        rows = []
+        for k, conn in enumerate(conns):
+            kind, payload = conn.recv()
+            if kind == "error":
+                raise RuntimeError(f"load driver {k} failed: {payload}")
+            rows.append(payload)
+        wall = time.perf_counter() - wall_start
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - wedged child
+                proc.terminate()
+                proc.join(timeout=1.0)
+
+    send_hist, recv_hist = Histogram(), Histogram()
+    for row in rows:
+        for v in row.pop("send_samples", ()):
+            send_hist.observe(v)
+        for v in row.pop("recv_samples", ()):
+            recv_hist.observe(v)
+    total_ops = sum(r["ops_submitted"] for r in rows)
+    merged = {
+        "channel": channel,
+        "channels": channels,
+        "client_procs": client_procs,
+        "capacity": capacity,
+        "producers": sum(r["producers"] for r in rows),
+        "consumers": sum(r["consumers"] for r in rows),
+        "payload_bytes": payload_bytes,
+        "protocol": max(r["protocol"] for r in rows),
+        "batch": any(r["batch"] for r in rows),
+        "window": window,
+        "warmup_ops_per_conn": warmup,
+        "ops_submitted": total_ops,
+        "ops_acked": sum(r["ops_acked"] for r in rows),
+        "ops_completed": sum(r["ops_completed"] for r in rows),
+        "wall_s": round(wall, 6),
+        "throughput_ops_s": round(total_ops / wall, 1) if wall > 0 else float("inf"),
+        "send_p50_us": send_hist.p50,
+        "send_p99_us": send_hist.p99,
+        "recv_p50_us": recv_hist.p50,
+        "recv_p99_us": recv_hist.p99,
+    }
+    return merged

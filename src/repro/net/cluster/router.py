@@ -1,0 +1,169 @@
+"""Cross-worker op routing: shard lookup plus FORWARD relays.
+
+Each worker owns one :class:`ClusterRouter`.  It answers two questions
+— *who owns this channel* (:meth:`ClusterRouter.owner_of`, pure
+:class:`~repro.net.cluster.shardmap.ShardMap` math) and *is it mine*
+(:meth:`ClusterRouter.is_local`) — and carries the mechanics of acting
+on the answer: persistent :class:`~repro.net.client.NetClient`
+connections to every peer worker (lazily opened, deduplicated, rebuilt
+after a peer restart) and :meth:`ClusterRouter.forward`, which relays
+one request frame inside a ``FORWARD`` container and returns the
+owner's *raw* reply frame.
+
+Retry policy is deliberately asymmetric:
+
+* An ``OWNER`` redirect (shard-map disagreement, e.g. mid-resize) is
+  retried against the named worker — the op was *not* executed, so the
+  retry is safe.  One redirect is allowed; a second means the maps are
+  oscillating and the op fails loudly.
+* A connection lost *mid-relay* is **never** retried: a ``SEND`` may
+  have executed on the owner with only its ack lost, and retrying
+  would double-apply it.  The error propagates and the server reports
+  the §4.3 interrupt flavor to the origin client.  The dead client is
+  dropped, so the *next* op lazily reconnects — a restarted worker
+  heals the mesh without coordination.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Optional
+
+from ...errors import ConnectionLostError, RemoteOpError
+from ..client import NetClient, connect
+from ..protocol import PROTOCOL_V2, Frame, OP_OWNER
+from .shardmap import ShardMap
+
+__all__ = ["ClusterRouter"]
+
+
+class ClusterRouter:
+    """One worker's view of the cluster: shard map + peer connections."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        shard_map: ShardMap,
+        peers: Optional[dict[int, tuple[str, int]]] = None,
+        *,
+        deadline: Optional[float] = None,
+        batch: bool = True,
+    ):
+        self.worker_id = worker_id
+        self.shard_map = shard_map
+        #: worker id -> (host, direct port); excludes (or ignores) self.
+        self._peers: dict[int, tuple[str, int]] = dict(peers or {})
+        self.deadline = deadline
+        self.batch = batch
+        self._clients: dict[int, NetClient] = {}
+        self._connecting: dict[int, asyncio.Task] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # shard math
+
+    def owner_of(self, name: str) -> int:
+        return self.shard_map.owner_of(name)
+
+    def is_local(self, name: str) -> bool:
+        return self.shard_map.owner_of(name) == self.worker_id
+
+    # ------------------------------------------------------------------
+    # peer table
+
+    def set_peers(self, peers: dict[int, tuple[str, int]]) -> None:
+        """Install a new peer table (supervisor restart broadcast).
+
+        Existing connections to workers whose address changed are
+        dropped so the next forward reconnects to the new incarnation.
+        """
+
+        stale = [
+            worker
+            for worker, client in self._clients.items()
+            if peers.get(worker) != self._peers.get(worker)
+        ]
+        self._peers = dict(peers)
+        for worker in stale:
+            client = self._clients.pop(worker, None)
+            if client is not None:
+                asyncio.get_running_loop().create_task(client.close())
+
+    # ------------------------------------------------------------------
+    # relaying
+
+    async def forward(self, frame: Frame, *, timeout: Optional[float] = None) -> Frame:
+        """Relay ``frame`` to the owning worker; the raw reply frame.
+
+        ``frame`` is the original request (op, req_id, payload) as
+        decoded from the origin client; its req_id is only meaningful
+        to the caller — the relay connection correlates on its own ids.
+        """
+
+        name = (frame.payload or {}).get("channel", "")
+        target = self.shard_map.owner_of(name)
+        reply: Optional[Frame] = None
+        for redirects in range(2):
+            client = await self._client_for(target)
+            try:
+                reply = await client.forward(frame, timeout=timeout or self.deadline)
+            except ConnectionLostError:
+                # Mid-relay loss: never retried (the op may have run).
+                self._drop_client(target, client)
+                raise
+            if reply.op != OP_OWNER:
+                return reply
+            # Shard-map disagreement: the peer told us who really owns
+            # the channel.  The op did not execute — retry once there.
+            target = int(reply.payload.get("worker", target))
+        raise RemoteOpError(
+            f"workers disagree about the owner of channel {name!r} "
+            f"(last redirect pointed at worker {target})"
+        )
+
+    async def _client_for(self, worker: int) -> NetClient:
+        client = self._clients.get(worker)
+        if client is not None and client.connected:
+            return client
+        pending = self._connecting.get(worker)
+        if pending is None:
+            pending = asyncio.get_running_loop().create_task(self._connect(worker))
+            self._connecting[worker] = pending
+            pending.add_done_callback(
+                lambda _t, w=worker: self._connecting.pop(w, None)
+            )
+        # Shield: cancelling one forwarded op must not kill the connect
+        # other forwards are waiting on.
+        return await asyncio.shield(pending)
+
+    async def _connect(self, worker: int) -> NetClient:
+        addr = self._peers.get(worker)
+        if addr is None:
+            raise ConnectionLostError(f"no known address for worker {worker}")
+        host, port = addr
+        client = await connect(
+            host, port, protocol=PROTOCOL_V2, batch=self.batch, deadline=self.deadline
+        )
+        old = self._clients.get(worker)
+        self._clients[worker] = client
+        if old is not None and old is not client:
+            with contextlib.suppress(Exception):
+                await old.close()
+        return client
+
+    def _drop_client(self, worker: int, client: NetClient) -> None:
+        if self._clients.get(worker) is client:
+            self._clients.pop(worker, None)
+
+    async def close(self) -> None:
+        self._closed = True
+        for task in list(self._connecting.values()):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+        self._connecting.clear()
+        clients, self._clients = list(self._clients.values()), {}
+        for client in clients:
+            with contextlib.suppress(Exception):
+                await client.close()

@@ -1,0 +1,279 @@
+"""In-process cluster: N full ChannelServers behind one shared port.
+
+The cluster's public face is one TCP port that every worker listens on
+via ``SO_REUSEPORT`` — the kernel load-balances incoming connections
+across the workers' accept queues, so clients need no placement logic.
+Each worker additionally listens on a private *direct* port, which is
+what peers dial for FORWARD relays (and what tests use to pin a
+connection to a specific worker).
+
+This module runs every worker inside the *calling* process's event
+loop.  That is the semantic core of the cluster — sharded ownership,
+FORWARD/OWNER relaying, registry views — with none of the process
+machinery, which makes it the substrate for the test suite and for
+:mod:`repro.net.cluster.supervisor`, whose child processes each run
+exactly one of these workers on their own loop.  ``SO_REUSEPORT``
+behaves identically in both arrangements.
+
+Startup order matters: every socket is *bound* (fixing all ports)
+before any worker starts accepting, and each worker's
+:class:`~repro.net.cluster.router.ClusterRouter` is installed before
+its listener goes live — so there is no window where a connection can
+reach a worker that cannot yet forward.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Iterator, Optional
+
+from ..protocol import MAX_FRAME_BYTES, PROTOCOL_V2
+from ..registry import DEFAULT_SHARDS, ChannelRegistry
+from ..server import (
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_MAX_INFLIGHT_BYTES,
+    ChannelServer,
+)
+from .router import ClusterRouter
+from .shardmap import DEFAULT_REPLICAS, ShardMap
+
+__all__ = ["ClusterServer", "serve_cluster"]
+
+
+def _reuseport_sockets(host: str, port: int, count: int, *,
+                       reuseport: Optional[bool] = None) -> list[socket.socket]:
+    """Bind ``count`` listening-ready sockets on one ``(host, port)``.
+
+    ``port=0`` resolves once (the first bind) and the rest share the
+    ephemeral port via ``SO_REUSEPORT``.  Sockets are bound but not yet
+    listening — callers hand them to ``asyncio.start_server(sock=...)``.
+    """
+
+    if reuseport is None:
+        reuseport = count > 1
+    if reuseport and not hasattr(socket, "SO_REUSEPORT"):
+        raise OSError(
+            "SO_REUSEPORT is not available on this platform; "
+            "a multi-worker cluster needs kernel accept balancing"
+        )
+    socks: list[socket.socket] = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if reuseport:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((host, port))
+            sock.setblocking(False)
+            if port == 0:
+                port = sock.getsockname()[1]
+            socks.append(sock)
+    except BaseException:
+        for sock in socks:
+            sock.close()
+        raise
+    return socks
+
+
+def _peer_host(host: str) -> str:
+    """The address peers dial: wildcard binds loop back to localhost."""
+
+    return "127.0.0.1" if host in ("", "0.0.0.0", "::") else host
+
+
+class ClusterRegistryView:
+    """Routes :class:`ChannelRegistry` reads across worker registries.
+
+    Tests (and diagnostics) written against ``server.registry`` keep
+    working against a cluster: lookups follow the shard map to the
+    owning worker's registry, aggregates sum over all of them.
+    """
+
+    def __init__(self, cluster: "ClusterServer"):
+        self._cluster = cluster
+
+    def _owning(self, name: str):
+        owner = self._cluster.shard_map.owner_of(name)
+        return self._cluster.workers[owner].registry
+
+    def open(self, name: str, capacity: int = 0, overflow: str = "suspend"):
+        return self._owning(name).open(name, capacity, overflow)
+
+    def get(self, name: str):
+        return self._owning(name).get(name)
+
+    def remove(self, name: str) -> bool:
+        return self._owning(name).remove(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._owning(name)
+
+    def __len__(self) -> int:
+        return sum(len(w.registry) for w in self._cluster.workers)
+
+    def entries(self) -> Iterator:
+        for worker in self._cluster.workers:
+            yield from worker.registry.entries()
+
+    def collect_idle(self, *, full: bool = False) -> list[str]:
+        collected: list[str] = []
+        for worker in self._cluster.workers:
+            collected.extend(worker.registry.collect_idle(full=full))
+        return collected
+
+    def snapshot(self) -> dict[str, Any]:
+        parts = [w.registry.snapshot() for w in self._cluster.workers]
+        return {
+            "channels": sum(p["channels"] for p in parts),
+            "shards": sum(p["shards"] for p in parts),
+            "total_opened": sum(p["total_opened"] for p in parts),
+            "total_collected": sum(p["total_collected"] for p in parts),
+            "entries": sorted(
+                (e for p in parts for e in p["entries"]), key=lambda r: r["name"]
+            ),
+        }
+
+
+class ClusterServer:
+    """N sharded :class:`ChannelServer` workers behind one public port."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        obs: Any = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_inflight_bytes: int = DEFAULT_MAX_INFLIGHT_BYTES,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        protocol: int = PROTOCOL_V2,
+        gc_interval: Optional[float] = None,
+        idle_seconds: float = 300.0,
+        shards: int = DEFAULT_SHARDS,
+        replicas: int = DEFAULT_REPLICAS,
+    ):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.n_workers = workers
+        self.shard_map = ShardMap(workers, replicas=replicas)
+        self.obs = obs
+        self.metrics = getattr(obs, "metrics", obs)
+        self._opts = dict(
+            obs=obs,
+            max_inflight=max_inflight,
+            max_inflight_bytes=max_inflight_bytes,
+            max_frame_bytes=max_frame_bytes,
+            protocol=protocol,
+            gc_interval=gc_interval,
+        )
+        self._idle_seconds = idle_seconds
+        self._shards = shards
+        self.workers: list[ChannelServer] = []
+        self.routers: list[ClusterRouter] = []
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        #: Per-worker direct (peer/debug) ports, index-aligned.
+        self.worker_ports: list[int] = []
+        self.registry = ClusterRegistryView(self)
+
+    # ------------------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> "ClusterServer":
+        n = self.n_workers
+        public = _reuseport_sockets(host, port, n)
+        direct = [_reuseport_sockets(host, 0, 1, reuseport=False)[0] for _ in range(n)]
+        self.host, self.port = public[0].getsockname()[:2]
+        self.worker_ports = [s.getsockname()[1] for s in direct]
+        peer_host = _peer_host(host)
+        peers = {i: (peer_host, p) for i, p in enumerate(self.worker_ports)}
+        for i in range(n):
+            registry = ChannelRegistry(
+                self._shards, idle_seconds=self._idle_seconds, metrics=self.metrics
+            )
+            router = ClusterRouter(i, self.shard_map, peers)
+            server = ChannelServer(
+                registry, router=router, worker_id=i, **self._opts
+            )
+            self.routers.append(router)
+            self.workers.append(server)
+        # Routers exist for every worker before any listener goes live.
+        for i, server in enumerate(self.workers):
+            await server.start(socks=[public[i], direct[i]])
+        return self
+
+    async def serve_forever(self) -> None:
+        await asyncio.gather(*(w.serve_forever() for w in self.workers))
+
+    async def shutdown(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut every worker down, then dismantle the relay mesh.
+
+        Workers first: a draining worker's parked relays may still need
+        their peer connections (to deliver CANCEL_OP interrupts), so
+        routers close only after every worker has quiesced.
+        """
+
+        for worker in self.workers:
+            await worker.shutdown(drain=drain, timeout=timeout)
+        for router in self.routers:
+            await router.close()
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> list[dict[str, Any]]:
+        """One row per worker: ops served, relays, live channels."""
+
+        return [
+            {
+                "worker": i,
+                "port": self.worker_ports[i] if i < len(self.worker_ports) else None,
+                "ops": w.ops_served,
+                "forwards_out": w.forwards_out,
+                "forwards_in": w.forwards_in,
+                "channels": len(w.registry),
+            }
+            for i, w in enumerate(self.workers)
+        ]
+
+
+async def serve_cluster(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    workers: int = 2,
+    registry: Optional[ChannelRegistry] = None,
+    obs: Any = None,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    max_inflight_bytes: int = DEFAULT_MAX_INFLIGHT_BYTES,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+    protocol: int = PROTOCOL_V2,
+    gc_interval: Optional[float] = None,
+    idle_seconds: float = 300.0,
+    shards: int = DEFAULT_SHARDS,
+    replicas: int = DEFAULT_REPLICAS,
+) -> ClusterServer:
+    """Start an in-process cluster; drop-in for :func:`repro.net.serve`.
+
+    Accepts the full ``serve()`` keyword surface so callers (and test
+    fixtures) can substitute it blindly — except ``registry``, which is
+    rejected: cluster workers each own a registry, sharded by name; use
+    ``server.registry`` (a routing view) to inspect them.
+    """
+
+    if registry is not None:
+        raise ValueError(
+            "serve_cluster builds one registry per worker; "
+            "inspect them through server.registry instead"
+        )
+    server = ClusterServer(
+        workers,
+        obs=obs,
+        max_inflight=max_inflight,
+        max_inflight_bytes=max_inflight_bytes,
+        max_frame_bytes=max_frame_bytes,
+        protocol=protocol,
+        gc_interval=gc_interval,
+        idle_seconds=idle_seconds,
+        shards=shards,
+        replicas=replicas,
+    )
+    return await server.start(host, port)

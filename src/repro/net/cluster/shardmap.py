@@ -1,0 +1,72 @@
+"""Consistent-hash shard map: channel name -> owning worker.
+
+Every worker (and the loadgen driver, and any diagnostic tool) must
+compute the *same* owner for the same channel name, across processes
+and Python invocations — so the hash is ``zlib.crc32`` (stable, no
+``PYTHONHASHSEED`` dependence; the same function the registry uses for
+its internal shards) over a classic consistent-hash ring with virtual
+nodes.
+
+Virtual nodes smooth the load split: with ``replicas=64`` points per
+worker the max/min channel-count imbalance across workers stays within
+a few percent for realistic channel counts.  Consistency matters for
+the supervisor's restart path: a ring built from the same ``(worker
+count, replicas)`` is byte-identical, so a restarted worker rejoins
+owning exactly the shards its predecessor owned.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+
+__all__ = ["ShardMap", "DEFAULT_REPLICAS"]
+
+#: Virtual nodes per worker on the hash ring.
+DEFAULT_REPLICAS = 64
+
+
+class ShardMap:
+    """Immutable mapping of channel names onto ``workers`` ring slots."""
+
+    __slots__ = ("workers", "replicas", "_ring", "_owners")
+
+    def __init__(self, workers: int, *, replicas: int = DEFAULT_REPLICAS):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        if replicas < 1:
+            raise ValueError(f"need at least one replica, got {replicas}")
+        self.workers = workers
+        self.replicas = replicas
+        points: list[tuple[int, int]] = []
+        for worker in range(workers):
+            for replica in range(replicas):
+                point = zlib.crc32(f"worker-{worker}-vnode-{replica}".encode("ascii"))
+                points.append((point, worker))
+        points.sort()
+        self._ring = [p for p, _ in points]
+        self._owners = [w for _, w in points]
+
+    def owner_of(self, name: str) -> int:
+        """The worker index owning channel ``name`` (total function)."""
+
+        if self.workers == 1:
+            return 0
+        point = zlib.crc32(name.encode("utf-8"))
+        idx = bisect.bisect_right(self._ring, point)
+        if idx == len(self._ring):  # wrap around the ring
+            idx = 0
+        return self._owners[idx]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ShardMap)
+            and other.workers == self.workers
+            and other.replicas == self.replicas
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.workers, self.replicas))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardMap(workers={self.workers}, replicas={self.replicas})"

@@ -1,0 +1,391 @@
+"""Process supervisor: one worker process per core, restarted on death.
+
+The supervisor owns the cluster's *public port* — it binds a
+placeholder ``SO_REUSEPORT`` socket that never listens, which reserves
+the port (and the reuseport group) even while every worker is dead —
+then spawns one child process per worker.  Each child runs exactly one
+event loop with one :class:`~repro.net.server.ChannelServer` (public
+``SO_REUSEPORT`` socket + private direct socket) — the same worker the
+in-process :class:`~repro.net.cluster.server.ClusterServer` builds,
+just with the GIL out of the picture.
+
+Control protocol (one :func:`multiprocessing.Pipe` per worker, tuples
+of ``(kind, worker_id, payload)`` from the child / ``(kind, payload)``
+from the supervisor):
+
+1. child binds its sockets → ``("ready", id, direct_port)``
+2. supervisor collects every direct port → ``("peers", {id: port})``
+3. child builds its router, starts serving → ``("serving", id, port)``
+4. steady state: ``("stats", None)`` ⇄ ``("stats", id, {...})``;
+   ``("peers", table)`` re-broadcasts after a restart;
+   ``("stop", None)`` → graceful drain → ``("stopped", id, None)``
+
+Health checking is :meth:`ClusterSupervisor.poll`: a dead worker is
+respawned with the *same* worker id — the shard map depends only on
+``(worker count, replicas)``, so the replacement owns exactly the dead
+worker's shards — and the new direct port is re-broadcast; peers drop
+their stale relay connections and reconnect lazily.  Channel *state*
+on the dead worker is lost (channels are in-memory); in-flight ops
+against it surface the §4.3 interrupt flavor, exactly like a server
+restart in the single-worker world.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import multiprocessing as mp
+import socket
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..protocol import MAX_FRAME_BYTES, PROTOCOL_V2
+from ..registry import DEFAULT_SHARDS, ChannelRegistry
+from ..server import (
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_MAX_INFLIGHT_BYTES,
+    ChannelServer,
+)
+from .router import ClusterRouter
+from .server import _peer_host, _reuseport_sockets
+from .shardmap import DEFAULT_REPLICAS, ShardMap
+
+__all__ = ["WorkerSpec", "ClusterSupervisor", "supervisor_main"]
+
+
+def _mp_context():
+    """Prefer fork (fast, inherits nothing we rely on); spawn-safe too."""
+
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker process needs to build itself (picklable)."""
+
+    worker_id: int
+    workers: int
+    host: str
+    port: int  # resolved public port (the supervisor's placeholder fixed it)
+    replicas: int = DEFAULT_REPLICAS
+    shards: int = DEFAULT_SHARDS
+    idle_seconds: float = 300.0
+    gc_interval: Optional[float] = None
+    protocol: int = PROTOCOL_V2
+    max_inflight: int = DEFAULT_MAX_INFLIGHT
+    max_inflight_bytes: int = DEFAULT_MAX_INFLIGHT_BYTES
+    max_frame_bytes: int = MAX_FRAME_BYTES
+
+
+def _worker_main(spec: WorkerSpec, conn) -> None:
+    """Child-process entry point (module-level: spawn-picklable)."""
+
+    try:
+        asyncio.run(_worker_async(spec, conn))
+    except KeyboardInterrupt:  # pragma: no cover - ^C races the parent's stop
+        pass
+
+
+async def _worker_async(spec: WorkerSpec, conn) -> None:
+    loop = asyncio.get_running_loop()
+    # Public socket joins the supervisor's reuseport group; the direct
+    # socket is this worker's private address for peer relays.
+    public = _reuseport_sockets(spec.host, spec.port, 1, reuseport=True)[0]
+    direct = _reuseport_sockets(spec.host, 0, 1, reuseport=False)[0]
+    direct_port = direct.getsockname()[1]
+    conn.send(("ready", spec.worker_id, direct_port))
+    kind, table = await loop.run_in_executor(None, conn.recv)
+    assert kind == "peers", f"expected the peer table, got {kind!r}"
+    peer_host = _peer_host(spec.host)
+    router = ClusterRouter(
+        spec.worker_id,
+        ShardMap(spec.workers, replicas=spec.replicas),
+        {int(w): (peer_host, int(p)) for w, p in table.items()},
+    )
+    registry = ChannelRegistry(spec.shards, idle_seconds=spec.idle_seconds)
+    server = ChannelServer(
+        registry,
+        router=router,
+        worker_id=spec.worker_id,
+        max_inflight=spec.max_inflight,
+        max_inflight_bytes=spec.max_inflight_bytes,
+        max_frame_bytes=spec.max_frame_bytes,
+        protocol=spec.protocol,
+        gc_interval=spec.gc_interval,
+    )
+    await server.start(socks=[public, direct])
+    conn.send(("serving", spec.worker_id, direct_port))
+    try:
+        while True:
+            try:
+                msg = await loop.run_in_executor(None, conn.recv)
+            except (EOFError, OSError):
+                break  # supervisor died: drain and exit
+            kind = msg[0]
+            if kind == "stop":
+                break
+            if kind == "peers":
+                router.set_peers(
+                    {int(w): (peer_host, int(p)) for w, p in msg[1].items()}
+                )
+            elif kind == "stats":
+                conn.send(
+                    (
+                        "stats",
+                        spec.worker_id,
+                        {
+                            "worker": spec.worker_id,
+                            "port": direct_port,
+                            "ops": server.ops_served,
+                            "forwards_out": server.forwards_out,
+                            "forwards_in": server.forwards_in,
+                            "channels": len(registry),
+                        },
+                    )
+                )
+    finally:
+        await server.shutdown(drain=True, timeout=5.0)
+        await router.close()
+        with contextlib.suppress(Exception):
+            conn.send(("stopped", spec.worker_id, None))
+
+
+class ClusterSupervisor:
+    """Spawn, health-check, and restart a cluster of worker processes."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replicas: int = DEFAULT_REPLICAS,
+        shards: int = DEFAULT_SHARDS,
+        idle_seconds: float = 300.0,
+        gc_interval: Optional[float] = None,
+        protocol: int = PROTOCOL_V2,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_inflight_bytes: int = DEFAULT_MAX_INFLIGHT_BYTES,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        start_timeout: float = 30.0,
+    ):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = workers
+        self.host = host
+        self._requested_port = port
+        self.port: Optional[int] = None
+        self._spec_kwargs = dict(
+            workers=workers,
+            host=host,
+            replicas=replicas,
+            shards=shards,
+            idle_seconds=idle_seconds,
+            gc_interval=gc_interval,
+            protocol=protocol,
+            max_inflight=max_inflight,
+            max_inflight_bytes=max_inflight_bytes,
+            max_frame_bytes=max_frame_bytes,
+        )
+        self.start_timeout = start_timeout
+        self._ctx = _mp_context()
+        self._placeholder: Optional[socket.socket] = None
+        self._procs: dict[int, Any] = {}
+        self._conns: dict[int, Any] = {}
+        #: worker id -> direct port (refreshed on restart).
+        self.worker_ports: dict[int, int] = {}
+        self.restarts = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> "ClusterSupervisor":
+        """Reserve the public port, spawn every worker, mesh them up."""
+
+        if not hasattr(socket, "SO_REUSEPORT"):
+            raise OSError(
+                "SO_REUSEPORT is not available on this platform; "
+                "a multi-worker cluster needs kernel accept balancing"
+            )
+        placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        placeholder.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        placeholder.bind((self.host, self._requested_port))
+        # Bound but never listening: reserves the port without ever
+        # being handed a connection, even with zero live workers.
+        self._placeholder = placeholder
+        self.port = placeholder.getsockname()[1]
+        for worker_id in range(self.workers):
+            self._spawn(worker_id)
+        for worker_id in range(self.workers):
+            self._await_msg(worker_id, "ready")
+        self._broadcast_peers()
+        for worker_id in range(self.workers):
+            self._await_msg(worker_id, "serving")
+        return self
+
+    def _spawn(self, worker_id: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        spec = WorkerSpec(worker_id=worker_id, port=self.port, **self._spec_kwargs)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(spec, child_conn),
+            name=f"repro-net-worker-{worker_id}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._procs[worker_id] = proc
+        self._conns[worker_id] = parent_conn
+
+    def _await_msg(self, worker_id: int, kind: str, timeout: Optional[float] = None):
+        """Wait for one ``kind`` message from a worker (records ports)."""
+
+        conn = self._conns[worker_id]
+        proc = self._procs[worker_id]
+        deadline = time.monotonic() + (timeout if timeout is not None else self.start_timeout)
+        while True:
+            if conn.poll(0.05):
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    raise RuntimeError(f"worker {worker_id} died during startup")
+                if msg[0] == "ready" or msg[0] == "serving":
+                    self.worker_ports[msg[1]] = msg[2]
+                if msg[0] == kind:
+                    return msg
+                continue
+            if not proc.is_alive():
+                raise RuntimeError(
+                    f"worker {worker_id} exited (code {proc.exitcode}) "
+                    f"before sending {kind!r}"
+                )
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"worker {worker_id} never sent {kind!r}")
+
+    def _broadcast_peers(self) -> None:
+        table = dict(self.worker_ports)
+        for conn in self._conns.values():
+            with contextlib.suppress(OSError, BrokenPipeError):
+                conn.send(("peers", table))
+
+    # ------------------------------------------------------------------
+    # health
+
+    def poll(self) -> list[int]:
+        """Respawn dead workers; returns the ids that were restarted."""
+
+        if self._stopped:
+            return []
+        restarted = []
+        for worker_id, proc in list(self._procs.items()):
+            if proc.is_alive():
+                continue
+            with contextlib.suppress(Exception):
+                self._conns[worker_id].close()
+            proc.join(timeout=1.0)
+            self._spawn(worker_id)
+            self._await_msg(worker_id, "ready")
+            restarted.append(worker_id)
+            self.restarts += 1
+        if restarted:
+            # New direct ports: every worker (old and new) gets the
+            # fresh table; routers drop stale relay connections.
+            self._broadcast_peers()
+            for worker_id in restarted:
+                self._await_msg(worker_id, "serving")
+        return restarted
+
+    def run_forever(self, poll_interval: float = 1.0) -> None:
+        while not self._stopped:
+            self.poll()
+            time.sleep(poll_interval)
+
+    # ------------------------------------------------------------------
+    # introspection / teardown
+
+    def stats(self, timeout: float = 5.0) -> list[dict[str, Any]]:
+        """One row per live worker (dead workers are skipped)."""
+
+        rows = []
+        for worker_id, conn in sorted(self._conns.items()):
+            if not self._procs[worker_id].is_alive():
+                continue
+            with contextlib.suppress(OSError, BrokenPipeError):
+                conn.send(("stats", None))
+                deadline = time.monotonic() + timeout
+                while time.monotonic() < deadline:
+                    if conn.poll(0.05):
+                        msg = conn.recv()
+                        if msg[0] == "stats":
+                            rows.append(msg[2])
+                            break
+        return rows
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful stop: every worker drains, stragglers are killed."""
+
+        if self._stopped:
+            return
+        self._stopped = True
+        for conn in self._conns.values():
+            with contextlib.suppress(OSError, BrokenPipeError):
+                conn.send(("stop", None))
+        deadline = time.monotonic() + timeout
+        for proc in self._procs.values():
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+        for proc in self._procs.values():
+            if proc.is_alive():  # pragma: no cover - drain overran the timeout
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns.values():
+            with contextlib.suppress(Exception):
+                conn.close()
+        if self._placeholder is not None:
+            self._placeholder.close()
+            self._placeholder = None
+
+
+def supervisor_main(args: argparse.Namespace) -> int:
+    """``python -m repro.net --workers N`` lands here for ``N > 1``.
+
+    Stdout stays machine-parseable: first line is the public port
+    (compatible with the single-worker contract), then one ``worker
+    <id> <direct port>`` line per worker.
+    """
+
+    sup = ClusterSupervisor(
+        args.workers,
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        idle_seconds=args.idle_seconds,
+        gc_interval=args.gc_interval or None,
+        protocol=args.protocol,
+        max_inflight=args.max_inflight,
+        max_inflight_bytes=args.max_inflight_bytes,
+        max_frame_bytes=int(args.max_frame_mib * 1024 * 1024),
+    )
+    sup.start()
+    print(sup.port, flush=True)
+    for worker_id in sorted(sup.worker_ports):
+        print(f"worker {worker_id} {sup.worker_ports[worker_id]}", flush=True)
+    print(
+        f"repro.net: cluster of {args.workers} workers "
+        f"(protocol v{args.protocol}) on {args.host}:{sup.port}",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        sup.run_forever()
+    except KeyboardInterrupt:
+        print("repro.net: interrupted, shut down", file=sys.stderr)
+    finally:
+        sup.stop()
+    return 0

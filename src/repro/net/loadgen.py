@@ -63,12 +63,16 @@ async def run_load(
     capacity: int = 64,
     payload_bytes: int = 64,
     channel: str = "bench",
+    channels: int = 1,
     deadline: Optional[float] = 30.0,
     protocol: int = PROTOCOL_V2,
     batch: bool = True,
     window: int = 16,
     warmup: int = 16,
     metrics: Optional[MetricsRegistry] = None,
+    producer_base: int = 0,
+    start_gate=None,
+    include_samples: bool = False,
 ) -> dict[str, Any]:
     """Run the N-producer/M-consumer workload; returns the report row.
 
@@ -78,10 +82,24 @@ async def run_load(
     connection's in-flight ops; ``warmup`` no-op round trips run per
     connection before the measured window.  Latency histograms land in
     ``metrics`` under ``net_op_latency_us{op=send|receive}``.
+
+    Cluster-aware knobs: ``channels > 1`` spreads the workload over
+    ``{channel}.{k}`` names (producer/consumer ``i`` drives channel ``i
+    % channels``), so a sharded server spreads the load over workers
+    instead of serializing everything on one owner.  ``producer_base``
+    offsets producer ids so multi-process drivers keep ``(producer,
+    seq)`` tags globally unique; ``start_gate`` (a blocking callable,
+    e.g. ``multiprocessing.Barrier.wait``) runs between connection
+    setup and the measured window so process spawn/warmup cost never
+    lands inside the clock; ``include_samples`` attaches the raw
+    latency samples to the row for exact cross-process percentile
+    merges.
     """
 
-    if producers < 1 or consumers < 1:
-        raise ValueError("need at least one producer and one consumer")
+    if channels < 1:
+        raise ValueError("channels must be positive")
+    if producers < channels or consumers < channels:
+        raise ValueError("need at least one producer and one consumer per channel")
     if ops < 1:
         raise ValueError("ops must be positive")
     if window < 1:
@@ -94,13 +112,17 @@ async def run_load(
     for i in range(ops % producers):
         per_producer[i] += 1
 
+    names = [channel] if channels == 1 else [f"{channel}.{k}" for k in range(channels)]
+    #: Producers still sending per channel; the last one out closes it.
+    producers_left = [sum(1 for i in range(producers) if i % channels == k)
+                      for k in range(channels)]
+
     received: set[tuple[int, int]] = set()
     sent_acked = 0
-    producers_done = 0
     negotiated = 0
     warmup_channel = f"{channel}.warmup"
 
-    async def setup():
+    async def setup(name: str):
         """Connect, open both channels, and run the warmup round trips.
 
         Everything here happens before the measured window: TCP setup,
@@ -115,15 +137,17 @@ async def run_load(
         # whole-workload watchdog below instead.
         client = await connect(host, port, deadline=None, protocol=protocol, batch=batch)
         negotiated = max(negotiated, client.version)
-        ch = await client.channel(channel, capacity=capacity)
+        ch = await client.channel(name, capacity=capacity)
         warm = await client.channel(warmup_channel, capacity=1)
         for _ in range(warmup):
             await warm.try_receive()
         return client, ch
 
-    async def producer(pid: int, count: int, conn) -> None:
-        nonlocal sent_acked, producers_done
+    async def producer(idx: int, count: int, conn) -> None:
+        nonlocal sent_acked
         client, ch = conn
+        pid = producer_base + idx
+        chan_idx = idx % channels
 
         async def worker(lo: int, hi: int) -> None:
             nonlocal sent_acked
@@ -142,8 +166,8 @@ async def run_load(
             await asyncio.gather(
                 *(worker(bounds[i], bounds[i + 1]) for i in range(lanes))
             )
-            producers_done += 1
-            if producers_done == producers:
+            producers_left[chan_idx] -= 1
+            if producers_left[chan_idx] == 0:
                 # Last producer out closes the channel: consumers see the
                 # close only after every buffered element drains.
                 await ch.close()
@@ -169,7 +193,16 @@ async def run_load(
 
     # Warm every connection before the clock starts: the measured window
     # contains steady-state channel ops only.
-    conns = await asyncio.gather(*(setup() for _ in range(producers + consumers)))
+    conns = await asyncio.gather(
+        *(setup(names[i % channels]) for i in range(producers)),
+        *(setup(names[i % channels]) for i in range(consumers)),
+    )
+
+    if start_gate is not None:
+        # Rendezvous with sibling driver processes (and the parent's
+        # clock) only after every connection is warmed: process spawn
+        # and TCP setup stay out of the measured window.
+        await asyncio.get_running_loop().run_in_executor(None, start_gate)
 
     wall_start = time.perf_counter()
     work = asyncio.gather(
@@ -184,8 +217,9 @@ async def run_load(
         await asyncio.wait_for(work, timeout=deadline)
     wall = time.perf_counter() - wall_start
 
-    return {
+    row = {
         "channel": channel,
+        "channels": channels,
         "capacity": capacity,
         "producers": producers,
         "consumers": consumers,
@@ -204,6 +238,10 @@ async def run_load(
         "recv_p50_us": recv_hist.p50,
         "recv_p99_us": recv_hist.p99,
     }
+    if include_samples:
+        row["send_samples"] = list(send_hist.samples)
+        row["recv_samples"] = list(recv_hist.samples)
+    return row
 
 
 def format_report(row: dict[str, Any]) -> str:

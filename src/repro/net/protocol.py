@@ -52,6 +52,13 @@ op              value  payload
 ``SEND_B``      14     binary: ``u16 name_len | name utf-8 | element bytes``
 ``RECEIVE_B``   15     binary: ``u16 name_len | name utf-8``
 ``OK_B``        16     binary: empty (a send ack) or ``0x01 | value bytes``
+``FORWARD``     17     binary: exactly one complete inner request frame —
+                       a cluster worker relaying an op to the worker that
+                       owns the target channel; the owner answers with the
+                       normal response ops under the FORWARD's request id
+``OWNER``       18     ``{"channel": str}`` as a request (ownership query);
+                       ``{"channel": str, "worker": int}`` as a response to
+                       a FORWARD that landed on a non-owning worker
 ==============  =====  ======================================================
 
 Version negotiation: a v2 client's first frame is ``HELLO`` listing the
@@ -98,6 +105,8 @@ __all__ = [
     "OP_SEND_B",
     "OP_RECEIVE_B",
     "OP_OK_B",
+    "OP_FORWARD",
+    "OP_OWNER",
     "OP_NAMES",
     "REQUEST_OPS",
     "RESPONSE_OPS",
@@ -134,6 +143,8 @@ OP_BATCH = 13
 OP_SEND_B = 14
 OP_RECEIVE_B = 15
 OP_OK_B = 16
+OP_FORWARD = 17
+OP_OWNER = 18
 
 OP_NAMES = {
     OP_OPEN: "OPEN",
@@ -152,6 +163,8 @@ OP_NAMES = {
     OP_SEND_B: "SEND_B",
     OP_RECEIVE_B: "RECEIVE_B",
     OP_OK_B: "OK_B",
+    OP_FORWARD: "FORWARD",
+    OP_OWNER: "OWNER",
 }
 
 REQUEST_OPS = frozenset(
@@ -167,12 +180,16 @@ REQUEST_OPS = frozenset(
         OP_HELLO,
         OP_SEND_B,
         OP_RECEIVE_B,
+        OP_FORWARD,
+        OP_OWNER,
     )
 )
-RESPONSE_OPS = frozenset((OP_OK, OP_CLOSED, OP_ERROR, OP_OK_B))
+#: OWNER doubles as the "you are holding the wrong worker" response to a
+#: misdelivered FORWARD, so it lives in both sets.
+RESPONSE_OPS = frozenset((OP_OK, OP_CLOSED, OP_ERROR, OP_OK_B, OP_OWNER))
 
 #: Ops whose payload is struct-packed rather than JSON.
-BINARY_OPS = frozenset((OP_BATCH, OP_SEND_B, OP_RECEIVE_B, OP_OK_B))
+BINARY_OPS = frozenset((OP_BATCH, OP_SEND_B, OP_RECEIVE_B, OP_OK_B, OP_FORWARD))
 #: Ops whose payload is a UTF-8 JSON object.
 JSON_OPS = frozenset(OP_NAMES) - BINARY_OPS
 
@@ -296,10 +313,43 @@ def encode_frame_into(buf: bytearray, op: int, req_id: int, payload: Optional[di
             else:  # pre-encoded bytes
                 body.extend(sub)
         return _append_frame(buf, op, req_id, body, max_frame_bytes)
+    if op == OP_FORWARD:
+        inner = (payload or {}).get("frame")
+        body = bytearray()
+        if isinstance(inner, Frame):
+            _encode_inner_frame(body, inner, max_frame_bytes)
+        elif isinstance(inner, _BYTES_TYPES):  # pre-encoded bytes
+            body.extend(inner)
+        else:
+            raise ProtocolError("FORWARD carries exactly one inner frame")
+        return _append_frame(buf, op, req_id, body, max_frame_bytes)
     body = b""
     if payload:
         body = json.dumps(_wire_json_payload(payload), separators=(",", ":")).encode("utf-8")
     return _append_frame(buf, op, req_id, body, max_frame_bytes)
+
+
+def _encode_inner_frame(buf: bytearray, frame: Frame, max_frame_bytes: int) -> int:
+    """Encode a FORWARD's inner frame, preferring the binary shapes.
+
+    A relaying worker may hold a JSON-lane SEND/RECEIVE from a v1
+    client; re-encoding it as SEND_B/RECEIVE_B keeps the inter-worker
+    hop on the cheap lane without changing semantics.
+    """
+
+    op, payload = frame.op, frame.payload
+    if op == OP_SEND and payload and isinstance(payload.get("value"), _BYTES_TYPES) \
+            and set(payload) == {"channel", "value"}:
+        return encode_send_b_into(
+            buf, frame.req_id, str(payload["channel"]).encode("utf-8"),
+            payload["value"], max_frame_bytes=max_frame_bytes,
+        )
+    if op == OP_RECEIVE and payload and set(payload) == {"channel"}:
+        return encode_receive_b_into(
+            buf, frame.req_id, str(payload["channel"]).encode("utf-8")
+        )
+    return encode_frame_into(buf, op, frame.req_id, payload,
+                             max_frame_bytes=max_frame_bytes)
 
 
 def _append_frame(buf: bytearray, op: int, req_id: int, body, max_frame_bytes: int) -> int:
@@ -419,7 +469,7 @@ def _release_buf(buf: bytearray) -> None:
 
 
 def _parse_payload(op: int, view: bytes, in_batch: bool,
-                   max_frame_bytes: int) -> dict:
+                   max_frame_bytes: int, in_forward: bool = False) -> dict:
     """Decode one frame body (header already consumed) into a payload dict."""
 
     if op == OP_SEND_B:
@@ -446,6 +496,8 @@ def _parse_payload(op: int, view: bytes, in_batch: bool,
     if op == OP_BATCH:
         if in_batch:
             raise ProtocolError("nested BATCH frames are not allowed")
+        if in_forward:
+            raise ProtocolError("BATCH frames are not allowed inside FORWARD")
         frames = []
         pos, end = 0, len(view)
         while pos < end:
@@ -454,6 +506,16 @@ def _parse_payload(op: int, view: bytes, in_batch: bool,
                 raise ProtocolError("BATCH payload ends mid-subframe")
             frames.append(frame)
         return {"frames": frames}
+    if op == OP_FORWARD:
+        if in_forward:
+            raise ProtocolError("nested FORWARD frames are not allowed")
+        frame, pos = _parse_one(view, 0, len(view), max_frame_bytes,
+                                in_batch=True, in_forward=True)
+        if frame is None:
+            raise ProtocolError("FORWARD payload ends mid-frame")
+        if pos != len(view):
+            raise ProtocolError("FORWARD carries exactly one inner frame")
+        return {"frame": frame}
     # JSON family
     if not view:
         return {}
@@ -469,7 +531,7 @@ def _parse_payload(op: int, view: bytes, in_batch: bool,
 
 
 def _parse_one(buf, pos: int, end: int, max_frame_bytes: int,
-               *, in_batch: bool):
+               *, in_batch: bool, in_forward: bool = False):
     """Parse one frame at ``buf[pos:end]``; ``(frame | None, new_pos)``.
 
     ``None`` means the bytes of a frame are not all there yet (only
@@ -497,7 +559,7 @@ def _parse_one(buf, pos: int, end: int, max_frame_bytes: int,
         return None, pos
     _, op, req_id = _HEADER.unpack_from(buf, pos)
     body = bytes(buf[pos + _HEADER.size : pos + 4 + length])
-    payload = _parse_payload(op, body, in_batch, max_frame_bytes)
+    payload = _parse_payload(op, body, in_batch, max_frame_bytes, in_forward)
     return Frame(op, req_id, payload, wire_bytes=4 + length), pos + 4 + length
 
 

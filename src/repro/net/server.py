@@ -72,6 +72,7 @@ from typing import Any, Optional
 from ..errors import (
     ChannelClosedForReceive,
     ChannelClosedForSend,
+    ConnectionLostError,
     ProtocolError,
     ReproError,
 )
@@ -85,10 +86,13 @@ from .protocol import (
     OP_CLOSE,
     OP_CLOSED,
     OP_ERROR,
+    OP_FORWARD,
     OP_HELLO,
     OP_NAMES,
     OP_OK,
+    OP_OK_B,
     OP_OPEN,
+    OP_OWNER,
     OP_RECEIVE,
     OP_RECEIVE_B,
     OP_SEND,
@@ -122,6 +126,10 @@ _READ_CHUNK = 64 * 1024
 
 #: Sentinel: the op cannot complete synchronously and must park.
 _PARK = object()
+
+#: Sentinel: the op targets a channel owned by another cluster worker
+#: and must be relayed over the inter-worker connection.
+_FORWARD = object()
 
 _BYTES_TYPES = (bytes, bytearray, memoryview)
 
@@ -210,6 +218,8 @@ class ChannelServer:
         max_frame_bytes: int = MAX_FRAME_BYTES,
         protocol: int = PROTOCOL_V2,
         gc_interval: Optional[float] = None,
+        router: Any = None,
+        worker_id: Optional[int] = None,
     ):
         metrics = getattr(obs, "metrics", obs)
         if metrics is not None and not isinstance(metrics, MetricsRegistry):
@@ -229,18 +239,54 @@ class ChannelServer:
         self.host: Optional[str] = None
         self.port: Optional[int] = None
         self._server: Optional[asyncio.base_events.Server] = None
+        self._servers: list[asyncio.base_events.Server] = []
         self._conns: dict[int, _Connection] = {}
         self._next_conn_id = 0
         self._closing = False
         self._gc_task: Optional[asyncio.Task] = None
+        #: Cluster hooks: a :class:`~repro.net.cluster.router.ClusterRouter`
+        #: (``None`` = standalone server, never forwards) and this
+        #: worker's index for the ``worker``-labeled metrics.
+        self.router = router
+        self.worker_id = worker_id
+        #: Plain counters mirrored into the metrics registry when one is
+        #: attached — cheap enough to keep unconditionally, so the
+        #: supervisor's ``stats`` works without observability enabled.
+        self.ops_served = 0
+        self.forwards_out = 0
+        self.forwards_in = 0
+        self._ops_counter = None
+        self._fwd_out_counter = None
+        self._fwd_in_counter = None
+        if metrics is not None and worker_id is not None:
+            self._ops_counter = metrics.counter("net_worker_ops_total", worker=worker_id)
+            self._fwd_out_counter = metrics.counter(
+                "net_worker_forwards_total", worker=worker_id, direction="out"
+            )
+            self._fwd_in_counter = metrics.counter(
+                "net_worker_forwards_total", worker=worker_id, direction="in"
+            )
 
     # ------------------------------------------------------------------
     # lifecycle
 
-    async def start(self, host: str = "127.0.0.1", port: int = 0) -> "ChannelServer":
-        """Bind and start accepting; ``port=0`` picks an ephemeral port."""
+    async def start(self, host: str = "127.0.0.1", port: int = 0, *,
+                    socks: Optional[list] = None) -> "ChannelServer":
+        """Bind and start accepting; ``port=0`` picks an ephemeral port.
 
-        self._server = await asyncio.start_server(self._on_connection, host, port)
+        ``socks`` (cluster mode) hands over pre-bound listening sockets
+        — e.g. one ``SO_REUSEPORT`` public socket plus a direct per-
+        worker socket — and the server accepts on all of them.  ``host``
+        / ``port`` are ignored then; ``.port`` reports the first sock's.
+        """
+
+        if socks:
+            self._servers = [
+                await asyncio.start_server(self._on_connection, sock=s) for s in socks
+            ]
+        else:
+            self._servers = [await asyncio.start_server(self._on_connection, host, port)]
+        self._server = self._servers[0]
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
         if self.metrics is not None:
@@ -253,7 +299,7 @@ class ChannelServer:
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
-        await self._server.serve_forever()
+        await asyncio.gather(*(s.serve_forever() for s in self._servers))
 
     async def shutdown(self, *, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Stop the server; with ``drain``, land in-flight sends first.
@@ -269,8 +315,8 @@ class ChannelServer:
             self._gc_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await self._gc_task
-        if self._server is not None:
-            self._server.close()
+        for server in self._servers:
+            server.close()
         conns = list(self._conns.values())
         for conn in conns:
             conn.preserve_inflight = True
@@ -281,22 +327,38 @@ class ChannelServer:
                 with contextlib.suppress(asyncio.CancelledError):
                     await conn.reader_task
         if drain:
-            sends = [
+            pending = {
                 task
                 for conn in conns
                 for (op, task) in list(conn.inflight.values())
                 if op in _SEND_OPS
-            ]
-            if sends:
-                await asyncio.wait(sends, timeout=timeout)
+            }
+            # Wait *while sends keep landing*, not unconditionally: with
+            # reading stopped, a send still parked once the in-motion
+            # channel dynamics quiesce can never land (e.g. a full
+            # channel whose canceller's CANCEL_OP sits unread in the
+            # socket buffer — possible when a cluster relay races this
+            # shutdown).  Waiting on it with no deadline would hang
+            # forever; it is interrupted below like any parked op.
+            loop = asyncio.get_running_loop()
+            deadline = None if timeout is None else loop.time() + timeout
+            while pending:
+                step = 0.2
+                if deadline is not None:
+                    step = min(step, max(0.0, deadline - loop.time()))
+                done, pending = await asyncio.wait(pending, timeout=step)
+                if not done:  # a full window with zero progress: stuck
+                    break
+                if deadline is not None and loop.time() >= deadline:
+                    break
         for conn in conns:
             for _, task in list(conn.inflight.values()):
                 task.cancel()
         for conn in conns:
             await self._close_connection(conn)
-        if self._server is not None:
+        for server in self._servers:
             with contextlib.suppress(asyncio.CancelledError):
-                await self._server.wait_closed()
+                await server.wait_closed()
 
     async def _gc_loop(self) -> None:
         while True:
@@ -315,7 +377,9 @@ class ChannelServer:
         self._conns[conn.conn_id] = conn
         conn.reader_task = asyncio.current_task()
         if self.metrics is not None:
-            self.metrics.gauge("connections").set(len(self._conns))
+            # inc/dec rather than set(len(...)): cluster workers share
+            # one registry, so the gauge must aggregate across servers.
+            self.metrics.gauge("connections").inc()
         try:
             await self._read_frames(conn)
         except asyncio.CancelledError:
@@ -358,6 +422,12 @@ class ChannelServer:
                     continue
                 if op == OP_CANCEL_OP:
                     self._cancel_inflight_op(conn, frame)
+                    continue
+                if op == OP_FORWARD:
+                    await self._dispatch_forward(conn, frame)
+                    continue
+                if op == OP_OWNER:
+                    self._handle_owner(conn, frame)
                     continue
                 await self._dispatch(conn, frame)
             # Byte-based backpressure toward slow readers: while this
@@ -404,9 +474,8 @@ class ChannelServer:
         pending = [task for _, task in conn.inflight.values()]
         if pending:
             await asyncio.gather(*pending, return_exceptions=True)
-        self._conns.pop(conn.conn_id, None)
-        if self.metrics is not None:
-            self.metrics.gauge("connections").set(len(self._conns))
+        if self._conns.pop(conn.conn_id, None) is not None and self.metrics is not None:
+            self.metrics.gauge("connections").dec()
         with contextlib.suppress(Exception):
             await conn.out.drain()
         conn.out.close()
@@ -418,19 +487,69 @@ class ChannelServer:
     # ------------------------------------------------------------------
     # op execution
 
-    async def _dispatch(self, conn: _Connection, frame: Frame) -> None:
-        """Run one non-batched request: sync fast lane, else park."""
+    async def _dispatch(self, conn: _Connection, frame: Frame, *,
+                        no_forward: bool = False) -> None:
+        """Run one non-batched request: sync fast lane, park, or relay."""
 
+        self.ops_served += 1
+        if self._ops_counter is not None:
+            self._ops_counter.inc()
         try:
-            result = self._execute_sync(frame)
+            result = self._execute_sync(frame, no_forward=no_forward)
         except Exception as exc:  # noqa: BLE001 - never kill the connection for one op
             op, payload = self._failure_reply(frame, exc)
             self._respond(conn, op, frame.req_id, payload)
             return
         if result is _PARK:
             await self._admit(conn, frame)
+        elif result is _FORWARD:
+            await self._admit(conn, frame, forward=True)
         else:
             self._respond(conn, OP_OK, frame.req_id, result)
+
+    async def _dispatch_forward(self, conn: _Connection, frame: Frame) -> None:
+        """Execute a FORWARD from a peer worker against the local registry.
+
+        The inner frame keeps its op and payload but answers under the
+        *container's* req_id (the relaying worker's correlation id).  A
+        FORWARD is never re-forwarded: if the shard maps disagree and
+        this worker does not own the channel, it answers ``OWNER`` so
+        the relay can retry against the right peer — no ping-pong.
+        """
+
+        inner = frame.payload["frame"]
+        name = inner.payload.get("channel", "") if inner.payload else ""
+        router = self.router
+        if (
+            router is not None
+            and (inner.op == OP_OPEN or inner.op in _CHANNEL_OPS)
+            and not router.is_local(name)
+        ):
+            self._respond(
+                conn, OP_OWNER, frame.req_id,
+                {"channel": name, "worker": router.owner_of(name)},
+            )
+            return
+        self.forwards_in += 1
+        if self._fwd_in_counter is not None:
+            self._fwd_in_counter.inc()
+        relabeled = Frame(inner.op, frame.req_id, inner.payload, wire_bytes=frame.wire_bytes)
+        await self._dispatch(conn, relabeled, no_forward=True)
+
+    def _handle_owner(self, conn: _Connection, frame: Frame) -> None:
+        """Answer an ownership query: which worker owns this channel."""
+
+        name = frame.payload.get("channel", "")
+        router = self.router
+        if router is None:
+            payload = {"channel": name, "worker": self.worker_id or 0, "local": True}
+        else:
+            payload = {
+                "channel": name,
+                "worker": router.owner_of(name),
+                "local": router.is_local(name),
+            }
+        self._respond(conn, OP_OK, frame.req_id, payload)
 
     async def _run_batch(self, conn: _Connection, frame: Frame) -> None:
         """Vectorized dispatch: one pass over a BATCH's sub-ops.
@@ -463,6 +582,15 @@ class ChannelServer:
                 continue
             if op == OP_BATCH:  # decoder rejects nesting; belt and braces
                 continue
+            if op == OP_FORWARD:  # peer workers batch their relays too
+                await self._dispatch_forward(conn, sub)
+                continue
+            if op == OP_OWNER:
+                self._handle_owner(conn, sub)
+                continue
+            self.ops_served += 1
+            if self._ops_counter is not None:
+                self._ops_counter.inc()
             try:
                 result = self._execute_sync(sub, touched)
             except Exception as exc:  # noqa: BLE001
@@ -470,6 +598,9 @@ class ChannelServer:
             else:
                 if result is _PARK:
                     await self._admit(conn, sub)
+                    continue
+                if result is _FORWARD:
+                    await self._admit(conn, sub, forward=True)
                     continue
                 reply_op, payload = OP_OK, result
             if use_wrap:
@@ -483,7 +614,7 @@ class ChannelServer:
         if touched:
             self.registry.record_batch(touched)
 
-    async def _admit(self, conn: _Connection, frame: Frame) -> None:
+    async def _admit(self, conn: _Connection, frame: Frame, *, forward: bool = False) -> None:
         """Backpressure gate for the parked lane: op slots + byte budget."""
 
         await conn.slots.acquire()
@@ -493,7 +624,9 @@ class ChannelServer:
             await conn.bytes_freed.wait()
         conn.inflight_bytes += size
         replied = [False]
-        task = asyncio.get_running_loop().create_task(self._run_op(conn, frame, replied))
+        task = asyncio.get_running_loop().create_task(
+            self._run_op(conn, frame, replied, forward=forward)
+        )
         conn.inflight[frame.req_id] = (frame.op, task)
         task.add_done_callback(
             lambda t, c=conn, rid=frame.req_id, sz=size, r=replied: self._op_done(
@@ -503,8 +636,25 @@ class ChannelServer:
         if self.metrics is not None:
             self.metrics.gauge("inflight_ops").inc()
 
-    async def _run_op(self, conn: _Connection, frame: Frame, replied: list) -> None:
+    async def _run_op(self, conn: _Connection, frame: Frame, replied: list,
+                      *, forward: bool = False) -> None:
         try:
+            if forward:
+                # Relay to the owning worker and echo its exact reply —
+                # CLOSED reasons and cancelled flags survive verbatim.
+                # Cancelling this task (CANCEL_OP, connection death)
+                # cancels the relay, whose own CANCEL_OP interrupts the
+                # op on the owner.
+                self.forwards_out += 1
+                if self._fwd_out_counter is not None:
+                    self._fwd_out_counter.inc()
+                reply = await self.router.forward(frame)
+                replied[0] = True
+                # OK_B normalizes to OK: _respond re-picks the lane for
+                # the *origin* client's protocol version.
+                op = OP_OK if reply.op == OP_OK_B else reply.op
+                self._respond(conn, op, frame.req_id, reply.payload)
+                return
             payload = await self._execute(frame)
             replied[0] = True
             self._respond(conn, OP_OK, frame.req_id, payload)
@@ -514,20 +664,37 @@ class ChannelServer:
             replied[0] = True
             self._respond(conn, OP_CLOSED, frame.req_id, {"cancelled": True, "reason": "interrupt"})
             raise
+        except ConnectionLostError:
+            # The owning worker died mid-relay.  The op may or may not
+            # have executed there — report the interrupt flavor (never
+            # retry a send whose ack was lost).
+            replied[0] = True
+            self._respond(conn, OP_CLOSED, frame.req_id, {"cancelled": True, "reason": "interrupt"})
         except Exception as exc:  # noqa: BLE001 - never kill the connection for one op
             op, payload = self._failure_reply(frame, exc)
             replied[0] = True
             self._respond(conn, op, frame.req_id, payload)
 
-    def _execute_sync(self, frame: Frame, touched: Optional[dict] = None):
+    def _execute_sync(self, frame: Frame, touched: Optional[dict] = None,
+                      *, no_forward: bool = False):
         """Complete one op without suspending, or return ``_PARK``.
 
         ``touched`` (batch mode) memoizes registry lookups and defers
         per-op accounting to one :meth:`ChannelRegistry.record_batch`.
+        In cluster mode, ops against a channel another worker owns
+        return ``_FORWARD`` (suppressed for already-forwarded ops).
         """
 
         op, p = frame.op, frame.payload
         name = p.get("channel", "")
+        router = self.router
+        if (
+            router is not None
+            and not no_forward
+            and (op == OP_OPEN or op in _CHANNEL_OPS)
+            and not router.is_local(name)
+        ):
+            return _FORWARD
         if op == OP_OPEN:
             entry = self.registry.open(
                 name, int(p.get("capacity", 0)), p.get("overflow", "suspend")
@@ -679,7 +846,14 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="per-connection cap on bytes held by parked ops")
     parser.add_argument("--max-frame-mib", type=float, default=MAX_FRAME_BYTES / (1024 * 1024),
                         help="reject frames larger than this many MiB")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (>1 serves an SO_REUSEPORT cluster)")
     args = parser.parse_args(argv)
+
+    if args.workers > 1:
+        from .cluster.supervisor import supervisor_main
+
+        return supervisor_main(args)
 
     async def _run() -> None:
         registry = ChannelRegistry(args.shards, idle_seconds=args.idle_seconds)
@@ -693,7 +867,11 @@ def main(argv: Optional[list[str]] = None) -> int:
             protocol=args.protocol,
             gc_interval=args.gc_interval or None,
         )
+        # First line: the public port (scripted harnesses `head -1` it).
+        # Then one machine-parseable line per worker so tests can attach
+        # to a specific worker; a single-worker server is worker 0.
         print(server.port, flush=True)
+        print(f"worker 0 {server.port}", flush=True)
         print(
             f"repro.net: serving protocol v{args.protocol} on {server.host}:{server.port}",
             file=sys.stderr,

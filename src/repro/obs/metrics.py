@@ -76,6 +76,18 @@ class Histogram:
         return len(self._values)
 
     @property
+    def samples(self) -> tuple[float, ...]:
+        """The raw observed values (unsorted order not guaranteed).
+
+        Exact samples make distributions *mergeable*: re-observing one
+        histogram's samples into another yields exact percentiles for
+        the union — which is how multi-process load drivers fold their
+        per-process latency histograms into one report.
+        """
+
+        return tuple(self._values)
+
+    @property
     def total(self) -> float:
         return sum(self._values)
 

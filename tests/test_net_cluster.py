@@ -1,0 +1,444 @@
+"""In-process cluster tests: shard map, FORWARD relays, GC races.
+
+Every test here runs a real multi-worker :func:`serve_cluster` on
+ephemeral localhost ports.  Connections are pinned to a specific
+worker through its *direct* port (``cluster.worker_ports[i]``) so each
+test controls whether an op is served locally or relayed — the shard
+map literals below were computed once from the crc32 ring and are
+stable across interpreters (the ring deliberately does not use
+``hash()``).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ChannelClosedForReceive, ChannelClosedForSend
+from repro.net import connect, serve_cluster
+from repro.net.cluster import ShardMap
+from repro.net.protocol import OP_OWNER
+from repro.obs.metrics import MetricsRegistry
+
+
+def run(coro, timeout=20):
+    async def guarded():
+        return await asyncio.wait_for(coro, timeout)
+
+    return asyncio.run(guarded())
+
+
+def owner_and_other(cluster, name):
+    """The worker owning ``name`` and some worker that does not."""
+
+    owner = cluster.shard_map.owner_of(name)
+    return owner, (owner + 1) % cluster.n_workers
+
+
+class TestShardMap:
+    def test_deterministic_across_instances(self):
+        a, b = ShardMap(4), ShardMap(4)
+        names = [f"chan-{i}" for i in range(200)]
+        assert [a.owner_of(n) for n in names] == [b.owner_of(n) for n in names]
+        assert a == b
+
+    def test_interpreter_independent(self):
+        # crc32 ring, not hash(): the mapping survives restarts and
+        # PYTHONHASHSEED, which is what lets a respawned worker resume
+        # ownership of exactly its old shards.
+        assert ShardMap(4).owner_of("pinned-name") == 3
+
+    def test_single_worker_owns_everything(self):
+        m = ShardMap(1)
+        assert {m.owner_of(f"c{i}") for i in range(50)} == {0}
+
+    def test_balance_over_many_names(self):
+        m = ShardMap(4)
+        counts = [0] * 4
+        for i in range(4000):
+            counts[m.owner_of(f"bench-{i}")] += 1
+        assert min(counts) > 0
+        assert max(counts) < 2000  # no worker owns a majority
+
+    def test_restart_keeps_assignment(self):
+        # A fresh map for the same cluster size *is* the old map: a
+        # restarted worker needs no ownership handoff protocol.
+        old = ShardMap(3)
+        new = ShardMap(3)
+        assert old == new and hash(old) == hash(new)
+        assert ShardMap(3) != ShardMap(4)
+
+    def test_validates_workers(self):
+        with pytest.raises(ValueError):
+            ShardMap(0)
+
+
+class TestForwarding:
+    def test_cross_worker_send_receive(self):
+        """Ops through a non-owner worker relay and round-trip."""
+
+        async def main():
+            cluster = await serve_cluster("127.0.0.1", 0, workers=3)
+            owner, other = owner_and_other(cluster, "fwd")
+            a = await connect("127.0.0.1", cluster.worker_ports[other])
+            b = await connect("127.0.0.1", cluster.worker_ports[owner])
+            try:
+                ch_a = await a.channel("fwd", capacity=4)
+                ch_b = await b.channel("fwd", capacity=4)
+                await ch_a.send({"n": 1})
+                first = await ch_b.receive()
+                await ch_b.send("back")
+                second = await ch_a.receive()
+                # OPEN + SEND + RECEIVE from `a` all relayed.
+                assert cluster.workers[other].forwards_out >= 3
+                assert cluster.workers[owner].forwards_in >= 3
+                return first, second
+            finally:
+                await a.close()
+                await b.close()
+                await cluster.shutdown()
+
+        assert run(main()) == ({"n": 1}, "back")
+
+    def test_parked_forwarded_receive_completes(self):
+        """A rendezvous receive relayed to the owner parks there and is
+        completed by a send arriving through a *third* worker."""
+
+        async def main():
+            cluster = await serve_cluster("127.0.0.1", 0, workers=3)
+            owner = cluster.shard_map.owner_of("rz-fwd")
+            w1, w2 = [i for i in range(3) if i != owner]
+            a = await connect("127.0.0.1", cluster.worker_ports[w1])
+            b = await connect("127.0.0.1", cluster.worker_ports[w2])
+            try:
+                ch_a = await a.channel("rz-fwd", capacity=0)
+                ch_b = await b.channel("rz-fwd", capacity=0)
+                recv = asyncio.create_task(ch_a.receive())
+                await asyncio.sleep(0.05)
+                assert not recv.done()  # parked on the owner, via relay
+                await ch_b.send("paired")
+                return await recv
+            finally:
+                await a.close()
+                await b.close()
+                await cluster.shutdown()
+
+        assert run(main()) == "paired"
+
+    def test_public_port_round_robin_works(self):
+        """Plain clients on the shared SO_REUSEPORT port — wherever the
+        kernel lands them — can use channels owned by every worker."""
+
+        async def main():
+            cluster = await serve_cluster("127.0.0.1", 0, workers=3)
+            clients = [await connect("127.0.0.1", cluster.port) for _ in range(4)]
+            try:
+                names = [f"pub-{i}" for i in (0, 3, 5, 8, 11, 13)]
+                owners = {cluster.shard_map.owner_of(n) for n in names}
+                assert owners == {0, 1, 2}  # the sweep covers every worker
+                for i, name in enumerate(names):
+                    ch_s = await clients[i % 2].channel(name, capacity=2)
+                    ch_r = await clients[2 + i % 2].channel(name, capacity=2)
+                    await ch_s.send(i)
+                    assert await ch_r.receive() == i
+                return "ok"
+            finally:
+                for c in clients:
+                    await c.close()
+                await cluster.shutdown()
+
+        assert run(main()) == "ok"
+
+    def test_owner_query(self):
+        """OWNER answers the shard map from any worker, with locality."""
+
+        async def main():
+            cluster = await serve_cluster("127.0.0.1", 0, workers=3)
+            owner, other = owner_and_other(cluster, "owner-q")
+            c = await connect("127.0.0.1", cluster.worker_ports[other])
+            try:
+                reply = await c.request(OP_OWNER, {"channel": "owner-q"})
+                return reply, owner
+            finally:
+                await c.close()
+                await cluster.shutdown()
+
+        reply, owner = run(main())
+        assert reply["channel"] == "owner-q"
+        assert reply["worker"] == owner
+        assert reply["local"] is False
+
+    def test_worker_metrics_carry_worker_label(self):
+        async def main():
+            metrics = MetricsRegistry()
+            cluster = await serve_cluster("127.0.0.1", 0, workers=2, obs=metrics)
+            owner, other = owner_and_other(cluster, "mx")
+            c = await connect("127.0.0.1", cluster.worker_ports[other])
+            try:
+                ch = await c.channel("mx", capacity=2)
+                await ch.send(1)
+                await ch.receive()
+                out = metrics.counter(
+                    "net_worker_forwards_total", worker=other, direction="out"
+                ).value
+                inn = metrics.counter(
+                    "net_worker_forwards_total", worker=owner, direction="in"
+                ).value
+                ops = metrics.counter("net_worker_ops_total", worker=other).value
+                assert out >= 3 and inn >= 3 and ops >= 3
+                snap = metrics.snapshot()
+                assert any(k.startswith("net_worker_ops_total{") for k in snap)
+                return "ok"
+            finally:
+                await c.close()
+                await cluster.shutdown()
+
+        assert run(main()) == "ok"
+
+    def test_stats_rows(self):
+        async def main():
+            cluster = await serve_cluster("127.0.0.1", 0, workers=2)
+            owner, other = owner_and_other(cluster, "fwd")
+            c = await connect("127.0.0.1", cluster.worker_ports[other])
+            try:
+                ch = await c.channel("fwd", capacity=2)
+                await ch.send(1)
+                rows = cluster.stats()
+                assert [r["worker"] for r in rows] == [0, 1]
+                assert rows[other]["forwards_out"] >= 2
+                assert rows[owner]["forwards_in"] >= 2
+                assert rows[owner]["channels"] == 1
+                assert rows[other]["channels"] == 0
+                return "ok"
+            finally:
+                await c.close()
+                await cluster.shutdown()
+
+        assert run(main()) == "ok"
+
+
+class TestForwardedSemantics:
+    """Close/cancel/interrupt must look identical through a relay."""
+
+    def test_close_propagates_through_relay(self):
+        async def main():
+            cluster = await serve_cluster("127.0.0.1", 0, workers=2)
+            owner, other = owner_and_other(cluster, "sem")
+            a = await connect("127.0.0.1", cluster.worker_ports[other])
+            b = await connect("127.0.0.1", cluster.worker_ports[owner])
+            try:
+                ch_a = await a.channel("sem", capacity=4)
+                ch_b = await b.channel("sem", capacity=4)
+                await ch_a.send("last")
+                assert await ch_a.close() is True  # relayed close
+                assert await ch_b.close() is False  # idempotent
+                drained = await ch_b.receive()  # close still drains
+                with pytest.raises(ChannelClosedForReceive):
+                    await ch_a.receive()
+                with pytest.raises(ChannelClosedForSend):
+                    await ch_a.send("late")
+                return drained
+            finally:
+                await a.close()
+                await b.close()
+                await cluster.shutdown()
+
+        assert run(main()) == "last"
+
+    def test_close_wakes_parked_forwarded_receive(self):
+        async def main():
+            cluster = await serve_cluster("127.0.0.1", 0, workers=2)
+            owner, other = owner_and_other(cluster, "sem")
+            a = await connect("127.0.0.1", cluster.worker_ports[other])
+            b = await connect("127.0.0.1", cluster.worker_ports[owner])
+            try:
+                ch_a = await a.channel("sem", capacity=0)
+                ch_b = await b.channel("sem", capacity=0)
+                parked = asyncio.create_task(ch_a.receive())
+                await asyncio.sleep(0.05)
+                await ch_b.close()
+                with pytest.raises(ChannelClosedForReceive):
+                    await parked
+                return "ok"
+            finally:
+                await a.close()
+                await b.close()
+                await cluster.shutdown()
+
+        assert run(main()) == "ok"
+
+    def test_cancel_discards_buffered_through_relay(self):
+        async def main():
+            cluster = await serve_cluster("127.0.0.1", 0, workers=2)
+            _, other = owner_and_other(cluster, "sem")
+            c = await connect("127.0.0.1", cluster.worker_ports[other])
+            try:
+                ch = await c.channel("sem", capacity=4)
+                await ch.send(1)
+                await ch.send(2)
+                assert await ch.cancel() is True
+                with pytest.raises(ChannelClosedForReceive):
+                    await ch.receive()
+                return "ok"
+            finally:
+                await c.close()
+                await cluster.shutdown()
+
+        assert run(main()) == "ok"
+
+    def test_deadline_interrupts_forwarded_op_without_stealing(self):
+        """An expired forwarded receive is CANCEL_OP'd on the owner: a
+        later send must go to the next real receive, not the dead one."""
+
+        async def main():
+            cluster = await serve_cluster("127.0.0.1", 0, workers=2)
+            owner, other = owner_and_other(cluster, "sem")
+            a = await connect("127.0.0.1", cluster.worker_ports[other])
+            b = await connect("127.0.0.1", cluster.worker_ports[owner])
+            try:
+                ch_a = await a.channel("sem", capacity=4)
+                ch_b = await b.channel("sem", capacity=4)
+                with pytest.raises(asyncio.TimeoutError):
+                    await ch_a.receive(timeout=0.1)
+                await asyncio.sleep(0.1)  # CANCEL_OP relays to the owner
+                await ch_b.send("kept")
+                return await ch_a.receive()
+            finally:
+                await a.close()
+                await b.close()
+                await cluster.shutdown()
+
+        assert run(main()) == "kept"
+
+    def test_dying_client_interrupts_its_forwarded_op_only(self):
+        """A client killed mid-park through a relay cancels its own op;
+        the channel survives for everyone else (§4.3 cancel, not close)."""
+
+        async def main():
+            cluster = await serve_cluster("127.0.0.1", 0, workers=2)
+            owner, other = owner_and_other(cluster, "sem")
+            victim = await connect("127.0.0.1", cluster.worker_ports[other])
+            survivor = await connect("127.0.0.1", cluster.worker_ports[owner])
+            try:
+                ch_v = await victim.channel("sem", capacity=0)
+                ch_s = await survivor.channel("sem", capacity=0)
+                parked = asyncio.create_task(ch_v.receive())
+                await asyncio.sleep(0.05)
+                victim.abort()
+                with pytest.raises(Exception):
+                    await parked
+                await asyncio.sleep(0.1)  # interrupt relays to the owner
+                recv = asyncio.create_task(ch_s.receive())
+                helper = await connect("127.0.0.1", cluster.port)
+                ch_h = await helper.channel("sem", capacity=0)
+                await ch_h.send("alive")
+                value = await recv
+                await helper.close()
+                return value
+            finally:
+                await survivor.close()
+                await cluster.shutdown()
+
+        assert run(main()) == "alive"
+
+    def test_v1_client_against_cluster(self):
+        """A JSON-only v1 client works through relays unchanged — the
+        relay normalizes binary replies back into the origin's lane."""
+
+        async def main():
+            cluster = await serve_cluster("127.0.0.1", 0, workers=3)
+            _, other = owner_and_other(cluster, "v1x")
+            c = await connect(
+                "127.0.0.1", cluster.worker_ports[other], protocol=1, batch=False
+            )
+            d = await connect("127.0.0.1", cluster.port)
+            try:
+                assert c.version == 1
+                ch_c = await c.channel("v1x", capacity=2)
+                ch_d = await d.channel("v1x", capacity=2)
+                await ch_c.send({"payload": [1, 2]})
+                assert await ch_d.receive() == {"payload": [1, 2]}
+                await ch_d.send("to-v1")
+                assert await ch_c.receive() == "to-v1"
+                await ch_c.close()
+                with pytest.raises(ChannelClosedForReceive):
+                    await ch_d.receive()
+                return "ok"
+            finally:
+                await c.close()
+                await d.close()
+                await cluster.shutdown()
+
+        assert run(main()) == "ok"
+
+
+class TestGcVsForward:
+    """Satellite: registry idle GC racing a forwarded in-flight op."""
+
+    def test_parked_forwarded_op_blocks_idle_gc(self):
+        """With idle_seconds=0 every quiet channel is collectible — but
+        a channel holding a relayed, parked receive must survive a full
+        GC sweep on the owner, then complete normally."""
+
+        async def main():
+            cluster = await serve_cluster(
+                "127.0.0.1", 0, workers=2, idle_seconds=0.0
+            )
+            owner, other = owner_and_other(cluster, "gc-race")
+            owner_registry = cluster.workers[owner].registry
+            a = await connect("127.0.0.1", cluster.worker_ports[other])
+            b = await connect("127.0.0.1", cluster.worker_ports[owner])
+            try:
+                ch_a = await a.channel("gc-race", capacity=0)
+                recv = asyncio.create_task(ch_a.receive())
+                await asyncio.sleep(0.1)  # relay lands + parks on owner
+                collected = owner_registry.collect_idle(full=True)
+                assert "gc-race" not in collected, collected
+                assert "gc-race" in owner_registry  # inflight pinned it
+                ch_b = await b.channel("gc-race", capacity=0)
+                await ch_b.send("survived")
+                value = await recv
+                # Drained and quiet: the same sweep now collects it.
+                await asyncio.sleep(0.05)
+                assert "gc-race" in owner_registry.collect_idle(full=True)
+                return value
+            finally:
+                await a.close()
+                await b.close()
+                await cluster.shutdown()
+
+        assert run(main()) == "survived"
+
+    def test_cluster_registry_view_routes_and_aggregates(self):
+        async def main():
+            cluster = await serve_cluster("127.0.0.1", 0, workers=3)
+            c = await connect("127.0.0.1", cluster.port)
+            try:
+                names = [f"view-{i}" for i in range(5)]
+                for name in names:
+                    await c.channel(name, capacity=1)
+                assert len(cluster.registry) == 5
+                for name in names:
+                    owner = cluster.shard_map.owner_of(name)
+                    assert name in cluster.registry
+                    assert cluster.registry.get(name) is cluster.workers[
+                        owner
+                    ].registry.get(name)
+                snap = cluster.registry.snapshot()
+                assert snap["channels"] == 5
+                assert [e["name"] for e in snap["entries"]] == sorted(names)
+                return "ok"
+            finally:
+                await c.close()
+                await cluster.shutdown()
+
+        assert run(main()) == "ok"
+
+    def test_rejects_shared_registry(self):
+        async def main():
+            from repro.net.registry import ChannelRegistry
+
+            with pytest.raises(ValueError, match="one registry per worker"):
+                await serve_cluster("127.0.0.1", 0, registry=ChannelRegistry())
+            return "ok"
+
+        assert run(main()) == "ok"

@@ -1,0 +1,100 @@
+"""Cluster interop: the whole net suite against a 2-worker cluster.
+
+The compatibility contract for the cluster is that a client cannot
+tell it from a single-loop server — whichever worker the kernel hands
+its connection to, and wherever its channels actually live.  Rather
+than hand-pick scenarios, this module re-runs the *entire* existing
+net test suite with ``serve()`` swapped for a 2-worker
+:func:`serve_cluster`: every ``serve``-based test class from
+``test_net_server`` and ``test_net_client`` is subclassed below.
+Roughly half the channels those tests open land on the worker the
+client did not connect to (crc32 sharding), so close/cancel/interrupt,
+deadlines, drain and loadgen all exercise the FORWARD relay with the
+original assertions intact.
+
+``TestBackpressure`` is not re-run: it builds a bare ``ChannelServer``
+and inspects its private connection table, so it would not touch the
+cluster at all.  The connections-gauge test is overridden: inter-worker
+relay links are real connections, so the cluster asserts the
+client-driven *delta* instead of absolute counts.
+"""
+
+import asyncio
+
+import pytest
+
+import test_net_client as _client_suite
+import test_net_server as _server_suite
+from repro.net import serve_cluster
+from repro.obs.metrics import MetricsRegistry
+
+
+def run(coro, timeout=20):
+    async def guarded():
+        return await asyncio.wait_for(coro, timeout)
+
+    return asyncio.run(guarded())
+
+
+@pytest.fixture(autouse=True)
+def _serve_a_cluster(monkeypatch):
+    async def cluster_serve(host="127.0.0.1", port=0, **kwargs):
+        return await serve_cluster(host, port, workers=2, **kwargs)
+
+    # The suites hold module-global references taken at import time.
+    monkeypatch.setattr(_server_suite, "serve", cluster_serve)
+    monkeypatch.setattr(_client_suite, "serve", cluster_serve)
+    yield
+
+
+class TestClusterBasicOps(_server_suite.TestBasicOps):
+    pass
+
+
+class TestClusterCloseSemantics(_server_suite.TestCloseSemantics):
+    pass
+
+
+class TestClusterShutdownAndKill(_server_suite.TestShutdownAndKill):
+    pass
+
+
+class TestClusterObservability(_server_suite.TestObservability):
+    def test_gauges_track_connections_and_ops(self):
+        async def main():
+            metrics = MetricsRegistry()
+            server = await _server_suite.serve("127.0.0.1", 0, obs=metrics)
+            a = await _server_suite.connect("127.0.0.1", server.port)
+            b = await _server_suite.connect("127.0.0.1", server.port)
+            ch_a = await a.channel("m", capacity=4)
+            await ch_a.send(1)
+            await asyncio.sleep(0.05)
+            during = metrics.gauge("connections").value
+            await a.close()
+            await b.close()
+            await asyncio.sleep(0.05)
+            after = metrics.gauge("connections").value
+            await server.shutdown()
+            return during, after, metrics.snapshot()
+
+        during, after, snap = run(main())
+        # Two clients came and went; any relay links persist throughout.
+        assert during - after == 2
+        assert during >= 2 and after >= 0
+        assert snap["inflight_ops"] == 0
+        # Relayed ops are counted once, at the worker that decoded them.
+        assert snap["frames_total{op=OPEN}"] == 1
+        assert snap["frames_total{op=SEND}"] == 1
+        assert snap["queue_depth{channel=m}"] == 1
+
+
+class TestClusterDeadlines(_client_suite.TestDeadlines):
+    pass
+
+
+class TestClusterClientLifecycle(_client_suite.TestClientLifecycle):
+    pass
+
+
+class TestClusterLoadgen(_client_suite.TestLoadgen):
+    pass

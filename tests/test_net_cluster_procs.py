@@ -1,0 +1,195 @@
+"""Process-level cluster tests: supervisor, restarts, multi-proc loadgen.
+
+These spawn real worker processes (and real driver processes), so they
+are the slowest tests in the net suite — each one keeps its op counts
+small and its supervision trees short-lived.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.net.cluster import ClusterSupervisor, run_load_procs
+from repro.net.loadgen import run_load
+
+
+def run(coro, timeout=30):
+    async def guarded():
+        return await asyncio.wait_for(coro, timeout)
+
+    return asyncio.run(guarded())
+
+
+class TestSupervisor:
+    def test_lossless_load_and_restart(self):
+        sup = ClusterSupervisor(2).start()
+        try:
+            row = run_load_procs(
+                "127.0.0.1", sup.port,
+                client_procs=2, producers=2, consumers=2, ops=150, channels=2,
+                channel="r1",
+            )
+            assert row["ops_submitted"] == 300  # 2 procs x 150
+            assert row["ops_completed"] == row["ops_submitted"]
+            assert row["client_procs"] == 2 and row["producers"] == 4
+
+            # Kill a worker ungracefully; the supervisor must respawn it
+            # (same id, same shards) and re-mesh the survivors.
+            victim = sup._procs[0]
+            victim.kill()
+            victim.join(timeout=5.0)
+            deadline = time.monotonic() + 10.0
+            restarted = []
+            while time.monotonic() < deadline and not restarted:
+                restarted = sup.poll()
+            assert restarted == [0]
+            assert sup.restarts == 1
+
+            row = run_load_procs(
+                "127.0.0.1", sup.port,
+                client_procs=2, producers=2, consumers=2, ops=100, channels=2,
+                channel="r2",
+            )
+            assert row["ops_completed"] == row["ops_submitted"] == 200
+            stats = sup.stats()
+            assert sorted(r["worker"] for r in stats) == [0, 1]
+        finally:
+            sup.stop()
+
+    def test_stop_is_idempotent(self):
+        sup = ClusterSupervisor(2).start()
+        sup.stop()
+        sup.stop()
+        assert sup.poll() == []
+
+    def test_validates_workers(self):
+        with pytest.raises(ValueError):
+            ClusterSupervisor(0)
+
+
+class TestSupervisorCli:
+    def test_port_lines_are_machine_parseable(self):
+        """Satellite: `--port 0` prints the public port first, then one
+        `worker <id> <port>` line per bound worker."""
+
+        env = os.environ | {"PYTHONPATH": "src", "PYTHONUNBUFFERED": "1"}
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.net", "--workers", "2", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            lines = [proc.stdout.readline().strip() for _ in range(3)]
+            public = int(lines[0])
+            workers = {}
+            for line in lines[1:]:
+                tag, worker_id, port = line.split()
+                assert tag == "worker"
+                workers[int(worker_id)] = int(port)
+            assert sorted(workers) == [0, 1]
+            assert public > 0 and all(p > 0 for p in workers.values())
+            assert public not in workers.values()  # direct ports differ
+
+            async def ping():
+                from repro.net import connect
+
+                c = await connect("127.0.0.1", public)
+                ch = await c.channel("cli-ping", capacity=1)
+                await ch.send("pong")
+                value = await ch.receive()
+                await c.close()
+                return value
+
+            assert run(ping()) == "pong"
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5)
+
+    def test_single_worker_prints_worker_line_too(self):
+        env = os.environ | {"PYTHONPATH": "src", "PYTHONUNBUFFERED": "1"}
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.net", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            public = int(proc.stdout.readline().strip())
+            assert proc.stdout.readline().strip() == f"worker 0 {public}"
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5)
+
+
+class TestLoadgenProcs:
+    def test_merge_is_exact(self):
+        """Merged row sums counts, unions latency samples, and measures
+        one shared wall-clock window."""
+
+        sup = ClusterSupervisor(1).start()
+        try:
+            row = run_load_procs(
+                "127.0.0.1", sup.port,
+                client_procs=2, producers=1, consumers=1, ops=120,
+            )
+        finally:
+            sup.stop()
+        assert row["ops_submitted"] == row["ops_completed"] == 240
+        assert row["producers"] == row["consumers"] == 2
+        assert row["throughput_ops_s"] > 0
+        assert row["send_p99_us"] >= row["send_p50_us"] > 0
+        assert row["recv_p99_us"] >= row["recv_p50_us"] > 0
+        assert "send_samples" not in row  # consumed by the merge
+
+    def test_validates_client_procs(self):
+        with pytest.raises(ValueError):
+            run_load_procs("127.0.0.1", 1, client_procs=0)
+
+
+class TestMultiChannelLoadgen:
+    def test_channels_split_and_drain(self):
+        """Single-process run_load across several channels loses nothing
+        and reports the channel count."""
+
+        async def main():
+            from repro.net import serve
+
+            server = await serve("127.0.0.1", 0)
+            try:
+                row = await run_load(
+                    "127.0.0.1", server.port,
+                    producers=4, consumers=4, ops=200, channels=2,
+                    channel="mc",
+                )
+                return row
+            finally:
+                await server.shutdown()
+
+        row = run(main())
+        assert row["channels"] == 2
+        assert row["ops_completed"] == row["ops_submitted"] == 200
+
+    def test_validates_channel_split(self):
+        async def main():
+            with pytest.raises(ValueError):
+                await run_load("127.0.0.1", 1, producers=1, consumers=2, channels=2)
+
+        run(main())

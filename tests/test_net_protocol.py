@@ -11,6 +11,7 @@ from repro.net.protocol import (
     JSON_OPS,
     MAX_FRAME_BYTES,
     OP_BATCH,
+    OP_FORWARD,
     OP_NAMES,
     OP_OK,
     OP_OK_B,
@@ -39,6 +40,10 @@ def random_frame(rng):
         payload = {"value": rng.randbytes(size)} if rng.random() < 0.7 else {}
     elif op == OP_BATCH:
         payload = {"frames": []}
+    elif op == OP_FORWARD:
+        inner = Frame(OP_SEND, rng.randrange(1 << 32),
+                      {"channel": "f" * rng.randint(1, 30), "value": "z" * size})
+        payload = {"frame": inner}
     else:
         payload = {"pad": "z" * size, "n": rng.randrange(1 << 30)} if size else {}
     return Frame(op, req_id, payload)
@@ -70,7 +75,10 @@ class TestRoundTrip:
 
     @pytest.mark.parametrize("op", sorted(OP_NAMES))
     def test_every_op_code(self, op):
-        assert decode_frame(encode_frame(op, 3, {"k": "v"})).op == op
+        payload = {"k": "v"}
+        if op == OP_FORWARD:  # structured op: carries exactly one inner frame
+            payload = {"frame": Frame(OP_OPEN, 1, {"channel": "c"})}
+        assert decode_frame(encode_frame(op, 3, payload)).op == op
 
 
 class TestFuzzRoundTrip:

@@ -81,6 +81,27 @@ class TestCompareRows:
         ok, report = compare_rows(_rows(a=100.0), _rows(b=100.0))
         assert not ok and "no common" in report
 
+    def test_missing_baseline_rows_fail_and_are_named(self):
+        # A new dump silently dropping baseline points must not pass by
+        # intersecting: the gate names them and fails.
+        ok, report = compare_rows(_rows(a=100.0, b=100.0), _rows(a=100.0))
+        assert not ok
+        assert "MISSING" in report and "b" in report
+
+    def test_allow_missing_downgrades_to_report(self):
+        ok, report = compare_rows(
+            _rows(a=100.0, b=100.0), _rows(a=100.0), allow_missing=True
+        )
+        assert ok
+        assert "MISSING" in report and "allow-missing" in report
+
+    def test_added_rows_are_reported_not_gated(self):
+        # New points (e.g. a wider matrix) are informational: listed,
+        # not compared, and never a failure.
+        ok, report = compare_rows(_rows(a=100.0), _rows(a=100.0, c=50.0))
+        assert ok
+        assert "added" in report and "c" in report
+
     def test_geomean_helper(self):
         assert geomean([2.0, 8.0]) == pytest.approx(4.0)
         assert geomean([]) == 0.0
@@ -108,6 +129,13 @@ class TestCli:
         old = self._dump(tmp_path / "old.json", {"a": 100.0})
         new = self._dump(tmp_path / "new.json", {"a": 80.0})
         assert bench_main(["compare", old, new, "--threshold", "0.25"]) == 0
+        capsys.readouterr()
+
+    def test_compare_allow_missing_flag(self, tmp_path, capsys):
+        old = self._dump(tmp_path / "old.json", {"a": 100.0, "b": 100.0})
+        new = self._dump(tmp_path / "new.json", {"a": 100.0})
+        assert bench_main(["compare", old, new]) != 0
+        assert bench_main(["compare", old, new, "--allow-missing"]) == 0
         capsys.readouterr()
 
     def test_selfperf_writes_tagged_json(self, tmp_path, capsys, monkeypatch):
