@@ -468,6 +468,35 @@ def cmd_allocs(args: argparse.Namespace) -> list[dict]:
     return rows
 
 
+def cmd_grid(args: argparse.Namespace) -> list[dict]:
+    """Channels × policies × scenarios matrix (see :mod:`repro.bench.grid`)."""
+
+    from .grid import run_grid
+
+    policies = args.policies.split(",") if args.policies else None
+    scenarios = args.scenarios.split(",") if args.scenarios else None
+    print(f"policy grid — scale {args.grid_scale}, best of {args.repeat}, seed {args.seed}")
+    rows = run_grid(
+        impls=args.impl,
+        policies=policies,
+        scenarios=scenarios,
+        seed=args.seed,
+        scale=args.grid_scale,
+        repeat=args.repeat,
+    )
+    for r in rows:
+        if "skip_reason" in r:
+            print(f"  {r['name']:52s} skipped: {r['skip_reason']}")
+            continue
+        starved = f" STARVED={','.join(r['starved'])}" if r["starved"] else ""
+        print(
+            f"  {r['name']:52s} {r['ops_per_sec']:>10,.0f} ops/s "
+            f"thr={r['throughput']:8.1f} elems/Mcycle "
+            f"p99={r['wait_p99_cycles']:<8g} jain={r['fairness_jain']:<6}{starved}"
+        )
+    return rows
+
+
 def cmd_compare(args: argparse.Namespace) -> list[dict]:
     from .selfperf import compare_rows
 
@@ -498,6 +527,7 @@ COMMANDS = {
     "net": cmd_net,
     "selfperf": cmd_selfperf,
     "allocs": cmd_allocs,
+    "grid": cmd_grid,
     "compare": cmd_compare,
 }
 
@@ -549,6 +579,19 @@ def main(argv: list[str] | None = None) -> int:
         "--parallel", type=int, default=1, metavar="N",
         help="worker processes for fig5/ablations (0 = one per CPU; results are "
         "byte-identical to a serial run)",
+    )
+    grid = parser.add_argument_group("grid", "options for the policy-grid command")
+    grid.add_argument(
+        "--policies", default="", metavar="A,B",
+        help="grid: comma-separated policy names (default: the runtime regimes)",
+    )
+    grid.add_argument(
+        "--scenarios", default="", metavar="A,B",
+        help="grid: comma-separated scenario names (default: the full catalogue)",
+    )
+    grid.add_argument(
+        "--grid-scale", type=int, default=1, metavar="N",
+        help="grid: multiply per-producer element counts (perf runs want >= 8)",
     )
     perf = parser.add_argument_group("selfperf", "options for selfperf/compare")
     perf.add_argument("--quick", action="store_true", help="selfperf: CI smoke subset of the matrix")
@@ -619,6 +662,8 @@ def main(argv: list[str] | None = None) -> int:
             args.json = "BENCH_04.json"
         elif args.command == "net":
             args.json = "BENCH_06.json" if _net_cluster_mode(args) else "BENCH_05.json"
+        elif args.command == "grid":
+            args.json = "BENCH_07.json"
         else:
             parser.error("--json needs an explicit PATH for this command")
     # Fail fast on unwritable output paths before minutes of simulation.

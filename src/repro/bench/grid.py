@@ -1,0 +1,176 @@
+"""The policy grid: channels × scheduling policies × scenarios.
+
+``python -m repro.bench grid`` widens the Figure-5 question — *which
+channel is fastest?* — into the question the single-policy DES could not
+ask: **does the FAA channel's win survive realistic schedulers and
+realistic workloads?**  Every cell runs one scenario from
+:mod:`repro.scenarios` over one channel implementation under one policy
+from :data:`repro.sched.POLICIES`, validates conservation, and reports:
+
+* ``ops_per_sec`` — engine wall-clock throughput (scheduler ops/sec,
+  best-of-``repeat``), the same metric selfperf gates on, so grid rows
+  flow through ``python -m repro.bench compare`` unchanged;
+* ``throughput`` — delivered elements per million simulated cycles
+  (the Figure-5 metric, comparable across cells);
+* fairness — per-waiter parks, wait p50/p99, Jain index, starvation
+  (:class:`repro.sched.FairnessMonitor`);
+* the policy's scheduling counters (preemptions, quantum expiries,
+  steals, priority boosts) via :mod:`repro.obs.metrics`.
+
+Cells that cannot exist are skipped, not failed: rendezvous-only
+algorithms skip buffered scenarios, and implementations without a
+``cancel()`` lifecycle skip the disruptive (interrupt/cancel-storm)
+scenarios.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Optional
+
+from ..scenarios import SCENARIOS, scenario as make_scenario
+from ..scenarios.dsl import run_scenario
+from ..sched import POLICIES, FairnessMonitor, make_policy
+from ..sched.policies import CountingPolicy
+from .harness import IMPLEMENTATIONS, make_impl
+
+__all__ = ["DEFAULT_GRID_IMPLS", "run_grid", "grid_cell"]
+
+#: Implementations with the full close/drain lifecycle the scenario DSL
+#: drives.  ``java-sync-queue`` and ``koval-2019`` have no ``close()``
+#: (their originals don't either) and cannot run drain-until-close
+#: consumers.
+DEFAULT_GRID_IMPLS = ("faa-channel", "faa-channel-eb", "go-channel", "kotlin-legacy")
+
+#: Policies a default grid sweeps.  ``random`` is left to the fuzzer
+#: (its interleavings are a verification tool, not a runtime regime).
+DEFAULT_GRID_POLICIES = ("des", "rr", "quantum", "priority", "realtime", "mn")
+
+
+def _impl_supports(impl: str, scn: Any) -> Optional[str]:
+    """Why this (impl, scenario) cell is impossible, or ``None`` if fine."""
+
+    factory, supports_buffering = IMPLEMENTATIONS[impl]
+    if scn.capacity > 0 and not supports_buffering:
+        return "rendezvous-only"
+    probe = factory(scn.capacity)
+    if not (hasattr(probe, "close") and hasattr(probe, "receive_catching")):
+        return "no close/drain lifecycle"
+    if scn.disruptive and not hasattr(probe, "cancel"):
+        return "no cancel lifecycle"
+    return None
+
+
+def grid_cell(
+    impl: str,
+    policy_name: str,
+    scenario_name: str,
+    seed: int = 0,
+    scale: int = 1,
+    repeat: int = 2,
+    registry: Any = None,
+) -> dict[str, Any]:
+    """Run one grid cell (best-of-``repeat``); returns its result row."""
+
+    scn = make_scenario(scenario_name, seed=seed).scaled(scale)
+    best: Optional[dict[str, Any]] = None
+    for rep in range(max(1, repeat)):
+        policy = make_policy(policy_name, seed)
+        monitor = FairnessMonitor(policy=policy_name)
+        channel = make_impl(impl, scn.capacity)
+        t0 = time.perf_counter()
+        run = run_scenario(scn, policy=policy, channel=channel, hooks=[monitor])
+        seconds = time.perf_counter() - t0
+        steps = run.sched.total_steps
+        rate = steps / seconds if seconds > 0 else float("inf")
+        if best is not None and rate <= best["ops_per_sec"]:
+            continue
+        report = monitor.report()
+        makespan = run.makespan
+        row: dict[str, Any] = {
+            "name": f"grid-{impl}-{policy_name}-{scenario_name}",
+            "impl": impl,
+            "policy": policy_name,
+            "scenario": scenario_name,
+            "capacity": scn.capacity,
+            "scale": scale,
+            "seed": seed,
+            "ops": steps,
+            "seconds": seconds,
+            "ops_per_sec": rate,
+            "makespan": makespan,
+            "delivered": run.delivered,
+            "deadlocked": run.deadlocked,
+            # Figure-5 metric: elements per million simulated cycles.
+            "throughput": run.delivered / makespan * 1e6 if makespan else 0.0,
+            **{
+                k: v
+                for k, v in report.to_dict().items()
+                if k != "policy"
+            },
+        }
+        if isinstance(policy, CountingPolicy):
+            row["counters"] = dict(policy.counters)
+            if registry is not None:
+                policy.publish_counters(registry)
+        if registry is not None:
+            monitor.publish(registry)
+        best = row
+    assert best is not None
+    return best
+
+
+def run_grid(
+    impls: Optional[Iterable[str]] = None,
+    policies: Optional[Iterable[str]] = None,
+    scenarios: Optional[Iterable[str]] = None,
+    seed: int = 0,
+    scale: int = 1,
+    repeat: int = 2,
+    registry: Any = None,
+) -> list[dict[str, Any]]:
+    """Sweep the full grid; returns one row per possible cell.
+
+    Impossible cells are reported once each in a ``skipped`` pseudo-row
+    at the end (``name`` + ``skip_reason``, no ``ops_per_sec``) so a
+    grid dump is explicit about what it did *not* measure — ``compare``
+    ignores those rows.
+    """
+
+    impl_list = list(impls) if impls else list(DEFAULT_GRID_IMPLS)
+    policy_list = list(policies) if policies else list(DEFAULT_GRID_POLICIES)
+    scenario_list = list(scenarios) if scenarios else list(SCENARIOS)
+    for name in policy_list:
+        if name not in POLICIES:
+            raise KeyError(f"unknown policy {name!r}; available: {', '.join(POLICIES)}")
+    for name in scenario_list:
+        if name not in SCENARIOS:
+            raise KeyError(f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}")
+    rows: list[dict[str, Any]] = []
+    skipped: list[dict[str, Any]] = []
+    for impl in impl_list:
+        for scenario_name in scenario_list:
+            reason = _impl_supports(impl, make_scenario(scenario_name, seed=seed))
+            if reason is not None:
+                skipped.append(
+                    {
+                        "name": f"grid-{impl}-*-{scenario_name}",
+                        "impl": impl,
+                        "scenario": scenario_name,
+                        "skip_reason": reason,
+                    }
+                )
+                continue
+            for policy_name in policy_list:
+                rows.append(
+                    grid_cell(
+                        impl,
+                        policy_name,
+                        scenario_name,
+                        seed=seed,
+                        scale=scale,
+                        repeat=repeat,
+                        registry=registry,
+                    )
+                )
+    return rows + skipped

@@ -273,17 +273,19 @@ def geomean(values: Iterable[float]) -> float:
 def _selfperf_points(rows: Iterable[dict[str, Any]]) -> dict[str, dict[str, Any]]:
     """Index a ``--json`` dump's gateable rows by point name.
 
-    ``selfperf`` rows and ``net`` A/B rows (BENCH_05.json) share the
-    ``name`` + ``ops_per_sec`` shape, so one compare gates both
-    matrices.  Rows tagged ``selfperf-baseline`` (the pre-optimization
-    engine's numbers kept in BENCH_03.json for the record) are ignored:
-    compare always gates on the *current* engine's numbers.
+    ``selfperf`` rows, ``net`` A/B rows (BENCH_05.json), and policy
+    ``grid`` rows (BENCH_07.json) share the ``name`` + ``ops_per_sec``
+    shape, so one compare gates all three matrices.  Rows tagged
+    ``selfperf-baseline`` (the pre-optimization engine's numbers kept in
+    BENCH_03.json for the record) are ignored: compare always gates on
+    the *current* engine's numbers.  Grid ``skipped`` pseudo-rows carry
+    no ``ops_per_sec`` and fall out here.
     """
 
     return {
         r["name"]: r
         for r in rows
-        if r.get("command") in ("selfperf", "net") and "ops_per_sec" in r
+        if r.get("command") in ("selfperf", "net", "grid") and "ops_per_sec" in r
     }
 
 

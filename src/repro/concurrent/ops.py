@@ -51,6 +51,7 @@ __all__ = [
     "UnparkTask",
     "CurrentTask",
     "Label",
+    "ClockSync",
     "apply_memory_op",
     "is_memory_op",
     "MEMORY_OP_APPLIERS",
@@ -273,6 +274,23 @@ class Label(Op):
     def __init__(self, name: str, payload: Any = None):
         self.name = name
         self.payload = payload
+
+
+class ClockSync(Op):
+    """Force the simulator to publish ``task.clock`` before resuming.
+
+    The scheduler's fast lane keeps the running task's clock in a local
+    and writes it back only at suspension points, so a workload that
+    reads ``task.clock`` between ops (e.g. the coordinated-omission
+    scenario computing its intended-start schedule) can observe a stale
+    value.  Yielding ``ClockSync()`` routes through the general op
+    handlers — which synchronize the task state — at zero simulated
+    cost.  Simulator-only: workload DSL code may use it; channel
+    algorithms must not (the asyncio/thread adapters have no clock).
+    """
+
+    __slots__ = ()
+    kind = "clock_sync"
 
 
 _MEMORY_OPS = (Read, Write, Cas, Faa, GetAndSet)

@@ -1,0 +1,46 @@
+"""Composable, named, seeded channel workload scenarios.
+
+`repro.scenarios` turns workload shapes into first-class objects: a
+:class:`~repro.scenarios.dsl.Scenario` composes roles (producers,
+consumers, interrupters, a canceller) over one channel and is runnable
+under any scheduling policy — including exhaustive exploration, since
+``build``/``check`` match :func:`repro.sim.explore.explore`'s contract.
+
+See :mod:`repro.scenarios.dsl` for the grammar and
+:mod:`repro.scenarios.library` for the named catalogue used by the
+policy grid (``python -m repro.bench grid``).
+"""
+
+from .dsl import (
+    Canceller,
+    Consumers,
+    Interrupters,
+    OmissionProducers,
+    Producers,
+    Role,
+    Scenario,
+    ScenarioRun,
+    bursty,
+    run_scenario,
+    steady,
+    uniform,
+)
+from .library import SCENARIOS, scenario, scenario_names
+
+__all__ = [
+    "Canceller",
+    "Consumers",
+    "Interrupters",
+    "OmissionProducers",
+    "Producers",
+    "Role",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioRun",
+    "bursty",
+    "run_scenario",
+    "scenario",
+    "scenario_names",
+    "steady",
+    "uniform",
+]

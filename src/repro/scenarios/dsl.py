@@ -1,0 +1,490 @@
+"""A small composable scenario DSL for channel workloads.
+
+A :class:`Scenario` is a *named, seeded, reproducible* concurrent program
+over one channel: a tuple of :class:`Role` components (producers,
+consumers, interrupters, a canceller) plus a buffer capacity.  Scenarios
+compose the workload shapes the single Figure-5 producer/consumer loop
+cannot express — bursty arrivals, producer/consumer asymmetry,
+slow-consumer stalls, coordinated omission, cancellation storms — while
+staying runnable under **any** scheduling policy, including exhaustive
+exploration: ``Scenario.build(sched)``/``Scenario.check(ctx, sched)`` is
+exactly the builder/checker contract of :func:`repro.sim.explore.explore`.
+
+Reproducibility: all nondeterminism (element values, arrival gaps,
+interrupter victims) is pre-drawn at ``build()`` time from a
+``blake2b(name, seed)``-derived :class:`random.Random`, so the spawned
+generators are identical regardless of which policy later interleaves
+them — ``(scenario name, seed, policy)`` fully determines a run.
+
+Deadlock freedom by construction: consumers drain until the channel
+closes, and the **last finishing producer** closes it (no spin-waiting
+coordinator task, which matters under the DES policy where a zero-cost
+spinner could monopolize the clock).  Storm scenarios add a canceller
+that always fires after a bounded delay, so even interrupt-killed
+consumers cannot strand a parked producer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from ..concurrent.ops import ClockSync, CurrentTask, Work
+from ..core import BufferedChannel, RendezvousChannel
+from ..errors import ChannelClosed, DeadlockError, Interrupted, StepLimitExceeded
+from ..runtime import interrupt_task
+from ..sim.costmodel import CostModel, NullCostModel
+from ..sim.scheduler import Scheduler, SchedulingPolicy
+
+__all__ = [
+    "Scenario",
+    "ScenarioRun",
+    "Role",
+    "Producers",
+    "OmissionProducers",
+    "Consumers",
+    "Interrupters",
+    "Canceller",
+    "steady",
+    "bursty",
+    "uniform",
+    "run_scenario",
+]
+
+
+# ----------------------------------------------------------------------
+# Arrival patterns: rng -> per-op work-cycle gaps, pre-drawn at build.
+# ----------------------------------------------------------------------
+
+def steady(mean: int = 100) -> Callable[[random.Random, int], list[int]]:
+    """Geometric inter-op gaps with the given mean (the Figure-5 shape)."""
+
+    def draw(rng: random.Random, n: int) -> list[int]:
+        if mean <= 0:
+            return [0] * n
+        p = 1.0 / (mean + 1)
+        out = []
+        for _ in range(n):
+            gap = 0
+            while rng.random() >= p:
+                gap += 1
+            out.append(gap)
+        return out
+
+    return draw
+
+
+def bursty(burst: int = 4, gap: int = 2000) -> Callable[[random.Random, int], list[int]]:
+    """Back-to-back bursts of ``burst`` ops separated by ``gap`` cycles."""
+
+    if burst < 1:
+        raise ValueError(f"burst must be >= 1, got {burst}")
+
+    def draw(rng: random.Random, n: int) -> list[int]:
+        return [gap if i % burst == 0 and i else 0 for i in range(n)]
+
+    return draw
+
+
+def uniform(low: int, high: int) -> Callable[[random.Random, int], list[int]]:
+    """Uniformly random gaps in ``[low, high]``."""
+
+    def draw(rng: random.Random, n: int) -> list[int]:
+        return [rng.randint(low, high) for _ in range(n)]
+
+    return draw
+
+
+# ----------------------------------------------------------------------
+# Roles
+# ----------------------------------------------------------------------
+
+class Role:
+    """One component of a scenario; spawns tasks on the scheduler."""
+
+    #: Number of producer tasks this role contributes (for last-closer
+    #: accounting).
+    def producer_count(self) -> int:
+        return 0
+
+    def spawn(self, sched: Scheduler, channel: Any, ctx: dict, rng: random.Random) -> None:
+        raise NotImplementedError
+
+
+def _producer_epilogue(channel: Any, ctx: dict):
+    """Last finishing producer closes the channel (if the scenario asks)."""
+
+    ctx["producers_done"] += 1
+    if ctx["close_when_done"] and ctx["producers_done"] == ctx["producers_total"]:
+        try:
+            yield from channel.close()
+        except Interrupted:
+            pass
+
+
+@dataclass(frozen=True)
+class Producers(Role):
+    """``count`` producers sending ``per`` fresh values each.
+
+    ``arrivals`` shapes the inter-send gaps (simulated work cycles).
+    """
+
+    count: int = 2
+    per: int = 8
+    arrivals: Callable[[random.Random, int], list[int]] = field(default_factory=steady)
+
+    def producer_count(self) -> int:
+        return self.count
+
+    def spawn(self, sched: Scheduler, channel: Any, ctx: dict, rng: random.Random) -> None:
+        for p in range(self.count):
+            values = [next(ctx["value_source"]) for _ in range(self.per)]
+            gaps = self.arrivals(rng, self.per)
+
+            def body(values=values, gaps=gaps):
+                try:
+                    for value, gap in zip(values, gaps):
+                        if gap:
+                            yield Work(gap)
+                        try:
+                            yield from channel.send(value)
+                        except ChannelClosed:
+                            break
+                        ctx["sent"].append(value)
+                except Interrupted:
+                    pass
+                yield from _producer_epilogue(channel, ctx)
+
+            ctx["victims"].append(sched.spawn(body(), f"prod-{len(ctx['victims'])}"))
+
+
+@dataclass(frozen=True)
+class OmissionProducers(Role):
+    """Fixed-period producers measuring coordinated-omission-corrected latency.
+
+    Each send is *scheduled* at ``start + i * period``; the producer works
+    forward to its intended slot when early but never skips a slot when
+    late (the coordinated-omission trap is resuming the period from the
+    delayed completion).  Two latency series land in the context:
+    ``latency_naive`` (send-start to completion) and ``latency_corrected``
+    (intended slot to completion) — under backpressure the corrected
+    series is the honest one.
+    """
+
+    count: int = 1
+    per: int = 10
+    period: int = 800
+
+    def producer_count(self) -> int:
+        return self.count
+
+    def spawn(self, sched: Scheduler, channel: Any, ctx: dict, rng: random.Random) -> None:
+        for p in range(self.count):
+            values = [next(ctx["value_source"]) for _ in range(self.per)]
+
+            def body(values=values):
+                task = yield CurrentTask()
+                # The scheduler's fast lane publishes ``task.clock`` only
+                # at suspension points; every read below is preceded by a
+                # ClockSync so the schedule arithmetic sees fresh values.
+                yield ClockSync()
+                start = task.clock
+                try:
+                    for i, value in enumerate(values):
+                        intended = start + i * self.period
+                        yield ClockSync()
+                        if task.clock < intended:
+                            yield Work(intended - task.clock)
+                            yield ClockSync()
+                        begun = task.clock
+                        try:
+                            yield from channel.send(value)
+                        except ChannelClosed:
+                            break
+                        yield ClockSync()
+                        ctx["sent"].append(value)
+                        ctx["latency_naive"].append(task.clock - begun)
+                        ctx["latency_corrected"].append(task.clock - intended)
+                except Interrupted:
+                    pass
+                yield from _producer_epilogue(channel, ctx)
+
+            ctx["victims"].append(sched.spawn(body(), f"prod-{len(ctx['victims'])}"))
+
+
+@dataclass(frozen=True)
+class Consumers(Role):
+    """``count`` consumers draining the channel until it closes.
+
+    ``work`` shapes per-element processing gaps; ``stall=(every,
+    cycles)`` injects a slow-consumer stall after every ``every``-th
+    element (the backpressure-probing shape).
+    """
+
+    count: int = 2
+    work: Callable[[random.Random, int], list[int]] = field(default_factory=steady)
+    stall: Optional[tuple[int, int]] = None
+
+    def spawn(self, sched: Scheduler, channel: Any, ctx: dict, rng: random.Random) -> None:
+        for c in range(self.count):
+            # Pre-draw enough gaps for the worst case: one consumer
+            # swallowing every element in the scenario.
+            gaps = self.work(rng, ctx["elements_total"])
+
+            def body(gaps=gaps):
+                taken = 0
+                try:
+                    while True:
+                        ok, value = yield from channel.receive_catching()
+                        if not ok:
+                            break
+                        ctx["received"].append(value)
+                        gap = gaps[taken] if taken < len(gaps) else 0
+                        taken += 1
+                        if gap:
+                            yield Work(gap)
+                        if self.stall and taken % self.stall[0] == 0:
+                            yield Work(self.stall[1])
+                except Interrupted:
+                    pass
+
+            name = f"cons-{c}"
+            ctx["victims"].append(sched.spawn(body(), name))
+
+
+@dataclass(frozen=True)
+class Interrupters(Role):
+    """``count`` external cancellers, each interrupting one victim task.
+
+    Victims are pre-drawn at build time (deterministic across policies)
+    from every producer/consumer spawned *before* this role.  Fires after
+    ``delay`` simulated-work cycles.
+    """
+
+    count: int = 1
+    delay: int = 2000
+
+    def spawn(self, sched: Scheduler, channel: Any, ctx: dict, rng: random.Random) -> None:
+        victims = list(ctx["victims"])
+        if not victims:
+            raise ValueError("Interrupters must come after producers/consumers")
+        for i in range(self.count):
+            victim = victims[rng.randrange(len(victims))]
+
+            def body(victim=victim, delay=self.delay * (i + 1)):
+                # Chunked so the delay is "late" under op-count policies
+                # (round-robin counts ops, not cycles) as well as DES.
+                for _ in range(16):
+                    yield Work(delay // 16)
+                ok = yield from interrupt_task(victim)
+                if ok:
+                    ctx["interrupts_delivered"] += 1
+
+            sched.spawn(body(), f"intr-{i}")
+
+
+@dataclass(frozen=True)
+class Canceller(Role):
+    """Closes (``mode='close'``) or cancels (``mode='cancel'``) the channel
+    after a bounded delay — the storm scenarios' deadlock backstop."""
+
+    after: int = 50_000
+    mode: str = "cancel"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("cancel", "close"):
+            raise ValueError(f"mode must be 'cancel' or 'close', got {self.mode!r}")
+
+    def spawn(self, sched: Scheduler, channel: Any, ctx: dict, rng: random.Random) -> None:
+        def body():
+            # Chunked for the same reason as Interrupters: one giant Work
+            # is a single op, which op-count policies would run far too
+            # early relative to the workers.
+            for _ in range(64):
+                yield Work(self.after // 64)
+            try:
+                if self.mode == "cancel":
+                    yield from channel.cancel()
+                else:
+                    yield from channel.close()
+            except Interrupted:
+                pass
+
+        sched.spawn(body(), "canceller")
+
+
+# ----------------------------------------------------------------------
+# Scenario
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded, reproducible concurrent program over one channel."""
+
+    name: str
+    capacity: int
+    roles: tuple[Role, ...]
+    seed: int = 0
+    #: Small segments stress segment turnover; ``None`` = default size.
+    seg_size: Optional[int] = None
+    #: Step budget for one run (policies differ wildly in op counts).
+    max_steps: int = 2_000_000
+
+    def with_seed(self, seed: int) -> "Scenario":
+        return replace(self, seed=seed)
+
+    def scaled(self, factor: int) -> "Scenario":
+        """Multiply every producer role's per-producer element count.
+
+        Consumers adapt automatically (they drain until close), so one
+        catalogue serves both the correctness tier (factor 1, fast) and
+        the perf grid (larger factors for measurable wall time).
+        """
+
+        if factor <= 1:
+            return self
+        roles = tuple(
+            replace(r, per=r.per * factor)
+            if isinstance(r, (Producers, OmissionProducers))
+            else r
+            for r in self.roles
+        )
+        return replace(self, roles=roles)
+
+    @property
+    def elements(self) -> int:
+        """Total elements all producer roles will attempt to send."""
+
+        return sum(
+            r.count * r.per  # type: ignore[attr-defined]
+            for r in self.roles
+            if r.producer_count()
+        )
+
+    @property
+    def disruptive(self) -> bool:
+        """True when interrupts/cancel may legally drop sent elements."""
+
+        return any(
+            isinstance(r, Interrupters) or (isinstance(r, Canceller) and r.mode == "cancel")
+            for r in self.roles
+        )
+
+    def _rng(self) -> random.Random:
+        key = hashlib.blake2b(
+            f"{self.name}:{self.seed}".encode(), digest_size=8
+        ).digest()
+        return random.Random(int.from_bytes(key, "big"))
+
+    def make_channel(self) -> Any:
+        kwargs: dict[str, Any] = {"name": f"scn-{self.name}"}
+        if self.seg_size is not None:
+            kwargs["seg_size"] = self.seg_size
+        if self.capacity == 0:
+            return RendezvousChannel(**kwargs)
+        return BufferedChannel(self.capacity, **kwargs)
+
+    def build(self, sched: Scheduler, channel: Any = None) -> dict[str, Any]:
+        """Spawn every role's tasks; returns the run context.
+
+        Explore-compatible: ``build(sched) -> ctx`` with fresh state per
+        call.  Pass ``channel`` to run the scenario over a different
+        implementation than the default FAA channel (the grid does).
+        """
+
+        rng = self._rng()
+        chan = channel if channel is not None else self.make_channel()
+        ctx: dict[str, Any] = {
+            "scenario": self.name,
+            "channel": chan,
+            "sent": [],
+            "received": [],
+            "victims": [],
+            "value_source": iter(range(1, 1_000_000)),
+            "elements_total": max(1, self.elements),
+            "producers_total": sum(r.producer_count() for r in self.roles),
+            "producers_done": 0,
+            "close_when_done": True,
+            "interrupts_delivered": 0,
+            "latency_naive": [],
+            "latency_corrected": [],
+        }
+        for role in self.roles:
+            role.spawn(sched, chan, ctx, rng)
+        return ctx
+
+    def check(self, ctx: dict[str, Any], sched: Optional[Scheduler] = None) -> None:
+        """Validate conservation (and delivery, for benign scenarios)."""
+
+        sent, received = ctx["sent"], ctx["received"]
+        assert len(set(sent)) == len(sent), f"{self.name}: duplicate send recorded"
+        assert len(set(received)) == len(received), (
+            f"{self.name}: value received twice: "
+            f"{sorted(v for v in set(received) if received.count(v) > 1)}"
+        )
+        ghosts = set(received) - set(sent)
+        assert not ghosts, f"{self.name}: received but never sent: {sorted(ghosts)}"
+        if not self.disruptive:
+            missing = set(sent) - set(received)
+            assert not missing, f"{self.name}: sent but never received: {sorted(missing)}"
+
+
+@dataclass
+class ScenarioRun:
+    """Outcome of one :func:`run_scenario` execution."""
+
+    scenario: Scenario
+    sched: Scheduler
+    ctx: dict[str, Any]
+    deadlocked: bool = False
+
+    @property
+    def makespan(self) -> int:
+        return self.sched.makespan
+
+    @property
+    def delivered(self) -> int:
+        return len(self.ctx["received"])
+
+
+def run_scenario(
+    scenario: Scenario,
+    policy: Optional[SchedulingPolicy] = None,
+    cost_model: Any = None,
+    channel: Any = None,
+    hooks: Sequence[Callable] = (),
+    check: bool = True,
+) -> ScenarioRun:
+    """Run one scenario under one policy and validate the outcome.
+
+    Defaults to the cache-coherence :class:`CostModel` — unlike
+    exploration, policy scenarios want meaningful clocks (fairness waits
+    are measured in cycles, and the DES policy needs advancing clocks to
+    rotate off spinning tasks).  A deadlock or an exhausted step budget
+    marks the run ``deadlocked`` and still validates whatever completed,
+    exactly like the fuzzer treats stalls.
+    """
+
+    sched = Scheduler(
+        policy=policy,
+        cost_model=cost_model if cost_model is not None else CostModel(),
+        max_steps=scenario.max_steps,
+    )
+    for hook in hooks:
+        sched.add_hook(hook)
+    ctx = scenario.build(sched, channel=channel)
+    run = ScenarioRun(scenario, sched, ctx)
+    try:
+        sched.run()
+    except (DeadlockError, StepLimitExceeded):
+        run.deadlocked = True
+    if check:
+        if run.deadlocked:
+            # Validate conservation only: delivery is moot mid-stall.
+            benign = replace(scenario, roles=scenario.roles + (Interrupters(0),))
+            benign.check(ctx)
+        else:
+            scenario.check(ctx, sched)
+    return run

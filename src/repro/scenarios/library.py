@@ -1,0 +1,104 @@
+"""Named, seeded scenario catalogue for the policy grid.
+
+Each entry is a :class:`~repro.scenarios.dsl.Scenario` template; call
+:func:`scenario` to get a seeded instance.  Sizes are deliberately small
+— one scenario run is a correctness probe and a fairness sample, not a
+throughput benchmark (the grid multiplies these by channels × policies).
+
+Naming: ``<shape>-<P>p<C>c`` where P/C count producers/consumers.
+"""
+
+from __future__ import annotations
+
+from .dsl import (
+    Canceller,
+    Consumers,
+    Interrupters,
+    OmissionProducers,
+    Producers,
+    Scenario,
+    bursty,
+    steady,
+    uniform,
+)
+
+__all__ = ["SCENARIOS", "scenario", "scenario_names"]
+
+
+def _catalogue() -> dict[str, Scenario]:
+    entries = [
+        # The Figure-5 baseline shape: balanced, geometric think time.
+        Scenario(
+            "steady-2p2c",
+            capacity=0,
+            roles=(Producers(2, per=8), Consumers(2)),
+        ),
+        # Bursty arrivals: sends cluster into back-to-back volleys that
+        # overrun the buffer, then go quiet — the buffer-sizing probe.
+        Scenario(
+            "bursty-4p4c",
+            capacity=16,
+            roles=(
+                Producers(4, per=12, arrivals=bursty(burst=4, gap=3000)),
+                Consumers(4),
+            ),
+            seg_size=4,
+        ),
+        # Producer/consumer asymmetry: four senders funnel into one
+        # drainer, so senders contend on the buffer bound.
+        Scenario(
+            "asym-4p1c",
+            capacity=8,
+            roles=(Producers(4, per=8, arrivals=steady(20)), Consumers(1)),
+        ),
+        # Slow consumer: periodic long stalls on one side force sender
+        # parks — the backpressure/fairness probe.
+        Scenario(
+            "slow-consumer-2p2c",
+            capacity=4,
+            roles=(
+                Producers(2, per=10, arrivals=steady(10)),
+                Consumers(2, stall=(3, 20_000)),
+            ),
+        ),
+        # Coordinated omission: fixed-period senders measure latency
+        # from the *intended* slot, not the backpressure-delayed start.
+        Scenario(
+            "omission-1p1c",
+            capacity=1,
+            roles=(OmissionProducers(1, per=12, period=800), Consumers(1)),
+        ),
+        # Cancellation storm: interrupters kill random workers mid-run
+        # and a canceller always fires, so conservation (no loss before
+        # the cancel point, no duplicates ever) is the only invariant.
+        Scenario(
+            "cancel-storm-3p3c",
+            capacity=0,
+            roles=(
+                Producers(3, per=6, arrivals=uniform(0, 400)),
+                Consumers(3, work=uniform(0, 400)),
+                Interrupters(2, delay=2_000),
+                Canceller(after=50_000, mode="cancel"),
+            ),
+        ),
+    ]
+    return {s.name: s for s in entries}
+
+
+SCENARIOS: dict[str, Scenario] = _catalogue()
+
+
+def scenario_names() -> list[str]:
+    return list(SCENARIOS)
+
+
+def scenario(name: str, seed: int = 0) -> Scenario:
+    """Look up a named scenario, re-seeded for this instantiation."""
+
+    try:
+        template = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}"
+        ) from None
+    return template.with_seed(seed)

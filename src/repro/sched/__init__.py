@@ -1,0 +1,73 @@
+"""Pluggable scheduling policies, fairness accounting, and policy parity.
+
+`repro.sched` widens the DES from one scheduling regime
+(:class:`~repro.sim.scheduler.DesPolicy`) to a pack of policies real
+lightweight-thread runtimes run under — preemptive quantum round-robin,
+priority with aging, EDF realtime-periodic, and M:N core mapping with
+work stealing — all behind the existing ``SchedulingPolicy`` protocol,
+so the default DES behavior and its pinned goldens are untouched.
+
+Entry points:
+
+* :data:`POLICIES` / :func:`make_policy` — name → fresh policy instance.
+* :class:`FairnessMonitor` — per-waiter wait-time/starvation accounting.
+* :mod:`repro.sched.parity` — re-runs the verify suite under every
+  policy (``python -m repro.sched parity``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..sim.scheduler import DesPolicy, RandomPolicy, SchedulingPolicy
+from .fairness import FairnessMonitor, FairnessReport
+from .policies import (
+    CountingPolicy,
+    MnPolicy,
+    PriorityPolicy,
+    QuantumPolicy,
+    RealtimePolicy,
+    RoundRobinPolicy,
+)
+
+__all__ = [
+    "CountingPolicy",
+    "FairnessMonitor",
+    "FairnessReport",
+    "MnPolicy",
+    "POLICIES",
+    "PriorityPolicy",
+    "QuantumPolicy",
+    "RealtimePolicy",
+    "RoundRobinPolicy",
+    "make_policy",
+    "policy_names",
+]
+
+#: name -> factory(seed) -> fresh policy instance.  Deterministic given
+#: (name, seed); only "random" and "mn" consume the seed at all.
+POLICIES: Dict[str, Callable[[int], SchedulingPolicy]] = {
+    "des": lambda seed: DesPolicy(),
+    "random": lambda seed: RandomPolicy(seed),
+    "rr": lambda seed: RoundRobinPolicy(),
+    "quantum": lambda seed: QuantumPolicy(quantum=4),
+    "priority": lambda seed: PriorityPolicy(),
+    "realtime": lambda seed: RealtimePolicy(),
+    "mn": lambda seed: MnPolicy(cores=2, seed=seed),
+}
+
+
+def policy_names() -> list[str]:
+    return list(POLICIES)
+
+
+def make_policy(name: str, seed: int = 0) -> SchedulingPolicy:
+    """Instantiate a fresh policy by registry name."""
+
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; available: {', '.join(POLICIES)}"
+        ) from None
+    return factory(seed)

@@ -1,0 +1,95 @@
+"""CLI for the scheduling-policy subsystem.
+
+``python -m repro.sched parity`` re-runs the verify suite (invariants,
+lifecycle conformance, linearizability fuzz, scenario storms) under
+every scheduling policy and prints one verdict block per policy, with
+per-scenario fairness numbers.  Exits nonzero when any check fails —
+the ``policy-parity`` CI job gates on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import POLICIES
+from .parity import run_parity
+
+
+def _cmd_parity(args: argparse.Namespace) -> int:
+    policies = args.policies.split(",") if args.policies else None
+    registry = None
+    if args.metrics:
+        from ..obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+    results = run_parity(
+        policies=policies, seed=args.seed, quick=args.quick, registry=registry
+    )
+    failed = [r for r in results if not r.ok]
+    for r in results:
+        verdict = "ok" if r.ok else "FAIL"
+        print(f"policy={r.policy:<9} {verdict}")
+        for check, status in r.checks.items():
+            print(f"  {check:<11} {status}")
+        if r.counters:
+            pairs = " ".join(f"{k}={v}" for k, v in sorted(r.counters.items()))
+            print(f"  counters    {pairs}")
+        for row in r.fairness:
+            print(
+                f"  {row['scenario']:<22} delivered={row['delivered']:<4}"
+                f" parks={row['parks']:<5} wait_p99={row['wait_p99_cycles']:<8}"
+                f" jain={row['fairness_jain']:<6}"
+                + (f" STARVED={','.join(row['starved'])}" if row["starved"] else "")
+            )
+    if args.json:
+        payload = {
+            "command": "parity",
+            "quick": args.quick,
+            "seed": args.seed,
+            "results": [r.to_dict() for r in results],
+        }
+        if args.metrics:
+            payload["metrics"] = registry.snapshot()
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    if failed:
+        print(f"PARITY FAILED for: {', '.join(r.policy for r in failed)}", file=sys.stderr)
+        return 1
+    print(f"parity ok across {len(results)} policies")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sched",
+        description="Scheduling-policy subsystem: parity harness.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    parity = sub.add_parser(
+        "parity", help="run the verify suite under each scheduling policy"
+    )
+    parity.add_argument(
+        "--policies",
+        default="",
+        metavar="A,B",
+        help=f"comma-separated policy names (default: all of {','.join(POLICIES)})",
+    )
+    parity.add_argument("--seed", type=int, default=0)
+    parity.add_argument(
+        "--quick", action="store_true", help="reduced cases/scenarios (CI smoke tier)"
+    )
+    parity.add_argument(
+        "--metrics", action="store_true", help="include a metrics snapshot in --json"
+    )
+    parity.add_argument("--json", default="", metavar="PATH", help="write results as JSON")
+    parity.set_defaults(fn=_cmd_parity)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

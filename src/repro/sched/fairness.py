@@ -1,0 +1,182 @@
+"""Per-waiter wait-time accounting: the fairness lens of the policy grid.
+
+A :class:`FairnessMonitor` is a scheduler hook (``sched.add_hook``) that
+measures, for every actual suspension, how long the waiter stayed parked —
+from the ``ParkTask`` op that suspended it to its first op after resuming.
+Waits are recorded in simulated cycles (the task-clock delta) *and* in
+scheduler steps (the global op-counter delta), so the numbers stay
+meaningful under :class:`~repro.sim.costmodel.NullCostModel` runs where
+clocks never advance.
+
+Per-task distributions feed the starvation check the claim/release
+fairness literature uses: a waiter whose mean wait exceeds
+``starvation_factor`` × the median of all per-task means is flagged as
+starved.  :meth:`publish` emits everything through
+:mod:`repro.obs.metrics` with ``policy=`` labels.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..concurrent.ops import Op, ParkTask
+from ..sim.tasks import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
+    from ..sim.scheduler import Scheduler
+
+__all__ = ["FairnessMonitor", "FairnessReport"]
+
+
+def _percentile(sorted_values: list[float], p: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+
+    import math
+
+    rank = max(1, math.ceil(len(sorted_values) * p / 100))
+    return sorted_values[rank - 1]
+
+
+class FairnessReport:
+    """Aggregated wait-time statistics for one policy run."""
+
+    __slots__ = (
+        "policy",
+        "waits_cycles",
+        "waits_steps",
+        "per_task_cycles",
+        "starvation_factor",
+    )
+
+    def __init__(
+        self,
+        policy: str,
+        waits_cycles: list[int],
+        waits_steps: list[int],
+        per_task_cycles: dict[str, list[int]],
+        starvation_factor: float,
+    ) -> None:
+        self.policy = policy
+        self.waits_cycles = waits_cycles
+        self.waits_steps = waits_steps
+        self.per_task_cycles = per_task_cycles
+        self.starvation_factor = starvation_factor
+
+    @property
+    def parks(self) -> int:
+        return len(self.waits_cycles)
+
+    def percentile(self, p: float) -> float:
+        if not self.waits_cycles:
+            return 0.0
+        return _percentile(sorted(self.waits_cycles), p)
+
+    @property
+    def jain_index(self) -> float:
+        """Jain's fairness index over per-task mean waits (1.0 = fair).
+
+        ``(sum x)^2 / (n * sum x^2)`` over the per-task means; 1.0 when
+        every waiter waits the same on average, ``1/n`` when one waiter
+        absorbs all the waiting.  Tasks that never parked don't count.
+        """
+
+        means = [sum(w) / len(w) for w in self.per_task_cycles.values() if w]
+        if not means:
+            return 1.0
+        total = sum(means)
+        squares = sum(m * m for m in means)
+        if squares == 0:
+            return 1.0
+        return (total * total) / (len(means) * squares)
+
+    @property
+    def starved(self) -> list[str]:
+        """Task names whose mean wait exceeds factor × median mean wait."""
+
+        means = {
+            name: sum(w) / len(w) for name, w in self.per_task_cycles.items() if w
+        }
+        if len(means) < 2:
+            return []
+        ordered = sorted(means.values())
+        median = ordered[len(ordered) // 2]
+        if median <= 0:
+            return []
+        return sorted(
+            name
+            for name, mean in means.items()
+            if mean > self.starvation_factor * median
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "parks": self.parks,
+            "wait_p50_cycles": self.percentile(50),
+            "wait_p99_cycles": self.percentile(99),
+            "wait_max_cycles": max(self.waits_cycles, default=0),
+            "fairness_jain": round(self.jain_index, 4),
+            "starved": self.starved,
+        }
+
+
+class FairnessMonitor:
+    """Scheduler hook recording how long each waiter stays parked.
+
+    The hook fires after the scheduler applied each op: a ``ParkTask``
+    that left the task ``PARKED`` opens a wait (an op that consumed a
+    pending permit never suspended and opens nothing); the task's next
+    observed op closes it.  Attach before running, read
+    :meth:`report` after.  One monitor can span several runs under the
+    same policy — waits accumulate.
+    """
+
+    def __init__(self, policy: str = "?", starvation_factor: float = 4.0) -> None:
+        self.policy = policy
+        self.starvation_factor = starvation_factor
+        self._open: dict[int, tuple[int, int]] = {}  # tid -> (clock, step)
+        self._waits_cycles: list[int] = []
+        self._waits_steps: list[int] = []
+        self._per_task: dict[str, list[int]] = {}
+
+    def __call__(self, sched: "Scheduler", task: Task, op: Op) -> None:
+        opened = self._open.pop(task.tid, None)
+        if opened is not None:
+            clock0, step0 = opened
+            wait_cycles = task.clock - clock0
+            self._waits_cycles.append(wait_cycles)
+            self._waits_steps.append(sched.total_steps - step0)
+            self._per_task.setdefault(task.name, []).append(wait_cycles)
+        if type(op) is ParkTask and task.state is TaskState.PARKED:
+            self._open[task.tid] = (task.clock, sched.total_steps)
+
+    def report(self) -> FairnessReport:
+        return FairnessReport(
+            self.policy,
+            self._waits_cycles,
+            self._waits_steps,
+            self._per_task,
+            self.starvation_factor,
+        )
+
+    def publish(self, registry: "MetricsRegistry") -> FairnessReport:
+        """Fold the observed waits into ``registry`` and return the report.
+
+        Emits ``sched_wait_cycles{policy=...}`` (aggregate histogram),
+        ``sched_wait_cycles{policy=...,task=...}`` per waiter, and the
+        ``sched_parks_total{policy=...}`` counter.
+        """
+
+        report = self.report()
+        agg = registry.histogram("sched_wait_cycles", policy=self.policy)
+        for wait in self._waits_cycles:
+            agg.observe(wait)
+        for name, waits in sorted(self._per_task.items()):
+            series = registry.histogram(
+                "sched_wait_cycles", policy=self.policy, task=name
+            )
+            for wait in waits:
+                series.observe(wait)
+        registry.counter("sched_parks_total", policy=self.policy).inc(report.parks)
+        return report

@@ -1,0 +1,203 @@
+"""Policy parity: re-run the verify suite under every scheduling policy.
+
+The channel algorithms were verified under two regimes (the DES policy
+and seeded-random scheduling).  This harness proves the *same* suite —
+structural invariants, cell-lifecycle conformance, linearizability
+fuzzing, close/cancel storms — holds under every policy in
+:data:`repro.sched.POLICIES`, and measures what correctness checks
+cannot: per-waiter wait-time distributions and starvation, per policy,
+via :class:`~repro.sched.fairness.FairnessMonitor`.
+
+One :class:`ParityResult` per policy: named checks (``ok`` or a failure
+message), per-scenario fairness rows, and the policy's aggregated
+scheduling counters.  ``python -m repro.sched parity`` drives it from
+the command line; the ``policy-parity`` CI job runs the full matrix.
+
+All runs use the cache-coherence :class:`~repro.sim.costmodel.CostModel`:
+fairness waits are measured in cycles, and the DES policy needs
+advancing clocks to rotate between tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..core import BufferedChannel, RendezvousChannel
+from ..errors import InvariantViolation
+from ..sim.costmodel import CostModel
+from ..sim.scheduler import Scheduler
+from ..scenarios import SCENARIOS, scenario as make_scenario
+from ..scenarios.dsl import run_scenario
+from ..verify import (
+    CellLifecycleChecker,
+    Lemma1Checker,
+    ProducerConsumerScenario,
+    fuzz_channel,
+)
+from . import POLICIES, make_policy
+from .fairness import FairnessMonitor
+from .policies import CountingPolicy
+
+__all__ = ["ParityResult", "run_parity", "QUICK_SCENARIOS"]
+
+#: Scenario subset for the quick (tier-1 / smoke) tier.
+QUICK_SCENARIOS = ("steady-2p2c", "slow-consumer-2p2c", "cancel-storm-3p3c")
+
+_CheckError = (AssertionError, InvariantViolation)
+
+
+class ParityResult:
+    """Verify-suite outcome for one policy."""
+
+    def __init__(self, policy: str) -> None:
+        self.policy = policy
+        self.checks: dict[str, str] = {}
+        self.fairness: list[dict[str, Any]] = []
+        self.counters: dict[str, int] = {}
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.checks) and all(v == "ok" for v in self.checks.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "ok": self.ok,
+            "checks": dict(self.checks),
+            "fairness": list(self.fairness),
+            "counters": dict(self.counters),
+        }
+
+
+def _fold_counters(result: ParityResult, policy: Any) -> None:
+    if isinstance(policy, CountingPolicy):
+        for key, value in policy.counters.items():
+            result.counters[key] = result.counters.get(key, 0) + value
+
+
+def _run_check(
+    result: ParityResult, name: str, fn: Callable[[], None]
+) -> None:
+    try:
+        fn()
+    except _CheckError as exc:
+        result.checks[name] = f"FAIL: {exc}"
+    else:
+        result.checks[name] = "ok"
+
+
+def _check_invariants(result: ParityResult, name: str, seed: int, quick: bool) -> None:
+    """Structural invariants + FIFO under the policy (both channel kinds)."""
+
+    per = 4 if quick else 8
+    for label, factory, rendezvous in (
+        ("rendezvous", lambda: RendezvousChannel(seg_size=4), True),
+        ("buffered", lambda: BufferedChannel(2, seg_size=4), False),
+    ):
+        policy = make_policy(name, seed)
+        sched = Scheduler(policy=policy, cost_model=CostModel())
+        scn = ProducerConsumerScenario(factory, producers=2, consumers=2, per_producer=per)
+        ctx = scn.build(sched)
+        channel = ctx["channel"]
+        if rendezvous:
+            sched.add_hook(Lemma1Checker(channel))
+        sched.add_hook(CellLifecycleChecker.for_channel(channel))
+        sched.run()
+        scn.check(ctx, sched)
+        _fold_counters(result, policy)
+
+
+def _check_fuzz(result: ParityResult, name: str, seed: int, quick: bool) -> None:
+    """Linearizability fuzz with the policy driving the interleavings."""
+
+    cases = 8 if quick else 25
+    for capacity, factory in (
+        (0, lambda: RendezvousChannel(seg_size=4)),
+        (1, lambda: BufferedChannel(1, seg_size=4)),
+    ):
+        fuzz_channel(
+            factory,
+            capacity,
+            cases=cases,
+            seed=seed,
+            policy_factory=lambda s: make_policy(name, s),
+            cost_model_factory=CostModel,
+        )
+
+
+def _check_lifecycle(result: ParityResult, name: str, seed: int, quick: bool) -> None:
+    """Close/cancel storm with cell-lifecycle conformance enforced."""
+
+    scn = make_scenario("cancel-storm-3p3c", seed=seed)
+    channel = scn.make_channel()
+    policy = make_policy(name, seed)
+    run = run_scenario(
+        scn,
+        policy=policy,
+        channel=channel,
+        hooks=[CellLifecycleChecker.for_channel(channel)],
+    )
+    assert not run.deadlocked, "cancel storm stalled (canceller never unblocked waiters)"
+    _fold_counters(result, policy)
+
+
+def _check_scenarios(
+    result: ParityResult,
+    name: str,
+    seed: int,
+    quick: bool,
+    registry: Any = None,
+) -> None:
+    """Run the scenario catalogue; collect fairness + delivery per run."""
+
+    names = QUICK_SCENARIOS if quick else tuple(SCENARIOS)
+    for scn_name in names:
+        scn = make_scenario(scn_name, seed=seed)
+        policy = make_policy(name, seed)
+        monitor = FairnessMonitor(policy=name)
+        run = run_scenario(scn, policy=policy, hooks=[monitor])
+        assert not run.deadlocked, f"scenario {scn_name} stalled under {name}"
+        report = monitor.publish(registry) if registry is not None else monitor.report()
+        row = report.to_dict()
+        row.update(
+            scenario=scn_name,
+            makespan=run.makespan,
+            delivered=run.delivered,
+        )
+        result.fairness.append(row)
+        _fold_counters(result, policy)
+        if registry is not None and isinstance(policy, CountingPolicy):
+            policy.publish_counters(registry)
+
+
+def run_parity(
+    policies: Optional[list[str]] = None,
+    seed: int = 0,
+    quick: bool = False,
+    registry: Any = None,
+) -> list[ParityResult]:
+    """Run the verify suite under each policy; returns one result each.
+
+    Never raises on a check failure — failures land in
+    :attr:`ParityResult.checks` so one broken policy doesn't mask the
+    rest (the CLI turns any failure into a nonzero exit).
+    """
+
+    names = policies if policies is not None else list(POLICIES)
+    results = []
+    for name in names:
+        if name not in POLICIES:
+            raise KeyError(
+                f"unknown policy {name!r}; available: {', '.join(POLICIES)}"
+            )
+        result = ParityResult(name)
+        _run_check(result, "invariants", lambda: _check_invariants(result, name, seed, quick))
+        _run_check(result, "fuzz", lambda: _check_fuzz(result, name, seed, quick))
+        _run_check(result, "lifecycle", lambda: _check_lifecycle(result, name, seed, quick))
+        _run_check(
+            result,
+            "scenarios",
+            lambda: _check_scenarios(result, name, seed, quick, registry),
+        )
+        results.append(result)
+    return results

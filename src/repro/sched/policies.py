@@ -1,0 +1,487 @@
+"""Pluggable scheduling policies for the simulated multicore.
+
+Every class here implements the :class:`~repro.sim.scheduler.SchedulingPolicy`
+protocol, so any of them drops into a :class:`~repro.sim.scheduler.Scheduler`
+in place of the default :class:`~repro.sim.scheduler.DesPolicy`.  None of
+them touch the scheduler's fused fast lane — ``Scheduler.run()`` routes a
+non-``DesPolicy`` run through the general loop, and the DES goldens stay
+bit-identical because the default policy is untouched.
+
+The policies model the regimes real lightweight-thread runtimes actually
+schedule under (the single DES regime the Figure 5 numbers were measured
+with is only one point in that space):
+
+* :class:`QuantumPolicy` — preemptive round-robin with a fixed op quantum.
+  ``quantum=1`` is exactly the old cooperative ``RoundRobinPolicy``
+  (re-exported here for compatibility).
+* :class:`PriorityPolicy` — fixed base priorities with aging: a waiter's
+  effective priority improves the longer it waits, so low-priority tasks
+  are delayed (priority inversion pressure) but never starved.
+* :class:`RealtimePolicy` — earliest-deadline-first over per-task periods,
+  the XNU-style realtime-periodic regime; deadline misses are counted.
+* :class:`MnPolicy` — M:N task-to-core mapping: tasks are pinned to one of
+  ``cores`` virtual run queues and idle cores steal from the busiest
+  queue, migrating the stolen task.
+
+Determinism contract
+--------------------
+Every policy is fully deterministic given its constructor arguments (the
+only randomness, :class:`MnPolicy`'s steal-victim choice, draws from a
+seeded ``random.Random``), so every scenario run under any policy is
+reproducible from ``(scenario, policy, seed)`` alone.
+
+Counters
+--------
+Each policy keeps plain-int scheduling counters (``preemptions``,
+``quantum_expiries``, ``steals``, ``priority_boosts``, ``deadline_misses``
+— whichever apply) in :attr:`CountingPolicy.counters` and publishes them
+into a :class:`~repro.obs.metrics.MetricsRegistry` with a ``policy=``
+label via :meth:`CountingPolicy.publish_counters`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..sim.scheduler import SchedulingPolicy
+from ..sim.tasks import Task, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.metrics import MetricsRegistry
+
+__all__ = [
+    "CountingPolicy",
+    "QuantumPolicy",
+    "RoundRobinPolicy",
+    "PriorityPolicy",
+    "RealtimePolicy",
+    "MnPolicy",
+    "DRIFT_PERIOD",
+]
+
+#: Picks between timer-drift perturbations in the op-count policies.
+#:
+#: A purely op-count scheduler (strict round-robin, fixed quanta, strict
+#: core rotation) is perfectly periodic, so two tasks in a lock-free
+#: retry loop can phase-lock into a livelock orbit: the paper's cell
+#: poisoning race, replayed at the exact same relative offset forever
+#: (receiver poisons cell *i* one op before the sender's commit CAS,
+#: both advance to *i+1*, repeat).  Real preemptive schedulers never
+#: exhibit this because timer interrupts drift relative to the
+#: instruction stream.  We model that drift deterministically: every
+#: ``DRIFT_PERIOD``-th pick rotates the ready structure one extra slot,
+#: shifting the tasks' relative phase by one op so no fixed-period orbit
+#: survives.  Prime and much larger than any pinned-order unit test, so
+#: the legacy strict-rotation contracts are unaffected.
+DRIFT_PERIOD = 61
+
+
+class CountingPolicy(SchedulingPolicy):
+    """Base for the policy pack: scheduling counters + metrics emission.
+
+    Subclasses bump :attr:`counters` entries as decisions happen; the
+    scheduler never reads them.  ``name`` labels metric series and grid
+    rows.
+    """
+
+    #: Registry/display name; subclasses override.
+    name = "counting"
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {"picks": 0, "preemptions": 0}
+        self._last: Optional[Task] = None
+
+    # -- bookkeeping helpers ------------------------------------------
+
+    def _picked(self, task: Task) -> Task:
+        """Account one scheduling decision (call from ``next()``)."""
+
+        self.counters["picks"] += 1
+        last = self._last
+        if last is not None and task is not last and last.state is TaskState.RUNNABLE:
+            self.counters["preemptions"] += 1
+        self._last = task
+        return task
+
+    def forget(self, task: Task) -> None:
+        if self._last is task:
+            self._last = None
+
+    def reset(self) -> None:
+        for key in self.counters:
+            self.counters[key] = 0
+        self._last = None
+
+    def publish_counters(self, registry: "MetricsRegistry") -> None:
+        """Emit every counter as ``sched_<name>_total{policy=...}``."""
+
+        for key, value in sorted(self.counters.items()):
+            registry.counter(f"sched_{key}_total", policy=self.name).inc(value)
+
+
+class QuantumPolicy(CountingPolicy):
+    """Preemptive round-robin with a fixed per-stint op quantum.
+
+    A picked task runs up to ``quantum`` consecutive ops before it is
+    descheduled to the back of the FIFO ready queue (counted as a
+    ``quantum_expiries``).  A voluntary ``Spin``/``Yield`` surrenders the
+    remainder of the quantum, as on a real runtime.  ``quantum=1``
+    reproduces the old cooperative ``RoundRobinPolicy`` exactly: one op
+    per pick, strict FIFO rotation.
+
+    Every :data:`DRIFT_PERIOD`-th pick rotates the ready queue one extra
+    slot (a ``timer_drifts`` counter) so the rotation cannot phase-lock
+    with a lock-free retry loop — see :data:`DRIFT_PERIOD`.
+    """
+
+    name = "quantum"
+
+    def __init__(self, quantum: int = 4) -> None:
+        super().__init__()
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum}")
+        self.quantum = quantum
+        self.counters["quantum_expiries"] = 0
+        self.counters["timer_drifts"] = 0
+        self._queue: deque[Task] = deque()
+        self._queued: set[int] = set()
+        self._left = 0  # ops remaining in the current stint
+        self._until_drift = DRIFT_PERIOD
+
+    def reset(self) -> None:
+        super().reset()
+        self._queue.clear()
+        self._queued.clear()
+        self._left = 0
+        self._until_drift = DRIFT_PERIOD
+
+    def _enqueue(self, task: Task) -> None:
+        if task.tid not in self._queued:
+            self._queued.add(task.tid)
+            self._queue.append(task)
+
+    def on_runnable(self, task: Task) -> None:
+        self._enqueue(task)
+
+    def requeue(self, task: Task) -> None:
+        self._enqueue(task)
+
+    def forget(self, task: Task) -> None:
+        super().forget(task)
+        self._queued.discard(task.tid)
+
+    def next(self) -> Optional[Task]:
+        queue = self._queue
+        self._until_drift -= 1
+        if self._until_drift <= 0:
+            self._until_drift = DRIFT_PERIOD
+            if len(queue) > 1:
+                queue.rotate(-1)
+                self.counters["timer_drifts"] += 1
+        while queue:
+            task = queue.popleft()
+            self._queued.discard(task.tid)
+            if task.state is TaskState.RUNNABLE:
+                self._left = self.quantum - 1
+                return self._picked(task)
+        return None
+
+    def keep_running(self, task: Task) -> bool:
+        if self._left > 0:
+            self._left -= 1
+            return True
+        self.counters["quantum_expiries"] += 1
+        return False
+
+    def on_voluntary_yield(self, task: Task) -> None:
+        # A spinning task is only re-reading unchanged state: burning the
+        # rest of its quantum on it would be pure stutter.
+        self._left = 0
+
+
+class RoundRobinPolicy(QuantumPolicy):
+    """Cooperative round-robin with a per-pick quantum of one op.
+
+    Historically defined in :mod:`repro.sim.scheduler`; now the
+    ``quantum=1`` corner of :class:`QuantumPolicy` (still importable from
+    its old home).
+    """
+
+    name = "rr"
+
+    def __init__(self) -> None:
+        super().__init__(quantum=1)
+
+
+class PriorityPolicy(CountingPolicy):
+    """Fixed base priorities with aging (lower value = more urgent).
+
+    Each task's base priority comes from ``priority_of`` (default:
+    ``tid % levels``, spreading tasks across the levels).  While a task
+    waits in the ready set, its *effective* priority improves by one
+    level every ``aging`` scheduling decisions; being picked resets the
+    age.  Aging bounds starvation: a task ``levels * aging`` picks old
+    outranks everything.  Picks that only an aged priority could have won
+    are counted as ``priority_boosts``.
+    """
+
+    name = "priority"
+
+    def __init__(
+        self,
+        levels: int = 4,
+        aging: int = 16,
+        priority_of: Optional[Callable[[Task], int]] = None,
+    ) -> None:
+        super().__init__()
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        if aging < 1:
+            raise ValueError(f"aging must be >= 1, got {aging}")
+        self.levels = levels
+        self.aging = aging
+        self.priority_of = priority_of or (lambda task: task.tid % levels)
+        self.counters["priority_boosts"] = 0
+        #: tid -> (task, base priority, pick-count at enqueue)
+        self._ready: dict[int, tuple[Task, int, int]] = {}
+        self._decisions = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._ready.clear()
+        self._decisions = 0
+
+    def _enqueue(self, task: Task) -> None:
+        if task.tid not in self._ready:
+            self._ready[task.tid] = (task, self.priority_of(task), self._decisions)
+
+    def on_runnable(self, task: Task) -> None:
+        self._enqueue(task)
+
+    def requeue(self, task: Task) -> None:
+        self._enqueue(task)
+
+    def forget(self, task: Task) -> None:
+        super().forget(task)
+        self._ready.pop(task.tid, None)
+
+    def _effective(self, base: int, enqueued: int) -> int:
+        return base - (self._decisions - enqueued) // self.aging
+
+    def next(self) -> Optional[Task]:
+        best_tid = -1
+        best_key: Optional[tuple[int, int]] = None
+        best_base = 0
+        dead: list[int] = []
+        for tid, (task, base, enqueued) in self._ready.items():
+            if task.state is not TaskState.RUNNABLE:
+                dead.append(tid)
+                continue
+            key = (self._effective(base, enqueued), tid)
+            if best_key is None or key < best_key:
+                best_key, best_tid, best_base = key, tid, base
+        for tid in dead:
+            del self._ready[tid]
+        if best_key is None:
+            return None
+        task, _, _ = self._ready.pop(best_tid)
+        self._decisions += 1
+        if best_key[0] < best_base:
+            self.counters["priority_boosts"] += 1
+        return self._picked(task)
+
+
+class RealtimePolicy(CountingPolicy):
+    """Earliest-deadline-first over per-task periods (realtime-periodic).
+
+    Each task has a period in *scheduling decisions* (``period_of``,
+    default ``base_period * (1 + tid % spread)`` — mixed-rate task sets).
+    Becoming runnable releases a job whose deadline is one period away;
+    ``next()`` picks the earliest deadline (ties: lowest tid).  Picks
+    past the recorded deadline count as ``deadline_misses`` — the grid's
+    signal for how hard a policy squeezes latecomers.  Decisions, not
+    clocks, measure time so the policy behaves identically under
+    :class:`~repro.sim.costmodel.NullCostModel` (exploration) and the
+    cache-coherence cost model.
+    """
+
+    name = "realtime"
+
+    def __init__(
+        self,
+        base_period: int = 8,
+        spread: int = 3,
+        period_of: Optional[Callable[[Task], int]] = None,
+    ) -> None:
+        super().__init__()
+        if base_period < 1:
+            raise ValueError(f"base_period must be >= 1, got {base_period}")
+        if spread < 1:
+            raise ValueError(f"spread must be >= 1, got {spread}")
+        self.base_period = base_period
+        self.spread = spread
+        self.period_of = period_of or (
+            lambda task: self.base_period * (1 + task.tid % self.spread)
+        )
+        self.counters["deadline_misses"] = 0
+        #: tid -> (task, absolute deadline in decisions)
+        self._ready: dict[int, tuple[Task, int]] = {}
+        self._decisions = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._ready.clear()
+        self._decisions = 0
+
+    def _enqueue(self, task: Task) -> None:
+        if task.tid not in self._ready:
+            self._ready[task.tid] = (task, self._decisions + self.period_of(task))
+
+    def on_runnable(self, task: Task) -> None:
+        self._enqueue(task)
+
+    def requeue(self, task: Task) -> None:
+        self._enqueue(task)
+
+    def forget(self, task: Task) -> None:
+        super().forget(task)
+        self._ready.pop(task.tid, None)
+
+    def next(self) -> Optional[Task]:
+        best_tid = -1
+        best_key: Optional[tuple[int, int]] = None
+        dead: list[int] = []
+        for tid, (task, deadline) in self._ready.items():
+            if task.state is not TaskState.RUNNABLE:
+                dead.append(tid)
+                continue
+            key = (deadline, tid)
+            if best_key is None or key < best_key:
+                best_key, best_tid = key, tid
+        for tid in dead:
+            del self._ready[tid]
+        if best_key is None:
+            return None
+        task, deadline = self._ready.pop(best_tid)
+        self._decisions += 1
+        if self._decisions > deadline:
+            self.counters["deadline_misses"] += 1
+        return self._picked(task)
+
+
+class MnPolicy(CountingPolicy):
+    """M:N task-to-core mapping with work stealing.
+
+    ``cores`` virtual run queues; a task's home queue is ``tid % cores``
+    at spawn.  Cores take turns making the scheduling decision (strict
+    rotation, one decision per turn, like per-core dispatch loops
+    interleaving).  A core whose queue is empty steals from the *back*
+    of a seeded-random victim among the non-empty queues, migrates the
+    stolen task (its home queue becomes the thief), and counts a
+    ``steals``.  The quantum bounds how long one task monopolizes its
+    core before rotating (``quantum_expiries``).
+
+    Every :data:`DRIFT_PERIOD`-th pick advances the core rotation one
+    extra turn (a ``timer_drifts`` counter), so strict core rotation
+    cannot phase-lock with a lock-free retry loop — see
+    :data:`DRIFT_PERIOD`.
+    """
+
+    name = "mn"
+
+    def __init__(self, cores: int = 2, quantum: int = 4, seed: int = 0) -> None:
+        super().__init__()
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum}")
+        self.cores = cores
+        self.quantum = quantum
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.counters["steals"] = 0
+        self.counters["quantum_expiries"] = 0
+        self.counters["timer_drifts"] = 0
+        self._queues: list[deque[Task]] = [deque() for _ in range(cores)]
+        self._queued: set[int] = set()
+        self._home: dict[int, int] = {}
+        self._turn = 0
+        self._left = 0
+        self._until_drift = DRIFT_PERIOD
+
+    def reset(self) -> None:
+        super().reset()
+        for queue in self._queues:
+            queue.clear()
+        self._queued.clear()
+        self._home.clear()
+        self.rng = random.Random(self.seed)
+        self._turn = 0
+        self._left = 0
+        self._until_drift = DRIFT_PERIOD
+
+    def _enqueue(self, task: Task) -> None:
+        if task.tid in self._queued:
+            return
+        core = self._home.setdefault(task.tid, task.tid % self.cores)
+        self._queued.add(task.tid)
+        self._queues[core].append(task)
+
+    def on_runnable(self, task: Task) -> None:
+        self._enqueue(task)
+
+    def requeue(self, task: Task) -> None:
+        self._enqueue(task)
+
+    def forget(self, task: Task) -> None:
+        super().forget(task)
+        self._queued.discard(task.tid)
+        self._home.pop(task.tid, None)
+
+    def _pop_runnable(self, queue: deque[Task], from_back: bool) -> Optional[Task]:
+        while queue:
+            task = queue.pop() if from_back else queue.popleft()
+            self._queued.discard(task.tid)
+            if task.state is TaskState.RUNNABLE:
+                return task
+        return None
+
+    def next(self) -> Optional[Task]:
+        self._until_drift -= 1
+        if self._until_drift <= 0:
+            self._until_drift = DRIFT_PERIOD
+            if self.cores > 1:
+                self._turn += 1
+                self.counters["timer_drifts"] += 1
+        # One decision per core turn; a fully idle machine scans all
+        # cores once before giving up.
+        for _ in range(self.cores):
+            core = self._turn % self.cores
+            self._turn += 1
+            task = self._pop_runnable(self._queues[core], from_back=False)
+            if task is None:
+                victims = [
+                    i for i, q in enumerate(self._queues) if q and i != core
+                ]
+                while victims and task is None:
+                    victim = victims.pop(self.rng.randrange(len(victims)))
+                    task = self._pop_runnable(self._queues[victim], from_back=True)
+                if task is None:
+                    continue
+                self.counters["steals"] += 1
+                self._home[task.tid] = core  # migration
+            self._left = self.quantum - 1
+            return self._picked(task)
+        return None
+
+    def keep_running(self, task: Task) -> bool:
+        if self._left > 0:
+            self._left -= 1
+            return True
+        self.counters["quantum_expiries"] += 1
+        return False
+
+    def on_voluntary_yield(self, task: Task) -> None:
+        self._left = 0

@@ -45,6 +45,7 @@ from ..concurrent.cells import Cell
 from ..concurrent.ops import (
     Alloc,
     Cas,
+    ClockSync,
     CurrentTask,
     Faa,
     GetAndSet,
@@ -386,6 +387,7 @@ class CostModel:
                 UnparkTask: self._charge_unpark,
                 Label: self._charge_free,
                 CurrentTask: self._charge_free,
+                ClockSync: self._charge_free,
             }
         # _charge_exclusive fills every audit field itself; only the
         # no-shared-memory handlers need the reset wrapper.
@@ -403,6 +405,7 @@ class CostModel:
             UnparkTask: self._audited(self._charge_unpark),
             Label: self._audited(self._charge_free),
             CurrentTask: self._audited(self._charge_free),
+            ClockSync: self._audited(self._charge_free),
         }
 
     def _charge_exclusive(self, task: Task, cell: Cell, base: int) -> None:

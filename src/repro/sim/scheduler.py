@@ -104,6 +104,16 @@ class SchedulingPolicy:
         only re-read unchanged state.
         """
 
+    def forget(self, task: Task) -> None:
+        """The task finished (DONE or FAILED); drop any bookkeeping.
+
+        Called by the scheduler exactly once per completed task, *after*
+        the terminal state is set.  Pure bookkeeping: the scheduler never
+        hands a non-runnable task back to the policy, so ignoring this is
+        always correct — but policies keeping per-task maps (home queues,
+        priority ages) should release the entry here.
+        """
+
 
 class DesPolicy(SchedulingPolicy):
     """Discrete-event order: run the runnable task with the smallest clock.
@@ -213,30 +223,15 @@ class RandomPolicy(SchedulingPolicy):
         return task
 
 
-class RoundRobinPolicy(SchedulingPolicy):
-    """Cooperative round-robin with a per-pick quantum of one op."""
+def __getattr__(name: str) -> Any:
+    # RoundRobinPolicy moved to repro.sched.policies (it is QuantumPolicy
+    # with quantum=1); keep its historical import path working.  Lazy
+    # (PEP 562) so importing this module never pulls in repro.sched.
+    if name == "RoundRobinPolicy":
+        from ..sched.policies import RoundRobinPolicy
 
-    __slots__ = ("_queue",)
-
-    def __init__(self) -> None:
-        self._queue: list[Task] = []
-
-    def reset(self) -> None:
-        self._queue.clear()
-
-    def on_runnable(self, task: Task) -> None:
-        self._queue.append(task)
-
-    def requeue(self, task: Task) -> None:
-        self._queue.append(task)
-
-    def next(self) -> Optional[Task]:
-        queue = self._queue
-        while queue:
-            task = queue.pop(0)
-            if task.state is TaskState.RUNNABLE:
-                return task
-        return None
+        return RoundRobinPolicy
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class ControlledPolicy(SchedulingPolicy):
@@ -873,6 +868,7 @@ class Scheduler:
             task.state = TaskState.DONE
             task.value = stop.value
             self._live -= 1
+            self.policy.forget(task)
             if self.processors is not None:
                 self._unbind(task)
             return
@@ -880,6 +876,7 @@ class Scheduler:
             task.state = TaskState.FAILED
             task.error = exc
             self._live -= 1
+            self.policy.forget(task)
             if self.processors is not None:
                 self._unbind(task)
             return

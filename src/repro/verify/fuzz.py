@@ -81,11 +81,21 @@ def run_fuzz_case(
     capacity: int,
     check_lin: bool = False,
     max_steps: int = 500_000,
+    policy_factory: Optional[Callable[[int], Any]] = None,
+    cost_model_factory: Optional[Callable[[], Any]] = None,
 ) -> FuzzReport:
-    """Execute one random program and validate its outcome."""
+    """Execute one random program and validate its outcome.
+
+    ``policy_factory`` (seed → policy) swaps the scheduling regime the
+    program runs under — the policy-parity harness fuzzes every policy
+    through here.  Defaults to seeded-random scheduling, the regime with
+    the densest interleaving coverage.
+    """
 
     channel = channel_factory()
-    sched = Scheduler(policy=RandomPolicy(seed), cost_model=NullCostModel(), max_steps=max_steps)
+    policy = policy_factory(seed) if policy_factory is not None else RandomPolicy(seed)
+    cost = cost_model_factory() if cost_model_factory is not None else NullCostModel()
+    sched = Scheduler(policy=policy, cost_model=cost, max_steps=max_steps)
     report = FuzzReport(seed=seed, program=program)
     now = lambda: sched.total_steps  # noqa: E731
 
@@ -256,6 +266,8 @@ def fuzz_channel(
     n_tasks: int = 3,
     ops_per_task: int = 4,
     check_lin: bool = True,
+    policy_factory: Optional[Callable[[int], Any]] = None,
+    cost_model_factory: Optional[Callable[[], Any]] = None,
 ) -> list[FuzzReport]:
     """Run many fuzz cases; returns their reports (raises on violation)."""
 
@@ -270,6 +282,8 @@ def fuzz_channel(
                 seed=seed * 99991 + case,
                 capacity=capacity,
                 check_lin=check_lin,
+                policy_factory=policy_factory,
+                cost_model_factory=cost_model_factory,
             )
         )
     return reports

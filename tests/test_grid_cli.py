@@ -1,0 +1,114 @@
+"""``python -m repro.bench grid``: the policy matrix and its compare gate."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.__main__ import main
+from repro.bench.grid import run_grid
+from repro.bench.selfperf import compare_rows
+
+BENCH_07 = Path(__file__).parent.parent / "BENCH_07.json"
+
+
+@pytest.fixture(scope="module")
+def grid_dump(tmp_path_factory):
+    """One small in-process grid run shared by the CLI tests."""
+
+    path = tmp_path_factory.mktemp("grid") / "grid.json"
+    rc = main(
+        [
+            "grid",
+            "--impl",
+            "faa-channel",
+            "--policies",
+            "des,quantum",
+            "--scenarios",
+            "steady-2p2c",
+            "--repeat",
+            "1",
+            "--json",
+            str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestGridCommand:
+    def test_rows_carry_the_gateable_shape(self, grid_dump):
+        rows = json.loads(grid_dump.read_text())
+        assert len(rows) == 2
+        for row in rows:
+            assert row["command"] == "grid"
+            assert row["impl"] == "faa-channel"
+            assert row["scenario"] == "steady-2p2c"
+            assert row["name"] == f"grid-faa-channel-{row['policy']}-steady-2p2c"
+            assert row["ops_per_sec"] > 0
+            assert row["throughput"] > 0
+            assert row["delivered"] > 0 and not row["deadlocked"]
+            # Fairness columns ride along on every cell.
+            assert "wait_p99_cycles" in row and "fairness_jain" in row
+            assert isinstance(row["starved"], list)
+        assert {row["policy"] for row in rows} == {"des", "quantum"}
+
+    def test_nondefault_policies_report_counters(self, grid_dump):
+        rows = json.loads(grid_dump.read_text())
+        quantum = next(r for r in rows if r["policy"] == "quantum")
+        assert quantum["counters"]["picks"] > 0
+
+    def test_unknown_policy_is_rejected(self, tmp_path):
+        with pytest.raises(KeyError, match="quantum"):
+            main(["grid", "--policies", "nope", "--json", str(tmp_path / "x.json")])
+
+    def test_impossible_cells_become_skip_rows(self):
+        rows = run_grid(
+            impls=["go-channel"],
+            policies=["des"],
+            scenarios=["cancel-storm-3p3c"],
+            repeat=1,
+        )
+        assert rows == [
+            {
+                "name": "grid-go-channel-*-cancel-storm-3p3c",
+                "impl": "go-channel",
+                "scenario": "cancel-storm-3p3c",
+                "skip_reason": "no cancel lifecycle",
+            }
+        ]
+
+
+class TestGridCompareGate:
+    def test_grid_dump_self_compares_ok(self, grid_dump):
+        assert main(["compare", str(grid_dump), str(grid_dump)]) == 0
+
+    def test_compare_flags_a_grid_regression(self, grid_dump):
+        rows = json.loads(grid_dump.read_text())
+        slower = [dict(r, ops_per_sec=r["ops_per_sec"] * 0.5) for r in rows]
+        ok, report = compare_rows(rows, slower)
+        assert not ok
+        assert "REGRESSION" in report
+
+    def test_skip_rows_fall_out_of_the_gate(self):
+        skip = {
+            "command": "grid",
+            "name": "grid-go-channel-*-cancel-storm-3p3c",
+            "skip_reason": "no cancel lifecycle",
+        }
+        real = {
+            "command": "grid",
+            "name": "grid-faa-channel-des-steady-2p2c",
+            "ops_per_sec": 1000.0,
+        }
+        ok, _ = compare_rows([real, skip], [real, skip])
+        assert ok
+
+    def test_committed_artifact_gates_against_itself(self):
+        rows = json.loads(BENCH_07.read_text())
+        grid_rows = [r for r in rows if r.get("command") == "grid" and "ops_per_sec" in r]
+        assert len(grid_rows) >= 100  # the full committed matrix
+        ok, report = compare_rows(rows, rows)
+        assert ok, report

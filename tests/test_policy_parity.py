@@ -1,0 +1,185 @@
+"""Policy parity: the verify suite under non-default scheduling policies.
+
+The policy pack's central safety claim is two-sided:
+
+* every shipped policy preserves channel correctness — the parity
+  harness (invariants, linearizability fuzz, lifecycle, scenarios)
+  passes under it; and
+* shipping the pack changed nothing about the default engine — all 16
+  golden configurations stay bit-identical under the registry's
+  ``des`` policy and still take the fused fast path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import BufferedChannel, RendezvousChannel
+from repro.scenarios import Consumers, Producers, Scenario, steady
+from repro.sched import make_policy
+from repro.sched.parity import QUICK_SCENARIOS, ParityResult, run_parity
+from repro.sim.costmodel import CostModel
+from repro.sim.explore import explore, explore_random
+from repro.sim.scheduler import Scheduler
+from repro.verify.fuzz import fuzz_channel
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_engine.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def _run_registry_config(g: dict, policy_name: str = "des") -> Scheduler:
+    """The golden-point setup, but with the policy from the registry."""
+
+    from repro.bench.harness import make_impl
+    from repro.bench.workload import GeometricWork, consumer_task, producer_task, split_evenly
+
+    chan = make_impl(g["impl"], g["capacity"])
+    sched = Scheduler(
+        policy=make_policy(policy_name, g["seed"]),
+        cost_model=CostModel(),
+        processors=g["threads"],
+    )
+    pairs = max(2, g["threads"]) // 2
+    per_p = split_evenly(g["elements"], pairs)
+    per_c = split_evenly(g["elements"], pairs)
+    for p in range(pairs):
+        work = GeometricWork(100, seed=g["seed"] * 7919 + p * 2 + 1)
+        sched.spawn(producer_task(chan, p, per_p[p], work), f"prod-{p}")
+    for c in range(pairs):
+        work = GeometricWork(100, seed=g["seed"] * 7919 + c * 2 + 2)
+        sched.spawn(consumer_task(chan, per_c[c], work), f"cons-{c}")
+    sched.run()
+    return sched
+
+
+class TestParityHarness:
+    def test_quick_parity_passes_under_nondefault_policies(self):
+        results = run_parity(policies=["quantum", "mn"], seed=0, quick=True)
+        assert [r.policy for r in results] == ["quantum", "mn"]
+        for r in results:
+            assert r.ok, r.to_dict()
+            assert set(r.checks) == {"invariants", "fuzz", "lifecycle", "scenarios"}
+
+    def test_parity_collects_fairness_and_counters(self):
+        (r,) = run_parity(policies=["quantum"], seed=0, quick=True)
+        assert r.counters["picks"] > 0
+        assert len(r.fairness) == len(QUICK_SCENARIOS)
+        for row in r.fairness:
+            assert row["policy"] == "quantum"
+            assert row["delivered"] >= 0 and row["makespan"] > 0
+            assert "wait_p99_cycles" in row and "fairness_jain" in row
+
+    def test_unknown_policy_is_an_error_not_a_failure(self):
+        with pytest.raises(KeyError, match="quantum"):
+            run_parity(policies=["nope"])
+
+    def test_result_ok_requires_every_check_green(self):
+        r = ParityResult("probe")
+        assert not r.ok  # no checks ran: not vacuously ok
+        r.checks["invariants"] = "ok"
+        assert r.ok
+        r.checks["fuzz"] = "FAIL: lost element"
+        assert not r.ok
+
+
+class TestFuzzUnderPolicies:
+    @pytest.mark.parametrize("name", ["quantum", "priority", "mn"])
+    def test_rendezvous_fuzz_clean(self, name):
+        reports = fuzz_channel(
+            lambda: RendezvousChannel(seg_size=2),
+            capacity=0,
+            cases=6,
+            seed=7,
+            n_tasks=3,
+            ops_per_task=3,
+            policy_factory=lambda s, name=name: make_policy(name, s),
+        )
+        assert len(reports) == 6
+
+    def test_buffered_fuzz_clean_under_quantum(self):
+        reports = fuzz_channel(
+            lambda: BufferedChannel(2, seg_size=2),
+            capacity=2,
+            cases=6,
+            seed=11,
+            n_tasks=3,
+            ops_per_task=3,
+            policy_factory=lambda s: make_policy("quantum", s),
+        )
+        assert len(reports) == 6
+
+
+class TestExploreScenarioSmoke:
+    """The scenario DSL's build/check pair is a valid explorer harness."""
+
+    def tiny(self):
+        return Scenario(
+            "tiny-explore",
+            capacity=0,
+            roles=(
+                Producers(1, per=1, arrivals=steady(0)),
+                Consumers(1, work=steady(0)),
+            ),
+        )
+
+    def test_exhaustive_with_preemption_bound(self):
+        scn = self.tiny()
+        res = explore(scn.build, scn.check, max_schedules=5_000, preemption_bound=1)
+        assert res.exhausted
+        assert res.schedules > 50  # non-trivial interleaving space
+
+    def test_random_interleavings(self):
+        scn = self.tiny()
+        res = explore_random(scn.build, scn.check, schedules=50, seed=4)
+        assert res.schedules == 50
+
+
+class TestGoldenIdentityUnderRegistry:
+    @pytest.mark.parametrize(
+        "g",
+        GOLDEN["points"],
+        ids=[
+            f"{g['impl']}-t{g['threads']}-c{g['capacity']}-s{g['seed']}"
+            for g in GOLDEN["points"]
+        ],
+    )
+    def test_registry_des_reproduces_golden_point(self, g):
+        sched = _run_registry_config(g, "des")
+        got = {
+            "makespan": sched.makespan,
+            "steps": sched.total_steps,
+            "tasks": [[t.name, t.clock, t.steps] for t in sched.tasks],
+        }
+        want = {"makespan": g["makespan"], "steps": g["steps"], "tasks": g["tasks"]}
+        assert got == want
+
+    def test_registry_des_takes_fast_lane(self, monkeypatch):
+        calls = 0
+        orig = Scheduler._step_task
+
+        def counting(self, task):
+            nonlocal calls
+            calls += 1
+            return orig(self, task)
+
+        monkeypatch.setattr(Scheduler, "_step_task", counting)
+        sched = _run_registry_config(GOLDEN["points"][0], "des")
+        assert sched.total_steps > 0
+        assert calls == 0  # the policy pack did not dislodge the fused path
+
+    def test_nondefault_policy_takes_general_loop(self, monkeypatch):
+        calls = 0
+        orig = Scheduler._step_task
+
+        def counting(self, task):
+            nonlocal calls
+            calls += 1
+            return orig(self, task)
+
+        monkeypatch.setattr(Scheduler, "_step_task", counting)
+        g = dict(GOLDEN["points"][0], elements=60)
+        sched = _run_registry_config(g, "quantum")
+        assert calls == sched.total_steps > 0

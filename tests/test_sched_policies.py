@@ -1,0 +1,352 @@
+"""Unit tests for the repro.sched policy pack.
+
+Covers the satellite obligations of the policy subsystem: real
+round-robin coverage (beyond the single legacy interleaving test),
+quantum expiry accounting, priority aging, EDF deadlines, M:N work
+stealing, the promoted ``forget`` contract, determinism, and counter
+emission through :mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.concurrent.ops import Spin, Work, Yield
+from repro.obs.metrics import MetricsRegistry
+from repro.sched import POLICIES, make_policy, policy_names
+from repro.sched.policies import (
+    DRIFT_PERIOD,
+    CountingPolicy,
+    MnPolicy,
+    PriorityPolicy,
+    QuantumPolicy,
+    RealtimePolicy,
+    RoundRobinPolicy,
+)
+from repro.sim.costmodel import CostModel, NullCostModel
+from repro.sim.scheduler import DesPolicy, Scheduler, SchedulingPolicy
+
+
+def run_workers(policy, bodies, cost_model=None):
+    sched = Scheduler(policy=policy, cost_model=cost_model or NullCostModel())
+    for i, body in enumerate(bodies):
+        sched.spawn(body, f"w{i}")
+    sched.run()
+    return sched
+
+
+def appender(order, i, n, op=Yield):
+    for _ in range(n):
+        order.append(i)
+        yield op()
+
+
+class TestRegistry:
+    def test_all_policies_instantiate(self):
+        for name in policy_names():
+            policy = make_policy(name, seed=3)
+            assert isinstance(policy, SchedulingPolicy), name
+
+    def test_des_is_the_default_engine_policy(self):
+        assert type(make_policy("des")) is DesPolicy
+        assert type(Scheduler().policy) is DesPolicy
+
+    def test_unknown_policy_lists_alternatives(self):
+        with pytest.raises(KeyError, match="quantum"):
+            make_policy("nope")
+
+
+class TestRoundRobinCompat:
+    def test_importable_from_old_home(self):
+        import repro.sim.scheduler as sim_sched
+
+        assert sim_sched.RoundRobinPolicy is RoundRobinPolicy
+        assert "RoundRobinPolicy" in sim_sched.__all__
+
+    def test_is_quantum_one(self):
+        rr = RoundRobinPolicy()
+        assert isinstance(rr, QuantumPolicy)
+        assert rr.quantum == 1
+
+    def test_strict_interleaving(self):
+        # The legacy contract: one op per pick, strict FIFO rotation.
+        order: list[int] = []
+        run_workers(RoundRobinPolicy(), [appender(order, i, 3) for i in range(3)])
+        assert order == [0, 1, 2] * 3
+
+    def test_survives_mid_run_spawn(self):
+        order: list[int] = []
+        policy = RoundRobinPolicy()
+        sched = Scheduler(policy=policy, cost_model=NullCostModel())
+
+        def spawner():
+            order.append("s")
+            sched.spawn(appender(order, 9, 2), "late")
+            yield Yield()
+            order.append("s")
+
+        sched.spawn(spawner(), "spawner")
+        sched.spawn(appender(order, 0, 2), "w0")
+        sched.run()
+        assert sorted(order[1:], key=str) == [0, 0, 9, 9, "s"]  # all ran
+        assert policy.counters["picks"] > 0
+
+    def test_counts_expiries_and_preemptions(self):
+        order: list[int] = []
+        policy = RoundRobinPolicy()
+        run_workers(policy, [appender(order, i, 4) for i in range(2)])
+        # Every pick of a 1-op quantum expires it while the peer is live.
+        assert policy.counters["quantum_expiries"] > 0
+        assert policy.counters["preemptions"] > 0
+
+
+class TestQuantumPolicy:
+    def test_runs_quantum_ops_per_stint(self):
+        order: list[int] = []
+        run_workers(QuantumPolicy(quantum=2), [appender(order, i, 4) for i in range(2)])
+        assert order == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_spin_surrenders_quantum(self):
+        # With a huge quantum, Spin ops must still rotate: a spinning
+        # task only re-reads unchanged state.
+        order: list[int] = []
+        run_workers(
+            QuantumPolicy(quantum=100),
+            [appender(order, i, 3, op=Spin) for i in range(2)],
+        )
+        assert order == [0, 1] * 3
+
+    def test_expiry_counter_matches_rotations(self):
+        order: list[int] = []
+        policy = QuantumPolicy(quantum=2)
+        run_workers(policy, [appender(order, i, 4) for i in range(2)])
+        assert policy.counters["quantum_expiries"] >= 3
+
+    def test_rejects_nonpositive_quantum(self):
+        with pytest.raises(ValueError):
+            QuantumPolicy(quantum=0)
+
+
+class TestPriorityPolicy:
+    def test_higher_priority_runs_first(self):
+        order: list[int] = []
+        # tid 0 gets priority 0, tid 1 priority 1 (tid % levels): with no
+        # aging kicking in over short runs, task 0 finishes first.
+        run_workers(PriorityPolicy(levels=4, aging=1000), [appender(order, i, 3) for i in range(2)])
+        assert order == [0, 0, 0, 1, 1, 1]
+
+    def test_aging_prevents_starvation(self):
+        # An always-lower-priority task must still finish while a
+        # high-priority task keeps running: aging boosts it eventually.
+        order: list[int] = []
+        policy = PriorityPolicy(levels=4, aging=2, priority_of=lambda t: 0 if t.tid == 0 else 3)
+        run_workers(policy, [appender(order, 0, 30), appender(order, 1, 3)])
+        first_low = order.index(1)
+        assert first_low < 30, "aged task never boosted past the high-priority one"
+        assert policy.counters["priority_boosts"] > 0
+
+    def test_forget_clears_ready_map(self):
+        policy = PriorityPolicy()
+        run_workers(policy, [appender([], i, 2) for i in range(3)])
+        assert policy._ready == {}
+
+
+class TestRealtimePolicy:
+    def test_edf_order_with_explicit_periods(self):
+        # Task 1 has the shorter period => earlier deadline => runs first.
+        order: list[int] = []
+        policy = RealtimePolicy(period_of=lambda t: 100 if t.tid == 0 else 2)
+        run_workers(policy, [appender(order, 0, 3), appender(order, 1, 3)])
+        assert order[0] == 1
+
+    def test_deadline_misses_counted_under_load(self):
+        order: list[int] = []
+        policy = RealtimePolicy(base_period=1, spread=1)  # every deadline 1 decision out
+        run_workers(policy, [appender(order, i, 5) for i in range(4)])
+        assert policy.counters["deadline_misses"] > 0
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            RealtimePolicy(base_period=0)
+        with pytest.raises(ValueError):
+            RealtimePolicy(spread=0)
+
+
+class TestMnPolicy:
+    def test_idle_core_steals(self):
+        # Both tasks are homed to core 0 (even tids); core 1 starts empty
+        # and must steal to make progress on its turns.
+        order: list[int] = []
+        policy = MnPolicy(cores=2, quantum=1, seed=7)
+        sched = Scheduler(policy=policy, cost_model=NullCostModel())
+        sched.spawn(appender(order, 0, 6), "a")   # tid 0 -> core 0
+        dummy = sched.spawn(appender(order, 1, 6), "b")  # tid 1 -> core 1
+        sched.spawn(appender(order, 2, 6), "c")   # tid 2 -> core 0
+        sched.run()
+        assert policy.counters["steals"] > 0
+        assert dummy.state.name == "DONE"
+
+    def test_stolen_task_migrates_home(self):
+        policy = MnPolicy(cores=2, quantum=1, seed=1)
+        sched = Scheduler(policy=policy, cost_model=NullCostModel())
+        sched.spawn(appender([], 0, 1), "a")
+        sched.run()
+        # After completion, forget() released all per-task bookkeeping.
+        assert policy._home == {}
+        assert policy._queued == set()
+
+    def test_deterministic_given_seed(self):
+        def trace(seed):
+            order: list[int] = []
+            run_workers(MnPolicy(cores=3, quantum=2, seed=seed), [appender(order, i, 5) for i in range(5)])
+            return order
+
+        assert trace(42) == trace(42)
+
+    def test_reset_restores_seeded_rng(self):
+        policy = MnPolicy(cores=2, seed=9)
+        first = [policy.rng.randrange(100) for _ in range(5)]
+        policy.reset()
+        assert [policy.rng.randrange(100) for _ in range(5)] == first
+
+
+class TestTimerDrift:
+    """Op-count rotation must not phase-lock with lock-free retry loops."""
+
+    def test_drift_perturbs_long_strict_rotation(self):
+        # Over many picks the strict A,B,A,B alternation must break at
+        # least once (one task runs two consecutive ops) — otherwise a
+        # poisoning livelock orbit could replay forever.
+        order: list[int] = []
+        n = 3 * DRIFT_PERIOD
+        policy = RoundRobinPolicy()
+        run_workers(policy, [appender(order, i, n) for i in range(2)])
+        assert policy.counters["timer_drifts"] > 0
+        doubles = sum(1 for a, b in zip(order, order[1:]) if a == b)
+        assert doubles >= policy.counters["timer_drifts"] > 0
+
+    def test_short_runs_keep_the_legacy_contract(self):
+        # Drift never fires before DRIFT_PERIOD picks, so the pinned
+        # strict-rotation contracts above stay exact.
+        order: list[int] = []
+        policy = RoundRobinPolicy()
+        run_workers(policy, [appender(order, i, 9) for i in range(3)])
+        assert policy.counters["timer_drifts"] == 0
+        assert order == [0, 1, 2] * 9
+
+    def test_mn_core_rotation_drifts(self):
+        order: list[int] = []
+        n = 3 * DRIFT_PERIOD
+        policy = MnPolicy(cores=2, quantum=1, seed=0)
+        run_workers(policy, [appender(order, i, n) for i in range(2)])
+        assert policy.counters["timer_drifts"] > 0
+
+    def test_single_task_never_drifts(self):
+        policy = RoundRobinPolicy()
+        run_workers(policy, [appender([], 0, 3 * DRIFT_PERIOD)])
+        assert policy.counters["timer_drifts"] == 0
+
+    def test_omission_orbit_regression(self):
+        # The exact configuration that livelocked when strict 1-op
+        # round-robin phase-locked the sender behind the receiver's
+        # cell poisoning: every cell was marked BROKEN one op before
+        # the sender's commit CAS, forever.  Drift must break the orbit.
+        from repro.scenarios.dsl import run_scenario
+        from repro.scenarios.library import scenario
+        from repro.sched import make_policy
+
+        scn = scenario("omission-1p1c", seed=0).scaled(2)
+        res = run_scenario(scn, policy=make_policy("rr", 0), check=True)
+        assert not res.deadlocked
+        assert res.delivered > 0
+
+
+class TestForgetContract:
+    def test_base_forget_is_noop(self):
+        SchedulingPolicy().forget(object())  # must not raise
+
+    def test_scheduler_calls_forget_once_per_completed_task(self):
+        calls: list[str] = []
+
+        class Probe(CountingPolicy):
+            def __init__(self):
+                super().__init__()
+                self._ready: list = []
+
+            def on_runnable(self, task):
+                self._ready.append(task)
+
+            def requeue(self, task):
+                self._ready.append(task)
+
+            def next(self):
+                from repro.sim.tasks import TaskState
+
+                while self._ready:
+                    t = self._ready.pop(0)
+                    if t.state is TaskState.RUNNABLE:
+                        return self._picked(t)
+                return None
+
+            def forget(self, task):
+                super().forget(task)
+                calls.append(task.name)
+
+        def ok():
+            yield Yield()
+
+        def boom():
+            yield Yield()
+            raise RuntimeError("task failure")
+
+        policy = Probe()
+        sched = Scheduler(policy=policy, cost_model=NullCostModel())
+        sched.spawn(ok(), "ok")
+        sched.spawn(boom(), "boom")
+        with pytest.raises(RuntimeError):
+            sched.run()
+        assert sorted(calls) == ["boom", "ok"]  # DONE and FAILED both forgotten
+
+    def test_des_forget_called_in_general_loop(self):
+        policy = DesPolicy()
+        sched = Scheduler(policy=policy, cost_model=CostModel())
+        sched.add_hook(lambda s, t, op: None)  # force the general loop
+
+        def w():
+            yield Work(5)
+
+        sched.spawn(w(), "w")
+        sched.run()
+        assert policy._tasks == {}  # forget() drained the registration map
+
+
+class TestCounters:
+    def test_publish_counters_labels_policy(self):
+        order: list[int] = []
+        policy = QuantumPolicy(quantum=2)
+        run_workers(policy, [appender(order, i, 4) for i in range(2)])
+        registry = MetricsRegistry()
+        policy.publish_counters(registry)
+        snap = registry.snapshot()
+        assert snap["sched_picks_total{policy=quantum}"] == policy.counters["picks"] > 0
+        assert "sched_quantum_expiries_total{policy=quantum}" in snap
+
+    def test_reset_zeroes_counters(self):
+        order: list[int] = []
+        policy = MnPolicy(cores=2, seed=0)
+        run_workers(policy, [appender(order, i, 4) for i in range(3)])
+        assert policy.counters["picks"] > 0
+        policy.reset()
+        assert all(v == 0 for v in policy.counters.values())
+
+
+class TestDeterminismAcrossPolicies:
+    @pytest.mark.parametrize("name", sorted(POLICIES))
+    def test_identical_runs_identical_schedules(self, name):
+        def trace():
+            order: list = []
+            policy = make_policy(name, seed=5)
+            sched = run_workers(policy, [appender(order, i, 6) for i in range(4)])
+            return order, sched.total_steps
+
+        assert trace() == trace()
