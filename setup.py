@@ -1,2 +1,14 @@
-from setuptools import setup
-setup()
+from setuptools import Extension, setup
+
+setup(
+    ext_modules=[
+        # The compiled engine tier (repro._engine).  optional=True: a
+        # failed build is a warning, not an install failure — the
+        # pure-Python reference engine runs the whole suite unchanged.
+        Extension(
+            "repro._engine._enginec",
+            sources=["src/repro/_engine/_enginec.c"],
+            optional=True,
+        ),
+    ]
+)

@@ -1,0 +1,229 @@
+"""Engine-tier resolution: pure-Python reference vs. compiled fast loop.
+
+The simulator has two interchangeable engines for the unobserved
+standard configuration (``DesPolicy`` + ``CostModel``, no hooks):
+
+* ``py`` — :meth:`repro.sim.scheduler.Scheduler._run_fast`, the pure
+  Python fused loop.  This is the *reference implementation*: it defines
+  the semantics, and the 16 golden configs in
+  ``tests/data/golden_engine.json`` pin its op streams bit-for-bit.
+* ``c`` — :mod:`repro._engine._enginec`, a hand-written CPython
+  extension transcribing the same loop.  It must produce byte-identical
+  results; the golden suite runs under both tiers to prove it.
+
+Tier selection (`resolve`) follows a strict precedence:
+
+1. an explicit ``engine=`` argument (``Scheduler(engine=...)``,
+   ``run_selfperf(engine=...)``);
+2. the process default set via :func:`set_default_engine` (the bench
+   CLI's ``--engine`` flag uses this);
+3. the ``REPRO_ENGINE`` environment variable;
+4. ``auto`` — prefer the compiled tier when it imports and configures
+   cleanly, else fall back to ``py``.
+
+Requesting ``c`` explicitly when the extension is unavailable raises
+:class:`~repro.errors.EngineUnavailableError` — an explicit request must
+never silently degrade.  ``auto`` degrades silently *except* that the
+first resolution emits exactly one ``engine_tier{tier=py|c}`` counter
+into :data:`METRICS` and, on fallback, one line on stderr — so a
+silently-broken build cannot masquerade as a perf regression.
+
+``REPRO_NO_ENGINE_EXT=1`` disables the extension probe entirely (used by
+tests to exercise the fallback path deterministically).
+
+The compiled loop is engaged by the scheduler only for runs that would
+take the Python fast lane anyway; the observed/general loop and every
+non-default policy always route through Python.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Any, Optional
+
+from ..errors import EngineUnavailableError
+from ..obs.metrics import MetricsRegistry
+
+__all__ = [
+    "ENGINES",
+    "METRICS",
+    "available",
+    "native_run",
+    "probe_error",
+    "resolve",
+    "set_default_engine",
+    "get_default_engine",
+]
+
+ENGINES = ("py", "c", "auto")
+
+#: Registry receiving the one-shot ``engine_tier`` probe metric.  Module
+#: level because the probe outcome is a per-process fact, not a
+#: per-scheduler one.
+METRICS = MetricsRegistry()
+
+_default_engine: Optional[str] = None
+
+_ext: Any = None
+_probe_error: Optional[str] = None
+_probed = False
+_announced = False
+
+
+def _probe() -> None:
+    """Import and configure the extension once; record failure reason."""
+
+    global _ext, _probe_error, _probed
+    if _probed:
+        return
+    _probed = True
+    if os.environ.get("REPRO_NO_ENGINE_EXT", "") not in ("", "0"):
+        _probe_error = "disabled via REPRO_NO_ENGINE_EXT"
+        return
+    try:
+        from . import _enginec  # type: ignore[attr-defined]
+    except Exception as exc:  # pragma: no cover - exercised via env toggle
+        _probe_error = f"extension import failed: {exc!r}"
+        return
+    try:
+        from ..concurrent.cells import CacheLine, Cell, IntCell, RefCell
+        from ..concurrent.ops import (
+            Alloc,
+            Cas,
+            CurrentTask,
+            Faa,
+            GetAndSet,
+            Label,
+            ParkTask,
+            Read,
+            Spin,
+            UnparkTask,
+            Work,
+            Write,
+            Yield,
+        )
+        from ..errors import DeadlockError, Interrupted, RetryWakeup, StepLimitExceeded
+        from ..sim.tasks import Task, TaskState
+
+        _enginec.configure(
+            {
+                "Read": Read,
+                "Write": Write,
+                "Cas": Cas,
+                "Faa": Faa,
+                "GetAndSet": GetAndSet,
+                "Work": Work,
+                "Yield": Yield,
+                "Spin": Spin,
+                "ParkTask": ParkTask,
+                "UnparkTask": UnparkTask,
+                "CurrentTask": CurrentTask,
+                "Alloc": Alloc,
+                "Label": Label,
+                "RefCell": RefCell,
+                "IntCell": IntCell,
+                "Task": Task,
+                "Cell": Cell,
+                "CacheLine": CacheLine,
+                "RUNNABLE": TaskState.RUNNABLE,
+                "PARKED": TaskState.PARKED,
+                "DONE": TaskState.DONE,
+                "FAILED": TaskState.FAILED,
+                "Interrupted": Interrupted,
+                "RetryWakeup": RetryWakeup,
+                "DeadlockError": DeadlockError,
+                "StepLimitExceeded": StepLimitExceeded,
+            }
+        )
+    except Exception as exc:
+        # A layout mismatch (or any configure failure) means the build is
+        # unusable; fall back to the reference tier.
+        _probe_error = f"extension configure failed: {exc!r}"
+        return
+    _ext = _enginec
+    _probe_error = None
+
+
+def available() -> bool:
+    """``True`` when the compiled tier imported and configured cleanly."""
+
+    _probe()
+    return _ext is not None
+
+
+def probe_error() -> Optional[str]:
+    """Why the compiled tier is unavailable, or ``None`` when it is."""
+
+    _probe()
+    return _probe_error
+
+
+def _announce(tier: str) -> None:
+    """One-shot probe report: one metric, plus stderr on fallback."""
+
+    global _announced
+    if _announced:
+        return
+    _announced = True
+    METRICS.counter("engine_tier", tier=tier).inc()
+    if tier == "py" and _probe_error is not None:
+        print(
+            f"repro: compiled engine unavailable ({_probe_error}); "
+            "using pure-Python tier",
+            file=sys.stderr,
+        )
+
+
+def set_default_engine(engine: Optional[str]) -> Optional[str]:
+    """Set the process-default engine; returns the previous default.
+
+    ``None`` clears the default (environment/auto take over again).
+    """
+
+    global _default_engine
+    if engine is not None and engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    prev = _default_engine
+    _default_engine = engine
+    return prev
+
+
+def get_default_engine() -> Optional[str]:
+    return _default_engine
+
+
+def resolve(request: Optional[str] = None) -> str:
+    """Resolve an engine request to a concrete tier: ``'py'`` or ``'c'``.
+
+    Precedence: explicit *request* > :func:`set_default_engine` >
+    ``REPRO_ENGINE`` > ``'auto'``.  An explicit ``'c'`` raises
+    :class:`~repro.errors.EngineUnavailableError` when the extension is
+    unusable; ``'auto'`` silently degrades (after the one-shot notice).
+    """
+
+    if request is None:
+        request = _default_engine
+    if request is None:
+        request = os.environ.get("REPRO_ENGINE", "") or "auto"
+    if request not in ENGINES:
+        raise ValueError(f"unknown engine {request!r}; expected one of {ENGINES}")
+    if request == "py":
+        return "py"
+    if request == "c":
+        if not available():
+            raise EngineUnavailableError(_probe_error or "unknown probe failure")
+        return "c"
+    # auto
+    tier = "c" if available() else "py"
+    _announce(tier)
+    return tier
+
+
+def native_run(sched: Any) -> None:
+    """Run *sched*'s fused loop on the compiled tier (must be available)."""
+
+    _probe()
+    if _ext is None:
+        raise EngineUnavailableError(_probe_error or "unknown probe failure")
+    _ext.run_fast(sched)

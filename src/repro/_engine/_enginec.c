@@ -1,0 +1,1331 @@
+/* _enginec — the compiled engine tier for the repro simulator.
+ *
+ * This module is a line-for-line transcription of
+ * ``repro.sim.scheduler.Scheduler._run_fast`` (the fused DES stint loop)
+ * into a hand-written CPython extension.  It is NOT a new engine: the
+ * pure-Python ``_run_fast`` remains the reference implementation and the
+ * single source of truth for semantics; this file must produce the exact
+ * same op streams, clocks, jitter-LCG states, and heap layouts, pinned by
+ * the 16 golden configs in ``tests/data/golden_engine.json`` running under
+ * both tiers.
+ *
+ * What is compiled here (the PR-3 fast-lane inventory):
+ *   - the stint loop itself: pop the earliest runnable task, resume its
+ *     generator one op at a time while the DES policy allows, requeue via
+ *     a wide ``(clock, tid, task, steps, value, exc)`` heap entry;
+ *   - the type-keyed op apply/charge dispatch (the compiled analogue of
+ *     ``MEMORY_OP_APPLIERS`` + ``CostModel._charge_table``), fused per op
+ *     type with the cache-coherence cost arithmetic;
+ *   - the heap discipline (heappush/heappop/heappushpop exactly as
+ *     ``heapq`` implements them, with the ``(clock, tid)`` comparison
+ *     falling back to full-tuple rich comparison on ties so even the
+ *     pathological cases match CPython bit for bit);
+ *   - the bit-exact jitter LCG (the scalar recurrence; the numpy batch in
+ *     ``costmodel.lcg_batch`` generates the identical state stream).
+ *
+ * What is NOT compiled: the algorithms themselves (channel/baseline
+ * generators stay pure Python and are resumed via ``gen.send``), the
+ * general observable loop, every non-default scheduling policy, the
+ * processors binding logic (delegated back to ``Scheduler._bind`` /
+ * ``_unbind`` / ``_make_runnable``), and the unknown-op fallback (which
+ * round-trips through ``CostModel.charge`` + ``Scheduler._dispatch``
+ * exactly like the Python fast lane does).
+ *
+ * Object access: every hot attribute lives in a ``__slots__`` member.
+ * ``configure()`` resolves each slot's member-descriptor offset once and
+ * validates it is a plain ``T_OBJECT_EX`` member; reads/writes are then a
+ * single pointer indirection.  If any layout assumption fails, configure()
+ * raises and the Python side silently stays on the reference tier.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+#include <stdint.h>
+
+#if PY_VERSION_HEX >= 0x030c0000
+/* 3.12 renamed the member-type constants; the legacy names remain as
+ * aliases via structmember.h, but be explicit about what we accept. */
+#ifndef T_OBJECT_EX
+#define T_OBJECT_EX Py_T_OBJECT_EX
+#endif
+#endif
+
+#define LCG_A 6364136223846793005ULL
+#define LCG_C 1442695040888963407ULL
+
+/* ------------------------------------------------------------------ */
+/* configured state                                                    */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    /* op types (exact-type dispatch, like ``type(op) is Read``) */
+    PyObject *tp_read, *tp_write, *tp_cas, *tp_faa, *tp_gas;
+    PyObject *tp_work, *tp_yield, *tp_spin, *tp_park, *tp_unpark;
+    PyObject *tp_current, *tp_alloc, *tp_label;
+    /* cell types for CAS comparison semantics */
+    PyObject *tp_refcell, *tp_intcell;
+    /* TaskState members (enum singletons, compared by identity) */
+    PyObject *st_runnable, *st_parked, *st_done, *st_failed;
+    /* exception classes */
+    PyObject *exc_interrupted, *exc_retry, *exc_deadlock, *exc_steplimit;
+
+    /* slot offsets */
+    Py_ssize_t t_tid, t_name, t_gen, t_send_fn, t_state, t_clock, t_steps;
+    Py_ssize_t t_pending_value, t_pending_exc;
+    Py_ssize_t t_unpark_pending, t_interrupt_pending, t_retry_pending;
+    Py_ssize_t t_value, t_error, t_cache, t_park_count;
+    Py_ssize_t c_value, c_line;
+    Py_ssize_t l_loc_id, l_last_writer, l_write_time, l_avail_time;
+    Py_ssize_t op_read_cell;
+    Py_ssize_t op_write_cell, op_write_value;
+    Py_ssize_t op_cas_cell, op_cas_expected, op_cas_update;
+    Py_ssize_t op_faa_cell, op_faa_delta;
+    Py_ssize_t op_gas_cell, op_gas_value;
+    Py_ssize_t op_work_cycles;
+    Py_ssize_t op_unpark_task, op_unpark_interrupt, op_unpark_retry;
+
+    int ready;
+} engine_state;
+
+static engine_state S;
+
+/* interned attribute-name strings */
+static PyObject *s_live, *s_heap, *s_cost, *s_policy, *s_p, *s_lcg;
+static PyObject *s_processors, *s_unbound, *s_max_steps, *s_total_steps;
+static PyObject *s_tasks, *s_bind, *s_unbind, *s_make_runnable, *s_dispatch;
+static PyObject *s_charge, *s_popleft, *s_throw, *s_value, *s_compare;
+static PyObject *s_read_hit, *s_write, *s_rmw, *s_remote_miss, *s_read_miss;
+static PyObject *s_park, *s_unpark, *s_wake_latency, *s_spin, *s_yield_;
+static PyObject *s_alloc, *s_jitter, *s_clock, *s_pending_value_str;
+
+#define SLOT(obj, off) (*(PyObject **)((char *)(obj) + (off)))
+
+/* Read a slot that the reference implementation guarantees is set. */
+static inline PyObject *
+slot_get(PyObject *obj, Py_ssize_t off)
+{
+    PyObject *v = SLOT(obj, off);
+    if (v == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "engine: unset __slots__ member");
+    }
+    return v; /* borrowed */
+}
+
+static inline void
+slot_set(PyObject *obj, Py_ssize_t off, PyObject *v)
+{
+    PyObject *old = SLOT(obj, off);
+    Py_INCREF(v);
+    SLOT(obj, off) = v;
+    Py_XDECREF(old);
+}
+
+static inline int
+as_i64(PyObject *o, int64_t *out)
+{
+    long long v = PyLong_AsLongLong(o);
+    if (v == -1 && PyErr_Occurred()) {
+        return -1;
+    }
+    *out = (int64_t)v;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* heapq transcription                                                 */
+/* ------------------------------------------------------------------ */
+
+/* Entries are ``(clock, tid, task)`` or the wide stint form
+ * ``(clock, tid, task, steps, value, exc)``.  Comparison never reaches
+ * past ``tid`` in practice (tids are unique); if it ever would — equal
+ * clock AND tid — we delegate to full-tuple rich comparison so the
+ * result (including a TypeError on comparing Task objects) is exactly
+ * what the pure-Python heapq would produce. */
+static int
+entry_lt(PyObject *a, PyObject *b)
+{
+    if (PyTuple_CheckExact(a) && PyTuple_CheckExact(b)
+        && PyTuple_GET_SIZE(a) >= 2 && PyTuple_GET_SIZE(b) >= 2) {
+        int64_t ac, bc;
+        if (as_i64(PyTuple_GET_ITEM(a, 0), &ac) == 0
+            && as_i64(PyTuple_GET_ITEM(b, 0), &bc) == 0) {
+            if (ac != bc) {
+                return ac < bc;
+            }
+            int64_t at, bt;
+            if (as_i64(PyTuple_GET_ITEM(a, 1), &at) == 0
+                && as_i64(PyTuple_GET_ITEM(b, 1), &bt) == 0) {
+                if (at != bt) {
+                    return at < bt;
+                }
+            }
+            else {
+                PyErr_Clear();
+            }
+        }
+        else {
+            PyErr_Clear();
+        }
+    }
+    return PyObject_RichCompareBool(a, b, Py_LT);
+}
+
+/* heapq._siftdown: move heap[pos] toward the root. */
+static int
+heap_siftdown(PyObject *heap, Py_ssize_t startpos, Py_ssize_t pos)
+{
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    while (pos > startpos) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        PyObject *parent = PyList_GET_ITEM(heap, parentpos);
+        int lt = entry_lt(newitem, parent);
+        if (lt < 0) {
+            Py_DECREF(newitem);
+            return -1;
+        }
+        if (!lt) {
+            break;
+        }
+        Py_INCREF(parent);
+        PyList_SetItem(heap, pos, parent); /* steals parent ref */
+        pos = parentpos;
+    }
+    PyList_SetItem(heap, pos, newitem); /* steals newitem ref */
+    return 0;
+}
+
+/* heapq._siftup: move the hole at pos down to a leaf, then sift down. */
+static int
+heap_siftup(PyObject *heap, Py_ssize_t pos)
+{
+    Py_ssize_t endpos = PyList_GET_SIZE(heap);
+    Py_ssize_t startpos = pos;
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    Py_ssize_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        Py_ssize_t rightpos = childpos + 1;
+        if (rightpos < endpos) {
+            int lt = entry_lt(PyList_GET_ITEM(heap, childpos),
+                              PyList_GET_ITEM(heap, rightpos));
+            if (lt < 0) {
+                Py_DECREF(newitem);
+                return -1;
+            }
+            if (!lt) {
+                childpos = rightpos;
+            }
+        }
+        PyObject *child = PyList_GET_ITEM(heap, childpos);
+        Py_INCREF(child);
+        PyList_SetItem(heap, pos, child);
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    PyList_SetItem(heap, pos, newitem);
+    return heap_siftdown(heap, startpos, pos);
+}
+
+/* Returns a new reference, or NULL on error (heap must be non-empty). */
+static PyObject *
+heap_pop(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    PyObject *lastelt = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(lastelt);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(lastelt);
+        return NULL;
+    }
+    if (PyList_GET_SIZE(heap) == 0) {
+        return lastelt;
+    }
+    PyObject *returnitem = PyList_GET_ITEM(heap, 0);
+    Py_INCREF(returnitem);
+    PyList_SetItem(heap, 0, lastelt); /* steals lastelt */
+    if (heap_siftup(heap, 0) < 0) {
+        Py_DECREF(returnitem);
+        return NULL;
+    }
+    return returnitem;
+}
+
+/* heappushpop(heap, item): new reference to the resulting minimum. */
+static PyObject *
+heap_pushpop(PyObject *heap, PyObject *item)
+{
+    if (PyList_GET_SIZE(heap) > 0) {
+        PyObject *top = PyList_GET_ITEM(heap, 0);
+        int lt = entry_lt(top, item);
+        if (lt < 0) {
+            return NULL;
+        }
+        if (lt) {
+            Py_INCREF(top);
+            Py_INCREF(item);
+            PyList_SetItem(heap, 0, item); /* steals item copy */
+            if (heap_siftup(heap, 0) < 0) {
+                Py_DECREF(top);
+                return NULL;
+            }
+            return top;
+        }
+    }
+    Py_INCREF(item);
+    return item;
+}
+
+/* ------------------------------------------------------------------ */
+/* configure()                                                         */
+/* ------------------------------------------------------------------ */
+
+static int
+resolve_slot(PyObject *cls, const char *name, Py_ssize_t *out)
+{
+    PyObject *descr = PyObject_GetAttrString(cls, name);
+    if (descr == NULL) {
+        return -1;
+    }
+    if (Py_TYPE(descr) != &PyMemberDescr_Type) {
+        PyErr_Format(PyExc_RuntimeError,
+                     "engine layout mismatch: %s.%s is not a __slots__ member",
+                     ((PyTypeObject *)cls)->tp_name, name);
+        Py_DECREF(descr);
+        return -1;
+    }
+    PyMemberDef *def = ((PyMemberDescrObject *)descr)->d_member;
+    if (def->type != T_OBJECT_EX || def->flags != 0) {
+        PyErr_Format(PyExc_RuntimeError,
+                     "engine layout mismatch: %s.%s has unexpected member kind",
+                     ((PyTypeObject *)cls)->tp_name, name);
+        Py_DECREF(descr);
+        return -1;
+    }
+    *out = def->offset;
+    Py_DECREF(descr);
+    return 0;
+}
+
+static PyObject *
+grab(PyObject *cfg, const char *key)
+{
+    PyObject *v = PyDict_GetItemString(cfg, key); /* borrowed */
+    if (v == NULL) {
+        PyErr_Format(PyExc_KeyError, "engine configure: missing %s", key);
+        return NULL;
+    }
+    Py_INCREF(v);
+    return v;
+}
+
+static PyObject *
+engine_configure(PyObject *self, PyObject *cfg)
+{
+    if (!PyDict_Check(cfg)) {
+        PyErr_SetString(PyExc_TypeError, "configure() expects a dict");
+        return NULL;
+    }
+    S.ready = 0;
+
+#define GRAB(field, key)                          \
+    do {                                          \
+        Py_XDECREF(S.field);                      \
+        S.field = grab(cfg, key);                 \
+        if (S.field == NULL) return NULL;         \
+    } while (0)
+
+    GRAB(tp_read, "Read");
+    GRAB(tp_write, "Write");
+    GRAB(tp_cas, "Cas");
+    GRAB(tp_faa, "Faa");
+    GRAB(tp_gas, "GetAndSet");
+    GRAB(tp_work, "Work");
+    GRAB(tp_yield, "Yield");
+    GRAB(tp_spin, "Spin");
+    GRAB(tp_park, "ParkTask");
+    GRAB(tp_unpark, "UnparkTask");
+    GRAB(tp_current, "CurrentTask");
+    GRAB(tp_alloc, "Alloc");
+    GRAB(tp_label, "Label");
+    GRAB(tp_refcell, "RefCell");
+    GRAB(tp_intcell, "IntCell");
+    GRAB(st_runnable, "RUNNABLE");
+    GRAB(st_parked, "PARKED");
+    GRAB(st_done, "DONE");
+    GRAB(st_failed, "FAILED");
+    GRAB(exc_interrupted, "Interrupted");
+    GRAB(exc_retry, "RetryWakeup");
+    GRAB(exc_deadlock, "DeadlockError");
+    GRAB(exc_steplimit, "StepLimitExceeded");
+#undef GRAB
+
+    PyObject *task_cls = PyDict_GetItemString(cfg, "Task");
+    PyObject *cell_cls = PyDict_GetItemString(cfg, "Cell");
+    PyObject *line_cls = PyDict_GetItemString(cfg, "CacheLine");
+    if (task_cls == NULL || cell_cls == NULL || line_cls == NULL) {
+        PyErr_SetString(PyExc_KeyError, "engine configure: missing Task/Cell/CacheLine");
+        return NULL;
+    }
+
+#define RS(cls, name, field)                              \
+    if (resolve_slot(cls, name, &S.field) < 0) return NULL
+    RS(task_cls, "tid", t_tid);
+    RS(task_cls, "name", t_name);
+    RS(task_cls, "gen", t_gen);
+    RS(task_cls, "send_fn", t_send_fn);
+    RS(task_cls, "state", t_state);
+    RS(task_cls, "clock", t_clock);
+    RS(task_cls, "steps", t_steps);
+    RS(task_cls, "pending_value", t_pending_value);
+    RS(task_cls, "pending_exc", t_pending_exc);
+    RS(task_cls, "unpark_pending", t_unpark_pending);
+    RS(task_cls, "interrupt_pending", t_interrupt_pending);
+    RS(task_cls, "retry_pending", t_retry_pending);
+    RS(task_cls, "value", t_value);
+    RS(task_cls, "error", t_error);
+    RS(task_cls, "cache", t_cache);
+    RS(task_cls, "park_count", t_park_count);
+    RS(cell_cls, "value", c_value);
+    RS(cell_cls, "line", c_line);
+    RS(line_cls, "loc_id", l_loc_id);
+    RS(line_cls, "last_writer", l_last_writer);
+    RS(line_cls, "write_time", l_write_time);
+    RS(line_cls, "avail_time", l_avail_time);
+    RS(S.tp_read, "cell", op_read_cell);
+    RS(S.tp_write, "cell", op_write_cell);
+    RS(S.tp_write, "value", op_write_value);
+    RS(S.tp_cas, "cell", op_cas_cell);
+    RS(S.tp_cas, "expected", op_cas_expected);
+    RS(S.tp_cas, "update", op_cas_update);
+    RS(S.tp_faa, "cell", op_faa_cell);
+    RS(S.tp_faa, "delta", op_faa_delta);
+    RS(S.tp_gas, "cell", op_gas_cell);
+    RS(S.tp_gas, "value", op_gas_value);
+    RS(S.tp_work, "cycles", op_work_cycles);
+    RS(S.tp_unpark, "task", op_unpark_task);
+    RS(S.tp_unpark, "interrupt", op_unpark_interrupt);
+    RS(S.tp_unpark, "retry", op_unpark_retry);
+#undef RS
+
+    S.ready = 1;
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* run_fast()                                                          */
+/* ------------------------------------------------------------------ */
+
+/* Read an int attribute (through normal attribute lookup — cold path). */
+static int
+attr_i64(PyObject *obj, PyObject *name, int64_t *out)
+{
+    PyObject *v = PyObject_GetAttr(obj, name);
+    if (v == NULL) {
+        return -1;
+    }
+    int rc = as_i64(v, out);
+    Py_DECREF(v);
+    return rc;
+}
+
+static int
+live_count(PyObject *sched, int64_t *out)
+{
+    return attr_i64(sched, s_live, out);
+}
+
+static int
+live_add(PyObject *sched, long delta)
+{
+    int64_t live;
+    if (live_count(sched, &live) < 0) {
+        return -1;
+    }
+    PyObject *nv = PyLong_FromLongLong(live + delta);
+    if (nv == NULL) {
+        return -1;
+    }
+    int rc = PyObject_SetAttr(sched, s_live, nv);
+    Py_DECREF(nv);
+    return rc;
+}
+
+/* Call ``self.<meth>(arg)`` discarding the result. */
+static int
+call_method1(PyObject *obj, PyObject *meth, PyObject *arg)
+{
+    PyObject *r = PyObject_CallMethodObjArgs(obj, meth, arg, NULL);
+    if (r == NULL) {
+        return -1;
+    }
+    Py_DECREF(r);
+    return 0;
+}
+
+/* The cost-model jitter draw: advance the LCG, return a bounded sample. */
+static inline int64_t
+jitter_draw(uint64_t *lcg, int64_t bound_plus1)
+{
+    *lcg = *lcg * LCG_A + LCG_C;
+    return (int64_t)((*lcg >> 33) % (uint64_t)bound_plus1);
+}
+
+/* Mark the running task finished (DONE/FAILED bookkeeping shared path). */
+static int
+finish_task(PyObject *sched, PyObject *task, PyObject *state,
+            int64_t tclock, int64_t tsteps, int procs_enabled)
+{
+    slot_set(task, S.t_state, state);
+    PyObject *c = PyLong_FromLongLong(tclock);
+    PyObject *st = PyLong_FromLongLong(tsteps);
+    if (c == NULL || st == NULL) {
+        Py_XDECREF(c);
+        Py_XDECREF(st);
+        return -1;
+    }
+    slot_set(task, S.t_clock, c);
+    slot_set(task, S.t_steps, st);
+    Py_DECREF(c);
+    Py_DECREF(st);
+    slot_set(task, S.t_pending_value, Py_None);
+    slot_set(task, S.t_pending_exc, Py_None);
+    if (live_add(sched, -1) < 0) {
+        return -1;
+    }
+    if (procs_enabled && call_method1(sched, s_unbind, task) < 0) {
+        return -1;
+    }
+    return 0;
+}
+
+static void
+raise_step_limit(int64_t limit)
+{
+    PyObject *lim = PyLong_FromLongLong(limit);
+    if (lim != NULL) {
+        PyErr_SetObject(S.exc_steplimit, lim);
+        Py_DECREF(lim);
+    }
+}
+
+static PyObject *
+engine_run_fast(PyObject *self, PyObject *sched)
+{
+    if (!S.ready) {
+        PyErr_SetString(PyExc_RuntimeError, "engine not configured");
+        return NULL;
+    }
+
+    PyObject *cost = NULL, *policy = NULL, *heap = NULL, *params = NULL;
+    PyObject *unbound = NULL, *procs_obj = NULL, *tasks_list = NULL;
+    PyObject *pending = NULL;
+    PyObject *result = NULL;
+    int failed = 1;
+    int engaged = 0; /* set once steps/lcg are loaded; gates the finally-sync */
+
+    cost = PyObject_GetAttr(sched, s_cost);
+    if (cost == NULL) goto cleanup;
+    policy = PyObject_GetAttr(sched, s_policy);
+    if (policy == NULL) goto cleanup;
+    heap = PyObject_GetAttr(policy, s_heap);
+    if (heap == NULL || !PyList_CheckExact(heap)) {
+        if (heap != NULL) {
+            PyErr_SetString(PyExc_TypeError, "engine: policy._heap is not a list");
+        }
+        goto cleanup;
+    }
+    params = PyObject_GetAttr(cost, s_p);
+    if (params == NULL) goto cleanup;
+    unbound = PyObject_GetAttr(sched, s_unbound);
+    if (unbound == NULL) goto cleanup;
+    procs_obj = PyObject_GetAttr(sched, s_processors);
+    if (procs_obj == NULL) goto cleanup;
+    tasks_list = PyObject_GetAttr(sched, s_tasks);
+    if (tasks_list == NULL) goto cleanup;
+    if (!PyList_CheckExact(tasks_list)) {
+        PyErr_SetString(PyExc_TypeError, "engine: scheduler.tasks is not a list");
+        goto cleanup;
+    }
+    int procs_enabled = (procs_obj != Py_None);
+
+    int64_t read_hit, write_cost, rmw_cost, remote_miss, read_miss;
+    int64_t park_cost, unpark_cost, wake_latency, spin_cost, yield_cost;
+    int64_t alloc_cost, jit, limit, steps;
+    if (attr_i64(params, s_read_hit, &read_hit) < 0) goto cleanup;
+    if (attr_i64(params, s_write, &write_cost) < 0) goto cleanup;
+    if (attr_i64(params, s_rmw, &rmw_cost) < 0) goto cleanup;
+    if (attr_i64(params, s_remote_miss, &remote_miss) < 0) goto cleanup;
+    if (attr_i64(params, s_read_miss, &read_miss) < 0) goto cleanup;
+    if (attr_i64(params, s_park, &park_cost) < 0) goto cleanup;
+    if (attr_i64(params, s_unpark, &unpark_cost) < 0) goto cleanup;
+    if (attr_i64(params, s_wake_latency, &wake_latency) < 0) goto cleanup;
+    if (attr_i64(params, s_spin, &spin_cost) < 0) goto cleanup;
+    if (attr_i64(params, s_yield_, &yield_cost) < 0) goto cleanup;
+    if (attr_i64(params, s_alloc, &alloc_cost) < 0) goto cleanup;
+    if (attr_i64(params, s_jitter, &jit) < 0) goto cleanup;
+    if (attr_i64(sched, s_max_steps, &limit) < 0) goto cleanup;
+    if (attr_i64(sched, s_total_steps, &steps) < 0) goto cleanup;
+    int64_t jit1 = jit + 1, rm1 = remote_miss + 1, rd1 = read_miss + 1;
+
+    uint64_t lcg = 0;
+    {
+        PyObject *l = PyObject_GetAttr(cost, s_lcg);
+        if (l == NULL) goto cleanup;
+        lcg = PyLong_AsUnsignedLongLong(l);
+        Py_DECREF(l);
+        if (lcg == (uint64_t)-1 && PyErr_Occurred()) goto cleanup;
+    }
+    engaged = 1;
+
+    /* ---------------- outer loop: one stint per iteration ------------ */
+    for (;;) {
+        int64_t live;
+        if (live_count(sched, &live) < 0) goto cleanup;
+        if (live <= 0) break;
+
+        /* -- policy.next(), inlined ----------------------------------- */
+        PyObject *entry = NULL;
+        if (pending != NULL) {
+            PyObject *e;
+            if (PyList_GET_SIZE(heap) > 0) {
+                e = heap_pushpop(heap, pending);
+            }
+            else {
+                e = pending;
+                Py_INCREF(e);
+            }
+            Py_CLEAR(pending);
+            if (e == NULL) goto cleanup;
+            PyObject *t = PyTuple_GET_ITEM(e, 2);
+            int64_t tc, ec;
+            PyObject *tco = slot_get(t, S.t_clock);
+            if (tco == NULL) { Py_DECREF(e); goto cleanup; }
+            if (as_i64(tco, &tc) < 0 || as_i64(PyTuple_GET_ITEM(e, 0), &ec) < 0) {
+                Py_DECREF(e);
+                goto cleanup;
+            }
+            if (SLOT(t, S.t_state) == S.st_runnable && tc == ec) {
+                entry = e;
+            }
+            else {
+                Py_DECREF(e);
+            }
+        }
+        if (entry == NULL) {
+            while (PyList_GET_SIZE(heap) > 0) {
+                PyObject *e = heap_pop(heap);
+                if (e == NULL) goto cleanup;
+                PyObject *t = PyTuple_GET_ITEM(e, 2);
+                int64_t tc, ec;
+                PyObject *tco = slot_get(t, S.t_clock);
+                if (tco == NULL) { Py_DECREF(e); goto cleanup; }
+                if (as_i64(tco, &tc) < 0 || as_i64(PyTuple_GET_ITEM(e, 0), &ec) < 0) {
+                    Py_DECREF(e);
+                    goto cleanup;
+                }
+                if (SLOT(t, S.t_state) != S.st_runnable || tc != ec) {
+                    Py_DECREF(e); /* stale entry; a fresher one exists */
+                    continue;
+                }
+                entry = e;
+                break;
+            }
+        }
+        if (entry == NULL) {
+            int has_unbound = PyObject_IsTrue(unbound);
+            if (has_unbound < 0) goto cleanup;
+            if (has_unbound) { /* defensive: bind and keep going */
+                PyObject *t = PyObject_CallMethodObjArgs(unbound, s_popleft, NULL);
+                if (t == NULL) goto cleanup;
+                int rc = call_method1(sched, s_bind, t);
+                Py_DECREF(t);
+                if (rc < 0) goto cleanup;
+                continue;
+            }
+            /* deadlock check over all tasks */
+            PyObject *parked = PyList_New(0);
+            if (parked == NULL) goto cleanup;
+            Py_ssize_t ntasks = PyList_GET_SIZE(tasks_list);
+            for (Py_ssize_t i = 0; i < ntasks; i++) {
+                PyObject *t = PyList_GET_ITEM(tasks_list, i);
+                if (SLOT(t, S.t_state) == S.st_parked) {
+                    PyObject *nm = slot_get(t, S.t_name);
+                    if (nm == NULL || PyList_Append(parked, nm) < 0) {
+                        Py_DECREF(parked);
+                        goto cleanup;
+                    }
+                }
+            }
+            if (PyList_GET_SIZE(parked) > 0) {
+                PyErr_SetObject(S.exc_deadlock, parked);
+                Py_DECREF(parked);
+                goto cleanup;
+            }
+            Py_DECREF(parked);
+            break; /* spawned nothing / all finished */
+        }
+
+        /* -- stint setup ---------------------------------------------- */
+        PyObject *task = PyTuple_GET_ITEM(entry, 2);
+        Py_INCREF(task);
+        PyObject *gen = slot_get(task, S.t_gen);           /* borrowed */
+        PyObject *send = slot_get(task, S.t_send_fn);      /* borrowed */
+        PyObject *tid_obj = slot_get(task, S.t_tid);       /* borrowed */
+        PyObject *tcache = slot_get(task, S.t_cache);      /* borrowed */
+        if (gen == NULL || send == NULL || tid_obj == NULL || tcache == NULL) {
+            Py_DECREF(task);
+            Py_DECREF(entry);
+            goto cleanup;
+        }
+        int64_t ttid, tclock, tsteps;
+        PyObject *send_value = NULL; /* owned or NULL (= None) */
+        PyObject *throw_exc = NULL;  /* owned or NULL (= no exception) */
+        {
+            PyObject *tco = slot_get(task, S.t_clock);
+            if (tco == NULL || as_i64(tid_obj, &ttid) < 0 || as_i64(tco, &tclock) < 0) {
+                Py_DECREF(task);
+                Py_DECREF(entry);
+                goto cleanup;
+            }
+        }
+        if (PyTuple_GET_SIZE(entry) == 6) {
+            if (as_i64(PyTuple_GET_ITEM(entry, 3), &tsteps) < 0) {
+                Py_DECREF(task);
+                Py_DECREF(entry);
+                goto cleanup;
+            }
+            send_value = PyTuple_GET_ITEM(entry, 4);
+            Py_INCREF(send_value);
+            PyObject *e5 = PyTuple_GET_ITEM(entry, 5);
+            if (e5 != Py_None) {
+                throw_exc = e5;
+                Py_INCREF(throw_exc);
+            }
+        }
+        else {
+            PyObject *ts = slot_get(task, S.t_steps);
+            if (ts == NULL || as_i64(ts, &tsteps) < 0) {
+                Py_DECREF(task);
+                Py_DECREF(entry);
+                goto cleanup;
+            }
+            send_value = slot_get(task, S.t_pending_value);
+            if (send_value == NULL) {
+                Py_DECREF(task);
+                Py_DECREF(entry);
+                goto cleanup;
+            }
+            Py_INCREF(send_value);
+            PyObject *pe = SLOT(task, S.t_pending_exc);
+            if (pe != NULL && pe != Py_None) {
+                throw_exc = pe;
+                Py_INCREF(throw_exc);
+            }
+        }
+        Py_DECREF(entry);
+
+        int64_t next_clock = INT64_MAX;
+        if (PyList_GET_SIZE(heap) > 0) {
+            if (as_i64(PyTuple_GET_ITEM(PyList_GET_ITEM(heap, 0), 0), &next_clock) < 0) {
+                Py_XDECREF(send_value);
+                Py_XDECREF(throw_exc);
+                Py_DECREF(task);
+                goto cleanup;
+            }
+        }
+
+        /* -- inner loop: one op per iteration ------------------------- */
+        int stint_error = 0;
+        for (;;) {
+            steps += 1;
+            PyObject *op;
+            if (throw_exc != NULL) {
+                PyObject *exc = throw_exc;
+                throw_exc = NULL;
+                op = PyObject_CallMethodObjArgs(gen, s_throw, exc, NULL);
+                Py_DECREF(exc);
+            }
+            else {
+                PyObject *value = send_value; /* may be NULL = None */
+                send_value = NULL;
+                op = PyObject_CallOneArg(send, value ? value : Py_None);
+                Py_XDECREF(value);
+            }
+            if (op == NULL) {
+                /* task completed or failed */
+                PyObject *ptype, *pvalue, *ptb;
+                PyErr_Fetch(&ptype, &pvalue, &ptb);
+                PyErr_NormalizeException(&ptype, &pvalue, &ptb);
+                if (ptb != NULL && pvalue != NULL) {
+                    PyException_SetTraceback(pvalue, ptb);
+                }
+                int is_stop = (ptype != NULL
+                               && PyErr_GivenExceptionMatches(ptype, PyExc_StopIteration));
+                if (is_stop) {
+                    PyObject *retval = pvalue
+                        ? PyObject_GetAttr(pvalue, s_value)
+                        : Py_NewRef(Py_None);
+                    Py_XDECREF(ptype);
+                    Py_XDECREF(pvalue);
+                    Py_XDECREF(ptb);
+                    if (retval == NULL) {
+                        stint_error = 1;
+                        break;
+                    }
+                    slot_set(task, S.t_value, retval);
+                    Py_DECREF(retval);
+                    if (finish_task(sched, task, S.st_done, tclock, tsteps,
+                                    procs_enabled) < 0) {
+                        stint_error = 1;
+                        break;
+                    }
+                }
+                else if (pvalue != NULL) {
+                    slot_set(task, S.t_error, pvalue);
+                    Py_XDECREF(ptype);
+                    Py_XDECREF(pvalue);
+                    Py_XDECREF(ptb);
+                    if (finish_task(sched, task, S.st_failed, tclock, tsteps,
+                                    procs_enabled) < 0) {
+                        stint_error = 1;
+                        break;
+                    }
+                }
+                else {
+                    /* send() returned NULL without an exception set */
+                    PyErr_Restore(ptype, pvalue, ptb);
+                    if (!PyErr_Occurred()) {
+                        PyErr_SetString(PyExc_SystemError,
+                                        "engine: generator returned NULL without error");
+                    }
+                    stint_error = 1;
+                    break;
+                }
+                if (steps > limit) {
+                    raise_step_limit(limit);
+                    stint_error = 1;
+                }
+                break;
+            }
+            tsteps += 1;
+            PyObject *tp = (PyObject *)Py_TYPE(op);
+
+            /* -- cost.charge + apply_memory_op, fused ----------------- */
+            if (tp == S.tp_read) {
+                PyObject *cell = slot_get(op, S.op_read_cell);
+                PyObject *line = cell ? slot_get(cell, S.c_line) : NULL;
+                if (line == NULL) goto op_error;
+                int64_t base = jit ? read_hit + jitter_draw(&lcg, jit1) : read_hit;
+                PyObject *lw = SLOT(line, S.l_last_writer);
+                int64_t lwv = -1;
+                if (lw != NULL && lw != Py_None && as_i64(lw, &lwv) < 0) goto op_error;
+                if (lw != NULL && lw != Py_None && lwv != ttid) {
+                    PyObject *loc = slot_get(line, S.l_loc_id);
+                    PyObject *wt_obj = loc ? slot_get(line, S.l_write_time) : NULL;
+                    if (wt_obj == NULL) goto op_error;
+                    int64_t wt, seen = -1;
+                    if (as_i64(wt_obj, &wt) < 0) goto op_error;
+                    PyObject *seen_obj = PyDict_GetItemWithError(tcache, loc);
+                    if (seen_obj == NULL && PyErr_Occurred()) goto op_error;
+                    if (seen_obj != NULL && as_i64(seen_obj, &seen) < 0) goto op_error;
+                    if (wt > seen) {
+                        int64_t miss = read_miss;
+                        if (jit && read_miss) {
+                            miss += jitter_draw(&lcg, rd1);
+                        }
+                        if (PyDict_SetItem(tcache, loc, wt_obj) < 0) goto op_error;
+                        /* A read cannot complete before the owning
+                         * writer's store retires. */
+                        PyObject *av_obj = slot_get(line, S.l_avail_time);
+                        int64_t avail;
+                        if (av_obj == NULL || as_i64(av_obj, &avail) < 0) goto op_error;
+                        if (avail > tclock) {
+                            tclock = avail;
+                        }
+                        tclock += base + miss;
+                    }
+                    else {
+                        tclock += base;
+                    }
+                }
+                else {
+                    tclock += base;
+                }
+                send_value = slot_get(cell, S.c_value);
+                if (send_value == NULL) goto op_error;
+                Py_INCREF(send_value);
+            }
+            else if (tp == S.tp_faa || tp == S.tp_cas || tp == S.tp_gas
+                     || tp == S.tp_write) {
+                Py_ssize_t cell_off =
+                    tp == S.tp_faa ? S.op_faa_cell :
+                    tp == S.tp_cas ? S.op_cas_cell :
+                    tp == S.tp_gas ? S.op_gas_cell : S.op_write_cell;
+                PyObject *cell = slot_get(op, cell_off);
+                PyObject *line = cell ? slot_get(cell, S.c_line) : NULL;
+                if (line == NULL) goto op_error;
+                int64_t start = tclock;
+                {
+                    PyObject *at_obj = slot_get(line, S.l_avail_time);
+                    int64_t at;
+                    if (at_obj == NULL || as_i64(at_obj, &at) < 0) goto op_error;
+                    if (at > start) {
+                        start = at;
+                    }
+                }
+                int64_t base = jit ? jitter_draw(&lcg, jit1) : 0;
+                base += (tp == S.tp_write) ? write_cost : rmw_cost;
+                PyObject *lw = SLOT(line, S.l_last_writer);
+                int64_t end, lwv = -1;
+                if (lw != NULL && lw != Py_None && as_i64(lw, &lwv) < 0) goto op_error;
+                if (lw != NULL && lw != Py_None && lwv != ttid) {
+                    int64_t miss = remote_miss;
+                    if (jit && remote_miss) {
+                        miss += jitter_draw(&lcg, rm1);
+                    }
+                    end = start + base + miss;
+                }
+                else {
+                    end = start + base;
+                }
+                tclock = end;
+                {
+                    PyObject *end_obj = PyLong_FromLongLong(end);
+                    if (end_obj == NULL) goto op_error;
+                    slot_set(line, S.l_avail_time, end_obj);
+                    slot_set(line, S.l_last_writer, tid_obj);
+                    slot_set(line, S.l_write_time, end_obj);
+                    PyObject *loc = slot_get(line, S.l_loc_id);
+                    if (loc == NULL
+                        || PyDict_SetItem(tcache, loc, end_obj) < 0) {
+                        Py_DECREF(end_obj);
+                        goto op_error;
+                    }
+                    Py_DECREF(end_obj);
+                }
+                if (tp == S.tp_faa) {
+                    PyObject *old = slot_get(cell, S.c_value);
+                    PyObject *delta = old ? slot_get(op, S.op_faa_delta) : NULL;
+                    if (delta == NULL) goto op_error;
+                    Py_INCREF(old);
+                    PyObject *nv = PyNumber_Add(old, delta);
+                    if (nv == NULL) {
+                        Py_DECREF(old);
+                        goto op_error;
+                    }
+                    slot_set(cell, S.c_value, nv);
+                    Py_DECREF(nv);
+                    send_value = old;
+                }
+                else if (tp == S.tp_cas) {
+                    PyObject *cur = slot_get(cell, S.c_value);
+                    PyObject *expected = cur ? slot_get(op, S.op_cas_expected) : NULL;
+                    if (expected == NULL) goto op_error;
+                    int eq;
+                    PyObject *cell_tp = (PyObject *)Py_TYPE(cell);
+                    if (cell_tp == S.tp_refcell) {
+                        eq = (cur == expected);
+                    }
+                    else if (cell_tp == S.tp_intcell) {
+                        PyObject *r = PyObject_RichCompare(cur, expected, Py_EQ);
+                        if (r == NULL) goto op_error;
+                        eq = PyObject_IsTrue(r);
+                        Py_DECREF(r);
+                        if (eq < 0) goto op_error;
+                    }
+                    else {
+                        /* custom cell subtype: defer to its compare() */
+                        PyObject *r = PyObject_CallMethodObjArgs(
+                            cell, s_compare, cur, expected, NULL);
+                        if (r == NULL) goto op_error;
+                        eq = PyObject_IsTrue(r);
+                        Py_DECREF(r);
+                        if (eq < 0) goto op_error;
+                    }
+                    if (eq) {
+                        PyObject *update = slot_get(op, S.op_cas_update);
+                        if (update == NULL) goto op_error;
+                        slot_set(cell, S.c_value, update);
+                        send_value = Py_NewRef(Py_True);
+                    }
+                    else {
+                        send_value = Py_NewRef(Py_False);
+                    }
+                }
+                else if (tp == S.tp_write) {
+                    PyObject *nv = slot_get(op, S.op_write_value);
+                    if (nv == NULL) goto op_error;
+                    slot_set(cell, S.c_value, nv);
+                    /* resumes with None: send_value stays NULL */
+                }
+                else { /* GetAndSet */
+                    PyObject *old = slot_get(cell, S.c_value);
+                    PyObject *nv = old ? slot_get(op, S.op_gas_value) : NULL;
+                    if (nv == NULL) goto op_error;
+                    Py_INCREF(old);
+                    slot_set(cell, S.c_value, nv);
+                    send_value = old;
+                }
+            }
+            else if (tp == S.tp_work) {
+                PyObject *cyc = slot_get(op, S.op_work_cycles);
+                int64_t cycles;
+                if (cyc == NULL || as_i64(cyc, &cycles) < 0) goto op_error;
+                tclock += cycles;
+            }
+            else if (tp == S.tp_yield) {
+                tclock += yield_cost;
+            }
+            else if (tp == S.tp_spin) {
+                /* DesPolicy.on_voluntary_yield is the base-class no-op */
+                tclock += spin_cost;
+            }
+            else if (tp == S.tp_park) {
+                tclock += park_cost;
+                PyObject *ip = SLOT(task, S.t_interrupt_pending);
+                PyObject *rp = SLOT(task, S.t_retry_pending);
+                PyObject *up = SLOT(task, S.t_unpark_pending);
+                int ipt = ip ? PyObject_IsTrue(ip) : 0;
+                int rpt = rp ? PyObject_IsTrue(rp) : 0;
+                int upt = up ? PyObject_IsTrue(up) : 0;
+                if (ipt < 0 || rpt < 0 || upt < 0) goto op_error;
+                if (ipt) {
+                    slot_set(task, S.t_interrupt_pending, Py_False);
+                    throw_exc = PyObject_CallNoArgs(S.exc_interrupted);
+                    if (throw_exc == NULL) goto op_error;
+                }
+                else if (rpt) {
+                    slot_set(task, S.t_retry_pending, Py_False);
+                    throw_exc = PyObject_CallNoArgs(S.exc_retry);
+                    if (throw_exc == NULL) goto op_error;
+                }
+                else if (upt) {
+                    slot_set(task, S.t_unpark_pending, Py_False); /* permit consumed */
+                }
+                else {
+                    slot_set(task, S.t_state, S.st_parked);
+                    {
+                        PyObject *pc = slot_get(task, S.t_park_count);
+                        int64_t pcv;
+                        if (pc == NULL || as_i64(pc, &pcv) < 0) goto op_error;
+                        PyObject *npc = PyLong_FromLongLong(pcv + 1);
+                        if (npc == NULL) goto op_error;
+                        slot_set(task, S.t_park_count, npc);
+                        Py_DECREF(npc);
+                    }
+                    PyObject *c = PyLong_FromLongLong(tclock);
+                    PyObject *st = PyLong_FromLongLong(tsteps);
+                    if (c == NULL || st == NULL) {
+                        Py_XDECREF(c);
+                        Py_XDECREF(st);
+                        goto op_error;
+                    }
+                    slot_set(task, S.t_clock, c);
+                    slot_set(task, S.t_steps, st);
+                    Py_DECREF(c);
+                    Py_DECREF(st);
+                    slot_set(task, S.t_pending_value,
+                             send_value ? send_value : Py_None);
+                    slot_set(task, S.t_pending_exc,
+                             throw_exc ? throw_exc : Py_None);
+                    Py_DECREF(op);
+                    if (procs_enabled && call_method1(sched, s_unbind, task) < 0) {
+                        stint_error = 1;
+                        break;
+                    }
+                    if (steps > limit) {
+                        raise_step_limit(limit);
+                        stint_error = 1;
+                    }
+                    break;
+                }
+            }
+            else if (tp == S.tp_unpark) {
+                tclock += unpark_cost;
+                PyObject *target = slot_get(op, S.op_unpark_task);
+                if (target == NULL) goto op_error;
+                PyObject *oi = slot_get(op, S.op_unpark_interrupt);
+                PyObject *orr = oi ? slot_get(op, S.op_unpark_retry) : NULL;
+                if (orr == NULL) goto op_error;
+                int interrupt = PyObject_IsTrue(oi);
+                int retry = PyObject_IsTrue(orr);
+                if (interrupt < 0 || retry < 0) goto op_error;
+                if (SLOT(target, S.t_state) == S.st_parked) {
+                    if (interrupt) {
+                        PyObject *e = PyObject_CallNoArgs(S.exc_interrupted);
+                        if (e == NULL) goto op_error;
+                        slot_set(target, S.t_pending_exc, e);
+                        Py_DECREF(e);
+                    }
+                    else if (retry) {
+                        PyObject *e = PyObject_CallNoArgs(S.exc_retry);
+                        if (e == NULL) goto op_error;
+                        slot_set(target, S.t_pending_exc, e);
+                        Py_DECREF(e);
+                    }
+                    slot_set(target, S.t_state, S.st_runnable);
+                    /* cost.wake, inlined */
+                    PyObject *tc_obj = slot_get(target, S.t_clock);
+                    int64_t wbase;
+                    if (tc_obj == NULL || as_i64(tc_obj, &wbase) < 0) goto op_error;
+                    if (tclock > wbase) {
+                        wbase = tclock;
+                    }
+                    PyObject *nc = PyLong_FromLongLong(wbase + wake_latency);
+                    if (nc == NULL) goto op_error;
+                    slot_set(target, S.t_clock, nc);
+                    Py_DECREF(nc);
+                    if (call_method1(sched, s_make_runnable, target) < 0) goto op_error;
+                    /* The fresh entry may now be the earliest. */
+                    next_clock = INT64_MAX;
+                    if (PyList_GET_SIZE(heap) > 0
+                        && as_i64(PyTuple_GET_ITEM(PyList_GET_ITEM(heap, 0), 0),
+                                  &next_clock) < 0) goto op_error;
+                }
+                else if (interrupt) {
+                    slot_set(target, S.t_interrupt_pending, Py_True);
+                }
+                else if (retry) {
+                    slot_set(target, S.t_retry_pending, Py_True);
+                }
+                else {
+                    slot_set(target, S.t_unpark_pending, Py_True);
+                }
+            }
+            else if (tp == S.tp_current) {
+                send_value = Py_NewRef(task);
+            }
+            else if (tp == S.tp_alloc) {
+                tclock += alloc_cost;
+            }
+            else if (tp == S.tp_label) {
+                /* no effect */
+            }
+            else {
+                /* Unknown op subtype: fall back to the general handlers
+                 * (sync task + LCG state around the call), exactly like
+                 * the Python fast lane. */
+                PyObject *c = PyLong_FromLongLong(tclock);
+                if (c == NULL) goto op_error;
+                slot_set(task, S.t_clock, c);
+                Py_DECREF(c);
+                slot_set(task, S.t_pending_value,
+                         send_value ? send_value : Py_None);
+                Py_CLEAR(send_value);
+                PyObject *l = PyLong_FromUnsignedLongLong(lcg);
+                if (l == NULL || PyObject_SetAttr(cost, s_lcg, l) < 0) {
+                    Py_XDECREF(l);
+                    goto op_error;
+                }
+                Py_DECREF(l);
+                PyObject *r = PyObject_CallMethodObjArgs(cost, s_charge,
+                                                         task, op, NULL);
+                if (r == NULL) goto op_error;
+                Py_DECREF(r);
+                r = PyObject_CallMethodObjArgs(sched, s_dispatch, task, op, NULL);
+                if (r == NULL) goto op_error;
+                Py_DECREF(r);
+                l = PyObject_GetAttr(cost, s_lcg);
+                if (l == NULL) goto op_error;
+                lcg = PyLong_AsUnsignedLongLong(l);
+                Py_DECREF(l);
+                if (lcg == (uint64_t)-1 && PyErr_Occurred()) goto op_error;
+                PyObject *tc_obj = slot_get(task, S.t_clock);
+                if (tc_obj == NULL || as_i64(tc_obj, &tclock) < 0) goto op_error;
+                send_value = slot_get(task, S.t_pending_value);
+                if (send_value == NULL) goto op_error;
+                Py_INCREF(send_value);
+                next_clock = INT64_MAX;
+                if (PyList_GET_SIZE(heap) > 0
+                    && as_i64(PyTuple_GET_ITEM(PyList_GET_ITEM(heap, 0), 0),
+                              &next_clock) < 0) goto op_error;
+            }
+
+            if (steps > limit) {
+                PyObject *c = PyLong_FromLongLong(tclock);
+                PyObject *st = PyLong_FromLongLong(tsteps);
+                if (c != NULL && st != NULL) {
+                    slot_set(task, S.t_clock, c);
+                    slot_set(task, S.t_steps, st);
+                    slot_set(task, S.t_pending_value,
+                             send_value ? send_value : Py_None);
+                    slot_set(task, S.t_pending_exc,
+                             throw_exc ? throw_exc : Py_None);
+                    raise_step_limit(limit);
+                }
+                Py_XDECREF(c);
+                Py_XDECREF(st);
+                Py_DECREF(op);
+                stint_error = 1;
+                break;
+            }
+
+            /* -- keep_running + requeue, inlined ---------------------- */
+            if (tclock > next_clock) {
+                /* Wide entry: resume state rides in the heap entry. */
+                PyObject *c = PyLong_FromLongLong(tclock);
+                PyObject *st = PyLong_FromLongLong(tsteps);
+                if (c == NULL || st == NULL) {
+                    Py_XDECREF(c);
+                    Py_XDECREF(st);
+                    Py_DECREF(op);
+                    stint_error = 1;
+                    break;
+                }
+                slot_set(task, S.t_clock, c);
+                PyObject *wide = PyTuple_New(6);
+                if (wide == NULL) {
+                    Py_DECREF(c);
+                    Py_DECREF(st);
+                    Py_DECREF(op);
+                    stint_error = 1;
+                    break;
+                }
+                PyTuple_SET_ITEM(wide, 0, c);                       /* steals */
+                PyTuple_SET_ITEM(wide, 1, Py_NewRef(tid_obj));
+                PyTuple_SET_ITEM(wide, 2, Py_NewRef(task));
+                PyTuple_SET_ITEM(wide, 3, st);                      /* steals */
+                PyTuple_SET_ITEM(wide, 4,
+                                 send_value ? send_value : Py_NewRef(Py_None));
+                send_value = NULL;                                  /* moved */
+                PyTuple_SET_ITEM(wide, 5,
+                                 throw_exc ? throw_exc : Py_NewRef(Py_None));
+                throw_exc = NULL;                                   /* moved */
+                pending = wide;
+                Py_DECREF(op);
+                break;
+            }
+            Py_DECREF(op);
+            continue;
+
+        op_error:
+            Py_DECREF(op);
+            stint_error = 1;
+            break;
+        }
+
+        Py_XDECREF(send_value);
+        Py_XDECREF(throw_exc);
+        Py_DECREF(task);
+        if (stint_error) goto cleanup;
+    }
+
+    failed = 0;
+    result = Py_NewRef(Py_None);
+
+cleanup:
+    /* ``finally:`` — restore global engine state exactly. */
+    {
+        PyObject *etype = NULL, *evalue = NULL, *etb = NULL;
+        if (failed) {
+            PyErr_Fetch(&etype, &evalue, &etb);
+        }
+        if (engaged) {
+            PyObject *steps_obj = PyLong_FromLongLong(steps);
+            if (steps_obj != NULL) {
+                PyObject_SetAttr(sched, s_total_steps, steps_obj);
+                Py_DECREF(steps_obj);
+            }
+            PyObject *lcg_obj = PyLong_FromUnsignedLongLong(lcg);
+            if (lcg_obj != NULL) {
+                PyObject_SetAttr(cost, s_lcg, lcg_obj);
+                Py_DECREF(lcg_obj);
+            }
+            if (PyErr_Occurred()) {
+                /* a sync failure must not mask the original error */
+                if (etype != NULL) {
+                    PyErr_Clear();
+                }
+            }
+        }
+        if (etype != NULL || evalue != NULL || etb != NULL) {
+            PyErr_Restore(etype, evalue, etb);
+        }
+    }
+    Py_XDECREF(pending);
+    Py_XDECREF(cost);
+    Py_XDECREF(policy);
+    Py_XDECREF(heap);
+    Py_XDECREF(params);
+    Py_XDECREF(unbound);
+    Py_XDECREF(procs_obj);
+    Py_XDECREF(tasks_list);
+    return result;
+}
+
+/* NOTE: the fused loop intentionally skips ``steps`` sync until the
+ * cleanup block above, exactly mirroring the Python fast lane's
+ * ``finally`` — observers attach only between runs, never during. */
+
+static PyObject *
+engine_configured(PyObject *self, PyObject *noargs)
+{
+    return PyBool_FromLong(S.ready);
+}
+
+static PyMethodDef engine_methods[] = {
+    {"configure", engine_configure, METH_O,
+     "Bind the engine to the repro classes; validates __slots__ layouts."},
+    {"run_fast", engine_run_fast, METH_O,
+     "Run a Scheduler's fused DES loop natively (bit-identical to _run_fast)."},
+    {"configured", engine_configured, METH_NOARGS,
+     "True once configure() has validated the object layouts."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef engine_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro._engine._enginec",
+    "Compiled engine tier: the fused DES stint loop in C.",
+    -1,
+    engine_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__enginec(void)
+{
+#define INTERN(var, text)                        \
+    do {                                         \
+        var = PyUnicode_InternFromString(text);  \
+        if (var == NULL) return NULL;            \
+    } while (0)
+    INTERN(s_live, "_live");
+    INTERN(s_heap, "_heap");
+    INTERN(s_cost, "cost");
+    INTERN(s_policy, "policy");
+    INTERN(s_p, "p");
+    INTERN(s_lcg, "_lcg");
+    INTERN(s_processors, "processors");
+    INTERN(s_unbound, "_unbound");
+    INTERN(s_max_steps, "max_steps");
+    INTERN(s_total_steps, "total_steps");
+    INTERN(s_tasks, "tasks");
+    INTERN(s_bind, "_bind");
+    INTERN(s_unbind, "_unbind");
+    INTERN(s_make_runnable, "_make_runnable");
+    INTERN(s_dispatch, "_dispatch");
+    INTERN(s_charge, "charge");
+    INTERN(s_popleft, "popleft");
+    INTERN(s_throw, "throw");
+    INTERN(s_value, "value");
+    INTERN(s_compare, "compare");
+    INTERN(s_read_hit, "read_hit");
+    INTERN(s_write, "write");
+    INTERN(s_rmw, "rmw");
+    INTERN(s_remote_miss, "remote_miss");
+    INTERN(s_read_miss, "read_miss");
+    INTERN(s_park, "park");
+    INTERN(s_unpark, "unpark");
+    INTERN(s_wake_latency, "wake_latency");
+    INTERN(s_spin, "spin");
+    INTERN(s_yield_, "yield_");
+    INTERN(s_alloc, "alloc");
+    INTERN(s_jitter, "jitter");
+    INTERN(s_clock, "clock");
+    INTERN(s_pending_value_str, "pending_value");
+#undef INTERN
+    memset(&S, 0, sizeof(S));
+    return PyModule_Create(&engine_module);
+}

@@ -13,6 +13,7 @@ Regenerates the paper's evaluation artefacts without pytest::
     python -m repro.bench net --ab --json            # wire A/B matrix -> BENCH_05.json
     python -m repro.bench net --cluster --json       # worker-scaling matrix -> BENCH_06.json
     python -m repro.bench selfperf --json            # engine ops/sec -> BENCH_04.json
+    python -m repro.bench selfperf --engine both --json  # paired py/c matrix -> BENCH_08.json
     python -m repro.bench allocs --json allocs.json  # descriptor allocations per element
     python -m repro.bench compare OLD.json NEW.json  # exit 1 on >15% perf regression
     python -m repro.bench all
@@ -24,8 +25,11 @@ serial run: every point derives its own workload seed from its
 coordinates and collection preserves point order.
 
 ``selfperf`` measures the *simulator's own* wall-clock throughput
-(scheduler ops/sec) on a pinned workload matrix; ``compare`` gates two
-such dumps (see :mod:`repro.bench.selfperf`).
+(scheduler ops/sec) on a pinned workload matrix; ``--engine
+{py,c,auto,both}`` pins the engine tier (``both`` runs the matrix under
+py and c into one paired dump).  ``compare`` gates two such dumps and
+refuses cross-engine comparisons unless ``--allow-engine-mismatch``
+(see :mod:`repro.bench.selfperf`).
 
 Tables print to stdout; `--elements` trades time for fidelity (the paper
 transferred 10^6 elements; the shape is stable from ~10^4).
@@ -442,11 +446,31 @@ def cmd_selfperf(args: argparse.Namespace) -> list[dict]:
     from .selfperf import run_selfperf
 
     label = "quick subset" if args.quick else "full matrix"
-    print(f"Engine self-performance ({label}, best of {args.repeat})")
-    rows = run_selfperf(quick=args.quick, repeat=args.repeat)
-    for r in rows:
-        print(f"  {r['name']:24s} {r['ops']:>9d} ops in {r['seconds']:8.3f}s "
-              f"= {r['ops_per_sec']:12.0f} ops/s")
+    # "both" runs the pinned matrix once per tier into one dump — the
+    # paired py-vs-c A/B (BENCH_08.json) from a single command.  compare
+    # keys multi-engine dumps by name[engine], so the tiers gate
+    # separately.
+    tiers = ("py", "c") if args.engine == "both" else (args.engine,)
+    rows: list[dict] = []
+    for tier in tiers:
+        tier_rows = run_selfperf(quick=args.quick, repeat=args.repeat, engine=tier)
+        engine = tier_rows[0]["engine"] if tier_rows else (tier or "auto")
+        print(f"Engine self-performance ({label}, best of {args.repeat}, engine={engine})")
+        for r in tier_rows:
+            print(f"  {r['name']:24s} {r['ops']:>9d} ops in {r['seconds']:8.3f}s "
+                  f"= {r['ops_per_sec']:12.0f} ops/s")
+        rows.extend(tier_rows)
+    if args.engine == "both":
+        from .selfperf import ALG_SUBSET, geomean
+
+        by = {(r["engine"], r["name"]): r["ops_per_sec"] for r in rows}
+        ratios = [
+            by[("c", n)] / by[("py", n)]
+            for n in ALG_SUBSET
+            if ("py", n) in by and ("c", n) in by
+        ]
+        if ratios:
+            print(f"compiled-tier geomean over ALG_SUBSET: {geomean(ratios):.2f}x vs py")
     return rows
 
 
@@ -510,7 +534,11 @@ def cmd_compare(args: argparse.Namespace) -> list[dict]:
         except (OSError, ValueError) as exc:
             raise SystemExit(f"python -m repro.bench compare: error: {path}: {exc}") from exc
     ok, report = compare_rows(
-        dumps[0], dumps[1], threshold=args.threshold, allow_missing=args.allow_missing
+        dumps[0],
+        dumps[1],
+        threshold=args.threshold,
+        allow_missing=args.allow_missing,
+        allow_engine_mismatch=args.allow_engine_mismatch,
     )
     print(report)
     args._exit_code = 0 if ok else 1
@@ -606,6 +634,17 @@ def main(argv: list[str] | None = None) -> int:
         help="compare: report baseline rows missing from NEW without failing "
         "(for subset runs, e.g. --quick smoke vs a full baseline)",
     )
+    perf.add_argument(
+        "--engine", choices=("py", "c", "auto", "both"), default=None,
+        help="selfperf: engine tier to measure (py = pure-Python reference, "
+        "c = compiled extension, auto = compiled when available; 'both' runs "
+        "the matrix under py and c into one paired dump — the BENCH_08 A/B)",
+    )
+    perf.add_argument(
+        "--allow-engine-mismatch", action="store_true",
+        help="compare: allow OLD and NEW to have run different engine tiers "
+        "(cross-engine ratios measure the tier gap, not a regression)",
+    )
     parser.add_argument(
         "--trace",
         metavar="PATH",
@@ -659,7 +698,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"positional paths are only accepted by `compare`, not `{args.command}`")
     if args.json == "__default__":
         if args.command == "selfperf":
-            args.json = "BENCH_04.json"
+            args.json = "BENCH_08.json" if args.engine == "both" else "BENCH_04.json"
         elif args.command == "net":
             args.json = "BENCH_06.json" if _net_cluster_mode(args) else "BENCH_05.json"
         elif args.command == "grid":

@@ -229,37 +229,57 @@ QUICK_MATRIX: tuple[str, ...] = ("rendezvous-faa-t16", "counter-faa-t8", "yield-
 
 
 def run_selfperf(
-    quick: bool = False, repeat: int = 3, names: Iterable[str] | None = None
+    quick: bool = False,
+    repeat: int = 3,
+    names: Iterable[str] | None = None,
+    engine: str | None = None,
 ) -> list[dict[str, Any]]:
     """Run the matrix; return one row per point (best-of-``repeat``).
 
     Best-of is the standard noise discipline for throughput micro
     benchmarks: interference only ever slows a run down, so the fastest
     repeat is the best estimate of the machine's true rate.
+
+    ``engine`` pins the engine tier for every point (``'py'``, ``'c'``,
+    or ``'auto'``; ``None`` defers to the process default /
+    ``REPRO_ENGINE``).  Each row carries the *effective* tier in its
+    ``engine`` field — never the request — so a dump records what
+    actually ran and :func:`compare_rows` can refuse apples-to-oranges
+    comparisons.
     """
 
+    from .. import _engine
+
+    # Resolve once up front: an explicit-but-unavailable 'c' must fail
+    # loudly here, not produce a silently-py dump labelled c.
+    tier = _engine.resolve(engine)
     selected = tuple(names) if names is not None else (QUICK_MATRIX if quick else tuple(MATRIX))
     rows: list[dict[str, Any]] = []
     meta = {
         "python": platform.python_version(),
         "impl": platform.python_implementation(),
         "machine": platform.machine(),
+        "engine": tier,
     }
-    for name in selected:
-        runner = MATRIX[name]
-        best_rate = 0.0
-        best = None
-        for _ in range(max(1, repeat)):
-            t0 = time.perf_counter()
-            sched = runner()
-            seconds = time.perf_counter() - t0
-            ops = sched.total_steps
-            rate = ops / seconds if seconds > 0 else float("inf")
-            if best is None or rate > best_rate:
-                best_rate = rate
-                best = {"name": name, "ops": ops, "seconds": seconds, "ops_per_sec": rate}
-        assert best is not None
-        rows.append(best | meta)
+    prev = _engine.set_default_engine(tier)
+    try:
+        for name in selected:
+            runner = MATRIX[name]
+            best_rate = 0.0
+            best = None
+            for _ in range(max(1, repeat)):
+                t0 = time.perf_counter()
+                sched = runner()
+                seconds = time.perf_counter() - t0
+                ops = sched.total_steps
+                rate = ops / seconds if seconds > 0 else float("inf")
+                if best is None or rate > best_rate:
+                    best_rate = rate
+                    best = {"name": name, "ops": ops, "seconds": seconds, "ops_per_sec": rate}
+            assert best is not None
+            rows.append(best | meta)
+    finally:
+        _engine.set_default_engine(prev)
     return rows
 
 
@@ -270,7 +290,25 @@ def geomean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
-def _selfperf_points(rows: Iterable[dict[str, Any]]) -> dict[str, dict[str, Any]]:
+def _gateable(rows: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    """The rows ``compare`` gates on (see :func:`_selfperf_points`)."""
+
+    return [
+        r
+        for r in rows
+        if r.get("command") in ("selfperf", "net", "grid") and "ops_per_sec" in r
+    ]
+
+
+def _row_engine(row: dict[str, Any]) -> str:
+    """A row's engine tier; dumps predating the tier split ran pure Python."""
+
+    return row.get("engine", "py")
+
+
+def _selfperf_points(
+    rows: Iterable[dict[str, Any]], by_engine: bool = False
+) -> dict[str, dict[str, Any]]:
     """Index a ``--json`` dump's gateable rows by point name.
 
     ``selfperf`` rows, ``net`` A/B rows (BENCH_05.json), and policy
@@ -280,13 +318,15 @@ def _selfperf_points(rows: Iterable[dict[str, Any]]) -> dict[str, dict[str, Any]
     BENCH_03.json for the record) are ignored: compare always gates on
     the *current* engine's numbers.  Grid ``skipped`` pseudo-rows carry
     no ``ops_per_sec`` and fall out here.
+
+    With ``by_engine`` points are keyed ``name[engine]`` — required for
+    multi-engine dumps (e.g. BENCH_08's paired py/c matrix), where the
+    same point name legitimately appears once per tier.
     """
 
-    return {
-        r["name"]: r
-        for r in rows
-        if r.get("command") in ("selfperf", "net", "grid") and "ops_per_sec" in r
-    }
+    if by_engine:
+        return {f"{r['name']}[{_row_engine(r)}]": r for r in _gateable(rows)}
+    return {r["name"]: r for r in _gateable(rows)}
 
 
 def compare_rows(
@@ -295,6 +335,7 @@ def compare_rows(
     threshold: float = DEFAULT_THRESHOLD,
     *,
     allow_missing: bool = False,
+    allow_engine_mismatch: bool = False,
 ) -> tuple[bool, str]:
     """Compare two selfperf dumps; ``(ok, report)``.
 
@@ -306,14 +347,40 @@ def compare_rows(
     are therefore reported explicitly.  ``allow_missing=True`` downgrades
     missing baseline points to informational (for comparing a quick
     subset against a full dump).
+
+    Engine tiers gate separately: comparing a pure-Python dump against a
+    compiled-tier dump would report the build as a 2x "speedup" (or its
+    absence as a regression), so a cross-engine comparison is refused
+    unless ``allow_engine_mismatch=True``.  When either dump itself
+    spans both tiers (BENCH_08's paired matrix), points are keyed
+    ``name[engine]`` on both sides, which matches like tiers to like.
     """
 
-    old = _selfperf_points(old_rows)
-    new = _selfperf_points(new_rows)
+    old_engines = sorted({_row_engine(r) for r in _gateable(old_rows)})
+    new_engines = sorted({_row_engine(r) for r in _gateable(new_rows)})
+    multi = len(old_engines) > 1 or len(new_engines) > 1
+    if (
+        not multi
+        and old_engines
+        and new_engines
+        and old_engines != new_engines
+        and not allow_engine_mismatch
+    ):
+        return False, (
+            f"compare: engine mismatch: OLD ran engine={old_engines[0]}, "
+            f"NEW ran engine={new_engines[0]}; cross-engine ratios are not a "
+            "regression signal (pass --allow-engine-mismatch to compare anyway)"
+        )
+    old = _selfperf_points(old_rows, by_engine=multi)
+    new = _selfperf_points(new_rows, by_engine=multi)
     common = [n for n in old if n in new]
     if not common:
         return False, "compare: no common selfperf points between the two files"
-    lines = [f"{'point':24s} {'old ops/s':>14s} {'new ops/s':>14s} {'ratio':>7s}"]
+    lines = [
+        f"engines: old={','.join(old_engines) or '?'} new={','.join(new_engines) or '?'}"
+        + (" (keyed name[engine])" if multi else "")
+    ]
+    lines.append(f"{'point':24s} {'old ops/s':>14s} {'new ops/s':>14s} {'ratio':>7s}")
     ratios = []
     for name in common:
         o, n = old[name]["ops_per_sec"], new[name]["ops_per_sec"]

@@ -20,6 +20,7 @@ __all__ = [
     "ChannelClosedForSend",
     "ChannelClosedForReceive",
     "DeadlockError",
+    "EngineUnavailableError",
     "SchedulerError",
     "StepLimitExceeded",
     "LinearizabilityError",
@@ -95,6 +96,20 @@ class DeadlockError(ReproError):
 
 class SchedulerError(ReproError):
     """Misuse of the simulated scheduler (e.g. op yielded outside a task)."""
+
+
+class EngineUnavailableError(ReproError):
+    """The compiled engine tier was requested explicitly but is unusable.
+
+    Raised only for ``engine='c'`` / ``REPRO_ENGINE=c``; the ``auto``
+    tier degrades to the pure-Python reference path instead.  Carries the
+    probe's failure reason (import error, layout mismatch, or explicit
+    ``REPRO_NO_ENGINE_EXT`` disable).
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(f"compiled engine unavailable: {reason}")
+        self.reason = reason
 
 
 class StepLimitExceeded(ReproError):

@@ -346,6 +346,15 @@ class Scheduler:
     max_steps:
         Global op budget; exceeding it raises
         :class:`~repro.errors.StepLimitExceeded` (livelock guard).
+    engine:
+        Engine tier for the fused fast lane: ``'py'`` (pure-Python
+        reference), ``'c'`` (compiled extension; raises
+        :class:`~repro.errors.EngineUnavailableError` if the build is
+        missing), ``'auto'`` (compiled when available), or ``None`` to
+        defer to :func:`repro._engine.set_default_engine` /
+        ``REPRO_ENGINE`` / ``auto``.  Only the unobserved standard
+        configuration is affected — the general loop and non-default
+        policies always run pure Python.
     """
 
     def __init__(
@@ -354,7 +363,16 @@ class Scheduler:
         cost_model: CostModel | NullCostModel | None = None,
         max_steps: int = 50_000_000,
         processors: int | None = None,
+        engine: str | None = None,
     ):
+        if engine is not None:
+            from .. import _engine
+
+            if engine not in _engine.ENGINES:
+                raise ValueError(
+                    f"unknown engine {engine!r}; expected one of {_engine.ENGINES}"
+                )
+        self.engine = engine
         self.policy = policy or DesPolicy()
         self.cost = cost_model if cost_model is not None else CostModel()
         self.max_steps = max_steps
@@ -467,7 +485,12 @@ class Scheduler:
             and type(self.cost) is CostModel
             and self.cost.audit is None
         ):
-            self._run_fast()
+            from .. import _engine
+
+            if _engine.resolve(self.engine) == "c":
+                _engine.native_run(self)
+            else:
+                self._run_fast()
         else:
             self._run_general()
         if raise_errors:
