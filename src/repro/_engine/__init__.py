@@ -31,9 +31,13 @@ silently-broken build cannot masquerade as a perf regression.
 ``REPRO_NO_ENGINE_EXT=1`` disables the extension probe entirely (used by
 tests to exercise the fallback path deterministically).
 
-The compiled loop is engaged by the scheduler only for runs that would
-take the Python fast lane anyway; the observed/general loop and every
-non-default policy always route through Python.
+The compiled tier now covers *both* standard-config loops: the fused
+unobserved stint loop (``run_fast``) and the observed general loop
+(``run_observed``), which executes heap scheduling and op charge/apply
+natively while calling back into Python at the observation points
+(scheduler hooks, the CostModel audit tap, alloc-stats recording).
+Non-default policies and non-default cost models always route through
+Python.
 """
 
 from __future__ import annotations
@@ -50,6 +54,7 @@ __all__ = [
     "METRICS",
     "available",
     "native_run",
+    "native_run_general",
     "probe_error",
     "resolve",
     "set_default_engine",
@@ -97,13 +102,16 @@ def _probe() -> None:
             Label,
             ParkTask,
             Read,
+            SampledWork,
             Spin,
             UnparkTask,
             Work,
             Write,
             Yield,
         )
+        from ..bench.workload import GeometricWork
         from ..errors import DeadlockError, Interrupted, RetryWakeup, StepLimitExceeded
+        from ..sim.costmodel import CostModel, OpCostAudit
         from ..sim.tasks import Task, TaskState
 
         _enginec.configure(
@@ -121,6 +129,10 @@ def _probe() -> None:
                 "CurrentTask": CurrentTask,
                 "Alloc": Alloc,
                 "Label": Label,
+                "SampledWork": SampledWork,
+                "GeometricWork": GeometricWork,
+                "OpCostAudit": OpCostAudit,
+                "CostModel": CostModel,
                 "RefCell": RefCell,
                 "IntCell": IntCell,
                 "Task": Task,
@@ -140,6 +152,12 @@ def _probe() -> None:
         # A layout mismatch (or any configure failure) means the build is
         # unusable; fall back to the reference tier.
         _probe_error = f"extension configure failed: {exc!r}"
+        return
+    if not hasattr(_enginec, "run_observed"):
+        # An .so from an older source tree imports and configures fine
+        # but lacks the observed-path core; treat it as unusable rather
+        # than serving a half-tier.
+        _probe_error = "extension build is stale (missing run_observed); rebuild it"
         return
     _ext = _enginec
     _probe_error = None
@@ -227,3 +245,16 @@ def native_run(sched: Any) -> None:
     if _ext is None:
         raise EngineUnavailableError(_probe_error or "unknown probe failure")
     _ext.run_fast(sched)
+
+
+def native_run_general(sched: Any) -> None:
+    """Run *sched*'s observed general loop on the compiled tier.
+
+    Bit-identical to :meth:`Scheduler._run_general` for the standard
+    configuration, including hook/audit/alloc-stats callouts.
+    """
+
+    _probe()
+    if _ext is None:
+        raise EngineUnavailableError(_probe_error or "unknown probe failure")
+    _ext.run_observed(sched)

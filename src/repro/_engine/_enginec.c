@@ -23,13 +23,25 @@
  *   - the bit-exact jitter LCG (the scalar recurrence; the numpy batch in
  *     ``costmodel.lcg_batch`` generates the identical state stream).
  *
+ * ``run_observed`` is the second executor (the PR-9 observed-path
+ * core): a transcription of ``Scheduler._run_general`` +
+ * ``_step_task`` + ``DesPolicy`` that keeps heap scheduling, generator
+ * resumption, and the exact-type charge/op-apply dispatch native while
+ * calling out to Python at every observation point — scheduler hooks,
+ * the ``CostModel`` audit tap (filled natively when it is exactly
+ * ``OpCostAudit``, delegated to ``cost.charge`` for custom taps), and
+ * the ``alloc_stats`` collector.  Unlike the fast lane it writes task
+ * state (clock, steps, pending value/exc) and the global step counter
+ * through to the Python attributes after every op, so hooks observe
+ * exactly the state the pure-Python loop would show them.
+ *
  * What is NOT compiled: the algorithms themselves (channel/baseline
- * generators stay pure Python and are resumed via ``gen.send``), the
- * general observable loop, every non-default scheduling policy, the
- * processors binding logic (delegated back to ``Scheduler._bind`` /
- * ``_unbind`` / ``_make_runnable``), and the unknown-op fallback (which
- * round-trips through ``CostModel.charge`` + ``Scheduler._dispatch``
- * exactly like the Python fast lane does).
+ * generators stay pure Python and are resumed via ``gen.send``), every
+ * non-default scheduling policy, the processors binding logic
+ * (delegated back to ``Scheduler._bind`` / ``_unbind`` /
+ * ``_make_runnable``), and the unknown-op fallback (which round-trips
+ * through ``CostModel.charge`` + ``Scheduler._dispatch`` exactly like
+ * the Python loops do).
  *
  * Object access: every hot attribute lives in a ``__slots__`` member.
  * ``configure()`` resolves each slot's member-descriptor offset once and
@@ -42,6 +54,7 @@
 #include <Python.h>
 #include <structmember.h>
 #include <stdint.h>
+#include <math.h>
 
 #if PY_VERSION_HEX >= 0x030c0000
 /* 3.12 renamed the member-type constants; the legacy names remain as
@@ -62,9 +75,11 @@ typedef struct {
     /* op types (exact-type dispatch, like ``type(op) is Read``) */
     PyObject *tp_read, *tp_write, *tp_cas, *tp_faa, *tp_gas;
     PyObject *tp_work, *tp_yield, *tp_spin, *tp_park, *tp_unpark;
-    PyObject *tp_current, *tp_alloc, *tp_label;
+    PyObject *tp_current, *tp_alloc, *tp_label, *tp_sampledwork;
     /* cell types for CAS comparison semantics */
     PyObject *tp_refcell, *tp_intcell;
+    /* the canonical sampler type (native draw) and the audit tap type */
+    PyObject *tp_geowork, *tp_audit;
     /* TaskState members (enum singletons, compared by identity) */
     PyObject *st_runnable, *st_parked, *st_done, *st_failed;
     /* exception classes */
@@ -84,6 +99,11 @@ typedef struct {
     Py_ssize_t op_gas_cell, op_gas_value;
     Py_ssize_t op_work_cycles;
     Py_ssize_t op_unpark_task, op_unpark_interrupt, op_unpark_retry;
+    Py_ssize_t op_sw_sampler;
+    Py_ssize_t op_alloc_tag, op_alloc_units;
+    Py_ssize_t gw_mean, gw_randf, gw_log1mp;
+    Py_ssize_t a_cell, a_stall, a_miss, a_base;
+    Py_ssize_t cm_audit;
 
     int ready;
 } engine_state;
@@ -98,6 +118,7 @@ static PyObject *s_charge, *s_popleft, *s_throw, *s_value, *s_compare;
 static PyObject *s_read_hit, *s_write, *s_rmw, *s_remote_miss, *s_read_miss;
 static PyObject *s_park, *s_unpark, *s_wake_latency, *s_spin, *s_yield_;
 static PyObject *s_alloc, *s_jitter, *s_clock, *s_pending_value_str;
+static PyObject *s_hooks, *s_alloc_stats, *s_record, *s_forget, *s_sample;
 
 #define SLOT(obj, off) (*(PyObject **)((char *)(obj) + (off)))
 
@@ -130,6 +151,30 @@ as_i64(PyObject *o, int64_t *out)
     }
     *out = (int64_t)v;
     return 0;
+}
+
+static inline int
+set_slot_i64(PyObject *obj, Py_ssize_t off, int64_t v)
+{
+    PyObject *o = PyLong_FromLongLong(v);
+    if (o == NULL) {
+        return -1;
+    }
+    slot_set(obj, off, o);
+    Py_DECREF(o);
+    return 0;
+}
+
+static inline int
+set_attr_i64(PyObject *obj, PyObject *name, int64_t v)
+{
+    PyObject *o = PyLong_FromLongLong(v);
+    if (o == NULL) {
+        return -1;
+    }
+    int rc = PyObject_SetAttr(obj, name, o);
+    Py_DECREF(o);
+    return rc;
 }
 
 /* ------------------------------------------------------------------ */
@@ -277,6 +322,16 @@ heap_pushpop(PyObject *heap, PyObject *item)
     return item;
 }
 
+/* heappush(heap, item). */
+static int
+heap_push(PyObject *heap, PyObject *item)
+{
+    if (PyList_Append(heap, item) < 0) {
+        return -1;
+    }
+    return heap_siftdown(heap, 0, PyList_GET_SIZE(heap) - 1);
+}
+
 /* ------------------------------------------------------------------ */
 /* configure()                                                         */
 /* ------------------------------------------------------------------ */
@@ -323,6 +378,7 @@ grab(PyObject *cfg, const char *key)
 static PyObject *
 engine_configure(PyObject *self, PyObject *cfg)
 {
+    (void)self;
     if (!PyDict_Check(cfg)) {
         PyErr_SetString(PyExc_TypeError, "configure() expects a dict");
         return NULL;
@@ -349,8 +405,11 @@ engine_configure(PyObject *self, PyObject *cfg)
     GRAB(tp_current, "CurrentTask");
     GRAB(tp_alloc, "Alloc");
     GRAB(tp_label, "Label");
+    GRAB(tp_sampledwork, "SampledWork");
     GRAB(tp_refcell, "RefCell");
     GRAB(tp_intcell, "IntCell");
+    GRAB(tp_geowork, "GeometricWork");
+    GRAB(tp_audit, "OpCostAudit");
     GRAB(st_runnable, "RUNNABLE");
     GRAB(st_parked, "PARKED");
     GRAB(st_done, "DONE");
@@ -364,8 +423,11 @@ engine_configure(PyObject *self, PyObject *cfg)
     PyObject *task_cls = PyDict_GetItemString(cfg, "Task");
     PyObject *cell_cls = PyDict_GetItemString(cfg, "Cell");
     PyObject *line_cls = PyDict_GetItemString(cfg, "CacheLine");
-    if (task_cls == NULL || cell_cls == NULL || line_cls == NULL) {
-        PyErr_SetString(PyExc_KeyError, "engine configure: missing Task/Cell/CacheLine");
+    PyObject *cm_cls = PyDict_GetItemString(cfg, "CostModel");
+    if (task_cls == NULL || cell_cls == NULL || line_cls == NULL
+        || cm_cls == NULL) {
+        PyErr_SetString(PyExc_KeyError,
+                        "engine configure: missing Task/Cell/CacheLine/CostModel");
         return NULL;
     }
 
@@ -407,6 +469,17 @@ engine_configure(PyObject *self, PyObject *cfg)
     RS(S.tp_unpark, "task", op_unpark_task);
     RS(S.tp_unpark, "interrupt", op_unpark_interrupt);
     RS(S.tp_unpark, "retry", op_unpark_retry);
+    RS(S.tp_sampledwork, "sampler", op_sw_sampler);
+    RS(S.tp_alloc, "tag", op_alloc_tag);
+    RS(S.tp_alloc, "units", op_alloc_units);
+    RS(S.tp_geowork, "mean", gw_mean);
+    RS(S.tp_geowork, "_randf", gw_randf);
+    RS(S.tp_geowork, "_log1mp", gw_log1mp);
+    RS(S.tp_audit, "cell", a_cell);
+    RS(S.tp_audit, "stall", a_stall);
+    RS(S.tp_audit, "miss", a_miss);
+    RS(S.tp_audit, "base", a_base);
+    RS(cm_cls, "_audit", cm_audit);
 #undef RS
 
     S.ready = 1;
@@ -452,16 +525,94 @@ live_add(PyObject *sched, long delta)
     return rc;
 }
 
-/* Call ``self.<meth>(arg)`` discarding the result. */
+/* Call ``self.<meth>(arg)`` discarding the result (vectorcall). */
 static int
 call_method1(PyObject *obj, PyObject *meth, PyObject *arg)
 {
-    PyObject *r = PyObject_CallMethodObjArgs(obj, meth, arg, NULL);
+    PyObject *args[2] = {obj, arg};
+    PyObject *r = PyObject_VectorcallMethod(
+        meth, args, 2 | PY_VECTORCALL_ARGUMENTS_OFFSET, NULL);
     if (r == NULL) {
         return -1;
     }
     Py_DECREF(r);
     return 0;
+}
+
+/* Draw one cycle count from ``op.sampler``, bit-exact to
+ * ``GeometricWork.sample()``: for the canonical sampler the uniform
+ * variate comes from the cached ``rng.random`` bound method (the same
+ * Mersenne-Twister stream Python would consume) and the inverse-CDF
+ * transform runs in libm — CPython's ``math.log`` is the same ``log``,
+ * so the doubles (and the truncation to int) are identical.  Foreign
+ * samplers fall back to calling ``sample()``. */
+static int
+sampled_work_draw(PyObject *op, int64_t *out)
+{
+    PyObject *sampler = slot_get(op, S.op_sw_sampler);
+    if (sampler == NULL) {
+        return -1;
+    }
+    if ((PyObject *)Py_TYPE(sampler) == S.tp_geowork) {
+        PyObject *mean_obj = slot_get(sampler, S.gw_mean);
+        int64_t mean;
+        if (mean_obj == NULL || as_i64(mean_obj, &mean) < 0) {
+            return -1;
+        }
+        if (mean == 0) {
+            *out = 0;
+            return 0;
+        }
+        PyObject *randf = slot_get(sampler, S.gw_randf);
+        if (randf == NULL) {
+            return -1;
+        }
+        PyObject *u_obj = PyObject_CallNoArgs(randf);
+        if (u_obj == NULL) {
+            return -1;
+        }
+        double u = PyFloat_AsDouble(u_obj);
+        Py_DECREF(u_obj);
+        if (u == -1.0 && PyErr_Occurred()) {
+            return -1;
+        }
+        PyObject *l_obj = slot_get(sampler, S.gw_log1mp);
+        if (l_obj == NULL) {
+            return -1;
+        }
+        double log1mp = PyFloat_AsDouble(l_obj);
+        if (log1mp == -1.0 && PyErr_Occurred()) {
+            return -1;
+        }
+        if (u < 1e-12) {
+            u = 1e-12;
+        }
+        *out = (int64_t)(log(u) / log1mp);
+        return 0;
+    }
+    PyObject *r = PyObject_VectorcallMethod(
+        s_sample, &sampler, 1 | PY_VECTORCALL_ARGUMENTS_OFFSET, NULL);
+    if (r == NULL) {
+        return -1;
+    }
+    int rc = as_i64(r, out);
+    Py_DECREF(r);
+    return rc;
+}
+
+/* Fill the attached OpCostAudit exactly like the audited handlers do. */
+static int
+audit_fill(PyObject *audit, PyObject *cell, int64_t stall, int64_t miss,
+           int64_t base)
+{
+    slot_set(audit, S.a_cell, cell);
+    if (set_slot_i64(audit, S.a_stall, stall) < 0) {
+        return -1;
+    }
+    if (set_slot_i64(audit, S.a_miss, miss) < 0) {
+        return -1;
+    }
+    return set_slot_i64(audit, S.a_base, base);
 }
 
 /* The cost-model jitter draw: advance the LCG, return a bounded sample. */
@@ -513,6 +664,7 @@ raise_step_limit(int64_t limit)
 static PyObject *
 engine_run_fast(PyObject *self, PyObject *sched)
 {
+    (void)self;
     if (!S.ready) {
         PyErr_SetString(PyExc_RuntimeError, "engine not configured");
         return NULL;
@@ -743,8 +895,10 @@ engine_run_fast(PyObject *self, PyObject *sched)
             PyObject *op;
             if (throw_exc != NULL) {
                 PyObject *exc = throw_exc;
+                PyObject *targs[2] = {gen, exc};
                 throw_exc = NULL;
-                op = PyObject_CallMethodObjArgs(gen, s_throw, exc, NULL);
+                op = PyObject_VectorcallMethod(
+                    s_throw, targs, 2 | PY_VECTORCALL_ARGUMENTS_OFFSET, NULL);
                 Py_DECREF(exc);
             }
             else {
@@ -937,8 +1091,10 @@ engine_run_fast(PyObject *self, PyObject *sched)
                     }
                     else {
                         /* custom cell subtype: defer to its compare() */
-                        PyObject *r = PyObject_CallMethodObjArgs(
-                            cell, s_compare, cur, expected, NULL);
+                        PyObject *cmpargs[3] = {cell, cur, expected};
+                        PyObject *r = PyObject_VectorcallMethod(
+                            s_compare, cmpargs,
+                            3 | PY_VECTORCALL_ARGUMENTS_OFFSET, NULL);
                         if (r == NULL) goto op_error;
                         eq = PyObject_IsTrue(r);
                         Py_DECREF(r);
@@ -974,6 +1130,13 @@ engine_run_fast(PyObject *self, PyObject *sched)
                 int64_t cycles;
                 if (cyc == NULL || as_i64(cyc, &cycles) < 0) goto op_error;
                 tclock += cycles;
+            }
+            else if (tp == S.tp_sampledwork) {
+                /* Drawn from the sampler's own RNG stream, not the
+                 * jitter LCG; zero draws charge zero cycles. */
+                int64_t k;
+                if (sampled_work_draw(op, &k) < 0) goto op_error;
+                tclock += k;
             }
             else if (tp == S.tp_yield) {
                 tclock += yield_cost;
@@ -1120,11 +1283,19 @@ engine_run_fast(PyObject *self, PyObject *sched)
                     goto op_error;
                 }
                 Py_DECREF(l);
-                PyObject *r = PyObject_CallMethodObjArgs(cost, s_charge,
-                                                         task, op, NULL);
+                PyObject *r;
+                {
+                    PyObject *fargs[3] = {cost, task, op};
+                    r = PyObject_VectorcallMethod(
+                        s_charge, fargs, 3 | PY_VECTORCALL_ARGUMENTS_OFFSET, NULL);
+                }
                 if (r == NULL) goto op_error;
                 Py_DECREF(r);
-                r = PyObject_CallMethodObjArgs(sched, s_dispatch, task, op, NULL);
+                {
+                    PyObject *fargs[3] = {sched, task, op};
+                    r = PyObject_VectorcallMethod(
+                        s_dispatch, fargs, 3 | PY_VECTORCALL_ARGUMENTS_OFFSET, NULL);
+                }
                 if (r == NULL) goto op_error;
                 Py_DECREF(r);
                 l = PyObject_GetAttr(cost, s_lcg);
@@ -1259,9 +1430,836 @@ cleanup:
  * cleanup block above, exactly mirroring the Python fast lane's
  * ``finally`` — observers attach only between runs, never during. */
 
+/* ------------------------------------------------------------------ */
+/* run_observed()                                                      */
+/* ------------------------------------------------------------------ */
+
+/* The observed-path core: ``_run_general`` + ``_step_task`` +
+ * ``DesPolicy`` transcribed, with Python callouts at observation
+ * points.  Parity contract (pinned by the hooked-golden tests):
+ *
+ *   - per-op write-through: ``sched.total_steps`` is stored *before*
+ *     the generator resumes (the resumed task can read it, exactly as
+ *     in Python), and ``task.clock`` / ``task.steps`` / pending
+ *     value/exc are stored before any hook runs;
+ *   - the resume clears exactly one of pending_exc / pending_value,
+ *     like ``_step_task`` (the other may legitimately stay stale);
+ *   - the audit tap is re-read from ``cost._audit`` every op (hooks
+ *     may attach or clear it mid-run); a tap that is exactly
+ *     ``OpCostAudit`` is filled natively, any other type routes the
+ *     whole charge through ``cost.charge`` so duck-typed taps keep
+ *     working;
+ *   - the jitter LCG lives in a C local but is synced into
+ *     ``cost._lcg`` before every Python callout that could read it
+ *     (hooks, charge fallback) and re-read afterwards;
+ *   - completion calls ``policy.forget(task)`` and does NOT bump
+ *     ``task.steps`` or run hooks, exactly like ``_step_task``.
+ */
+static PyObject *
+engine_run_observed(PyObject *self, PyObject *sched)
+{
+    (void)self;
+    if (!S.ready) {
+        PyErr_SetString(PyExc_RuntimeError, "engine not configured");
+        return NULL;
+    }
+
+    PyObject *cost = NULL, *policy = NULL, *heap = NULL, *params = NULL;
+    PyObject *unbound = NULL, *procs_obj = NULL, *tasks_list = NULL;
+    PyObject *charge_fn = NULL, *dispatch_fn = NULL;
+    PyObject *result = NULL;
+    int failed = 1;
+    int engaged = 0;
+
+    cost = PyObject_GetAttr(sched, s_cost);
+    if (cost == NULL) goto cleanup;
+    policy = PyObject_GetAttr(sched, s_policy);
+    if (policy == NULL) goto cleanup;
+    heap = PyObject_GetAttr(policy, s_heap);
+    if (heap == NULL || !PyList_CheckExact(heap)) {
+        if (heap != NULL) {
+            PyErr_SetString(PyExc_TypeError, "engine: policy._heap is not a list");
+        }
+        goto cleanup;
+    }
+    params = PyObject_GetAttr(cost, s_p);
+    if (params == NULL) goto cleanup;
+    unbound = PyObject_GetAttr(sched, s_unbound);
+    if (unbound == NULL) goto cleanup;
+    procs_obj = PyObject_GetAttr(sched, s_processors);
+    if (procs_obj == NULL) goto cleanup;
+    tasks_list = PyObject_GetAttr(sched, s_tasks);
+    if (tasks_list == NULL) goto cleanup;
+    if (!PyList_CheckExact(tasks_list)) {
+        PyErr_SetString(PyExc_TypeError, "engine: scheduler.tasks is not a list");
+        goto cleanup;
+    }
+    /* Cached callables for the per-op Python fallback (unknown op types
+     * and custom audit taps); the bound methods never change mid-run. */
+    charge_fn = PyObject_GetAttr(cost, s_charge);
+    if (charge_fn == NULL) goto cleanup;
+    dispatch_fn = PyObject_GetAttr(sched, s_dispatch);
+    if (dispatch_fn == NULL) goto cleanup;
+    int procs_enabled = (procs_obj != Py_None);
+
+    int64_t read_hit, write_cost, rmw_cost, remote_miss, read_miss;
+    int64_t park_cost, unpark_cost, wake_latency, spin_cost, yield_cost;
+    int64_t alloc_cost, jit, limit, steps;
+    if (attr_i64(params, s_read_hit, &read_hit) < 0) goto cleanup;
+    if (attr_i64(params, s_write, &write_cost) < 0) goto cleanup;
+    if (attr_i64(params, s_rmw, &rmw_cost) < 0) goto cleanup;
+    if (attr_i64(params, s_remote_miss, &remote_miss) < 0) goto cleanup;
+    if (attr_i64(params, s_read_miss, &read_miss) < 0) goto cleanup;
+    if (attr_i64(params, s_park, &park_cost) < 0) goto cleanup;
+    if (attr_i64(params, s_unpark, &unpark_cost) < 0) goto cleanup;
+    if (attr_i64(params, s_wake_latency, &wake_latency) < 0) goto cleanup;
+    if (attr_i64(params, s_spin, &spin_cost) < 0) goto cleanup;
+    if (attr_i64(params, s_yield_, &yield_cost) < 0) goto cleanup;
+    if (attr_i64(params, s_alloc, &alloc_cost) < 0) goto cleanup;
+    if (attr_i64(params, s_jitter, &jit) < 0) goto cleanup;
+    if (attr_i64(sched, s_max_steps, &limit) < 0) goto cleanup;
+    if (attr_i64(sched, s_total_steps, &steps) < 0) goto cleanup;
+    int64_t jit1 = jit + 1, rm1 = remote_miss + 1, rd1 = read_miss + 1;
+
+    uint64_t lcg = 0;
+    {
+        PyObject *l = PyObject_GetAttr(cost, s_lcg);
+        if (l == NULL) goto cleanup;
+        lcg = PyLong_AsUnsignedLongLong(l);
+        Py_DECREF(l);
+        if (lcg == (uint64_t)-1 && PyErr_Occurred()) goto cleanup;
+    }
+    int lcg_synced = 1; /* cost._lcg currently equals the local */
+    engaged = 1;
+
+    /* ---------------- outer loop: one stint per iteration ------------ */
+    for (;;) {
+        int64_t live;
+        if (live_count(sched, &live) < 0) goto cleanup;
+        if (live <= 0) break;
+
+        /* -- policy.next(), transcribed ------------------------------- */
+        PyObject *task = NULL;
+        while (PyList_GET_SIZE(heap) > 0) {
+            PyObject *e = heap_pop(heap);
+            if (e == NULL) goto cleanup;
+            PyObject *t = PyTuple_GET_ITEM(e, 2);
+            int64_t tc, ec;
+            PyObject *tco = slot_get(t, S.t_clock);
+            if (tco == NULL || as_i64(tco, &tc) < 0
+                || as_i64(PyTuple_GET_ITEM(e, 0), &ec) < 0) {
+                Py_DECREF(e);
+                goto cleanup;
+            }
+            if (SLOT(t, S.t_state) != S.st_runnable || tc != ec) {
+                Py_DECREF(e); /* stale entry; a fresher one exists */
+                continue;
+            }
+            if (PyTuple_GET_SIZE(e) == 6) {
+                /* Wide stint entry: restore the resume state the fast
+                 * lane parked in the entry. */
+                slot_set(t, S.t_steps, PyTuple_GET_ITEM(e, 3));
+                slot_set(t, S.t_pending_value, PyTuple_GET_ITEM(e, 4));
+                slot_set(t, S.t_pending_exc, PyTuple_GET_ITEM(e, 5));
+            }
+            task = Py_NewRef(t);
+            Py_DECREF(e);
+            break;
+        }
+        if (task == NULL) {
+            int has_unbound = PyObject_IsTrue(unbound);
+            if (has_unbound < 0) goto cleanup;
+            if (has_unbound) { /* defensive: bind and keep going */
+                PyObject *t = PyObject_CallMethodObjArgs(unbound, s_popleft, NULL);
+                if (t == NULL) goto cleanup;
+                int rc = call_method1(sched, s_bind, t);
+                Py_DECREF(t);
+                if (rc < 0) goto cleanup;
+                continue;
+            }
+            /* deadlock check over all tasks */
+            PyObject *parked = PyList_New(0);
+            if (parked == NULL) goto cleanup;
+            Py_ssize_t ntasks = PyList_GET_SIZE(tasks_list);
+            for (Py_ssize_t i = 0; i < ntasks; i++) {
+                PyObject *t = PyList_GET_ITEM(tasks_list, i);
+                if (SLOT(t, S.t_state) == S.st_parked) {
+                    PyObject *nm = slot_get(t, S.t_name);
+                    if (nm == NULL || PyList_Append(parked, nm) < 0) {
+                        Py_DECREF(parked);
+                        goto cleanup;
+                    }
+                }
+            }
+            if (PyList_GET_SIZE(parked) > 0) {
+                PyErr_SetObject(S.exc_deadlock, parked);
+                Py_DECREF(parked);
+                goto cleanup;
+            }
+            Py_DECREF(parked);
+            break; /* spawned nothing / all finished */
+        }
+
+        /* -- stint setup ---------------------------------------------- */
+        PyObject *gen = slot_get(task, S.t_gen);           /* borrowed */
+        PyObject *send = slot_get(task, S.t_send_fn);      /* borrowed */
+        PyObject *tid_obj = slot_get(task, S.t_tid);       /* borrowed */
+        PyObject *tcache = slot_get(task, S.t_cache);      /* borrowed */
+        int64_t ttid, tclock;
+        if (gen == NULL || send == NULL || tid_obj == NULL || tcache == NULL) {
+            Py_DECREF(task);
+            goto cleanup;
+        }
+        {
+            PyObject *tco = slot_get(task, S.t_clock);
+            if (tco == NULL || as_i64(tid_obj, &ttid) < 0
+                || as_i64(tco, &tclock) < 0) {
+                Py_DECREF(task);
+                goto cleanup;
+            }
+        }
+
+        /* -- inner loop: one _step_task per iteration ----------------- */
+        int stint_error = 0;
+        while (!stint_error) {
+            steps += 1;
+            if (set_attr_i64(sched, s_total_steps, steps) < 0) {
+                stint_error = 1;
+                break;
+            }
+            PyObject *op = NULL;
+            PyObject *pe = SLOT(task, S.t_pending_exc);
+            if (pe != NULL && pe != Py_None) {
+                Py_INCREF(pe);
+                slot_set(task, S.t_pending_exc, Py_None);
+                PyObject *targs[2] = {gen, pe};
+                op = PyObject_VectorcallMethod(
+                    s_throw, targs, 2 | PY_VECTORCALL_ARGUMENTS_OFFSET, NULL);
+                Py_DECREF(pe);
+            }
+            else {
+                PyObject *val = slot_get(task, S.t_pending_value);
+                if (val == NULL) {
+                    stint_error = 1;
+                    break;
+                }
+                Py_INCREF(val);
+                slot_set(task, S.t_pending_value, Py_None);
+                op = PyObject_CallOneArg(send, val);
+                Py_DECREF(val);
+            }
+            if (op == NULL) {
+                /* task completed or failed */
+                PyObject *ptype, *pvalue, *ptb;
+                PyErr_Fetch(&ptype, &pvalue, &ptb);
+                PyErr_NormalizeException(&ptype, &pvalue, &ptb);
+                if (ptb != NULL && pvalue != NULL) {
+                    PyException_SetTraceback(pvalue, ptb);
+                }
+                int is_stop = (ptype != NULL
+                               && PyErr_GivenExceptionMatches(ptype, PyExc_StopIteration));
+                if (is_stop) {
+                    PyObject *retval = pvalue
+                        ? PyObject_GetAttr(pvalue, s_value)
+                        : Py_NewRef(Py_None);
+                    Py_XDECREF(ptype);
+                    Py_XDECREF(pvalue);
+                    Py_XDECREF(ptb);
+                    if (retval == NULL) {
+                        stint_error = 1;
+                        break;
+                    }
+                    slot_set(task, S.t_state, S.st_done);
+                    slot_set(task, S.t_value, retval);
+                    Py_DECREF(retval);
+                }
+                else if (pvalue != NULL) {
+                    slot_set(task, S.t_state, S.st_failed);
+                    slot_set(task, S.t_error, pvalue);
+                    Py_XDECREF(ptype);
+                    Py_XDECREF(pvalue);
+                    Py_XDECREF(ptb);
+                }
+                else {
+                    PyErr_Restore(ptype, pvalue, ptb);
+                    if (!PyErr_Occurred()) {
+                        PyErr_SetString(PyExc_SystemError,
+                                        "engine: generator returned NULL without error");
+                    }
+                    stint_error = 1;
+                    break;
+                }
+                if (live_add(sched, -1) < 0
+                    || call_method1(policy, s_forget, task) < 0
+                    || (procs_enabled
+                        && call_method1(sched, s_unbind, task) < 0)) {
+                    stint_error = 1;
+                    break;
+                }
+                if (steps > limit) {
+                    raise_step_limit(limit);
+                    stint_error = 1;
+                }
+                break;
+            }
+
+            /* task.steps += 1 (write-through; hooks read it) */
+            {
+                PyObject *ts = slot_get(task, S.t_steps);
+                int64_t tsv;
+                if (ts == NULL || as_i64(ts, &tsv) < 0) goto op_error;
+                if (set_slot_i64(task, S.t_steps, tsv + 1) < 0) goto op_error;
+            }
+
+            PyObject *tp = (PyObject *)Py_TYPE(op);
+            /* Re-read the audit tap every op: hooks attach/clear it. */
+            PyObject *audit = SLOT(cost, S.cm_audit); /* borrowed */
+            int audited = 0;
+            if (audit != NULL && audit != Py_None) {
+                audited = ((PyObject *)Py_TYPE(audit) == S.tp_audit) ? 1 : -1;
+            }
+            int known = (tp == S.tp_read || tp == S.tp_faa || tp == S.tp_cas
+                         || tp == S.tp_gas || tp == S.tp_write
+                         || tp == S.tp_work || tp == S.tp_sampledwork
+                         || tp == S.tp_yield || tp == S.tp_spin
+                         || tp == S.tp_park || tp == S.tp_unpark
+                         || tp == S.tp_current || tp == S.tp_alloc
+                         || tp == S.tp_label);
+
+            if (!known || audited < 0) {
+                /* -- cost.charge + _dispatch via Python --------------- */
+                /* task.clock/pending_* attributes are already current
+                 * (write-through), so the round-trip is exact. */
+                if (!lcg_synced) {
+                    PyObject *l = PyLong_FromUnsignedLongLong(lcg);
+                    if (l == NULL || PyObject_SetAttr(cost, s_lcg, l) < 0) {
+                        Py_XDECREF(l);
+                        goto op_error;
+                    }
+                    Py_DECREF(l);
+                    lcg_synced = 1;
+                }
+                PyObject *r;
+                {
+                    PyObject *fargs[2] = {task, op};
+                    r = PyObject_Vectorcall(charge_fn, fargs, 2, NULL);
+                }
+                if (r == NULL) goto op_error;
+                Py_DECREF(r);
+                {
+                    PyObject *fargs[2] = {task, op};
+                    r = PyObject_Vectorcall(dispatch_fn, fargs, 2, NULL);
+                }
+                if (r == NULL) goto op_error;
+                Py_DECREF(r);
+                {
+                    PyObject *l = PyObject_GetAttr(cost, s_lcg);
+                    if (l == NULL) goto op_error;
+                    lcg = PyLong_AsUnsignedLongLong(l);
+                    Py_DECREF(l);
+                    if (lcg == (uint64_t)-1 && PyErr_Occurred()) goto op_error;
+                }
+                PyObject *tco = slot_get(task, S.t_clock);
+                if (tco == NULL || as_i64(tco, &tclock) < 0) goto op_error;
+            }
+            else {
+                /* -- native fused charge + apply ---------------------- */
+                if (audited
+                    && !(tp == S.tp_read || tp == S.tp_faa || tp == S.tp_cas
+                         || tp == S.tp_gas || tp == S.tp_write)) {
+                    /* no-shared-memory op: the _audited wrapper reset */
+                    if (audit_fill(audit, Py_None, 0, 0, 0) < 0) goto op_error;
+                }
+                if (tp == S.tp_read) {
+                    PyObject *cell = slot_get(op, S.op_read_cell);
+                    PyObject *line = cell ? slot_get(cell, S.c_line) : NULL;
+                    if (line == NULL) goto op_error;
+                    int64_t base = read_hit;
+                    if (jit) {
+                        base += jitter_draw(&lcg, jit1);
+                        lcg_synced = 0;
+                    }
+                    int64_t miss = 0, stall = 0;
+                    PyObject *lw = SLOT(line, S.l_last_writer);
+                    int64_t lwv = -1;
+                    if (lw != NULL && lw != Py_None && as_i64(lw, &lwv) < 0)
+                        goto op_error;
+                    if (lw != NULL && lw != Py_None && lwv != ttid) {
+                        PyObject *loc = slot_get(line, S.l_loc_id);
+                        PyObject *wt_obj = loc ? slot_get(line, S.l_write_time) : NULL;
+                        if (wt_obj == NULL) goto op_error;
+                        int64_t wt, seen = -1;
+                        if (as_i64(wt_obj, &wt) < 0) goto op_error;
+                        PyObject *seen_obj = PyDict_GetItemWithError(tcache, loc);
+                        if (seen_obj == NULL && PyErr_Occurred()) goto op_error;
+                        if (seen_obj != NULL && as_i64(seen_obj, &seen) < 0)
+                            goto op_error;
+                        if (wt > seen) {
+                            miss = read_miss;
+                            if (jit && read_miss) {
+                                miss += jitter_draw(&lcg, rd1);
+                                lcg_synced = 0;
+                            }
+                            if (PyDict_SetItem(tcache, loc, wt_obj) < 0)
+                                goto op_error;
+                            PyObject *av_obj = slot_get(line, S.l_avail_time);
+                            int64_t avail;
+                            if (av_obj == NULL || as_i64(av_obj, &avail) < 0)
+                                goto op_error;
+                            if (avail > tclock) {
+                                stall = avail - tclock;
+                                tclock = avail;
+                            }
+                        }
+                    }
+                    tclock += base + miss;
+                    PyObject *v = slot_get(cell, S.c_value);
+                    if (v == NULL) goto op_error;
+                    slot_set(task, S.t_pending_value, v);
+                    if (audited
+                        && audit_fill(audit, cell, stall, miss, base) < 0)
+                        goto op_error;
+                }
+                else if (tp == S.tp_faa || tp == S.tp_cas || tp == S.tp_gas
+                         || tp == S.tp_write) {
+                    Py_ssize_t cell_off =
+                        tp == S.tp_faa ? S.op_faa_cell :
+                        tp == S.tp_cas ? S.op_cas_cell :
+                        tp == S.tp_gas ? S.op_gas_cell : S.op_write_cell;
+                    PyObject *cell = slot_get(op, cell_off);
+                    PyObject *line = cell ? slot_get(cell, S.c_line) : NULL;
+                    if (line == NULL) goto op_error;
+                    int64_t start = tclock, stall = 0;
+                    {
+                        PyObject *at_obj = slot_get(line, S.l_avail_time);
+                        int64_t at;
+                        if (at_obj == NULL || as_i64(at_obj, &at) < 0)
+                            goto op_error;
+                        if (at > start) {
+                            stall = at - start;
+                            start = at;
+                        }
+                    }
+                    int64_t basec = 0;
+                    if (jit) {
+                        basec = jitter_draw(&lcg, jit1);
+                        lcg_synced = 0;
+                    }
+                    basec += (tp == S.tp_write) ? write_cost : rmw_cost;
+                    PyObject *lw = SLOT(line, S.l_last_writer);
+                    int64_t end, lwv = -1, miss = 0;
+                    if (lw != NULL && lw != Py_None && as_i64(lw, &lwv) < 0)
+                        goto op_error;
+                    if (lw != NULL && lw != Py_None && lwv != ttid) {
+                        miss = remote_miss;
+                        if (jit && remote_miss) {
+                            miss += jitter_draw(&lcg, rm1);
+                            lcg_synced = 0;
+                        }
+                    }
+                    end = start + basec + miss;
+                    tclock = end;
+                    {
+                        PyObject *end_obj = PyLong_FromLongLong(end);
+                        if (end_obj == NULL) goto op_error;
+                        slot_set(line, S.l_avail_time, end_obj);
+                        slot_set(line, S.l_last_writer, tid_obj);
+                        slot_set(line, S.l_write_time, end_obj);
+                        PyObject *loc = slot_get(line, S.l_loc_id);
+                        if (loc == NULL
+                            || PyDict_SetItem(tcache, loc, end_obj) < 0) {
+                            Py_DECREF(end_obj);
+                            goto op_error;
+                        }
+                        Py_DECREF(end_obj);
+                    }
+                    if (audited
+                        && audit_fill(audit, cell, stall, miss, basec) < 0)
+                        goto op_error;
+                    if (tp == S.tp_faa) {
+                        PyObject *old = slot_get(cell, S.c_value);
+                        PyObject *delta = old ? slot_get(op, S.op_faa_delta) : NULL;
+                        if (delta == NULL) goto op_error;
+                        Py_INCREF(old);
+                        PyObject *nv = PyNumber_Add(old, delta);
+                        if (nv == NULL) {
+                            Py_DECREF(old);
+                            goto op_error;
+                        }
+                        slot_set(cell, S.c_value, nv);
+                        Py_DECREF(nv);
+                        slot_set(task, S.t_pending_value, old);
+                        Py_DECREF(old);
+                    }
+                    else if (tp == S.tp_cas) {
+                        PyObject *cur = slot_get(cell, S.c_value);
+                        PyObject *expected =
+                            cur ? slot_get(op, S.op_cas_expected) : NULL;
+                        if (expected == NULL) goto op_error;
+                        int eq;
+                        PyObject *cell_tp = (PyObject *)Py_TYPE(cell);
+                        if (cell_tp == S.tp_refcell) {
+                            eq = (cur == expected);
+                        }
+                        else if (cell_tp == S.tp_intcell) {
+                            PyObject *r = PyObject_RichCompare(cur, expected, Py_EQ);
+                            if (r == NULL) goto op_error;
+                            eq = PyObject_IsTrue(r);
+                            Py_DECREF(r);
+                            if (eq < 0) goto op_error;
+                        }
+                        else {
+                            PyObject *cmpargs[3] = {cell, cur, expected};
+                            PyObject *r = PyObject_VectorcallMethod(
+                                s_compare, cmpargs,
+                                3 | PY_VECTORCALL_ARGUMENTS_OFFSET, NULL);
+                            if (r == NULL) goto op_error;
+                            eq = PyObject_IsTrue(r);
+                            Py_DECREF(r);
+                            if (eq < 0) goto op_error;
+                        }
+                        if (eq) {
+                            PyObject *update = slot_get(op, S.op_cas_update);
+                            if (update == NULL) goto op_error;
+                            slot_set(cell, S.c_value, update);
+                            slot_set(task, S.t_pending_value, Py_True);
+                        }
+                        else {
+                            slot_set(task, S.t_pending_value, Py_False);
+                        }
+                    }
+                    else if (tp == S.tp_write) {
+                        PyObject *nv = slot_get(op, S.op_write_value);
+                        if (nv == NULL) goto op_error;
+                        slot_set(cell, S.c_value, nv);
+                        /* the Write applier returns None */
+                        slot_set(task, S.t_pending_value, Py_None);
+                    }
+                    else { /* GetAndSet */
+                        PyObject *old = slot_get(cell, S.c_value);
+                        PyObject *nv = old ? slot_get(op, S.op_gas_value) : NULL;
+                        if (nv == NULL) goto op_error;
+                        Py_INCREF(old);
+                        slot_set(cell, S.c_value, nv);
+                        slot_set(task, S.t_pending_value, old);
+                        Py_DECREF(old);
+                    }
+                }
+                else if (tp == S.tp_work) {
+                    PyObject *cyc = slot_get(op, S.op_work_cycles);
+                    int64_t cycles;
+                    if (cyc == NULL || as_i64(cyc, &cycles) < 0) goto op_error;
+                    tclock += cycles;
+                }
+                else if (tp == S.tp_sampledwork) {
+                    int64_t k;
+                    if (sampled_work_draw(op, &k) < 0) goto op_error;
+                    tclock += k;
+                }
+                else if (tp == S.tp_yield) {
+                    tclock += yield_cost;
+                }
+                else if (tp == S.tp_spin) {
+                    /* DesPolicy.on_voluntary_yield is the base no-op */
+                    tclock += spin_cost;
+                }
+                else if (tp == S.tp_park) {
+                    tclock += park_cost;
+                    PyObject *ip = SLOT(task, S.t_interrupt_pending);
+                    PyObject *rp = SLOT(task, S.t_retry_pending);
+                    PyObject *up = SLOT(task, S.t_unpark_pending);
+                    int ipt = ip ? PyObject_IsTrue(ip) : 0;
+                    int rpt = rp ? PyObject_IsTrue(rp) : 0;
+                    int upt = up ? PyObject_IsTrue(up) : 0;
+                    if (ipt < 0 || rpt < 0 || upt < 0) goto op_error;
+                    if (ipt) {
+                        slot_set(task, S.t_interrupt_pending, Py_False);
+                        PyObject *e = PyObject_CallNoArgs(S.exc_interrupted);
+                        if (e == NULL) goto op_error;
+                        slot_set(task, S.t_pending_exc, e);
+                        Py_DECREF(e);
+                    }
+                    else if (rpt) {
+                        slot_set(task, S.t_retry_pending, Py_False);
+                        PyObject *e = PyObject_CallNoArgs(S.exc_retry);
+                        if (e == NULL) goto op_error;
+                        slot_set(task, S.t_pending_exc, e);
+                        Py_DECREF(e);
+                    }
+                    else if (upt) {
+                        slot_set(task, S.t_unpark_pending, Py_False);
+                    }
+                    else {
+                        slot_set(task, S.t_state, S.st_parked);
+                        PyObject *pc = slot_get(task, S.t_park_count);
+                        int64_t pcv;
+                        if (pc == NULL || as_i64(pc, &pcv) < 0) goto op_error;
+                        if (set_slot_i64(task, S.t_park_count, pcv + 1) < 0)
+                            goto op_error;
+                    }
+                }
+                else if (tp == S.tp_unpark) {
+                    tclock += unpark_cost;
+                    PyObject *target = slot_get(op, S.op_unpark_task);
+                    if (target == NULL) goto op_error;
+                    PyObject *oi = slot_get(op, S.op_unpark_interrupt);
+                    PyObject *orr = oi ? slot_get(op, S.op_unpark_retry) : NULL;
+                    if (orr == NULL) goto op_error;
+                    int interrupt = PyObject_IsTrue(oi);
+                    int retry = PyObject_IsTrue(orr);
+                    if (interrupt < 0 || retry < 0) goto op_error;
+                    if (SLOT(target, S.t_state) == S.st_parked) {
+                        if (interrupt) {
+                            PyObject *e = PyObject_CallNoArgs(S.exc_interrupted);
+                            if (e == NULL) goto op_error;
+                            slot_set(target, S.t_pending_exc, e);
+                            Py_DECREF(e);
+                        }
+                        else if (retry) {
+                            PyObject *e = PyObject_CallNoArgs(S.exc_retry);
+                            if (e == NULL) goto op_error;
+                            slot_set(target, S.t_pending_exc, e);
+                            Py_DECREF(e);
+                        }
+                        slot_set(target, S.t_state, S.st_runnable);
+                        /* cost.wake with the *charged* clock, like
+                         * _dispatch (charge ran first there too) */
+                        PyObject *tc_obj = slot_get(target, S.t_clock);
+                        int64_t wbase;
+                        if (tc_obj == NULL || as_i64(tc_obj, &wbase) < 0)
+                            goto op_error;
+                        if (tclock > wbase) {
+                            wbase = tclock;
+                        }
+                        if (set_slot_i64(target, S.t_clock,
+                                         wbase + wake_latency) < 0)
+                            goto op_error;
+                        if (call_method1(sched, s_make_runnable, target) < 0)
+                            goto op_error;
+                    }
+                    else if (interrupt) {
+                        slot_set(target, S.t_interrupt_pending, Py_True);
+                    }
+                    else if (retry) {
+                        slot_set(target, S.t_retry_pending, Py_True);
+                    }
+                    else {
+                        slot_set(target, S.t_unpark_pending, Py_True);
+                    }
+                }
+                else if (tp == S.tp_current) {
+                    slot_set(task, S.t_pending_value, task);
+                }
+                else if (tp == S.tp_alloc) {
+                    tclock += alloc_cost;
+                    PyObject *stats = PyObject_GetAttr(sched, s_alloc_stats);
+                    if (stats == NULL) goto op_error;
+                    if (stats != Py_None) {
+                        PyObject *tag = slot_get(op, S.op_alloc_tag);
+                        PyObject *units = tag ? slot_get(op, S.op_alloc_units) : NULL;
+                        if (units == NULL) {
+                            Py_DECREF(stats);
+                            goto op_error;
+                        }
+                        PyObject *rargs[3] = {stats, tag, units};
+                        PyObject *r = PyObject_VectorcallMethod(
+                            s_record, rargs,
+                            3 | PY_VECTORCALL_ARGUMENTS_OFFSET, NULL);
+                        if (r == NULL) {
+                            Py_DECREF(stats);
+                            goto op_error;
+                        }
+                        Py_DECREF(r);
+                    }
+                    Py_DECREF(stats);
+                }
+                else { /* Label: no effect */
+                }
+                /* write the charged clock through before any hook runs */
+                if (set_slot_i64(task, S.t_clock, tclock) < 0) goto op_error;
+            }
+
+            if (procs_enabled && SLOT(task, S.t_state) != S.st_runnable) {
+                if (call_method1(sched, s_unbind, task) < 0) goto op_error;
+            }
+
+            /* -- hook callouts ------------------------------------------ */
+            {
+                PyObject *hooks = PyObject_GetAttr(sched, s_hooks);
+                if (hooks == NULL) goto op_error;
+                if (!PyList_Check(hooks)) {
+                    Py_DECREF(hooks);
+                    PyErr_SetString(PyExc_TypeError,
+                                    "engine: scheduler._hooks is not a list");
+                    goto op_error;
+                }
+                if (PyList_GET_SIZE(hooks) > 0) {
+                    if (!lcg_synced) {
+                        PyObject *l = PyLong_FromUnsignedLongLong(lcg);
+                        if (l == NULL || PyObject_SetAttr(cost, s_lcg, l) < 0) {
+                            Py_XDECREF(l);
+                            Py_DECREF(hooks);
+                            goto op_error;
+                        }
+                        Py_DECREF(l);
+                        lcg_synced = 1;
+                    }
+                    PyObject *hargs[3] = {sched, task, op};
+                    int hook_error = 0;
+                    for (Py_ssize_t i = 0; i < PyList_GET_SIZE(hooks); i++) {
+                        PyObject *h = PyList_GET_ITEM(hooks, i);
+                        Py_INCREF(h);
+                        PyObject *hr = PyObject_Vectorcall(h, hargs, 3, NULL);
+                        Py_DECREF(h);
+                        if (hr == NULL) {
+                            hook_error = 1;
+                            break;
+                        }
+                        Py_DECREF(hr);
+                    }
+                    Py_DECREF(hooks);
+                    if (hook_error) goto op_error;
+                    /* hooks may legitimately mutate what they observe */
+                    {
+                        PyObject *l = PyObject_GetAttr(cost, s_lcg);
+                        if (l == NULL) goto op_error;
+                        lcg = PyLong_AsUnsignedLongLong(l);
+                        Py_DECREF(l);
+                        if (lcg == (uint64_t)-1 && PyErr_Occurred())
+                            goto op_error;
+                        lcg_synced = 1;
+                    }
+                    PyObject *tco = slot_get(task, S.t_clock);
+                    if (tco == NULL || as_i64(tco, &tclock) < 0) goto op_error;
+                }
+                else {
+                    Py_DECREF(hooks);
+                }
+            }
+            Py_DECREF(op);
+            op = NULL;
+
+            /* -- _run_general post-step checks -------------------------- */
+            if (steps > limit) {
+                raise_step_limit(limit);
+                stint_error = 1;
+                break;
+            }
+            if (SLOT(task, S.t_state) != S.st_runnable) {
+                break;
+            }
+            /* -- policy.keep_running, transcribed ----------------------- */
+            int kr = 1;
+            for (;;) {
+                if (PyList_GET_SIZE(heap) == 0) {
+                    kr = 1;
+                    break;
+                }
+                PyObject *top = PyList_GET_ITEM(heap, 0);
+                PyObject *other = PyTuple_GET_ITEM(top, 2);
+                int64_t eclock, oclock;
+                if (as_i64(PyTuple_GET_ITEM(top, 0), &eclock) < 0) {
+                    stint_error = 1;
+                    break;
+                }
+                PyObject *oc = slot_get(other, S.t_clock);
+                if (oc == NULL || as_i64(oc, &oclock) < 0) {
+                    stint_error = 1;
+                    break;
+                }
+                if (SLOT(other, S.t_state) != S.st_runnable
+                    || oclock != eclock || other == task) {
+                    PyObject *junk = heap_pop(heap);
+                    if (junk == NULL) {
+                        stint_error = 1;
+                        break;
+                    }
+                    Py_DECREF(junk);
+                    continue;
+                }
+                kr = (tclock <= eclock);
+                break;
+            }
+            if (stint_error) break;
+            if (!kr) {
+                /* policy.requeue(task): narrow (clock, tid, task) entry */
+                PyObject *c_obj = slot_get(task, S.t_clock);
+                if (c_obj == NULL) {
+                    stint_error = 1;
+                    break;
+                }
+                PyObject *entry = PyTuple_Pack(3, c_obj, tid_obj, task);
+                if (entry == NULL) {
+                    stint_error = 1;
+                    break;
+                }
+                int rc = heap_push(heap, entry);
+                Py_DECREF(entry);
+                if (rc < 0) {
+                    stint_error = 1;
+                }
+                break;
+            }
+            continue;
+
+        op_error:
+            Py_XDECREF(op);
+            stint_error = 1;
+            break;
+        }
+
+        Py_DECREF(task);
+        if (stint_error) goto cleanup;
+    }
+
+    failed = 0;
+    result = Py_NewRef(Py_None);
+
+cleanup:
+    /* ``finally:`` — restore global engine state exactly. */
+    {
+        PyObject *etype = NULL, *evalue = NULL, *etb = NULL;
+        if (failed) {
+            PyErr_Fetch(&etype, &evalue, &etb);
+        }
+        if (engaged) {
+            PyObject *steps_obj = PyLong_FromLongLong(steps);
+            if (steps_obj != NULL) {
+                PyObject_SetAttr(sched, s_total_steps, steps_obj);
+                Py_DECREF(steps_obj);
+            }
+            PyObject *lcg_obj = PyLong_FromUnsignedLongLong(lcg);
+            if (lcg_obj != NULL) {
+                PyObject_SetAttr(cost, s_lcg, lcg_obj);
+                Py_DECREF(lcg_obj);
+            }
+            if (PyErr_Occurred()) {
+                if (etype != NULL) {
+                    PyErr_Clear();
+                }
+            }
+        }
+        if (etype != NULL || evalue != NULL || etb != NULL) {
+            PyErr_Restore(etype, evalue, etb);
+        }
+    }
+    Py_XDECREF(cost);
+    Py_XDECREF(policy);
+    Py_XDECREF(heap);
+    Py_XDECREF(params);
+    Py_XDECREF(unbound);
+    Py_XDECREF(procs_obj);
+    Py_XDECREF(tasks_list);
+    Py_XDECREF(charge_fn);
+    Py_XDECREF(dispatch_fn);
+    return result;
+}
+
 static PyObject *
 engine_configured(PyObject *self, PyObject *noargs)
 {
+    (void)self;
+    (void)noargs;
     return PyBool_FromLong(S.ready);
 }
 
@@ -1270,6 +2268,9 @@ static PyMethodDef engine_methods[] = {
      "Bind the engine to the repro classes; validates __slots__ layouts."},
     {"run_fast", engine_run_fast, METH_O,
      "Run a Scheduler's fused DES loop natively (bit-identical to _run_fast)."},
+    {"run_observed", engine_run_observed, METH_O,
+     "Run a Scheduler's observed general loop natively (bit-identical to "
+     "_run_general)."},
     {"configured", engine_configured, METH_NOARGS,
      "True once configure() has validated the object layouts."},
     {NULL, NULL, 0, NULL},
@@ -1281,6 +2282,10 @@ static struct PyModuleDef engine_module = {
     "Compiled engine tier: the fused DES stint loop in C.",
     -1,
     engine_methods,
+    NULL, /* m_slots */
+    NULL, /* m_traverse */
+    NULL, /* m_clear */
+    NULL, /* m_free */
 };
 
 PyMODINIT_FUNC
@@ -1325,6 +2330,11 @@ PyInit__enginec(void)
     INTERN(s_jitter, "jitter");
     INTERN(s_clock, "clock");
     INTERN(s_pending_value_str, "pending_value");
+    INTERN(s_hooks, "_hooks");
+    INTERN(s_alloc_stats, "alloc_stats");
+    INTERN(s_record, "record");
+    INTERN(s_forget, "forget");
+    INTERN(s_sample, "sample");
 #undef INTERN
     memset(&S, 0, sizeof(S));
     return PyModule_Create(&engine_module);

@@ -13,7 +13,7 @@ Regenerates the paper's evaluation artefacts without pytest::
     python -m repro.bench net --ab --json            # wire A/B matrix -> BENCH_05.json
     python -m repro.bench net --cluster --json       # worker-scaling matrix -> BENCH_06.json
     python -m repro.bench selfperf --json            # engine ops/sec -> BENCH_04.json
-    python -m repro.bench selfperf --engine both --json  # paired py/c matrix -> BENCH_08.json
+    python -m repro.bench selfperf --engine both --json  # paired py/c matrix -> BENCH_09.json
     python -m repro.bench allocs --json allocs.json  # descriptor allocations per element
     python -m repro.bench compare OLD.json NEW.json  # exit 1 on >15% perf regression
     python -m repro.bench all
@@ -27,9 +27,10 @@ coordinates and collection preserves point order.
 ``selfperf`` measures the *simulator's own* wall-clock throughput
 (scheduler ops/sec) on a pinned workload matrix; ``--engine
 {py,c,auto,both}`` pins the engine tier (``both`` runs the matrix under
-py and c into one paired dump).  ``compare`` gates two such dumps and
-refuses cross-engine comparisons unless ``--allow-engine-mismatch``
-(see :mod:`repro.bench.selfperf`).
+py and c with interleaved rounds into one paired dump).  ``compare``
+gates two such dumps — on best-of rates or, with ``--metric median``,
+on per-round medians — and refuses cross-engine comparisons unless
+``--allow-engine-mismatch`` (see :mod:`repro.bench.selfperf`).
 
 Tables print to stdout; `--elements` trades time for fidelity (the paper
 transferred 10^6 elements; the shape is stable from ~10^4).
@@ -73,6 +74,9 @@ BUFFERED_IMPLS = ["faa-channel", "faa-channel-eb", "go-channel", "kotlin-legacy"
 
 def cmd_fig5(args: argparse.Namespace) -> list[dict]:
     impls = args.impl or (RENDEZVOUS_IMPLS if args.capacity == 0 else BUFFERED_IMPLS)
+    if args.engine == "both":
+        raise SystemExit("python -m repro.bench fig5: error: --engine both is "
+                         "selfperf-only (simulated numbers are tier-identical)")
     results = sweep(
         impls,
         tuple(args.threads),
@@ -82,6 +86,7 @@ def cmd_fig5(args: argparse.Namespace) -> list[dict]:
         work_mean=args.work,
         seed=args.seed,
         parallel=args.parallel,
+        engine=args.engine,
     )
     coroutines = f"{args.coroutines} coroutines" if args.coroutines else "#coroutines = #threads"
     print(format_panel(results, f"Figure 5 — capacity {args.capacity}, {coroutines}, {args.elements} elems"))
@@ -443,34 +448,40 @@ def _print_net_ab_summary(rows: list[dict]) -> None:
 
 
 def cmd_selfperf(args: argparse.Namespace) -> list[dict]:
-    from .selfperf import run_selfperf
+    from .selfperf import run_selfperf, run_selfperf_paired
 
     label = "quick subset" if args.quick else "full matrix"
-    # "both" runs the pinned matrix once per tier into one dump — the
-    # paired py-vs-c A/B (BENCH_08.json) from a single command.  compare
-    # keys multi-engine dumps by name[engine], so the tiers gate
-    # separately.
-    tiers = ("py", "c") if args.engine == "both" else (args.engine,)
-    rows: list[dict] = []
-    for tier in tiers:
-        tier_rows = run_selfperf(quick=args.quick, repeat=args.repeat, engine=tier)
-        engine = tier_rows[0]["engine"] if tier_rows else (tier or "auto")
-        print(f"Engine self-performance ({label}, best of {args.repeat}, engine={engine})")
-        for r in tier_rows:
-            print(f"  {r['name']:24s} {r['ops']:>9d} ops in {r['seconds']:8.3f}s "
-                  f"= {r['ops_per_sec']:12.0f} ops/s")
-        rows.extend(tier_rows)
     if args.engine == "both":
-        from .selfperf import ALG_SUBSET, geomean
+        # The paired py-vs-c A/B from a single command (BENCH_09.json):
+        # rounds are *interleaved* per point (py, c, py, c, ...) so slow
+        # machine drift cannot land entirely on one tier and bias every
+        # ratio.  compare keys multi-engine dumps by name[engine], so
+        # the tiers gate separately.
+        rows = run_selfperf_paired(quick=args.quick, repeat=args.repeat)
+        print(f"Engine self-performance ({label}, interleaved rounds, "
+              f"best of {args.repeat}, engines=py+c)")
+        for r in rows:
+            print(f"  {r['name']:24s} [{r['engine']}] {r['ops']:>9d} ops in "
+                  f"{r['seconds']:8.3f}s = {r['ops_per_sec']:12.0f} ops/s "
+                  f"(median {r['median_ops_per_sec']:12.0f})")
+        from .selfperf import ALG_SUBSET, OBS_SUBSET, geomean
 
         by = {(r["engine"], r["name"]): r["ops_per_sec"] for r in rows}
-        ratios = [
-            by[("c", n)] / by[("py", n)]
-            for n in ALG_SUBSET
-            if ("py", n) in by and ("c", n) in by
-        ]
-        if ratios:
-            print(f"compiled-tier geomean over ALG_SUBSET: {geomean(ratios):.2f}x vs py")
+        for subset_name, subset in (("ALG_SUBSET", ALG_SUBSET), ("OBS_SUBSET", OBS_SUBSET)):
+            ratios = [
+                by[("c", n)] / by[("py", n)]
+                for n in subset
+                if ("py", n) in by and ("c", n) in by
+            ]
+            if ratios:
+                print(f"compiled-tier geomean over {subset_name}: {geomean(ratios):.2f}x vs py")
+        return rows
+    rows = run_selfperf(quick=args.quick, repeat=args.repeat, engine=args.engine)
+    engine = rows[0]["engine"] if rows else (args.engine or "auto")
+    print(f"Engine self-performance ({label}, best of {args.repeat}, engine={engine})")
+    for r in rows:
+        print(f"  {r['name']:24s} {r['ops']:>9d} ops in {r['seconds']:8.3f}s "
+              f"= {r['ops_per_sec']:12.0f} ops/s")
     return rows
 
 
@@ -539,6 +550,7 @@ def cmd_compare(args: argparse.Namespace) -> list[dict]:
         threshold=args.threshold,
         allow_missing=args.allow_missing,
         allow_engine_mismatch=args.allow_engine_mismatch,
+        metric=args.metric,
     )
     print(report)
     args._exit_code = 0 if ok else 1
@@ -636,14 +648,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     perf.add_argument(
         "--engine", choices=("py", "c", "auto", "both"), default=None,
-        help="selfperf: engine tier to measure (py = pure-Python reference, "
+        help="selfperf/fig5: engine tier (py = pure-Python reference, "
         "c = compiled extension, auto = compiled when available; 'both' runs "
-        "the matrix under py and c into one paired dump — the BENCH_08 A/B)",
+        "the selfperf matrix under py and c, rounds interleaved, into one "
+        "paired dump — the BENCH_09 A/B)",
     )
     perf.add_argument(
         "--allow-engine-mismatch", action="store_true",
         help="compare: allow OLD and NEW to have run different engine tiers "
         "(cross-engine ratios measure the tier gap, not a regression)",
+    )
+    perf.add_argument(
+        "--metric", choices=("best", "median"), default="best",
+        help="compare: gate on best-of rates (default) or per-round medians "
+        "(rows carrying raw `samples`; damps single-round flukes)",
     )
     parser.add_argument(
         "--trace",
@@ -698,7 +716,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"positional paths are only accepted by `compare`, not `{args.command}`")
     if args.json == "__default__":
         if args.command == "selfperf":
-            args.json = "BENCH_08.json" if args.engine == "both" else "BENCH_04.json"
+            args.json = "BENCH_09.json" if args.engine == "both" else "BENCH_04.json"
         elif args.command == "net":
             args.json = "BENCH_06.json" if _net_cluster_mode(args) else "BENCH_05.json"
         elif args.command == "grid":

@@ -67,13 +67,18 @@ def measure_descriptor_allocs(
     (``segments_allocated``) for the invariance check.
     """
 
+    from .. import _engine
+
+    tier = _engine.resolve(None)
     was_fast, was_pool = fast_ops_enabled(), segment_pool_enabled()
     set_fast_ops(fast)
     set_segment_pool(fast)
     retained: list[Any] = []
     try:
         chan = make_impl(impl, capacity)
-        sched = Scheduler(policy=DesPolicy(), cost_model=CostModel(), processors=threads)
+        sched = Scheduler(
+            policy=DesPolicy(), cost_model=CostModel(), processors=threads, engine=tier
+        )
         sched.add_hook(lambda s, t, op: retained.append(op))
         pairs = max(2, threads) // 2
         per_p = split_evenly(elements, pairs)
@@ -109,6 +114,7 @@ def measure_descriptor_allocs(
         "capacity": capacity,
         "threads": threads,
         "elements": elements,
+        "engine": tier,
         "fast_ops": fast,
         "ops_total": len(retained),
         "descriptors": descriptors,

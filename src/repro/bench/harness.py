@@ -95,6 +95,10 @@ class BenchResult:
     #: Elements transferred per million simulated cycles (higher = better).
     throughput: float
     channel_stats: dict[str, Any] = field(default_factory=dict)
+    #: The engine tier that actually ran this point (resolved, never the
+    #: request) — simulated numbers are tier-independent by contract,
+    #: but a dump must record what produced it.
+    engine: str = "py"
 
     def row(self) -> str:
         return (
@@ -120,6 +124,7 @@ def run_producer_consumer(
     cost_params: Optional[CostParams] = None,
     channel: Any = None,
     profile: Any = None,
+    engine: Optional[str] = None,
 ) -> BenchResult:
     """Run one benchmark configuration and return its data point.
 
@@ -132,8 +137,14 @@ def run_producer_consumer(
     recorder) are attached to the scheduler before the run and sealed
     after it.  ``None`` (the default) attaches nothing — the unobserved
     path is unchanged.
+
+    ``engine`` selects the engine tier (``None`` defers to the process
+    default / ``REPRO_ENGINE``); the row records the *resolved* tier.
     """
 
+    from .. import _engine
+
+    tier = _engine.resolve(engine)
     elements = elements if elements is not None else default_elements()
     coroutines = coroutines if coroutines is not None else threads
     coroutines = max(2, coroutines)
@@ -146,6 +157,7 @@ def run_producer_consumer(
         policy=DesPolicy(),
         cost_model=CostModel(cost_params),
         processors=threads,
+        engine=tier,
     )
     if profile is not None:
         profile.attach(sched)
@@ -174,6 +186,7 @@ def run_producer_consumer(
         steps=sched.total_steps,
         throughput=throughput,
         channel_stats=stats,
+        engine=tier,
     )
 
 
@@ -228,6 +241,7 @@ def sweep(
     seed: int = 0,
     cost_params: Optional[CostParams] = None,
     parallel: int = 1,
+    engine: Optional[str] = None,
 ) -> list[BenchResult]:
     """One Figure 5 panel: every implementation at every thread count.
 
@@ -237,8 +251,17 @@ def sweep(
     per CPU); every point is an isolated scheduler+cost-model world, so
     results are **byte-identical** for any worker count — collection is
     ordered and seeds are derived, never drawn from shared state.
+
+    The engine tier is resolved **once, here in the parent** and passed
+    to every point as a concrete ``py``/``c`` — worker processes never
+    re-probe, so a pool cannot silently mix tiers with the parent (an
+    unbuildable worker fails loudly instead of degrading), and every
+    result row carries the tier that actually ran.
     """
 
+    from .. import _engine
+
+    tier = _engine.resolve(engine)
     points = [
         dict(
             impl=impl,
@@ -249,6 +272,7 @@ def sweep(
             work_mean=work_mean,
             seed=point_seed(seed, impl, threads, capacity),
             cost_params=cost_params,
+            engine=tier,
         )
         for impl in impls
         for threads in thread_counts

@@ -41,7 +41,9 @@ __all__ = [
     "MATRIX",
     "QUICK_MATRIX",
     "ALG_SUBSET",
+    "OBS_SUBSET",
     "run_selfperf",
+    "run_selfperf_paired",
     "compare_rows",
     "geomean",
     "DEFAULT_THRESHOLD",
@@ -100,12 +102,37 @@ def _yield_work_task(iters: int) -> Generator[Any, Any, None]:
             yield spin
 
 
+def _sampled_work_task(iters: int, seed: int) -> Generator[Any, Any, None]:
+    """Sampler-dense traffic: isolates the workload-residue of the loop.
+
+    Nearly every op is a :class:`SampledWork` draw — the per-op cost is
+    the geometric sampler plus dispatch, with no channel algorithm and
+    almost no scheduling.  Paired against ``yield-work-t2`` (same shape,
+    constant ``Work``) this point isolates what the sampler itself
+    costs on each tier.
+    """
+
+    from .workload import GeometricWork
+
+    work = GeometricWork(100, seed=seed)
+    op = work.op
+    yld = Yield()
+    for i in range(iters):
+        yield op
+        if i & 15 == 0:
+            yield yld
+    return None
+
+
 def _run_micro(kind: str, tasks: int, per_task: int) -> Scheduler:
     sched = Scheduler(policy=DesPolicy(), cost_model=CostModel(), processors=tasks)
     if kind == "faa":
         counter = IntCell(0, "selfperf.counter")
         for i in range(tasks):
             sched.spawn(_faa_task(counter, per_task), f"faa-{i}")
+    elif kind == "geom":
+        for i in range(tasks):
+            sched.spawn(_sampled_work_task(per_task, seed=i * 2 + 1), f"geom-{i}")
     elif kind == "rw":
         shared = IntCell(0, "selfperf.shared")
         for i in range(tasks):
@@ -123,7 +150,13 @@ def _run_micro(kind: str, tasks: int, per_task: int) -> Scheduler:
 
 
 def _run_channel(
-    impl: str, threads: int, capacity: int, elements: int, channel: Any = None
+    impl: str,
+    threads: int,
+    capacity: int,
+    elements: int,
+    channel: Any = None,
+    work_mean: int = 100,
+    observe: str | None = None,
 ) -> Scheduler:
     # Local import: harness imports selfperf's sibling modules.
     from .harness import make_impl
@@ -131,13 +164,29 @@ def _run_channel(
 
     chan = channel if channel is not None else make_impl(impl, capacity)
     sched = Scheduler(policy=DesPolicy(), cost_model=CostModel(), processors=threads)
+    if observe == "hook":
+        # Minimal per-op hook: the observed loop with one Python callout
+        # per step — the timeline/event-bus shape.
+        sched.add_hook(lambda s, t, op: None)
+    elif observe == "audit":
+        # Audit tap only: the observed loop where the compiled tier can
+        # fill the tap natively without any per-op Python callout.
+        from ..sim.costmodel import OpCostAudit
+
+        sched.cost.audit = OpCostAudit()
     pairs = max(2, threads) // 2 or 1
     per_p = split_evenly(elements, pairs)
     per_c = split_evenly(elements, pairs)
     for p in range(pairs):
-        sched.spawn(producer_task(chan, p, per_p[p], GeometricWork(100, seed=p * 2 + 1)), f"prod-{p}")
+        sched.spawn(
+            producer_task(chan, p, per_p[p], GeometricWork(work_mean, seed=p * 2 + 1)),
+            f"prod-{p}",
+        )
     for c in range(pairs):
-        sched.spawn(consumer_task(chan, per_c[c], GeometricWork(100, seed=c * 2 + 2)), f"cons-{c}")
+        sched.spawn(
+            consumer_task(chan, per_c[c], GeometricWork(work_mean, seed=c * 2 + 2)),
+            f"cons-{c}",
+        )
     sched.run()
     return sched
 
@@ -212,6 +261,27 @@ MATRIX: dict[str, Callable[[], Scheduler]] = {
     "alg-buffered-deep-t4": lambda: _run_channel("faa-channel", 4, 256, 8000),
     "alg-segchurn-t4": lambda: _run_segchurn(4, 6000),
     "alg-faaq-t4": lambda: _run_faaq(4, 8000),
+    # Observed-mode points (PR 9): the same rendezvous workload with an
+    # observer attached, so the run takes the *general* loop.  The
+    # audit-tap point lets the compiled tier fill the tap natively (no
+    # per-op Python callout); the hook point pays one Python call per
+    # op on both tiers — its ratio bounds what hook-heavy observation
+    # can ever gain from compilation.
+    "obs-audit-rendezvous-t4": lambda: _run_channel(
+        "faa-channel", 4, 0, 8000, observe="audit"
+    ),
+    "obs-hook-rendezvous-t4": lambda: _run_channel(
+        "faa-channel", 4, 0, 8000, observe="hook"
+    ),
+    # Workload-isolation points (PR 9): `workload-geom-t2` is almost
+    # pure sampler draws (workload-residue); `alg-rendezvous-lean-t4`
+    # is the alg-rendezvous point with work_mean=0, i.e. zero sampler
+    # draws (algorithm-residue).  Their ratios bracket where the
+    # remaining per-op cost lives.
+    "workload-geom-t2": lambda: _run_micro("geom", 2, 30000),
+    "alg-rendezvous-lean-t4": lambda: _run_channel(
+        "faa-channel", 4, 0, 8000, work_mean=0
+    ),
 }
 
 #: The algorithm-bound subset: the A/B gate for the algorithm-layer fast
@@ -221,6 +291,13 @@ ALG_SUBSET: tuple[str, ...] = (
     "alg-buffered-deep-t4",
     "alg-segchurn-t4",
     "alg-faaq-t4",
+)
+
+#: The observed-mode subset: the A/B gate for the native observed-path
+#: core (run_observed) is the geomean over exactly these points.
+OBS_SUBSET: tuple[str, ...] = (
+    "obs-audit-rendezvous-t4",
+    "obs-hook-rendezvous-t4",
 )
 
 #: Reduced matrix for CI smoke runs (same names, smaller sizes would
@@ -255,32 +332,96 @@ def run_selfperf(
     tier = _engine.resolve(engine)
     selected = tuple(names) if names is not None else (QUICK_MATRIX if quick else tuple(MATRIX))
     rows: list[dict[str, Any]] = []
-    meta = {
+    meta = _row_meta(tier)
+    prev = _engine.set_default_engine(tier)
+    try:
+        for name in selected:
+            samples = [_time_point(name) for _ in range(max(1, repeat))]
+            rows.append(_summarize_point(name, samples) | meta)
+    finally:
+        _engine.set_default_engine(prev)
+    return rows
+
+
+def run_selfperf_paired(
+    quick: bool = False,
+    repeat: int = 3,
+    names: Iterable[str] | None = None,
+    tiers: tuple[str, ...] = ("py", "c"),
+) -> list[dict[str, Any]]:
+    """Run the matrix under several tiers with **interleaved** rounds.
+
+    A whole-phase A/B (all py repeats, then all c repeats) lets slow
+    drift — thermal throttling, a background indexer spinning up, CPU
+    frequency governors — land entirely on one side and bias every
+    ratio the same way.  Interleaving rounds per point (py, c, py, c,
+    ...) spreads any drift across both tiers so the paired dump's
+    ratios measure the tiers, not the weather.
+
+    Returns one row per ``(point, tier)``, each carrying the raw
+    per-round ``samples`` (ops/sec, in round order) plus the best-of
+    ``ops_per_sec`` and ``median_ops_per_sec``, so :func:`compare_rows`
+    can gate on either statistic.
+    """
+
+    from .. import _engine
+
+    resolved = tuple(_engine.resolve(t) for t in tiers)  # fail loudly up front
+    selected = tuple(names) if names is not None else (QUICK_MATRIX if quick else tuple(MATRIX))
+    rows: list[dict[str, Any]] = []
+    for name in selected:
+        samples: dict[str, list[dict[str, Any]]] = {t: [] for t in resolved}
+        for _ in range(max(1, repeat)):
+            for tier in resolved:
+                prev = _engine.set_default_engine(tier)
+                try:
+                    samples[tier].append(_time_point(name))
+                finally:
+                    _engine.set_default_engine(prev)
+        for tier in resolved:
+            rows.append(_summarize_point(name, samples[tier]) | _row_meta(tier))
+    return rows
+
+
+def _row_meta(tier: str) -> dict[str, Any]:
+    return {
         "python": platform.python_version(),
         "impl": platform.python_implementation(),
         "machine": platform.machine(),
         "engine": tier,
     }
-    prev = _engine.set_default_engine(tier)
-    try:
-        for name in selected:
-            runner = MATRIX[name]
-            best_rate = 0.0
-            best = None
-            for _ in range(max(1, repeat)):
-                t0 = time.perf_counter()
-                sched = runner()
-                seconds = time.perf_counter() - t0
-                ops = sched.total_steps
-                rate = ops / seconds if seconds > 0 else float("inf")
-                if best is None or rate > best_rate:
-                    best_rate = rate
-                    best = {"name": name, "ops": ops, "seconds": seconds, "ops_per_sec": rate}
-            assert best is not None
-            rows.append(best | meta)
-    finally:
-        _engine.set_default_engine(prev)
-    return rows
+
+
+def _time_point(name: str) -> dict[str, Any]:
+    """One timed round of one matrix point (under the current default tier)."""
+
+    runner = MATRIX[name]
+    t0 = time.perf_counter()
+    sched = runner()
+    seconds = time.perf_counter() - t0
+    ops = sched.total_steps
+    rate = ops / seconds if seconds > 0 else float("inf")
+    return {"ops": ops, "seconds": seconds, "ops_per_sec": rate}
+
+
+def _summarize_point(name: str, samples: list[dict[str, Any]]) -> dict[str, Any]:
+    """Best-of summary row plus the raw per-round samples and the median.
+
+    Best-of stays the headline statistic (interference only ever slows a
+    run down); the median is carried alongside for ``compare --metric
+    median``, which damps single-round flukes on noisy machines.
+    """
+
+    best = max(samples, key=lambda s: s["ops_per_sec"])
+    rates = sorted(s["ops_per_sec"] for s in samples)
+    n = len(rates)
+    median = rates[n // 2] if n % 2 else (rates[n // 2 - 1] + rates[n // 2]) / 2.0
+    return {
+        "name": name,
+        **best,
+        "samples": [round(s["ops_per_sec"], 1) for s in samples],
+        "median_ops_per_sec": median,
+    }
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -304,6 +445,18 @@ def _row_engine(row: dict[str, Any]) -> str:
     """A row's engine tier; dumps predating the tier split ran pure Python."""
 
     return row.get("engine", "py")
+
+
+def _metric_value(row: dict[str, Any], metric: str) -> float:
+    """The gated statistic of a row: best-of (default) or the median.
+
+    Dumps predating per-round samples carry no median; they fall back
+    to the best-of number so old baselines stay comparable.
+    """
+
+    if metric == "median":
+        return row.get("median_ops_per_sec", row["ops_per_sec"])
+    return row["ops_per_sec"]
 
 
 def _selfperf_points(
@@ -336,6 +489,7 @@ def compare_rows(
     *,
     allow_missing: bool = False,
     allow_engine_mismatch: bool = False,
+    metric: str = "best",
 ) -> tuple[bool, str]:
     """Compare two selfperf dumps; ``(ok, report)``.
 
@@ -354,7 +508,14 @@ def compare_rows(
     unless ``allow_engine_mismatch=True``.  When either dump itself
     spans both tiers (BENCH_08's paired matrix), points are keyed
     ``name[engine]`` on both sides, which matches like tiers to like.
+
+    ``metric`` selects the gated statistic: ``"best"`` (default, the
+    best-of-repeats rate) or ``"median"`` (the per-round median, for
+    dumps carrying raw ``samples`` — damps single-round flukes).
     """
+
+    if metric not in ("best", "median"):
+        raise ValueError(f"unknown compare metric {metric!r}; expected best|median")
 
     old_engines = sorted({_row_engine(r) for r in _gateable(old_rows)})
     new_engines = sorted({_row_engine(r) for r in _gateable(new_rows)})
@@ -379,11 +540,12 @@ def compare_rows(
     lines = [
         f"engines: old={','.join(old_engines) or '?'} new={','.join(new_engines) or '?'}"
         + (" (keyed name[engine])" if multi else "")
+        + (" (gating on median ops/s)" if metric == "median" else "")
     ]
     lines.append(f"{'point':24s} {'old ops/s':>14s} {'new ops/s':>14s} {'ratio':>7s}")
     ratios = []
     for name in common:
-        o, n = old[name]["ops_per_sec"], new[name]["ops_per_sec"]
+        o, n = _metric_value(old[name], metric), _metric_value(new[name], metric)
         ratio = n / o if o else float("inf")
         ratios.append(ratio)
         lines.append(f"{name:24s} {o:14.0f} {n:14.0f} {ratio:6.2f}x")

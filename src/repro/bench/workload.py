@@ -14,10 +14,11 @@ construction.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Any, Callable, Generator, Optional
 
-from ..concurrent.ops import Work
+from ..concurrent.ops import SampledWork
 from ..errors import ChannelClosedForReceive
 
 __all__ = ["GeometricWork", "producer_task", "consumer_task", "split_evenly"]
@@ -29,23 +30,39 @@ class GeometricWork:
     ``sample()`` returns k >= 0 with P(k) = p (1-p)^k and E[k] = mean
     (p = 1 / (mean + 1)).  ``mean == 0`` disables the between-op work
     entirely (the maximum-contention configuration).
+
+    ``op`` is the sampler's interned :class:`~repro.concurrent.ops.
+    SampledWork` descriptor (``None`` when ``mean == 0``): one reusable
+    op whose cycle count the cost model draws at charge time, so the
+    workload loop never allocates per-iteration descriptors and a
+    compiled engine tier can service the draw without re-entering
+    Python.  ``_randf``/``_log1mp`` are the pre-resolved pieces of the
+    inverse-CDF transform both tiers use; the draw stream and the
+    resulting k sequence are bit-identical to calling :meth:`sample`
+    directly.
     """
+
+    __slots__ = ("mean", "_rng", "_randf", "_log1mp", "op")
 
     def __init__(self, mean: int, seed: int = 0):
         if mean < 0:
             raise ValueError("work mean must be >= 0")
         self.mean = mean
         self._rng = random.Random(seed)
+        self._randf = self._rng.random
+        if mean:
+            # Inverse-CDF geometric on a uniform variate; log(1-p) is a
+            # constant of the distribution, resolved once.
+            self._log1mp = math.log(1.0 - 1.0 / (mean + 1.0))
+            self.op = SampledWork(self)
+        else:
+            self._log1mp = 0.0
+            self.op = None
 
     def sample(self) -> int:
         if self.mean == 0:
             return 0
-        # Inverse-CDF geometric on a uniform variate.
-        p = 1.0 / (self.mean + 1.0)
-        u = self._rng.random()
-        import math
-
-        return int(math.log(max(u, 1e-12)) / math.log(1.0 - p))
+        return int(math.log(max(self._randf(), 1e-12)) / self._log1mp)
 
 
 def producer_task(
@@ -54,14 +71,20 @@ def producer_task(
     count: int,
     work: Optional[GeometricWork] = None,
 ) -> Generator[Any, Any, int]:
-    """Send ``count`` distinct elements, doing sampled work between sends."""
+    """Send ``count`` distinct elements, doing sampled work between sends.
+
+    The work op is the sampler's interned ``SampledWork`` descriptor:
+    the cycle count is drawn when the op is charged (one draw per
+    iteration, zero draws charge zero cycles), so the clock trajectory
+    matches the historical sample-then-``Work(k)`` form exactly while
+    the loop stays allocation-free.
+    """
 
     sent = 0
+    op = work.op if work is not None else None
     for i in range(count):
-        if work is not None:
-            cycles = work.sample()
-            if cycles:
-                yield Work(cycles)
+        if op is not None:
+            yield op
         yield from channel.send(pid * 1_000_000 + i + 1)
         sent += 1
     return sent
@@ -75,11 +98,10 @@ def consumer_task(
     """Receive ``count`` elements, doing sampled work between receives."""
 
     received = 0
+    op = work.op if work is not None else None
     for _ in range(count):
-        if work is not None:
-            cycles = work.sample()
-            if cycles:
-                yield Work(cycles)
+        if op is not None:
+            yield op
         yield from channel.receive()
         received += 1
     return received

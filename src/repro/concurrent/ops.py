@@ -46,6 +46,7 @@ __all__ = [
     "Yield",
     "Spin",
     "Work",
+    "SampledWork",
     "Alloc",
     "ParkTask",
     "UnparkTask",
@@ -199,6 +200,30 @@ class Work(Op):
         if cycles < 0:
             raise ValueError("work cycles must be non-negative")
         self.cycles = cycles
+
+
+class SampledWork(Op):
+    """Local work whose cycle count is drawn from ``sampler`` at charge time.
+
+    A reusable (flyweight) variant of :class:`Work` for generated
+    workloads: the op holds a sampler — any object with a
+    ``sample() -> int`` method, canonically
+    :class:`repro.bench.workload.GeometricWork` — and the cost model
+    draws the cycle count when the op is *charged*, not when it is
+    yielded.  One descriptor therefore serves every iteration of a
+    task's work loop, and a compiled engine tier can service the draw
+    without re-entering Python.  No memory effect; a zero draw charges
+    zero cycles (the sampler's stream advances either way).
+    """
+
+    __slots__ = ("sampler",)
+    kind = "work"
+
+    def __init__(self, sampler: Any):
+        self.sampler = sampler
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SampledWork({self.sampler!r})"
 
 
 class Alloc(Op):

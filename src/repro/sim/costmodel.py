@@ -53,6 +53,7 @@ from ..concurrent.ops import (
     Op,
     ParkTask,
     Read,
+    SampledWork,
     Spin,
     UnparkTask,
     Work,
@@ -307,6 +308,12 @@ class CostModel:
     def _charge_work(self, task: Task, op: Op) -> None:
         task.clock += op.cycles  # type: ignore[attr-defined]
 
+    def _charge_sampled_work(self, task: Task, op: Op) -> None:
+        # The draw happens at charge time (one per yielded op), so the
+        # sampler's stream advances exactly as if the task had called
+        # sample() itself and yielded Work(k).
+        task.clock += op.sampler.sample()  # type: ignore[attr-defined]
+
     def _charge_yield(self, task: Task, op: Op) -> None:
         task.clock += self.p.yield_
 
@@ -380,6 +387,7 @@ class CostModel:
                 GetAndSet: self._charge_rmw,
                 Write: self._charge_write,
                 Work: self._charge_work,
+                SampledWork: self._charge_sampled_work,
                 Yield: self._charge_yield,
                 Spin: self._charge_spin,
                 Alloc: self._charge_alloc,
@@ -398,6 +406,7 @@ class CostModel:
             GetAndSet: self._charge_rmw,
             Write: self._charge_write,
             Work: self._audited(self._charge_work),
+            SampledWork: self._audited(self._charge_sampled_work),
             Yield: self._audited(self._charge_yield),
             Spin: self._audited(self._charge_spin),
             Alloc: self._audited(self._charge_alloc),

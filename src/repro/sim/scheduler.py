@@ -48,6 +48,7 @@ from ..concurrent.ops import (
     Op,
     ParkTask,
     Read,
+    SampledWork,
     Spin,
     UnparkTask,
     Work,
@@ -55,7 +56,7 @@ from ..concurrent.ops import (
     Yield,
 )
 from ..errors import DeadlockError, Interrupted, RetryWakeup, SchedulerError, StepLimitExceeded
-from .costmodel import LCG_BATCH, CostModel, NullCostModel, lcg_batch
+from .costmodel import LCG_BATCH, CostModel, NullCostModel, OpCostAudit, lcg_batch
 from .tasks import Task, TaskState
 
 _INF = float("inf")
@@ -352,9 +353,11 @@ class Scheduler:
         :class:`~repro.errors.EngineUnavailableError` if the build is
         missing), ``'auto'`` (compiled when available), or ``None`` to
         defer to :func:`repro._engine.set_default_engine` /
-        ``REPRO_ENGINE`` / ``auto``.  Only the unobserved standard
-        configuration is affected — the general loop and non-default
-        policies always run pure Python.
+        ``REPRO_ENGINE`` / ``auto``.  Both the unobserved fast lane and
+        the observed standard configuration (DesPolicy + CostModel with
+        hooks/audit/alloc collectors) are affected; non-default
+        policies, cost models, and custom audit types always run pure
+        Python.
     """
 
     def __init__(
@@ -473,24 +476,33 @@ class Scheduler:
         no hooks, no cost audit, no alloc collector) runs the fused
         :meth:`_run_fast` loop, which inlines policy, cost model, and
         memory-op application and pays zero per-op overhead for the
-        absent observers.  Any observer attached makes the whole run use
-        the general loop; both produce bit-identical schedules, clocks,
-        and results.
+        absent observers.  An *observed* standard configuration (hooks,
+        an :class:`~repro.sim.costmodel.OpCostAudit` tap, or an alloc
+        collector attached, but still DesPolicy + CostModel) runs the
+        per-op general loop — natively when the compiled tier is
+        selected (:func:`repro._engine.native_run_general`, which keeps
+        scheduling/charge/dispatch in C and calls out to Python only at
+        the observation points), in pure Python otherwise.  Any other
+        configuration (custom policies, cost models, or audit types)
+        always runs the Python general loop.  All loops produce
+        bit-identical schedules, clocks, and results.
         """
 
-        if (
-            not self._hooks
-            and self.alloc_stats is None
-            and type(self.policy) is DesPolicy
-            and type(self.cost) is CostModel
-            and self.cost.audit is None
-        ):
+        if type(self.policy) is DesPolicy and type(self.cost) is CostModel:
+            audit = self.cost.audit
             from .. import _engine
 
-            if _engine.resolve(self.engine) == "c":
-                _engine.native_run(self)
+            if not self._hooks and self.alloc_stats is None and audit is None:
+                if _engine.resolve(self.engine) == "c":
+                    _engine.native_run(self)
+                else:
+                    self._run_fast()
+            elif (audit is None or type(audit) is OpCostAudit) and _engine.resolve(
+                self.engine
+            ) == "c":
+                _engine.native_run_general(self)
             else:
-                self._run_fast()
+                self._run_general()
         else:
             self._run_general()
         if raise_errors:
@@ -765,6 +777,10 @@ class Scheduler:
                             send_value = old
                     elif tp is Work:
                         tclock += op.cycles
+                    elif tp is SampledWork:
+                        # Drawn from the sampler's own RNG stream, not
+                        # the jitter LCG; zero draws charge zero cycles.
+                        tclock += op.sampler.sample()
                     elif tp is Yield:
                         tclock += yield_cost
                     elif tp is Spin:

@@ -60,6 +60,17 @@ class TestDescriptorAllocs:
         row = paired[(capacity, False)]
         assert row["descriptors"] > 0.5 * row["ops_total"]
 
+    def test_rows_record_engine_tier(self, paired):
+        # Every row stamps the resolved engine tier that produced it, so
+        # a dump is self-describing (the numbers are tier-independent by
+        # contract, but the provenance must be recorded).
+        from repro import _engine
+
+        want = _engine.resolve(None)
+        assert want in ("py", "c")
+        for row in paired.values():
+            assert row["engine"] == want
+
     @pytest.mark.parametrize("capacity", [0, 64])
     def test_logical_allocations_unchanged(self, paired, capacity):
         fast = paired[(capacity, True)]

@@ -217,6 +217,8 @@ class TestZeroOverheadWhenOff:
         assert calls == 0  # fused fast path: zero per-op observer overhead
 
     def test_attached_session_uses_general_path(self, monkeypatch):
+        # Pinned to the py tier: the compiled observed core runs the
+        # per-op loop natively and never re-enters _step_task.
         calls = 0
         orig = Scheduler._step_task
 
@@ -226,12 +228,39 @@ class TestZeroOverheadWhenOff:
             return orig(self, task)
 
         monkeypatch.setattr(Scheduler, "_step_task", counting)
-        sched = Scheduler(policy=DesPolicy(), cost_model=CostModel(), processors=4)
+        sched = Scheduler(
+            policy=DesPolicy(), cost_model=CostModel(), processors=4, engine="py"
+        )
         session = ObsSession(label="probe")
         session.attach(sched)
         _spawn_probe_tasks(sched)
         sched.run()
         assert calls == sched.total_steps > 0
+
+    def test_attached_session_native_core_skips_step_task(self, monkeypatch):
+        """The c tier services observed runs without re-entering Python's
+        per-op entry point — that is the whole point of run_observed."""
+
+        if not _engine.available():
+            pytest.skip(f"compiled engine unavailable: {_engine.probe_error()}")
+        calls = 0
+        orig = Scheduler._step_task
+
+        def counting(self, task):
+            nonlocal calls
+            calls += 1
+            return orig(self, task)
+
+        monkeypatch.setattr(Scheduler, "_step_task", counting)
+        sched = Scheduler(
+            policy=DesPolicy(), cost_model=CostModel(), processors=4, engine="c"
+        )
+        session = ObsSession(label="probe")
+        session.attach(sched)
+        _spawn_probe_tasks(sched)
+        sched.run()
+        assert sched.total_steps > 0
+        assert calls == 0  # native observed core: no Python per-op entry
 
     def test_detach_keeps_collected_data_and_other_scheds(self):
         session = ObsSession(label="probe")

@@ -1,0 +1,329 @@
+"""Observed-path parity: native run_observed vs Python _run_general.
+
+The compiled tier's ``run_observed`` entry point executes the observed
+general loop (heap scheduling, charge, op apply) natively while calling
+back into Python at the observation points.  Its contract is stronger
+than "same final numbers": the *entire observable stream* must be
+bit-identical to :meth:`Scheduler._run_general` —
+
+* every hook invocation, in order, with identical ``(task, op)``
+  arguments and identical write-through state visible at call time
+  (``task.clock``, ``task.steps``, ``sched.total_steps``, pending
+  value);
+* every :class:`OpCostAudit` snapshot (cell / stall / miss / base) as a
+  hook would read it;
+* every ``alloc_stats.record`` callout;
+* the final jitter-LCG state, makespan, and step counts.
+
+A subset of the golden configs is re-run with a recording hook and an
+audit tap attached under both tiers; the streams are compared exactly.
+The ``c`` side skips with the probe's reason when the extension is not
+built, mirroring ``test_golden_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import _engine
+from repro.bench.harness import make_impl
+from repro.bench.memstats import AllocStats
+from repro.bench.workload import GeometricWork, consumer_task, producer_task, split_evenly
+from repro.concurrent.cells import IntCell
+from repro.concurrent.ops import ClockSync, Faa, Read, Work, Yield
+from repro.sim.costmodel import CostModel, OpCostAudit
+from repro.sim.scheduler import DesPolicy, Scheduler
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_engine.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+#: One config per implementation family, favoring the contended t=8
+#: points (park/unpark traffic on the rendezvous ones, segment churn on
+#: the buffered ones).
+HOOKED_SUBSET = [
+    g
+    for g in GOLDEN["points"]
+    if (g["impl"], g["threads"], g["capacity"])
+    in {
+        ("faa-channel", 8, 0),
+        ("faa-channel-eb", 8, 16),
+        ("go-channel", 8, 0),
+        ("java-sync-queue", 8, 0),
+        ("kotlin-legacy", 8, 16),
+        ("koval-2019", 8, 0),
+    }
+]
+assert len(HOOKED_SUBSET) == 6
+
+needs_c = pytest.mark.skipif(
+    not _engine.available(),
+    reason=f"compiled engine unavailable: {_engine.probe_error()}",
+)
+
+
+def _run_hooked_golden(g: dict, tier: str) -> dict:
+    """Golden config + recording hook + audit tap + alloc stats."""
+
+    chan = make_impl(g["impl"], g["capacity"])
+    sched = Scheduler(
+        policy=DesPolicy(),
+        cost_model=CostModel(),
+        processors=g["threads"],
+        engine=tier,
+    )
+    audit = OpCostAudit()
+    sched.cost.audit = audit
+    stats = AllocStats()
+    sched.alloc_stats = stats
+    events: list[tuple] = []
+    # Cell identity canonicalized by first-touch order: fresh channels
+    # draw globally-counted cell names, so raw names differ between two
+    # runs of the *same* tier and cannot be compared directly.
+    cell_ids: dict[int, int] = {}
+    cell_refs: list = []  # keep cells alive so id() values never recycle
+
+    def hook(s, task, op):
+        cell = audit.cell
+        if cell is None:
+            cid = None
+        else:
+            key = id(cell)
+            if key not in cell_ids:
+                cell_ids[key] = len(cell_ids)
+                cell_refs.append(cell)
+            cid = cell_ids[key]
+        events.append(
+            (
+                task.tid,
+                task.clock,
+                task.steps,
+                type(op).__name__,
+                cid,
+                audit.stall,
+                audit.miss,
+                audit.base,
+                s.total_steps,
+            )
+        )
+
+    sched.add_hook(hook)
+    pairs = max(2, g["threads"]) // 2
+    per_p = split_evenly(g["elements"], pairs)
+    per_c = split_evenly(g["elements"], pairs)
+    for p in range(pairs):
+        work = GeometricWork(100, seed=g["seed"] * 7919 + p * 2 + 1)
+        sched.spawn(producer_task(chan, p, per_p[p], work), f"prod-{p}")
+    for c in range(pairs):
+        work = GeometricWork(100, seed=g["seed"] * 7919 + c * 2 + 2)
+        sched.spawn(consumer_task(chan, per_c[c], work), f"cons-{c}")
+    sched.run()
+    return {
+        "events": events,
+        "makespan": sched.makespan,
+        "steps": sched.total_steps,
+        "tasks": [(t.name, t.clock, t.steps, t.state.name) for t in sched.tasks],
+        "lcg": sched.cost._lcg,
+        "allocs": (stats.units, stats.events, dict(stats.by_tag)),
+    }
+
+
+@needs_c
+class TestHookedGoldenParity:
+    @pytest.mark.parametrize(
+        "g",
+        HOOKED_SUBSET,
+        ids=[
+            f"{g['impl']}-t{g['threads']}-c{g['capacity']}-s{g['seed']}"
+            for g in HOOKED_SUBSET
+        ],
+    )
+    def test_hooked_stream_bit_identical(self, g):
+        py = _run_hooked_golden(g, "py")
+        c = _run_hooked_golden(g, "c")
+        assert py["steps"] == c["steps"]
+        assert py["makespan"] == c["makespan"]
+        assert py["lcg"] == c["lcg"]
+        assert py["tasks"] == c["tasks"]
+        assert py["allocs"] == c["allocs"]
+        if py["events"] != c["events"]:  # pinpoint the first divergence
+            for i, (a, b) in enumerate(zip(py["events"], c["events"])):
+                assert a == b, f"eventstream diverges at op {i}: py={a} c={b}"
+            assert len(py["events"]) == len(c["events"])
+
+    @pytest.mark.parametrize(
+        "g",
+        HOOKED_SUBSET[:2],
+        ids=[f"{g['impl']}-t{g['threads']}" for g in HOOKED_SUBSET[:2]],
+    )
+    def test_hooked_matches_unobserved_clocks(self, g):
+        """Observation must never perturb the simulation it watches."""
+
+        hooked = _run_hooked_golden(g, "c")
+        want = {g2["impl"]: g2 for g2 in GOLDEN["points"]}
+        golden = next(
+            g2
+            for g2 in GOLDEN["points"]
+            if (g2["impl"], g2["threads"], g2["capacity"], g2["seed"])
+            == (g["impl"], g["threads"], g["capacity"], g["seed"])
+        )
+        assert hooked["makespan"] == golden["makespan"]
+        assert hooked["steps"] == golden["steps"]
+        del want
+
+
+def _run_scenario(tier: str, spawn, **sched_kwargs):
+    sched = Scheduler(
+        policy=DesPolicy(),
+        cost_model=CostModel(),
+        processors=sched_kwargs.pop("processors", 4),
+        engine=tier,
+    )
+    events: list[tuple] = []
+
+    def hook(s, task, op):
+        events.append(
+            (task.tid, task.clock, task.steps, type(op).__name__, s.total_steps)
+        )
+
+    sched.add_hook(hook)
+    spawn(sched)
+    sched.run()
+    return {
+        "events": events,
+        "steps": sched.total_steps,
+        "lcg": sched.cost._lcg,
+        "tasks": [(t.name, t.clock, t.steps, t.state.name) for t in sched.tasks],
+    }
+
+
+@needs_c
+class TestObservedEdgePaths:
+    def test_unknown_op_falls_back_through_python(self):
+        # ClockSync is not configured into the C dispatcher: the observed
+        # core must route it through cost.charge + _dispatch and keep the
+        # hook stream identical.
+        def spawn(sched):
+            def worker():
+                for _ in range(8):
+                    yield Work(7)
+                    yield ClockSync()
+                    yield Yield()
+
+            sched.spawn(worker(), "w0")
+            sched.spawn(worker(), "w1")
+
+        py = _run_scenario("py", spawn)
+        c = _run_scenario("c", spawn)
+        assert py == c
+        assert any(e[3] == "ClockSync" for e in c["events"])
+
+    def test_custom_audit_tap_routes_through_charge(self):
+        # A duck-typed audit tap (not the exact OpCostAudit layout) must
+        # push the whole charge through Python so the tap's own logic
+        # runs; the op stream still matches the reference tier.
+        class RecordingTap:
+            def __init__(self):
+                self.cell = None
+                self.stall = 0
+                self.miss = 0
+                self.base = 0
+                self.bases = []
+
+            def snap(self):
+                self.bases.append(self.base)
+
+        def run(tier):
+            sched = Scheduler(
+                policy=DesPolicy(), cost_model=CostModel(), processors=2, engine=tier
+            )
+            tap = RecordingTap()
+            sched.cost.audit = tap
+            sched.add_hook(lambda s, t, op: tap.snap())
+            cell = IntCell(0, "tap.cell")
+
+            def worker():
+                for _ in range(30):
+                    yield Faa(cell, 1)
+                    v = yield Read(cell)
+                    yield Work(v % 5)
+                    yield Yield()
+
+            sched.spawn(worker(), "w0")
+            sched.spawn(worker(), "w1")
+            sched.run()
+            return tap.bases, sched.total_steps, sched.cost._lcg
+
+        assert run("py") == run("c")
+
+    def test_hook_can_attach_audit_mid_run(self):
+        # cost.audit is re-read every op; a hook that attaches the tap
+        # halfway through must start receiving snapshots from the next
+        # op on, identically on both tiers.
+        def run(tier):
+            sched = Scheduler(
+                policy=DesPolicy(), cost_model=CostModel(), processors=2, engine=tier
+            )
+            audit = OpCostAudit()
+            seen = []
+
+            def hook(s, task, op):
+                if s.total_steps == 40:
+                    s.cost.audit = audit
+                if s.cost.audit is not None:
+                    seen.append((s.total_steps, audit.stall, audit.miss, audit.base))
+
+            sched.add_hook(hook)
+            cell = IntCell(0, "mid.cell")
+
+            def worker():
+                for _ in range(40):
+                    yield Faa(cell, 1)
+                    yield Work(3)
+                    yield Yield()
+
+            sched.spawn(worker(), "w0")
+            sched.spawn(worker(), "w1")
+            sched.run()
+            return seen, sched.total_steps, sched.cost._lcg
+
+        py = run("py")
+        c = run("c")
+        assert py == c
+        assert py[0] and py[0][0][0] == 40
+
+    def test_hook_list_mutation_mid_run(self):
+        # _run_general iterates self._hooks live (list-iterator
+        # semantics): a hook appending another hook makes the new one
+        # fire from the *same op* onwards.  The native loop must match.
+        def run(tier):
+            sched = Scheduler(
+                policy=DesPolicy(), cost_model=CostModel(), processors=2, engine=tier
+            )
+            log = []
+
+            def late(s, task, op):
+                log.append(("late", s.total_steps))
+
+            def early(s, task, op):
+                log.append(("early", s.total_steps))
+                if s.total_steps == 10 and len(s._hooks) == 1:
+                    s._hooks.append(late)
+
+            sched.add_hook(early)
+
+            def worker():
+                for _ in range(20):
+                    yield Work(2)
+                    yield Yield()
+
+            sched.spawn(worker(), "w0")
+            sched.run()
+            return log, sched.total_steps
+
+        py = run("py")
+        c = run("c")
+        assert py == c
+        assert ("late", 10) in py[0]

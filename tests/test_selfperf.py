@@ -15,12 +15,15 @@ import pytest
 
 from repro.bench.__main__ import main as bench_main
 from repro.bench.selfperf import (
+    ALG_SUBSET,
     DEFAULT_THRESHOLD,
     MATRIX,
+    OBS_SUBSET,
     QUICK_MATRIX,
     compare_rows,
     geomean,
     run_selfperf,
+    run_selfperf_paired,
 )
 
 
@@ -37,6 +40,14 @@ class TestMatrix:
         # full-matrix names (same workloads, just fewer of them).
         assert set(QUICK_MATRIX) <= set(MATRIX)
 
+    def test_gate_subsets_are_in_the_full_matrix(self):
+        # The A/B geomean gates (algorithm-bound, observed-mode) must
+        # reference real matrix points, or the gate silently gates on
+        # nothing.
+        assert set(ALG_SUBSET) <= set(MATRIX)
+        assert set(OBS_SUBSET) <= set(MATRIX)
+        assert not set(ALG_SUBSET) & set(OBS_SUBSET)
+
     def test_run_selfperf_row_schema(self):
         rows = run_selfperf(names=["counter-faa-t8"], repeat=1)
         assert len(rows) == 1
@@ -44,6 +55,24 @@ class TestMatrix:
         assert row["name"] == "counter-faa-t8"
         assert row["ops"] > 0 and row["seconds"] > 0 and row["ops_per_sec"] > 0
         assert row["python"] and row["impl"]
+        assert row["engine"] in ("py", "c")
+        # Per-round samples + median ride along for `compare --metric median`.
+        assert row["samples"] == [pytest.approx(row["ops_per_sec"], abs=0.06)]
+        assert row["median_ops_per_sec"] == row["ops_per_sec"]
+
+    def test_run_selfperf_paired_interleaves_and_tags_rows(self):
+        # One row per (point, tier), each carrying `repeat` samples; a
+        # single-tier "pairing" exercises the machinery without needing
+        # the compiled extension.
+        rows = run_selfperf_paired(names=["counter-faa-t8"], repeat=2, tiers=("py",))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["engine"] == "py"
+        assert len(row["samples"]) == 2
+        # samples are rounded for the dump; best/median stay full precision.
+        assert row["ops_per_sec"] == pytest.approx(max(row["samples"]), abs=0.06)
+        lo, hi = sorted(row["samples"])
+        assert lo - 0.1 <= row["median_ops_per_sec"] <= hi + 0.1
 
 
 class TestCompareRows:
@@ -102,6 +131,29 @@ class TestCompareRows:
         assert ok
         assert "added" in report and "c" in report
 
+    def test_metric_median_gates_on_median(self):
+        # Same best-of, collapsed median: the default metric passes, the
+        # median metric sees the 40% drop and fails.
+        old = _rows(a=100.0)
+        new = _rows(a=100.0)
+        for r in old:
+            r["median_ops_per_sec"] = 95.0
+        for r in new:
+            r["median_ops_per_sec"] = 57.0
+        assert compare_rows(old, new)[0]
+        ok, report = compare_rows(old, new, metric="median")
+        assert not ok and "median" in report
+
+    def test_metric_median_falls_back_for_old_dumps(self):
+        # Dumps predating per-round samples carry no median: the best-of
+        # number stands in, so old baselines stay comparable.
+        ok, report = compare_rows(_rows(a=100.0), _rows(a=100.0), metric="median")
+        assert ok and "1.00x" in report
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="unknown compare metric"):
+            compare_rows(_rows(a=1.0), _rows(a=1.0), metric="mean")
+
     def test_geomean_helper(self):
         assert geomean([2.0, 8.0]) == pytest.approx(4.0)
         assert geomean([]) == 0.0
@@ -136,6 +188,17 @@ class TestCli:
         new = self._dump(tmp_path / "new.json", {"a": 100.0})
         assert bench_main(["compare", old, new]) != 0
         assert bench_main(["compare", old, new, "--allow-missing"]) == 0
+        capsys.readouterr()
+
+    def test_compare_metric_median_flag(self, tmp_path, capsys):
+        old_rows, new_rows = _rows(a=100.0), _rows(a=100.0)
+        old_rows[0]["median_ops_per_sec"] = 100.0
+        new_rows[0]["median_ops_per_sec"] = 60.0
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        old.write_text(json.dumps(old_rows))
+        new.write_text(json.dumps(new_rows))
+        assert bench_main(["compare", str(old), str(new)]) == 0
+        assert bench_main(["compare", str(old), str(new), "--metric", "median"]) != 0
         capsys.readouterr()
 
     def test_selfperf_writes_tagged_json(self, tmp_path, capsys, monkeypatch):
