@@ -53,9 +53,13 @@ __all__ = [
     "ENGINES",
     "METRICS",
     "available",
+    "alg_kernels_available",
+    "alg_kernels_enabled",
+    "set_alg_kernels",
     "native_run",
     "native_run_general",
     "probe_error",
+    "probe_error_kind",
     "resolve",
     "set_default_engine",
     "get_default_engine",
@@ -72,6 +76,11 @@ _default_engine: Optional[str] = None
 
 _ext: Any = None
 _probe_error: Optional[str] = None
+#: Structured classification of the probe failure, for the fallback
+#: notice and tests: ``"disabled"`` (environment opt-out),
+#: ``"import-error"`` (extension missing / not built), ``"configure-error"``
+#: (layout mismatch) or ``"stale-build"`` (old .so lacking entry points).
+_probe_error_kind: Optional[str] = None
 _probed = False
 _announced = False
 
@@ -79,17 +88,19 @@ _announced = False
 def _probe() -> None:
     """Import and configure the extension once; record failure reason."""
 
-    global _ext, _probe_error, _probed
+    global _ext, _probe_error, _probe_error_kind, _probed
     if _probed:
         return
     _probed = True
     if os.environ.get("REPRO_NO_ENGINE_EXT", "") not in ("", "0"):
         _probe_error = "disabled via REPRO_NO_ENGINE_EXT"
+        _probe_error_kind = "disabled"
         return
     try:
         from . import _enginec  # type: ignore[attr-defined]
     except Exception as exc:  # pragma: no cover - exercised via env toggle
         _probe_error = f"extension import failed: {exc!r}"
+        _probe_error_kind = "import-error"
         return
     try:
         from ..concurrent.cells import CacheLine, Cell, IntCell, RefCell
@@ -109,8 +120,20 @@ def _probe() -> None:
             Write,
             Yield,
         )
+        from ..baselines import faa_queue as _faaq
         from ..bench.workload import GeometricWork
-        from ..errors import DeadlockError, Interrupted, RetryWakeup, StepLimitExceeded
+        from ..concurrent.ops import CURRENT_TASK, acquire_kit, release_kit
+        from ..core import states as _states
+        from ..core.segments import Segment
+        from ..errors import (
+            ChannelClosedForReceive,
+            ChannelClosedForSend,
+            DeadlockError,
+            Interrupted,
+            RetryWakeup,
+            StepLimitExceeded,
+        )
+        from ..runtime import waiter as _waiter
         from ..sim.costmodel import CostModel, OpCostAudit
         from ..sim.tasks import Task, TaskState
 
@@ -146,21 +169,58 @@ def _probe() -> None:
                 "RetryWakeup": RetryWakeup,
                 "DeadlockError": DeadlockError,
                 "StepLimitExceeded": StepLimitExceeded,
+                # Algorithm-kernel layout (PR 10): cell states, waiter
+                # classes/states, segment shapes, and close exceptions the
+                # native send/receive/enqueue/dequeue machines compare
+                # against by identity.
+                "C_BUFFERED": _states.BUFFERED,
+                "C_IN_BUFFER": _states.IN_BUFFER,
+                "C_DONE": _states.DONE,
+                "C_DONE_RCV": _states.DONE_RCV,
+                "C_BROKEN": _states.BROKEN,
+                "C_CANCELLED": _states.CANCELLED,
+                "C_INTERRUPTED_SEND": _states.INTERRUPTED_SEND,
+                "C_INTERRUPTED_RCV": _states.INTERRUPTED_RCV,
+                "C_S_RESUMING_RCV": _states.S_RESUMING_RCV,
+                "C_S_RESUMING_EB": _states.S_RESUMING_EB,
+                "W_INIT": _waiter.INIT,
+                "W_PARKED": _waiter.PARKED,
+                "W_PERMIT": _waiter.PERMIT,
+                "W_RESUMED": _waiter.RESUMED,
+                "Waiter": _waiter.Waiter,
+                "SenderWaiter": _states.SenderWaiter,
+                "ReceiverWaiter": _states.ReceiverWaiter,
+                "Segment": Segment,
+                "QSegment": _faaq._QSegment,
+                "ChannelClosedForSend": ChannelClosedForSend,
+                "ChannelClosedForReceive": ChannelClosedForReceive,
+                "FAAQ_BROKEN": _faaq._BROKEN,
+                "CURRENT_TASK": CURRENT_TASK,
+                "acquire_kit": acquire_kit,
+                "release_kit": release_kit,
             }
         )
     except Exception as exc:
         # A layout mismatch (or any configure failure) means the build is
         # unusable; fall back to the reference tier.
         _probe_error = f"extension configure failed: {exc!r}"
+        _probe_error_kind = "configure-error"
         return
-    if not hasattr(_enginec, "run_observed"):
+    if not hasattr(_enginec, "run_observed") or not hasattr(
+        _enginec, "kernel_rz_send"
+    ):
         # An .so from an older source tree imports and configures fine
-        # but lacks the observed-path core; treat it as unusable rather
-        # than serving a half-tier.
-        _probe_error = "extension build is stale (missing run_observed); rebuild it"
+        # but lacks the observed-path core or the algorithm kernels;
+        # treat it as unusable rather than serving a half-tier.
+        _probe_error = (
+            "extension build is stale (missing run_observed/kernel entry "
+            "points); rebuild it"
+        )
+        _probe_error_kind = "stale-build"
         return
     _ext = _enginec
     _probe_error = None
+    _probe_error_kind = None
 
 
 def available() -> bool:
@@ -177,8 +237,32 @@ def probe_error() -> Optional[str]:
     return _probe_error
 
 
+def probe_error_kind() -> Optional[str]:
+    """Structured probe-failure class (see :data:`_probe_error_kind`)."""
+
+    _probe()
+    return _probe_error_kind
+
+
+#: Human framing per probe-failure class for the ``auto`` fallback
+#: notice.  ``disabled`` is an intentional opt-out and gets no remedy
+#: hint; everything else points at the rebuild command.
+_FALLBACK_HINTS = {
+    "disabled": "disabled by environment",
+    "import-error": "extension is not built or not importable",
+    "configure-error": "extension build does not match this source tree",
+    "stale-build": "extension build is stale",
+}
+
+
 def _announce(tier: str) -> None:
-    """One-shot probe report: one metric, plus stderr on fallback."""
+    """One-shot probe report: one metric, plus stderr on fallback.
+
+    The notice names the *probe failure class* and the underlying reason
+    (import error vs. ``REPRO_NO_ENGINE_EXT`` vs. layout mismatch), so a
+    silently-broken build is distinguishable from an intentional opt-out
+    without rerunning the probe by hand.
+    """
 
     global _announced
     if _announced:
@@ -186,11 +270,15 @@ def _announce(tier: str) -> None:
     _announced = True
     METRICS.counter("engine_tier", tier=tier).inc()
     if tier == "py" and _probe_error is not None:
-        print(
-            f"repro: compiled engine unavailable ({_probe_error}); "
-            "using pure-Python tier",
-            file=sys.stderr,
+        kind = _probe_error_kind or "unavailable"
+        framing = _FALLBACK_HINTS.get(kind, "unavailable")
+        msg = (
+            f"repro: compiled engine unavailable [{kind}] — {framing}: "
+            f"{_probe_error}; using pure-Python tier"
         )
+        if kind not in (None, "disabled"):
+            msg += " (rebuild: python setup.py build_ext --inplace)"
+        print(msg, file=sys.stderr)
 
 
 def set_default_engine(engine: Optional[str]) -> Optional[str]:
@@ -238,13 +326,89 @@ def resolve(request: Optional[str] = None) -> str:
     return tier
 
 
+# ----------------------------------------------------------------------
+# Algorithm kernels (PR 10)
+# ----------------------------------------------------------------------
+#
+# The compiled tier carries native transcriptions of the fused PARK-mode
+# channel fast paths ("op kernels").  They are installed into
+# ``repro.concurrent.ops.KERNELS`` only for the duration of a native
+# ``run_fast`` — every other driver always sees plain generators — and
+# only when neither ``REPRO_NO_ALG_KERNELS`` nor ``REPRO_NO_FAST_OPS``
+# disables them.
+
+_alg_kernels = os.environ.get("REPRO_NO_ALG_KERNELS", "") in ("", "0")
+
+
+def alg_kernels_enabled() -> bool:
+    """``True`` when the native algorithm kernels may be installed."""
+
+    return _alg_kernels
+
+
+def set_alg_kernels(enabled: bool) -> None:
+    """Runtime toggle for the algorithm kernels (A/B and identity tests)."""
+
+    global _alg_kernels
+    _alg_kernels = bool(enabled)
+
+
+class _Kernels:
+    """The namespace the channel dispatch wrappers consult.
+
+    One attribute per kernel factory; each factory returns a native
+    kernel iterator, or ``None`` when the operation is not eligible
+    (the wrapper then falls back to the fused generator).
+    """
+
+    __slots__ = ("rz_send", "rz_recv", "buf_send", "buf_recv", "faaq_enq", "faaq_deq")
+
+    def __init__(self, ext: Any):
+        self.rz_send = ext.kernel_rz_send
+        self.rz_recv = ext.kernel_rz_recv
+        self.buf_send = ext.kernel_buf_send
+        self.buf_recv = ext.kernel_buf_recv
+        self.faaq_enq = ext.kernel_faaq_enq
+        self.faaq_deq = ext.kernel_faaq_deq
+
+
+_kernels_ns: Any = None
+
+
+def alg_kernels_available() -> bool:
+    """``True`` when the compiled tier exposes the kernel factories."""
+
+    _probe()
+    return _ext is not None and hasattr(_ext, "kernel_rz_send")
+
+
+def _kernel_namespace() -> Any:
+    global _kernels_ns
+    if _kernels_ns is None and alg_kernels_available():
+        _kernels_ns = _Kernels(_ext)
+    return _kernels_ns
+
+
 def native_run(sched: Any) -> None:
     """Run *sched*'s fused loop on the compiled tier (must be available)."""
 
     _probe()
     if _ext is None:
         raise EngineUnavailableError(_probe_error or "unknown probe failure")
-    _ext.run_fast(sched)
+    from ..concurrent import ops as _ops
+
+    kernels = None
+    if _alg_kernels and _ops.fast_ops_enabled():
+        kernels = _kernel_namespace()
+    if kernels is None:
+        _ext.run_fast(sched)
+        return
+    prev = _ops.KERNELS
+    _ops.KERNELS = kernels
+    try:
+        _ext.run_fast(sched)
+    finally:
+        _ops.KERNELS = prev
 
 
 def native_run_general(sched: Any) -> None:

@@ -105,6 +105,26 @@ typedef struct {
     Py_ssize_t a_cell, a_stall, a_miss, a_base;
     Py_ssize_t cm_audit;
 
+    /* --- algorithm kernels (PR 10) --------------------------------- */
+    /* cell-state sentinels (identity-compared singletons) */
+    PyObject *cs_buffered, *cs_in_buffer, *cs_done, *cs_done_rcv, *cs_broken;
+    PyObject *cs_cancelled, *cs_int_send, *cs_int_rcv, *cs_sr_rcv, *cs_sr_eb;
+    /* waiter life-cycle sentinels */
+    PyObject *ws_init, *ws_parked, *ws_permit, *ws_resumed;
+    /* waiter kinds (isinstance: select-linked instances are subclasses) */
+    PyObject *cls_sender, *cls_receiver;
+    PyObject *exc_closed_send, *exc_closed_recv;
+    PyObject *faaq_broken;     /* the FAA queue's poison sentinel */
+    PyObject *cur_task_op;     /* the CURRENT_TASK singleton op */
+    PyObject *fn_acquire_kit, *fn_release_kit;
+    /* Segment / _QSegment / Waiter slot offsets */
+    Py_ssize_t sg_id, sg_cnt, sg_states, sg_elems, sg_prev;
+    Py_ssize_t qs_id, qs_cells;
+    Py_ssize_t w_task, w_state;
+    Py_ssize_t op_spin_reason;
+    /* bumped on every successful configure(); stamps pooled kernels */
+    uint64_t kcfg_gen;
+
     int ready;
 } engine_state;
 
@@ -119,6 +139,17 @@ static PyObject *s_read_hit, *s_write, *s_rmw, *s_remote_miss, *s_read_miss;
 static PyObject *s_park, *s_unpark, *s_wake_latency, *s_spin, *s_yield_;
 static PyObject *s_alloc, *s_jitter, *s_clock, *s_pending_value_str;
 static PyObject *s_hooks, *s_alloc_stats, *s_record, *s_forget, *s_sample;
+/* algorithm-kernel strings (PR 10) */
+static PyObject *s_of, *s_send, *s_close, *s_try_unpark, *s_famf;
+static PyObject *s_find_segment, *s_mark_closed, *s_mark_cancelled;
+static PyObject *s_park_sender, *s_park_receiver, *s_close_recheck;
+static PyObject *s_on_interrupted, *s_expand_buffer;
+static PyObject *s_seg_size, *s_stats, *s_segm_s, *s_segm_r, *s_segm_b;
+static PyObject *s_cap_s, *s_cap_r, *s_cap_b, *s_ulist;
+static PyObject *s_head_attr, *s_tail_attr, *s_enq_idx, *s_deq_idx;
+static PyObject *s_cells_processed, *s_send_restarts, *s_rcv_restarts;
+static PyObject *s_sends, *s_receives, *s_eliminations, *s_poisoned;
+static PyObject *s_rcv_wait_eb;
 
 #define SLOT(obj, off) (*(PyObject **)((char *)(obj) + (off)))
 
@@ -418,16 +449,43 @@ engine_configure(PyObject *self, PyObject *cfg)
     GRAB(exc_retry, "RetryWakeup");
     GRAB(exc_deadlock, "DeadlockError");
     GRAB(exc_steplimit, "StepLimitExceeded");
+    GRAB(cs_buffered, "C_BUFFERED");
+    GRAB(cs_in_buffer, "C_IN_BUFFER");
+    GRAB(cs_done, "C_DONE");
+    GRAB(cs_done_rcv, "C_DONE_RCV");
+    GRAB(cs_broken, "C_BROKEN");
+    GRAB(cs_cancelled, "C_CANCELLED");
+    GRAB(cs_int_send, "C_INTERRUPTED_SEND");
+    GRAB(cs_int_rcv, "C_INTERRUPTED_RCV");
+    GRAB(cs_sr_rcv, "C_S_RESUMING_RCV");
+    GRAB(cs_sr_eb, "C_S_RESUMING_EB");
+    GRAB(ws_init, "W_INIT");
+    GRAB(ws_parked, "W_PARKED");
+    GRAB(ws_permit, "W_PERMIT");
+    GRAB(ws_resumed, "W_RESUMED");
+    GRAB(cls_sender, "SenderWaiter");
+    GRAB(cls_receiver, "ReceiverWaiter");
+    GRAB(exc_closed_send, "ChannelClosedForSend");
+    GRAB(exc_closed_recv, "ChannelClosedForReceive");
+    GRAB(faaq_broken, "FAAQ_BROKEN");
+    GRAB(cur_task_op, "CURRENT_TASK");
+    GRAB(fn_acquire_kit, "acquire_kit");
+    GRAB(fn_release_kit, "release_kit");
 #undef GRAB
 
     PyObject *task_cls = PyDict_GetItemString(cfg, "Task");
     PyObject *cell_cls = PyDict_GetItemString(cfg, "Cell");
     PyObject *line_cls = PyDict_GetItemString(cfg, "CacheLine");
     PyObject *cm_cls = PyDict_GetItemString(cfg, "CostModel");
+    PyObject *waiter_cls = PyDict_GetItemString(cfg, "Waiter");
+    PyObject *segment_cls = PyDict_GetItemString(cfg, "Segment");
+    PyObject *qsegment_cls = PyDict_GetItemString(cfg, "QSegment");
     if (task_cls == NULL || cell_cls == NULL || line_cls == NULL
-        || cm_cls == NULL) {
+        || cm_cls == NULL || waiter_cls == NULL || segment_cls == NULL
+        || qsegment_cls == NULL) {
         PyErr_SetString(PyExc_KeyError,
-                        "engine configure: missing Task/Cell/CacheLine/CostModel");
+                        "engine configure: missing Task/Cell/CacheLine/CostModel"
+                        "/Waiter/Segment/QSegment");
         return NULL;
     }
 
@@ -480,8 +538,19 @@ engine_configure(PyObject *self, PyObject *cfg)
     RS(S.tp_audit, "miss", a_miss);
     RS(S.tp_audit, "base", a_base);
     RS(cm_cls, "_audit", cm_audit);
+    RS(waiter_cls, "task", w_task);
+    RS(waiter_cls, "_state", w_state);
+    RS(segment_cls, "id", sg_id);
+    RS(segment_cls, "_cnt", sg_cnt);
+    RS(segment_cls, "states", sg_states);
+    RS(segment_cls, "elems", sg_elems);
+    RS(segment_cls, "_prev", sg_prev);
+    RS(qsegment_cls, "id", qs_id);
+    RS(qsegment_cls, "cells", qs_cells);
+    RS(S.tp_spin, "reason", op_spin_reason);
 #undef RS
 
+    S.kcfg_gen += 1;   /* invalidate pooled kernels from the old config */
     S.ready = 1;
     Py_RETURN_NONE;
 }
@@ -2255,6 +2324,2380 @@ cleanup:
     return result;
 }
 
+/* ------------------------------------------------------------------ */
+/* algorithm kernels (PR 10)                                           */
+/* ------------------------------------------------------------------ */
+/*
+ * Each kernel is an iterator object transcribing one fused PARK-mode
+ * fast path (RendezvousChannel / BufferedChannel send/receive, FAAQueue
+ * enqueue/dequeue) into a C state machine.  The dispatch wrappers return
+ * it in place of the fused generator; the caller's ``yield from`` (or
+ * the stint loop directly) drives it through the normal generator
+ * protocol: tp_iternext / send() step the machine, throw() / close()
+ * forward to the active Python delegate or unwind.  Every step returns
+ * the next op object, so the existing charge/dispatch code executes and
+ * prices the IDENTICAL op stream — one yielded op per outer resume.
+ *
+ * Off-fast-path work (segment walks, parking, close/cancel marking,
+ * expand_buffer) runs as Python sub-generators ("delegates"), exactly
+ * the frames the fused generators delegate to with ``yield from``.
+ */
+
+#define KERN_POOL_CAP 64
+
+enum {
+    K_RZ_SEND, K_RZ_RECV, K_BUF_SEND, K_BUF_RECV, K_FAAQ_ENQ, K_FAAQ_DEQ
+};
+
+/* updCell outcome (mirrors base.RESTART / SUCCESS / CLOSED) */
+enum { KO_RESTART = 0, KO_SUCCESS = 1, KO_CLOSED = 2 };
+
+typedef struct {
+    PyObject_HEAD
+    int kind;
+    int pc;            /* resume point: the pc stored before each yield */
+    int done;
+    int outcome;
+    int ok;            /* unpark-dance result, crosses yields */
+    int cache_kind;    /* kind the pooled channel registers were cut for */
+    uint64_t cfg_gen;  /* the configure() generation the ops belong to */
+    int64_t kseg;      /* segment size K */
+    int64_t idx;       /* reserved counter value s / r / i */
+    int64_t raw;       /* raw reserved counter value (close flag kept) */
+    int64_t aux;       /* buffered send: r across the B read */
+    int64_t sid;       /* target segment id */
+    int64_t ci;        /* in-segment cell index */
+    /* object registers (owned) */
+    PyObject *chan;    /* channel / queue */
+    PyObject *elem;    /* outgoing element, or the claimed value */
+    PyObject *list;    /* chan._list */
+    PyObject *stats;
+    PyObject *anchor;  /* _segm_s / _segm_r / _tail / _head */
+    PyObject *ctr;     /* reservation counter: S / R / enqIdx / deqIdx */
+    PyObject *ctr2;    /* the opposite counter */
+    PyObject *bcell;   /* B (buffered send) */
+    PyObject *segm;
+    PyObject *state_cell;
+    PyObject *elem_cell;
+    PyObject *state;
+    PyObject *wcell;
+    PyObject *waiter;
+    PyObject *kit;     /* Python OpKit handed to expand_buffer delegates */
+    PyObject *deleg;   /* active Python delegate generator */
+    PyObject *dres;    /* last delegate return value */
+    /* owned reusable op instances (the OpKit flyweight discipline) */
+    PyObject *op_read, *op_write, *op_cas, *op_faa, *op_gas;
+    PyObject *op_unpark, *op_spin;
+} KernelObject;
+
+static PyTypeObject KernelType;
+
+static KernelObject *kern_pool[KERN_POOL_CAP];
+static int kern_pool_len = 0;
+
+#define KCLOSE_BIT (((int64_t)1) << 60)
+#define KCOUNTER_OF(raw) ((raw) & (KCLOSE_BIT - 1))
+#define KIS_FLAGGED(raw) (((raw) & KCLOSE_BIT) != 0)
+
+#define KSET(reg, v) Py_XSETREF(k->reg, Py_NewRef(v))
+#define KY(pc_, expr)                               \
+    do {                                            \
+        PyObject *_o = (expr);                      \
+        if (_o == NULL) goto fail;                  \
+        k->pc = (pc_);                              \
+        return _o;                                  \
+    } while (0)
+#define KDELEG(pc_)                                 \
+    do {                                            \
+        int _rc = deleg_resume(k, sv, &op);         \
+        if (_rc < 0) goto fail;                     \
+        if (_rc == 1) { k->pc = (pc_); return op; } \
+    } while (0)
+
+/* Allocate a bare op instance, skipping __init__ (slots start NULL). */
+static PyObject *
+blank_op(PyObject *tp_obj)
+{
+    if (!PyType_Check(tp_obj)) {
+        PyErr_SetString(PyExc_TypeError, "engine kernel: op class expected");
+        return NULL;
+    }
+    PyTypeObject *tp = (PyTypeObject *)tp_obj;
+    return tp->tp_alloc(tp, 0);
+}
+
+static void
+op_slot_clear(PyObject *op, Py_ssize_t off)
+{
+    if (op == NULL) {
+        return;
+    }
+    PyObject *old = SLOT(op, off);
+    SLOT(op, off) = NULL;
+    Py_XDECREF(old);
+}
+
+/* Drop the per-step payloads the ops hold.  The preset slots — faa
+ * cell/delta, unpark interrupt/retry, spin reason — ride along with the
+ * pooled kernel's cached channel registers (kern_dealloc keeps chan/
+ * ctr/... alive), so a same-channel reuse skips kern_preset entirely;
+ * a cache miss re-stamps them. */
+static void
+kern_ops_release_payload(KernelObject *k)
+{
+    op_slot_clear(k->op_read, S.op_read_cell);
+    op_slot_clear(k->op_write, S.op_write_cell);
+    op_slot_clear(k->op_write, S.op_write_value);
+    op_slot_clear(k->op_cas, S.op_cas_cell);
+    op_slot_clear(k->op_cas, S.op_cas_expected);
+    op_slot_clear(k->op_cas, S.op_cas_update);
+    op_slot_clear(k->op_gas, S.op_gas_cell);
+    op_slot_clear(k->op_gas, S.op_gas_value);
+    op_slot_clear(k->op_unpark, S.op_unpark_task);
+}
+
+/* Terminal transition: release the kit and the transient registers.
+ * Idempotent; preserves any exception currently being raised. */
+static void
+kern_finalize(KernelObject *k)
+{
+    k->done = 1;
+    if (k->kit != NULL) {
+        PyObject *t, *v, *tb;
+        PyErr_Fetch(&t, &v, &tb);
+        if (S.fn_release_kit != NULL) {
+            PyObject *r = PyObject_CallOneArg(S.fn_release_kit, k->kit);
+            if (r == NULL) {
+                PyErr_Clear();
+            }
+            else {
+                Py_DECREF(r);
+            }
+        }
+        PyErr_Restore(t, v, tb);
+        Py_CLEAR(k->kit);
+    }
+    Py_CLEAR(k->deleg);
+    Py_CLEAR(k->dres);
+    Py_CLEAR(k->segm);
+    Py_CLEAR(k->state_cell);
+    Py_CLEAR(k->elem_cell);
+    Py_CLEAR(k->state);
+    Py_CLEAR(k->wcell);
+    Py_CLEAR(k->waiter);
+    Py_CLEAR(k->elem);
+}
+
+/* Finish the iterator: StopIteration carrying ``value`` (NULL = None).
+ * The instance is built explicitly so tuple values survive normalize. */
+static PyObject *
+kern_ret(KernelObject *k, PyObject *value)
+{
+    PyObject *v = Py_NewRef(value != NULL ? value : Py_None);
+    kern_finalize(k);
+    if (v == Py_None) {
+        Py_DECREF(v);
+        PyErr_SetNone(PyExc_StopIteration);
+        return NULL;
+    }
+    PyObject *si = PyObject_CallOneArg(PyExc_StopIteration, v);
+    Py_DECREF(v);
+    if (si == NULL) {
+        return NULL;
+    }
+    PyErr_SetObject(PyExc_StopIteration, si);
+    Py_DECREF(si);
+    return NULL;
+}
+
+static PyObject *
+kern_raise_closed(KernelObject *k, PyObject *exc_class)
+{
+    kern_finalize(k);
+    PyErr_SetNone(exc_class);
+    return NULL;
+}
+
+/* The fused paths' AssertionError, message-identical. */
+static PyObject *
+kern_impossible(KernelObject *k, const char *side)
+{
+    PyErr_Format(PyExc_AssertionError,
+                 "%s found impossible cell state %R at %lld:%lld",
+                 side, k->state, (long long)k->sid, (long long)k->ci);
+    kern_finalize(k);
+    return NULL;
+}
+
+static int
+kstat_inc(KernelObject *k, PyObject *name)
+{
+    int64_t v;
+    if (attr_i64(k->stats, name, &v) < 0) {
+        return -1;
+    }
+    return set_attr_i64(k->stats, name, v + 1);
+}
+
+static int
+k_slot_i64(PyObject *obj, Py_ssize_t off, int64_t *out)
+{
+    PyObject *v = slot_get(obj, off);
+    if (v == NULL) {
+        return -1;
+    }
+    return as_i64(v, out);
+}
+
+/* segm.states[i] / segm.elems[i] / qseg.cells[i] — borrowed. */
+static PyObject *
+kseg_cell(PyObject *segm, Py_ssize_t list_off, int64_t i)
+{
+    PyObject *lst = slot_get(segm, list_off);
+    if (lst == NULL) {
+        return NULL;
+    }
+    if (!PyList_Check(lst) || i < 0 || i >= PyList_GET_SIZE(lst)) {
+        PyErr_SetString(PyExc_IndexError,
+                        "engine kernel: segment cell index out of range");
+        return NULL;
+    }
+    return PyList_GET_ITEM(lst, i);
+}
+
+/* -- op builders: mutate the owned instance, return a new ref ------- */
+
+static PyObject *
+k_read(KernelObject *k, PyObject *cell)
+{
+    slot_set(k->op_read, S.op_read_cell, cell);
+    return Py_NewRef(k->op_read);
+}
+
+static PyObject *
+k_write(KernelObject *k, PyObject *cell, PyObject *value)
+{
+    slot_set(k->op_write, S.op_write_cell, cell);
+    slot_set(k->op_write, S.op_write_value, value);
+    return Py_NewRef(k->op_write);
+}
+
+static PyObject *
+k_cas(KernelObject *k, PyObject *cell, PyObject *expected, PyObject *update)
+{
+    slot_set(k->op_cas, S.op_cas_cell, cell);
+    slot_set(k->op_cas, S.op_cas_expected, expected);
+    slot_set(k->op_cas, S.op_cas_update, update);
+    return Py_NewRef(k->op_cas);
+}
+
+/* The counter-fix CAS: both operands are fresh ints. */
+static PyObject *
+k_cas_ii(KernelObject *k, PyObject *cell, int64_t expected, int64_t update)
+{
+    PyObject *e = PyLong_FromLongLong(expected);
+    if (e == NULL) {
+        return NULL;
+    }
+    PyObject *u = PyLong_FromLongLong(update);
+    if (u == NULL) {
+        Py_DECREF(e);
+        return NULL;
+    }
+    PyObject *op = k_cas(k, cell, e, u);
+    Py_DECREF(e);
+    Py_DECREF(u);
+    return op;
+}
+
+static PyObject *
+k_gas(KernelObject *k, PyObject *cell, PyObject *value)
+{
+    slot_set(k->op_gas, S.op_gas_cell, cell);
+    slot_set(k->op_gas, S.op_gas_value, value);
+    return Py_NewRef(k->op_gas);
+}
+
+static PyObject *
+k_unpark(KernelObject *k, PyObject *task)
+{
+    slot_set(k->op_unpark, S.op_unpark_task, task);
+    return Py_NewRef(k->op_unpark);
+}
+
+/* -- delegates: the off-fast-path Python sub-generators ------------- */
+
+/* Capture a StopIteration's payload.  1 = captured (*out new ref),
+ * 0 = a different exception is (still) set. */
+static int
+k_fetch_stop(PyObject **out)
+{
+    if (!PyErr_ExceptionMatches(PyExc_StopIteration)) {
+        return 0;
+    }
+    PyObject *t, *v, *tb;
+    PyErr_Fetch(&t, &v, &tb);
+    PyErr_NormalizeException(&t, &v, &tb);
+    PyObject *val;
+    if (v != NULL) {
+        val = PyObject_GetAttr(v, s_value);
+    }
+    else {
+        val = Py_NewRef(Py_None);
+    }
+    Py_XDECREF(t);
+    Py_XDECREF(v);
+    Py_XDECREF(tb);
+    if (val == NULL) {
+        return 0;
+    }
+    *out = val;
+    return 1;
+}
+
+static int
+deleg_begin(KernelObject *k, PyObject *gen)
+{
+    if (gen == NULL) {
+        return -1;
+    }
+    Py_XSETREF(k->deleg, gen);
+    Py_CLEAR(k->dres);
+    return 0;
+}
+
+/* Step the active delegate.  1 = it yielded an op (*op_out new ref),
+ * 0 = it returned (k->dres holds the value), -1 = it raised.  A NULL
+ * delegate means throw() already completed it and parked the result. */
+static int
+deleg_resume(KernelObject *k, PyObject *sv, PyObject **op_out)
+{
+    if (k->deleg == NULL) {
+        return 0;
+    }
+    /* PyIter_Send hits the generator's am_send slot directly: no
+     * ``send`` attribute lookup, and a completing delegate hands its
+     * return value back without raising StopIteration at all. */
+    PyObject *res = NULL;
+    PySendResult sr = PyIter_Send(k->deleg, sv != NULL ? sv : Py_None, &res);
+    if (sr == PYGEN_NEXT) {
+        *op_out = res;
+        return 1;
+    }
+    if (sr == PYGEN_RETURN) {
+        Py_CLEAR(k->deleg);
+        Py_XSETREF(k->dres, res);
+        return 0;
+    }
+    PyObject *val;
+    if (k_fetch_stop(&val)) {
+        /* Non-generator iterators surface completion as StopIteration. */
+        Py_CLEAR(k->deleg);
+        Py_XSETREF(k->dres, val);
+        return 0;
+    }
+    return -1;
+}
+
+static int
+k_dres_true(KernelObject *k)
+{
+    return PyObject_IsTrue(k->dres != NULL ? k->dres : Py_None);
+}
+
+/* find_and_move_forward(anchor, segm, sid[, checked_start][, cur]) */
+static int
+k_begin_famf(KernelObject *k, int checked, PyObject *cur)
+{
+    PyObject *sid_o = PyLong_FromLongLong(k->sid);
+    if (sid_o == NULL) {
+        return -1;
+    }
+    PyObject *g;
+    if (cur != NULL) {
+        g = PyObject_CallMethodObjArgs(k->list, s_famf, k->anchor, k->segm,
+                                       sid_o, Py_False, cur, NULL);
+    }
+    else if (checked) {
+        g = PyObject_CallMethodObjArgs(k->list, s_famf, k->anchor, k->segm,
+                                       sid_o, Py_True, NULL);
+    }
+    else {
+        g = PyObject_CallMethodObjArgs(k->list, s_famf, k->anchor, k->segm,
+                                       sid_o, NULL);
+    }
+    Py_DECREF(sid_o);
+    return deleg_begin(k, g);
+}
+
+/* _mark_closed_send_cell / _mark_cancelled_rcv_cell (segm, sid, i) */
+static int
+k_begin_mark(KernelObject *k, PyObject *meth_name)
+{
+    PyObject *sid_o = PyLong_FromLongLong(k->sid);
+    if (sid_o == NULL) {
+        return -1;
+    }
+    PyObject *ci_o = PyLong_FromLongLong(k->ci);
+    PyObject *g = NULL;
+    if (ci_o != NULL) {
+        g = PyObject_CallMethodObjArgs(k->chan, meth_name, k->segm, sid_o,
+                                       ci_o, NULL);
+    }
+    Py_DECREF(sid_o);
+    Py_XDECREF(ci_o);
+    return deleg_begin(k, g);
+}
+
+/* _park_sender / _park_receiver (w, segm, i) */
+static int
+k_begin_park(KernelObject *k, PyObject *meth_name)
+{
+    PyObject *ci_o = PyLong_FromLongLong(k->ci);
+    PyObject *g = NULL;
+    if (ci_o != NULL) {
+        g = PyObject_CallMethodObjArgs(k->chan, meth_name, k->waiter, k->segm,
+                                       ci_o, NULL);
+    }
+    Py_XDECREF(ci_o);
+    return deleg_begin(k, g);
+}
+
+/* _close_recheck_receiver(w, r) */
+static int
+k_begin_recheck(KernelObject *k)
+{
+    PyObject *r_o = PyLong_FromLongLong(k->idx);
+    PyObject *g = NULL;
+    if (r_o != NULL) {
+        g = PyObject_CallMethodObjArgs(k->chan, s_close_recheck, k->waiter,
+                                       r_o, NULL);
+    }
+    Py_XDECREF(r_o);
+    return deleg_begin(k, g);
+}
+
+/* segm.on_interrupted_cell() / state.try_unpark() */
+static int
+k_begin_meth0(KernelObject *k, PyObject *obj, PyObject *name)
+{
+    return deleg_begin(k, PyObject_CallMethodNoArgs(obj, name));
+}
+
+/* expand_buffer(kit) — always a Python delegate (DESIGN.md §14) */
+static int
+k_begin_expand(KernelObject *k)
+{
+    return deleg_begin(k, PyObject_CallMethodOneArg(k->chan, s_expand_buffer,
+                                                    k->kit));
+}
+
+/* FAAQueue._find_segment(anchor, seg_id, cur) */
+static int
+k_begin_findseg(KernelObject *k)
+{
+    PyObject *sid_o = PyLong_FromLongLong(k->sid);
+    PyObject *g = NULL;
+    if (sid_o != NULL) {
+        g = PyObject_CallMethodObjArgs(k->chan, s_find_segment, k->anchor,
+                                       sid_o, k->segm, NULL);
+    }
+    Py_XDECREF(sid_o);
+    return deleg_begin(k, g);
+}
+
+/* SenderWaiter.of(task) / ReceiverWaiter.of(task) — runs in Python so
+ * waiter-id allocation and task.current_waiter publication match. */
+static int
+k_make_waiter(KernelObject *k, PyObject *cls, PyObject *task)
+{
+    PyObject *w = PyObject_CallMethodOneArg(cls, s_of, task);
+    if (w == NULL) {
+        return -1;
+    }
+    Py_XSETREF(k->waiter, w);
+    return 0;
+}
+
+/* -- RendezvousChannel._send_fused, transcribed --------------------- */
+
+static PyObject *
+rz_send_step(KernelObject *k, PyObject *sv)
+{
+    PyObject *op = NULL;
+    int rc;
+    switch (k->pc) {
+    case 0:
+restart:
+        KY(1, k_read(k, k->anchor));
+    case 1:
+        KSET(segm, sv);
+        KY(2, Py_NewRef(k->op_faa));
+    case 2: {
+        if (as_i64(sv, &k->raw) < 0) {
+            goto fail;
+        }
+        if (kstat_inc(k, s_cells_processed) < 0) {
+            goto fail;
+        }
+        k->idx = KCOUNTER_OF(k->raw);
+        k->sid = k->idx / k->kseg;
+        k->ci = k->idx % k->kseg;
+        if (KIS_FLAGGED(k->raw)) {
+            if (k_begin_mark(k, s_mark_closed) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg3;
+        }
+        int64_t seg_id;
+        if (k_slot_i64(k->segm, S.sg_id, &seg_id) < 0) {
+            goto fail;
+        }
+        if (seg_id >= k->sid) {
+            PyObject *cnt_cell = slot_get(k->segm, S.sg_cnt);
+            if (cnt_cell == NULL) {
+                goto fail;
+            }
+            KY(4, k_read(k, cnt_cell));
+        }
+        if (k_begin_famf(k, 0, NULL) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg8;
+    }
+    case 3:
+deleg3:
+        KDELEG(3);
+        return kern_raise_closed(k, S.exc_closed_send);
+    case 4: {
+        int64_t cnt;
+        if (as_i64(sv, &cnt) < 0) {
+            goto fail;
+        }
+        if (cnt % (k->kseg + 1) == k->kseg && cnt / (k->kseg + 1) == 0) {
+            if (k_begin_famf(k, 1, NULL) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg5;
+        }
+        KY(6, k_read(k, k->anchor));
+    }
+    case 5:
+deleg5:
+        KDELEG(5);
+        KSET(segm, k->dres);
+        goto moved;
+    case 6: {
+        int64_t cur_id, seg_id;
+        if (k_slot_i64(sv, S.sg_id, &cur_id) < 0) {
+            goto fail;
+        }
+        if (k_slot_i64(k->segm, S.sg_id, &seg_id) < 0) {
+            goto fail;
+        }
+        if (cur_id < seg_id) {
+            if (k_begin_famf(k, 0, sv) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg7;
+        }
+        goto moved;
+    }
+    case 7:
+deleg7:
+        KDELEG(7);
+        KSET(segm, k->dres);
+        goto moved;
+    case 8:
+deleg8:
+        KDELEG(8);
+        KSET(segm, k->dres);
+moved: {
+        int64_t seg_id;
+        if (k_slot_i64(k->segm, S.sg_id, &seg_id) < 0) {
+            goto fail;
+        }
+        if (seg_id != k->sid) {
+            KY(9, k_cas_ii(k, k->ctr, k->raw + 1,
+                           (k->raw - k->idx) + seg_id * k->kseg));
+        }
+        PyObject *sc = kseg_cell(k->segm, S.sg_states, k->ci);
+        if (sc == NULL) {
+            goto fail;
+        }
+        KSET(state_cell, sc);
+        PyObject *ec = kseg_cell(k->segm, S.sg_elems, k->ci);
+        if (ec == NULL) {
+            goto fail;
+        }
+        KSET(elem_cell, ec);
+        KY(10, k_write(k, k->elem_cell, k->elem));
+    }
+    case 9:
+        if (kstat_inc(k, s_send_restarts) < 0) {
+            goto fail;
+        }
+        goto restart;
+    case 10:
+updcell:
+        KY(11, k_read(k, k->state_cell));
+    case 11:
+        KSET(state, sv);
+        KY(12, k_read(k, k->ctr2));
+    case 12: {
+        int64_t r_raw;
+        if (as_i64(sv, &r_raw) < 0) {
+            goto fail;
+        }
+        int64_t r = KCOUNTER_OF(r_raw);
+        if (k->state == Py_None && k->idx >= r) {
+            /* EMPTY and no receiver is coming => suspend. */
+            KY(13, Py_NewRef(S.cur_task_op));
+        }
+        rc = PyObject_IsInstance(k->state, S.cls_receiver);
+        if (rc < 0) {
+            goto fail;
+        }
+        if (rc) {
+            /* Waiting receiver => try to resume it. */
+            PyObject *wc = slot_get(k->state, S.w_state);
+            if (wc == NULL) {
+                goto fail;
+            }
+            KSET(wcell, wc);
+            KY(19, k_read(k, k->wcell));
+        }
+        if (k->state == Py_None) {
+            /* EMPTY but a receiver is incoming => eliminate. */
+            KY(26, k_cas(k, k->state_cell, Py_None, S.cs_buffered));
+        }
+        if (k->state == S.cs_int_rcv || k->state == S.cs_broken
+            || k->state == S.cs_cancelled) {
+            KY(27, k_write(k, k->elem_cell, Py_None));
+        }
+        return kern_impossible(k, "send");
+    }
+    case 13:
+        if (k_make_waiter(k, S.cls_sender, sv) < 0) {
+            goto fail;
+        }
+        KY(14, k_cas(k, k->state_cell, Py_None, k->waiter));
+    case 14:
+        if (sv == Py_True) {
+            if (k_begin_park(k, s_park_sender) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg15;
+        }
+        goto updcell;
+    case 15:
+deleg15:
+        KDELEG(15);
+        rc = k_dres_true(k);
+        if (rc < 0) {
+            goto fail;
+        }
+        k->outcome = rc ? KO_SUCCESS : KO_RESTART;
+        goto post;
+    case 19:
+        if (sv == S.ws_init) {
+            KY(20, k_cas(k, k->wcell, S.ws_init, S.ws_permit));
+        }
+        if (sv == S.ws_parked) {
+            KY(22, k_cas(k, k->wcell, S.ws_parked, S.ws_resumed));
+        }
+        k->ok = 0;
+        goto unparked;
+    case 20:
+        if (sv == Py_True) {
+            k->ok = 1;
+            goto unparked;
+        }
+        if (k_begin_meth0(k, k->state, s_try_unpark) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg21;
+    case 21:
+deleg21:
+        KDELEG(21);
+        rc = k_dres_true(k);
+        if (rc < 0) {
+            goto fail;
+        }
+        k->ok = rc;
+        goto unparked;
+    case 22:
+        if (sv == Py_True) {
+            PyObject *wt = slot_get(k->state, S.w_task);
+            if (wt == NULL) {
+                goto fail;
+            }
+            k->ok = 1;
+            KY(23, k_unpark(k, wt));
+        }
+        if (k_begin_meth0(k, k->state, s_try_unpark) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg24;
+    case 23:
+        goto unparked;
+    case 24:
+deleg24:
+        KDELEG(24);
+        rc = k_dres_true(k);
+        if (rc < 0) {
+            goto fail;
+        }
+        k->ok = rc;
+unparked:
+        if (k->ok) {
+            KY(25, k_write(k, k->state_cell, S.cs_done));
+        }
+        /* Interrupted receiver: clean our element, retry. */
+        KY(27, k_write(k, k->elem_cell, Py_None));
+    case 25:
+        k->outcome = KO_SUCCESS;
+        goto post;
+    case 26:
+        if (sv == Py_True) {
+            if (kstat_inc(k, s_eliminations) < 0) {
+                goto fail;
+            }
+            k->outcome = KO_SUCCESS;
+            goto post;
+        }
+        goto updcell;
+    case 27:
+        k->outcome = KO_RESTART;
+post:
+        if (k->outcome == KO_SUCCESS) {
+            PyObject *prev_cell = slot_get(k->segm, S.sg_prev);
+            if (prev_cell == NULL) {
+                goto fail;
+            }
+            KY(29, k_write(k, prev_cell, Py_None));
+        }
+        if (kstat_inc(k, s_send_restarts) < 0) {
+            goto fail;
+        }
+        goto restart;
+    case 29:
+        if (kstat_inc(k, s_sends) < 0) {
+            goto fail;
+        }
+        return kern_ret(k, NULL);
+    default:
+        break;
+    }
+    PyErr_SetString(PyExc_SystemError, "engine kernel: corrupt pc (rz_send)");
+fail:
+    kern_finalize(k);
+    return NULL;
+}
+
+/* -- RendezvousChannel._receive_fused, transcribed ------------------ */
+
+static PyObject *
+rz_recv_step(KernelObject *k, PyObject *sv)
+{
+    PyObject *op = NULL;
+    int rc;
+    switch (k->pc) {
+    case 0:
+restart:
+        KY(1, k_read(k, k->anchor));
+    case 1:
+        KSET(segm, sv);
+        KY(2, Py_NewRef(k->op_faa));
+    case 2: {
+        if (as_i64(sv, &k->raw) < 0) {
+            goto fail;
+        }
+        if (kstat_inc(k, s_cells_processed) < 0) {
+            goto fail;
+        }
+        k->idx = KCOUNTER_OF(k->raw);
+        k->sid = k->idx / k->kseg;
+        k->ci = k->idx % k->kseg;
+        if (KIS_FLAGGED(k->raw)) { /* the channel was cancelled */
+            if (k_begin_mark(k, s_mark_cancelled) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg3;
+        }
+        int64_t seg_id;
+        if (k_slot_i64(k->segm, S.sg_id, &seg_id) < 0) {
+            goto fail;
+        }
+        if (seg_id >= k->sid) {
+            PyObject *cnt_cell = slot_get(k->segm, S.sg_cnt);
+            if (cnt_cell == NULL) {
+                goto fail;
+            }
+            KY(4, k_read(k, cnt_cell));
+        }
+        if (k_begin_famf(k, 0, NULL) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg8;
+    }
+    case 3:
+deleg3:
+        KDELEG(3);
+        return kern_raise_closed(k, S.exc_closed_recv);
+    case 4: {
+        int64_t cnt;
+        if (as_i64(sv, &cnt) < 0) {
+            goto fail;
+        }
+        if (cnt % (k->kseg + 1) == k->kseg && cnt / (k->kseg + 1) == 0) {
+            if (k_begin_famf(k, 1, NULL) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg5;
+        }
+        KY(6, k_read(k, k->anchor));
+    }
+    case 5:
+deleg5:
+        KDELEG(5);
+        KSET(segm, k->dres);
+        goto moved;
+    case 6: {
+        int64_t cur_id, seg_id;
+        if (k_slot_i64(sv, S.sg_id, &cur_id) < 0) {
+            goto fail;
+        }
+        if (k_slot_i64(k->segm, S.sg_id, &seg_id) < 0) {
+            goto fail;
+        }
+        if (cur_id < seg_id) {
+            if (k_begin_famf(k, 0, sv) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg7;
+        }
+        goto moved;
+    }
+    case 7:
+deleg7:
+        KDELEG(7);
+        KSET(segm, k->dres);
+        goto moved;
+    case 8:
+deleg8:
+        KDELEG(8);
+        KSET(segm, k->dres);
+moved: {
+        int64_t seg_id;
+        if (k_slot_i64(k->segm, S.sg_id, &seg_id) < 0) {
+            goto fail;
+        }
+        if (seg_id != k->sid) {
+            KY(9, k_cas_ii(k, k->ctr, k->raw + 1,
+                           (k->raw - k->idx) + seg_id * k->kseg));
+        }
+        PyObject *sc = kseg_cell(k->segm, S.sg_states, k->ci);
+        if (sc == NULL) {
+            goto fail;
+        }
+        KSET(state_cell, sc);
+        goto updcell;
+    }
+    case 9:
+        if (kstat_inc(k, s_rcv_restarts) < 0) {
+            goto fail;
+        }
+        goto restart;
+updcell:
+        KY(11, k_read(k, k->state_cell));
+    case 11:
+        KSET(state, sv);
+        KY(12, k_read(k, k->ctr2));
+    case 12: {
+        int64_t s_raw;
+        if (as_i64(sv, &s_raw) < 0) {
+            goto fail;
+        }
+        int64_t s = KCOUNTER_OF(s_raw);
+        if (k->state == Py_None && k->idx >= s) {
+            /* EMPTY and no sender is coming => suspend (or give up). */
+            if (KIS_FLAGGED(s_raw)) {
+                /* Closed and drained: S can never cover r. */
+                KY(13, k_cas(k, k->state_cell, Py_None, S.cs_int_rcv));
+            }
+            KY(15, Py_NewRef(S.cur_task_op));
+        }
+        rc = PyObject_IsInstance(k->state, S.cls_sender);
+        if (rc < 0) {
+            goto fail;
+        }
+        if (rc) {
+            /* Waiting sender => try to resume it. */
+            PyObject *wc = slot_get(k->state, S.w_state);
+            if (wc == NULL) {
+                goto fail;
+            }
+            KSET(wcell, wc);
+            KY(19, k_read(k, k->wcell));
+        }
+        if (k->state == Py_None) {
+            /* A sender is incoming => poison the cell. */
+            KY(26, k_cas(k, k->state_cell, Py_None, S.cs_broken));
+        }
+        if (k->state == S.cs_buffered) {
+            k->outcome = KO_SUCCESS; /* the sender eliminated */
+            goto post;
+        }
+        if (k->state == S.cs_int_send || k->state == S.cs_cancelled) {
+            k->outcome = KO_RESTART;
+            goto post;
+        }
+        return kern_impossible(k, "receive");
+    }
+    case 13:
+        if (sv == Py_True) {
+            if (k_begin_meth0(k, k->segm, s_on_interrupted) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg14;
+        }
+        goto updcell;
+    case 14:
+deleg14:
+        KDELEG(14);
+        k->outcome = KO_CLOSED;
+        goto post;
+    case 15:
+        if (k_make_waiter(k, S.cls_receiver, sv) < 0) {
+            goto fail;
+        }
+        KY(16, k_cas(k, k->state_cell, Py_None, k->waiter));
+    case 16:
+        if (sv == Py_True) {
+            if (k_begin_recheck(k) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg17;
+        }
+        goto updcell;
+    case 17:
+deleg17:
+        KDELEG(17);
+        if (k_begin_park(k, s_park_receiver) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg18;
+    case 18:
+deleg18:
+        KDELEG(18);
+        rc = k_dres_true(k);
+        if (rc < 0) {
+            goto fail;
+        }
+        k->outcome = rc ? KO_SUCCESS : KO_RESTART;
+        goto post;
+    case 19:
+        if (sv == S.ws_init) {
+            KY(20, k_cas(k, k->wcell, S.ws_init, S.ws_permit));
+        }
+        if (sv == S.ws_parked) {
+            KY(22, k_cas(k, k->wcell, S.ws_parked, S.ws_resumed));
+        }
+        k->ok = 0;
+        goto unparked;
+    case 20:
+        if (sv == Py_True) {
+            k->ok = 1;
+            goto unparked;
+        }
+        if (k_begin_meth0(k, k->state, s_try_unpark) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg21;
+    case 21:
+deleg21:
+        KDELEG(21);
+        rc = k_dres_true(k);
+        if (rc < 0) {
+            goto fail;
+        }
+        k->ok = rc;
+        goto unparked;
+    case 22:
+        if (sv == Py_True) {
+            PyObject *wt = slot_get(k->state, S.w_task);
+            if (wt == NULL) {
+                goto fail;
+            }
+            k->ok = 1;
+            KY(23, k_unpark(k, wt));
+        }
+        if (k_begin_meth0(k, k->state, s_try_unpark) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg24;
+    case 23:
+        goto unparked;
+    case 24:
+deleg24:
+        KDELEG(24);
+        rc = k_dres_true(k);
+        if (rc < 0) {
+            goto fail;
+        }
+        k->ok = rc;
+unparked:
+        if (k->ok) {
+            KY(25, k_write(k, k->state_cell, S.cs_done));
+        }
+        k->outcome = KO_RESTART; /* its handler cleans the cell */
+        goto post;
+    case 25:
+        k->outcome = KO_SUCCESS;
+        goto post;
+    case 26:
+        if (sv == Py_True) {
+            if (kstat_inc(k, s_poisoned) < 0) {
+                goto fail;
+            }
+            k->outcome = KO_RESTART;
+            goto post;
+        }
+        goto updcell;
+post:
+        if (k->outcome == KO_SUCCESS) {
+            /* Claim the element atomically vs. a racing cancel(). */
+            PyObject *ec = kseg_cell(k->segm, S.sg_elems, k->ci);
+            if (ec == NULL) {
+                goto fail;
+            }
+            KY(27, k_gas(k, ec, Py_None));
+        }
+        if (k->outcome == KO_CLOSED) {
+            return kern_raise_closed(k, S.exc_closed_recv);
+        }
+        if (kstat_inc(k, s_rcv_restarts) < 0) {
+            goto fail;
+        }
+        goto restart;
+    case 27: {
+        KSET(elem, sv);
+        PyObject *prev_cell = slot_get(k->segm, S.sg_prev);
+        if (prev_cell == NULL) {
+            goto fail;
+        }
+        KY(28, k_write(k, prev_cell, Py_None));
+    }
+    case 28:
+        if (k->elem == Py_None) {
+            return kern_raise_closed(k, S.exc_closed_recv); /* lost to cancel() */
+        }
+        if (kstat_inc(k, s_receives) < 0) {
+            goto fail;
+        }
+        return kern_ret(k, k->elem);
+    default:
+        break;
+    }
+    PyErr_SetString(PyExc_SystemError, "engine kernel: corrupt pc (rz_recv)");
+fail:
+    kern_finalize(k);
+    return NULL;
+}
+
+/* -- BufferedChannel._send_fused, transcribed ----------------------- */
+
+static PyObject *
+buf_send_step(KernelObject *k, PyObject *sv)
+{
+    PyObject *op = NULL;
+    int rc;
+    switch (k->pc) {
+    case 0:
+restart:
+        KY(1, k_read(k, k->anchor));
+    case 1:
+        KSET(segm, sv);
+        KY(2, Py_NewRef(k->op_faa));
+    case 2: {
+        if (as_i64(sv, &k->raw) < 0) {
+            goto fail;
+        }
+        if (kstat_inc(k, s_cells_processed) < 0) {
+            goto fail;
+        }
+        k->idx = KCOUNTER_OF(k->raw);
+        k->sid = k->idx / k->kseg;
+        k->ci = k->idx % k->kseg;
+        if (KIS_FLAGGED(k->raw)) {
+            if (k_begin_mark(k, s_mark_closed) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg3;
+        }
+        int64_t seg_id;
+        if (k_slot_i64(k->segm, S.sg_id, &seg_id) < 0) {
+            goto fail;
+        }
+        if (seg_id >= k->sid) {
+            PyObject *cnt_cell = slot_get(k->segm, S.sg_cnt);
+            if (cnt_cell == NULL) {
+                goto fail;
+            }
+            KY(4, k_read(k, cnt_cell));
+        }
+        if (k_begin_famf(k, 0, NULL) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg8;
+    }
+    case 3:
+deleg3:
+        KDELEG(3);
+        return kern_raise_closed(k, S.exc_closed_send);
+    case 4: {
+        int64_t cnt;
+        if (as_i64(sv, &cnt) < 0) {
+            goto fail;
+        }
+        if (cnt % (k->kseg + 1) == k->kseg && cnt / (k->kseg + 1) == 0) {
+            if (k_begin_famf(k, 1, NULL) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg5;
+        }
+        KY(6, k_read(k, k->anchor));
+    }
+    case 5:
+deleg5:
+        KDELEG(5);
+        KSET(segm, k->dres);
+        goto moved;
+    case 6: {
+        int64_t cur_id, seg_id;
+        if (k_slot_i64(sv, S.sg_id, &cur_id) < 0) {
+            goto fail;
+        }
+        if (k_slot_i64(k->segm, S.sg_id, &seg_id) < 0) {
+            goto fail;
+        }
+        if (cur_id < seg_id) {
+            if (k_begin_famf(k, 0, sv) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg7;
+        }
+        goto moved;
+    }
+    case 7:
+deleg7:
+        KDELEG(7);
+        KSET(segm, k->dres);
+        goto moved;
+    case 8:
+deleg8:
+        KDELEG(8);
+        KSET(segm, k->dres);
+moved: {
+        int64_t seg_id;
+        if (k_slot_i64(k->segm, S.sg_id, &seg_id) < 0) {
+            goto fail;
+        }
+        if (seg_id != k->sid) {
+            KY(9, k_cas_ii(k, k->ctr, k->raw + 1,
+                           (k->raw - k->idx) + seg_id * k->kseg));
+        }
+        PyObject *sc = kseg_cell(k->segm, S.sg_states, k->ci);
+        if (sc == NULL) {
+            goto fail;
+        }
+        KSET(state_cell, sc);
+        PyObject *ec = kseg_cell(k->segm, S.sg_elems, k->ci);
+        if (ec == NULL) {
+            goto fail;
+        }
+        KSET(elem_cell, ec);
+        KY(10, k_write(k, k->elem_cell, k->elem));
+    }
+    case 9:
+        if (kstat_inc(k, s_send_restarts) < 0) {
+            goto fail;
+        }
+        goto restart;
+    case 10:
+updcell:
+        KY(11, k_read(k, k->state_cell));
+    case 11:
+        KSET(state, sv);
+        KY(12, k_read(k, k->ctr2));
+    case 12: {
+        int64_t r_raw;
+        if (as_i64(sv, &r_raw) < 0) {
+            goto fail;
+        }
+        k->aux = KCOUNTER_OF(r_raw); /* r, carried across the B read */
+        KY(13, k_read(k, k->bcell));
+    }
+    case 13: {
+        int64_t b;
+        if (as_i64(sv, &b) < 0) {
+            goto fail;
+        }
+        int64_t r = k->aux;
+        if ((k->state == Py_None && (k->idx < r || k->idx < b))
+            || k->state == S.cs_in_buffer) {
+            /* In the buffer, or a receiver is incoming: deposit. */
+            KY(14, k_cas(k, k->state_cell, k->state, S.cs_buffered));
+        }
+        if (k->state == Py_None && k->idx >= b && k->idx >= r) {
+            /* EMPTY, outside the buffer, no receiver. */
+            KY(15, Py_NewRef(S.cur_task_op));
+        }
+        rc = PyObject_IsInstance(k->state, S.cls_receiver);
+        if (rc < 0) {
+            goto fail;
+        }
+        if (rc) {
+            /* Waiting receiver => rendezvous. */
+            PyObject *wc = slot_get(k->state, S.w_state);
+            if (wc == NULL) {
+                goto fail;
+            }
+            KSET(wcell, wc);
+            KY(19, k_read(k, k->wcell));
+        }
+        if (k->state == S.cs_int_rcv || k->state == S.cs_broken
+            || k->state == S.cs_cancelled) {
+            KY(27, k_write(k, k->elem_cell, Py_None));
+        }
+        return kern_impossible(k, "send");
+    }
+    case 14:
+        if (sv == Py_True) {
+            k->outcome = KO_SUCCESS;
+            goto post;
+        }
+        goto updcell;
+    case 15:
+        if (k_make_waiter(k, S.cls_sender, sv) < 0) {
+            goto fail;
+        }
+        KY(16, k_cas(k, k->state_cell, Py_None, k->waiter));
+    case 16:
+        if (sv == Py_True) {
+            if (k_begin_park(k, s_park_sender) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg17;
+        }
+        goto updcell;
+    case 17:
+deleg17:
+        KDELEG(17);
+        rc = k_dres_true(k);
+        if (rc < 0) {
+            goto fail;
+        }
+        k->outcome = rc ? KO_SUCCESS : KO_RESTART;
+        goto post;
+    case 19:
+        if (sv == S.ws_init) {
+            KY(20, k_cas(k, k->wcell, S.ws_init, S.ws_permit));
+        }
+        if (sv == S.ws_parked) {
+            KY(22, k_cas(k, k->wcell, S.ws_parked, S.ws_resumed));
+        }
+        k->ok = 0;
+        goto unparked;
+    case 20:
+        if (sv == Py_True) {
+            k->ok = 1;
+            goto unparked;
+        }
+        if (k_begin_meth0(k, k->state, s_try_unpark) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg21;
+    case 21:
+deleg21:
+        KDELEG(21);
+        rc = k_dres_true(k);
+        if (rc < 0) {
+            goto fail;
+        }
+        k->ok = rc;
+        goto unparked;
+    case 22:
+        if (sv == Py_True) {
+            PyObject *wt = slot_get(k->state, S.w_task);
+            if (wt == NULL) {
+                goto fail;
+            }
+            k->ok = 1;
+            KY(23, k_unpark(k, wt));
+        }
+        if (k_begin_meth0(k, k->state, s_try_unpark) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg24;
+    case 23:
+        goto unparked;
+    case 24:
+deleg24:
+        KDELEG(24);
+        rc = k_dres_true(k);
+        if (rc < 0) {
+            goto fail;
+        }
+        k->ok = rc;
+unparked:
+        if (k->ok) {
+            KY(25, k_write(k, k->state_cell, S.cs_done_rcv));
+        }
+        KY(27, k_write(k, k->elem_cell, Py_None));
+    case 25:
+        k->outcome = KO_SUCCESS;
+        goto post;
+    case 27:
+        k->outcome = KO_RESTART;
+post:
+        if (k->outcome == KO_SUCCESS) {
+            PyObject *prev_cell = slot_get(k->segm, S.sg_prev);
+            if (prev_cell == NULL) {
+                goto fail;
+            }
+            KY(29, k_write(k, prev_cell, Py_None));
+        }
+        if (kstat_inc(k, s_send_restarts) < 0) {
+            goto fail;
+        }
+        goto restart;
+    case 29:
+        if (kstat_inc(k, s_sends) < 0) {
+            goto fail;
+        }
+        return kern_ret(k, NULL);
+    default:
+        break;
+    }
+    PyErr_SetString(PyExc_SystemError, "engine kernel: corrupt pc (buf_send)");
+fail:
+    kern_finalize(k);
+    return NULL;
+}
+
+/* -- BufferedChannel._receive_fused, transcribed -------------------- */
+
+static PyObject *
+buf_recv_step(KernelObject *k, PyObject *sv)
+{
+    PyObject *op = NULL;
+    int rc;
+    switch (k->pc) {
+    case 0:
+restart:
+        KY(1, k_read(k, k->anchor));
+    case 1:
+        KSET(segm, sv);
+        KY(2, Py_NewRef(k->op_faa));
+    case 2: {
+        if (as_i64(sv, &k->raw) < 0) {
+            goto fail;
+        }
+        if (kstat_inc(k, s_cells_processed) < 0) {
+            goto fail;
+        }
+        k->idx = KCOUNTER_OF(k->raw);
+        k->sid = k->idx / k->kseg;
+        k->ci = k->idx % k->kseg;
+        if (KIS_FLAGGED(k->raw)) { /* the channel was cancelled */
+            if (k_begin_mark(k, s_mark_cancelled) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg3;
+        }
+        int64_t seg_id;
+        if (k_slot_i64(k->segm, S.sg_id, &seg_id) < 0) {
+            goto fail;
+        }
+        if (seg_id >= k->sid) {
+            PyObject *cnt_cell = slot_get(k->segm, S.sg_cnt);
+            if (cnt_cell == NULL) {
+                goto fail;
+            }
+            KY(4, k_read(k, cnt_cell));
+        }
+        if (k_begin_famf(k, 0, NULL) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg8;
+    }
+    case 3:
+deleg3:
+        KDELEG(3);
+        return kern_raise_closed(k, S.exc_closed_recv);
+    case 4: {
+        int64_t cnt;
+        if (as_i64(sv, &cnt) < 0) {
+            goto fail;
+        }
+        if (cnt % (k->kseg + 1) == k->kseg && cnt / (k->kseg + 1) == 0) {
+            if (k_begin_famf(k, 1, NULL) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg5;
+        }
+        KY(6, k_read(k, k->anchor));
+    }
+    case 5:
+deleg5:
+        KDELEG(5);
+        KSET(segm, k->dres);
+        goto moved;
+    case 6: {
+        int64_t cur_id, seg_id;
+        if (k_slot_i64(sv, S.sg_id, &cur_id) < 0) {
+            goto fail;
+        }
+        if (k_slot_i64(k->segm, S.sg_id, &seg_id) < 0) {
+            goto fail;
+        }
+        if (cur_id < seg_id) {
+            if (k_begin_famf(k, 0, sv) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg7;
+        }
+        goto moved;
+    }
+    case 7:
+deleg7:
+        KDELEG(7);
+        KSET(segm, k->dres);
+        goto moved;
+    case 8:
+deleg8:
+        KDELEG(8);
+        KSET(segm, k->dres);
+moved: {
+        int64_t seg_id;
+        if (k_slot_i64(k->segm, S.sg_id, &seg_id) < 0) {
+            goto fail;
+        }
+        if (seg_id != k->sid) {
+            KY(9, k_cas_ii(k, k->ctr, k->raw + 1,
+                           (k->raw - k->idx) + seg_id * k->kseg));
+        }
+        PyObject *sc = kseg_cell(k->segm, S.sg_states, k->ci);
+        if (sc == NULL) {
+            goto fail;
+        }
+        KSET(state_cell, sc);
+        goto updcell;
+    }
+    case 9:
+        if (kstat_inc(k, s_rcv_restarts) < 0) {
+            goto fail;
+        }
+        goto restart;
+updcell:
+        KY(11, k_read(k, k->state_cell));
+    case 11:
+        KSET(state, sv);
+        KY(12, k_read(k, k->ctr2));
+    case 12: {
+        int64_t s_raw;
+        if (as_i64(sv, &s_raw) < 0) {
+            goto fail;
+        }
+        int64_t s = KCOUNTER_OF(s_raw);
+        int emptyish = (k->state == Py_None || k->state == S.cs_in_buffer);
+        if (emptyish && k->idx >= s) {
+            /* EMPTY (or pre-marked buffer cell), no sender. */
+            if (KIS_FLAGGED(s_raw)) {
+                /* Closed and drained. */
+                KY(13, k_cas(k, k->state_cell, k->state, S.cs_int_rcv));
+            }
+            KY(15, Py_NewRef(S.cur_task_op));
+        }
+        if (emptyish) {
+            /* A sender is incoming => poison the cell. */
+            KY(26, k_cas(k, k->state_cell, k->state, S.cs_broken));
+        }
+        if (k->state == S.cs_buffered) {
+            if (k_begin_expand(k) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg25;
+        }
+        if (k->state == S.cs_int_send) {
+            k->outcome = KO_RESTART; /* expandBuffer owns the accounting */
+            goto post;
+        }
+        if (k->state == S.cs_cancelled) {
+            k->outcome = KO_RESTART;
+            goto post;
+        }
+        rc = PyObject_IsInstance(k->state, S.cls_sender);
+        if (rc < 0) {
+            goto fail;
+        }
+        if (rc) {
+            /* Suspended sender: help via the S_RESUMING_RCV lock. */
+            KY(30, k_cas(k, k->state_cell, k->state, S.cs_sr_rcv));
+        }
+        if (k->state == S.cs_sr_eb) {
+            /* expandBuffer is resuming the sender => wait. */
+            KY(34, Py_NewRef(k->op_spin));
+        }
+        return kern_impossible(k, "receive");
+    }
+    case 13:
+        if (sv == Py_True) {
+            if (k_begin_meth0(k, k->segm, s_on_interrupted) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg14;
+        }
+        goto updcell;
+    case 14:
+deleg14:
+        KDELEG(14);
+        if (k_begin_expand(k) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg22;
+    case 15:
+        if (k_make_waiter(k, S.cls_receiver, sv) < 0) {
+            goto fail;
+        }
+        KY(16, k_cas(k, k->state_cell, k->state, k->waiter));
+    case 16:
+        if (sv == Py_True) {
+            /* Restore the consumed capacity *before* suspending. */
+            if (k_begin_expand(k) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg17;
+        }
+        goto updcell;
+    case 17:
+deleg17:
+        KDELEG(17);
+        if (k_begin_recheck(k) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg18;
+    case 18:
+deleg18:
+        KDELEG(18);
+        if (k_begin_park(k, s_park_receiver) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg19;
+    case 19:
+deleg19:
+        KDELEG(19);
+        rc = k_dres_true(k);
+        if (rc < 0) {
+            goto fail;
+        }
+        k->outcome = rc ? KO_SUCCESS : KO_RESTART;
+        goto post;
+    case 22:
+deleg22:
+        KDELEG(22);
+        k->outcome = KO_CLOSED;
+        goto post;
+    case 25:
+deleg25:
+        KDELEG(25);
+        k->outcome = KO_SUCCESS;
+        goto post;
+    case 26:
+        if (sv == Py_True) {
+            if (kstat_inc(k, s_poisoned) < 0) {
+                goto fail;
+            }
+            if (k_begin_expand(k) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg27;
+        }
+        goto updcell;
+    case 27:
+deleg27:
+        KDELEG(27);
+        k->outcome = KO_RESTART;
+        goto post;
+    case 30:
+        if (sv == Py_True) {
+            if (k_begin_meth0(k, k->state, s_try_unpark) < 0) {
+                goto fail;
+            }
+            sv = NULL;
+            goto deleg31;
+        }
+        goto updcell;
+    case 31:
+deleg31:
+        KDELEG(31);
+        rc = k_dres_true(k);
+        if (rc < 0) {
+            goto fail;
+        }
+        if (rc) {
+            KY(32, k_write(k, k->state_cell, S.cs_buffered));
+        }
+        KY(33, k_write(k, k->state_cell, S.cs_int_send));
+    case 32:
+        goto updcell;
+    case 33:
+        goto updcell;
+    case 34:
+        goto updcell;
+post:
+        if (k->outcome == KO_SUCCESS) {
+            /* Claim the element atomically vs. a racing cancel(). */
+            PyObject *ec = kseg_cell(k->segm, S.sg_elems, k->ci);
+            if (ec == NULL) {
+                goto fail;
+            }
+            KY(36, k_gas(k, ec, Py_None));
+        }
+        if (k->outcome == KO_CLOSED) {
+            return kern_raise_closed(k, S.exc_closed_recv);
+        }
+        if (kstat_inc(k, s_rcv_restarts) < 0) {
+            goto fail;
+        }
+        goto restart;
+    case 36: {
+        KSET(elem, sv);
+        PyObject *prev_cell = slot_get(k->segm, S.sg_prev);
+        if (prev_cell == NULL) {
+            goto fail;
+        }
+        KY(37, k_write(k, prev_cell, Py_None));
+    }
+    case 37:
+        if (k->elem == Py_None) {
+            return kern_raise_closed(k, S.exc_closed_recv); /* lost to cancel() */
+        }
+        if (kstat_inc(k, s_receives) < 0) {
+            goto fail;
+        }
+        return kern_ret(k, k->elem);
+    default:
+        break;
+    }
+    PyErr_SetString(PyExc_SystemError, "engine kernel: corrupt pc (buf_recv)");
+fail:
+    kern_finalize(k);
+    return NULL;
+}
+
+/* -- FAAQueue._enqueue_fused / _dequeue_fused, transcribed ---------- */
+
+static PyObject *
+faaq_enq_step(KernelObject *k, PyObject *sv)
+{
+    PyObject *op = NULL;
+    switch (k->pc) {
+    case 0:
+restart:
+        KY(1, Py_NewRef(k->op_faa));
+    case 1:
+        if (as_i64(sv, &k->idx) < 0) {
+            goto fail;
+        }
+        k->sid = k->idx / k->kseg;
+        k->ci = k->idx % k->kseg;
+        KY(2, k_read(k, k->anchor));
+    case 2: {
+        /* Inlined _find_segment fast case: tail already covers us. */
+        KSET(segm, sv);
+        int64_t cur_id;
+        if (k_slot_i64(k->segm, S.qs_id, &cur_id) < 0) {
+            goto fail;
+        }
+        if (cur_id == k->sid) {
+            KY(3, k_read(k, k->anchor));
+        }
+        if (k_begin_findseg(k) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg5;
+    }
+    case 3: {
+        int64_t seen_id, cur_id;
+        if (k_slot_i64(sv, S.qs_id, &seen_id) < 0) {
+            goto fail;
+        }
+        if (k_slot_i64(k->segm, S.qs_id, &cur_id) < 0) {
+            goto fail;
+        }
+        if (seen_id < cur_id) {
+            KY(4, k_cas(k, k->anchor, sv, k->segm));
+        }
+        goto gotseg;
+    }
+    case 4:
+        goto gotseg;
+    case 5:
+deleg5:
+        KDELEG(5);
+        KSET(segm, k->dres);
+gotseg: {
+        PyObject *cell = kseg_cell(k->segm, S.qs_cells, k->ci);
+        if (cell == NULL) {
+            goto fail;
+        }
+        KY(6, k_cas(k, cell, Py_None, k->elem));
+    }
+    case 6:
+        if (sv == Py_True) {
+            return kern_ret(k, NULL);
+        }
+        /* The cell was poisoned by a hasty dequeuer; take the next one. */
+        goto restart;
+    default:
+        break;
+    }
+    PyErr_SetString(PyExc_SystemError, "engine kernel: corrupt pc (faaq_enq)");
+fail:
+    kern_finalize(k);
+    return NULL;
+}
+
+static PyObject *
+faaq_deq_step(KernelObject *k, PyObject *sv)
+{
+    PyObject *op = NULL;
+    switch (k->pc) {
+    case 0:
+restart:
+        KY(1, k_read(k, k->ctr));
+    case 1:
+        if (as_i64(sv, &k->raw) < 0) { /* deq */
+            goto fail;
+        }
+        KY(2, k_read(k, k->ctr2));
+    case 2: {
+        int64_t enq;
+        if (as_i64(sv, &enq) < 0) {
+            goto fail;
+        }
+        if (k->raw >= enq) {
+            return kern_ret(k, NULL); /* observed empty */
+        }
+        KY(3, Py_NewRef(k->op_faa));
+    }
+    case 3:
+        if (as_i64(sv, &k->idx) < 0) {
+            goto fail;
+        }
+        k->sid = k->idx / k->kseg;
+        k->ci = k->idx % k->kseg;
+        KY(4, k_read(k, k->anchor));
+    case 4: {
+        /* Inlined _find_segment fast case (see enqueue). */
+        KSET(segm, sv);
+        int64_t cur_id;
+        if (k_slot_i64(k->segm, S.qs_id, &cur_id) < 0) {
+            goto fail;
+        }
+        if (cur_id == k->sid) {
+            KY(5, k_read(k, k->anchor));
+        }
+        if (k_begin_findseg(k) < 0) {
+            goto fail;
+        }
+        sv = NULL;
+        goto deleg7;
+    }
+    case 5: {
+        int64_t seen_id, cur_id;
+        if (k_slot_i64(sv, S.qs_id, &seen_id) < 0) {
+            goto fail;
+        }
+        if (k_slot_i64(k->segm, S.qs_id, &cur_id) < 0) {
+            goto fail;
+        }
+        if (seen_id < cur_id) {
+            KY(6, k_cas(k, k->anchor, sv, k->segm));
+        }
+        goto gotseg;
+    }
+    case 6:
+        goto gotseg;
+    case 7:
+deleg7:
+        KDELEG(7);
+        KSET(segm, k->dres);
+gotseg: {
+        PyObject *cell = kseg_cell(k->segm, S.qs_cells, k->ci);
+        if (cell == NULL) {
+            goto fail;
+        }
+        KY(8, k_gas(k, cell, S.faaq_broken));
+    }
+    case 8:
+        if (sv != Py_None) {
+            return kern_ret(k, sv);
+        }
+        /* Poisoned an empty cell; its enqueuer will skip it. */
+        goto restart;
+    default:
+        break;
+    }
+    PyErr_SetString(PyExc_SystemError, "engine kernel: corrupt pc (faaq_deq)");
+fail:
+    kern_finalize(k);
+    return NULL;
+}
+
+/* -- generator protocol over the machines --------------------------- */
+
+static PyObject *
+kern_resume(KernelObject *k, PyObject *sv)
+{
+    if (k->done) {
+        PyErr_SetNone(PyExc_StopIteration);
+        return NULL;
+    }
+    switch (k->kind) {
+    case K_RZ_SEND:
+        return rz_send_step(k, sv);
+    case K_RZ_RECV:
+        return rz_recv_step(k, sv);
+    case K_BUF_SEND:
+        return buf_send_step(k, sv);
+    case K_BUF_RECV:
+        return buf_recv_step(k, sv);
+    case K_FAAQ_ENQ:
+        return faaq_enq_step(k, sv);
+    case K_FAAQ_DEQ:
+        return faaq_deq_step(k, sv);
+    default:
+        PyErr_SetString(PyExc_SystemError, "engine kernel: unknown kind");
+        return NULL;
+    }
+}
+
+static PyObject *
+kern_next(PyObject *self)
+{
+    return kern_resume((KernelObject *)self, Py_None);
+}
+
+static PyObject *
+kern_send_meth(PyObject *self, PyObject *value)
+{
+    return kern_resume((KernelObject *)self, value);
+}
+
+/* throw(typ[, val[, tb]]) — the yield-from forwarding contract. */
+static PyObject *
+kern_throw(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    KernelObject *k = (KernelObject *)self;
+    if (nargs < 1 || nargs > 3) {
+        PyErr_SetString(PyExc_TypeError, "throw() takes 1-3 arguments");
+        return NULL;
+    }
+    PyObject *typ = args[0];
+    PyObject *val = nargs > 1 ? args[1] : NULL;
+    PyObject *tb = nargs > 2 ? args[2] : NULL;
+    if (tb == Py_None) {
+        tb = NULL;
+    }
+    if (!k->done && k->deleg != NULL
+        && !PyErr_GivenExceptionMatches(typ, PyExc_GeneratorExit)) {
+        /* Forward into the active delegate, exactly as the suspended
+         * ``yield from`` would. */
+        PyObject *res = PyObject_CallMethodObjArgs(k->deleg, s_throw, typ,
+                                                   val, tb, NULL);
+        if (res != NULL) {
+            return res; /* the delegate yielded again; pc is unchanged */
+        }
+        PyObject *sval;
+        if (k_fetch_stop(&sval)) {
+            /* The delegate caught the throw and returned (e.g. a parked
+             * waiter turning RetryWakeup into False): continue the
+             * machine after the delegation point. */
+            Py_CLEAR(k->deleg);
+            Py_XSETREF(k->dres, sval);
+            return kern_resume(k, NULL);
+        }
+        kern_finalize(k);
+        return NULL;
+    }
+    if (!k->done && k->deleg != NULL) {
+        /* GeneratorExit: close the delegate, then unwind ourselves. */
+        PyObject *r = PyObject_CallMethodNoArgs(k->deleg, s_close);
+        if (r == NULL) {
+            kern_finalize(k);
+            return NULL;
+        }
+        Py_DECREF(r);
+    }
+    kern_finalize(k);
+    if (PyExceptionClass_Check(typ)) {
+        PyErr_SetObject(typ, val);
+    }
+    else if (PyExceptionInstance_Check(typ)) {
+        if (val != NULL && val != Py_None) {
+            PyErr_SetString(PyExc_TypeError,
+                            "instance exception may not have a separate value");
+            return NULL;
+        }
+        PyErr_SetObject((PyObject *)Py_TYPE(typ), typ);
+    }
+    else {
+        PyErr_SetString(PyExc_TypeError,
+                        "exceptions must be classes or instances deriving "
+                        "from BaseException");
+        return NULL;
+    }
+    return NULL;
+}
+
+static PyObject *
+kern_close_meth(PyObject *self, PyObject *noargs)
+{
+    (void)noargs;
+    KernelObject *k = (KernelObject *)self;
+    if (k->deleg != NULL) {
+        PyObject *r = PyObject_CallMethodNoArgs(k->deleg, s_close);
+        if (r == NULL) {
+            kern_finalize(k);
+            return NULL;
+        }
+        Py_DECREF(r);
+    }
+    kern_finalize(k);
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef kern_methods[] = {
+    {"send", kern_send_meth, METH_O,
+     "Resume the kernel with a value; returns the next op."},
+    {"throw", (PyCFunction)(void (*)(void))kern_throw, METH_FASTCALL,
+     "Raise an exception at the kernel's suspension point."},
+    {"close", kern_close_meth, METH_NOARGS,
+     "Unwind the kernel (releases its kit and delegate)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static int
+kern_traverse(KernelObject *k, visitproc visit, void *arg)
+{
+    Py_VISIT(k->chan);
+    Py_VISIT(k->elem);
+    Py_VISIT(k->list);
+    Py_VISIT(k->stats);
+    Py_VISIT(k->anchor);
+    Py_VISIT(k->ctr);
+    Py_VISIT(k->ctr2);
+    Py_VISIT(k->bcell);
+    Py_VISIT(k->segm);
+    Py_VISIT(k->state_cell);
+    Py_VISIT(k->elem_cell);
+    Py_VISIT(k->state);
+    Py_VISIT(k->wcell);
+    Py_VISIT(k->waiter);
+    Py_VISIT(k->kit);
+    Py_VISIT(k->deleg);
+    Py_VISIT(k->dres);
+    Py_VISIT(k->op_read);
+    Py_VISIT(k->op_write);
+    Py_VISIT(k->op_cas);
+    Py_VISIT(k->op_faa);
+    Py_VISIT(k->op_gas);
+    Py_VISIT(k->op_unpark);
+    Py_VISIT(k->op_spin);
+    return 0;
+}
+
+static int
+kern_clear(KernelObject *k)
+{
+    Py_CLEAR(k->chan);
+    Py_CLEAR(k->elem);
+    Py_CLEAR(k->list);
+    Py_CLEAR(k->stats);
+    Py_CLEAR(k->anchor);
+    Py_CLEAR(k->ctr);
+    Py_CLEAR(k->ctr2);
+    Py_CLEAR(k->bcell);
+    Py_CLEAR(k->segm);
+    Py_CLEAR(k->state_cell);
+    Py_CLEAR(k->elem_cell);
+    Py_CLEAR(k->state);
+    Py_CLEAR(k->wcell);
+    Py_CLEAR(k->waiter);
+    Py_CLEAR(k->kit);
+    Py_CLEAR(k->deleg);
+    Py_CLEAR(k->dres);
+    Py_CLEAR(k->op_read);
+    Py_CLEAR(k->op_write);
+    Py_CLEAR(k->op_cas);
+    Py_CLEAR(k->op_faa);
+    Py_CLEAR(k->op_gas);
+    Py_CLEAR(k->op_unpark);
+    Py_CLEAR(k->op_spin);
+    return 0;
+}
+
+static void
+kern_dealloc(KernelObject *k)
+{
+    PyObject_GC_UnTrack(k);
+    if (!k->done) {
+        /* Abandoned mid-operation (e.g. its worker was collected):
+         * run the finally-equivalent without clobbering an exception
+         * in flight. */
+        PyObject *t, *v, *tb;
+        PyErr_Fetch(&t, &v, &tb);
+        kern_finalize(k);
+        PyErr_Restore(t, v, tb);
+    }
+    /* kern_finalize (run above, or earlier at normal completion)
+     * already cleared every transient register; the channel-derived
+     * ones — chan/list/stats/anchor/ctr/ctr2/bcell plus kseg and the
+     * op presets — stay with a pooled kernel, so the next operation on
+     * the same channel skips refetching them (the cache check in
+     * kern_channel_new / kern_faaq_new, keyed on (kind, chan)). */
+    if (kern_pool_len < KERN_POOL_CAP && S.ready
+        && k->cfg_gen == S.kcfg_gen && k->op_read != NULL) {
+        /* cache_kind is NOT stamped here: the factories set it only
+         * after a fully successful construction, so a kernel pooled
+         * off a mid-construction failure can never present its
+         * partial registers as a valid cache. */
+        kern_ops_release_payload(k);
+        kern_pool[kern_pool_len++] = k;
+        return;
+    }
+    Py_CLEAR(k->chan);
+    Py_CLEAR(k->elem);
+    Py_CLEAR(k->list);
+    Py_CLEAR(k->stats);
+    Py_CLEAR(k->anchor);
+    Py_CLEAR(k->ctr);
+    Py_CLEAR(k->ctr2);
+    Py_CLEAR(k->bcell);
+    Py_CLEAR(k->segm);
+    Py_CLEAR(k->state_cell);
+    Py_CLEAR(k->elem_cell);
+    Py_CLEAR(k->state);
+    Py_CLEAR(k->wcell);
+    Py_CLEAR(k->waiter);
+    Py_CLEAR(k->kit);
+    Py_CLEAR(k->deleg);
+    Py_CLEAR(k->dres);
+    Py_CLEAR(k->op_read);
+    Py_CLEAR(k->op_write);
+    Py_CLEAR(k->op_cas);
+    Py_CLEAR(k->op_faa);
+    Py_CLEAR(k->op_gas);
+    Py_CLEAR(k->op_unpark);
+    Py_CLEAR(k->op_spin);
+    PyObject_GC_Del(k);
+}
+
+static PyTypeObject KernelType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro._engine._enginec.OpKernel",
+    .tp_basicsize = sizeof(KernelObject),
+    .tp_dealloc = (destructor)kern_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Native transcription of one fused channel/queue fast path.",
+    .tp_traverse = (traverseproc)kern_traverse,
+    .tp_clear = (inquiry)kern_clear,
+    .tp_iter = PyObject_SelfIter,
+    .tp_iternext = kern_next,
+    .tp_methods = kern_methods,
+};
+
+/* -- construction --------------------------------------------------- */
+
+static KernelObject *
+kern_new(int kind)
+{
+    KernelObject *k = NULL;
+    while (kern_pool_len > 0) {
+        k = kern_pool[--kern_pool_len];
+        if (k->cfg_gen == S.kcfg_gen) {
+            Py_SET_REFCNT((PyObject *)k, 1);
+            break;
+        }
+        /* Stale configure generation: its ops bind old classes. */
+        Py_CLEAR(k->chan);
+        Py_CLEAR(k->list);
+        Py_CLEAR(k->stats);
+        Py_CLEAR(k->anchor);
+        Py_CLEAR(k->ctr);
+        Py_CLEAR(k->ctr2);
+        Py_CLEAR(k->bcell);
+        Py_CLEAR(k->op_read);
+        Py_CLEAR(k->op_write);
+        Py_CLEAR(k->op_cas);
+        Py_CLEAR(k->op_faa);
+        Py_CLEAR(k->op_gas);
+        Py_CLEAR(k->op_unpark);
+        Py_CLEAR(k->op_spin);
+        PyObject_GC_Del(k);
+        k = NULL;
+    }
+    if (k == NULL) {
+        k = PyObject_GC_New(KernelObject, &KernelType);
+        if (k == NULL) {
+            return NULL;
+        }
+        memset((char *)k + sizeof(PyObject), 0,
+               sizeof(KernelObject) - sizeof(PyObject));
+    }
+    k->kind = kind;
+    k->pc = 0;
+    k->done = 0;
+    k->outcome = KO_RESTART;
+    k->ok = 0;
+    /* k->kseg is NOT reset: it belongs to the cached channel registers
+     * and survives pool reuse (factories overwrite it on a miss). */
+    k->idx = 0;
+    k->raw = 0;
+    k->aux = 0;
+    k->sid = 0;
+    k->ci = 0;
+    if (k->op_read == NULL) {
+        k->op_read = blank_op(S.tp_read);
+        k->op_write = k->op_read != NULL ? blank_op(S.tp_write) : NULL;
+        k->op_cas = k->op_write != NULL ? blank_op(S.tp_cas) : NULL;
+        k->op_faa = k->op_cas != NULL ? blank_op(S.tp_faa) : NULL;
+        k->op_gas = k->op_faa != NULL ? blank_op(S.tp_gas) : NULL;
+        k->op_unpark = k->op_gas != NULL ? blank_op(S.tp_unpark) : NULL;
+        k->op_spin = k->op_unpark != NULL ? blank_op(S.tp_spin) : NULL;
+        if (k->op_spin == NULL) {
+            Py_DECREF(k);
+            return NULL;
+        }
+        k->cfg_gen = S.kcfg_gen;
+    }
+    return k;
+}
+
+/* Per-construction op presets (pooled kernels had payloads cleared). */
+static int
+kern_preset(KernelObject *k)
+{
+    PyObject *one = PyLong_FromLong(1);
+    if (one == NULL) {
+        return -1;
+    }
+    slot_set(k->op_faa, S.op_faa_cell, k->ctr);
+    slot_set(k->op_faa, S.op_faa_delta, one);
+    Py_DECREF(one);
+    slot_set(k->op_unpark, S.op_unpark_interrupt, Py_False);
+    slot_set(k->op_unpark, S.op_unpark_retry, Py_False);
+    return 0;
+}
+
+static PyObject *
+kern_channel_new(int kind, PyObject *chan, PyObject *elem)
+{
+    if (!S.ready) {
+        Py_RETURN_NONE; /* decline: dispatch falls back to the generator */
+    }
+    KernelObject *k = kern_new(kind);
+    if (k == NULL) {
+        return NULL;
+    }
+    int send_side = (kind == K_RZ_SEND || kind == K_BUF_SEND);
+    if (elem != NULL) {
+        k->elem = Py_NewRef(elem);
+    }
+    if (k->cache_kind == kind && k->chan == chan) {
+        /* Pool cache hit: the channel-derived registers (and the op
+         * presets cut from them) are already in place. */
+        goto ready;
+    }
+    k->cache_kind = -1; /* invalid until the rebuild below completes */
+    Py_XSETREF(k->chan, Py_NewRef(chan));
+    Py_CLEAR(k->list);
+    Py_CLEAR(k->stats);
+    Py_CLEAR(k->anchor);
+    Py_CLEAR(k->ctr);
+    Py_CLEAR(k->ctr2);
+    Py_CLEAR(k->bcell);
+    {
+        PyObject *v = PyObject_GetAttr(chan, s_seg_size);
+        if (v == NULL) {
+            goto fail;
+        }
+        int rc = as_i64(v, &k->kseg);
+        Py_DECREF(v);
+        if (rc < 0) {
+            goto fail;
+        }
+    }
+    if ((k->stats = PyObject_GetAttr(chan, s_stats)) == NULL
+        || (k->list = PyObject_GetAttr(chan, s_ulist)) == NULL
+        || (k->anchor = PyObject_GetAttr(chan, send_side ? s_segm_s
+                                                         : s_segm_r)) == NULL
+        || (k->ctr = PyObject_GetAttr(chan, send_side ? s_cap_s
+                                                      : s_cap_r)) == NULL
+        || (k->ctr2 = PyObject_GetAttr(chan, send_side ? s_cap_r
+                                                       : s_cap_s)) == NULL) {
+        goto fail;
+    }
+    if (kind == K_BUF_SEND
+        && (k->bcell = PyObject_GetAttr(chan, s_cap_b)) == NULL) {
+        goto fail;
+    }
+    if (kind == K_BUF_RECV) {
+        slot_set(k->op_spin, S.op_spin_reason, s_rcv_wait_eb);
+    }
+    if (kern_preset(k) < 0) {
+        goto fail;
+    }
+    k->cache_kind = kind;
+ready:
+    if (kind == K_BUF_RECV) {
+        /* expand_buffer delegates need a real OpKit, acquired and
+         * released on the same pool the fused generator would use. */
+        k->kit = PyObject_CallNoArgs(S.fn_acquire_kit);
+        if (k->kit == NULL) {
+            goto fail;
+        }
+    }
+    PyObject_GC_Track((PyObject *)k);
+    return (PyObject *)k;
+fail:
+    k->done = 1; /* nothing simulated yet; plain teardown */
+    PyObject_GC_Track((PyObject *)k);
+    Py_DECREF(k);
+    return NULL;
+}
+
+static PyObject *
+kern_faaq_new(int kind, PyObject *q, PyObject *value)
+{
+    if (!S.ready) {
+        Py_RETURN_NONE;
+    }
+    KernelObject *k = kern_new(kind);
+    if (k == NULL) {
+        return NULL;
+    }
+    int enq = (kind == K_FAAQ_ENQ);
+    if (value != NULL) {
+        k->elem = Py_NewRef(value);
+    }
+    if (k->cache_kind == kind && k->chan == q) {
+        PyObject_GC_Track((PyObject *)k);
+        return (PyObject *)k;
+    }
+    k->cache_kind = -1; /* invalid until the rebuild below completes */
+    Py_XSETREF(k->chan, Py_NewRef(q));
+    Py_CLEAR(k->list);
+    Py_CLEAR(k->stats);
+    Py_CLEAR(k->bcell);
+    Py_CLEAR(k->anchor);
+    Py_CLEAR(k->ctr);
+    Py_CLEAR(k->ctr2);
+    k->kseg = 16; /* faa_queue._SEG */
+    if ((k->anchor = PyObject_GetAttr(q, enq ? s_tail_attr
+                                             : s_head_attr)) == NULL
+        || (k->ctr = PyObject_GetAttr(q, enq ? s_enq_idx
+                                             : s_deq_idx)) == NULL) {
+        goto fail;
+    }
+    if (!enq && (k->ctr2 = PyObject_GetAttr(q, s_enq_idx)) == NULL) {
+        goto fail;
+    }
+    if (kern_preset(k) < 0) {
+        goto fail;
+    }
+    k->cache_kind = kind;
+    PyObject_GC_Track((PyObject *)k);
+    return (PyObject *)k;
+fail:
+    k->done = 1;
+    PyObject_GC_Track((PyObject *)k);
+    Py_DECREF(k);
+    return NULL;
+}
+
+#define KERN_FACTORY2(fname, kindconst, maker)                          \
+    static PyObject *                                                   \
+    fname(PyObject *self, PyObject *const *args, Py_ssize_t nargs)      \
+    {                                                                   \
+        (void)self;                                                     \
+        if (nargs != 2) {                                               \
+            PyErr_SetString(PyExc_TypeError, #fname "(obj, element)");  \
+            return NULL;                                                \
+        }                                                               \
+        return maker(kindconst, args[0], args[1]);                      \
+    }
+#define KERN_FACTORY1(fname, kindconst, maker)                          \
+    static PyObject *                                                   \
+    fname(PyObject *self, PyObject *const *args, Py_ssize_t nargs)      \
+    {                                                                   \
+        (void)self;                                                     \
+        if (nargs != 1) {                                               \
+            PyErr_SetString(PyExc_TypeError, #fname "(obj)");           \
+            return NULL;                                                \
+        }                                                               \
+        return maker(kindconst, args[0], NULL);                         \
+    }
+
+KERN_FACTORY2(engine_kernel_rz_send, K_RZ_SEND, kern_channel_new)
+KERN_FACTORY1(engine_kernel_rz_recv, K_RZ_RECV, kern_channel_new)
+KERN_FACTORY2(engine_kernel_buf_send, K_BUF_SEND, kern_channel_new)
+KERN_FACTORY1(engine_kernel_buf_recv, K_BUF_RECV, kern_channel_new)
+KERN_FACTORY2(engine_kernel_faaq_enq, K_FAAQ_ENQ, kern_faaq_new)
+KERN_FACTORY1(engine_kernel_faaq_deq, K_FAAQ_DEQ, kern_faaq_new)
+
+#undef KERN_FACTORY2
+#undef KERN_FACTORY1
+
 static PyObject *
 engine_configured(PyObject *self, PyObject *noargs)
 {
@@ -2273,6 +4716,18 @@ static PyMethodDef engine_methods[] = {
      "_run_general)."},
     {"configured", engine_configured, METH_NOARGS,
      "True once configure() has validated the object layouts."},
+    {"kernel_rz_send", (PyCFunction)(void (*)(void))engine_kernel_rz_send,
+     METH_FASTCALL, "Native RendezvousChannel._send_fused kernel."},
+    {"kernel_rz_recv", (PyCFunction)(void (*)(void))engine_kernel_rz_recv,
+     METH_FASTCALL, "Native RendezvousChannel._receive_fused kernel."},
+    {"kernel_buf_send", (PyCFunction)(void (*)(void))engine_kernel_buf_send,
+     METH_FASTCALL, "Native BufferedChannel._send_fused kernel."},
+    {"kernel_buf_recv", (PyCFunction)(void (*)(void))engine_kernel_buf_recv,
+     METH_FASTCALL, "Native BufferedChannel._receive_fused kernel."},
+    {"kernel_faaq_enq", (PyCFunction)(void (*)(void))engine_kernel_faaq_enq,
+     METH_FASTCALL, "Native FAAQueue._enqueue_fused kernel."},
+    {"kernel_faaq_deq", (PyCFunction)(void (*)(void))engine_kernel_faaq_deq,
+     METH_FASTCALL, "Native FAAQueue._dequeue_fused kernel."},
     {NULL, NULL, 0, NULL},
 };
 
@@ -2335,7 +4790,52 @@ PyInit__enginec(void)
     INTERN(s_record, "record");
     INTERN(s_forget, "forget");
     INTERN(s_sample, "sample");
+    INTERN(s_of, "of");
+    INTERN(s_send, "send");
+    INTERN(s_close, "close");
+    INTERN(s_try_unpark, "try_unpark");
+    INTERN(s_famf, "find_and_move_forward");
+    INTERN(s_find_segment, "_find_segment");
+    INTERN(s_mark_closed, "_mark_closed_send_cell");
+    INTERN(s_mark_cancelled, "_mark_cancelled_rcv_cell");
+    INTERN(s_park_sender, "_park_sender");
+    INTERN(s_park_receiver, "_park_receiver");
+    INTERN(s_close_recheck, "_close_recheck_receiver");
+    INTERN(s_on_interrupted, "on_interrupted_cell");
+    INTERN(s_expand_buffer, "expand_buffer");
+    INTERN(s_seg_size, "seg_size");
+    INTERN(s_stats, "stats");
+    INTERN(s_segm_s, "_segm_s");
+    INTERN(s_segm_r, "_segm_r");
+    INTERN(s_segm_b, "_segm_b");
+    INTERN(s_cap_s, "S");
+    INTERN(s_cap_r, "R");
+    INTERN(s_cap_b, "B");
+    INTERN(s_ulist, "_list");
+    INTERN(s_head_attr, "_head");
+    INTERN(s_tail_attr, "_tail");
+    INTERN(s_enq_idx, "enq_idx");
+    INTERN(s_deq_idx, "deq_idx");
+    INTERN(s_cells_processed, "cells_processed");
+    INTERN(s_send_restarts, "send_restarts");
+    INTERN(s_rcv_restarts, "rcv_restarts");
+    INTERN(s_sends, "sends");
+    INTERN(s_receives, "receives");
+    INTERN(s_eliminations, "eliminations");
+    INTERN(s_poisoned, "poisoned");
+    INTERN(s_rcv_wait_eb, "rcv-wait-eb");
 #undef INTERN
+    if (PyType_Ready(&KernelType) < 0) {
+        return NULL;
+    }
     memset(&S, 0, sizeof(S));
-    return PyModule_Create(&engine_module);
+    PyObject *mod = PyModule_Create(&engine_module);
+    if (mod == NULL) {
+        return NULL;
+    }
+    if (PyModule_AddObjectRef(mod, "OpKernel", (PyObject *)&KernelType) < 0) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    return mod;
 }

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from ..concurrent.cells import IntCell, RefCell
+from ..concurrent import ops as _ops
 from ..concurrent.ops import Alloc, Cas, GetAndSet, faa_of, read_of
 
 __all__ = ["FAAQueue"]
@@ -38,6 +39,14 @@ class _QSegment:
 
 class FAAQueue:
     """MPMC FIFO queue: FAA-reserved cells in linked segments."""
+
+    #: Compiled-tier kernel descriptor (PR 10); see
+    #: ``RendezvousChannel.KERNEL_DESCRIPTOR``.  The ``_find_segment``
+    #: slow path is always a Python delegate.
+    KERNEL_DESCRIPTOR = {
+        "_enqueue_fused": "faaq_enq",
+        "_dequeue_fused": "faaq_deq",
+    }
 
     def __init__(self, name: str = "faaq"):
         self.name = name
@@ -76,8 +85,21 @@ class FAAQueue:
         return cur
 
     def enqueue(self, value: Any) -> Generator[Any, Any, None]:
-        """Append ``value``; retries only past poisoned cells."""
+        """Append ``value``; retries only past poisoned cells.
 
+        Dispatch wrapper: under the compiled engine's algorithm kernels
+        (``ops.KERNELS``) this returns a native kernel iterator the stint
+        loop executes in C; otherwise the fused generator, unchanged.
+        """
+
+        kernels = _ops.KERNELS
+        if kernels is not None and value is not None and type(self) is FAAQueue:
+            kern = kernels.faaq_enq(self, value)
+            if kern is not None:
+                return kern
+        return self._enqueue_fused(value)
+
+    def _enqueue_fused(self, value: Any) -> Generator[Any, Any, None]:
         if value is None:
             raise ValueError("FAAQueue cannot carry None")
         tail = self._tail
@@ -102,8 +124,19 @@ class FAAQueue:
             # The cell was poisoned by a hasty dequeuer; take the next one.
 
     def dequeue(self) -> Generator[Any, Any, Optional[Any]]:
-        """Pop the oldest element, or ``None`` when empty."""
+        """Pop the oldest element, or ``None`` when empty.
 
+        Dispatch wrapper — see :meth:`enqueue` for the kernel contract.
+        """
+
+        kernels = _ops.KERNELS
+        if kernels is not None and type(self) is FAAQueue:
+            kern = kernels.faaq_deq(self)
+            if kern is not None:
+                return kern
+        return self._dequeue_fused()
+
+    def _dequeue_fused(self) -> Generator[Any, Any, Optional[Any]]:
         head = self._head
         read_deq = read_of(self.deq_idx)
         read_enq = read_of(self.enq_idx)

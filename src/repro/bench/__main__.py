@@ -551,6 +551,7 @@ def cmd_compare(args: argparse.Namespace) -> list[dict]:
         allow_missing=args.allow_missing,
         allow_engine_mismatch=args.allow_engine_mismatch,
         metric=args.metric,
+        paired=args.paired,
     )
     print(report)
     args._exit_code = 0 if ok else 1
@@ -662,6 +663,13 @@ def main(argv: list[str] | None = None) -> int:
         "--metric", choices=("best", "median"), default="best",
         help="compare: gate on best-of rates (default) or per-round medians "
         "(rows carrying raw `samples`; damps single-round flukes)",
+    )
+    perf.add_argument(
+        "--paired", action="store_true",
+        help="compare: gate within-dump c/py ratios instead of absolute "
+        "ops/sec (both dumps must be `selfperf --engine both`; the py tier "
+        "is the control, so host-speed drift between recording days "
+        "cancels and only a genuine compiled-tier regression fails)",
     )
     parser.add_argument(
         "--trace",

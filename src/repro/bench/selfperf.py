@@ -42,6 +42,7 @@ __all__ = [
     "QUICK_MATRIX",
     "ALG_SUBSET",
     "OBS_SUBSET",
+    "SUBSET_GATES",
     "run_selfperf",
     "run_selfperf_paired",
     "compare_rows",
@@ -304,6 +305,16 @@ OBS_SUBSET: tuple[str, ...] = (
 #: break point matching — so a *subset* of the full matrix instead).
 QUICK_MATRIX: tuple[str, ...] = ("rendezvous-faa-t16", "counter-faa-t8", "yield-work-t8")
 
+#: Named subsets ``compare`` gates *individually* in addition to the
+#: overall geomean.  A broad matrix can hide a focused regression: a
+#: 25% loss on the four algorithm-bound points dissolves into a ~4%
+#: overall dip across twenty-odd points and sails under the threshold.
+#: Gating each named slice at the same threshold closes that gap.
+SUBSET_GATES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("alg", ALG_SUBSET),
+    ("obs", OBS_SUBSET),
+)
+
 
 def run_selfperf(
     quick: bool = False,
@@ -482,6 +493,100 @@ def _selfperf_points(
     return {r["name"]: r for r in _gateable(rows)}
 
 
+def _compare_paired(
+    old_rows: list[dict[str, Any]],
+    new_rows: list[dict[str, Any]],
+    threshold: float,
+    *,
+    allow_missing: bool = False,
+    metric: str = "best",
+) -> tuple[bool, str]:
+    """Gate the *within-dump* c/py ratio instead of absolute ops/sec.
+
+    Two dumps recorded on different days differ by the host's speed
+    before any code change shows — on this repo's reference box the
+    swing is ±30%, larger than the 15% gate.  An ``--engine both`` dump
+    records the pure-Python reference tier next to every compiled-tier
+    point precisely so the py rate can serve as the control: dividing
+    each point's c rate by its own dump's py rate cancels host speed,
+    and the geomean of (new c/py) / (old c/py) is gated at the same
+    threshold.  A genuine compiled-tier regression still fails (its
+    paired ratio drops); a globally slower day passes (both tiers drop
+    together).  Named subsets gate individually, as in absolute mode.
+    """
+
+    def tier_ratios(
+        rows: Iterable[dict[str, Any]], which: str
+    ) -> dict[str, float]:
+        pts: dict[str, dict[str, dict[str, Any]]] = {}
+        for r in _gateable(rows):
+            pts.setdefault(r["name"], {})[_row_engine(r)] = r
+        out = {}
+        for n, d in pts.items():
+            if "py" in d and "c" in d:
+                out[n] = _metric_value(d["c"], metric) / _metric_value(d["py"], metric)
+        if not out:
+            raise ValueError(
+                f"compare --paired: the {which} dump has no point recorded "
+                "under both tiers; paired mode needs `selfperf --engine both` "
+                "dumps on both sides"
+            )
+        return out
+
+    try:
+        old = tier_ratios(old_rows, "OLD")
+        new = tier_ratios(new_rows, "NEW")
+    except ValueError as exc:
+        return False, str(exc)
+    common = [n for n in old if n in new]
+    if not common:
+        return False, "compare: no common selfperf points between the two files"
+    lines = [
+        "paired mode: gating within-dump c/py ratios (host speed cancels)"
+        + (" (gating on median ops/s)" if metric == "median" else "")
+    ]
+    lines.append(f"{'point':24s} {'old c/py':>10s} {'new c/py':>10s} {'ratio':>7s}")
+    ratios = []
+    subset_ratios: dict[str, list[float]] = {label: [] for label, _ in SUBSET_GATES}
+    for name in common:
+        ratio = new[name] / old[name]
+        ratios.append(ratio)
+        for label, points in SUBSET_GATES:
+            if name in points:
+                subset_ratios[label].append(ratio)
+        lines.append(f"{name:24s} {old[name]:9.2f}x {new[name]:9.2f}x {ratio:6.2f}x")
+    gm = geomean(ratios)
+    ok = gm >= 1.0 - threshold
+    lines.append(
+        f"{'geomean':24s} {'':10s} {'':10s} {gm:6.2f}x  "
+        f"(gate: >= {1.0 - threshold:.2f}x) -> {'OK' if ok else 'REGRESSION'}"
+    )
+    for label, _points in SUBSET_GATES:
+        rs = subset_ratios[label]
+        if not rs:
+            continue
+        sgm = geomean(rs)
+        sok = sgm >= 1.0 - threshold
+        lines.append(
+            f"{f'geomean[{label}]':24s} {'':10s} {'':10s} {sgm:6.2f}x  "
+            f"({len(rs)} pts, gate: >= {1.0 - threshold:.2f}x) -> "
+            f"{'OK' if sok else 'REGRESSION'}"
+        )
+        ok = ok and sok
+    missing = sorted(set(old) - set(new))
+    added = sorted(set(new) - set(old))
+    if missing:
+        lines.append(f"MISSING from new dump: {', '.join(missing)}")
+        if allow_missing:
+            lines.append("  (allowed by --allow-missing; not gated)")
+        else:
+            lines.append("  -> FAIL: every baseline point must be present (--allow-missing to waive)")
+            ok = False
+    if added:
+        lines.append(f"added in new dump (not gated): {', '.join(added)}")
+    return ok, "\n".join(lines)
+
+
 def compare_rows(
     old_rows: list[dict[str, Any]],
     new_rows: list[dict[str, Any]],
@@ -490,6 +595,7 @@ def compare_rows(
     allow_missing: bool = False,
     allow_engine_mismatch: bool = False,
     metric: str = "best",
+    paired: bool = False,
 ) -> tuple[bool, str]:
     """Compare two selfperf dumps; ``(ok, report)``.
 
@@ -512,10 +618,27 @@ def compare_rows(
     ``metric`` selects the gated statistic: ``"best"`` (default, the
     best-of-repeats rate) or ``"median"`` (the per-round median, for
     dumps carrying raw ``samples`` — damps single-round flukes).
+
+    Beyond the overall geomean, every named subset in
+    :data:`SUBSET_GATES` (the algorithm-bound ``alg`` points, the
+    observed-mode ``obs`` points) is gated individually at the same
+    threshold over whichever of its points both dumps share — a focused
+    regression on four points must not dissolve into a broad matrix's
+    average.
+
+    ``paired=True`` switches to within-dump c/py ratio gating (see
+    :func:`_compare_paired`): use it when OLD and NEW were recorded on
+    different days or machines and the absolute rates are therefore not
+    comparable — the py reference tier inside each ``--engine both``
+    dump is the control that cancels host speed.
     """
 
     if metric not in ("best", "median"):
         raise ValueError(f"unknown compare metric {metric!r}; expected best|median")
+    if paired:
+        return _compare_paired(
+            old_rows, new_rows, threshold, allow_missing=allow_missing, metric=metric
+        )
 
     old_engines = sorted({_row_engine(r) for r in _gateable(old_rows)})
     new_engines = sorted({_row_engine(r) for r in _gateable(new_rows)})
@@ -544,10 +667,15 @@ def compare_rows(
     ]
     lines.append(f"{'point':24s} {'old ops/s':>14s} {'new ops/s':>14s} {'ratio':>7s}")
     ratios = []
+    subset_ratios: dict[str, list[float]] = {label: [] for label, _ in SUBSET_GATES}
     for name in common:
         o, n = _metric_value(old[name], metric), _metric_value(new[name], metric)
         ratio = n / o if o else float("inf")
         ratios.append(ratio)
+        base = old[name]["name"]  # strip the [engine] key suffix
+        for label, points in SUBSET_GATES:
+            if base in points:
+                subset_ratios[label].append(ratio)
         lines.append(f"{name:24s} {o:14.0f} {n:14.0f} {ratio:6.2f}x")
     gm = geomean(ratios)
     ok = gm >= 1.0 - threshold
@@ -555,6 +683,20 @@ def compare_rows(
         f"{'geomean':24s} {'':14s} {'':14s} {gm:6.2f}x  "
         f"(gate: >= {1.0 - threshold:.2f}x) -> {'OK' if ok else 'REGRESSION'}"
     )
+    # Named-subset gates: each slice must clear the same bar on its own,
+    # so a focused regression cannot hide in a broad matrix's geomean.
+    for label, _points in SUBSET_GATES:
+        rs = subset_ratios[label]
+        if not rs:
+            continue
+        sgm = geomean(rs)
+        sok = sgm >= 1.0 - threshold
+        lines.append(
+            f"{f'geomean[{label}]':24s} {'':14s} {'':14s} {sgm:6.2f}x  "
+            f"({len(rs)} pts, gate: >= {1.0 - threshold:.2f}x) -> "
+            f"{'OK' if sok else 'REGRESSION'}"
+        )
+        ok = ok and sok
     missing = sorted(set(old) - set(new))
     added = sorted(set(new) - set(old))
     if missing:

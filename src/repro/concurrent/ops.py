@@ -67,7 +67,23 @@ __all__ = [
     "faa_of",
     "fast_ops_enabled",
     "set_fast_ops",
+    "KERNELS",
 ]
+
+#: Native algorithm-kernel factories, or ``None`` (the normal state).
+#:
+#: The compiled engine tier (:func:`repro._engine.native_run`) installs a
+#: namespace of kernel factories here for the duration of a native
+#: ``run_fast`` and restores ``None`` afterwards.  The channel dispatch
+#: wrappers (``RendezvousChannel.send`` et al.) consult this module
+#: attribute on every call: when a factory accepts the operation it
+#: returns an *iterator* the stint loop recognizes and executes natively;
+#: otherwise the wrapper returns the ordinary fused generator.  Kernels
+#: are never installed for the pure-Python tier, the observed path, or
+#: when ``REPRO_NO_ALG_KERNELS``/``REPRO_NO_FAST_OPS`` is set, so every
+#: other driver (explorer, asyncio, threads) always sees plain
+#: generators.
+KERNELS: Any = None
 
 
 class Op:

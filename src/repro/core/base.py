@@ -502,12 +502,13 @@ class ChannelBase:
     # Suspension helpers
     # ------------------------------------------------------------------
 
-    def _park_sender(self, w: SenderWaiter, segm: Segment, i: int) -> Generator[Any, Any, bool]:
-        """Park a sender installed in ``segm[i]``; clean the cell on cancel.
+    def _send_abort_handler(self, w: SenderWaiter, segm: Segment, i: int) -> Any:
+        """Build the sender's cancellation handler for ``segm[i]``.
 
-        Returns ``True`` on a normal resumption; ``False`` when woken with
-        the retry signal (a losing select clause neutralized our cell —
-        the caller restarts at a fresh one).
+        A separate factory (rather than a closure inline in
+        :meth:`_park_sender`) so the compiled kernel tier can install the
+        *same* handler object on the waiter it parks natively — external
+        cancellers call ``w.handler()`` and must get this generator.
         """
 
         state_cell = segm.state_cell(i)
@@ -525,6 +526,34 @@ class ChannelBase:
             if ok and count_now:
                 yield from segm.on_interrupted_cell()
 
+        return on_interrupt
+
+    def _rcv_abort_handler(self, w: ReceiverWaiter, segm: Segment, i: int) -> Any:
+        """Build the receiver's cancellation handler for ``segm[i]``."""
+
+        state_cell = segm.state_cell(i)
+        elem_cell = segm.elem_cell(i)
+
+        def on_interrupt() -> Generator[Any, Any, None]:
+            yield Write(elem_cell, None)
+            ok = yield Cas(state_cell, w, INTERRUPTED_RCV)
+            if ok:
+                # Interrupted receivers always count immediately: every
+                # phase that may later read this cell treats a removed
+                # segment as "all cancelled receivers" correctly.
+                yield from segm.on_interrupted_cell()
+
+        return on_interrupt
+
+    def _park_sender(self, w: SenderWaiter, segm: Segment, i: int) -> Generator[Any, Any, bool]:
+        """Park a sender installed in ``segm[i]``; clean the cell on cancel.
+
+        Returns ``True`` on a normal resumption; ``False`` when woken with
+        the retry signal (a losing select clause neutralized our cell —
+        the caller restarts at a fresh one).
+        """
+
+        on_interrupt = self._send_abort_handler(w, segm, i)
         self.stats.send_suspends += 1
         try:
             yield from w.park(on_interrupt)
@@ -543,18 +572,7 @@ class ChannelBase:
         Return protocol as for :meth:`_park_sender`.
         """
 
-        state_cell = segm.state_cell(i)
-        elem_cell = segm.elem_cell(i)
-
-        def on_interrupt() -> Generator[Any, Any, None]:
-            yield Write(elem_cell, None)
-            ok = yield Cas(state_cell, w, INTERRUPTED_RCV)
-            if ok:
-                # Interrupted receivers always count immediately: every
-                # phase that may later read this cell treats a removed
-                # segment as "all cancelled receivers" correctly.
-                yield from segm.on_interrupted_cell()
-
+        on_interrupt = self._rcv_abort_handler(w, segm, i)
         self.stats.rcv_suspends += 1
         try:
             yield from w.park(on_interrupt)

@@ -39,6 +39,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional
 
 from ..concurrent.cells import IntCell
+from ..concurrent import ops as _ops
 from ..concurrent.ops import (
     CURRENT_TASK,
     FRESH_KIT,
@@ -88,6 +89,15 @@ class BufferedChannel(ChannelBase):
     ANCHORS = 3
     COUNT_SEND_INTERRUPT_IMMEDIATELY = False  # delegated to expandBuffer
 
+    #: Compiled-tier kernel descriptor (PR 10); see
+    #: ``RendezvousChannel.KERNEL_DESCRIPTOR``.  ``expand_buffer`` is
+    #: deliberately absent: the kernels always run it as a Python
+    #: delegate (DESIGN.md §14).
+    KERNEL_DESCRIPTOR = {
+        "_send_fused": "buf_send",
+        "_receive_fused": "buf_recv",
+    }
+
     def __init__(
         self,
         capacity: int,
@@ -118,8 +128,26 @@ class BufferedChannel(ChannelBase):
 
         Raises :class:`ChannelClosedForSend` once the channel is closed,
         and :class:`Interrupted` if the suspension is cancelled.
+
+        Dispatch wrapper — when the compiled engine has installed its
+        algorithm kernels (``ops.KERNELS``) and this operation is
+        kernel-eligible, return the native kernel iterator instead of
+        the fused generator (see ``RendezvousChannel.send``).
         """
 
+        kernels = _ops.KERNELS
+        if (
+            kernels is not None
+            and element is not None
+            and type(self) is BufferedChannel
+            and self.observer is None
+        ):
+            kern = kernels.buf_send(self, element)
+            if kern is not None:
+                return kern
+        return self._send_fused(element)
+
+    def _send_fused(self, element: Any) -> Generator[Any, Any, None]:
         if element is None:
             raise ValueError("channels cannot carry None (reserved sentinel)")
         kit = acquire_kit()
@@ -233,8 +261,22 @@ class BufferedChannel(ChannelBase):
         Raises :class:`ChannelClosedForReceive` once the channel is both
         closed and drained (or cancelled), and :class:`Interrupted` if the
         suspension is cancelled.
+
+        Dispatch wrapper — see :meth:`send` for the kernel contract.
         """
 
+        kernels = _ops.KERNELS
+        if (
+            kernels is not None
+            and type(self) is BufferedChannel
+            and self.observer is None
+        ):
+            kern = kernels.buf_recv(self)
+            if kern is not None:
+                return kern
+        return self._receive_fused()
+
+    def _receive_fused(self) -> Generator[Any, Any, Any]:
         kit = acquire_kit()
         try:
             K = self.seg_size

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from ..concurrent import ops as _ops
 from ..concurrent.ops import (
     CURRENT_TASK,
     FRESH_KIT,
@@ -69,6 +70,17 @@ class RendezvousChannel(ChannelBase):
     ANCHORS = 2
     COUNT_SEND_INTERRUPT_IMMEDIATELY = True
 
+    #: Compiled-tier kernel descriptor (PR 10): maps each fused fast-path
+    #: frame to its native kernel factory in ``repro._engine``.  The
+    #: dispatch wrappers consult ``ops.KERNELS`` with these names; the
+    #: descriptor itself exists so tests and DESIGN.md §14 can introspect
+    #: exactly which frames have a native transcription.  Eligibility
+    #: beyond the frame: exact type, no observer, fast-ops on.
+    KERNEL_DESCRIPTOR = {
+        "_send_fused": "rz_send",
+        "_receive_fused": "rz_recv",
+    }
+
     def __init__(self, seg_size: int = DEFAULT_SEGMENT_SIZE, name: str = "rendezvous"):
         super().__init__(seg_size=seg_size, name=name)
 
@@ -94,8 +106,29 @@ class RendezvousChannel(ChannelBase):
 
         Raises :class:`ChannelClosedForSend` once the channel is closed,
         and :class:`Interrupted` if the suspension is cancelled.
+
+        Dispatch wrapper: when the compiled engine has installed its
+        algorithm kernels (``ops.KERNELS``) and this operation is
+        kernel-eligible, return the native kernel iterator instead of the
+        fused generator — the stint loop recognizes and executes it in C,
+        charging the identical op stream.  Everything else (subclasses,
+        observers, the ``None`` sentinel's first-resume ``ValueError``)
+        falls through to the fused generator unchanged.
         """
 
+        kernels = _ops.KERNELS
+        if (
+            kernels is not None
+            and element is not None
+            and type(self) is RendezvousChannel
+            and self.observer is None
+        ):
+            kern = kernels.rz_send(self, element)
+            if kern is not None:
+                return kern
+        return self._send_fused(element)
+
+    def _send_fused(self, element: Any) -> Generator[Any, Any, None]:
         if element is None:
             raise ValueError("channels cannot carry None (reserved sentinel)")
         kit = acquire_kit()
@@ -208,8 +241,22 @@ class RendezvousChannel(ChannelBase):
         Raises :class:`ChannelClosedForReceive` once the channel is both
         closed and drained (or cancelled), and :class:`Interrupted` if the
         suspension is cancelled.
+
+        Dispatch wrapper — see :meth:`send` for the kernel contract.
         """
 
+        kernels = _ops.KERNELS
+        if (
+            kernels is not None
+            and type(self) is RendezvousChannel
+            and self.observer is None
+        ):
+            kern = kernels.rz_recv(self)
+            if kern is not None:
+                return kern
+        return self._receive_fused()
+
+    def _receive_fused(self) -> Generator[Any, Any, Any]:
         kit = acquire_kit()
         try:
             K = self.seg_size

@@ -60,12 +60,27 @@ __all__ = [
     "Segment",
     "SegmentList",
     "DEFAULT_SEGMENT_SIZE",
+    "KERNEL_DELEGATES",
     "segment_pool_enabled",
     "set_segment_pool",
 ]
 
 #: The paper's tuned segment size ("we have chosen the segment size of 32").
 DEFAULT_SEGMENT_SIZE = 32
+
+#: Compiled-tier delegation boundary (PR 10, DESIGN.md §14): the segment
+#: walks stay *Python generators* even under the native kernels.  A
+#: kernel that reaches one of these calls the generator function fresh
+#: and drives it through the same charge tables (the "delegate
+#: executor"), so the walk's op stream — including segment allocation,
+#: ``Alloc`` accounting and removal CAS traffic — is produced by exactly
+#: this code under both tiers.  Tests introspect this list to pin the
+#: boundary.
+KERNEL_DELEGATES = (
+    "SegmentList.find_segment",
+    "SegmentList.find_and_move_forward",
+    "Segment.on_interrupted_cell",
+)
 
 _segment_pool = os.environ.get("REPRO_NO_SEGMENT_POOL", "") in ("", "0")
 

@@ -180,6 +180,45 @@ class TestFallback:
         )
         assert cp.returncode == 0, cp.stdout + cp.stderr
 
+    def test_disabled_notice_names_kind_without_rebuild_hint(self):
+        # An environment opt-out is intentional: the notice names the
+        # [disabled] kind and must NOT nag about rebuilding.
+        cp = _run_probeless(
+            """
+            from repro import _engine
+            assert _engine.resolve("auto") == "py"
+            """
+        )
+        assert cp.returncode == 0, cp.stderr
+        assert "[disabled]" in cp.stderr
+        assert "disabled by environment" in cp.stderr
+        assert "rebuild:" not in cp.stderr
+
+    def test_import_error_notice_names_kind_with_rebuild_hint(self):
+        # A missing/unimportable build is fixable: the notice names the
+        # [import-error] kind and points at the rebuild command.
+        cp = _run_probeless(
+            """
+            import sys
+
+            class _Block:
+                def find_spec(self, name, path=None, target=None):
+                    if name == "repro._engine._enginec":
+                        raise ImportError("blocked for test")
+                    return None
+
+            sys.meta_path.insert(0, _Block())
+            from repro import _engine
+            assert _engine.resolve("auto") == "py"
+            assert _engine.probe_error_kind() == "import-error"
+            """,
+            REPRO_NO_ENGINE_EXT="0",
+        )
+        assert cp.returncode == 0, cp.stdout + cp.stderr
+        assert "[import-error]" in cp.stderr
+        assert "not built or not importable" in cp.stderr
+        assert "rebuild: python setup.py build_ext --inplace" in cp.stderr
+
     def test_explicit_py_never_probes_or_warns(self):
         cp = _run_probeless(
             """
@@ -389,6 +428,234 @@ class TestTierIdentity:
         assert states == {"bad": "FAILED", "good": "DONE"}
 
 
+needs_kernels = pytest.mark.skipif(
+    not _engine.alg_kernels_available(),
+    reason="compiled tier lacks the algorithm kernels",
+)
+
+
+@needs_c
+@needs_kernels
+class TestKernelIdentity:
+    """The native algorithm kernels (PR 10) are observationally invisible.
+
+    Every scenario runs three ways — pure-Python tier, compiled tier with
+    the kernels installed, and compiled tier with the kernels disabled
+    (fused generators inside the C stint loop) — and all observables
+    (makespan, per-task clocks/steps/end states, jitter LCG, raised
+    errors, channel stats) must match bit for bit.  The scenarios target
+    the abort edges where a kernel hands off mid-operation to a Python
+    delegate: cancel while a sender is parked, close mid cell-walk, and
+    interrupt before the waiter's first resume.
+    """
+
+    def _run(self, tier: str, kernels_on: bool, scenario):
+        import dataclasses
+
+        prev = _engine.alg_kernels_enabled()
+        _engine.set_alg_kernels(kernels_on)
+        try:
+            sched = Scheduler(
+                policy=DesPolicy(),
+                cost_model=CostModel(),
+                processors=4,
+                engine=tier,
+            )
+            chans, extra = scenario(sched)
+            err = None
+            try:
+                sched.run()
+            except Exception as exc:  # noqa: BLE001 - error parity under test
+                err = (type(exc).__name__, str(exc))
+            return {
+                "makespan": sched.makespan,
+                "steps": sched.total_steps,
+                "tasks": [
+                    (t.name, t.clock, t.steps, t.state.name) for t in sched.tasks
+                ],
+                "lcg": sched.cost._lcg,
+                "err": err,
+                "extra": extra,
+                "stats": [dataclasses.asdict(ch.stats) for ch in chans],
+            }
+        finally:
+            _engine.set_alg_kernels(prev)
+
+    def all_ways(self, make_scenario):
+        py = self._run("py", True, make_scenario())
+        c_kern = self._run("c", True, make_scenario())
+        c_gen = self._run("c", False, make_scenario())
+        assert c_kern == py, "kernel run diverged from pure-Python tier"
+        assert c_gen == py, "generator-fallback run diverged"
+        return py
+
+    def test_cancel_while_sender_parked(self):
+        from repro.core import RendezvousChannel
+        from repro.errors import ChannelClosedForSend
+
+        def make():
+            def scenario(sched):
+                ch = RendezvousChannel(seg_size=2, name="ki-rz")
+                out = []
+
+                def sender(i):
+                    try:
+                        yield from ch.send(i)
+                        out.append(("sent", i))
+                    except ChannelClosedForSend:
+                        out.append(("closed", i))
+
+                def canceller():
+                    yield Work(200_000)  # let both senders park first
+                    yield from ch.cancel()
+
+                sched.spawn(sender(1), "s1")
+                sched.spawn(sender(2), "s2")
+                sched.spawn(canceller(), "x")
+                return [ch], out
+
+            return scenario
+
+        snap = self.all_ways(make)
+        assert snap["err"] is None
+        assert sorted(snap["extra"]) == [("closed", 1), ("closed", 2)]
+
+    def test_close_mid_walk_with_parked_and_buffered(self):
+        from repro.core import BufferedChannel
+        from repro.errors import ChannelClosedForReceive, ChannelClosedForSend
+
+        def make():
+            def scenario(sched):
+                ch = BufferedChannel(2, seg_size=2, name="ki-buf")
+                out = []
+
+                def sender(base):
+                    for i in range(4):  # overflows capacity 2: parks
+                        try:
+                            yield from ch.send(base + i)
+                        except ChannelClosedForSend:
+                            out.append(("closed", base + i))
+                            return
+
+                def closer():
+                    yield Work(300_000)  # senders buffered two, parked rest
+                    yield from ch.close()
+
+                def drainer():
+                    yield Work(600_000)  # after close: drain, then raise
+                    while True:
+                        try:
+                            v = yield from ch.receive()
+                        except ChannelClosedForReceive:
+                            out.append("drained")
+                            return
+                        out.append(("got", v))
+
+                sched.spawn(sender(10), "s")
+                sched.spawn(closer(), "x")
+                sched.spawn(drainer(), "d")
+                return [ch], out
+
+            return scenario
+
+        snap = self.all_ways(make)
+        assert snap["err"] is None
+        assert "drained" in snap["extra"]
+        assert any(isinstance(e, tuple) and e[0] == "got" for e in snap["extra"])
+
+    def test_interrupt_before_first_resume(self):
+        from repro.core import RendezvousChannel
+        from repro.runtime import interrupt_task
+
+        def make():
+            def scenario(sched):
+                ch = RendezvousChannel(seg_size=2, name="ki-int")
+                out = []
+
+                def receiver():
+                    try:
+                        v = yield from ch.receive()
+                        out.append(("got", v))
+                    except Interrupted:
+                        out.append("interrupted")
+
+                def interrupter(target):
+                    yield Work(200_000)  # receiver parks first
+                    ok = yield from interrupt_task(target)
+                    out.append(("ok", ok))
+
+                t = sched.spawn(receiver(), "r")
+                sched.spawn(interrupter(t), "i")
+                return [ch], out
+
+            return scenario
+
+        snap = self.all_ways(make)
+        assert snap["err"] is None
+        assert sorted(snap["extra"], key=str) == [("ok", True), "interrupted"]
+        assert snap["stats"][0]["rcv_interrupts"] == 1
+
+    def test_faaq_poisoning_and_segment_walks(self):
+        from repro.baselines.faa_queue import FAAQueue
+
+        def make():
+            def scenario(sched):
+                q = FAAQueue(name="ki-q")
+                out = []
+
+                def enq():
+                    for i in range(40):  # spans 3 segments of 16
+                        yield from q.enqueue(i + 1)
+                        yield Yield()
+
+                def deq():
+                    empties = got = 0
+                    while got < 40:
+                        v = yield from q.dequeue()
+                        if v is None:
+                            empties += 1  # hasty dequeuer: poisons cells
+                            yield Yield()
+                        else:
+                            got += 1
+                    out.append(("empties>0", empties > 0))
+
+                sched.spawn(enq(), "e")
+                sched.spawn(deq(), "d")
+                return [], out
+
+            return scenario
+
+        snap = self.all_ways(make)
+        assert snap["err"] is None
+
+    def test_fuzz_and_recycling_under_kernels(self):
+        # The randomized close/cancel/interrupt storms (lincheck-style
+        # fuzz + segment-recycling storm) must hold with the kernels
+        # live inside the compiled stint loop.
+        from repro.core import BufferedChannel, RendezvousChannel
+        from repro.verify import fuzz_channel
+        from repro.verify.fuzz import fuzz_segment_recycling
+
+        prev_tier = _engine.set_default_engine("c")
+        prev_kern = _engine.alg_kernels_enabled()
+        _engine.set_alg_kernels(True)
+        try:
+            reports = fuzz_channel(
+                lambda: RendezvousChannel(seg_size=2), 0, cases=20, seed=11
+            )
+            assert any(r.checked_linearizability for r in reports)
+            reports = fuzz_channel(
+                lambda: BufferedChannel(2, seg_size=2), 2, cases=20, seed=7
+            )
+            assert sum(len(r.received) for r in reports) > 0
+            totals = fuzz_segment_recycling(cases=15, seed=2, seg_size=2)
+            assert totals["rejected"] == 0
+            assert totals["recycled"] > 0 and totals["hits"] > 0
+        finally:
+            _engine.set_alg_kernels(prev_kern)
+            _engine.set_default_engine(prev_tier)
+
+
 def _row(name: str, engine: str | None, ops: float) -> dict:
     row = {"command": "selfperf", "name": name, "ops_per_sec": ops}
     if engine is not None:
@@ -458,6 +725,55 @@ class TestBenchEngineGating:
         assert "a[py]" in report and "a[c]" in report
         assert "(keyed name[engine])" in report
 
+    def test_compare_gates_alg_subset_independently(self):
+        # A 30% loss on the four algorithm-bound points hides inside a
+        # flat 20-point matrix's overall geomean; the alg subset gate
+        # must still flag it.
+        from repro.bench.selfperf import ALG_SUBSET, compare_rows
+
+        old = [_row(f"pt-{i}", "c", 100.0) for i in range(16)]
+        old += [_row(n, "c", 100.0) for n in ALG_SUBSET]
+        new = [_row(f"pt-{i}", "c", 100.0) for i in range(16)]
+        new += [_row(n, "c", 70.0) for n in ALG_SUBSET]
+        ok, report = compare_rows(old, new)
+        assert not ok
+        assert "geomean[alg]" in report
+        assert "geomean[alg]" in [
+            line[:24].strip() for line in report.splitlines() if "REGRESSION" in line
+        ]
+
+    def test_compare_gates_obs_subset_independently(self):
+        from repro.bench.selfperf import OBS_SUBSET, compare_rows
+
+        old = [_row(n, "c", 100.0) for n in OBS_SUBSET]
+        new = [_row(n, "c", 60.0) for n in OBS_SUBSET]
+        ok, report = compare_rows(old, new)
+        assert not ok and "geomean[obs]" in report
+
+    def test_compare_subset_gates_pass_and_skip_when_absent(self):
+        from repro.bench.selfperf import ALG_SUBSET, compare_rows
+
+        # Subset present and healthy: reported as OK.
+        old = [_row(n, "c", 100.0) for n in ALG_SUBSET]
+        new = [_row(n, "c", 101.0) for n in ALG_SUBSET]
+        ok, report = compare_rows(old, new)
+        assert ok and "geomean[alg]" in report
+        # No subset points in either dump: no phantom subset line.
+        ok, report = compare_rows([_row("a", "c", 100.0)], [_row("a", "c", 99.0)])
+        assert ok and "geomean[alg]" not in report and "geomean[obs]" not in report
+
+    def test_compare_subset_gates_key_by_engine_in_paired_dumps(self):
+        # In a paired py/c dump the subset slice must match like tiers:
+        # a c-side alg regression is flagged even though the py side of
+        # the same points is flat.
+        from repro.bench.selfperf import ALG_SUBSET, compare_rows
+
+        old = [_row(n, t, 100.0) for n in ALG_SUBSET for t in ("py", "c")]
+        new = [_row(n, "py", 100.0) for n in ALG_SUBSET]
+        new += [_row(n, "c", 70.0) for n in ALG_SUBSET]
+        ok, report = compare_rows(old, new)
+        assert not ok and "geomean[alg]" in report
+
     def test_compare_multi_engine_vs_single_not_refused(self):
         # A quick single-tier rerun against the paired baseline is the
         # CI engine-tier job's shape: keyed comparison, missing points
@@ -469,3 +785,38 @@ class TestBenchEngineGating:
             paired, [_row("a", "c", 305.0)], allow_missing=True
         )
         assert ok and "a[c]" in report and "a[py]" in report
+
+    def test_compare_paired_cancels_uniform_host_drift(self):
+        # Both tiers 40% slower on the new recording day (well past the
+        # 15% absolute gate): absolute mode fails, paired mode passes,
+        # because the within-dump c/py ratio is unchanged.
+        from repro.bench.selfperf import compare_rows
+
+        old = [_row("a", "py", 100.0), _row("a", "c", 300.0)]
+        new = [_row("a", "py", 60.0), _row("a", "c", 180.0)]
+        ok, _ = compare_rows(old, new)
+        assert not ok
+        ok, report = compare_rows(old, new, paired=True)
+        assert ok and "paired mode" in report and "3.00x" in report
+
+    def test_compare_paired_still_fails_on_c_only_regression(self):
+        # A genuine compiled-tier regression (py flat, c down 30%) must
+        # not hide behind paired mode — the ratio itself drops.  Subset
+        # gates apply to the paired ratios too.
+        from repro.bench.selfperf import ALG_SUBSET, compare_rows
+
+        old = [_row(n, t, {"py": 100.0, "c": 300.0}[t]) for n in ALG_SUBSET for t in ("py", "c")]
+        new = [_row(n, t, {"py": 100.0, "c": 210.0}[t]) for n in ALG_SUBSET for t in ("py", "c")]
+        ok, report = compare_rows(old, new, paired=True)
+        assert not ok and "geomean[alg]" in report
+        assert any("REGRESSION" in line for line in report.splitlines())
+
+    def test_compare_paired_requires_both_tier_dumps(self):
+        from repro.bench.selfperf import compare_rows
+
+        both = [_row("a", "py", 100.0), _row("a", "c", 300.0)]
+        single = [_row("a", "c", 300.0)]
+        ok, report = compare_rows(both, single, paired=True)
+        assert not ok and "--engine both" in report
+        ok, report = compare_rows(single, both, paired=True)
+        assert not ok and "--engine both" in report

@@ -50,6 +50,20 @@ def engine_tier(request):
     _engine.set_default_engine(prev)
 
 
+#: The compiled tier's algorithm kernels (PR 10) must be invisible too:
+#: every golden point is replayed with the native send/receive/enqueue/
+#: dequeue machines installed AND with them disabled (fused generators
+#: driven by the C stint loop).  Under the ``py`` tier the toggle is
+#: inert, which doubles as a guard that it has no reference-tier effect.
+@pytest.fixture(params=("kern", "nokern"))
+def alg_kernels_mode(request):
+    on = request.param == "kern"
+    prev = _engine.alg_kernels_enabled()
+    _engine.set_alg_kernels(on)
+    yield on
+    _engine.set_alg_kernels(prev)
+
+
 def _run_golden_config(g: dict, hook=None) -> Scheduler:
     """Replicate the exact setup the golden points were recorded with."""
 
@@ -89,7 +103,7 @@ class TestGoldenDeterminism:
             for g in GOLDEN["points"]
         ],
     )
-    def test_reproduces_golden_point(self, g, engine_tier):
+    def test_reproduces_golden_point(self, g, engine_tier, alg_kernels_mode):
         got = _observe(_run_golden_config(g))
         want = {"makespan": g["makespan"], "steps": g["steps"], "tasks": g["tasks"]}
         assert got == want

@@ -249,7 +249,12 @@ class TestShutdownAndKill:
             c = await connect("127.0.0.1", server.port)
             ch = await c.channel("drain", capacity=1000)
             sends = [asyncio.create_task(ch.send(i)) for i in range(200)]
-            await asyncio.sleep(0.02)  # some acked, some in flight, some unread
+            # Open the race window: shutdown must catch some sends acked
+            # and others still in flight.  Wait for the first ack rather
+            # than a fixed sleep — on a heavily loaded box 20 ms can pass
+            # before the loop dispatches a single frame, and the drain
+            # then wins the race outright (acked == 0, window never open).
+            await asyncio.wait(sends, timeout=5, return_when=asyncio.FIRST_COMPLETED)
             await server.shutdown(drain=True, timeout=5)
             outcomes = await asyncio.gather(*sends, return_exceptions=True)
             acked = sum(1 for o in outcomes if not isinstance(o, BaseException))
